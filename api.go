@@ -1,0 +1,307 @@
+package flagsim
+
+import (
+	"io"
+	"time"
+
+	"flagsim/internal/classroom"
+	"flagsim/internal/core"
+	"flagsim/internal/depgraph"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+	"flagsim/internal/metrics"
+	"flagsim/internal/processor"
+	"flagsim/internal/quiz"
+	"flagsim/internal/rng"
+	"flagsim/internal/sim"
+	"flagsim/internal/submission"
+	"flagsim/internal/survey"
+	"flagsim/internal/workplan"
+)
+
+// ---- Flags and grids ----
+
+// Flag is a named layered paint program (see internal/flagspec).
+type Flag = flagspec.Flag
+
+// Grid is a cell canvas (see internal/grid).
+type Grid = grid.Grid
+
+// The built-in flags of the activity.
+var (
+	// Mauritius is the core-activity flag: four equal independent stripes.
+	Mauritius = flagspec.Mauritius
+	// France is the simple flag of the Webster variation.
+	France = flagspec.France
+	// Canada is the intricate flag of the Webster variation (Fig. 2).
+	Canada = flagspec.Canada
+	// GreatBritain is the layered flag of the Knox follow-up (Fig. 3).
+	GreatBritain = flagspec.GreatBritain
+	// Jordan is the dependency-graph exercise flag (Fig. 4).
+	Jordan = flagspec.Jordan
+)
+
+// LookupFlag returns a built-in flag by name ("mauritius", "france",
+// "canada", "greatbritain", "jordan", "germany", "japan", "sweden",
+// "poland").
+func LookupFlag(name string) (*Flag, error) { return flagspec.Lookup(name) }
+
+// FlagNames lists the built-in flags.
+func FlagNames() []string { return flagspec.Names() }
+
+// Rasterize paints a flag onto a fresh grid at the given size — the
+// reference image simulation runs are verified against.
+func Rasterize(f *Flag, w, h int) (*Grid, error) { return grid.Rasterize(f, w, h) }
+
+// ---- Scenarios and simulation ----
+
+// ScenarioID identifies one of the activity's scenarios.
+type ScenarioID = core.ScenarioID
+
+// The scenarios of Fig. 1 plus the pipelined scenario-4 variant.
+const (
+	S1          = core.S1
+	S2          = core.S2
+	S3          = core.S3
+	S4          = core.S4
+	S4Pipelined = core.S4Pipelined
+)
+
+// Scenario describes a scenario's worker count and decomposition.
+type Scenario = core.Scenario
+
+// RunSpec configures one scenario run.
+type RunSpec = core.RunSpec
+
+// Result is a completed simulation run.
+type Result = sim.Result
+
+// Processor is one simulated student.
+type Processor = processor.Processor
+
+// ImplementSet is a team's drawing implements.
+type ImplementSet = implement.Set
+
+// ImplementKind is an implement technology class.
+type ImplementKind = implement.Kind
+
+// Implement technology classes, fastest to slowest.
+const (
+	Dauber      = implement.Dauber
+	ThickMarker = implement.ThickMarker
+	ThinMarker  = implement.ThinMarker
+	Crayon      = implement.Crayon
+)
+
+// CoreScenarios returns the four scenarios of Fig. 1.
+func CoreScenarios() []Scenario { return core.CoreScenarios() }
+
+// ScenarioByID resolves a scenario definition.
+func ScenarioByID(id ScenarioID) (Scenario, error) { return core.ScenarioByID(id) }
+
+// RunScenario executes a scenario and verifies the colored flag.
+func RunScenario(spec RunSpec) (*Result, error) { return core.Run(spec) }
+
+// NewTeam builds n default students seeded deterministically.
+func NewTeam(n int, seed uint64) ([]*Processor, error) { return core.NewTeam(n, seed) }
+
+// NewImplementSet hands a team one implement of the given kind per color.
+func NewImplementSet(kind ImplementKind, f *Flag) *ImplementSet {
+	return implement.NewSet(kind, f.Colors())
+}
+
+// NewImplementSetN hands a team n implements of the given kind per color
+// (the extra-implements contention ablation).
+func NewImplementSetN(kind ImplementKind, f *Flag, n int) *ImplementSet {
+	return implement.NewSetN(kind, f.Colors(), n)
+}
+
+// ---- Decompositions ----
+
+// Plan is a per-processor decomposition of a flag.
+type Plan = workplan.Plan
+
+// Sequential decomposes for a single processor (scenario 1).
+func Sequential(f *Flag, w, h int) (*Plan, error) { return workplan.Sequential(f, w, h) }
+
+// LayerBlocks assigns contiguous layer groups to p processors
+// (scenarios 2 and 3).
+func LayerBlocks(f *Flag, w, h, p int) (*Plan, error) { return workplan.LayerBlocks(f, w, h, p) }
+
+// VerticalSlices assigns vertical slices to p processors (scenario 4);
+// rotate staggers starting layers (the pipelined variant).
+func VerticalSlices(f *Flag, w, h, p int, rotate bool) (*Plan, error) {
+	return workplan.VerticalSlices(f, w, h, p, rotate)
+}
+
+// Blocks tiles the canvas into gx×gy blocks dealt round-robin to p
+// processors.
+func Blocks(f *Flag, w, h, p, gx, gy int) (*Plan, error) {
+	return workplan.Blocks(f, w, h, p, gx, gy)
+}
+
+// Cyclic deals cells round-robin to p processors.
+func Cyclic(f *Flag, w, h, p int) (*Plan, error) { return workplan.Cyclic(f, w, h, p) }
+
+// ---- Metrics ----
+
+// SpeedupOf returns T1/Tp.
+func SpeedupOf(t1, tp time.Duration) (float64, error) { return metrics.Speedup(t1, tp) }
+
+// EfficiencyOf returns speedup divided by processor count.
+func EfficiencyOf(t1, tp time.Duration, p int) (float64, error) {
+	return metrics.Efficiency(t1, tp, p)
+}
+
+// AmdahlSpeedup predicts speedup from a serial fraction.
+func AmdahlSpeedup(serialFraction float64, p int) (float64, error) {
+	return metrics.AmdahlSpeedup(serialFraction, p)
+}
+
+// KarpFlatt returns the experimentally determined serial fraction.
+func KarpFlatt(speedup float64, p int) (float64, error) { return metrics.KarpFlatt(speedup, p) }
+
+// ---- Dependency graphs (Knox follow-up) ----
+
+// Graph is a task dependency graph.
+type Graph = depgraph.Graph
+
+// GraphNode is one task vertex.
+type GraphNode = depgraph.Node
+
+// GraphSchedule is a list-scheduled placement of a graph on processors.
+type GraphSchedule = depgraph.Schedule
+
+// NewGraph returns an empty dependency graph.
+func NewGraph() *Graph { return depgraph.New() }
+
+// FlagGraph builds a flag's layer dependency graph at raster size w×h.
+func FlagGraph(f *Flag, w, h int) (*Graph, error) { return depgraph.FromFlag(f, w, h) }
+
+// JordanReferenceGraph is the paper's intended Fig. 9 solution.
+func JordanReferenceGraph(omitWhiteStripe bool) *Graph {
+	return depgraph.JordanReference(omitWhiteStripe)
+}
+
+// ListSchedule schedules a graph onto p processors with the critical-path
+// heuristic.
+func ListSchedule(g *Graph, p int) (*GraphSchedule, error) { return depgraph.ListSchedule(g, p) }
+
+// ---- Classroom sessions ----
+
+// ClassroomConfig configures a full class session.
+type ClassroomConfig = classroom.Config
+
+// ClassroomSession is a completed session: teams, timing board, lessons.
+type ClassroomSession = classroom.Session
+
+// Lesson is a quantified §III-C discussion point.
+type Lesson = core.Lesson
+
+// RunClassroom simulates a whole class session.
+func RunClassroom(cfg ClassroomConfig) (*ClassroomSession, error) { return classroom.Run(cfg) }
+
+// ---- Assessment ----
+
+// SurveyInstitution is one of the six pilot sites.
+type SurveyInstitution = survey.Institution
+
+// SurveyTable is a questions × institutions median table.
+type SurveyTable = survey.Table
+
+// GenerateSurveyStudy generates all six institutions' cohorts calibrated
+// to the paper's Tables I–III.
+func GenerateSurveyStudy(seed uint64) (map[SurveyInstitution]*survey.Cohort, error) {
+	return survey.GenerateStudy(survey.PaperTargets(), rng.New(seed))
+}
+
+// BuildSurveyTables measures Tables I–III from generated cohorts.
+func BuildSurveyTables(cohorts map[SurveyInstitution]*survey.Cohort) (t1, t2, t3 *SurveyTable, err error) {
+	return survey.BuildPaperTables(cohorts)
+}
+
+// QuizSite is one of the three pre/post quiz sites.
+type QuizSite = quiz.Site
+
+// GenerateQuizStudy materializes the three quiz cohorts calibrated to
+// Fig. 8.
+func GenerateQuizStudy(seed uint64) (map[QuizSite]*quiz.Cohort, error) {
+	return quiz.GenerateStudy(quiz.PaperMatrices(), rng.New(seed))
+}
+
+// BuildFig8 measures the Fig. 8 transition rows from quiz cohorts.
+func BuildFig8(cohorts map[QuizSite]*quiz.Cohort) ([]quiz.Fig8Row, error) {
+	return quiz.BuildFig8(cohorts)
+}
+
+// Submission is one student dependency-graph submission.
+type Submission = submission.Submission
+
+// SubmissionCategory is a §V-C grading outcome.
+type SubmissionCategory = submission.Category
+
+// GradeSubmission grades one submission under the §V-C rubric.
+func GradeSubmission(s Submission) SubmissionCategory { return submission.Grade(s) }
+
+// GenerateSubmissionClass materializes a class matching the paper's
+// observed distribution (29 submissions).
+func GenerateSubmissionClass(seed uint64) []Submission {
+	return submission.GenerateClass(submission.PaperCounts(), rng.New(seed))
+}
+
+// GradeSubmissionClass grades a class and tallies categories.
+func GradeSubmissionClass(subs []Submission) submission.Counts {
+	return submission.GradeClass(subs)
+}
+
+// ---- Extensions beyond the paper's evaluation ----
+
+// DecodeFlagJSON reads a custom flag specification (see
+// internal/flagspec's JSON schema) so instructors can define new flags
+// without recompiling.
+func DecodeFlagJSON(r io.Reader) (*Flag, error) { return flagspec.DecodeJSON(r) }
+
+// AmdahlFit is a whole-curve least-squares fit of Amdahl's law.
+type AmdahlFit = metrics.AmdahlFit
+
+// FitAmdahlCurve fits the serial fraction to measured completion times
+// (times[i] = time on i+1 processors).
+func FitAmdahlCurve(times []time.Duration) (AmdahlFit, error) {
+	return metrics.FitAmdahl(times)
+}
+
+// QuizSignificanceRow is one McNemar result per (concept, site).
+type QuizSignificanceRow = quiz.SignificanceRow
+
+// AnalyzeQuizSignificance runs McNemar's test over reproduced quiz
+// cohorts — the statistical analysis the paper's future work plans.
+func AnalyzeQuizSignificance(cohorts map[QuizSite]*quiz.Cohort) ([]QuizSignificanceRow, error) {
+	return quiz.AnalyzeSignificance(cohorts)
+}
+
+// SurveyComparison is a Mann–Whitney comparison of one question between
+// two institutions.
+type SurveyComparison = survey.Comparison
+
+// CompareSurveyQuestion tests one question across every institution pair
+// that asked it.
+func CompareSurveyQuestion(cohorts map[SurveyInstitution]*survey.Cohort, question string) ([]SurveyComparison, error) {
+	return survey.CompareAllPairs(cohorts, question)
+}
+
+// DynamicConfig configures a self-scheduled (shared work bag) run.
+type DynamicConfig = sim.DynamicConfig
+
+// PullPolicy selects how an idle processor chooses its next cell.
+type PullPolicy = sim.PullPolicy
+
+// Pull policies for dynamic runs.
+const (
+	PullOrdered       = sim.PullOrdered
+	PullColorAffinity = sim.PullColorAffinity
+)
+
+// RunDynamic executes a self-scheduled run: idle processors pull the next
+// cell from a shared bag at run time, adapting to skill differences.
+func RunDynamic(cfg DynamicConfig) (*Result, error) { return sim.RunDynamic(cfg) }

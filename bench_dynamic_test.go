@@ -1,0 +1,151 @@
+package flagsim_test
+
+// Benchmarks for the dynamic executor (E28), the data-parallel demo
+// (E27), the animation substrate, and the Chrome-trace exporter.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"flagsim/internal/anim"
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/metrics"
+	"flagsim/internal/processor"
+	"flagsim/internal/rng"
+	"flagsim/internal/sim"
+	"flagsim/internal/workplan"
+)
+
+func benchTeamSkills(b *testing.B, skills ...float64) []*processor.Processor {
+	b.Helper()
+	out := make([]*processor.Processor, len(skills))
+	for i, s := range skills {
+		p := processor.DefaultProfile("P")
+		p.Skill = s
+		pr, err := processor.New(p, rng.New(uint64(benchSeed)).SplitLabeled(p.Name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = pr
+	}
+	return out
+}
+
+// E28 — dynamic self-scheduling vs static slices on a heterogeneous team.
+func BenchmarkDynamicVsStatic(b *testing.B) {
+	f := flagspec.Mauritius
+	skills := []float64{1.3, 1.3, 1.3, 0.5}
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		static, err := sim.Run(sim.Config{
+			Plan: plan, Procs: benchTeamSkills(b, skills...),
+			Set: implement.NewSetN(implement.ThickMarker, f.Colors(), 2),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dynamic, err := sim.RunDynamic(sim.DynamicConfig{
+			Flag: f, Procs: benchTeamSkills(b, skills...),
+			Set:    implement.NewSetN(implement.ThickMarker, f.Colors(), 2),
+			Policy: sim.PullColorAffinity,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = float64(static.Makespan) / float64(dynamic.Makespan)
+	}
+	b.ReportMetric(gain, "dynamic-speedup")
+}
+
+// E27 — the CPU-vs-GPU paintball demo.
+func BenchmarkDataParallelGPU(b *testing.B) {
+	f := flagspec.Mauritius
+	w, h := f.DefaultW, f.DefaultH
+	cells := w * h
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		cpuPlan, err := workplan.Sequential(f, w, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpuTeam, err := core.NewTeam(1, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpu, err := sim.Run(sim.Config{
+			Plan: cpuPlan, Procs: cpuTeam,
+			Set: implement.NewSet(implement.ThickMarker, f.Colors()),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpuPlan, err := workplan.Cyclic(f, w, h, cells)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpuTeam, err := core.NewTeam(cells, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpu, err := sim.Run(sim.Config{
+			Plan: gpuPlan, Procs: gpuTeam,
+			Set: implement.NewSetN(implement.ThickMarker, f.Colors(), cells),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup, err = metrics.Speedup(cpu.Makespan, gpu.Makespan)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(speedup, "gpu-speedup")
+}
+
+func tracedBenchRun(b *testing.B) *sim.Result {
+	b.Helper()
+	scen, err := core.ScenarioByID(core.S4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	team, err := core.NewTeam(scen.Workers, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Run(core.RunSpec{
+		Flag: flagspec.Mauritius, Scenario: scen, Team: team, Trace: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// Animation: GIF rendering of a traced run.
+func BenchmarkAnimationGIF(b *testing.B) {
+	res := tracedBenchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := anim.WriteGIF(io.Discard, res, anim.Options{Step: 5 * time.Second, Scale: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Chrome trace export.
+func BenchmarkChromeTraceExport(b *testing.B) {
+	res := tracedBenchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := res.WriteChromeTrace(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

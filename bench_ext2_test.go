@@ -1,0 +1,117 @@
+package flagsim_test
+
+// Benchmarks completing the one-bench-per-experiment rule for the late
+// additions: E25 (comment themes), E29 (deployment study), E30 (cell
+// ordering), E31 (psychometrics).
+
+import (
+	"testing"
+
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/quiz"
+	"flagsim/internal/rng"
+	"flagsim/internal/sim"
+	"flagsim/internal/study"
+	"flagsim/internal/survey"
+	"flagsim/internal/workplan"
+)
+
+// E25 — open-ended comment themes.
+func BenchmarkCommentThemes(b *testing.B) {
+	var top int
+	for i := 0; i < b.N; i++ {
+		comments, err := survey.GenerateComments(survey.TNTech, 40, true, rng.New(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tally := survey.TallyThemes(comments, survey.Improvements)
+		top = tally[0].Count
+	}
+	b.ReportMetric(float64(top), "top-theme-count")
+}
+
+// E29 — the six-section deployment with pooled statistics.
+func BenchmarkDeploymentStudy(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		s, err := study.Run(study.DefaultDeployment())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.CompareScenarios(
+			study.ScenarioPhase(core.S3, false),
+			study.ScenarioPhase(core.S4, false),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p = res.PValue
+	}
+	b.ReportMetric(p, "s3-vs-s4-p")
+}
+
+// E30 — serpentine vs reading-order traversal.
+func BenchmarkSerpentineOrdering(b *testing.B) {
+	f := flagspec.Mauritius
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		run := func(o workplan.Ordering) float64 {
+			plan, err := workplan.SequentialOrdered(f, f.DefaultW, f.DefaultH, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			team, err := core.NewTeam(1, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{
+				Plan: plan, Procs: team,
+				Set: implement.NewSet(implement.ThickMarker, f.Colors()),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Makespan.Seconds()
+		}
+		gain = run(workplan.ReadingOrder) / run(workplan.Serpentine)
+	}
+	b.ReportMetric(gain, "reading-vs-serpentine")
+}
+
+// E31 — psychometrics over the reproduced cohorts.
+func BenchmarkPsychometrics(b *testing.B) {
+	cohorts, err := quiz.GenerateStudy(quiz.PaperMatrices(), rng.New(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sheets []quiz.AnswerSheet
+	for _, site := range quiz.Sites() {
+		s, err := quiz.GenerateAnswerSheets(cohorts[site], rng.New(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sheets = append(sheets, s...)
+	}
+	surveyCohorts, err := survey.GenerateStudy(survey.PaperTargets(), rng.New(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var worstD float64
+	for i := 0; i < b.N; i++ {
+		items, err := quiz.AnalyzeItems(sheets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstD = 1
+		for _, it := range items {
+			if it.Discrimination < worstD {
+				worstD = it.Discrimination
+			}
+		}
+		_ = survey.StudyAlphas(surveyCohorts, survey.Engagement)
+	}
+	b.ReportMetric(worstD, "min-discrimination")
+}

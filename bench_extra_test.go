@@ -1,0 +1,234 @@
+package flagsim_test
+
+// Benchmarks for the extension experiments (E23–E26) and additional
+// ablations: hold policy, chunk-size sweep, JSON flag decode, and the
+// export paths.
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"flagsim/internal/classroom"
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+	"flagsim/internal/metrics"
+	"flagsim/internal/quiz"
+	"flagsim/internal/report"
+	"flagsim/internal/rng"
+	"flagsim/internal/sched"
+	"flagsim/internal/sim"
+	"flagsim/internal/stats"
+	"flagsim/internal/survey"
+	"flagsim/internal/workplan"
+)
+
+// E23 — McNemar significance sweep.
+func BenchmarkQuizSignificance(b *testing.B) {
+	cohorts, err := quiz.GenerateStudy(quiz.PaperMatrices(), rng.New(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var significant int
+	for i := 0; i < b.N; i++ {
+		rows, err := quiz.AnalyzeSignificance(cohorts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		significant = 0
+		for _, r := range rows {
+			if r.Significant(0.05) {
+				significant++
+			}
+		}
+	}
+	b.ReportMetric(float64(significant), "significant-cells")
+}
+
+// E24 — Mann–Whitney comparisons across all pairs of one question.
+func BenchmarkSurveyComparisons(b *testing.B) {
+	cohorts, err := survey.GenerateStudy(survey.PaperTargets(), rng.New(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		comps, err := survey.CompareAllPairs(cohorts, "increased-loops")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs = len(comps)
+	}
+	b.ReportMetric(float64(pairs), "pairs")
+}
+
+// E26 — connected-region complexity analysis over every flag.
+func BenchmarkRegionAnalysis(b *testing.B) {
+	grids := make([]*grid.Grid, 0)
+	for _, f := range flagspec.All() {
+		g, err := grid.RasterizeDefault(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grids = append(grids, g)
+	}
+	b.ResetTimer()
+	var regions int
+	for i := 0; i < b.N; i++ {
+		regions = 0
+		for _, g := range grids {
+			regions += g.RegionCount()
+		}
+	}
+	b.ReportMetric(float64(regions), "regions-all-flags")
+}
+
+// Ablation — hold policy: eager release vs greedy hold on scenario 4.
+func BenchmarkHoldPolicyAblation(b *testing.B) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		run := func(h sim.HoldPolicy) float64 {
+			team, err := core.NewTeam(4, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{
+				Plan: plan, Procs: team,
+				Set:  implement.NewSet(implement.ThickMarker, f.Colors()),
+				Hold: h,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Makespan.Seconds()
+		}
+		ratio = run(sim.EagerRelease) / run(sim.GreedyHold)
+	}
+	b.ReportMetric(ratio, "eager-vs-greedy")
+}
+
+// Ablation — chunk-size sweep for chunked self-scheduling.
+func BenchmarkChunkSizeSweep(b *testing.B) {
+	f := flagspec.Mauritius
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for _, chunk := range []int{1, 4, 16, 48} {
+			plan, err := sched.Chunked(f, f.DefaultW, f.DefaultH, 4, chunk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if imb := sched.Imbalance(plan); imb > worst {
+				worst = imb
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-imbalance")
+}
+
+// JSON flag decoding throughput.
+func BenchmarkDecodeJSONFlag(b *testing.B) {
+	src := `{"name": "bench", "w": 24, "h": 12, "layers": [
+		{"name": "field", "color": "blue", "shape": {"type": "full"}},
+		{"name": "saltire", "color": "white", "depends_on": ["field"],
+		 "shape": {"type": "saltire", "half_width": 0.09}},
+		{"name": "cross", "color": "red", "depends_on": ["saltire"],
+		 "shape": {"type": "cross", "cx": 0.5, "cy": 0.5, "half_width": 0.06}}
+	]}`
+	for i := 0; i < b.N; i++ {
+		if _, err := flagspec.DecodeJSON(strings.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Session export throughput (CSV + JSON).
+func BenchmarkSessionExport(b *testing.B) {
+	sess, err := classroom.Run(classroom.Config{Teams: 4, RepeatS1: true, Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.WriteBoardCSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.WriteJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SVG Gantt rendering of a traced contended run.
+func BenchmarkSVGGanttRender(b *testing.B) {
+	scen, err := core.ScenarioByID(core.S4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	team, err := core.NewTeam(scen.Workers, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Run(core.RunSpec{
+		Flag: flagspec.Mauritius, Scenario: scen, Team: team, Trace: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := report.SVGGantt(io.Discard, res, 800); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Whole-curve Amdahl fit.
+func BenchmarkAmdahlFit(b *testing.B) {
+	curve := make([]time.Duration, 16)
+	for i := range curve {
+		p := float64(i + 1)
+		speedup := 1 / (0.02 + 0.98/p)
+		curve[i] = time.Duration(float64(time.Hour) / speedup)
+	}
+	b.ResetTimer()
+	var fit metrics.AmdahlFit
+	for i := 0; i < b.N; i++ {
+		var err error
+		fit, err = metrics.FitAmdahl(curve)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fit.SerialFraction, "fitted-f")
+}
+
+// Pooled McNemar over the reproduced contention cohorts.
+func BenchmarkPooledMcNemar(b *testing.B) {
+	cohorts, err := quiz.GenerateStudy(quiz.PaperMatrices(), rng.New(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var p float64
+	for i := 0; i < b.N; i++ {
+		pooled, err := quiz.PooledConceptCohort(cohorts, quiz.Contention)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := stats.McNemar(pooled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p = res.PValue
+	}
+	b.ReportMetric(p, "pooled-contention-p")
+}

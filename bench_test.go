@@ -1,0 +1,507 @@
+package flagsim_test
+
+// The benchmark harness: one benchmark per table/figure/ablation in
+// DESIGN.md's experiment index (E1–E22). Each benchmark regenerates its
+// artifact per iteration and reports the headline quantity as a custom
+// metric, so `go test -bench=. -benchmem` doubles as the reproduction run.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"flagsim"
+	"flagsim/internal/classroom"
+	"flagsim/internal/core"
+	"flagsim/internal/depgraph"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+	"flagsim/internal/metrics"
+	"flagsim/internal/quiz"
+	"flagsim/internal/report"
+	"flagsim/internal/rng"
+	"flagsim/internal/sched"
+	"flagsim/internal/sim"
+	"flagsim/internal/submission"
+	"flagsim/internal/survey"
+	"flagsim/internal/workplan"
+)
+
+const benchSeed = 42
+
+func mustRunScenario(b *testing.B, id core.ScenarioID, kind implement.Kind) *sim.Result {
+	b.Helper()
+	scen, err := core.ScenarioByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	team, err := core.NewTeam(scen.Workers, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := flagspec.Mauritius
+	res, err := core.Run(core.RunSpec{
+		Flag: f, Scenario: scen, Team: team,
+		Set:   implement.NewSet(kind, f.Colors()),
+		Setup: core.DefaultSetup,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// E1 — Fig. 1: the four scenarios.
+func BenchmarkFig1Scenarios(b *testing.B) {
+	var last time.Duration
+	for i := 0; i < b.N; i++ {
+		for _, id := range []core.ScenarioID{core.S1, core.S2, core.S3, core.S4} {
+			last = mustRunScenario(b, id, implement.ThickMarker).Makespan
+		}
+	}
+	b.ReportMetric(last.Seconds(), "s4-makespan-s")
+}
+
+// E2 — speedup table.
+func BenchmarkSpeedupTable(b *testing.B) {
+	var s3 float64
+	for i := 0; i < b.N; i++ {
+		t1 := mustRunScenario(b, core.S1, implement.ThickMarker).Makespan
+		t3 := mustRunScenario(b, core.S3, implement.ThickMarker).Makespan
+		var err error
+		s3, err = metrics.Speedup(t1, t3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s3, "speedup-p4")
+}
+
+// E3 — warmup ablation: first vs repeated scenario 1.
+func BenchmarkWarmupAblation(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		scen, _ := core.ScenarioByID(core.S1)
+		team, err := core.NewTeam(1, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := flagspec.Mauritius
+		set := implement.NewSet(implement.ThickMarker, f.Colors())
+		first, err := core.Run(core.RunSpec{Flag: f, Scenario: scen, Team: team, Set: set})
+		if err != nil {
+			b.Fatal(err)
+		}
+		second, err := core.Run(core.RunSpec{Flag: f, Scenario: scen, Team: team, Set: set})
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvement = (1 - float64(second.Makespan)/float64(first.Makespan)) * 100
+	}
+	b.ReportMetric(improvement, "repeat-improvement-%")
+}
+
+// E4 — implement technology sweep.
+func BenchmarkImplementSweep(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		dauber := mustRunScenario(b, core.S1, implement.Dauber).Makespan
+		crayon := mustRunScenario(b, core.S1, implement.Crayon).Makespan
+		ratio = float64(crayon) / float64(dauber)
+	}
+	b.ReportMetric(ratio, "crayon-vs-dauber")
+}
+
+// E5 — contention: S3 vs S4 and the pipelined fix.
+func BenchmarkContentionS3vsS4(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		t3 := mustRunScenario(b, core.S3, implement.ThickMarker).Makespan
+		t4 := mustRunScenario(b, core.S4, implement.ThickMarker).Makespan
+		slowdown = float64(t4)/float64(t3) - 1
+	}
+	b.ReportMetric(slowdown*100, "s4-slowdown-%")
+}
+
+func BenchmarkPipelineAblation(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		naive := mustRunScenario(b, core.S4, implement.ThickMarker).Makespan
+		piped := mustRunScenario(b, core.S4Pipelined, implement.ThickMarker).Makespan
+		speedup = float64(naive) / float64(piped)
+	}
+	b.ReportMetric(speedup, "pipelined-speedup")
+}
+
+// E6/E8 — Figs. 2 and 4: flag rasterization.
+func benchmarkRender(b *testing.B, name string) {
+	f, err := flagspec.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cells int
+	for i := 0; i < b.N; i++ {
+		g, err := grid.RasterizeDefault(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = g.PaintedCells()
+		if err := g.WriteSVG(io.Discard, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cells), "cells")
+}
+
+func BenchmarkRenderCanada(b *testing.B) { benchmarkRender(b, "canada") }
+func BenchmarkRenderJordan(b *testing.B) { benchmarkRender(b, "jordan") }
+
+// E7 — Fig. 3: Great Britain's layers and the dependency cap.
+func BenchmarkGreatBritainLayers(b *testing.B) {
+	f := flagspec.GreatBritain
+	var speedupAt4 float64
+	for i := 0; i < b.N; i++ {
+		g, err := depgraph.FromFlag(f, f.DefaultW, f.DefaultH)
+		if err != nil {
+			b.Fatal(err)
+		}
+		curve, err := depgraph.SpeedupCurve(g, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedupAt4 = float64(curve[0]) / float64(curve[3])
+	}
+	b.ReportMetric(speedupAt4, "layer-speedup-p4")
+}
+
+// E9 — Webster variation: France vs Canada at p=3.
+func BenchmarkWebsterVariation(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		f1, f3, err := classroom.WebsterVariation(flagspec.France, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c1, c3, err := classroom.WebsterVariation(flagspec.Canada, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = float64(f1)/float64(f3) - float64(c1)/float64(c3)
+	}
+	b.ReportMetric(gap, "france-minus-canada-speedup")
+}
+
+// E11–E13 — Tables I–III.
+func benchmarkTable(b *testing.B, pick func(t1, t2, t3 *survey.Table) *survey.Table) {
+	targets := survey.PaperTargets()
+	var mismatches int
+	for i := 0; i < b.N; i++ {
+		cohorts, err := survey.GenerateStudy(targets, rng.New(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1, t2, t3, err := survey.BuildPaperTables(cohorts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mismatches = len(pick(t1, t2, t3).VerifyAgainstTargets(targets))
+	}
+	b.ReportMetric(float64(mismatches), "cells-off-paper")
+}
+
+func BenchmarkTableI(b *testing.B) {
+	benchmarkTable(b, func(t1, _, _ *survey.Table) *survey.Table { return t1 })
+}
+func BenchmarkTableII(b *testing.B) {
+	benchmarkTable(b, func(_, t2, _ *survey.Table) *survey.Table { return t2 })
+}
+func BenchmarkTableIII(b *testing.B) {
+	benchmarkTable(b, func(_, _, t3 *survey.Table) *survey.Table { return t3 })
+}
+
+// E14 — Fig. 6: the grouped median chart.
+func BenchmarkFig6Chart(b *testing.B) {
+	cohorts, err := survey.GenerateStudy(survey.PaperTargets(), rng.New(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := report.Fig6(io.Discard, cohorts); err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Fig6SVG(io.Discard, cohorts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E16 — Fig. 8: pre/post transitions.
+func BenchmarkFig8Transitions(b *testing.B) {
+	m := quiz.PaperMatrices()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		cohorts, err := quiz.GenerateStudy(m, rng.New(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := quiz.BuildFig8(cohorts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(out)
+	}
+	b.ReportMetric(float64(rows), "concept-site-rows")
+}
+
+// E17 — Fig. 9: the Jordan reference DAG.
+func BenchmarkFig9JordanDAG(b *testing.B) {
+	f := flagspec.Jordan
+	var match float64
+	for i := 0; i < b.N; i++ {
+		ref := depgraph.JordanReference(false)
+		gen, err := depgraph.FromFlag(f, f.DefaultW, f.DefaultH)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gen.SameConstraints(ref) {
+			match = 1
+		}
+	}
+	b.ReportMetric(match, "matches-reference")
+}
+
+// E18 — §V-C submission grading.
+func BenchmarkSubmissionGrading(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		subs := submission.GenerateClass(submission.PaperCounts(), rng.New(benchSeed))
+		counts := submission.GradeClass(subs)
+		share = counts.AtLeastMostlyCorrectShare()
+	}
+	b.ReportMetric(share, "at-least-mostly-%")
+}
+
+// E19 — decomposition ablation: cyclic's implement thrash vs layer blocks.
+func BenchmarkDecompositionAblation(b *testing.B) {
+	f := flagspec.Mauritius
+	var thrashRatio float64
+	for i := 0; i < b.N; i++ {
+		blocksPlan, err := workplan.LayerBlocks(f, f.DefaultW, f.DefaultH, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cyclicPlan, err := workplan.Cyclic(f, f.DefaultW, f.DefaultH, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(p *workplan.Plan) time.Duration {
+			team, err := core.NewTeam(4, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{
+				Plan: p, Procs: team,
+				Set: implement.NewSet(implement.ThickMarker, f.Colors()),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Makespan
+		}
+		thrashRatio = float64(run(cyclicPlan)) / float64(run(blocksPlan))
+	}
+	b.ReportMetric(thrashRatio, "cyclic-vs-blocks")
+}
+
+// E19b — the load-balancing schedulers.
+func BenchmarkSchedulers(b *testing.B) {
+	f := flagspec.Sweden
+	var imb float64
+	for i := 0; i < b.N; i++ {
+		plan, err := sched.LPT(f, f.DefaultW, f.DefaultH, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imb = sched.Imbalance(plan)
+		if _, err := sched.Guided(f, f.DefaultW, f.DefaultH, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(imb, "lpt-imbalance")
+}
+
+// E20 — the real-goroutine executor.
+func BenchmarkConcurrentExecutor(b *testing.B) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := grid.RasterizeDefault(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		procs := make([]*sim.ConcurrentProc, 4)
+		for j := range procs {
+			procs[j] = &sim.ConcurrentProc{Name: "P", Skill: 1}
+		}
+		res, err := sim.RunConcurrent(sim.ConcurrentConfig{
+			Plan: plan, Procs: procs,
+			Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+			Scale: 100000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Grid.Equal(want) {
+			b.Fatal("concurrent run painted the wrong image")
+		}
+	}
+}
+
+// E21 — extra implements dissolve contention.
+func BenchmarkExtraImplements(b *testing.B) {
+	f := flagspec.Mauritius
+	scen, _ := core.ScenarioByID(core.S4)
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		run := func(n int) time.Duration {
+			team, err := core.NewTeam(scen.Workers, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.Run(core.RunSpec{
+				Flag: f, Scenario: scen, Team: team,
+				Set: implement.NewSetN(implement.ThickMarker, f.Colors(), n),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Makespan
+		}
+		gain = float64(run(1)) / float64(run(4))
+	}
+	b.ReportMetric(gain, "4x-implements-speedup")
+}
+
+// E22 — scaling study with Karp–Flatt.
+func BenchmarkScalingKarpFlatt(b *testing.B) {
+	f := flagspec.Mauritius
+	const w, h = 64, 32
+	var kf float64
+	for i := 0; i < b.N; i++ {
+		times := make([]time.Duration, 0, 8)
+		for p := 1; p <= 8; p++ {
+			plan, err := workplan.VerticalSlices(f, w, h, p, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			team, err := core.NewTeam(p, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{
+				Plan: plan, Procs: team,
+				Set:   implement.NewSetN(implement.ThickMarker, f.Colors(), p),
+				Setup: core.DefaultSetup,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			times = append(times, res.Makespan)
+		}
+		s8, err := metrics.Speedup(times[0], times[7])
+		if err != nil {
+			b.Fatal(err)
+		}
+		kf, err = metrics.KarpFlatt(s8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(kf, "serial-fraction")
+}
+
+// Core-engine microbenchmarks: the hot paths a user of the library pays
+// for (not tied to a paper artifact, but kept for regression tracking).
+
+func BenchmarkDESKernelEvents(b *testing.B) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, 64, 32, 8, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		team, err := core.NewTeam(8, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Plan: plan, Procs: team,
+			Set: implement.NewSetN(implement.ThickMarker, f.Colors(), 8),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+func BenchmarkRasterizeLarge(b *testing.B) {
+	f := flagspec.GreatBritain
+	for i := 0; i < b.N; i++ {
+		if _, err := grid.Rasterize(f, 240, 120); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkListScheduleWide(b *testing.B) {
+	g := depgraph.New()
+	for i := 0; i < 200; i++ {
+		g.MustAddNode(depgraph.Node{ID: string(rune('a'+i%26)) + string(rune('0'+i/26)), Weight: time.Second})
+	}
+	nodes := g.Nodes()
+	for i := 26; i < len(nodes); i++ {
+		g.MustAddEdge(nodes[i-26].ID, nodes[i].ID)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := depgraph.ListSchedule(g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSurveyCohortGeneration(b *testing.B) {
+	targets := survey.PaperTargets()
+	for i := 0; i < b.N; i++ {
+		if _, err := survey.GenerateCohort(survey.TNTech, 86, targets, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Keep the public API exercised under bench as well.
+func BenchmarkPublicAPIScenario(b *testing.B) {
+	scen, err := flagsim.ScenarioByID(flagsim.S3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		team, err := flagsim.NewTeam(4, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := flagsim.RunScenario(flagsim.RunSpec{
+			Flag: flagsim.Mauritius, Scenario: scen, Team: team,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command animate renders a scenario run as an animated GIF (or an ASCII
+// flipbook) of the flag being colored — the software analogue of the
+// activity's schedule-visualization animations.
+//
+// Usage:
+//
+//	animate -scenario 4 -o scenario4.gif
+//	animate -scenario 4 -pipelined -o pipelined.gif
+//	animate -scenario 3 -flipbook | less
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flagsim/internal/anim"
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+)
+
+func main() {
+	var (
+		flagName  = flag.String("flag", "mauritius", "flag to color")
+		scenario  = flag.Int("scenario", 4, "scenario number 1-4")
+		pipelined = flag.Bool("pipelined", false, "pipelined scenario-4 variant")
+		kindName  = flag.String("kind", "thick-marker", "implement kind")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		out       = flag.String("o", "", "output GIF path (required unless -flipbook)")
+		flipbook  = flag.Bool("flipbook", false, "print an ASCII flipbook to stdout instead")
+		step      = flag.Duration("step", 0, "virtual time per frame (default: makespan/40)")
+		scale     = flag.Int("scale", 10, "pixels per cell in the GIF")
+	)
+	flag.Parse()
+
+	f, err := flagspec.Lookup(*flagName)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := implement.ParseKind(*kindName)
+	if err != nil {
+		fatal(err)
+	}
+	var id core.ScenarioID
+	switch {
+	case *scenario == 4 && *pipelined:
+		id = core.S4Pipelined
+	case *scenario >= 1 && *scenario <= 4:
+		id = core.ScenarioID(*scenario - 1)
+	default:
+		fatal(fmt.Errorf("scenario %d out of range", *scenario))
+	}
+	scen, err := core.ScenarioByID(id)
+	if err != nil {
+		fatal(err)
+	}
+	team, err := core.NewTeam(scen.Workers, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Run(core.RunSpec{
+		Flag:     f,
+		Scenario: scen,
+		Team:     team,
+		Set:      implement.NewSet(kind, f.Colors()),
+		Trace:    true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *flipbook {
+		s := *step
+		if s <= 0 {
+			s = res.Makespan / 12
+			if s <= 0 {
+				s = time.Second
+			}
+		}
+		if err := anim.Flipbook(os.Stdout, res, s); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		fatal(fmt.Errorf("-o is required for GIF output (or use -flipbook)"))
+	}
+	fh, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := anim.WriteGIF(fh, res, anim.Options{Step: *step, Scale: *scale}); err != nil {
+		fh.Close()
+		fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%v of virtual time, makespan %v)\n", *out, scen.ID, res.Makespan.Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "animate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command classroom simulates a full class session of the activity:
+// several teams with varied implements run the scenario sequence; the
+// public timing board and the closing discussion's lessons are printed.
+//
+// Usage:
+//
+//	classroom -teams 6 -repeat-s1 -pipelined -jitter 0.15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"flagsim/internal/classroom"
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/report"
+	"flagsim/internal/viz"
+)
+
+func main() {
+	var (
+		flagName  = flag.String("flag", "mauritius", "flag to color")
+		teams     = flag.Int("teams", 4, "number of teams")
+		repeatS1  = flag.Bool("repeat-s1", true, "run scenario 1 twice (warmup lesson)")
+		pipelined = flag.Bool("pipelined", false, "append the pipelined scenario-4 variant")
+		jitter    = flag.Float64("jitter", 0.1, "per-cell lognormal jitter sigma")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		csvPath   = flag.String("csv", "", "also write the timing board as CSV to this file")
+		jsonPath  = flag.String("json", "", "also write the full session record as JSON to this file")
+		runsheet  = flag.Bool("runsheet", false, "print the §IV instructor run sheet and exit (no simulation of teams)")
+	)
+	flag.Parse()
+
+	f, err := flagspec.Lookup(*flagName)
+	if err != nil {
+		fatal(err)
+	}
+	if *runsheet {
+		rs, err := core.BuildRunSheet(f, *teams, *repeatS1)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rs.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	sess, err := classroom.Run(classroom.Config{
+		Flag:             f,
+		Teams:            *teams,
+		RepeatS1:         *repeatS1,
+		IncludePipelined: *pipelined,
+		JitterSigma:      *jitter,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Class session: %s, %d teams\n\n", f.Name, len(sess.Teams))
+	fmt.Println("Timing board (as posted for the class):")
+	header := []string{"team", "implements"}
+	for _, p := range sess.Phases {
+		header = append(header, p.Label())
+	}
+	var rows [][]string
+	for _, team := range sess.Teams {
+		row := []string{team.Name, team.Kind.String()}
+		for _, d := range sess.TeamTimes(team.Name) {
+			row = append(row, d.Round(time.Second).String())
+		}
+		rows = append(rows, row)
+	}
+	if err := viz.Table(os.Stdout, header, rows); err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("\nClass medians:")
+	for _, p := range sess.Phases {
+		m, err := sess.MedianPhaseTime(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-22s %v\n", p.Label(), m.Round(time.Second))
+	}
+
+	fmt.Println("\nDiscussion lessons (§III-C):")
+	if err := report.Lessons(os.Stdout, sess.Lessons); err != nil {
+		fatal(err)
+	}
+
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, sess.WriteBoardCSV); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, sess.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "classroom:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command depcheck grades a dependency-graph submission (JSON on stdin or
+// a file) against the flag-of-Jordan rubric of the paper's §V-C, and can
+// emit the reference solutions.
+//
+// The JSON wire form is {"nodes":[{"id":...}],"edges":[{"from":..,"to":..}]}.
+//
+// Usage:
+//
+//	depcheck graph.json
+//	cat graph.json | depcheck
+//	depcheck -reference          # print the Fig. 9 reference as JSON
+//	depcheck -analyze graph.json # also print depth/width/critical path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"flagsim/internal/depgraph"
+	"flagsim/internal/report"
+	"flagsim/internal/submission"
+)
+
+func main() {
+	var (
+		reference = flag.Bool("reference", false, "emit the Fig. 9 reference graph as JSON and exit")
+		omitWhite = flag.Bool("omit-white", false, "reference without the white stripe")
+		noArrows  = flag.Bool("no-arrows", false, "grade as a spatial layout without arrows")
+		analyze   = flag.Bool("analyze", false, "print structural analysis alongside the grade")
+		dot       = flag.Bool("dot", false, "emit Graphviz DOT instead of grading")
+		class     = flag.Bool("class", false, "grade a whole class file ({\"submissions\": [...]})")
+		schedSVG  = flag.String("schedule-svg", "", "write a 3-processor schedule SVG of the graph to this file")
+	)
+	flag.Parse()
+
+	if *reference {
+		g := depgraph.JordanReference(*omitWhite)
+		if *dot {
+			if err := g.WriteDOT(os.Stdout, "jordan-fig9"); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	if *class {
+		subs, err := submission.DecodeClass(r)
+		if err != nil {
+			fatal(err)
+		}
+		graded, counts := submission.GradeAll(subs)
+		for _, gs := range graded {
+			fmt.Printf("%-8s %s\n", gs.Student, gs.Category)
+		}
+		fmt.Printf("\nat least mostly correct: %.0f%% of %d\n",
+			counts.AtLeastMostlyCorrectShare(), counts.Total())
+		return
+	}
+
+	g, err := depgraph.Decode(r)
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		if err := g.WriteDOT(os.Stdout, "submission"); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	grade, reason := submission.GradeWithReason(submission.Submission{Graph: g, ArrowsDrawn: !*noArrows})
+	fmt.Printf("grade: %s\nfeedback: %s\n", grade, reason)
+	if grade.AtLeastMostlyCorrect() {
+		fmt.Println("counts toward the paper's \"at least mostly correct\" statistic")
+	}
+	if *schedSVG != "" && g.Validate() == nil {
+		sched, err := depgraph.ListSchedule(g, 3)
+		if err != nil {
+			fatal(err)
+		}
+		fh, err := os.Create(*schedSVG)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.ScheduleSVG(fh, sched, 700); err != nil {
+			fh.Close()
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *schedSVG)
+	}
+	if *analyze {
+		if err := g.Validate(); err != nil {
+			fmt.Printf("structure: %v\n", err)
+			return
+		}
+		depth, _ := g.Depth()
+		width, _ := g.Width()
+		path, total, _ := g.CriticalPath()
+		fmt.Printf("nodes: %d  edges: %d  depth: %d  width: %d\n",
+			g.NumNodes(), g.NumEdges(), depth, width)
+		fmt.Printf("critical path: %v (%v)\n", path, total.Round(time.Second))
+		curve, err := depgraph.SpeedupCurve(g, 4)
+		if err == nil {
+			fmt.Print("makespan by processors:")
+			for p, m := range curve {
+				fmt.Printf("  p=%d:%v", p+1, m.Round(time.Second))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "depcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,1000 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation, plus the repository's ablations, in one run. The output of
+// this command is the source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments              # everything
+//	experiments -only E5     # one experiment by DESIGN.md id
+//	experiments -list        # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"flagsim/internal/classroom"
+	"flagsim/internal/core"
+	"flagsim/internal/depgraph"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+	"flagsim/internal/metrics"
+	"flagsim/internal/processor"
+	"flagsim/internal/quiz"
+	"flagsim/internal/report"
+	"flagsim/internal/rng"
+	"flagsim/internal/sched"
+	"flagsim/internal/sim"
+	"flagsim/internal/stats"
+	"flagsim/internal/study"
+	"flagsim/internal/submission"
+	"flagsim/internal/survey"
+	"flagsim/internal/viz"
+	"flagsim/internal/workplan"
+)
+
+const seed = 42
+
+type experiment struct {
+	id    string
+	title string
+	run   func() error
+}
+
+func main() {
+	var (
+		only = flag.String("only", "", "run a single experiment by id (e.g. E5)")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	for _, e := range exps {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		fmt.Printf("\n==== %s: %s ====\n\n", e.id, e.title)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"E1", "Fig. 1 — the four scenarios on the flag of Mauritius", e1Scenarios},
+		{"E2", "§III-C — speedup and linear-speedup lesson", e2Speedup},
+		{"E3", "§III-C — warmup lesson (repeat of scenario 1)", e3Warmup},
+		{"E4", "§III-C — implement technology sweep", e4Technology},
+		{"E5", "§III-C — contention (S3 vs S4) and pipelining ablation", e5Contention},
+		{"E6", "Fig. 2 — the gridded Canadian flag", renderFlag("canada")},
+		{"E7", "Fig. 3 — Great Britain layer structure", e7GreatBritain},
+		{"E8", "Fig. 4 — the flag of Jordan", renderFlag("jordan")},
+		{"E9", "§III-D — Webster variation: France vs Canada at p=3", e9Webster},
+		{"E10", "Fig. 5 — the engagement survey instrument", e10Instrument},
+		{"E11", "Table I — engagement medians", tableExp(1)},
+		{"E12", "Table II — understanding medians", tableExp(2)},
+		{"E13", "Table III — instructor medians", tableExp(3)},
+		{"E14", "Fig. 6 — median bar chart", e14Fig6},
+		{"E15", "Fig. 7 — the pre/post quiz instrument", e15Quiz},
+		{"E16", "Fig. 8 — pre/post transition analysis", e16Fig8},
+		{"E17", "Fig. 9 — Jordan reference dependency graph", e17Fig9},
+		{"E18", "§V-C — dependency-graph submission grading", e18Submissions},
+		{"E19", "Ablation — decomposition strategies", e19Decomposition},
+		{"E20", "Ablation — DES vs real-goroutine executor", e20Concurrent},
+		{"E21", "Ablation — extra implements dissolve contention", e21ExtraImplements},
+		{"E22", "Ablation — team-size scaling and Karp–Flatt", e22Scaling},
+		{"E23", "Future work — McNemar significance over the quiz cohorts", e23Significance},
+		{"E24", "Future work — Mann–Whitney cross-site survey comparisons", e24Comparisons},
+		{"E25", "§V-A — open-ended comment theme tallies", e25Comments},
+		{"E26", "Flag complexity — connected-region analysis", e26Complexity},
+		{"E27", "§III-D — CPU vs GPU: the paintball-gun data-parallel demo", e27DataParallel},
+		{"E28", "Ablation — static plans vs dynamic self-scheduling", e28Dynamic},
+		{"E29", "Future work — multi-institution deployment statistics", e29Study},
+		{"E30", "Ablation — cell ordering and movement cost (serpentine)", e30Serpentine},
+		{"E31", "Future work — instrument psychometrics (alpha, item analysis)", e31Psychometrics},
+		{"E32", "Ablation — hold policy: the eager-release lock convoy", e32HoldPolicy},
+	}
+}
+
+// runScenario executes one scenario with a fresh default team.
+func runScenario(id core.ScenarioID, kind implement.Kind, teamSeed uint64) (*sim.Result, error) {
+	scen, err := core.ScenarioByID(id)
+	if err != nil {
+		return nil, err
+	}
+	team, err := core.NewTeam(scen.Workers, teamSeed)
+	if err != nil {
+		return nil, err
+	}
+	f := flagspec.Mauritius
+	return core.Run(core.RunSpec{
+		Flag: f, Scenario: scen, Team: team,
+		Set:   implement.NewSet(kind, f.Colors()),
+		Setup: core.DefaultSetup,
+	})
+}
+
+func e1Scenarios() error {
+	for _, id := range []core.ScenarioID{core.S1, core.S2, core.S3, core.S4} {
+		scen, _ := core.ScenarioByID(id)
+		res, err := runScenario(id, implement.ThickMarker, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (%d workers): %s\n", id, scen.Workers, scen.Description)
+		if err := report.Scenario(os.Stdout, "", res); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func e2Speedup() error {
+	times := make([]time.Duration, 0, 3)
+	for _, id := range []core.ScenarioID{core.S1, core.S2, core.S3} {
+		res, err := runScenario(id, implement.ThickMarker, seed)
+		if err != nil {
+			return err
+		}
+		times = append(times, res.Makespan)
+	}
+	// Scenario worker counts are 1, 2, 4: expand into a dense scaling
+	// table using scenario 3's plan at p=3 for the gap.
+	f := flagspec.Mauritius
+	scen3 := core.Scenario{ID: core.S3, Workers: 3}
+	team, err := core.NewTeam(3, seed)
+	if err != nil {
+		return err
+	}
+	res3, err := core.Run(core.RunSpec{Flag: f, Scenario: scen3, Team: team,
+		Set: implement.NewSet(implement.ThickMarker, f.Colors()), Setup: core.DefaultSetup})
+	if err != nil {
+		return err
+	}
+	dense := []time.Duration{times[0], times[1], res3.Makespan, times[2]}
+	fmt.Println("completion times by processors (setup = serial fraction):")
+	if err := report.Speedups(os.Stdout, dense); err != nil {
+		return err
+	}
+	fmt.Println("\nnote: p=3 matches p=2 — four indivisible stripes cannot use a third")
+	fmt.Println("worker (granularity limits speedup), itself a discussion point.")
+	return nil
+}
+
+func e3Warmup() error {
+	scen, _ := core.ScenarioByID(core.S1)
+	team, err := core.NewTeam(1, seed)
+	if err != nil {
+		return err
+	}
+	f := flagspec.Mauritius
+	set := implement.NewSet(implement.ThickMarker, f.Colors())
+	first, err := core.Run(core.RunSpec{Flag: f, Scenario: scen, Team: team, Set: set, Setup: core.DefaultSetup})
+	if err != nil {
+		return err
+	}
+	second, err := core.Run(core.RunSpec{Flag: f, Scenario: scen, Team: team, Set: set, Setup: core.DefaultSetup})
+	if err != nil {
+		return err
+	}
+	lesson, err := core.WarmupLesson(first, second)
+	if err != nil {
+		return err
+	}
+	if err := report.Lessons(os.Stdout, []core.Lesson{lesson}); err != nil {
+		return err
+	}
+	// Third run on the now fully-warmed team: repeats plateau, just as a
+	// warmed cache stops getting faster.
+	third, err := core.Run(core.RunSpec{Flag: f, Scenario: scen, Team: team, Set: set, Setup: core.DefaultSetup})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nthird run (fully warmed): %v — further repeats plateau, like a warmed cache\n",
+		third.Makespan.Round(time.Millisecond))
+	return nil
+}
+
+func e4Technology() error {
+	var bars []viz.Bar
+	for _, kind := range implement.Kinds() {
+		res, err := runScenario(core.S1, kind, seed)
+		if err != nil {
+			return err
+		}
+		bars = append(bars, viz.Bar{Label: kind.String(), Value: res.Makespan.Seconds()})
+	}
+	fmt.Println("scenario-1 completion seconds by implement technology:")
+	return viz.BarChart(os.Stdout, "", bars, 40, 0)
+}
+
+func e5Contention() error {
+	s3, err := runScenario(core.S3, implement.ThickMarker, seed)
+	if err != nil {
+		return err
+	}
+	s4, err := runScenario(core.S4, implement.ThickMarker, seed)
+	if err != nil {
+		return err
+	}
+	s4p, err := runScenario(core.S4Pipelined, implement.ThickMarker, seed)
+	if err != nil {
+		return err
+	}
+	contention, err := core.ContentionLesson(s3, s4)
+	if err != nil {
+		return err
+	}
+	pipelining, err := core.PipeliningLesson(s4, s4p)
+	if err != nil {
+		return err
+	}
+	return report.Lessons(os.Stdout, []core.Lesson{contention, pipelining})
+}
+
+func renderFlag(name string) func() error {
+	return func() error {
+		f, err := flagspec.Lookup(name)
+		if err != nil {
+			return err
+		}
+		g, err := grid.RasterizeDefault(f)
+		if err != nil {
+			return err
+		}
+		fmt.Print(g.String())
+		fmt.Println(g.Legend())
+		return nil
+	}
+}
+
+func e7GreatBritain() error {
+	if err := renderFlag("greatbritain")(); err != nil {
+		return err
+	}
+	f := flagspec.GreatBritain
+	g, err := depgraph.FromFlag(f, f.DefaultW, f.DefaultH)
+	if err != nil {
+		return err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nlayer paint order: %v\n", order)
+	path, total, err := g.CriticalPath()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("critical path: %v (%v)\n", path, total.Round(time.Second))
+	curve, err := depgraph.SpeedupCurve(g, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Print("layer-level makespans: ")
+	for p, m := range curve {
+		fmt.Printf(" p=%d:%v", p+1, m.Round(time.Second))
+	}
+	fmt.Println("\n(dependencies cap speedup far below linear — the Knox lesson)")
+	return nil
+}
+
+func e9Webster() error {
+	f1, f3, err := classroom.WebsterVariation(flagspec.France, seed)
+	if err != nil {
+		return err
+	}
+	c1, c3, err := classroom.WebsterVariation(flagspec.Canada, seed)
+	if err != nil {
+		return err
+	}
+	lesson, err := core.LoadBalanceLesson(f1, f3, c1, c3, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("france: 1 student %v, 3 students %v\n", f1.Round(time.Second), f3.Round(time.Second))
+	fmt.Printf("canada: 1 student %v, 3 students %v\n", c1.Round(time.Second), c3.Round(time.Second))
+	return report.Lessons(os.Stdout, []core.Lesson{lesson})
+}
+
+func e10Instrument() error {
+	for _, q := range survey.Instrument() {
+		star := ""
+		if q.Starred {
+			star = " (*)"
+		}
+		fmt.Printf("[%-13s] %s%s\n", q.Category, q.Text, star)
+	}
+	return nil
+}
+
+func tableExp(n int) func() error {
+	return func() error {
+		targets := survey.PaperTargets()
+		cohorts, err := survey.GenerateStudy(targets, rng.New(seed))
+		if err != nil {
+			return err
+		}
+		t1, t2, t3, err := survey.BuildPaperTables(cohorts)
+		if err != nil {
+			return err
+		}
+		t := []*survey.Table{t1, t2, t3}[n-1]
+		if err := report.SurveyTable(os.Stdout, t); err != nil {
+			return err
+		}
+		if bad := t.VerifyAgainstTargets(targets); len(bad) > 0 {
+			return fmt.Errorf("mismatches vs paper: %v", bad)
+		}
+		fmt.Println("\nall measured medians match the paper exactly")
+		return nil
+	}
+}
+
+func e14Fig6() error {
+	cohorts, err := survey.GenerateStudy(survey.PaperTargets(), rng.New(seed))
+	if err != nil {
+		return err
+	}
+	return report.Fig6(os.Stdout, cohorts)
+}
+
+func e15Quiz() error {
+	for i, q := range quiz.Instrument() {
+		fmt.Printf("%d. [%s] %s\n", i+1, q.Concept, q.Text)
+		if q.Kind == quiz.MultipleChoice {
+			for j, opt := range q.Options {
+				marker := " "
+				if j == q.Correct {
+					marker = "*"
+				}
+				fmt.Printf("   %s %c) %s\n", marker, 'a'+j, opt)
+			}
+		} else {
+			answer := "True"
+			if q.Correct != 0 {
+				answer = "False"
+			}
+			fmt.Printf("   * %s\n", answer)
+		}
+	}
+	return nil
+}
+
+func e16Fig8() error {
+	cohorts, err := quiz.GenerateStudy(quiz.PaperMatrices(), rng.New(seed))
+	if err != nil {
+		return err
+	}
+	rows, err := quiz.BuildFig8(cohorts)
+	if err != nil {
+		return err
+	}
+	return report.Fig8(os.Stdout, rows)
+}
+
+func e17Fig9() error {
+	g := depgraph.JordanReference(false)
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tasks (topological): %v\n", order)
+	for _, id := range order {
+		if preds := g.Predecessors(id); len(preds) > 0 {
+			fmt.Printf("  %s <- %v\n", id, preds)
+		}
+	}
+	depth, _ := g.Depth()
+	width, _ := g.Width()
+	fmt.Printf("depth %d, width %d: three stripes in parallel, then triangle, then star\n", depth, width)
+	// Cross-check: the layer graph generated from the flag spec encodes
+	// the same constraints.
+	f := flagspec.Jordan
+	gen, err := depgraph.FromFlag(f, f.DefaultW, f.DefaultH)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated-from-spec matches reference: %v\n", gen.SameConstraints(g))
+	return nil
+}
+
+func e18Submissions() error {
+	subs := submission.GenerateClass(submission.PaperCounts(), rng.New(seed))
+	counts := submission.GradeClass(subs)
+	return report.Submissions(os.Stdout, counts)
+}
+
+func e19Decomposition() error {
+	type builder struct {
+		name  string
+		build func(f *flagspec.Flag, w, h, p int) (*workplan.Plan, error)
+	}
+	builders := []builder{
+		{"layer-blocks", func(f *flagspec.Flag, w, h, p int) (*workplan.Plan, error) {
+			if p > len(f.Layers) {
+				p = len(f.Layers)
+			}
+			return workplan.LayerBlocks(f, w, h, p)
+		}},
+		{"vertical-slices", func(f *flagspec.Flag, w, h, p int) (*workplan.Plan, error) {
+			return workplan.VerticalSlices(f, w, h, p, false)
+		}},
+		{"blocks", func(f *flagspec.Flag, w, h, p int) (*workplan.Plan, error) {
+			return workplan.Blocks(f, w, h, p, p, 2)
+		}},
+		{"cyclic", workplan.Cyclic},
+		{"lpt", sched.LPT},
+		{"guided", sched.Guided},
+	}
+	for _, flagName := range []string{"mauritius", "sweden"} {
+		f, err := flagspec.Lookup(flagName)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("flag %s, p=4, thick markers (one per color):\n", flagName)
+		var rows [][]string
+		for _, b := range builders {
+			plan, err := b.build(f, f.DefaultW, f.DefaultH, 4)
+			if err != nil {
+				return err
+			}
+			team, err := core.NewTeam(plan.NumProcs(), seed)
+			if err != nil {
+				return err
+			}
+			res, err := sim.Run(sim.Config{
+				Plan: plan, Procs: team,
+				Set: implement.NewSet(implement.ThickMarker, f.Colors()),
+			})
+			if err != nil {
+				return err
+			}
+			rows = append(rows, []string{
+				b.name,
+				res.Makespan.Round(time.Millisecond).String(),
+				res.TotalWaitImplement().Round(time.Millisecond).String(),
+				fmt.Sprintf("%.2f", sched.Imbalance(plan)),
+			})
+		}
+		if err := viz.Table(os.Stdout, []string{"strategy", "makespan", "impl-wait", "task-imbalance"}, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func e20Concurrent() error {
+	f := flagspec.Mauritius
+	fmt.Println("DES (virtual time) vs real goroutines (wall time scaled back to virtual;")
+	fmt.Println("sleep granularity inflates absolute goroutine numbers — compare shapes):")
+	var rows [][]string
+	for _, tc := range []struct {
+		name string
+		id   core.ScenarioID
+	}{
+		{"scenario-3", core.S3},
+		{"scenario-4", core.S4},
+		{"scenario-4-pipelined", core.S4Pipelined},
+	} {
+		des, err := runScenario(tc.id, implement.ThickMarker, seed)
+		if err != nil {
+			return err
+		}
+		scen, _ := core.ScenarioByID(tc.id)
+		plan, err := scen.Plan(f, f.DefaultW, f.DefaultH)
+		if err != nil {
+			return err
+		}
+		procs := make([]*sim.ConcurrentProc, plan.NumProcs())
+		for i := range procs {
+			procs[i] = &sim.ConcurrentProc{Name: fmt.Sprintf("P%d", i+1), Skill: 1}
+		}
+		conc, err := sim.RunConcurrent(sim.ConcurrentConfig{
+			Plan: plan, Procs: procs,
+			Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+			Scale: 2000, // 1 virtual second = 500µs wall: large enough to dominate sleep jitter
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			tc.name,
+			(des.Makespan - des.SetupTime).Round(time.Millisecond).String(),
+			conc.Virtual.Round(time.Second).String(),
+		})
+	}
+	return viz.Table(os.Stdout, []string{"scenario", "DES makespan", "goroutine makespan (virtual)"}, rows)
+}
+
+func e21ExtraImplements() error {
+	f := flagspec.Mauritius
+	scen, _ := core.ScenarioByID(core.S4)
+	var rows [][]string
+	for n := 1; n <= 4; n++ {
+		team, err := core.NewTeam(scen.Workers, seed)
+		if err != nil {
+			return err
+		}
+		res, err := core.Run(core.RunSpec{
+			Flag: f, Scenario: scen, Team: team,
+			Set: implement.NewSetN(implement.ThickMarker, f.Colors(), n),
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			res.Makespan.Round(time.Millisecond).String(),
+			res.TotalWaitImplement().Round(time.Millisecond).String(),
+		})
+	}
+	fmt.Println("scenario 4 with k implements per color:")
+	return viz.Table(os.Stdout, []string{"implements/color", "makespan", "total wait"}, rows)
+}
+
+func e22Scaling() error {
+	// Large flag, vertical slices, p = 1..16: Amdahl behavior from the
+	// serial setup plus switch overheads.
+	f := flagspec.Mauritius
+	const w, h = 64, 32
+	times := make([]time.Duration, 0, 16)
+	for p := 1; p <= 16; p++ {
+		plan, err := workplan.VerticalSlices(f, w, h, p, true)
+		if err != nil {
+			return err
+		}
+		team, err := core.NewTeam(p, seed)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(sim.Config{
+			Plan: plan, Procs: team,
+			Set:   implement.NewSetN(implement.ThickMarker, f.Colors(), p),
+			Setup: core.DefaultSetup,
+		})
+		if err != nil {
+			return err
+		}
+		times = append(times, res.Makespan)
+	}
+	if err := report.Speedups(os.Stdout, times); err != nil {
+		return err
+	}
+	// Fit Amdahl: serial fraction from p=16 point.
+	s16, err := metrics.Speedup(times[0], times[15])
+	if err != nil {
+		return err
+	}
+	kf, err := metrics.KarpFlatt(s16, 16)
+	if err != nil {
+		return err
+	}
+	pred, err := metrics.AmdahlSpeedup(kf, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nKarp–Flatt serial fraction at p=16: %.3f (Amdahl back-prediction %.2f vs measured %.2f)\n",
+		kf, pred, s16)
+	return nil
+}
+
+func e23Significance() error {
+	cohorts, err := quiz.GenerateStudy(quiz.PaperMatrices(), rng.New(seed))
+	if err != nil {
+		return err
+	}
+	rows, err := quiz.AnalyzeSignificance(cohorts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("per-site McNemar tests (the paper's planned statistical analysis):")
+	if err := report.QuizSignificance(os.Stdout, rows, 0.05); err != nil {
+		return err
+	}
+	// Pooled across the three sites: contention and pipelining gains
+	// reach significance at the combined scale.
+	fmt.Println("\npooled across sites:")
+	for _, concept := range quiz.Concepts() {
+		pooled, err := quiz.PooledConceptCohort(cohorts, concept)
+		if err != nil {
+			return err
+		}
+		res, err := stats.McNemar(pooled)
+		if err != nil {
+			return err
+		}
+		verdict := ""
+		if res.PValue <= 0.05 {
+			if res.Gained > res.Lost {
+				verdict = "  <- significant gain"
+			} else {
+				verdict = "  <- significant loss"
+			}
+		}
+		fmt.Printf("  %-20s gained %3d  lost %3d  p=%.4f%s\n",
+			concept, res.Gained, res.Lost, res.PValue, verdict)
+	}
+	return nil
+}
+
+func e24Comparisons() error {
+	cohorts, err := survey.GenerateStudy(survey.PaperTargets(), rng.New(seed))
+	if err != nil {
+		return err
+	}
+	for _, q := range []string{"increased-loops", "had-fun"} {
+		comps, err := survey.CompareAllPairs(cohorts, q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Mann–Whitney comparisons for %q:\n", q)
+		if err := report.SurveyComparisons(os.Stdout, comps, 0.05); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func e25Comments() error {
+	for _, inst := range survey.Institutions() {
+		cs, err := survey.GenerateComments(inst, survey.DefaultCohortSize(inst),
+			inst == survey.TNTech, rng.New(seed).SplitLabeled(string(inst)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s top themes:\n", inst)
+		for _, q := range []survey.OpenQuestion{survey.MostInteresting, survey.Improvements} {
+			tally := survey.TallyThemes(cs, q)
+			top := tally
+			if len(top) > 3 {
+				top = top[:3]
+			}
+			fmt.Printf("  %-17s", q.String()+":")
+			for _, row := range top {
+				fmt.Printf(" %s(%d)", row.ThemeID, row.Count)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func e26Complexity() error {
+	fmt.Println("connected painted regions per flag (visual complexity):")
+	var rows [][]string
+	for _, f := range flagspec.All() {
+		g, err := grid.RasterizeDefault(f)
+		if err != nil {
+			return err
+		}
+		largest := g.LargestRegion()
+		rows = append(rows, []string{
+			f.Name,
+			fmt.Sprintf("%d", g.RegionCount()),
+			fmt.Sprintf("%d", len(f.Layers)),
+			fmt.Sprintf("%s (%d cells)", largest.Color, largest.Size()),
+		})
+	}
+	return viz.Table(os.Stdout, []string{"flag", "regions", "layers", "largest region"}, rows)
+}
+
+func e27DataParallel() error {
+	// The NVIDIA video's lesson (§III-D): a CPU fires one paintball at a
+	// time; a GPU has one barrel per pixel and paints the Mona Lisa in
+	// one shot. Here: 1 processor vs one processor per cell, each with
+	// its own implement.
+	f := flagspec.Mauritius
+	w, h := f.DefaultW, f.DefaultH
+	cells := w * h
+
+	cpuPlan, err := workplan.Sequential(f, w, h)
+	if err != nil {
+		return err
+	}
+	cpuTeam, err := core.NewTeam(1, seed)
+	if err != nil {
+		return err
+	}
+	cpu, err := sim.Run(sim.Config{
+		Plan: cpuPlan, Procs: cpuTeam,
+		Set: implement.NewSet(implement.ThickMarker, f.Colors()),
+	})
+	if err != nil {
+		return err
+	}
+
+	gpuPlan, err := workplan.Cyclic(f, w, h, cells) // one cell per processor
+	if err != nil {
+		return err
+	}
+	gpuTeam, err := core.NewTeam(cells, seed)
+	if err != nil {
+		return err
+	}
+	gpu, err := sim.Run(sim.Config{
+		Plan: gpuPlan, Procs: gpuTeam,
+		Set: implement.NewSetN(implement.ThickMarker, f.Colors(), cells),
+	})
+	if err != nil {
+		return err
+	}
+	speedup, err := metrics.Speedup(cpu.Makespan, gpu.Makespan)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CPU  (1 barrel, %d shots):   %v\n", cells, cpu.Makespan.Round(time.Millisecond))
+	fmt.Printf("GPU  (%d barrels, 1 shot):  %v\n", cells, gpu.Makespan.Round(time.Millisecond))
+	fmt.Printf("speedup: %.0fx on %d cells — extreme data parallelism;\n", speedup, cells)
+	fmt.Println("the whole image completes in roughly one cell-time plus pickup.")
+	return nil
+}
+
+func e28Dynamic() error {
+	// Heterogeneous team: three average students and one much slower.
+	// Static equal-area slices are hostage to the slow student; dynamic
+	// self-scheduling (color affinity) adapts.
+	f := flagspec.Mauritius
+	skills := []float64{1.3, 1.3, 1.3, 0.5}
+	mkTeam := func() ([]*processor.Processor, error) {
+		out := make([]*processor.Processor, len(skills))
+		for i, s := range skills {
+			p := processor.DefaultProfile(fmt.Sprintf("P%d", i+1))
+			p.Skill = s
+			pr, err := processor.New(p, rng.New(seed).SplitLabeled(p.Name))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = pr
+		}
+		return out, nil
+	}
+
+	staticTeam, err := mkTeam()
+	if err != nil {
+		return err
+	}
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, true)
+	if err != nil {
+		return err
+	}
+	static, err := sim.Run(sim.Config{
+		Plan: plan, Procs: staticTeam,
+		Set: implement.NewSetN(implement.ThickMarker, f.Colors(), 2),
+	})
+	if err != nil {
+		return err
+	}
+
+	var rows [][]string
+	rows = append(rows, []string{"static slices", static.Makespan.Round(time.Millisecond).String(), cellsOf(static)})
+	for _, policy := range []sim.PullPolicy{sim.PullOrdered, sim.PullColorAffinity} {
+		dynTeam, err := mkTeam()
+		if err != nil {
+			return err
+		}
+		dyn, err := sim.RunDynamic(sim.DynamicConfig{
+			Flag: f, Procs: dynTeam,
+			Set:    implement.NewSetN(implement.ThickMarker, f.Colors(), 2),
+			Policy: policy,
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{"dynamic " + policy.String(),
+			dyn.Makespan.Round(time.Millisecond).String(), cellsOf(dyn)})
+	}
+	fmt.Println("team skills 1.3/1.3/1.3/0.5, two implements per color:")
+	return viz.Table(os.Stdout, []string{"scheduler", "makespan", "cells per student"}, rows)
+}
+
+func e29Study() error {
+	s, err := study.Run(study.DefaultDeployment())
+	if err != nil {
+		return err
+	}
+	sums, err := s.Summarize()
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, ps := range sums {
+		rows = append(rows, []string{
+			ps.Phase.Label(),
+			fmt.Sprintf("%d", ps.N),
+			fmt.Sprintf("%.0fs", ps.Median),
+			fmt.Sprintf("%.0fs-%.0fs", ps.Q1, ps.Q3),
+		})
+	}
+	fmt.Println("six-section deployment (29 teams total):")
+	if err := viz.Table(os.Stdout, []string{"phase", "teams", "median", "IQR"}, rows); err != nil {
+		return err
+	}
+	res, err := s.CompareScenarios(
+		study.ScenarioPhase(core.S3, false),
+		study.ScenarioPhase(core.S4, false),
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nscenario 3 vs 4 across the deployment: Mann–Whitney p = %.4f, effect = %.2f\n",
+		res.PValue, res.RankBiserial)
+	fmt.Println("the contention effect is statistically detectable once sections pool.")
+	return nil
+}
+
+func e30Serpentine() error {
+	// Traversal order changes performance on identical work — the
+	// unplugged analogue of memory access patterns. One student, default
+	// movement cost, reading order vs serpentine.
+	f := flagspec.Mauritius
+	var rows [][]string
+	for _, o := range []workplan.Ordering{workplan.ReadingOrder, workplan.Serpentine} {
+		plan, err := workplan.SequentialOrdered(f, f.DefaultW, f.DefaultH, o)
+		if err != nil {
+			return err
+		}
+		team, err := core.NewTeam(1, seed)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(sim.Config{
+			Plan: plan, Procs: team,
+			Set: implement.NewSet(implement.ThickMarker, f.Colors()),
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			o.String(),
+			fmt.Sprintf("%d", workplan.MovementCost(plan)),
+			res.Makespan.Round(time.Millisecond).String(),
+		})
+	}
+	fmt.Println("one student, 120ms movement per cell of Manhattan distance:")
+	if err := viz.Table(os.Stdout, []string{"ordering", "movement (cells)", "makespan"}, rows); err != nil {
+		return err
+	}
+	fmt.Println("\nsame cells, same colors — only the traversal changed. Access order")
+	fmt.Println("matters: the coloring analogue of cache-friendly loops.")
+	return nil
+}
+
+func e31Psychometrics() error {
+	// Survey reliability: Cronbach's alpha per category per institution.
+	cohorts, err := survey.GenerateStudy(survey.PaperTargets(), rng.New(seed))
+	if err != nil {
+		return err
+	}
+	fmt.Println("Cronbach's alpha by category (synthetic cohorts draw items")
+	fmt.Println("independently, so alphas are near zero — with real data this")
+	fmt.Println("table is the instrument's reliability check):")
+	var rows [][]string
+	for _, cat := range []survey.Category{survey.Engagement, survey.Understanding, survey.Instructor} {
+		alphas := survey.StudyAlphas(cohorts, cat)
+		row := []string{cat.String()}
+		for _, inst := range survey.Institutions() {
+			if a, ok := alphas[inst]; ok {
+				row = append(row, fmt.Sprintf("%.2f", a))
+			} else {
+				row = append(row, "NA")
+			}
+		}
+		rows = append(rows, row)
+	}
+	header := []string{"category"}
+	for _, inst := range survey.Institutions() {
+		header = append(header, string(inst))
+	}
+	if err := viz.Table(os.Stdout, header, rows); err != nil {
+		return err
+	}
+
+	// Quiz item analysis over all three sites' sheets.
+	qc, err := quiz.GenerateStudy(quiz.PaperMatrices(), rng.New(seed))
+	if err != nil {
+		return err
+	}
+	var sheets []quiz.AnswerSheet
+	for _, site := range quiz.Sites() {
+		s, err := quiz.GenerateAnswerSheets(qc[site], rng.New(seed).SplitLabeled(string(site)))
+		if err != nil {
+			return err
+		}
+		sheets = append(sheets, s...)
+	}
+	items, err := quiz.AnalyzeItems(sheets)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nquiz item analysis (pooled sites, post-test discrimination):")
+	var itemRows [][]string
+	for _, it := range items {
+		itemRows = append(itemRows, []string{
+			it.Concept.String(),
+			fmt.Sprintf("%.2f", it.PreDifficulty),
+			fmt.Sprintf("%.2f", it.PostDifficulty),
+			fmt.Sprintf("%.2f", it.Discrimination),
+		})
+	}
+	if err := viz.Table(os.Stdout, []string{"concept", "pre p-value", "post p-value", "discrimination D"}, itemRows); err != nil {
+		return err
+	}
+	fmt.Println("\npipelining is the hardest item both times — matching Fig. 8's")
+	fmt.Println("\"lowest initial understanding\" — and contention, the concept the")
+	fmt.Println("activity moves the most, discriminates strong from weak students best.")
+	return nil
+}
+
+func e32HoldPolicy() error {
+	// When should a student put the marker down? Scenario 4, one
+	// implement per color: releasing after every cell creates a lock
+	// convoy — the implement ping-pongs through the FIFO queue with a
+	// pickup+putdown round trip per cell.
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, n := range []int{1, 4} {
+		for _, h := range []sim.HoldPolicy{sim.GreedyHold, sim.EagerRelease} {
+			team, err := core.NewTeam(4, seed)
+			if err != nil {
+				return err
+			}
+			res, err := sim.Run(sim.Config{
+				Plan: plan, Procs: team,
+				Set:  implement.NewSetN(implement.ThickMarker, f.Colors(), n),
+				Hold: h,
+			})
+			if err != nil {
+				return err
+			}
+			handoffs := 0
+			for _, is := range res.Implements {
+				handoffs += is.Handoffs
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", n), h.String(),
+				res.Makespan.Round(time.Millisecond).String(),
+				res.TotalWaitImplement().Round(time.Second).String(),
+				fmt.Sprintf("%d", handoffs),
+			})
+		}
+	}
+	if err := viz.Table(os.Stdout, []string{"impl/color", "hold policy", "makespan", "total wait", "handoffs"}, rows); err != nil {
+		return err
+	}
+	fmt.Println("\nreleasing after every cell under contention is a lock convoy:")
+	fmt.Println("the holder re-queues behind three waiters for its own next cell.")
+	fmt.Println("Holding until the color changes (what students do) avoids it.")
+	return nil
+}
+
+func cellsOf(r *sim.Result) string {
+	parts := make([]string, len(r.Procs))
+	for i, p := range r.Procs {
+		parts[i] = fmt.Sprintf("%d", p.Cells)
+	}
+	return strings.Join(parts, "/")
+}
+
+// sortStrings is a tiny helper kept for deterministic debug output.
+var _ = sort.Strings

@@ -1,0 +1,88 @@
+// Command flagrender rasterizes a built-in flag and renders it as ASCII,
+// PPM, or SVG — the imagery of the paper's Figs. 1–4 handouts.
+//
+// Usage:
+//
+//	flagrender -flag canada -format svg -cell 24 > canada.svg
+//	flagrender -flag mauritius                       # ASCII to stdout
+//	flagrender -file myflag.json                     # custom JSON flag spec
+//	flagrender -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/grid"
+)
+
+func main() {
+	var (
+		name   = flag.String("flag", "mauritius", "flag name (see -list)")
+		file   = flag.String("file", "", "path to a JSON flag specification (overrides -flag)")
+		format = flag.String("format", "ascii", "output format: ascii, ppm, svg")
+		w      = flag.Int("w", 0, "grid width in cells (default: handout size)")
+		h      = flag.Int("h", 0, "grid height in cells (default: handout size)")
+		scale  = flag.Int("scale", 8, "pixels per cell for ppm")
+		cell   = flag.Int("cell", 24, "pixels per cell for svg")
+		list   = flag.Bool("list", false, "list available flags and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(flagspec.Names(), "\n"))
+		return
+	}
+	var f *flagspec.Flag
+	var err error
+	if *file != "" {
+		fh, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		f, err = flagspec.DecodeJSON(fh)
+		fh.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		f, err = flagspec.Lookup(*name)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	width, height := *w, *h
+	if width <= 0 {
+		width = f.DefaultW
+	}
+	if height <= 0 {
+		height = f.DefaultH
+	}
+	g, err := grid.Rasterize(f, width, height)
+	if err != nil {
+		fatal(err)
+	}
+	switch *format {
+	case "ascii":
+		fmt.Print(g.String())
+		fmt.Println(g.Legend())
+	case "ppm":
+		if err := g.WritePPM(os.Stdout, *scale); err != nil {
+			fatal(err)
+		}
+	case "svg":
+		if err := g.WriteSVG(os.Stdout, *cell); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q (ascii, ppm, svg)", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flagrender:", err)
+	os.Exit(1)
+}

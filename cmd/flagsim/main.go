@@ -1,0 +1,129 @@
+// Command flagsim runs one scenario of the unplugged activity on the
+// discrete-event simulator and prints the timing summary, optionally with
+// an ASCII Gantt chart of the schedule.
+//
+// Usage:
+//
+//	flagsim -scenario 4 -flag mauritius -kind thick-marker -gantt
+//	flagsim -scenario 4 -pipelined
+//	flagsim -scenario 1 -kind crayon -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/report"
+)
+
+func main() {
+	var (
+		flagName  = flag.String("flag", "mauritius", "flag to color")
+		scenario  = flag.Int("scenario", 1, "scenario number 1-4 (Fig. 1)")
+		pipelined = flag.Bool("pipelined", false, "use the pipelined variant of scenario 4")
+		kindName  = flag.String("kind", "thick-marker", "implement kind: dauber, thick-marker, thin-marker, crayon")
+		extra     = flag.Int("implements", 1, "implements per color")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		setup     = flag.Duration("setup", core.DefaultSetup, "serial setup time before coloring")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		svgGantt  = flag.String("svg-gantt", "", "write an SVG Gantt chart to this file")
+		slide     = flag.String("slide", "", "write the Fig. 1-style numbered scenario slide (SVG) to this file")
+		cols      = flag.Int("cols", 100, "gantt width in characters")
+	)
+	flag.Parse()
+
+	f, err := flagspec.Lookup(*flagName)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := implement.ParseKind(*kindName)
+	if err != nil {
+		fatal(err)
+	}
+	var id core.ScenarioID
+	switch {
+	case *scenario == 4 && *pipelined:
+		id = core.S4Pipelined
+	case *scenario >= 1 && *scenario <= 4:
+		id = core.ScenarioID(*scenario - 1)
+	default:
+		fatal(fmt.Errorf("scenario %d out of range 1-4", *scenario))
+	}
+	scen, err := core.ScenarioByID(id)
+	if err != nil {
+		fatal(err)
+	}
+	team, err := core.NewTeam(scen.Workers, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *extra < 1 {
+		fatal(fmt.Errorf("-implements must be >= 1"))
+	}
+	res, err := core.Run(core.RunSpec{
+		Flag:     f,
+		Scenario: scen,
+		Team:     team,
+		Set:      implement.NewSetN(kind, f.Colors(), *extra),
+		Setup:    *setup,
+		Trace:    *gantt || *svgGantt != "",
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %s\n", scen.ID, scen.Description)
+	title := fmt.Sprintf("flag=%s kind=%s implements=%d setup=%v",
+		f.Name, kind, *extra, setup.Round(time.Second))
+	if err := report.Scenario(os.Stdout, title, res); err != nil {
+		fatal(err)
+	}
+	if *gantt {
+		fmt.Println("\nschedule (R/B/Y/G/W/K=paint, ·=wait implement, ~=wait layer, ,=overhead):")
+		if err := report.Gantt(os.Stdout, res, *cols); err != nil {
+			fatal(err)
+		}
+	}
+	if *svgGantt != "" {
+		fh, err := os.Create(*svgGantt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.SVGGantt(fh, res, 900); err != nil {
+			fh.Close()
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgGantt)
+	}
+	if *slide != "" {
+		plan, err := scen.Plan(f, f.DefaultW, f.DefaultH)
+		if err != nil {
+			fatal(err)
+		}
+		fh, err := os.Create(*slide)
+		if err != nil {
+			fatal(err)
+		}
+		title := fmt.Sprintf("%s — %s", scen.ID, f.Name)
+		if err := report.SlideSVG(fh, title, plan, 34); err != nil {
+			fh.Close()
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *slide)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flagsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,187 @@
+package flagsim_test
+
+// Smoke tests for every cmd/ binary: build once, run with representative
+// flags, and assert on the output. These are the integration tests that
+// keep the CLIs honest — unit suites don't execute main().
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles all binaries into a shared temp dir once per test
+// process.
+var builtDir string
+
+func binaries() []string {
+	return []string{"flagsim", "flagrender", "classroom", "surveygen", "depcheck", "experiments", "animate", "study"}
+}
+
+func buildAll(t *testing.T) string {
+	t.Helper()
+	if builtDir != "" {
+		return builtDir
+	}
+	dir, err := os.MkdirTemp("", "flagsim-cmds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range binaries() {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "./cmd/"+name)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+	}
+	builtDir = dir
+	return dir
+}
+
+func runCmd(t *testing.T, name string, stdin string, args ...string) string {
+	t.Helper()
+	dir := buildAll(t)
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdFlagsimScenario4(t *testing.T) {
+	out := runCmd(t, "flagsim", "", "-scenario", "4", "-gantt")
+	for _, want := range []string{"scenario-4", "makespan", "contention", "P4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The gantt must show waits for scenario 4.
+	if !strings.Contains(out, "·") {
+		t.Fatal("gantt missing wait spans")
+	}
+}
+
+func TestCmdFlagsimSlideAndSVG(t *testing.T) {
+	dir := t.TempDir()
+	slide := filepath.Join(dir, "slide.svg")
+	gantt := filepath.Join(dir, "gantt.svg")
+	runCmd(t, "flagsim", "", "-scenario", "3", "-slide", slide, "-svg-gantt", gantt)
+	for _, path := range []string{slide, gantt} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Fatalf("%s is not SVG", path)
+		}
+	}
+}
+
+func TestCmdFlagrender(t *testing.T) {
+	out := runCmd(t, "flagrender", "", "-flag", "mauritius")
+	if !strings.Contains(out, "RRRRRRRRRRRR") {
+		t.Fatalf("ascii render wrong:\n%s", out)
+	}
+	svg := runCmd(t, "flagrender", "", "-flag", "jordan", "-format", "svg")
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("svg render wrong")
+	}
+	list := runCmd(t, "flagrender", "", "-list")
+	if !strings.Contains(list, "greatbritain") {
+		t.Fatal("list missing flags")
+	}
+}
+
+func TestCmdClassroom(t *testing.T) {
+	out := runCmd(t, "classroom", "", "-teams", "2", "-seed", "3")
+	for _, want := range []string{"Timing board", "Team 1", "Team 2", "Discussion lessons", "[speedup]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("classroom output missing %q", want)
+		}
+	}
+	sheet := runCmd(t, "classroom", "", "-runsheet")
+	if !strings.Contains(sheet, "RUN SHEET") || !strings.Contains(sheet, "dry-run") {
+		t.Fatal("run sheet incomplete")
+	}
+}
+
+func TestCmdSurveygen(t *testing.T) {
+	verify := runCmd(t, "surveygen", "", "-verify")
+	if !strings.Contains(verify, "match the paper's Tables I-III exactly") {
+		t.Fatalf("verify output: %s", verify)
+	}
+	sig := runCmd(t, "surveygen", "", "-significance")
+	if !strings.Contains(sig, "McNemar") || !strings.Contains(sig, "pipelining") {
+		t.Fatal("significance output incomplete")
+	}
+	comp := runCmd(t, "surveygen", "", "-compare", "increased-loops")
+	if !strings.Contains(comp, "Montclair") {
+		t.Fatal("compare output incomplete")
+	}
+}
+
+func TestCmdDepcheck(t *testing.T) {
+	ref := runCmd(t, "depcheck", "", "-reference")
+	if !strings.Contains(ref, "black-stripe") {
+		t.Fatal("reference JSON incomplete")
+	}
+	// Grading the reference through stdin: perfect.
+	grade := runCmd(t, "depcheck", ref)
+	if !strings.Contains(grade, "grade: perfect") {
+		t.Fatalf("grading the reference gave: %s", grade)
+	}
+	dot := runCmd(t, "depcheck", "", "-reference", "-dot")
+	if !strings.HasPrefix(dot, "digraph") {
+		t.Fatal("DOT output wrong")
+	}
+	analyzed := runCmd(t, "depcheck", ref, "-analyze")
+	if !strings.Contains(analyzed, "critical path") {
+		t.Fatal("analysis output incomplete")
+	}
+}
+
+func TestCmdExperimentsList(t *testing.T) {
+	out := runCmd(t, "experiments", "", "-list")
+	for _, want := range []string{"E1 ", "E11", "E18", "E29"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiment list missing %q", want)
+		}
+	}
+	// One cheap experiment end to end.
+	e17 := runCmd(t, "experiments", "", "-only", "E17")
+	if !strings.Contains(e17, "generated-from-spec matches reference: true") {
+		t.Fatalf("E17 output: %s", e17)
+	}
+}
+
+func TestCmdAnimate(t *testing.T) {
+	dir := t.TempDir()
+	gifPath := filepath.Join(dir, "s3.gif")
+	runCmd(t, "animate", "", "-scenario", "3", "-o", gifPath)
+	data, err := os.ReadFile(gifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "GIF89a") {
+		t.Fatal("not a GIF")
+	}
+	flip := runCmd(t, "animate", "", "-scenario", "1", "-flipbook")
+	if !strings.Contains(flip, "--- frame 0") {
+		t.Fatal("flipbook incomplete")
+	}
+}
+
+func TestCmdStudy(t *testing.T) {
+	out := runCmd(t, "study", "", "-sections", "2", "-teams", "2")
+	for _, want := range []string{"deployment: 2 sections", "scenario-1", "Mann–Whitney"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("study output missing %q:\n%s", want, out)
+		}
+	}
+}

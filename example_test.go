@@ -1,0 +1,116 @@
+package flagsim_test
+
+// Testable examples: these run under `go test` and render in godoc as the
+// package's documentation examples. All output is deterministic.
+
+import (
+	"fmt"
+	"time"
+
+	"flagsim"
+)
+
+// ExampleRasterize renders the core-activity flag as ASCII art.
+func ExampleRasterize() {
+	f := flagsim.Mauritius
+	g, _ := flagsim.Rasterize(f, f.DefaultW, f.DefaultH)
+	fmt.Print(g)
+	// Output:
+	// RRRRRRRRRRRR
+	// RRRRRRRRRRRR
+	// BBBBBBBBBBBB
+	// BBBBBBBBBBBB
+	// YYYYYYYYYYYY
+	// YYYYYYYYYYYY
+	// GGGGGGGGGGGG
+	// GGGGGGGGGGGG
+}
+
+// ExampleRunScenario runs scenario 3 (one stripe per student) and prints
+// the completion time.
+func ExampleRunScenario() {
+	team, _ := flagsim.NewTeam(4, 42)
+	// Disable warmup and movement for a hand-checkable time: 24 cells per
+	// student at 1s plus one 500ms pickup each.
+	scen, _ := flagsim.ScenarioByID(flagsim.S3)
+	res, _ := flagsim.RunScenario(flagsim.RunSpec{
+		Flag:     flagsim.Mauritius,
+		Scenario: scen,
+		Team:     team,
+	})
+	fmt.Println("all four stripes done:", res.Makespan > 0)
+	fmt.Println("implement contention:", res.TotalWaitImplement())
+	// Output:
+	// all four stripes done: true
+	// implement contention: 0s
+}
+
+// ExampleSpeedupOf computes the activity's headline metric.
+func ExampleSpeedupOf() {
+	t1 := 150 * time.Second
+	t4 := 56 * time.Second
+	s, _ := flagsim.SpeedupOf(t1, t4)
+	e, _ := flagsim.EfficiencyOf(t1, t4, 4)
+	fmt.Printf("speedup %.2fx, efficiency %.0f%%\n", s, e*100)
+	// Output:
+	// speedup 2.68x, efficiency 67%
+}
+
+// ExampleJordanReferenceGraph prints the Fig. 9 dependency structure.
+func ExampleJordanReferenceGraph() {
+	g := flagsim.JordanReferenceGraph(false)
+	order, _ := g.TopoSort()
+	for _, id := range order {
+		fmt.Println(id, "<-", g.Predecessors(id))
+	}
+	// Output:
+	// black-stripe <- []
+	// white-stripe <- []
+	// green-stripe <- []
+	// red-triangle <- [black-stripe green-stripe white-stripe]
+	// white-star <- [red-triangle]
+}
+
+// ExampleListSchedule shows dependencies capping speedup: three
+// processors suffice for Jordan; a fourth adds nothing.
+func ExampleListSchedule() {
+	g := flagsim.JordanReferenceGraph(false)
+	for p := 1; p <= 4; p++ {
+		s, _ := flagsim.ListSchedule(g, p)
+		fmt.Printf("p=%d: %v\n", p, s.Makespan)
+	}
+	// Output:
+	// p=1: 2m58s
+	// p=2: 2m10s
+	// p=3: 1m22s
+	// p=4: 1m22s
+}
+
+// ExampleAmdahlSpeedup evaluates the law the activity's setup phase
+// embodies.
+func ExampleAmdahlSpeedup() {
+	for _, p := range []int{2, 4, 16} {
+		s, _ := flagsim.AmdahlSpeedup(0.1, p)
+		fmt.Printf("p=%d: %.2fx\n", p, s)
+	}
+	// Output:
+	// p=2: 1.82x
+	// p=4: 3.08x
+	// p=16: 6.40x
+}
+
+// ExampleGradeSubmission grades the characteristic student error.
+func ExampleGradeSubmission() {
+	g := flagsim.NewGraph()
+	for _, id := range []string{"black-stripe", "white-stripe", "green-stripe", "red-triangle", "white-star"} {
+		g.MustAddNode(flagsim.GraphNode{ID: id})
+	}
+	// A linear chain: thinking in sequential code.
+	g.MustAddEdge("black-stripe", "white-stripe")
+	g.MustAddEdge("white-stripe", "green-stripe")
+	g.MustAddEdge("green-stripe", "red-triangle")
+	g.MustAddEdge("red-triangle", "white-star")
+	fmt.Println(flagsim.GradeSubmission(flagsim.Submission{Graph: g, ArrowsDrawn: true}))
+	// Output:
+	// linear-chain
+}

@@ -1,0 +1,78 @@
+// Customflag: define a new flag as a JSON specification at runtime (no
+// recompile), rasterize it, and color it with the dynamic self-scheduling
+// executor — the extension path for instructors who want their own flags,
+// as the paper notes "Other flags can also be used".
+//
+//	go run ./examples/customflag
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"flagsim"
+	"flagsim/internal/implement"
+	"flagsim/internal/processor"
+	"flagsim/internal/rng"
+	"flagsim/internal/sim"
+)
+
+// A fictional "workshop flag": white field, blue saltire, red disc —
+// three layers with real dependencies, defined entirely in JSON.
+const spec = `{
+  "name": "workshop",
+  "w": 16, "h": 10,
+  "layers": [
+    {"name": "field", "color": "white", "shape": {"type": "full"}},
+    {"name": "saltire", "color": "blue", "depends_on": ["field"],
+     "shape": {"type": "saltire", "half_width": 0.1}},
+    {"name": "disc", "color": "red", "depends_on": ["saltire"],
+     "shape": {"type": "disc", "cx": 0.5, "cy": 0.5, "r": 0.22}}
+  ]
+}`
+
+func main() {
+	f, err := flagsim.DecodeFlagJSON(strings.NewReader(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := flagsim.Rasterize(f, f.DefaultW, f.DefaultH)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the %q flag, defined in JSON:\n%s%s\n\n", f.Name, ref, ref.Legend())
+
+	// Color it with three self-scheduling students of mixed skill.
+	var team []*processor.Processor
+	for i, skill := range []float64{1.4, 1.0, 0.7} {
+		p := processor.DefaultProfile(fmt.Sprintf("P%d", i+1))
+		p.Skill = skill
+		pr, err := processor.New(p, rng.New(uint64(i+10)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		team = append(team, pr)
+	}
+	// One implement of each color per student: with fewer, the greedy
+	// holders starve the third student for whole layers (try it!).
+	res, err := flagsim.RunDynamic(sim.DynamicConfig{
+		Flag:   f,
+		Procs:  team,
+		Set:    implement.NewSetN(implement.ThickMarker, f.Colors(), len(team)),
+		Policy: flagsim.PullColorAffinity,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dynamic run: %v makespan, layer stalls %v\n",
+		res.Makespan.Round(time.Second), res.TotalWaitLayer().Round(time.Second))
+	for _, p := range res.Procs {
+		fmt.Printf("  %s (skill varies): %d cells, finished %v\n",
+			p.Name, p.Cells, p.Finish.Round(time.Second))
+	}
+	fmt.Println("\nThe saltire cannot start before the field, nor the disc before the")
+	fmt.Println("saltire — layer dependencies throttle parallelism on layered flags,")
+	fmt.Println("and the mixed-skill team still shares the work unevenly by ability.")
+}

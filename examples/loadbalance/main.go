@@ -1,0 +1,60 @@
+// Loadbalance: the Webster variation (§III-D). The simple French flag and
+// the intricate Canadian flag are each colored by one student and then by
+// three; the maple leaf concentrates work in the middle slice and caps the
+// Canadian speedup.
+//
+//	go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flagsim"
+)
+
+func colorWith(f *flagsim.Flag, workers int, seed uint64) time.Duration {
+	scen := flagsim.Scenario{ID: flagsim.S4, Workers: workers}
+	if workers == 1 {
+		var err error
+		scen, err = flagsim.ScenarioByID(flagsim.S1)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	team, err := flagsim.NewTeam(workers, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := flagsim.RunScenario(flagsim.RunSpec{
+		Flag: f, Scenario: scen, Team: team, Setup: 20 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Makespan
+}
+
+func main() {
+	for _, f := range []*flagsim.Flag{flagsim.France, flagsim.Canada} {
+		ref, err := flagsim.Rasterize(f, f.DefaultW, f.DefaultH)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%dx%d):\n%s", f.Name, f.DefaultW, f.DefaultH, ref)
+
+		t1 := colorWith(f, 1, 99)
+		t3 := colorWith(f, 3, 99)
+		s, err := flagsim.SpeedupOf(t1, t3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, _ := flagsim.EfficiencyOf(t1, t3, 3)
+		fmt.Printf("1 student: %v   3 students: %v   speedup %.2fx   efficiency %.0f%%\n\n",
+			t1.Round(time.Second), t3.Round(time.Second), s, e*100)
+	}
+	fmt.Println("The French flag splits into equal slices; Canada's middle slice")
+	fmt.Println("carries the leaf's extra paint layer, so its workers finish unevenly")
+	fmt.Println("and the speedup lags — the load-balancing lesson.")
+}

@@ -1,0 +1,62 @@
+// Quickstart: color the flag of Mauritius under the paper's four scenarios
+// and print the timing board a class would see, plus speedups.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flagsim"
+)
+
+func main() {
+	f := flagsim.Mauritius
+
+	// Show the workload: the handout grid the students color.
+	ref, err := flagsim.Rasterize(f, f.DefaultW, f.DefaultH)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("The flag of Mauritius as a paper grid:")
+	fmt.Print(ref)
+
+	// Run scenarios 1-4 (Fig. 1 of the paper). One team keeps its
+	// processors across runs, so warmup carries over just like a real
+	// table of students.
+	team, err := flagsim.NewTeam(4, 2025)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base time.Duration
+	for _, id := range []flagsim.ScenarioID{flagsim.S1, flagsim.S2, flagsim.S3, flagsim.S4} {
+		scen, err := flagsim.ScenarioByID(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := flagsim.RunScenario(flagsim.RunSpec{
+			Flag:     f,
+			Scenario: scen,
+			Team:     team[:scen.Workers],
+			Setup:    20 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if id == flagsim.S1 {
+			base = res.Makespan
+		}
+		speedup, err := flagsim.SpeedupOf(base, res.Makespan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %d workers  time %-9v speedup %.2fx (linear would be %d.00x)  implement-wait %v\n",
+			id, scen.Workers, res.Makespan.Round(time.Second), speedup,
+			scen.Workers, res.TotalWaitImplement().Round(time.Second))
+	}
+
+	fmt.Println("\nLessons: times fall as workers are added (speedup), but scenario 4")
+	fmt.Println("regresses despite equal workers — contention over the shared markers.")
+}

@@ -1,0 +1,70 @@
+// Realparallel: run the activity on the real-goroutine executor — actual
+// parallel workers sharing mutex-guarded implements and a mutex-guarded
+// grid — and check that the phenomena the discrete-event simulator
+// predicts (contention slows scenario 4; pipelining fixes it) emerge from
+// true parallelism too.
+//
+//	go run ./examples/realparallel
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flagsim"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/sim"
+	"flagsim/internal/workplan"
+)
+
+func runConcurrent(rotate bool) *sim.ConcurrentResult {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, rotate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs := make([]*sim.ConcurrentProc, 4)
+	for i := range procs {
+		procs[i] = &sim.ConcurrentProc{Name: fmt.Sprintf("P%d", i+1), Skill: 1}
+	}
+	res, err := sim.RunConcurrent(sim.ConcurrentConfig{
+		Plan:  plan,
+		Procs: procs,
+		Set:   flagsim.NewImplementSet(flagsim.ThickMarker, flagsim.Mauritius),
+		Scale: 2000, // 1 virtual second = 500µs of wall time
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("Four goroutines color vertical slices of Mauritius, sharing one")
+	fmt.Println("marker per color behind FIFO mutex pools (scale: 1s -> 500µs).")
+
+	naive := runConcurrent(false)
+	piped := runConcurrent(true)
+
+	want, err := flagsim.Rasterize(flagsim.Mauritius, flagsim.Mauritius.DefaultW, flagsim.Mauritius.DefaultH)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnaive order:     wall %-10v (virtual %v), image correct: %v\n",
+		naive.Wall.Round(time.Millisecond), naive.Virtual.Round(time.Second),
+		naive.Grid.Equal(want))
+	for i, w := range naive.Waits {
+		fmt.Printf("  P%d blocked %v of wall time\n", i+1, w.Round(time.Millisecond))
+	}
+	fmt.Printf("pipelined order: wall %-10v (virtual %v), image correct: %v\n",
+		piped.Wall.Round(time.Millisecond), piped.Virtual.Round(time.Second),
+		piped.Grid.Equal(want))
+
+	if piped.Wall < naive.Wall {
+		fmt.Println("\nReal goroutines agree with the DES: rotating the starting stripe")
+		fmt.Println("removes the serialized scramble for the red marker.")
+	} else {
+		fmt.Println("\n(On this run the OS scheduler hid the contention gap; re-run to see it.)")
+	}
+}

@@ -1,0 +1,125 @@
+package flagsim_test
+
+// Integration tests for the extension API: JSON flags, the Amdahl fit,
+// the significance analysis, cross-site comparisons, and the dynamic
+// executor — all through the public facade.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flagsim"
+	"flagsim/internal/implement"
+	"flagsim/internal/processor"
+	"flagsim/internal/rng"
+)
+
+func TestDecodeFlagJSONThroughAPI(t *testing.T) {
+	src := `{"name": "api-test", "w": 8, "h": 6, "layers": [
+		{"name": "top", "color": "white", "shape": {"type": "hstripe", "i": 0, "n": 2}},
+		{"name": "bottom", "color": "red", "shape": {"type": "hstripe", "i": 1, "n": 2}}
+	]}`
+	f, err := flagsim.DecodeFlagJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := flagsim.Rasterize(f, f.DefaultW, f.DefaultH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PaintedCells() != 48 {
+		t.Fatalf("painted %d cells", g.PaintedCells())
+	}
+	// The decoded flag runs through a scenario.
+	scen, _ := flagsim.ScenarioByID(flagsim.S1)
+	team, _ := flagsim.NewTeam(1, 3)
+	res, err := flagsim.RunScenario(flagsim.RunSpec{Flag: f, Scenario: scen, Team: team})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+}
+
+func TestFitAmdahlCurveThroughAPI(t *testing.T) {
+	times := make([]time.Duration, 8)
+	for i := range times {
+		p := float64(i + 1)
+		speedup := 1 / (0.1 + 0.9/p)
+		times[i] = time.Duration(float64(time.Hour) / speedup)
+	}
+	fit, err := flagsim.FitAmdahlCurve(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SerialFraction < 0.095 || fit.SerialFraction > 0.105 {
+		t.Fatalf("fitted %v, want ~0.1", fit.SerialFraction)
+	}
+	if fit.MaxSpeedup < 9.5 || fit.MaxSpeedup > 10.5 {
+		t.Fatalf("asymptote %v, want ~10", fit.MaxSpeedup)
+	}
+}
+
+func TestQuizSignificanceThroughAPI(t *testing.T) {
+	cohorts, err := flagsim.GenerateQuizStudy(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := flagsim.AnalyzeQuizSignificance(cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	someSignificant := false
+	for _, r := range rows {
+		if r.Significant(0.05) {
+			someSignificant = true
+		}
+	}
+	if !someSignificant {
+		t.Fatal("the calibrated cohorts contain significant cells (TNTech pipelining)")
+	}
+}
+
+func TestCompareSurveyQuestionThroughAPI(t *testing.T) {
+	cohorts, err := flagsim.GenerateSurveyStudy(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := flagsim.CompareSurveyQuestion(cohorts, "increased-loops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 15 {
+		t.Fatalf("%d comparisons", len(comps))
+	}
+}
+
+func TestRunDynamicThroughAPI(t *testing.T) {
+	f := flagsim.Mauritius
+	profile := processor.DefaultProfile("P")
+	team, err := processor.Team(3, profile, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := flagsim.RunDynamic(flagsim.DynamicConfig{
+		Flag:   f,
+		Procs:  team,
+		Set:    implement.NewSetN(implement.ThickMarker, f.Colors(), 3),
+		Policy: flagsim.PullColorAffinity,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := flagsim.Rasterize(f, f.DefaultW, f.DefaultH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Grid.Equal(want) {
+		t.Fatal("dynamic run through the API painted the wrong image")
+	}
+}

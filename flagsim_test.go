@@ -1,0 +1,192 @@
+package flagsim_test
+
+import (
+	"testing"
+	"time"
+
+	"flagsim"
+)
+
+// These are the public-API integration tests: every deliverable of the
+// reproduction exercised end to end through the root package, the way a
+// downstream user would.
+
+func TestQuickstartFlow(t *testing.T) {
+	f := flagsim.Mauritius
+	team, err := flagsim.NewTeam(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []time.Duration
+	for _, id := range []flagsim.ScenarioID{flagsim.S1, flagsim.S2, flagsim.S3} {
+		scen, err := flagsim.ScenarioByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := flagsim.RunScenario(flagsim.RunSpec{
+			Flag: f, Scenario: scen, Team: team[:scen.Workers],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, res.Makespan)
+	}
+	s2, err := flagsim.SpeedupOf(times[0], times[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := flagsim.SpeedupOf(times[0], times[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s3 > s2 && s2 > 1) {
+		t.Fatalf("speedups out of order: s2=%v s3=%v", s2, s3)
+	}
+}
+
+func TestFlagRegistryThroughAPI(t *testing.T) {
+	names := flagsim.FlagNames()
+	if len(names) < 9 {
+		t.Fatalf("only %d flags registered", len(names))
+	}
+	for _, name := range names {
+		f, err := flagsim.LookupFlag(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := flagsim.Rasterize(f, f.DefaultW, f.DefaultH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.PaintedCells() != f.DefaultW*f.DefaultH {
+			t.Fatalf("%s rasterizes incompletely", name)
+		}
+	}
+}
+
+func TestDecompositionsThroughAPI(t *testing.T) {
+	f := flagsim.GreatBritain
+	w, h := f.DefaultW, f.DefaultH
+	builders := map[string]func() (*flagsim.Plan, error){
+		"sequential":      func() (*flagsim.Plan, error) { return flagsim.Sequential(f, w, h) },
+		"layer-blocks":    func() (*flagsim.Plan, error) { return flagsim.LayerBlocks(f, w, h, 2) },
+		"vertical-slices": func() (*flagsim.Plan, error) { return flagsim.VerticalSlices(f, w, h, 4, false) },
+		"blocks":          func() (*flagsim.Plan, error) { return flagsim.Blocks(f, w, h, 4, 2, 2) },
+		"cyclic":          func() (*flagsim.Plan, error) { return flagsim.Cyclic(f, w, h, 4) },
+	}
+	for name, build := range builders {
+		plan, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := plan.Verify(f); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMetricsThroughAPI(t *testing.T) {
+	s, err := flagsim.AmdahlSpeedup(0.05, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 5 || s >= 8 {
+		t.Fatalf("amdahl %v", s)
+	}
+	kf, err := flagsim.KarpFlatt(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kf < 0.049 || kf > 0.051 {
+		t.Fatalf("karp-flatt %v", kf)
+	}
+}
+
+func TestDependencyGraphThroughAPI(t *testing.T) {
+	ref := flagsim.JordanReferenceGraph(false)
+	gen, err := flagsim.FlagGraph(flagsim.Jordan, flagsim.Jordan.DefaultW, flagsim.Jordan.DefaultH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gen.SameConstraints(ref) {
+		t.Fatal("spec-derived graph should match Fig. 9")
+	}
+	sched, err := flagsim.ListSchedule(ref, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(ref); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassroomThroughAPI(t *testing.T) {
+	sess, err := flagsim.RunClassroom(flagsim.ClassroomConfig{
+		Teams: 2, RepeatS1: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Lessons) < 2 {
+		t.Fatalf("only %d lessons extracted", len(sess.Lessons))
+	}
+}
+
+func TestAssessmentThroughAPI(t *testing.T) {
+	cohorts, err := flagsim.GenerateSurveyStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2, t3, err := flagsim.BuildSurveyTables(cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range []*flagsim.SurveyTable{t1, t2, t3} {
+		if len(table.Questions) == 0 {
+			t.Fatal("empty table")
+		}
+	}
+	qc, err := flagsim.GenerateQuizStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := flagsim.BuildFig8(qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("%d fig8 rows", len(rows))
+	}
+	subs := flagsim.GenerateSubmissionClass(1)
+	counts := flagsim.GradeSubmissionClass(subs)
+	if counts.Total() != 29 {
+		t.Fatalf("%d submissions", counts.Total())
+	}
+	if s := counts.AtLeastMostlyCorrectShare(); s < 58 || s > 60 {
+		t.Fatalf("at-least-mostly %.1f%%, want ~59%%", s)
+	}
+}
+
+func TestImplementKindsThroughAPI(t *testing.T) {
+	scen, _ := flagsim.ScenarioByID(flagsim.S1)
+	var prev time.Duration
+	for i, kind := range []flagsim.ImplementKind{
+		flagsim.Dauber, flagsim.ThickMarker, flagsim.ThinMarker, flagsim.Crayon,
+	} {
+		team, err := flagsim.NewTeam(1, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := flagsim.RunScenario(flagsim.RunSpec{
+			Flag: flagsim.Mauritius, Scenario: scen, Team: team,
+			Set: flagsim.NewImplementSet(kind, flagsim.Mauritius),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Makespan <= prev {
+			t.Fatalf("kind ordering violated at %v", kind)
+		}
+		prev = res.Makespan
+	}
+}

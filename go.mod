@@ -1,0 +1,3 @@
+module flagsim
+
+go 1.22

@@ -1,0 +1,238 @@
+// Package anim turns a traced simulation run into an animation of the
+// flag being colored — the software stand-in for the activity's
+// "custom-created animations to visualize schedules with different
+// numbers of processors" (§III-D, Suo 2025).
+//
+// Two outputs are supported, both stdlib-only:
+//
+//   - an animated GIF (image/gif) sampling the grid at a fixed virtual
+//     time step, and
+//   - an ASCII flipbook (one rendered grid per frame) for terminals and
+//     tests.
+//
+// Frames are reconstructed from the run's paint spans, so the animation
+// shows exactly what the simulator computed: the staircase of scenario 4's
+// pipeline fill is visible as columns lighting up one after another.
+package anim
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/gif"
+	"io"
+	"sort"
+	"time"
+
+	"flagsim/internal/geom"
+	"flagsim/internal/grid"
+	"flagsim/internal/palette"
+	"flagsim/internal/sim"
+)
+
+// Options control frame generation.
+type Options struct {
+	// Step is the virtual time between frames. Zero derives a step that
+	// yields ~40 frames.
+	Step time.Duration
+	// Scale is pixels per cell in GIF output (default 8).
+	Scale int
+	// DelayCS is the GIF per-frame delay in centiseconds (default 8).
+	DelayCS int
+	// HoldLastCS is the extra delay on the final frame (default 150).
+	HoldLastCS int
+}
+
+func (o Options) withDefaults(makespan time.Duration) Options {
+	if o.Step <= 0 {
+		o.Step = makespan / 40
+		if o.Step <= 0 {
+			o.Step = time.Second
+		}
+	}
+	if o.Scale <= 0 {
+		o.Scale = 8
+	}
+	if o.DelayCS <= 0 {
+		o.DelayCS = 8
+	}
+	if o.HoldLastCS <= 0 {
+		o.HoldLastCS = 150
+	}
+	return o
+}
+
+// paintEvent is one cell completion in time order.
+type paintEvent struct {
+	at    time.Duration
+	cell  int // y*w + x
+	color palette.Color
+}
+
+// events extracts the paint completions from a traced run, time-ordered.
+func events(res *sim.Result) ([]paintEvent, error) {
+	if res.Trace == nil {
+		return nil, fmt.Errorf("anim: run has no trace; set Config.Trace")
+	}
+	w := res.Plan.W
+	var out []paintEvent
+	for _, sp := range res.Trace {
+		if sp.Kind != sim.SpanPaint {
+			continue
+		}
+		out = append(out, paintEvent{
+			at:    sp.End,
+			cell:  sp.Cell.Y*w + sp.Cell.X,
+			color: sp.Color,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("anim: trace has no paint spans")
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].at < out[j].at })
+	return out, nil
+}
+
+// Frames reconstructs the grid at each time step. The first frame is the
+// blank grid at t=0; the last frame is at the makespan (complete image).
+func Frames(res *sim.Result, step time.Duration) ([]*grid.Grid, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("anim: non-positive step %v", step)
+	}
+	evs, err := events(res)
+	if err != nil {
+		return nil, err
+	}
+	g := grid.New(res.Plan.W, res.Plan.H)
+	var frames []*grid.Grid
+	next := 0
+	for t := time.Duration(0); ; t += step {
+		for next < len(evs) && evs[next].at <= t {
+			e := evs[next]
+			if err := g.Paint(cellPt(e.cell, res.Plan.W), e.color); err != nil {
+				return nil, err
+			}
+			next++
+		}
+		frames = append(frames, g.Clone())
+		if t >= res.Makespan {
+			break
+		}
+	}
+	// Ensure the final frame is complete even if rounding stopped early.
+	for next < len(evs) {
+		e := evs[next]
+		if err := g.Paint(cellPt(e.cell, res.Plan.W), e.color); err != nil {
+			return nil, err
+		}
+		next++
+	}
+	if !frames[len(frames)-1].Equal(g) {
+		frames = append(frames, g.Clone())
+	}
+	return frames, nil
+}
+
+func cellPt(idx, w int) geom.Pt {
+	return geom.Pt{X: idx % w, Y: idx / w}
+}
+
+// WriteGIF renders the animation as an animated GIF.
+func WriteGIF(w io.Writer, res *sim.Result, opts Options) error {
+	opts = opts.withDefaults(res.Makespan)
+	frames, err := Frames(res, opts.Step)
+	if err != nil {
+		return err
+	}
+	pal := gifPalette()
+	var g gif.GIF
+	for i, frame := range frames {
+		img := frameImage(frame, opts.Scale, pal)
+		delay := opts.DelayCS
+		if i == len(frames)-1 {
+			delay = opts.HoldLastCS
+		}
+		g.Image = append(g.Image, img)
+		g.Delay = append(g.Delay, delay)
+	}
+	g.LoopCount = 0 // loop forever
+	return gif.EncodeAll(w, &g)
+}
+
+// gifPalette maps the activity's colors (plus blank) to a GIF palette.
+func gifPalette() color.Palette {
+	pal := color.Palette{color.RGBA{0xee, 0xee, 0xee, 0xff}} // None
+	for _, c := range palette.All() {
+		r, g, b := c.RGB()
+		pal = append(pal, color.RGBA{r, g, b, 0xff})
+	}
+	// Gridline color.
+	pal = append(pal, color.RGBA{0x88, 0x88, 0x88, 0xff})
+	return pal
+}
+
+// paletteIndex maps a cell color to its gifPalette index.
+func paletteIndex(c palette.Color) uint8 {
+	if c == palette.None {
+		return 0
+	}
+	for i, pc := range palette.All() {
+		if pc == c {
+			return uint8(i + 1)
+		}
+	}
+	return 0
+}
+
+// frameImage rasterizes one grid into a paletted image with 1px
+// gridlines, matching the handout look.
+func frameImage(g *grid.Grid, scale int, pal color.Palette) *image.Paletted {
+	w, h := g.W()*scale+1, g.H()*scale+1
+	img := image.NewPaletted(image.Rect(0, 0, w, h), pal)
+	gridline := uint8(len(pal) - 1)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x%scale == 0 || y%scale == 0 {
+				img.SetColorIndex(x, y, gridline)
+				continue
+			}
+			c := g.At(geom.Pt{X: x / scale, Y: y / scale})
+			img.SetColorIndex(x, y, paletteIndex(c))
+		}
+	}
+	return img
+}
+
+// Flipbook writes the animation as ASCII frames separated by a frame
+// header — terminal-friendly and directly assertable in tests.
+func Flipbook(w io.Writer, res *sim.Result, step time.Duration) error {
+	frames, err := Frames(res, step)
+	if err != nil {
+		return err
+	}
+	for i, frame := range frames {
+		t := time.Duration(i) * step
+		if t > res.Makespan {
+			t = res.Makespan
+		}
+		if _, err := fmt.Fprintf(w, "--- frame %d (t=%v, %d/%d cells) ---\n%s",
+			i, t.Round(time.Second), frame.PaintedCells(), frame.W()*frame.H(), frame.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Progress returns the painted-cell count at each step — the burn-up
+// curve of the run, used by tests and quick textual summaries.
+func Progress(res *sim.Result, step time.Duration) ([]int, error) {
+	frames, err := Frames(res, step)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(frames))
+	for i, f := range frames {
+		out[i] = f.PaintedCells()
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package anim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+	"flagsim/internal/sim"
+)
+
+func tracedRun(t *testing.T, id core.ScenarioID) *sim.Result {
+	t.Helper()
+	scen, err := core.ScenarioByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := core.NewTeam(scen.Workers, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.RunSpec{
+		Flag:     flagspec.Mauritius,
+		Scenario: scen,
+		Team:     team,
+		Set:      implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors()),
+		Trace:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFramesStartBlankEndComplete(t *testing.T) {
+	res := tracedRun(t, core.S3)
+	frames, err := Frames(res, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 3 {
+		t.Fatalf("only %d frames", len(frames))
+	}
+	if frames[0].PaintedCells() != 0 {
+		t.Fatalf("first frame has %d painted cells, want 0", frames[0].PaintedCells())
+	}
+	want, err := grid.RasterizeDefault(flagspec.Mauritius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frames[len(frames)-1].Equal(want) {
+		t.Fatal("final frame is not the completed flag")
+	}
+}
+
+func TestProgressMonotone(t *testing.T) {
+	res := tracedRun(t, core.S4)
+	progress, err := Progress(res, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(progress); i++ {
+		if progress[i] < progress[i-1] {
+			t.Fatalf("progress regressed at frame %d: %v", i, progress)
+		}
+	}
+	if progress[len(progress)-1] != 96 {
+		t.Fatalf("final progress %d, want 96", progress[len(progress)-1])
+	}
+}
+
+func TestPipelineFillVisibleInProgress(t *testing.T) {
+	// In scenario 4 the first quarter of the run paints more slowly
+	// (contention at the start) than a contention-free scenario 3 run of
+	// equal elapsed fraction.
+	s3 := tracedRun(t, core.S3)
+	s4 := tracedRun(t, core.S4)
+	p3, err := Progress(s3, s3.Makespan/10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := Progress(s4, s4.Makespan/10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the second sample (one-tenth of the way through each run):
+	// relative progress in S4 should lag S3's.
+	r3 := float64(p3[2]) / 96
+	r4 := float64(p4[2]) / 96
+	if r4 >= r3 {
+		t.Fatalf("s4 early progress %.2f should lag s3's %.2f (pipeline fill)", r4, r3)
+	}
+}
+
+func TestWriteGIF(t *testing.T) {
+	res := tracedRun(t, core.S3)
+	var buf bytes.Buffer
+	if err := WriteGIF(&buf, res, Options{Step: 10 * time.Second, Scale: 4}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if !bytes.HasPrefix(data, []byte("GIF89a")) {
+		t.Fatalf("not a GIF: %q", data[:6])
+	}
+	if len(data) < 500 {
+		t.Fatalf("implausibly small GIF: %d bytes", len(data))
+	}
+}
+
+func TestFlipbook(t *testing.T) {
+	res := tracedRun(t, core.S3)
+	var buf bytes.Buffer
+	if err := Flipbook(&buf, res, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "--- frame 0 (t=0s, 0/96 cells) ---") {
+		t.Fatalf("missing first frame header:\n%s", out[:200])
+	}
+	if !strings.Contains(out, "96/96 cells") {
+		t.Fatal("missing complete final frame")
+	}
+	if !strings.Contains(out, "RRRRRRRRRRRR") {
+		t.Fatal("frames do not render the grid")
+	}
+}
+
+func TestRequiresTrace(t *testing.T) {
+	res := tracedRun(t, core.S1)
+	res.Trace = nil
+	if _, err := Frames(res, time.Second); err == nil {
+		t.Fatal("untraced run should error")
+	}
+	if _, err := Frames(tracedRun(t, core.S1), 0); err == nil {
+		t.Fatal("zero step should error")
+	}
+}

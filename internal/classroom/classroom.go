@@ -1,0 +1,310 @@
+// Package classroom orchestrates a full class session of the activity:
+// teams formed from the roster, the scenario sequence (optionally
+// repeating scenario 1, as §III-A suggests), per-team implement kinds
+// (the paper recommends handing out a variety — §IV), the public timing
+// board, and the closing discussion's lessons.
+package classroom
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/processor"
+	"flagsim/internal/rng"
+	"flagsim/internal/sim"
+)
+
+// Team is one table of students.
+type Team struct {
+	// Name labels the team on the board ("Team 1").
+	Name string
+	// Kind is the implement technology the team was handed; the paper
+	// recommends varying this across teams to teach the technology
+	// lesson.
+	Kind implement.Kind
+	// Members are the coloring students. Teams of 5–6 in the paper; only
+	// the scenario's worker count color at a time (the rest time and
+	// watch), so Members must have at least 4 students.
+	Members []*processor.Processor
+}
+
+// Phase identifies one timed run in the session sequence.
+type Phase struct {
+	Scenario core.ScenarioID
+	// Repeat marks the second run of scenario 1.
+	Repeat bool
+}
+
+// Label formats the phase for the board.
+func (p Phase) Label() string {
+	if p.Repeat {
+		return p.Scenario.String() + " (repeat)"
+	}
+	return p.Scenario.String()
+}
+
+// Config describes a session.
+type Config struct {
+	// Flag is the workload; nil means Mauritius, the core activity flag.
+	Flag *flagspec.Flag
+	// W, H override the handout size when positive.
+	W, H int
+	// Teams is the number of tables. Implement kinds rotate through the
+	// available kinds team by team.
+	Teams int
+	// RepeatS1 runs scenario 1 twice (the warmup discussion).
+	RepeatS1 bool
+	// IncludePipelined appends the pipelined scenario-4 variant.
+	IncludePipelined bool
+	// Setup is the per-scenario serial organization time.
+	Setup time.Duration
+	// Seed drives all stochastic behavior.
+	Seed uint64
+	// JitterSigma adds per-cell lognormal noise so teams differ; zero
+	// keeps every team identical except for implements.
+	JitterSigma float64
+}
+
+// BoardEntry is one cell of the public timing board.
+type BoardEntry struct {
+	Team  string
+	Phase Phase
+	Time  time.Duration
+	// Result retains the full run for lesson extraction.
+	Result *sim.Result
+}
+
+// Session is a completed class session.
+type Session struct {
+	Flag   *flagspec.Flag
+	Teams  []*Team
+	Phases []Phase
+	Board  []BoardEntry
+	// Lessons are the §III-C discussion points computed from the board.
+	Lessons []core.Lesson
+}
+
+// Run simulates the whole session.
+func Run(cfg Config) (*Session, error) {
+	f := cfg.Flag
+	if f == nil {
+		f = flagspec.Mauritius
+	}
+	if cfg.Teams <= 0 {
+		return nil, fmt.Errorf("classroom: %d teams", cfg.Teams)
+	}
+	if cfg.Setup < 0 {
+		return nil, fmt.Errorf("classroom: negative setup")
+	}
+	setup := cfg.Setup
+	if setup == 0 {
+		setup = core.DefaultSetup
+	}
+	master := rng.New(cfg.Seed)
+	kinds := implement.Kinds()
+
+	// Build teams: 4 colorers each (scenario maximum), rotating implement
+	// kinds.
+	sess := &Session{Flag: f}
+	for t := 0; t < cfg.Teams; t++ {
+		profile := processor.DefaultProfile("P")
+		profile.JitterSigma = cfg.JitterSigma
+		members, err := processor.Team(4, profile, master.SplitLabeled(fmt.Sprintf("team-%d", t)))
+		if err != nil {
+			return nil, err
+		}
+		sess.Teams = append(sess.Teams, &Team{
+			Name:    fmt.Sprintf("Team %d", t+1),
+			Kind:    kinds[t%len(kinds)],
+			Members: members,
+		})
+	}
+
+	// Phase sequence.
+	sess.Phases = []Phase{{Scenario: core.S1}}
+	if cfg.RepeatS1 {
+		sess.Phases = append(sess.Phases, Phase{Scenario: core.S1, Repeat: true})
+	}
+	sess.Phases = append(sess.Phases,
+		Phase{Scenario: core.S2},
+		Phase{Scenario: core.S3},
+		Phase{Scenario: core.S4},
+	)
+	if cfg.IncludePipelined {
+		sess.Phases = append(sess.Phases, Phase{Scenario: core.S4Pipelined})
+	}
+
+	// Run every phase for every team. Teams keep their processors (and
+	// therefore their warmup state) across phases, exactly like students
+	// staying at their table.
+	for _, phase := range sess.Phases {
+		scen, err := core.ScenarioByID(phase.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		for _, team := range sess.Teams {
+			set := implement.NewSet(team.Kind, f.Colors())
+			res, err := core.Run(core.RunSpec{
+				Flag:     f,
+				W:        cfg.W,
+				H:        cfg.H,
+				Scenario: scen,
+				Team:     team.Members[:scen.Workers],
+				Set:      set,
+				Setup:    setup,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("classroom: %s %s: %w", team.Name, phase.Label(), err)
+			}
+			sess.Board = append(sess.Board, BoardEntry{
+				Team: team.Name, Phase: phase, Time: res.Makespan, Result: res,
+			})
+		}
+	}
+
+	if err := sess.extractLessons(); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// entry finds the board entry for (team, scenario, repeat).
+func (s *Session) entry(team string, id core.ScenarioID, repeat bool) *BoardEntry {
+	for i := range s.Board {
+		e := &s.Board[i]
+		if e.Team == team && e.Phase.Scenario == id && e.Phase.Repeat == repeat {
+			return e
+		}
+	}
+	return nil
+}
+
+// TeamTimes returns the phase times of one team, in phase order.
+func (s *Session) TeamTimes(team string) []time.Duration {
+	var out []time.Duration
+	for _, p := range s.Phases {
+		if e := s.entry(team, p.Scenario, p.Repeat); e != nil {
+			out = append(out, e.Time)
+		}
+	}
+	return out
+}
+
+// MedianPhaseTime returns the class median completion time for a phase.
+func (s *Session) MedianPhaseTime(p Phase) (time.Duration, error) {
+	var times []time.Duration
+	for _, e := range s.Board {
+		if e.Phase == p {
+			times = append(times, e.Time)
+		}
+	}
+	if len(times) == 0 {
+		return 0, fmt.Errorf("classroom: no entries for %s", p.Label())
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	n := len(times)
+	if n%2 == 1 {
+		return times[n/2], nil
+	}
+	return (times[n/2-1] + times[n/2]) / 2, nil
+}
+
+// extractLessons computes the discussion lessons from the board, using the
+// first team as the reference line for scenario-to-scenario comparisons
+// and the cross-team board for the technology lesson.
+func (s *Session) extractLessons() error {
+	ref := s.Teams[0].Name
+	base := s.entry(ref, core.S1, false)
+	if base == nil {
+		return fmt.Errorf("classroom: missing scenario-1 baseline")
+	}
+	baseline := base.Result
+	if second := s.entry(ref, core.S1, true); second != nil {
+		lesson, err := core.WarmupLesson(base.Result, second.Result)
+		if err != nil {
+			return err
+		}
+		s.Lessons = append(s.Lessons, lesson)
+		baseline = second.Result
+	}
+
+	runs := map[core.ScenarioID]*sim.Result{}
+	for _, id := range []core.ScenarioID{core.S2, core.S3, core.S4} {
+		if e := s.entry(ref, id, false); e != nil {
+			runs[id] = e.Result
+		}
+	}
+	lesson, err := core.SpeedupLesson(baseline, runs)
+	if err != nil {
+		return err
+	}
+	s.Lessons = append(s.Lessons, lesson)
+
+	if s3, s4 := s.entry(ref, core.S3, false), s.entry(ref, core.S4, false); s3 != nil && s4 != nil {
+		lesson, err := core.ContentionLesson(s3.Result, s4.Result)
+		if err != nil {
+			return err
+		}
+		s.Lessons = append(s.Lessons, lesson)
+	}
+	if s4, s4p := s.entry(ref, core.S4, false), s.entry(ref, core.S4Pipelined, false); s4 != nil && s4p != nil {
+		lesson, err := core.PipeliningLesson(s4.Result, s4p.Result)
+		if err != nil {
+			return err
+		}
+		s.Lessons = append(s.Lessons, lesson)
+	}
+
+	// Technology lesson across teams with different kinds, compared on
+	// the scenario-1 first run.
+	byKind := map[string]*sim.Result{}
+	for _, team := range s.Teams {
+		if e := s.entry(team.Name, core.S1, false); e != nil {
+			if _, seen := byKind[team.Kind.String()]; !seen {
+				byKind[team.Kind.String()] = e.Result
+			}
+		}
+	}
+	if len(byKind) >= 2 {
+		lesson, err := core.TechnologyLesson(byKind)
+		if err != nil {
+			return err
+		}
+		s.Lessons = append(s.Lessons, lesson)
+	}
+	return nil
+}
+
+// WebsterVariation runs the §III-D variation: a flag colored by one
+// student and then by three students splitting the task, returning
+// (t1, t3). The same team is reused so warmup carries over, matching the
+// classroom sequence.
+func WebsterVariation(f *flagspec.Flag, seed uint64) (t1, t3 time.Duration, err error) {
+	team, err := core.NewTeam(3, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	scen1, _ := core.ScenarioByID(core.S1)
+	res1, err := core.Run(core.RunSpec{
+		Flag: f, Scenario: scen1, Team: team[:1],
+		Set: implement.NewSet(implement.ThickMarker, f.Colors()), Setup: core.DefaultSetup,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	// Three students split the work as vertical slices (the natural
+	// split for both France and Canada).
+	scen3 := core.Scenario{ID: core.S4, Workers: 3}
+	res3, err := core.Run(core.RunSpec{
+		Flag: f, Scenario: scen3, Team: team,
+		Set: implement.NewSet(implement.ThickMarker, f.Colors()), Setup: core.DefaultSetup,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res1.Makespan, res3.Makespan, nil
+}

@@ -1,0 +1,189 @@
+package classroom
+
+import (
+	"testing"
+	"time"
+
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+)
+
+func session(t *testing.T, cfg Config) *Session {
+	t.Helper()
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionBoardShape(t *testing.T) {
+	s := session(t, Config{Teams: 3, RepeatS1: true, IncludePipelined: true, Seed: 1})
+	// Phases: S1, S1-repeat, S2, S3, S4, S4-pipelined = 6.
+	if len(s.Phases) != 6 {
+		t.Fatalf("%d phases", len(s.Phases))
+	}
+	if len(s.Board) != 6*3 {
+		t.Fatalf("%d board entries, want 18", len(s.Board))
+	}
+	for _, e := range s.Board {
+		if e.Time <= 0 || e.Result == nil {
+			t.Fatalf("bad board entry %+v", e)
+		}
+	}
+}
+
+func TestSessionWithoutOptions(t *testing.T) {
+	s := session(t, Config{Teams: 2, Seed: 2})
+	if len(s.Phases) != 4 {
+		t.Fatalf("%d phases, want the 4 core scenarios", len(s.Phases))
+	}
+}
+
+func TestSessionRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Teams: 0}); err == nil {
+		t.Fatal("zero teams should error")
+	}
+	if _, err := Run(Config{Teams: 1, Setup: -time.Second}); err == nil {
+		t.Fatal("negative setup should error")
+	}
+}
+
+func TestTimesDecreaseAcrossCoreScenarios(t *testing.T) {
+	s := session(t, Config{Teams: 2, Seed: 3})
+	for _, team := range s.Teams {
+		times := s.TeamTimes(team.Name)
+		if len(times) != 4 {
+			t.Fatalf("%s has %d times", team.Name, len(times))
+		}
+		// t1 > t2 > t3; t4 > t3 (contention).
+		if !(times[0] > times[1] && times[1] > times[2]) {
+			t.Fatalf("%s times not decreasing: %v", team.Name, times)
+		}
+		if times[3] <= times[2] {
+			t.Fatalf("%s scenario 4 (%v) should exceed scenario 3 (%v)", team.Name, times[3], times[2])
+		}
+	}
+}
+
+func TestWarmupVisibleOnRepeat(t *testing.T) {
+	s := session(t, Config{Teams: 1, RepeatS1: true, Seed: 4})
+	first := s.entry("Team 1", core.S1, false)
+	second := s.entry("Team 1", core.S1, true)
+	if first == nil || second == nil {
+		t.Fatal("missing S1 entries")
+	}
+	if second.Time >= first.Time {
+		t.Fatalf("repeat (%v) should beat first run (%v)", second.Time, first.Time)
+	}
+}
+
+func TestImplementKindsRotateAcrossTeams(t *testing.T) {
+	s := session(t, Config{Teams: 5, Seed: 5})
+	if s.Teams[0].Kind == s.Teams[1].Kind {
+		t.Fatal("adjacent teams should differ in implement kind")
+	}
+	if s.Teams[0].Kind != s.Teams[4].Kind {
+		t.Fatal("kinds should rotate with period 4")
+	}
+	// Dauber team beats crayon team on the same scenario.
+	var dauber, crayon time.Duration
+	for _, team := range s.Teams {
+		e := s.entry(team.Name, core.S1, false)
+		switch team.Kind.String() {
+		case "dauber":
+			dauber = e.Time
+		case "crayon":
+			crayon = e.Time
+		}
+	}
+	if dauber == 0 || crayon == 0 {
+		t.Fatal("missing kinds in rotation")
+	}
+	if dauber >= crayon {
+		t.Fatalf("dauber team (%v) should beat crayon team (%v)", dauber, crayon)
+	}
+}
+
+func TestLessonsExtracted(t *testing.T) {
+	s := session(t, Config{Teams: 4, RepeatS1: true, IncludePipelined: true, Seed: 6})
+	want := map[string]bool{
+		"warmup": false, "speedup": false, "contention": false,
+		"pipelining": false, "technology": false,
+	}
+	for _, l := range s.Lessons {
+		if _, ok := want[l.Name]; ok {
+			want[l.Name] = true
+		}
+		if l.Headline == "" {
+			t.Fatalf("lesson %s has no headline", l.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("lesson %s missing (got %d lessons)", name, len(s.Lessons))
+		}
+	}
+}
+
+func TestMedianPhaseTime(t *testing.T) {
+	s := session(t, Config{Teams: 3, Seed: 7, JitterSigma: 0.1})
+	m, err := s.MedianPhaseTime(Phase{Scenario: core.S1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m <= 0 {
+		t.Fatalf("median %v", m)
+	}
+	if _, err := s.MedianPhaseTime(Phase{Scenario: core.S4Pipelined}); err == nil {
+		t.Fatal("missing phase should error")
+	}
+}
+
+func TestSessionDeterministicBySeed(t *testing.T) {
+	a := session(t, Config{Teams: 2, Seed: 8, JitterSigma: 0.2})
+	b := session(t, Config{Teams: 2, Seed: 8, JitterSigma: 0.2})
+	for i := range a.Board {
+		if a.Board[i].Time != b.Board[i].Time {
+			t.Fatalf("entry %d differs: %v vs %v", i, a.Board[i].Time, b.Board[i].Time)
+		}
+	}
+	c := session(t, Config{Teams: 2, Seed: 9, JitterSigma: 0.2})
+	same := true
+	for i := range a.Board {
+		if a.Board[i].Time != c.Board[i].Time {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical sessions despite jitter")
+	}
+}
+
+func TestWebsterVariationLoadBalancing(t *testing.T) {
+	f1, f3, err := WebsterVariation(flagspec.France, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c3, err := WebsterVariation(flagspec.Canada, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFrance := float64(f1) / float64(f3)
+	sCanada := float64(c1) / float64(c3)
+	if sFrance <= 1 || sCanada <= 1 {
+		t.Fatalf("speedups must exceed 1: france %v canada %v", sFrance, sCanada)
+	}
+	// The paper's observation: the simpler French flag saw greater
+	// efficiency gains than the intricate Canadian flag.
+	if sFrance <= sCanada {
+		t.Fatalf("france speedup (%v) should exceed canada's (%v)", sFrance, sCanada)
+	}
+}
+
+func TestCustomFlagSession(t *testing.T) {
+	s := session(t, Config{Flag: flagspec.Germany, Teams: 1, Seed: 11})
+	if s.Flag != flagspec.Germany {
+		t.Fatal("session ignored the configured flag")
+	}
+}

@@ -1,0 +1,120 @@
+package classroom
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Export formats for a completed session: CSV (the timing board, one row
+// per team, for spreadsheet analysis across class sections) and JSON (the
+// full record including per-run statistics and extracted lessons — the
+// raw material for the paper's planned cross-semester statistical
+// analysis).
+
+// WriteBoardCSV writes the timing board: header row of phases, one row per
+// team with completion seconds.
+func (s *Session) WriteBoardCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"team", "implements"}
+	for _, p := range s.Phases {
+		header = append(header, p.Label())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, team := range s.Teams {
+		row := []string{team.Name, team.Kind.String()}
+		for _, d := range s.TeamTimes(team.Name) {
+			row = append(row, strconv.FormatFloat(d.Seconds(), 'f', 3, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonSession is the JSON wire form of a session.
+type jsonSession struct {
+	Flag    string       `json:"flag"`
+	Teams   []jsonTeam   `json:"teams"`
+	Phases  []string     `json:"phases"`
+	Entries []jsonEntry  `json:"entries"`
+	Lessons []jsonLesson `json:"lessons"`
+}
+
+type jsonTeam struct {
+	Name string `json:"name"`
+	Kind string `json:"implements"`
+	Size int    `json:"size"`
+}
+
+type jsonEntry struct {
+	Team          string  `json:"team"`
+	Phase         string  `json:"phase"`
+	Seconds       float64 `json:"seconds"`
+	WaitImplement float64 `json:"wait_implement_seconds"`
+	WaitLayer     float64 `json:"wait_layer_seconds"`
+	PipelineFill  float64 `json:"pipeline_fill_seconds"`
+	Breaks        int     `json:"breaks"`
+}
+
+type jsonLesson struct {
+	Name     string             `json:"name"`
+	Headline string             `json:"headline"`
+	Values   map[string]float64 `json:"values"`
+}
+
+// WriteJSON writes the full session record.
+func (s *Session) WriteJSON(w io.Writer) error {
+	out := jsonSession{Flag: s.Flag.Name}
+	for _, team := range s.Teams {
+		out.Teams = append(out.Teams, jsonTeam{
+			Name: team.Name, Kind: team.Kind.String(), Size: len(team.Members),
+		})
+	}
+	for _, p := range s.Phases {
+		out.Phases = append(out.Phases, p.Label())
+	}
+	for _, e := range s.Board {
+		je := jsonEntry{
+			Team:    e.Team,
+			Phase:   e.Phase.Label(),
+			Seconds: e.Time.Seconds(),
+		}
+		if e.Result != nil {
+			je.WaitImplement = e.Result.TotalWaitImplement().Seconds()
+			je.WaitLayer = e.Result.TotalWaitLayer().Seconds()
+			je.PipelineFill = e.Result.PipelineFill().Seconds()
+			je.Breaks = e.Result.Breaks
+		}
+		out.Entries = append(out.Entries, je)
+	}
+	for _, l := range s.Lessons {
+		out.Lessons = append(out.Lessons, jsonLesson{
+			Name: l.Name, Headline: l.Headline, Values: l.Values,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// BoardDurations returns one phase's completion times across teams, in
+// team order — the per-section sample for cross-section statistics.
+func (s *Session) BoardDurations(p Phase) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, team := range s.Teams {
+		e := s.entry(team.Name, p.Scenario, p.Repeat)
+		if e == nil {
+			return nil, fmt.Errorf("classroom: %s missing %s", team.Name, p.Label())
+		}
+		out = append(out, e.Time)
+	}
+	return out, nil
+}

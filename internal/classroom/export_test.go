@@ -1,0 +1,104 @@
+package classroom
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flagsim/internal/core"
+)
+
+func exportSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := Run(Config{Teams: 3, RepeatS1: true, Seed: 12, JitterSigma: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteBoardCSV(t *testing.T) {
+	s := exportSession(t)
+	var buf bytes.Buffer
+	if err := s.WriteBoardCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 3 teams.
+	if len(records) != 4 {
+		t.Fatalf("%d rows", len(records))
+	}
+	// Header: team, implements, 5 phases.
+	if len(records[0]) != 2+len(s.Phases) {
+		t.Fatalf("header width %d", len(records[0]))
+	}
+	for _, row := range records[1:] {
+		for _, cell := range row[2:] {
+			if !strings.Contains(cell, ".") {
+				t.Fatalf("timing cell %q not numeric seconds", cell)
+			}
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	s := exportSession(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Flag  string `json:"flag"`
+		Teams []struct {
+			Name string `json:"name"`
+			Kind string `json:"implements"`
+		} `json:"teams"`
+		Entries []struct {
+			Team    string  `json:"team"`
+			Phase   string  `json:"phase"`
+			Seconds float64 `json:"seconds"`
+		} `json:"entries"`
+		Lessons []struct {
+			Name string `json:"name"`
+		} `json:"lessons"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Flag != "mauritius" {
+		t.Fatalf("flag %q", decoded.Flag)
+	}
+	if len(decoded.Teams) != 3 {
+		t.Fatalf("%d teams", len(decoded.Teams))
+	}
+	if len(decoded.Entries) != 3*len(s.Phases) {
+		t.Fatalf("%d entries", len(decoded.Entries))
+	}
+	for _, e := range decoded.Entries {
+		if e.Seconds <= 0 {
+			t.Fatalf("entry %+v has non-positive time", e)
+		}
+	}
+	if len(decoded.Lessons) != len(s.Lessons) {
+		t.Fatalf("%d lessons", len(decoded.Lessons))
+	}
+}
+
+func TestBoardDurations(t *testing.T) {
+	s := exportSession(t)
+	times, err := s.BoardDurations(Phase{Scenario: core.S1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("%d durations", len(times))
+	}
+	if _, err := s.BoardDurations(Phase{Scenario: core.S4Pipelined}); err == nil {
+		t.Fatal("missing phase should error")
+	}
+}

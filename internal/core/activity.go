@@ -1,0 +1,194 @@
+// Package core implements the paper's primary contribution as a library:
+// the unplugged flag-coloring activity. It defines the four core scenarios
+// of Fig. 1, the Webster variation (§III-D: France vs. Canada, load
+// balancing), the Knox follow-up (dependency graphs for layered flags),
+// and the lesson analyzers of §III-C that turn a timing board into the
+// concepts the activity teaches.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/processor"
+	"flagsim/internal/rng"
+	"flagsim/internal/sim"
+	"flagsim/internal/workplan"
+)
+
+// ScenarioID identifies one of the activity's scenarios.
+type ScenarioID uint8
+
+// The scenarios of Fig. 1, plus the pipelined variant of scenario 4 used
+// by the §III-C pipelining discussion and the E5 ablation.
+const (
+	// S1 is scenario 1: one student colors the entire flag.
+	S1 ScenarioID = iota
+	// S2 is scenario 2: two students, each coloring a pair of stripes.
+	S2
+	// S3 is scenario 3: four students, one stripe each.
+	S3
+	// S4 is scenario 4: four students, one vertical slice each, sharing
+	// one implement per color in naive top-down order.
+	S4
+	// S4Pipelined is scenario 4 with the rotated start described in
+	// §III-C: "pass the drawing implements around so that each processor
+	// gets the right one at any given moment".
+	S4Pipelined
+)
+
+// String names the scenario.
+func (s ScenarioID) String() string {
+	switch s {
+	case S1:
+		return "scenario-1"
+	case S2:
+		return "scenario-2"
+	case S3:
+		return "scenario-3"
+	case S4:
+		return "scenario-4"
+	case S4Pipelined:
+		return "scenario-4-pipelined"
+	default:
+		return fmt.Sprintf("scenario(%d)", uint8(s))
+	}
+}
+
+// Scenario describes one scenario: its worker count and how it decomposes
+// a flag into a workplan.
+type Scenario struct {
+	ID ScenarioID
+	// Workers is the number of coloring students (the timing student is
+	// not simulated; the kernel is the stopwatch).
+	Workers int
+	// Description is the instruction given to the class.
+	Description string
+}
+
+// CoreScenarios returns the four scenarios of Fig. 1 in activity order.
+func CoreScenarios() []Scenario {
+	return []Scenario{
+		{ID: S1, Workers: 1, Description: "One student colors the entire flag while a second student times them."},
+		{ID: S2, Workers: 2, Description: "Two students color the flag: one the red and blue stripes, the other the yellow and green; a third times them."},
+		{ID: S3, Workers: 4, Description: "Four students color the flag, one stripe each; a fifth times them."},
+		{ID: S4, Workers: 4, Description: "Four students color the flag, one vertical slice each, handing off the markers; everyone starts at the top."},
+	}
+}
+
+// ScenarioByID returns the scenario definition for id.
+func ScenarioByID(id ScenarioID) (Scenario, error) {
+	switch id {
+	case S4Pipelined:
+		return Scenario{ID: S4Pipelined, Workers: 4,
+			Description: "Scenario 4 with staggered starting stripes so the implements circulate without collisions."}, nil
+	default:
+		for _, s := range CoreScenarios() {
+			if s.ID == id {
+				return s, nil
+			}
+		}
+	}
+	return Scenario{}, fmt.Errorf("core: unknown scenario %d", id)
+}
+
+// Plan builds the scenario's decomposition of flag f at size w×h.
+func (s Scenario) Plan(f *flagspec.Flag, w, h int) (*workplan.Plan, error) {
+	switch s.ID {
+	case S1:
+		return workplan.Sequential(f, w, h)
+	case S2:
+		return workplan.LayerBlocks(f, w, h, 2)
+	case S3:
+		return workplan.LayerBlocks(f, w, h, min(s.Workers, len(f.Layers)))
+	case S4:
+		return workplan.VerticalSlices(f, w, h, s.Workers, false)
+	case S4Pipelined:
+		return workplan.VerticalSlices(f, w, h, s.Workers, true)
+	default:
+		return nil, fmt.Errorf("core: scenario %v has no plan", s.ID)
+	}
+}
+
+// RunSpec configures one scenario run.
+type RunSpec struct {
+	Flag *flagspec.Flag
+	// W, H override the flag's handout size when positive.
+	W, H     int
+	Scenario Scenario
+	// Team are the coloring students; len must equal Scenario.Workers.
+	// Warmup state persists across runs, so reusing a team across
+	// scenarios models the same students staying at the table.
+	Team []*processor.Processor
+	// Set is the team's implements. Nil gets one thick marker per color.
+	Set *implement.Set
+	// Setup is the serial organization time before coloring starts.
+	Setup time.Duration
+	// Hold is the implement retention policy.
+	Hold sim.HoldPolicy
+	// Trace enables span capture.
+	Trace bool
+}
+
+// Run executes the scenario and verifies the flag was colored correctly.
+func Run(spec RunSpec) (*sim.Result, error) {
+	if spec.Flag == nil {
+		return nil, fmt.Errorf("core: nil flag")
+	}
+	w, h := spec.W, spec.H
+	if w <= 0 {
+		w = spec.Flag.DefaultW
+	}
+	if h <= 0 {
+		h = spec.Flag.DefaultH
+	}
+	plan, err := spec.Scenario.Plan(spec.Flag, w, h)
+	if err != nil {
+		return nil, err
+	}
+	// A team larger than the plan needs is fine: the extra students sit
+	// out (scenario 3 on a three-stripe flag uses only three colorers).
+	if len(spec.Team) < plan.NumProcs() {
+		return nil, fmt.Errorf("core: %v wants %d workers, team has %d",
+			spec.Scenario.ID, plan.NumProcs(), len(spec.Team))
+	}
+	team := spec.Team[:plan.NumProcs()]
+	set := spec.Set
+	if set == nil {
+		set = implement.NewSet(implement.ThickMarker, spec.Flag.Colors())
+	}
+	res, err := sim.Run(sim.Config{
+		Plan:  plan,
+		Procs: team,
+		Set:   set,
+		Hold:  spec.Hold,
+		Setup: spec.Setup,
+		Trace: spec.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Verify(spec.Flag); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// NewTeam builds n default students sharing a seed.
+func NewTeam(n int, seed uint64) ([]*processor.Processor, error) {
+	return processor.Team(n, processor.DefaultProfile("P"), rng.New(seed))
+}
+
+// DefaultSetup is the serial scenario-organization time used when the
+// caller doesn't specify one: the instructor explains, the team assigns
+// roles. It is the activity's Amdahl serial fraction.
+const DefaultSetup = 20 * time.Second
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+)
+
+// The §IV "Practical Advice for the Activity" encoded as a generator: a
+// RunSheet is everything an instructor needs to run the activity for a
+// given class size and flag — supplies, the dry-run checklist, per-phase
+// timing estimates from the simulator, and the advice items themselves.
+
+// AdviceItem is one piece of §IV guidance.
+type AdviceItem struct {
+	// Topic is the short key ("dry-run", "slides", "cell-fill", ...).
+	Topic string
+	// Text paraphrases the paper's advice.
+	Text string
+}
+
+// Advice returns the §IV items in presentation order.
+func Advice() []AdviceItem {
+	return []AdviceItem{
+		{"dry-run", "Complete a dry run with other faculty or non-enrolled students: instructions are not easy to convey, dead or bleeding markers surface early, and assisting staff learn the student questions."},
+		{"slides", "Project a slide for each scenario showing the task decomposition, with cells numbered to convey fill order — otherwise the ordering is tricky to explain."},
+		{"cell-fill", "Show examples of properly filled cells first: a back-and-forth scribble touching all edges, not full coverage — fast, but uniform time per cell. Keep the dry-run sheets as samples."},
+		{"varied-implements", "Give different teams different drawing implements: it offends the sense of fairness but teaches that hardware differences make timings incomparable."},
+		{"markers-over-crayons", "Prefer markers to crayons; the crayon site collected many complaints in the open-ended feedback."},
+		{"post-times", "Collect each team's completion time after every scenario and post it publicly — the timing board drives the whole discussion."},
+	}
+}
+
+// Supplies lists the equipment one team needs for a flag.
+type Supplies struct {
+	GriddedSheets int
+	Implements    []implement.Kind
+	Colors        int
+	Timers        int
+}
+
+// RunSheet is the generated instructor plan.
+type RunSheet struct {
+	Flag      *flagspec.Flag
+	Teams     int
+	Phases    []Phase
+	PerTeam   Supplies
+	Estimates map[string]time.Duration // phase label -> simulated estimate
+	Advice    []AdviceItem
+}
+
+// Phase names one run in the session sequence (mirrors classroom.Phase
+// without the import cycle).
+type Phase struct {
+	Scenario ScenarioID
+	Repeat   bool
+}
+
+// Label formats the phase.
+func (p Phase) Label() string {
+	if p.Repeat {
+		return p.Scenario.String() + " (repeat)"
+	}
+	return p.Scenario.String()
+}
+
+// BuildRunSheet prepares the plan: phases (with the recommended scenario-1
+// repeat), per-team supplies, and simulated timing estimates for a
+// default-profile team with thick markers, so the instructor can budget
+// the class period.
+func BuildRunSheet(f *flagspec.Flag, teams int, repeatS1 bool) (*RunSheet, error) {
+	if f == nil {
+		return nil, fmt.Errorf("core: nil flag")
+	}
+	if teams <= 0 {
+		return nil, fmt.Errorf("core: %d teams", teams)
+	}
+	rs := &RunSheet{
+		Flag:  f,
+		Teams: teams,
+		PerTeam: Supplies{
+			GriddedSheets: 5, // one per scenario plus a spare
+			Implements:    []implement.Kind{implement.ThickMarker},
+			Colors:        len(f.Colors()),
+			Timers:        1,
+		},
+		Estimates: map[string]time.Duration{},
+		Advice:    Advice(),
+	}
+	rs.Phases = []Phase{{Scenario: S1}}
+	if repeatS1 {
+		rs.Phases = append(rs.Phases, Phase{Scenario: S1, Repeat: true})
+	}
+	rs.Phases = append(rs.Phases, Phase{Scenario: S2}, Phase{Scenario: S3}, Phase{Scenario: S4})
+
+	// Simulate one reference team through the sequence for estimates.
+	team, err := NewTeam(4, 2025)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range rs.Phases {
+		scen, err := ScenarioByID(p.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(RunSpec{
+			Flag:     f,
+			Scenario: scen,
+			Team:     team,
+			Set:      implement.NewSet(implement.ThickMarker, f.Colors()),
+			Setup:    DefaultSetup,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rs.Estimates[p.Label()] = res.Makespan
+	}
+	return rs, nil
+}
+
+// TotalEstimate sums the phase estimates plus a fixed discussion slot per
+// phase — the number to compare against the class period length.
+func (rs *RunSheet) TotalEstimate(discussionPerPhase time.Duration) time.Duration {
+	var total time.Duration
+	for _, p := range rs.Phases {
+		total += rs.Estimates[p.Label()] + discussionPerPhase
+	}
+	return total
+}
+
+// Write prints the run sheet as text.
+func (rs *RunSheet) Write(w io.Writer) error {
+	ref, err := grid.RasterizeDefault(rs.Flag)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "RUN SHEET — flag coloring activity (%s, %dx%d grid), %d teams\n\n",
+		rs.Flag.Name, rs.Flag.DefaultW, rs.Flag.DefaultH, rs.Teams); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Target image:\n%s%s\n\n", ref, ref.Legend()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Supplies per team: %d gridded sheets, %d colors of %v, %d phone timer\n",
+		rs.PerTeam.GriddedSheets, rs.PerTeam.Colors, rs.PerTeam.Implements, rs.PerTeam.Timers); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Class supplies total: %d sheets, %d implements\n\n",
+		rs.PerTeam.GriddedSheets*rs.Teams, rs.PerTeam.Colors*rs.Teams); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "Phases and simulated estimates (reference team, thick markers):"); err != nil {
+		return err
+	}
+	for _, p := range rs.Phases {
+		if _, err := fmt.Fprintf(w, "  %-22s ~%v coloring\n",
+			p.Label(), rs.Estimates[p.Label()].Round(10*time.Second)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  total with 4-minute discussions: ~%v\n\n",
+		rs.TotalEstimate(4*time.Minute).Round(time.Minute)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "Advice (§IV):"); err != nil {
+		return err
+	}
+	for _, a := range rs.Advice {
+		if _, err := fmt.Fprintf(w, "  [%s] %s\n", a.Topic, a.Text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

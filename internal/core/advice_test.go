@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"flagsim/internal/flagspec"
+)
+
+func TestAdviceItems(t *testing.T) {
+	items := Advice()
+	if len(items) != 6 {
+		t.Fatalf("%d advice items", len(items))
+	}
+	seen := map[string]bool{}
+	for _, a := range items {
+		if a.Topic == "" || a.Text == "" {
+			t.Fatalf("incomplete item %+v", a)
+		}
+		if seen[a.Topic] {
+			t.Fatalf("duplicate topic %q", a.Topic)
+		}
+		seen[a.Topic] = true
+	}
+	for _, want := range []string{"dry-run", "slides", "varied-implements", "post-times"} {
+		if !seen[want] {
+			t.Fatalf("missing §IV topic %q", want)
+		}
+	}
+}
+
+func TestBuildRunSheet(t *testing.T) {
+	rs, err := BuildRunSheet(flagspec.Mauritius, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Phases) != 5 {
+		t.Fatalf("%d phases", len(rs.Phases))
+	}
+	if rs.PerTeam.Colors != 4 {
+		t.Fatalf("per-team colors %d", rs.PerTeam.Colors)
+	}
+	// Estimates exist for every phase and fall across scenarios 1-3.
+	for _, p := range rs.Phases {
+		if rs.Estimates[p.Label()] <= 0 {
+			t.Fatalf("no estimate for %s", p.Label())
+		}
+	}
+	if !(rs.Estimates["scenario-1"] > rs.Estimates["scenario-2"] &&
+		rs.Estimates["scenario-2"] > rs.Estimates["scenario-3"]) {
+		t.Fatal("estimates should fall S1 > S2 > S3")
+	}
+	if rs.Estimates["scenario-1 (repeat)"] >= rs.Estimates["scenario-1"] {
+		t.Fatal("repeat estimate should beat the first run (warmup)")
+	}
+	total := rs.TotalEstimate(4 * time.Minute)
+	if total <= 20*time.Minute || total > 90*time.Minute {
+		t.Fatalf("implausible total estimate %v", total)
+	}
+}
+
+func TestBuildRunSheetValidation(t *testing.T) {
+	if _, err := BuildRunSheet(nil, 4, true); err == nil {
+		t.Fatal("nil flag should error")
+	}
+	if _, err := BuildRunSheet(flagspec.Mauritius, 0, false); err == nil {
+		t.Fatal("zero teams should error")
+	}
+}
+
+func TestRunSheetWrite(t *testing.T) {
+	rs, err := BuildRunSheet(flagspec.Mauritius, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"RUN SHEET", "mauritius", "Supplies per team", "scenario-1 (repeat)",
+		"dry-run", "cells numbered to convey fill order", "total with 4-minute discussions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("run sheet missing %q", want)
+		}
+	}
+	// Shows the target image.
+	if !strings.Contains(out, "RRRRRRRRRRRR") {
+		t.Fatal("run sheet missing the target flag render")
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"flagsim/internal/metrics"
+	"flagsim/internal/sim"
+)
+
+// Lesson is one of the §III-C discussion points, extracted quantitatively
+// from run results.
+type Lesson struct {
+	// Name is the concept ("speedup", "warmup", "technology",
+	// "contention", "pipelining", "load-balancing").
+	Name string
+	// Headline is the one-line classroom takeaway.
+	Headline string
+	// Values are the numbers behind the takeaway, keyed by label.
+	Values map[string]float64
+}
+
+// SpeedupLesson computes speedups of each scenario against the baseline
+// run (scenario 1) and compares them to linear speedup. results maps
+// worker counts to completion times.
+func SpeedupLesson(base *sim.Result, runs map[ScenarioID]*sim.Result) (Lesson, error) {
+	if base == nil {
+		return Lesson{}, fmt.Errorf("core: speedup lesson without a baseline")
+	}
+	l := Lesson{
+		Name:     "speedup",
+		Headline: "Completion times decreased as more processors were added; speedup approaches but does not reach linear.",
+		Values:   map[string]float64{},
+	}
+	for id, r := range runs {
+		if r == nil {
+			continue
+		}
+		s, err := metrics.Speedup(base.Makespan, r.Makespan)
+		if err != nil {
+			return Lesson{}, err
+		}
+		p := len(r.Procs)
+		e := s / float64(p)
+		l.Values[fmt.Sprintf("%s-speedup", id)] = s
+		l.Values[fmt.Sprintf("%s-efficiency", id)] = e
+		l.Values[fmt.Sprintf("%s-linear", id)] = float64(p)
+	}
+	return l, nil
+}
+
+// WarmupLesson compares a first and repeated run of scenario 1: the repeat
+// is faster because the student (like a warmed cache or JIT-compiled
+// program) has practiced.
+func WarmupLesson(firstRun, secondRun *sim.Result) (Lesson, error) {
+	if firstRun == nil || secondRun == nil {
+		return Lesson{}, fmt.Errorf("core: warmup lesson needs both runs")
+	}
+	if firstRun.Makespan <= 0 {
+		return Lesson{}, fmt.Errorf("core: degenerate first run")
+	}
+	improvement := 1 - float64(secondRun.Makespan)/float64(firstRun.Makespan)
+	return Lesson{
+		Name:     "warmup",
+		Headline: "The repeated first scenario is significantly faster: system warmup (caching, power states, JIT) makes later runs faster than the first.",
+		Values: map[string]float64{
+			"first-seconds":       firstRun.Makespan.Seconds(),
+			"second-seconds":      secondRun.Makespan.Seconds(),
+			"improvement-percent": improvement * 100,
+		},
+	}, nil
+}
+
+// TechnologyLesson compares identical workloads run with different
+// implement kinds: hardware differences make cross-system times
+// incomparable.
+func TechnologyLesson(byKind map[string]*sim.Result) (Lesson, error) {
+	if len(byKind) < 2 {
+		return Lesson{}, fmt.Errorf("core: technology lesson needs at least two implement kinds")
+	}
+	l := Lesson{
+		Name:     "technology",
+		Headline: "Different drawing implements (hardware) give different times on identical work: cross-hardware comparisons are not meaningful.",
+		Values:   map[string]float64{},
+	}
+	for kind, r := range byKind {
+		if r != nil {
+			l.Values[kind+"-seconds"] = r.Makespan.Seconds()
+		}
+	}
+	return l, nil
+}
+
+// ContentionLesson contrasts scenarios 3 and 4: same worker count, very
+// different times, caused by competition for implements.
+func ContentionLesson(s3, s4 *sim.Result) (Lesson, error) {
+	if s3 == nil || s4 == nil {
+		return Lesson{}, fmt.Errorf("core: contention lesson needs scenarios 3 and 4")
+	}
+	rep := metrics.Contention(s4)
+	slowdown := 0.0
+	if s3.Makespan > 0 {
+		slowdown = float64(s4.Makespan)/float64(s3.Makespan) - 1
+	}
+	return Lesson{
+		Name:     "contention",
+		Headline: "Scenario 4 has the same number of processors as scenario 3 but is slower: everyone needs the same implement at the same time.",
+		Values: map[string]float64{
+			"s3-seconds":            s3.Makespan.Seconds(),
+			"s4-seconds":            s4.Makespan.Seconds(),
+			"s4-slowdown-percent":   slowdown * 100,
+			"s4-wait-seconds":       rep.TotalWait.Seconds(),
+			"s4-max-queue":          float64(rep.MaxQueueDepth),
+			"s4-wait-share-percent": rep.WaitShare * 100,
+		},
+	}, nil
+}
+
+// PipeliningLesson contrasts naive scenario 4 with the pipelined rotation:
+// circulating the implements removes contention after a fill delay.
+func PipeliningLesson(naive, pipelined *sim.Result) (Lesson, error) {
+	if naive == nil || pipelined == nil {
+		return Lesson{}, fmt.Errorf("core: pipelining lesson needs both scenario-4 variants")
+	}
+	speedup := 0.0
+	if pipelined.Makespan > 0 {
+		speedup = float64(naive.Makespan) / float64(pipelined.Makespan)
+	}
+	return Lesson{
+		Name:     "pipelining",
+		Headline: "Passing implements around like pipeline stages removes contention; the pipeline still needs time to fill before every processor is busy.",
+		Values: map[string]float64{
+			"naive-seconds":          naive.Makespan.Seconds(),
+			"pipelined-seconds":      pipelined.Makespan.Seconds(),
+			"pipelined-speedup":      speedup,
+			"naive-fill-seconds":     naive.PipelineFill().Seconds(),
+			"pipelined-fill-seconds": pipelined.PipelineFill().Seconds(),
+		},
+	}, nil
+}
+
+// LoadBalanceLesson is the Webster variation (§III-D): the simple French
+// flag parallelizes better at p=3 than the intricate Canadian flag, whose
+// maple leaf concentrates work in the middle worker's region.
+func LoadBalanceLesson(simpleT1, simpleTp, intricateT1, intricateTp time.Duration, p int) (Lesson, error) {
+	sSimple, err := metrics.Speedup(simpleT1, simpleTp)
+	if err != nil {
+		return Lesson{}, err
+	}
+	sIntricate, err := metrics.Speedup(intricateT1, intricateTp)
+	if err != nil {
+		return Lesson{}, err
+	}
+	return Lesson{
+		Name:     "load-balancing",
+		Headline: "The simpler flag saw greater efficiency gains; the intricate maple leaf slowed progress — load imbalance caps speedup.",
+		Values: map[string]float64{
+			"simple-speedup":       sSimple,
+			"intricate-speedup":    sIntricate,
+			"processors":           float64(p),
+			"simple-efficiency":    sSimple / float64(p),
+			"intricate-efficiency": sIntricate / float64(p),
+		},
+	}, nil
+}

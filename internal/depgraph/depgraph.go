@@ -1,0 +1,421 @@
+// Package depgraph implements task dependency graphs: the formalism the
+// Knox follow-up activity teaches (§III-D, Fig. 9).
+//
+// Vertices are tasks and directed edges denote dependencies (the paper's
+// definition verbatim). The package provides construction, validation,
+// topological sorting, critical-path and width analysis, list scheduling
+// onto p processors, and the structural comparisons used to grade student
+// submissions in §V-C.
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Node is one task vertex.
+type Node struct {
+	// ID is the unique node identifier ("black-stripe", "red-triangle").
+	ID string
+	// Weight is the task's execution cost for scheduling and critical
+	// path analysis. Zero-weight nodes are allowed (milestones).
+	Weight time.Duration
+	// Label is optional free text for rendering.
+	Label string
+}
+
+// Graph is a directed graph intended to be acyclic. Edges point from a
+// prerequisite to its dependent: an edge u→v means "v depends on u".
+type Graph struct {
+	nodes  []Node
+	index  map[string]int
+	succ   map[int][]int // u -> dependents
+	pred   map[int][]int // v -> prerequisites
+	nedges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		index: make(map[string]int),
+		succ:  make(map[int][]int),
+		pred:  make(map[int][]int),
+	}
+}
+
+// AddNode adds a task vertex. Duplicate IDs are rejected.
+func (g *Graph) AddNode(n Node) error {
+	if n.ID == "" {
+		return fmt.Errorf("depgraph: node with empty ID")
+	}
+	if _, dup := g.index[n.ID]; dup {
+		return fmt.Errorf("depgraph: duplicate node %q", n.ID)
+	}
+	g.index[n.ID] = len(g.nodes)
+	g.nodes = append(g.nodes, n)
+	return nil
+}
+
+// MustAddNode is AddNode that panics; for static graph literals.
+func (g *Graph) MustAddNode(n Node) {
+	if err := g.AddNode(n); err != nil {
+		panic(err)
+	}
+}
+
+// AddEdge records that dependent depends on prereq. Both nodes must exist;
+// self-edges and duplicate edges are rejected.
+func (g *Graph) AddEdge(prereq, dependent string) error {
+	u, ok := g.index[prereq]
+	if !ok {
+		return fmt.Errorf("depgraph: edge from unknown node %q", prereq)
+	}
+	v, ok := g.index[dependent]
+	if !ok {
+		return fmt.Errorf("depgraph: edge to unknown node %q", dependent)
+	}
+	if u == v {
+		return fmt.Errorf("depgraph: self-dependency on %q", prereq)
+	}
+	for _, w := range g.succ[u] {
+		if w == v {
+			return fmt.Errorf("depgraph: duplicate edge %q -> %q", prereq, dependent)
+		}
+	}
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+	g.nedges++
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics; for static graph literals.
+func (g *Graph) MustAddEdge(prereq, dependent string) {
+	if err := g.AddEdge(prereq, dependent); err != nil {
+		panic(err)
+	}
+}
+
+// NumNodes returns the vertex count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.nedges }
+
+// Nodes returns the nodes in insertion order.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id string) (Node, bool) {
+	i, ok := g.index[id]
+	if !ok {
+		return Node{}, false
+	}
+	return g.nodes[i], true
+}
+
+// Predecessors returns the IDs of the prerequisites of id, sorted.
+func (g *Graph) Predecessors(id string) []string {
+	return g.neighborIDs(id, g.pred)
+}
+
+// Successors returns the IDs of the dependents of id, sorted.
+func (g *Graph) Successors(id string) []string {
+	return g.neighborIDs(id, g.succ)
+}
+
+func (g *Graph) neighborIDs(id string, adj map[int][]int) []string {
+	i, ok := g.index[id]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(adj[i]))
+	for _, j := range adj[i] {
+		out = append(out, g.nodes[j].ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasEdge reports whether dependent directly depends on prereq.
+func (g *Graph) HasEdge(prereq, dependent string) bool {
+	u, ok := g.index[prereq]
+	if !ok {
+		return false
+	}
+	v, ok := g.index[dependent]
+	if !ok {
+		return false
+	}
+	for _, w := range g.succ[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TopoSort returns node IDs in a dependency-respecting order, or an error
+// naming a node on a cycle. Kahn's algorithm with deterministic (insertion
+// order) tie-breaking.
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make([]int, len(g.nodes))
+	for v, ps := range g.pred {
+		indeg[v] = len(ps)
+	}
+	var ready []int
+	for i := range g.nodes {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	out := make([]string, 0, len(g.nodes))
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		out = append(out, g.nodes[u].ID)
+		for _, v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		for i, d := range indeg {
+			if d > 0 {
+				return nil, fmt.Errorf("depgraph: cycle involving %q", g.nodes[i].ID)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Validate reports whether the graph is a DAG.
+func (g *Graph) Validate() error {
+	_, err := g.TopoSort()
+	return err
+}
+
+// Levels assigns each node its longest-path depth from the sources
+// (sources are level 0). A valid parallel schedule can run all nodes of a
+// level concurrently once prior levels finish.
+func (g *Graph) Levels() (map[string]int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	level := make(map[string]int, len(order))
+	for _, id := range order {
+		l := 0
+		for _, p := range g.Predecessors(id) {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[id] = l
+	}
+	return level, nil
+}
+
+// Depth returns the number of levels (longest chain length in nodes).
+// An empty graph has depth 0.
+func (g *Graph) Depth() (int, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return 0, err
+	}
+	maxL := -1
+	for _, l := range levels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL + 1, nil
+}
+
+// Width returns the size of the largest level — an easy lower bound on
+// exploitable parallelism (the true width is the max antichain; levels
+// are what the classroom activity uses).
+func (g *Graph) Width() (int, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return 0, err
+	}
+	counts := make(map[int]int)
+	maxW := 0
+	for _, l := range levels {
+		counts[l]++
+		if counts[l] > maxW {
+			maxW = counts[l]
+		}
+	}
+	return maxW, nil
+}
+
+// CriticalPath returns the heaviest dependency chain and its total weight.
+// With unit weights this is the depth; with task costs it is the minimum
+// possible makespan on unlimited processors.
+func (g *Graph) CriticalPath() ([]string, time.Duration, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, 0, err
+	}
+	dist := make(map[string]time.Duration, len(order))
+	prev := make(map[string]string, len(order))
+	var bestID string
+	var best time.Duration = -1
+	for _, id := range order {
+		n, _ := g.Node(id)
+		d := n.Weight
+		for _, p := range g.Predecessors(id) {
+			if dist[p]+n.Weight > d {
+				d = dist[p] + n.Weight
+				prev[id] = p
+			}
+		}
+		dist[id] = d
+		if d > best {
+			best = d
+			bestID = id
+		}
+	}
+	if bestID == "" {
+		return nil, 0, nil
+	}
+	var path []string
+	for id := bestID; id != ""; id = prev[id] {
+		path = append(path, id)
+		if _, ok := prev[id]; !ok {
+			break
+		}
+	}
+	// Reverse into source-to-sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, best, nil
+}
+
+// Reachable returns the set of nodes reachable from id (excluding id).
+func (g *Graph) Reachable(id string) map[string]bool {
+	start, ok := g.index[id]
+	if !ok {
+		return nil
+	}
+	seen := make(map[int]bool)
+	stack := []int{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.succ[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	out := make(map[string]bool, len(seen))
+	for v := range seen {
+		out[g.nodes[v].ID] = true
+	}
+	return out
+}
+
+// TransitiveClosure returns, for every node, the full set of nodes that
+// must precede it (its ancestors). Two graphs with equal closures encode
+// the same ordering constraints even if drawn with different redundant
+// edges — the equivalence used when grading student submissions.
+func (g *Graph) TransitiveClosure() map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(g.nodes))
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil
+	}
+	for _, id := range order {
+		anc := make(map[string]bool)
+		for _, p := range g.Predecessors(id) {
+			anc[p] = true
+			for a := range out[p] {
+				anc[a] = true
+			}
+		}
+		out[id] = anc
+	}
+	return out
+}
+
+// SameConstraints reports whether g and o have identical node ID sets and
+// identical transitive closures.
+func (g *Graph) SameConstraints(o *Graph) bool {
+	if len(g.nodes) != len(o.nodes) {
+		return false
+	}
+	for id := range g.index {
+		if _, ok := o.index[id]; !ok {
+			return false
+		}
+	}
+	gc, oc := g.TransitiveClosure(), o.TransitiveClosure()
+	if gc == nil || oc == nil {
+		return false
+	}
+	for id, anc := range gc {
+		other := oc[id]
+		if len(anc) != len(other) {
+			return false
+		}
+		for a := range anc {
+			if !other[a] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsLinearChain reports whether the graph is a single total order: every
+// node has at most one predecessor and one successor, and the chain spans
+// all nodes. This is the most common student error in §V-C ("a linear
+// chain of tasks ... thought about the graph in terms of sequential
+// code").
+func (g *Graph) IsLinearChain() bool {
+	if len(g.nodes) == 0 {
+		return false
+	}
+	sources := 0
+	for i := range g.nodes {
+		if len(g.pred[i]) > 1 || len(g.succ[i]) > 1 {
+			return false
+		}
+		if len(g.pred[i]) == 0 {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return false
+	}
+	if g.Validate() != nil {
+		return false
+	}
+	depth, _ := g.Depth()
+	return depth == len(g.nodes)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	for _, n := range g.nodes {
+		out.MustAddNode(n)
+	}
+	for u, vs := range g.succ {
+		for _, v := range vs {
+			out.MustAddEdge(g.nodes[u].ID, g.nodes[v].ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package depgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func chain(t *testing.T, ids ...string) *Graph {
+	t.Helper()
+	g := New()
+	for _, id := range ids {
+		g.MustAddNode(Node{ID: id, Weight: time.Second})
+	}
+	for i := 1; i < len(ids); i++ {
+		g.MustAddEdge(ids[i-1], ids[i])
+	}
+	return g
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	g := New()
+	if err := g.AddNode(Node{}); err == nil {
+		t.Fatal("empty ID should error")
+	}
+	if err := g.AddNode(Node{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(Node{ID: "a"}); err == nil {
+		t.Fatal("duplicate should error")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := chain(t, "a", "b")
+	if err := g.AddEdge("a", "ghost"); err == nil {
+		t.Fatal("edge to unknown node should error")
+	}
+	if err := g.AddEdge("ghost", "a"); err == nil {
+		t.Fatal("edge from unknown node should error")
+	}
+	if err := g.AddEdge("a", "a"); err == nil {
+		t.Fatal("self edge should error")
+	}
+	if err := g.AddEdge("a", "b"); err == nil {
+		t.Fatal("duplicate edge should error")
+	}
+}
+
+func TestTopoSortRespectsEdges(t *testing.T) {
+	g := JordanReference(false)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, s := range []string{"black-stripe", "white-stripe", "green-stripe"} {
+		if pos[s] > pos["red-triangle"] {
+			t.Fatalf("%s sorted after red-triangle", s)
+		}
+	}
+	if pos["red-triangle"] > pos["white-star"] {
+		t.Fatal("triangle sorted after star")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := chain(t, "a", "b", "c")
+	g.MustAddEdge("c", "a")
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Validate error %v should mention cycle", err)
+	}
+}
+
+func TestLevelsDepthWidth(t *testing.T) {
+	g := JordanReference(false)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"black-stripe", "white-stripe", "green-stripe"} {
+		if levels[s] != 0 {
+			t.Fatalf("%s at level %d, want 0", s, levels[s])
+		}
+	}
+	if levels["red-triangle"] != 1 || levels["white-star"] != 2 {
+		t.Fatalf("levels %v", levels)
+	}
+	if d, _ := g.Depth(); d != 3 {
+		t.Fatalf("depth %d, want 3", d)
+	}
+	if w, _ := g.Width(); w != 3 {
+		t.Fatalf("width %d, want 3 (the stripes)", w)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := JordanReference(false)
+	path, total, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stripe (48s) -> triangle (30s) -> star (4s) = 82s.
+	if total != 82*time.Second {
+		t.Fatalf("critical path %v, want 82s", total)
+	}
+	if len(path) != 3 || path[len(path)-1] != "white-star" {
+		t.Fatalf("path %v", path)
+	}
+	if path[1] != "red-triangle" {
+		t.Fatalf("path %v should route through the triangle", path)
+	}
+}
+
+func TestCriticalPathEmptyGraph(t *testing.T) {
+	path, total, err := New().CriticalPath()
+	if err != nil || path != nil || total != 0 {
+		t.Fatalf("empty graph: %v %v %v", path, total, err)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := JordanReference(false)
+	r := g.Reachable("black-stripe")
+	if !r["red-triangle"] || !r["white-star"] {
+		t.Fatalf("reachable %v", r)
+	}
+	if r["green-stripe"] || r["black-stripe"] {
+		t.Fatalf("reachable %v includes non-descendants", r)
+	}
+}
+
+func TestSameConstraintsIgnoresRedundantEdges(t *testing.T) {
+	a := JordanReference(false)
+	b := JordanReference(false)
+	// Add a transitive edge: constraints unchanged.
+	b.MustAddEdge("black-stripe", "white-star")
+	if !a.SameConstraints(b) {
+		t.Fatal("transitive edge must not change constraints")
+	}
+}
+
+func TestSameConstraintsDetectsDifferences(t *testing.T) {
+	a := JordanReference(false)
+	lin := chain(t, "black-stripe", "white-stripe", "green-stripe", "red-triangle", "white-star")
+	if a.SameConstraints(lin) {
+		t.Fatal("linear chain must differ from the reference")
+	}
+	if a.SameConstraints(JordanReference(true)) {
+		t.Fatal("different node sets must differ")
+	}
+}
+
+func TestIsLinearChain(t *testing.T) {
+	if !chain(t, "a", "b", "c").IsLinearChain() {
+		t.Fatal("chain not recognized")
+	}
+	if JordanReference(false).IsLinearChain() {
+		t.Fatal("Jordan reference is not a chain")
+	}
+	if New().IsLinearChain() {
+		t.Fatal("empty graph is not a chain")
+	}
+	// Two disconnected nodes: not a chain.
+	g := New()
+	g.MustAddNode(Node{ID: "a"})
+	g.MustAddNode(Node{ID: "b"})
+	if g.IsLinearChain() {
+		t.Fatal("disconnected nodes are not a chain")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := JordanReference(false)
+	b := a.Clone()
+	if !a.SameConstraints(b) {
+		t.Fatal("clone should match original")
+	}
+	b.MustAddNode(Node{ID: "extra"})
+	if a.NumNodes() == b.NumNodes() {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestPredecessorsSuccessors(t *testing.T) {
+	g := JordanReference(false)
+	preds := g.Predecessors("red-triangle")
+	if len(preds) != 3 {
+		t.Fatalf("triangle preds %v", preds)
+	}
+	succs := g.Successors("red-triangle")
+	if len(succs) != 1 || succs[0] != "white-star" {
+		t.Fatalf("triangle succs %v", succs)
+	}
+	if g.Predecessors("nope") != nil {
+		t.Fatal("unknown node should have nil neighbors")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := JordanReference(false)
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.SameConstraints(back) {
+		t.Fatal("JSON roundtrip changed constraints")
+	}
+	n, _ := back.Node("black-stripe")
+	if n.Weight != 48*time.Second {
+		t.Fatalf("weight lost in roundtrip: %v", n.Weight)
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{"nodes":[{"id":"a"},{"id":"a"}],"edges":[]}`,               // dup node
+		`{"nodes":[{"id":"a"}],"edges":[{"from":"a","to":"ghost"}]}`, // bad edge
+		`{"nodes":[{"id":"a"}],"bogus":true}`,                        // unknown field
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Fatalf("Decode(%q) should fail", c)
+		}
+	}
+}
+
+func TestDecodeAcceptsCyclicForGrading(t *testing.T) {
+	// The grader legitimately receives cyclic student drawings; Decode
+	// must accept them and Validate must flag them.
+	g, err := Decode(strings.NewReader(
+		`{"nodes":[{"id":"a"},{"id":"b"}],"edges":[{"from":"a","to":"b"},{"from":"b","to":"a"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Validate() == nil {
+		t.Fatal("cycle should fail validation")
+	}
+}

@@ -1,0 +1,44 @@
+package depgraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteDOT emits the graph in Graphviz DOT form, the standard interchange
+// for dependency-graph figures like the paper's Fig. 9. Nodes carry their
+// weights as labels; rank direction is top-to-bottom so sources (the
+// stripes) sit on top, matching the figure's layout.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	b.WriteString("digraph ")
+	b.WriteString(quoteDOT(title))
+	b.WriteString(" {\n  rankdir=TB;\n  node [shape=box];\n")
+	for _, n := range g.nodes {
+		label := n.ID
+		if n.Weight > 0 {
+			label = fmt.Sprintf("%s\\n%s", n.ID, n.Weight.Round(time.Second))
+		}
+		fmt.Fprintf(&b, "  %s [label=%s];\n", quoteDOT(n.ID), quoteDOT(label))
+	}
+	// Deterministic edge order: by source insertion order, then target ID.
+	for u := range g.nodes {
+		targets := append([]int(nil), g.succ[u]...)
+		sort.Slice(targets, func(i, j int) bool {
+			return g.nodes[targets[i]].ID < g.nodes[targets[j]].ID
+		})
+		for _, v := range targets {
+			fmt.Fprintf(&b, "  %s -> %s;\n", quoteDOT(g.nodes[u].ID), quoteDOT(g.nodes[v].ID))
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func quoteDOT(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}

@@ -1,0 +1,60 @@
+package depgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTStructure(t *testing.T) {
+	g := JordanReference(false)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "fig9"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, `digraph "fig9"`) {
+		t.Fatalf("header %q", out[:20])
+	}
+	for _, node := range []string{"black-stripe", "red-triangle", "white-star"} {
+		if !strings.Contains(out, `"`+node+`"`) {
+			t.Fatalf("missing node %s", node)
+		}
+	}
+	if !strings.Contains(out, `"red-triangle" -> "white-star";`) {
+		t.Fatal("missing triangle->star edge")
+	}
+	if got := strings.Count(out, "->"); got != g.NumEdges() {
+		t.Fatalf("%d edges in DOT, want %d", got, g.NumEdges())
+	}
+	// Weights appear as labels.
+	if !strings.Contains(out, "48s") {
+		t.Fatal("missing weight label")
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	g := GreatBritainReference()
+	var a, b bytes.Buffer
+	if err := g.WriteDOT(&a, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteDOT(&b, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("DOT output not deterministic")
+	}
+}
+
+func TestWriteDOTQuotesSpecials(t *testing.T) {
+	g := New()
+	g.MustAddNode(Node{ID: `weird"name`})
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, `ti"tle`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `\"`) {
+		t.Fatal("quotes not escaped")
+	}
+}

@@ -1,0 +1,63 @@
+package depgraph
+
+import "fmt"
+
+// TransitiveReduction returns the minimal graph with the same transitive
+// closure: every redundant edge (one implied by a longer path) is
+// dropped. Student drawings often include the implied stripe→star edges;
+// reducing before display yields the clean Fig. 9 shape without changing
+// the constraints. Only defined for DAGs.
+func (g *Graph) TransitiveReduction() (*Graph, error) {
+	if _, err := g.TopoSort(); err != nil {
+		return nil, fmt.Errorf("depgraph: reduction of a cyclic graph: %w", err)
+	}
+	out := New()
+	for _, n := range g.nodes {
+		out.MustAddNode(n)
+	}
+	// An edge u->v is redundant iff v is reachable from u through some
+	// other successor of u. Check each edge against reachability through
+	// the edge's alternatives.
+	for u := range g.nodes {
+		for _, v := range g.succ[u] {
+			redundant := false
+			for _, w := range g.succ[u] {
+				if w == v {
+					continue
+				}
+				if g.reachesIdx(w, v) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				out.MustAddEdge(g.nodes[u].ID, g.nodes[v].ID)
+			}
+		}
+	}
+	return out, nil
+}
+
+// reachesIdx reports whether target is reachable from start (by index),
+// including multi-hop paths.
+func (g *Graph) reachesIdx(start, target int) bool {
+	if start == target {
+		return true
+	}
+	seen := make(map[int]bool)
+	stack := []int{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.succ[u] {
+			if v == target {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package depgraph
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransitiveReductionDropsRedundantEdges(t *testing.T) {
+	g := JordanReference(false)
+	// Student-style redundant edges: stripes -> star directly.
+	g.MustAddEdge("black-stripe", "white-star")
+	g.MustAddEdge("green-stripe", "white-star")
+	reduced, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := JordanReference(false)
+	if reduced.NumEdges() != ref.NumEdges() {
+		t.Fatalf("reduced to %d edges, want %d", reduced.NumEdges(), ref.NumEdges())
+	}
+	if !reduced.SameConstraints(ref) {
+		t.Fatal("reduction changed the constraints")
+	}
+	if reduced.HasEdge("black-stripe", "white-star") {
+		t.Fatal("redundant edge survived")
+	}
+	if !reduced.HasEdge("red-triangle", "white-star") {
+		t.Fatal("essential edge dropped")
+	}
+}
+
+func TestTransitiveReductionIdempotentOnMinimal(t *testing.T) {
+	for _, g := range []*Graph{
+		JordanReference(false),
+		JordanReference(true),
+		GreatBritainReference(),
+	} {
+		reduced, err := g.TransitiveReduction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reduced.NumEdges() != g.NumEdges() {
+			t.Fatalf("minimal graph lost edges: %d -> %d", g.NumEdges(), reduced.NumEdges())
+		}
+		if !reduced.SameConstraints(g) {
+			t.Fatal("constraints changed")
+		}
+	}
+}
+
+func TestTransitiveReductionRejectsCycle(t *testing.T) {
+	g := chain(t, "a", "b")
+	g.MustAddEdge("b", "a")
+	if _, err := g.TransitiveReduction(); err == nil {
+		t.Fatal("cyclic graph should error")
+	}
+}
+
+// Property: reduction preserves the closure and never adds edges, on
+// random layered DAGs.
+func TestTransitiveReductionProperty(t *testing.T) {
+	check := func(nRaw uint8, edges uint16) bool {
+		n := int(nRaw%8) + 2
+		g := New()
+		for i := 0; i < n; i++ {
+			g.MustAddNode(Node{ID: string(rune('a' + i)), Weight: time.Second})
+		}
+		// Add forward edges only (guarantees a DAG) from the bit pattern.
+		bit := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if edges&(1<<(bit%16)) != 0 {
+					_ = g.AddEdge(string(rune('a'+i)), string(rune('a'+j)))
+				}
+				bit++
+			}
+		}
+		reduced, err := g.TransitiveReduction()
+		if err != nil {
+			return false
+		}
+		return reduced.NumEdges() <= g.NumEdges() && reduced.SameConstraints(g)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ScheduledTask is one node's placement in a schedule.
+type ScheduledTask struct {
+	ID    string
+	Proc  int
+	Start time.Duration
+	End   time.Duration
+}
+
+// Schedule is the result of list-scheduling a graph onto p processors.
+type Schedule struct {
+	Procs    int
+	Makespan time.Duration
+	Tasks    []ScheduledTask
+}
+
+// ListSchedule runs classic list scheduling: whenever a processor is free
+// and a node is ready (all predecessors finished), assign the ready node
+// with the longest remaining critical path ("HLF" / critical-path
+// heuristic, deterministic ID tie-break). This is how the classroom
+// schedules layered flags and how the activity's animations (Suo 2025)
+// visualize processor counts.
+func ListSchedule(g *Graph, procs int) (*Schedule, error) {
+	if procs <= 0 {
+		return nil, fmt.Errorf("depgraph: schedule on %d processors", procs)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	// Remaining critical path weight (bottom level) per node.
+	bottom := make(map[string]time.Duration, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		n, _ := g.Node(id)
+		best := time.Duration(0)
+		for _, s := range g.Successors(id) {
+			if bottom[s] > best {
+				best = bottom[s]
+			}
+		}
+		bottom[id] = best + n.Weight
+	}
+
+	unfinishedPreds := make(map[string]int, len(order))
+	for _, id := range order {
+		unfinishedPreds[id] = len(g.Predecessors(id))
+	}
+	var ready []string
+	for _, id := range order {
+		if unfinishedPreds[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sortReady := func() {
+		sort.Slice(ready, func(a, b int) bool {
+			if bottom[ready[a]] != bottom[ready[b]] {
+				return bottom[ready[a]] > bottom[ready[b]]
+			}
+			return ready[a] < ready[b]
+		})
+	}
+	sortReady()
+
+	procFree := make([]time.Duration, procs)
+	finish := make(map[string]time.Duration, len(order))
+	sched := &Schedule{Procs: procs}
+	scheduled := 0
+	for scheduled < len(order) {
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("depgraph: scheduler stalled with %d tasks left", len(order)-scheduled)
+		}
+		// Pick the earliest-free processor (deterministic index
+		// tie-break) and give it the highest-priority ready node whose
+		// predecessors have all finished by that time; if none is
+		// runnable yet, advance to the earliest enabling finish time.
+		pi := 0
+		for i := 1; i < procs; i++ {
+			if procFree[i] < procFree[pi] {
+				pi = i
+			}
+		}
+		t := procFree[pi]
+		// Earliest start of each ready node is the max predecessor
+		// finish.
+		bestIdx := -1
+		var bestStart time.Duration
+		for i, id := range ready {
+			es := t
+			for _, p := range g.Predecessors(id) {
+				if finish[p] > es {
+					es = finish[p]
+				}
+			}
+			if bestIdx == -1 || es < bestStart ||
+				(es == bestStart && bottom[id] > bottom[ready[bestIdx]]) {
+				bestIdx, bestStart = i, es
+			}
+		}
+		id := ready[bestIdx]
+		ready = append(ready[:bestIdx], ready[bestIdx+1:]...)
+		n, _ := g.Node(id)
+		end := bestStart + n.Weight
+		sched.Tasks = append(sched.Tasks, ScheduledTask{ID: id, Proc: pi, Start: bestStart, End: end})
+		procFree[pi] = end
+		finish[id] = end
+		if end > sched.Makespan {
+			sched.Makespan = end
+		}
+		scheduled++
+		for _, s := range g.Successors(id) {
+			unfinishedPreds[s]--
+			if unfinishedPreds[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+		sortReady()
+	}
+	return sched, nil
+}
+
+// Validate checks that the schedule respects the graph: every node placed
+// exactly once, no processor overlap, and every task starts at or after
+// all of its predecessors finish.
+func (s *Schedule) Validate(g *Graph) error {
+	placed := make(map[string]ScheduledTask, len(s.Tasks))
+	byProc := make(map[int][]ScheduledTask)
+	for _, t := range s.Tasks {
+		if _, dup := placed[t.ID]; dup {
+			return fmt.Errorf("depgraph: task %q scheduled twice", t.ID)
+		}
+		if _, ok := g.Node(t.ID); !ok {
+			return fmt.Errorf("depgraph: schedule contains unknown task %q", t.ID)
+		}
+		if t.Proc < 0 || t.Proc >= s.Procs {
+			return fmt.Errorf("depgraph: task %q on invalid processor %d", t.ID, t.Proc)
+		}
+		if t.End < t.Start {
+			return fmt.Errorf("depgraph: task %q ends before it starts", t.ID)
+		}
+		placed[t.ID] = t
+		byProc[t.Proc] = append(byProc[t.Proc], t)
+	}
+	if len(placed) != g.NumNodes() {
+		return fmt.Errorf("depgraph: schedule places %d of %d tasks", len(placed), g.NumNodes())
+	}
+	for proc, tasks := range byProc {
+		sort.Slice(tasks, func(a, b int) bool { return tasks[a].Start < tasks[b].Start })
+		for i := 1; i < len(tasks); i++ {
+			if tasks[i].Start < tasks[i-1].End {
+				return fmt.Errorf("depgraph: processor %d overlap between %q and %q", proc, tasks[i-1].ID, tasks[i].ID)
+			}
+		}
+	}
+	for _, t := range s.Tasks {
+		for _, p := range g.Predecessors(t.ID) {
+			if placed[p].End > t.Start {
+				return fmt.Errorf("depgraph: %q starts at %v before predecessor %q finishes at %v",
+					t.ID, t.Start, p, placed[p].End)
+			}
+		}
+	}
+	return nil
+}
+
+// SpeedupCurve schedules g on 1..maxProcs processors and returns the
+// makespans. The curve flattens at the critical path — dependencies
+// limiting parallelism, the Knox lesson in numbers.
+func SpeedupCurve(g *Graph, maxProcs int) ([]time.Duration, error) {
+	if maxProcs <= 0 {
+		return nil, fmt.Errorf("depgraph: speedup curve to %d processors", maxProcs)
+	}
+	out := make([]time.Duration, maxProcs)
+	for p := 1; p <= maxProcs; p++ {
+		s, err := ListSchedule(g, p)
+		if err != nil {
+			return nil, err
+		}
+		out[p-1] = s.Makespan
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package depgraph
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flagsim/internal/flagspec"
+)
+
+func TestListScheduleValid(t *testing.T) {
+	for _, g := range []*Graph{
+		JordanReference(false),
+		JordanReference(true),
+		JordanSplitTriangleReference(false),
+		GreatBritainReference(),
+	} {
+		for p := 1; p <= 4; p++ {
+			s, err := ListSchedule(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(g); err != nil {
+				t.Fatalf("p=%d: %v", p, err)
+			}
+		}
+	}
+}
+
+func TestScheduleSingleProcessorIsSerial(t *testing.T) {
+	g := JordanReference(false)
+	s, err := ListSchedule(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	for _, n := range g.Nodes() {
+		total += n.Weight
+	}
+	if s.Makespan != total {
+		t.Fatalf("serial makespan %v, want %v", s.Makespan, total)
+	}
+}
+
+func TestScheduleNeverBeatsCriticalPath(t *testing.T) {
+	g := JordanReference(false)
+	_, cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 8; p++ {
+		s, err := ListSchedule(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan < cp {
+			t.Fatalf("p=%d makespan %v below critical path %v", p, s.Makespan, cp)
+		}
+	}
+}
+
+func TestSpeedupCurveMonotoneAndFlattens(t *testing.T) {
+	g := JordanReference(false)
+	curve, err := SpeedupCurve(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1] {
+			t.Fatalf("more processors got slower: %v", curve)
+		}
+	}
+	// Jordan's width is 3: adding a 4th processor must not help.
+	if curve[3] != curve[2] {
+		t.Fatalf("p=4 (%v) should equal p=3 (%v): dependencies cap parallelism", curve[3], curve[2])
+	}
+	// The flat tail equals the critical path.
+	_, cp, _ := g.CriticalPath()
+	if curve[5] != cp {
+		t.Fatalf("saturated makespan %v != critical path %v", curve[5], cp)
+	}
+}
+
+func TestGreatBritainDependenciesLimitSpeedup(t *testing.T) {
+	// GB's graph is nearly a chain: even many processors barely help.
+	g := GreatBritainReference()
+	curve, err := SpeedupCurve(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4 := float64(curve[0]) / float64(curve[3])
+	if s4 > 1.5 {
+		t.Fatalf("GB speedup at p=4 is %v; its chain should cap it low", s4)
+	}
+}
+
+func TestScheduleRejectsBadInput(t *testing.T) {
+	g := JordanReference(false)
+	if _, err := ListSchedule(g, 0); err == nil {
+		t.Fatal("p=0 should error")
+	}
+	cyc := New()
+	cyc.MustAddNode(Node{ID: "a"})
+	cyc.MustAddNode(Node{ID: "b"})
+	cyc.MustAddEdge("a", "b")
+	cyc.MustAddEdge("b", "a")
+	if _, err := ListSchedule(cyc, 2); err == nil {
+		t.Fatal("cyclic graph should error")
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	g := chain(t, "a", "b")
+	s := &Schedule{Procs: 1, Makespan: 2 * time.Second, Tasks: []ScheduledTask{
+		{ID: "a", Proc: 0, Start: 0, End: time.Second},
+		{ID: "b", Proc: 0, Start: 500 * time.Millisecond, End: 1500 * time.Millisecond},
+	}}
+	if err := s.Validate(g); err == nil {
+		t.Fatal("overlapping tasks on one processor should fail")
+	}
+}
+
+func TestValidateCatchesDependencyViolation(t *testing.T) {
+	g := chain(t, "a", "b")
+	s := &Schedule{Procs: 2, Makespan: time.Second, Tasks: []ScheduledTask{
+		{ID: "a", Proc: 0, Start: 0, End: time.Second},
+		{ID: "b", Proc: 1, Start: 0, End: time.Second},
+	}}
+	if err := s.Validate(g); err == nil {
+		t.Fatal("b starting before a finishes should fail")
+	}
+}
+
+func TestValidateCatchesMissingTask(t *testing.T) {
+	g := chain(t, "a", "b")
+	s := &Schedule{Procs: 1, Tasks: []ScheduledTask{
+		{ID: "a", Proc: 0, Start: 0, End: time.Second},
+	}}
+	if err := s.Validate(g); err == nil {
+		t.Fatal("missing task should fail")
+	}
+}
+
+func TestFromFlagMatchesHandCodedReferences(t *testing.T) {
+	f := flagspec.Jordan
+	g, err := FromFlag(f, f.DefaultW, f.DefaultH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generated layer graph encodes the same ordering constraints as
+	// the paper's Fig. 9 reference (weights differ; constraints match).
+	ref := JordanReference(false)
+	if !g.SameConstraints(ref) {
+		t.Fatal("FromFlag(jordan) constraints differ from Fig. 9 reference")
+	}
+}
+
+func TestFromFlagGreatBritain(t *testing.T) {
+	f := flagspec.GreatBritain
+	g, err := FromFlag(f, f.DefaultW, f.DefaultH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Background precedes everything.
+	reach := g.Reachable("blue-field")
+	if len(reach) != g.NumNodes()-1 {
+		t.Fatalf("blue-field reaches %d of %d nodes", len(reach), g.NumNodes()-1)
+	}
+}
+
+func TestFromFlagMauritiusIndependent(t *testing.T) {
+	f := flagspec.Mauritius
+	g, err := FromFlag(f, f.DefaultW, f.DefaultH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("mauritius layer graph has %d edges, want 0", g.NumEdges())
+	}
+	if w, _ := g.Width(); w != 4 {
+		t.Fatalf("width %d, want 4", w)
+	}
+}
+
+// Property: list schedules on random chain+fan graphs are always valid and
+// monotone in p.
+func TestListScheduleProperty(t *testing.T) {
+	check := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		p := int(pRaw%4) + 1
+		g := New()
+		for i := 0; i < n; i++ {
+			g.MustAddNode(Node{ID: string(rune('a' + i)), Weight: time.Duration(i+1) * time.Second})
+		}
+		// Fan: first half independent, second half depends on node 0.
+		for i := n / 2; i < n; i++ {
+			if i != 0 {
+				g.MustAddEdge("a", string(rune('a'+i)))
+			}
+		}
+		s, err := ListSchedule(g, p)
+		if err != nil {
+			return false
+		}
+		return s.Validate(g) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

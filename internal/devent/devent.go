@@ -1,0 +1,136 @@
+// Package devent is a minimal deterministic discrete-event simulation
+// kernel: a virtual clock and a time-ordered event queue.
+//
+// Determinism is the design goal. Events at equal timestamps fire in
+// scheduling order (a monotone sequence number breaks ties), so a given
+// seed always produces the identical trace — the property that lets the
+// test suite assert exact virtual-time results and lets the benchmark
+// harness reproduce every figure bit-for-bit.
+//
+// The kernel is callback-style: an event is a func() that runs at its
+// timestamp and may schedule further events. Blocking abstractions
+// (resource queues, processes) are built above it by the sim package.
+package devent
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator instance. The zero value is ready
+// to use at virtual time zero.
+type Kernel struct {
+	now       time.Duration
+	seq       uint64
+	queue     eventQueue
+	processed uint64
+}
+
+// New returns a kernel at virtual time zero.
+func New() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of events not yet executed.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Schedule enqueues fn to run after delay. Negative delays are rejected:
+// virtual time never runs backward.
+func (k *Kernel) Schedule(delay time.Duration, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("devent: negative delay %v", delay)
+	}
+	if fn == nil {
+		return fmt.Errorf("devent: nil event function")
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: k.now + delay, seq: k.seq, fn: fn})
+	return nil
+}
+
+// ScheduleAt enqueues fn at an absolute virtual time, which must not be in
+// the past.
+func (k *Kernel) ScheduleAt(at time.Duration, fn func()) error {
+	if at < k.now {
+		return fmt.Errorf("devent: ScheduleAt(%v) is before now (%v)", at, k.now)
+	}
+	return k.Schedule(at-k.now, fn)
+}
+
+// Step executes the single earliest pending event and advances the clock
+// to its timestamp. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*event)
+	k.now = e.at
+	k.processed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final
+// virtual time.
+func (k *Kernel) Run() time.Duration {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= deadline; events beyond it
+// stay queued. The clock is left at min(deadline, last event time).
+func (k *Kernel) RunUntil(deadline time.Duration) time.Duration {
+	for len(k.queue) > 0 && k.queue[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline && len(k.queue) > 0 {
+		// Events remain but are beyond the horizon.
+		k.now = deadline
+	} else if k.now < deadline && len(k.queue) == 0 {
+		k.now = deadline
+	}
+	return k.now
+}
+
+// RunLimited executes at most n events; it returns the number executed.
+// Guards runaway simulations in tests.
+func (k *Kernel) RunLimited(n uint64) uint64 {
+	var done uint64
+	for done < n && k.Step() {
+		done++
+	}
+	return done
+}

@@ -1,0 +1,172 @@
+package devent
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := New()
+	var order []int
+	must(t, k.Schedule(3*time.Second, func() { order = append(order, 3) }))
+	must(t, k.Schedule(1*time.Second, func() { order = append(order, 1) }))
+	must(t, k.Schedule(2*time.Second, func() { order = append(order, 2) }))
+	if end := k.Run(); end != 3*time.Second {
+		t.Fatalf("final time %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		must(t, k.Schedule(time.Second, func() { order = append(order, i) }))
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesDuringEvents(t *testing.T) {
+	k := New()
+	var seen []time.Duration
+	must(t, k.Schedule(5*time.Second, func() {
+		seen = append(seen, k.Now())
+		must(t, k.Schedule(2*time.Second, func() { seen = append(seen, k.Now()) }))
+	}))
+	k.Run()
+	if len(seen) != 2 || seen[0] != 5*time.Second || seen[1] != 7*time.Second {
+		t.Fatalf("seen %v", seen)
+	}
+}
+
+func TestNegativeDelayRejected(t *testing.T) {
+	k := New()
+	if err := k.Schedule(-time.Second, func() {}); err == nil {
+		t.Fatal("expected error for negative delay")
+	}
+	if err := k.Schedule(time.Second, nil); err == nil {
+		t.Fatal("expected error for nil function")
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	k := New()
+	fired := false
+	must(t, k.ScheduleAt(4*time.Second, func() { fired = true }))
+	k.Run()
+	if !fired || k.Now() != 4*time.Second {
+		t.Fatalf("fired=%v now=%v", fired, k.Now())
+	}
+	if err := k.ScheduleAt(time.Second, func() {}); err == nil {
+		t.Fatal("expected error scheduling in the past")
+	}
+}
+
+func TestStepSingle(t *testing.T) {
+	k := New()
+	n := 0
+	must(t, k.Schedule(time.Second, func() { n++ }))
+	must(t, k.Schedule(2*time.Second, func() { n++ }))
+	if !k.Step() || n != 1 {
+		t.Fatalf("step executed %d events", n)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending %d", k.Pending())
+	}
+	k.Run()
+	if n != 2 || k.Step() {
+		t.Fatal("Run should drain the queue")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	k := New()
+	var fired []int
+	must(t, k.Schedule(1*time.Second, func() { fired = append(fired, 1) }))
+	must(t, k.Schedule(5*time.Second, func() { fired = append(fired, 5) }))
+	now := k.RunUntil(3 * time.Second)
+	if now != 3*time.Second {
+		t.Fatalf("now %v, want 3s", now)
+	}
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired %v", fired)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending %d", k.Pending())
+	}
+	k.Run()
+	if len(fired) != 2 {
+		t.Fatal("late event lost")
+	}
+}
+
+func TestRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	k := New()
+	if now := k.RunUntil(10 * time.Second); now != 10*time.Second {
+		t.Fatalf("now %v", now)
+	}
+}
+
+func TestRunLimited(t *testing.T) {
+	k := New()
+	for i := 0; i < 5; i++ {
+		must(t, k.Schedule(time.Duration(i)*time.Second, func() {}))
+	}
+	if done := k.RunLimited(3); done != 3 {
+		t.Fatalf("executed %d", done)
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending %d", k.Pending())
+	}
+	if k.Processed() != 3 {
+		t.Fatalf("processed %d", k.Processed())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// Each event schedules the next; 1000 links.
+	k := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 1000 {
+			must(t, k.Schedule(time.Millisecond, chain))
+		}
+	}
+	must(t, k.Schedule(0, chain))
+	end := k.Run()
+	if count != 1000 {
+		t.Fatalf("chain length %d", count)
+	}
+	if end != 999*time.Millisecond {
+		t.Fatalf("end %v", end)
+	}
+}
+
+func TestZeroDelaySameTime(t *testing.T) {
+	k := New()
+	var at []time.Duration
+	must(t, k.Schedule(time.Second, func() {
+		must(t, k.Schedule(0, func() { at = append(at, k.Now()) }))
+	}))
+	k.Run()
+	if len(at) != 1 || at[0] != time.Second {
+		t.Fatalf("zero-delay event at %v", at)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package flagspec
+
+import (
+	"flagsim/internal/geom"
+	"flagsim/internal/palette"
+)
+
+// The built-in flags. Mauritius is the paper's core-activity flag (four
+// equal horizontal stripes: red, blue, yellow, green — §III-A). France and
+// Canada are the Webster variation (§III-D). Great Britain and Jordan drive
+// the Knox dependency follow-up. The remaining flags extend the library for
+// the decomposition ablations (E19): they span the interesting structural
+// cases (vertical stripes, disc on field, nordic cross).
+
+// Mauritius is the core activity flag: four equal horizontal stripes.
+// All four layers are disjoint, so all four are mutually independent —
+// maximal parallelism, which is exactly why the paper picked it.
+var Mauritius = register(&Flag{
+	Name:     "mauritius",
+	DefaultW: 12, DefaultH: 8,
+	Layers: []Layer{
+		{Name: "red-stripe", Color: palette.Red, Shape: geom.HStripe(0, 4)},
+		{Name: "blue-stripe", Color: palette.Blue, Shape: geom.HStripe(1, 4)},
+		{Name: "yellow-stripe", Color: palette.Yellow, Shape: geom.HStripe(2, 4)},
+		{Name: "green-stripe", Color: palette.Green, Shape: geom.HStripe(3, 4)},
+	},
+})
+
+// France has three equal vertical stripes — the "simple" flag of the
+// Webster load-balancing comparison.
+var France = register(&Flag{
+	Name:     "france",
+	DefaultW: 12, DefaultH: 8,
+	Layers: []Layer{
+		{Name: "blue-stripe", Color: palette.Blue, Shape: geom.VStripe(0, 3)},
+		{Name: "white-stripe", Color: palette.White, Shape: geom.VStripe(1, 3)},
+		{Name: "red-stripe", Color: palette.Red, Shape: geom.VStripe(2, 3)},
+	},
+})
+
+// Canada is the "intricate" flag of the Webster comparison: white field,
+// red side bands, and the gridded maple leaf of the paper's Fig. 2 handout.
+// The leaf overlaps the white field, so the field must be painted first.
+var Canada = register(&Flag{
+	Name:     "canada",
+	DefaultW: 25, DefaultH: 12,
+	Layers: []Layer{
+		{Name: "white-field", Color: palette.White, Shape: geom.Band{X0: 0.25, Y0: 0, X1: 0.75, Y1: 1}},
+		{Name: "left-band", Color: palette.Red, Shape: geom.Band{X0: 0, Y0: 0, X1: 0.25, Y1: 1}},
+		{Name: "right-band", Color: palette.Red, Shape: geom.Band{X0: 0.75, Y0: 0, X1: 1, Y1: 1}},
+		{
+			Name: "maple-leaf", Color: palette.Red,
+			Shape:     geom.MapleLeaf{CX: 0.5, CY: 0.5, Scale: 0.42},
+			DependsOn: []string{"white-field"},
+		},
+	},
+})
+
+// GreatBritain is the layered flag of the Knox follow-up (Fig. 3): blue
+// background, then the white saltire, then the red saltire and the
+// white-fimbriated red St George's cross. The explicit DependsOn chain is
+// the dependency structure students are asked to recognize.
+var GreatBritain = register(&Flag{
+	Name:     "greatbritain",
+	DefaultW: 24, DefaultH: 12,
+	Layers: []Layer{
+		{Name: "blue-field", Color: palette.Blue, Shape: geom.Full{}},
+		{
+			Name: "white-saltire", Color: palette.White,
+			Shape:     geom.Saltire{HalfWidth: 0.09},
+			DependsOn: []string{"blue-field"},
+		},
+		{
+			Name: "red-saltire", Color: palette.Red,
+			Shape:     geom.Saltire{HalfWidth: 0.035},
+			DependsOn: []string{"white-saltire"},
+		},
+		{
+			Name: "white-cross", Color: palette.White,
+			Shape:     geom.Cross{CX: 0.5, CY: 0.5, HalfWidth: 0.11},
+			DependsOn: []string{"white-saltire"},
+		},
+		{
+			Name: "red-cross", Color: palette.Red,
+			Shape:     geom.Cross{CX: 0.5, CY: 0.5, HalfWidth: 0.065},
+			DependsOn: []string{"white-cross"},
+		},
+	},
+})
+
+// Jordan is the dependency-graph exercise flag (Fig. 4): three horizontal
+// stripes (black, white, green), a red hoist triangle over all three, and a
+// white star (drawn as a dot at handout resolution) on the triangle. The
+// DependsOn edges encode the paper's intended solution (Fig. 9): stripes
+// first, then the triangle, then the star.
+var Jordan = register(&Flag{
+	Name:     "jordan",
+	DefaultW: 16, DefaultH: 9,
+	Layers: []Layer{
+		{Name: "black-stripe", Color: palette.Black, Shape: geom.HStripe(0, 3)},
+		{Name: "white-stripe", Color: palette.White, Shape: geom.HStripe(1, 3)},
+		{Name: "green-stripe", Color: palette.Green, Shape: geom.HStripe(2, 3)},
+		{
+			Name: "red-triangle", Color: palette.Red,
+			Shape:     geom.Triangle{AX: 0, AY: 0, BX: 0, BY: 1, CX: 0.42, CY: 0.5},
+			DependsOn: []string{"black-stripe", "white-stripe", "green-stripe"},
+		},
+		{
+			Name: "white-star", Color: palette.White,
+			Shape:     geom.Star{CX: 0.155, CY: 0.5, R: 0.11, Inner: 0.5, Points: 7},
+			DependsOn: []string{"red-triangle"},
+		},
+	},
+})
+
+// Germany: three horizontal stripes — a second fully parallel flag at a
+// different stripe count for the decomposition ablation.
+var Germany = register(&Flag{
+	Name:     "germany",
+	DefaultW: 12, DefaultH: 9,
+	Layers: []Layer{
+		{Name: "black-stripe", Color: palette.Black, Shape: geom.HStripe(0, 3)},
+		{Name: "red-stripe", Color: palette.Red, Shape: geom.HStripe(1, 3)},
+		{Name: "yellow-stripe", Color: palette.Yellow, Shape: geom.HStripe(2, 3)},
+	},
+})
+
+// Japan: disc on a field — minimal two-layer dependency.
+var Japan = register(&Flag{
+	Name:     "japan",
+	DefaultW: 15, DefaultH: 10,
+	Layers: []Layer{
+		{Name: "white-field", Color: palette.White, Shape: geom.Full{}},
+		{
+			Name: "red-disc", Color: palette.Red,
+			Shape:     geom.Disc{CX: 0.5, CY: 0.5, R: 0.3},
+			DependsOn: []string{"white-field"},
+		},
+	},
+})
+
+// Sweden: nordic cross — two-layer with an off-center cross, used by the
+// block/cyclic decomposition ablation because its color regions are very
+// unbalanced.
+var Sweden = register(&Flag{
+	Name:     "sweden",
+	DefaultW: 16, DefaultH: 10,
+	Layers: []Layer{
+		{Name: "blue-field", Color: palette.Blue, Shape: geom.Full{}},
+		{
+			Name: "yellow-cross", Color: palette.Yellow,
+			Shape:     geom.Cross{CX: 0.375, CY: 0.5, HalfWidth: 0.08},
+			DependsOn: []string{"blue-field"},
+		},
+	},
+})
+
+// Poland: two stripes — the smallest multi-stripe flag, handy in tests.
+var Poland = register(&Flag{
+	Name:     "poland",
+	DefaultW: 10, DefaultH: 8,
+	Layers: []Layer{
+		{Name: "white-stripe", Color: palette.White, Shape: geom.HStripe(0, 2)},
+		{Name: "red-stripe", Color: palette.Red, Shape: geom.HStripe(1, 2)},
+	},
+})

@@ -1,0 +1,49 @@
+package flagspec
+
+import (
+	"strings"
+	"testing"
+
+	"flagsim/internal/geom"
+)
+
+func pt(x, y int) geom.Pt { return geom.Pt{X: x, Y: y} }
+
+// FuzzDecodeJSON hardens the custom-flag parser: any input either decodes
+// to a flag that validates and rasterizes without panicking, or returns an
+// error — never both, never a crash.
+func FuzzDecodeJSON(f *testing.F) {
+	f.Add(`{"name":"x","w":4,"h":4,"layers":[{"name":"a","color":"red","shape":{"type":"full"}}]}`)
+	f.Add(`{"name":"x","w":8,"h":8,"layers":[
+		{"name":"bg","color":"white","shape":{"type":"full"}},
+		{"name":"d","color":"red","depends_on":["bg"],"shape":{"type":"disc","cx":0.5,"cy":0.5,"r":0.3}}]}`)
+	f.Add(`{"name":"u","w":4,"h":4,"layers":[{"name":"a","color":"blue",
+		"shape":{"type":"union","shapes":[{"type":"hstripe","i":0,"n":2},{"type":"saltire","half_width":0.1}]}}]}`)
+	f.Add(`{"layers":[{"shape":{"type":"star"}}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"name":"x","w":-1,"h":4,"layers":[]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		flag, err := DecodeJSON(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if flag.Validate() != nil {
+			t.Fatalf("DecodeJSON returned an invalid flag for %q", src)
+		}
+		// Rasterization must not panic on any accepted spec.
+		w, h := flag.DefaultW, flag.DefaultH
+		if w > 64 {
+			w = 64
+		}
+		if h > 64 {
+			h = 64
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				for _, l := range flag.Layers {
+					_ = l.Shape.Contains(pt(x, y), w, h)
+				}
+			}
+		}
+	})
+}

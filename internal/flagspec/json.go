@@ -1,0 +1,214 @@
+package flagspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"flagsim/internal/geom"
+	"flagsim/internal/palette"
+)
+
+// JSON flag specifications let instructors define their own flags for the
+// activity without recompiling — the paper's "Other flags can also be
+// used" made concrete. The wire schema mirrors the Layer/Shape model with
+// a tagged-union shape encoding:
+//
+//	{
+//	  "name": "myflag", "w": 12, "h": 8,
+//	  "layers": [
+//	    {"name": "field", "color": "blue", "shape": {"type": "full"}},
+//	    {"name": "disc", "color": "red", "depends_on": ["field"],
+//	     "shape": {"type": "disc", "cx": 0.5, "cy": 0.5, "r": 0.3}}
+//	  ]
+//	}
+//
+// Supported shape types: full, band, hstripe, vstripe, disc, triangle,
+// diagonal, cross, saltire, star, mapleleaf, union.
+
+type jsonFlag struct {
+	Name   string      `json:"name"`
+	W      int         `json:"w"`
+	H      int         `json:"h"`
+	Layers []jsonLayer `json:"layers"`
+}
+
+type jsonLayer struct {
+	Name      string          `json:"name"`
+	Color     string          `json:"color"`
+	Shape     json.RawMessage `json:"shape"`
+	DependsOn []string        `json:"depends_on,omitempty"`
+}
+
+// Shape parameters by type (all coordinates normalized to [0,1]):
+//
+//	full       —
+//	band       x0 y0 x1 y1
+//	hstripe    i n          (i-th of n horizontal stripes)
+//	vstripe    i n
+//	disc       cx cy r
+//	triangle   ax ay bx by cx cy
+//	diagonal   x0 y0 x1 y1 half_width
+//	cross      cx cy half_width
+//	saltire    half_width
+//	star       cx cy r inner points rotation
+//	mapleleaf  cx cy scale
+//	union      shapes: [shape, ...]
+func decodeShape(raw json.RawMessage) (geom.Shape, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("flagspec: shape: %w", err)
+	}
+	var typ string
+	if err := json.Unmarshal(m["type"], &typ); err != nil {
+		return nil, fmt.Errorf("flagspec: shape has no type: %w", err)
+	}
+	f := func(key string, def float64) float64 {
+		raw, ok := m[key]
+		if !ok {
+			return def
+		}
+		var v float64
+		if json.Unmarshal(raw, &v) != nil {
+			return def
+		}
+		return v
+	}
+	i := func(key string, def int) int {
+		raw, ok := m[key]
+		if !ok {
+			return def
+		}
+		var v int
+		if json.Unmarshal(raw, &v) != nil {
+			return def
+		}
+		return v
+	}
+	switch typ {
+	case "full":
+		return geom.Full{}, nil
+	case "band":
+		return geom.Band{X0: f("x0", 0), Y0: f("y0", 0), X1: f("x1", 1), Y1: f("y1", 1)}, nil
+	case "hstripe":
+		n := i("n", 0)
+		idx := i("i", -1)
+		if n <= 0 || idx < 0 || idx >= n {
+			return nil, fmt.Errorf("flagspec: hstripe needs 0 <= i < n, got i=%d n=%d", idx, n)
+		}
+		return geom.HStripe(idx, n), nil
+	case "vstripe":
+		n := i("n", 0)
+		idx := i("i", -1)
+		if n <= 0 || idx < 0 || idx >= n {
+			return nil, fmt.Errorf("flagspec: vstripe needs 0 <= i < n, got i=%d n=%d", idx, n)
+		}
+		return geom.VStripe(idx, n), nil
+	case "disc":
+		r := f("r", 0)
+		if r <= 0 {
+			return nil, fmt.Errorf("flagspec: disc needs positive r")
+		}
+		return geom.Disc{CX: f("cx", 0.5), CY: f("cy", 0.5), R: r}, nil
+	case "triangle":
+		return geom.Triangle{
+			AX: f("ax", 0), AY: f("ay", 0),
+			BX: f("bx", 0), BY: f("by", 1),
+			CX: f("cx", 0.5), CY: f("cy", 0.5),
+		}, nil
+	case "diagonal":
+		hw := f("half_width", 0)
+		if hw <= 0 {
+			return nil, fmt.Errorf("flagspec: diagonal needs positive half_width")
+		}
+		return geom.DiagonalStripe{
+			X0: f("x0", 0), Y0: f("y0", 0), X1: f("x1", 1), Y1: f("y1", 1),
+			HalfWidth: hw,
+		}, nil
+	case "cross":
+		hw := f("half_width", 0)
+		if hw <= 0 {
+			return nil, fmt.Errorf("flagspec: cross needs positive half_width")
+		}
+		return geom.Cross{CX: f("cx", 0.5), CY: f("cy", 0.5), HalfWidth: hw}, nil
+	case "saltire":
+		hw := f("half_width", 0)
+		if hw <= 0 {
+			return nil, fmt.Errorf("flagspec: saltire needs positive half_width")
+		}
+		return geom.Saltire{HalfWidth: hw}, nil
+	case "star":
+		points := i("points", 5)
+		if points < 2 {
+			return nil, fmt.Errorf("flagspec: star needs at least 2 points")
+		}
+		r := f("r", 0)
+		if r <= 0 {
+			return nil, fmt.Errorf("flagspec: star needs positive r")
+		}
+		return geom.Star{
+			CX: f("cx", 0.5), CY: f("cy", 0.5), R: r,
+			Inner: f("inner", 0.5), Points: points, Rotation: f("rotation", 0),
+		}, nil
+	case "mapleleaf":
+		scale := f("scale", 0)
+		if scale <= 0 {
+			return nil, fmt.Errorf("flagspec: mapleleaf needs positive scale")
+		}
+		return geom.MapleLeaf{CX: f("cx", 0.5), CY: f("cy", 0.5), Scale: scale}, nil
+	case "union":
+		rawShapes, ok := m["shapes"]
+		if !ok {
+			return nil, fmt.Errorf("flagspec: union needs shapes")
+		}
+		var members []json.RawMessage
+		if err := json.Unmarshal(rawShapes, &members); err != nil {
+			return nil, fmt.Errorf("flagspec: union shapes: %w", err)
+		}
+		if len(members) == 0 {
+			return nil, fmt.Errorf("flagspec: empty union")
+		}
+		u := make(geom.Union, 0, len(members))
+		for _, member := range members {
+			s, err := decodeShape(member)
+			if err != nil {
+				return nil, err
+			}
+			u = append(u, s)
+		}
+		return u, nil
+	default:
+		return nil, fmt.Errorf("flagspec: unknown shape type %q", typ)
+	}
+}
+
+// DecodeJSON reads a flag specification from r and validates it. The flag
+// is not registered; pass it directly to grid.Rasterize or the planners.
+func DecodeJSON(r io.Reader) (*Flag, error) {
+	var jf jsonFlag
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jf); err != nil {
+		return nil, fmt.Errorf("flagspec: decode: %w", err)
+	}
+	f := &Flag{Name: jf.Name, DefaultW: jf.W, DefaultH: jf.H}
+	for _, jl := range jf.Layers {
+		color, err := palette.Parse(jl.Color)
+		if err != nil {
+			return nil, fmt.Errorf("flagspec: layer %q: %w", jl.Name, err)
+		}
+		if jl.Shape == nil {
+			return nil, fmt.Errorf("flagspec: layer %q has no shape", jl.Name)
+		}
+		shape, err := decodeShape(jl.Shape)
+		if err != nil {
+			return nil, fmt.Errorf("flagspec: layer %q: %w", jl.Name, err)
+		}
+		f.Layers = append(f.Layers, Layer{
+			Name: jl.Name, Color: color, Shape: shape, DependsOn: jl.DependsOn,
+		})
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

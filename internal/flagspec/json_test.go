@@ -1,0 +1,134 @@
+package flagspec
+
+import (
+	"strings"
+	"testing"
+
+	"flagsim/internal/geom"
+	"flagsim/internal/palette"
+)
+
+func decode(t *testing.T, src string) *Flag {
+	t.Helper()
+	f, err := DecodeJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDecodeJSONMinimal(t *testing.T) {
+	f := decode(t, `{
+		"name": "dot", "w": 10, "h": 10,
+		"layers": [
+			{"name": "field", "color": "white", "shape": {"type": "full"}},
+			{"name": "disc", "color": "red", "depends_on": ["field"],
+			 "shape": {"type": "disc", "cx": 0.5, "cy": 0.5, "r": 0.3}}
+		]
+	}`)
+	if f.Name != "dot" || f.DefaultW != 10 || f.DefaultH != 10 {
+		t.Fatalf("header %+v", f)
+	}
+	if len(f.Layers) != 2 {
+		t.Fatalf("%d layers", len(f.Layers))
+	}
+	if f.Layers[1].Color != palette.Red {
+		t.Fatalf("disc color %v", f.Layers[1].Color)
+	}
+	if len(f.Layers[1].DependsOn) != 1 || f.Layers[1].DependsOn[0] != "field" {
+		t.Fatalf("deps %v", f.Layers[1].DependsOn)
+	}
+	// The decoded shape must behave like the built-in equivalent.
+	if !f.Layers[1].Shape.Contains(geom.Pt{X: 5, Y: 5}, 10, 10) {
+		t.Fatal("decoded disc misses its center")
+	}
+}
+
+func TestDecodeJSONAllShapeTypes(t *testing.T) {
+	shapes := []string{
+		`{"type": "full"}`,
+		`{"type": "band", "x0": 0, "y0": 0, "x1": 0.5, "y1": 1}`,
+		`{"type": "hstripe", "i": 0, "n": 3}`,
+		`{"type": "vstripe", "i": 2, "n": 3}`,
+		`{"type": "disc", "cx": 0.5, "cy": 0.5, "r": 0.2}`,
+		`{"type": "triangle", "ax": 0, "ay": 0, "bx": 0, "by": 1, "cx": 0.4, "cy": 0.5}`,
+		`{"type": "diagonal", "x0": 0, "y0": 0, "x1": 1, "y1": 1, "half_width": 0.1}`,
+		`{"type": "cross", "cx": 0.5, "cy": 0.5, "half_width": 0.1}`,
+		`{"type": "saltire", "half_width": 0.1}`,
+		`{"type": "star", "cx": 0.5, "cy": 0.5, "r": 0.3, "inner": 0.5, "points": 5}`,
+		`{"type": "mapleleaf", "cx": 0.5, "cy": 0.5, "scale": 0.4}`,
+		`{"type": "union", "shapes": [{"type": "hstripe", "i": 0, "n": 2}, {"type": "hstripe", "i": 1, "n": 2}]}`,
+	}
+	for _, s := range shapes {
+		src := `{"name": "x", "w": 8, "h": 8, "layers": [
+			{"name": "bg", "color": "white", "shape": {"type": "full"}},
+			{"name": "fg", "color": "red", "depends_on": ["bg"], "shape": ` + s + `}
+		]}`
+		f := decode(t, src)
+		// Every shape must contain at least one cell on an 8x8 canvas.
+		found := false
+		for y := 0; y < 8 && !found; y++ {
+			for x := 0; x < 8 && !found; x++ {
+				if f.Layers[1].Shape.Contains(geom.Pt{X: x, Y: y}, 8, 8) {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("shape %s covers no cells", s)
+		}
+	}
+}
+
+func TestDecodeJSONRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"not json", `nope`},
+		{"no layers", `{"name": "x", "w": 4, "h": 4, "layers": []}`},
+		{"bad color", `{"name": "x", "w": 4, "h": 4, "layers": [
+			{"name": "a", "color": "chartreuse", "shape": {"type": "full"}}]}`},
+		{"no shape", `{"name": "x", "w": 4, "h": 4, "layers": [
+			{"name": "a", "color": "red"}]}`},
+		{"unknown shape", `{"name": "x", "w": 4, "h": 4, "layers": [
+			{"name": "a", "color": "red", "shape": {"type": "pentagon"}}]}`},
+		{"bad hstripe", `{"name": "x", "w": 4, "h": 4, "layers": [
+			{"name": "a", "color": "red", "shape": {"type": "hstripe", "i": 3, "n": 3}}]}`},
+		{"zero disc", `{"name": "x", "w": 4, "h": 4, "layers": [
+			{"name": "a", "color": "red", "shape": {"type": "disc"}}]}`},
+		{"empty union", `{"name": "x", "w": 4, "h": 4, "layers": [
+			{"name": "a", "color": "red", "shape": {"type": "union", "shapes": []}}]}`},
+		{"bad dep", `{"name": "x", "w": 4, "h": 4, "layers": [
+			{"name": "a", "color": "red", "shape": {"type": "full"}, "depends_on": ["ghost"]}]}`},
+		{"bad size", `{"name": "x", "w": 0, "h": 4, "layers": [
+			{"name": "a", "color": "red", "shape": {"type": "full"}}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeJSON(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestDecodedFlagRasterizesLikeBuiltin(t *testing.T) {
+	// Rebuild France in JSON and compare cell-for-cell with the builtin.
+	src := `{"name": "france-json", "w": 12, "h": 8, "layers": [
+		{"name": "blue-stripe", "color": "blue", "shape": {"type": "vstripe", "i": 0, "n": 3}},
+		{"name": "white-stripe", "color": "white", "shape": {"type": "vstripe", "i": 1, "n": 3}},
+		{"name": "red-stripe", "color": "red", "shape": {"type": "vstripe", "i": 2, "n": 3}}
+	]}`
+	f := decode(t, src)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 12; x++ {
+			p := geom.Pt{X: x, Y: y}
+			for li := range f.Layers {
+				got := f.Layers[li].Shape.Contains(p, 12, 8)
+				want := France.Layers[li].Shape.Contains(p, 12, 8)
+				if got != want {
+					t.Fatalf("layer %d cell %v: json %v builtin %v", li, p, got, want)
+				}
+			}
+		}
+	}
+}

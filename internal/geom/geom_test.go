@@ -1,0 +1,353 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := R(1, 2, 5, 6)
+	if r.Dx() != 4 || r.Dy() != 4 {
+		t.Fatalf("dims %dx%d, want 4x4", r.Dx(), r.Dy())
+	}
+	if r.Area() != 16 {
+		t.Fatalf("area %d, want 16", r.Area())
+	}
+	if r.Empty() {
+		t.Fatal("non-empty rect reported empty")
+	}
+	if !(Pt{1, 2}).In(r) {
+		t.Fatal("min corner should be inside")
+	}
+	if (Pt{5, 6}).In(r) {
+		t.Fatal("max corner should be outside (half-open)")
+	}
+}
+
+func TestRNormalizesCorners(t *testing.T) {
+	r := R(5, 6, 1, 2)
+	if r != R(1, 2, 5, 6) {
+		t.Fatalf("R should normalize swapped corners, got %v", r)
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	r := R(3, 3, 3, 7)
+	if !r.Empty() || r.Area() != 0 {
+		t.Fatal("zero-width rect should be empty with area 0")
+	}
+	if got := len(r.Cells()); got != 0 {
+		t.Fatalf("empty rect has %d cells", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a, b := R(0, 0, 4, 4), R(2, 2, 6, 6)
+	if got := a.Intersect(b); got != R(2, 2, 4, 4) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := a.Intersect(R(10, 10, 12, 12)); !got.Empty() {
+		t.Fatalf("disjoint intersect = %v, want empty", got)
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := R(0, 0, 10, 10)
+	if !outer.Contains(R(2, 2, 5, 5)) {
+		t.Fatal("inner rect should be contained")
+	}
+	if outer.Contains(R(5, 5, 11, 9)) {
+		t.Fatal("overflowing rect should not be contained")
+	}
+	if !outer.Contains(Rect{}) {
+		t.Fatal("empty rect is contained in anything")
+	}
+}
+
+func TestCellsRowMajor(t *testing.T) {
+	cells := R(0, 0, 3, 2).Cells()
+	want := []Pt{{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}}
+	if len(cells) != len(want) {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Fatalf("cell %d = %v, want %v", i, cells[i], want[i])
+		}
+	}
+}
+
+func TestSplitRowsExact(t *testing.T) {
+	parts := R(0, 0, 4, 8).SplitRows(4)
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	for i, p := range parts {
+		if p.Dy() != 2 {
+			t.Fatalf("part %d height %d, want 2", i, p.Dy())
+		}
+	}
+}
+
+func TestSplitColsUneven(t *testing.T) {
+	parts := R(0, 0, 10, 4).SplitCols(3)
+	widths := []int{4, 3, 3} // extras go to earlier bands
+	total := 0
+	for i, p := range parts {
+		if p.Dx() != widths[i] {
+			t.Fatalf("part %d width %d, want %d", i, p.Dx(), widths[i])
+		}
+		total += p.Area()
+	}
+	if total != 40 {
+		t.Fatalf("split lost cells: %d != 40", total)
+	}
+}
+
+// Property: any split partitions the rect exactly (no loss, no overlap).
+func TestSplitPartitionProperty(t *testing.T) {
+	check := func(wRaw, hRaw, nRaw uint8, cols bool) bool {
+		w, h, n := int(wRaw%20)+1, int(hRaw%20)+1, int(nRaw%10)+1
+		r := R(0, 0, w, h)
+		var parts []Rect
+		if cols {
+			parts = r.SplitCols(n)
+		} else {
+			parts = r.SplitRows(n)
+		}
+		if len(parts) != n {
+			return false
+		}
+		seen := make(map[Pt]bool)
+		for _, p := range parts {
+			if !r.Contains(p) {
+				return false
+			}
+			for _, c := range p.Cells() {
+				if seen[c] {
+					return false
+				}
+				seen[c] = true
+			}
+		}
+		return len(seen) == r.Area()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SplitRows(0) should panic")
+		}
+	}()
+	R(0, 0, 4, 4).SplitRows(0)
+}
+
+func TestManhattanDist(t *testing.T) {
+	if d := (Pt{0, 0}).ManhattanDist(Pt{3, 4}); d != 7 {
+		t.Fatalf("dist = %d, want 7", d)
+	}
+	if d := (Pt{3, 4}).ManhattanDist(Pt{0, 0}); d != 7 {
+		t.Fatal("Manhattan distance should be symmetric")
+	}
+	if d := (Pt{5, 5}).ManhattanDist(Pt{5, 5}); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+func TestHStripePartition(t *testing.T) {
+	// Four stripes on an 8-row canvas: each cell in exactly one stripe.
+	const w, h, n = 12, 8, 4
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			count := 0
+			owner := -1
+			for i := 0; i < n; i++ {
+				if HStripe(i, n).Contains(Pt{x, y}, w, h) {
+					count++
+					owner = i
+				}
+			}
+			if count != 1 {
+				t.Fatalf("cell (%d,%d) in %d stripes", x, y, count)
+			}
+			if want := y * n / h; owner != want {
+				t.Fatalf("cell (%d,%d) owned by stripe %d, want %d", x, y, owner, want)
+			}
+		}
+	}
+}
+
+func TestVStripePartition(t *testing.T) {
+	const w, h, n = 12, 8, 3
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			count := 0
+			for i := 0; i < n; i++ {
+				if VStripe(i, n).Contains(Pt{x, y}, w, h) {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Fatalf("cell (%d,%d) in %d vstripes", x, y, count)
+			}
+		}
+	}
+}
+
+func TestFullCoversEverything(t *testing.T) {
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			if !(Full{}).Contains(Pt{x, y}, 5, 5) {
+				t.Fatalf("Full misses (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestDiscGeometry(t *testing.T) {
+	d := Disc{CX: 0.5, CY: 0.5, R: 0.3}
+	const w, h = 20, 20
+	if !d.Contains(Pt{10, 10}, w, h) {
+		t.Fatal("disc center not contained")
+	}
+	if d.Contains(Pt{0, 0}, w, h) {
+		t.Fatal("far corner should be outside the disc")
+	}
+	// Count is roughly pi*r^2 of the canvas area.
+	count := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if d.Contains(Pt{x, y}, w, h) {
+				count++
+			}
+		}
+	}
+	want := 3.14159 * 0.3 * 0.3 * w * h // ~113
+	if float64(count) < want*0.8 || float64(count) > want*1.2 {
+		t.Fatalf("disc covers %d cells, expected near %.0f", count, want)
+	}
+}
+
+func TestTriangleContainment(t *testing.T) {
+	// Jordan's hoist triangle: left edge to 42% width.
+	tri := Triangle{AX: 0, AY: 0, BX: 0, BY: 1, CX: 0.42, CY: 0.5}
+	const w, h = 16, 9
+	if !tri.Contains(Pt{0, 4}, w, h) {
+		t.Fatal("triangle misses its own left-middle")
+	}
+	if tri.Contains(Pt{15, 4}, w, h) {
+		t.Fatal("triangle should not reach the fly edge")
+	}
+	if tri.Contains(Pt{7, 0}, w, h) {
+		t.Fatal("triangle should not cover the top-middle")
+	}
+}
+
+func TestDiagonalStripeEndpointsAndClamp(t *testing.T) {
+	d := DiagonalStripe{X0: 0, Y0: 0, X1: 1, Y1: 1, HalfWidth: 0.08}
+	const w, h = 24, 24
+	if !d.Contains(Pt{0, 0}, w, h) || !d.Contains(Pt{23, 23}, w, h) {
+		t.Fatal("diagonal stripe misses its endpoints")
+	}
+	if !d.Contains(Pt{12, 12}, w, h) {
+		t.Fatal("diagonal stripe misses its middle")
+	}
+	if d.Contains(Pt{23, 0}, w, h) {
+		t.Fatal("diagonal stripe should miss the opposite corner")
+	}
+}
+
+func TestSaltireSymmetric(t *testing.T) {
+	s := Saltire{HalfWidth: 0.08}
+	const w, h = 24, 12
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a := s.Contains(Pt{x, y}, w, h)
+			b := s.Contains(Pt{w - 1 - x, y}, w, h)
+			if a != b {
+				t.Fatalf("saltire not mirror-symmetric at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestCrossArms(t *testing.T) {
+	c := Cross{CX: 0.5, CY: 0.5, HalfWidth: 0.1}
+	const w, h = 20, 10
+	if !c.Contains(Pt{10, 5}, w, h) {
+		t.Fatal("cross misses its center")
+	}
+	if !c.Contains(Pt{0, 5}, w, h) {
+		t.Fatal("cross horizontal arm should reach the edge")
+	}
+	if !c.Contains(Pt{10, 0}, w, h) {
+		t.Fatal("cross vertical arm should reach the top")
+	}
+	if c.Contains(Pt{0, 0}, w, h) {
+		t.Fatal("cross should miss the corner")
+	}
+}
+
+func TestStarContainsCenterArea(t *testing.T) {
+	s := Star{CX: 0.5, CY: 0.5, R: 0.4, Inner: 0.5, Points: 7}
+	const w, h = 30, 30
+	if !s.Contains(Pt{15, 15}, w, h) {
+		t.Fatal("star misses its center")
+	}
+	if s.Contains(Pt{0, 0}, w, h) {
+		t.Fatal("star should miss the corner")
+	}
+	count := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if s.Contains(Pt{x, y}, w, h) {
+				count++
+			}
+		}
+	}
+	if count < 20 || count > 450 {
+		t.Fatalf("star covers implausible %d cells", count)
+	}
+}
+
+func TestMapleLeafShape(t *testing.T) {
+	m := MapleLeaf{CX: 0.5, CY: 0.5, Scale: 0.42}
+	const w, h = 25, 12
+	if !m.Contains(Pt{12, 6}, w, h) {
+		t.Fatal("leaf misses its center")
+	}
+	if m.Contains(Pt{0, 0}, w, h) || m.Contains(Pt{24, 11}, w, h) {
+		t.Fatal("leaf should stay inside the central field")
+	}
+	count := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if m.Contains(Pt{x, y}, w, h) {
+				count++
+			}
+		}
+	}
+	if count < 10 || count > 120 {
+		t.Fatalf("leaf covers implausible %d cells", count)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := Union{HStripe(0, 2), HStripe(1, 2)}
+	const w, h = 4, 4
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if !u.Contains(Pt{x, y}, w, h) {
+				t.Fatalf("union of both halves misses (%d,%d)", x, y)
+			}
+		}
+	}
+	empty := Union{}
+	if empty.Contains(Pt{0, 0}, w, h) {
+		t.Fatal("empty union contains nothing")
+	}
+}

@@ -1,0 +1,9 @@
+package geom
+
+import "math"
+
+// mathSin and mathCos isolate the math import to the shapes that need
+// trigonometry (Star); everything else in the package is pure integer or
+// rational arithmetic.
+func mathSin(x float64) float64 { return math.Sin(x) }
+func mathCos(x float64) float64 { return math.Cos(x) }

@@ -1,0 +1,106 @@
+package grid
+
+import (
+	"sort"
+
+	"flagsim/internal/geom"
+	"flagsim/internal/palette"
+)
+
+// Region is a 4-connected component of same-colored cells — the unit of
+// "a part of the flag" students naturally reason about when decomposing
+// the task ("one stripe each", "the leaf", "the cross").
+type Region struct {
+	Color palette.Color
+	Cells []geom.Pt
+	// Bounds is the tight bounding rectangle.
+	Bounds geom.Rect
+}
+
+// Size returns the number of cells in the region.
+func (r Region) Size() int { return len(r.Cells) }
+
+// Regions extracts all 4-connected same-color components in deterministic
+// (scan) order. Unpainted (None) cells form regions too, so the analysis
+// works on partially colored grids.
+func (g *Grid) Regions() []Region {
+	seen := make([]bool, g.w*g.h)
+	var out []Region
+	var stack []geom.Pt
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			idx := y*g.w + x
+			if seen[idx] {
+				continue
+			}
+			color := g.cells[idx]
+			region := Region{Color: color}
+			minX, minY, maxX, maxY := x, y, x, y
+			stack = append(stack[:0], geom.Pt{X: x, Y: y})
+			seen[idx] = true
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				region.Cells = append(region.Cells, p)
+				if p.X < minX {
+					minX = p.X
+				}
+				if p.X > maxX {
+					maxX = p.X
+				}
+				if p.Y < minY {
+					minY = p.Y
+				}
+				if p.Y > maxY {
+					maxY = p.Y
+				}
+				for _, d := range [4]geom.Pt{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}} {
+					q := p.Add(d)
+					if !q.In(g.Bounds()) {
+						continue
+					}
+					qi := q.Y*g.w + q.X
+					if !seen[qi] && g.cells[qi] == color {
+						seen[qi] = true
+						stack = append(stack, q)
+					}
+				}
+			}
+			sort.Slice(region.Cells, func(a, b int) bool {
+				if region.Cells[a].Y != region.Cells[b].Y {
+					return region.Cells[a].Y < region.Cells[b].Y
+				}
+				return region.Cells[a].X < region.Cells[b].X
+			})
+			region.Bounds = geom.R(minX, minY, maxX+1, maxY+1)
+			out = append(out, region)
+		}
+	}
+	return out
+}
+
+// RegionCount returns the number of connected components of painted
+// (non-None) cells — a complexity score for a flag: Mauritius has 4,
+// France 3, the Union Flag many. The paper's load-balancing discussion
+// ("more complex flag designs") is this number plus the size spread.
+func (g *Grid) RegionCount() int {
+	n := 0
+	for _, r := range g.Regions() {
+		if r.Color != palette.None {
+			n++
+		}
+	}
+	return n
+}
+
+// LargestRegion returns the biggest painted region, or a zero Region if
+// the grid is blank.
+func (g *Grid) LargestRegion() Region {
+	var best Region
+	for _, r := range g.Regions() {
+		if r.Color != palette.None && r.Size() > best.Size() {
+			best = r
+		}
+	}
+	return best
+}

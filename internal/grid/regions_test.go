@@ -1,0 +1,127 @@
+package grid
+
+import (
+	"testing"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/geom"
+	"flagsim/internal/palette"
+)
+
+func TestRegionsOfMauritius(t *testing.T) {
+	g, err := RasterizeDefault(flagspec.Mauritius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := g.Regions()
+	if len(regions) != 4 {
+		t.Fatalf("%d regions, want 4 stripes", len(regions))
+	}
+	for _, r := range regions {
+		if r.Size() != 24 {
+			t.Fatalf("stripe region of %d cells, want 24", r.Size())
+		}
+		if r.Bounds.Dx() != 12 || r.Bounds.Dy() != 2 {
+			t.Fatalf("stripe bounds %v", r.Bounds)
+		}
+	}
+	if g.RegionCount() != 4 {
+		t.Fatalf("region count %d", g.RegionCount())
+	}
+}
+
+func TestRegionsComplexityOrdering(t *testing.T) {
+	// The paper's "more complex flag designs": region counts order the
+	// flags by visual complexity.
+	count := func(name string) int {
+		f, err := flagspec.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := RasterizeDefault(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.RegionCount()
+	}
+	france := count("france")
+	canada := count("canada")
+	gb := count("greatbritain")
+	if france != 3 {
+		t.Fatalf("france has %d regions, want 3", france)
+	}
+	if canada <= france {
+		t.Fatalf("canada (%d) should be more complex than france (%d)", canada, france)
+	}
+	if gb <= canada {
+		t.Fatalf("great britain (%d) should be the most complex (canada %d)", gb, canada)
+	}
+}
+
+func TestRegionsIncludeBlank(t *testing.T) {
+	g := New(4, 1)
+	_ = g.Paint(geom.Pt{X: 1, Y: 0}, palette.Red)
+	regions := g.Regions()
+	// blank, red, blank = 3 regions.
+	if len(regions) != 3 {
+		t.Fatalf("%d regions, want 3", len(regions))
+	}
+	if g.RegionCount() != 1 {
+		t.Fatalf("painted region count %d, want 1", g.RegionCount())
+	}
+}
+
+func TestRegionsPartitionGrid(t *testing.T) {
+	g, _ := RasterizeDefault(flagspec.GreatBritain)
+	total := 0
+	seen := map[geom.Pt]bool{}
+	for _, r := range g.Regions() {
+		for _, c := range r.Cells {
+			if seen[c] {
+				t.Fatalf("cell %v in two regions", c)
+			}
+			seen[c] = true
+			if g.At(c) != r.Color {
+				t.Fatalf("cell %v color %v, region says %v", c, g.At(c), r.Color)
+			}
+		}
+		total += r.Size()
+	}
+	if total != g.W()*g.H() {
+		t.Fatalf("regions cover %d of %d cells", total, g.W()*g.H())
+	}
+}
+
+func TestLargestRegion(t *testing.T) {
+	// The nordic cross is one connected component spanning the whole
+	// canvas; each blue quadrant is smaller.
+	g, _ := RasterizeDefault(flagspec.Sweden)
+	r := g.LargestRegion()
+	if r.Color != palette.Yellow {
+		t.Fatalf("largest region is %v, want the connected yellow cross", r.Color)
+	}
+	if r.Bounds.Dx() != g.W() || r.Bounds.Dy() != g.H() {
+		t.Fatalf("cross bounds %v should span the canvas", r.Bounds)
+	}
+	if r.Size() == 0 {
+		t.Fatal("empty largest region")
+	}
+	blank := New(3, 3)
+	if blank.LargestRegion().Size() != 0 {
+		t.Fatal("blank grid should have no painted region")
+	}
+}
+
+func TestRegionsDeterministic(t *testing.T) {
+	g, _ := RasterizeDefault(flagspec.Jordan)
+	a := g.Regions()
+	b := g.Regions()
+	if len(a) != len(b) {
+		t.Fatal("region extraction not deterministic")
+	}
+	for i := range a {
+		if a[i].Color != b[i].Color || a[i].Size() != b[i].Size() {
+			t.Fatalf("region %d differs between runs", i)
+		}
+	}
+}

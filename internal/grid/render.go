@@ -1,0 +1,89 @@
+package grid
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"flagsim/internal/palette"
+)
+
+// WritePPM writes the grid as a binary PPM (P6) image, scale pixels per
+// cell. PPM needs no image library, prints from any viewer, and keeps the
+// repository free of cgo or third-party imaging dependencies.
+func (g *Grid) WritePPM(w io.Writer, scale int) error {
+	if scale <= 0 {
+		scale = 1
+	}
+	pw, ph := g.w*scale, g.h*scale
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", pw, ph); err != nil {
+		return err
+	}
+	row := make([]byte, pw*3)
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			r, gg, b := g.cells[y*g.w+x].RGB()
+			for s := 0; s < scale; s++ {
+				i := (x*scale + s) * 3
+				row[i], row[i+1], row[i+2] = r, gg, b
+			}
+		}
+		for s := 0; s < scale; s++ {
+			if _, err := w.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSVG writes the grid as an SVG with visible gridlines, matching the
+// look of the paper's gridded handouts (Fig. 2). cellPx is the rendered
+// size of one cell.
+func (g *Grid) WriteSVG(w io.Writer, cellPx int) error {
+	if cellPx <= 0 {
+		cellPx = 24
+	}
+	pw, ph := g.w*cellPx, g.h*cellPx
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", pw, ph, pw, ph)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", pw, ph)
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			c := g.cells[y*g.w+x]
+			if c == palette.None {
+				continue
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+				x*cellPx, y*cellPx, cellPx, cellPx, c.Hex())
+		}
+	}
+	// Gridlines on top, like the handout.
+	for x := 0; x <= g.w; x++ {
+		fmt.Fprintf(&b, `<line x1="%d" y1="0" x2="%d" y2="%d" stroke="#888" stroke-width="1"/>`+"\n",
+			x*cellPx, x*cellPx, ph)
+	}
+	for y := 0; y <= g.h; y++ {
+		fmt.Fprintf(&b, `<line x1="0" y1="%d" x2="%d" y2="%d" stroke="#888" stroke-width="1"/>`+"\n",
+			y*cellPx, pw, y*cellPx)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Legend returns a one-line mapping from ASCII glyphs to color names for
+// the colors present on the grid.
+func (g *Grid) Legend() string {
+	hist := g.ColorHistogram()
+	var parts []string
+	for _, c := range palette.All() {
+		if hist[c] > 0 {
+			parts = append(parts, fmt.Sprintf("%c=%s(%d)", c.Rune(), c, hist[c]))
+		}
+	}
+	if hist[palette.None] > 0 {
+		parts = append(parts, fmt.Sprintf(".=blank(%d)", hist[palette.None]))
+	}
+	return strings.Join(parts, " ")
+}

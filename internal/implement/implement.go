@@ -1,0 +1,223 @@
+// Package implement models the drawing implements of the activity: the
+// contended hardware of the paper's "computer".
+//
+// Each implement is an exclusive resource of a single color. The paper's
+// §III-C lessons hang off this model:
+//
+//   - technology differences: daubers beat thick markers beat thin markers
+//     beat crayons ("it is not possible to compare running times on
+//     different hardware");
+//   - contention: scenario 4 gives four processors vertical slices but only
+//     one implement per color, so "everyone needed the same color at the
+//     beginning and only one person at a time could use it";
+//   - pipelining: passing implements around so each processor holds the
+//     right one at each moment, with a fill delay before steady state;
+//   - failure injection: the institution that used crayons "got many
+//     complaints" — crayons here break stochastically and cost a
+//     replacement delay, exercising fault paths in the scheduler.
+package implement
+
+import (
+	"fmt"
+	"time"
+
+	"flagsim/internal/palette"
+)
+
+// Kind is an implement technology class.
+type Kind uint8
+
+// Implement technology classes, fastest to slowest. The relative factors
+// follow the paper's observed ordering (§III-C): daubers fastest, then
+// thick markers, thin markers; crayons were the complained-about slowest.
+const (
+	Dauber Kind = iota
+	ThickMarker
+	ThinMarker
+	Crayon
+)
+
+// nkinds is the number of implement kinds.
+const nkinds = 4
+
+// Valid reports whether k is a defined kind.
+func (k Kind) Valid() bool { return k < nkinds }
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Dauber:
+		return "dauber"
+	case ThickMarker:
+		return "thick-marker"
+	case ThinMarker:
+		return "thin-marker"
+	case Crayon:
+		return "crayon"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a kind name to a Kind.
+func ParseKind(name string) (Kind, error) {
+	for k := Kind(0); k < nkinds; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("implement: unknown kind %q", name)
+}
+
+// Kinds returns all defined kinds, fastest first.
+func Kinds() []Kind { return []Kind{Dauber, ThickMarker, ThinMarker, Crayon} }
+
+// Spec is the timing model of a technology class. All durations are
+// virtual time; the baseline (one cell, skill 1.0, thick marker) is 1s.
+type Spec struct {
+	// SpeedFactor multiplies per-cell service time. 1.0 is the thick
+	// marker baseline.
+	SpeedFactor float64
+	// Pickup is the time to pick the implement up from the table or
+	// receive it in a handoff.
+	Pickup time.Duration
+	// PutDown is the time to uncap-reverse/put the implement back where a
+	// teammate can take it.
+	PutDown time.Duration
+	// BreakProb is the per-cell probability the implement fails (crayon
+	// snapping, marker drying out) and costs Repair before continuing.
+	BreakProb float64
+	// Repair is the delay to peel/replace a broken implement.
+	Repair time.Duration
+}
+
+// DefaultSpec returns the calibrated timing model for kind k.
+func DefaultSpec(k Kind) Spec {
+	switch k {
+	case Dauber:
+		return Spec{SpeedFactor: 0.55, Pickup: 400 * time.Millisecond, PutDown: 300 * time.Millisecond}
+	case ThickMarker:
+		return Spec{SpeedFactor: 1.0, Pickup: 500 * time.Millisecond, PutDown: 400 * time.Millisecond}
+	case ThinMarker:
+		return Spec{SpeedFactor: 1.6, Pickup: 500 * time.Millisecond, PutDown: 400 * time.Millisecond}
+	case Crayon:
+		return Spec{
+			SpeedFactor: 2.2,
+			Pickup:      500 * time.Millisecond,
+			PutDown:     400 * time.Millisecond,
+			BreakProb:   0.01,
+			Repair:      8 * time.Second,
+		}
+	default:
+		panic("implement: DefaultSpec of invalid kind")
+	}
+}
+
+// Implement is one physical implement: a technology class bound to a color.
+type Implement struct {
+	// ID is unique within a Set (stable across runs for determinism).
+	ID int
+	// Color is the paint color this implement produces.
+	Color palette.Color
+	// Kind is the technology class.
+	Kind Kind
+	// Spec is the timing model; zero-value specs are replaced by
+	// DefaultSpec(Kind) when a Set is built.
+	Spec Spec
+}
+
+// Set is the equipment a team is handed: for each color, one or more
+// implements. The paper's core setup is exactly one per color; the E21
+// ablation hands out extras to show contention dissolving.
+type Set struct {
+	byColor map[palette.Color][]*Implement
+	all     []*Implement
+}
+
+// NewSet builds a set with one implement of the given kind per color.
+func NewSet(kind Kind, colors []palette.Color) *Set {
+	return NewSetN(kind, colors, 1)
+}
+
+// NewSetN builds a set with n implements of the given kind per color.
+func NewSetN(kind Kind, colors []palette.Color, n int) *Set {
+	if n <= 0 {
+		panic("implement: NewSetN with n <= 0")
+	}
+	s := &Set{byColor: make(map[palette.Color][]*Implement)}
+	id := 0
+	for _, c := range colors {
+		for i := 0; i < n; i++ {
+			s.add(&Implement{ID: id, Color: c, Kind: kind, Spec: DefaultSpec(kind)})
+			id++
+		}
+	}
+	return s
+}
+
+// NewMixedSet builds a set from explicit implements, filling in default
+// specs for zero-valued ones. It returns an error on duplicate IDs or
+// invalid colors so a hand-built roster can't silently alias.
+func NewMixedSet(impls []*Implement) (*Set, error) {
+	s := &Set{byColor: make(map[palette.Color][]*Implement)}
+	seen := make(map[int]bool)
+	for _, im := range impls {
+		if im == nil {
+			return nil, fmt.Errorf("implement: nil implement in set")
+		}
+		if seen[im.ID] {
+			return nil, fmt.Errorf("implement: duplicate implement ID %d", im.ID)
+		}
+		seen[im.ID] = true
+		if !im.Color.Valid() || im.Color == palette.None {
+			return nil, fmt.Errorf("implement: implement %d has invalid color", im.ID)
+		}
+		if !im.Kind.Valid() {
+			return nil, fmt.Errorf("implement: implement %d has invalid kind", im.ID)
+		}
+		if im.Spec == (Spec{}) {
+			im.Spec = DefaultSpec(im.Kind)
+		}
+		s.add(im)
+	}
+	if len(s.all) == 0 {
+		return nil, fmt.Errorf("implement: empty set")
+	}
+	return s, nil
+}
+
+func (s *Set) add(im *Implement) {
+	s.byColor[im.Color] = append(s.byColor[im.Color], im)
+	s.all = append(s.all, im)
+}
+
+// ForColor returns the implements of color c (nil if the set has none).
+func (s *Set) ForColor(c palette.Color) []*Implement {
+	return s.byColor[c]
+}
+
+// All returns every implement in the set in ID insertion order.
+func (s *Set) All() []*Implement { return s.all }
+
+// Colors returns the colors the set covers.
+func (s *Set) Colors() []palette.Color {
+	out := make([]palette.Color, 0, len(s.byColor))
+	for _, c := range palette.All() {
+		if len(s.byColor[c]) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Covers reports whether the set has at least one implement for every
+// color in need. A team whose set does not cover its flag cannot finish;
+// the simulator rejects the run up front instead of deadlocking.
+func (s *Set) Covers(need []palette.Color) error {
+	for _, c := range need {
+		if len(s.byColor[c]) == 0 {
+			return fmt.Errorf("implement: set has no %s implement", c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// AmdahlFit is a least-squares fit of Amdahl's law to a measured scaling
+// curve: the single serial-fraction parameter f minimizing the squared
+// error between predicted and measured speedups over all processor
+// counts. Unlike the point estimate (Karp–Flatt at one p), the fit uses
+// the whole curve — the "more in-depth statistical analysis" applied to
+// the timing board.
+type AmdahlFit struct {
+	// SerialFraction is the fitted f in [0, 1].
+	SerialFraction float64
+	// RMSE is the root-mean-square error of predicted vs measured
+	// speedups at the fit.
+	RMSE float64
+	// MaxSpeedup is the fitted asymptote 1/f (Inf when f = 0).
+	MaxSpeedup float64
+}
+
+// FitAmdahl fits the serial fraction to measured completion times, where
+// times[i] is the time on i+1 processors. It needs at least two points.
+// The 1-D minimization is a golden-section search on [0, 1]; the objective
+// is unimodal in f for any fixed positive speedup data.
+func FitAmdahl(times []time.Duration) (AmdahlFit, error) {
+	if len(times) < 2 {
+		return AmdahlFit{}, fmt.Errorf("metrics: Amdahl fit needs >= 2 points, got %d", len(times))
+	}
+	t1 := times[0]
+	if t1 <= 0 {
+		return AmdahlFit{}, fmt.Errorf("metrics: non-positive baseline time")
+	}
+	speedups := make([]float64, len(times))
+	for i, tp := range times {
+		if tp <= 0 {
+			return AmdahlFit{}, fmt.Errorf("metrics: non-positive time at p=%d", i+1)
+		}
+		speedups[i] = float64(t1) / float64(tp)
+	}
+	sse := func(f float64) float64 {
+		s := 0.0
+		for i, measured := range speedups {
+			p := float64(i + 1)
+			pred := 1 / (f + (1-f)/p)
+			d := pred - measured
+			s += d * d
+		}
+		return s
+	}
+	// Golden-section search on [0, 1].
+	const phi = 0.6180339887498949
+	lo, hi := 0.0, 1.0
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := sse(x1), sse(x2)
+	for i := 0; i < 200 && hi-lo > 1e-12; i++ {
+		if f1 < f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = sse(x1)
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = sse(x2)
+		}
+	}
+	f := (lo + hi) / 2
+	fit := AmdahlFit{
+		SerialFraction: f,
+		RMSE:           math.Sqrt(sse(f) / float64(len(speedups))),
+	}
+	if f > 0 {
+		fit.MaxSpeedup = 1 / f
+	} else {
+		fit.MaxSpeedup = math.Inf(1)
+	}
+	return fit, nil
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// amdahlTimes generates a perfect Amdahl curve with baseline t1 and serial
+// fraction f for p = 1..n.
+func amdahlTimes(t1 time.Duration, f float64, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		p := float64(i + 1)
+		s := 1 / (f + (1-f)/p)
+		out[i] = time.Duration(float64(t1) / s)
+	}
+	return out
+}
+
+func TestFitAmdahlRecoversExactFraction(t *testing.T) {
+	for _, f := range []float64{0, 0.02, 0.1, 0.3, 0.7} {
+		fit, err := FitAmdahl(amdahlTimes(time.Hour, f, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.SerialFraction-f) > 1e-4 {
+			t.Fatalf("f=%v: fitted %v", f, fit.SerialFraction)
+		}
+		if fit.RMSE > 1e-3 {
+			t.Fatalf("f=%v: RMSE %v on exact data", f, fit.RMSE)
+		}
+	}
+}
+
+func TestFitAmdahlMaxSpeedup(t *testing.T) {
+	fit, err := FitAmdahl(amdahlTimes(time.Hour, 0.25, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.MaxSpeedup-4) > 0.01 {
+		t.Fatalf("asymptote %v, want 4", fit.MaxSpeedup)
+	}
+	fit, err = FitAmdahl(amdahlTimes(time.Hour, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(fit.MaxSpeedup, 1) && fit.MaxSpeedup < 1e6 {
+		t.Fatalf("f=0 asymptote %v, want effectively infinite", fit.MaxSpeedup)
+	}
+}
+
+func TestFitAmdahlNoisyData(t *testing.T) {
+	times := amdahlTimes(time.Hour, 0.1, 10)
+	// Perturb the points by up to ±3%.
+	for i := range times {
+		jitter := 1 + 0.03*math.Sin(float64(i)*1.7)
+		times[i] = time.Duration(float64(times[i]) * jitter)
+	}
+	fit, err := FitAmdahl(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.SerialFraction-0.1) > 0.03 {
+		t.Fatalf("noisy fit %v drifted from 0.1", fit.SerialFraction)
+	}
+	if fit.RMSE == 0 {
+		t.Fatal("noisy data should leave residual")
+	}
+}
+
+func TestFitAmdahlValidation(t *testing.T) {
+	if _, err := FitAmdahl([]time.Duration{time.Second}); err == nil {
+		t.Fatal("one point should error")
+	}
+	if _, err := FitAmdahl([]time.Duration{0, time.Second}); err == nil {
+		t.Fatal("zero baseline should error")
+	}
+	if _, err := FitAmdahl([]time.Duration{time.Second, -time.Second}); err == nil {
+		t.Fatal("negative time should error")
+	}
+}
+
+func TestFitAmdahlProperty(t *testing.T) {
+	check := func(fRaw uint8, nRaw uint8) bool {
+		f := float64(fRaw%95) / 100
+		n := int(nRaw%14) + 2
+		fit, err := FitAmdahl(amdahlTimes(time.Hour, f, n))
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.SerialFraction-f) < 5e-3
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

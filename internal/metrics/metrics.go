@@ -1,0 +1,201 @@
+// Package metrics computes the performance measures the activity teaches:
+// speedup, efficiency, the linear-speedup reference, Amdahl's and
+// Gustafson's laws, the Karp–Flatt experimentally determined serial
+// fraction, utilization, and contention/pipeline accounting over sim
+// results.
+//
+// These are the quantities the instructor extracts from the posted timing
+// board (§III-C): "Trying to quantify this naturally leads into the concept
+// of speedup and its calculation. The question of what the speedup 'should'
+// be leads into the introduction of linear speedup."
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"flagsim/internal/sim"
+)
+
+// Speedup returns T1/Tp. It returns an error on non-positive inputs, which
+// indicate a broken measurement rather than a slow run.
+func Speedup(t1, tp time.Duration) (float64, error) {
+	if t1 <= 0 || tp <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive times t1=%v tp=%v", t1, tp)
+	}
+	return float64(t1) / float64(tp), nil
+}
+
+// Efficiency returns Speedup/p, the fraction of linear speedup achieved.
+func Efficiency(t1, tp time.Duration, p int) (float64, error) {
+	if p <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive processor count %d", p)
+	}
+	s, err := Speedup(t1, tp)
+	if err != nil {
+		return 0, err
+	}
+	return s / float64(p), nil
+}
+
+// AmdahlSpeedup returns the predicted speedup on p processors of a program
+// whose serial fraction is f: 1 / (f + (1-f)/p).
+func AmdahlSpeedup(serialFraction float64, p int) (float64, error) {
+	if serialFraction < 0 || serialFraction > 1 {
+		return 0, fmt.Errorf("metrics: serial fraction %v outside [0,1]", serialFraction)
+	}
+	if p <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive processor count %d", p)
+	}
+	return 1 / (serialFraction + (1-serialFraction)/float64(p)), nil
+}
+
+// GustafsonSpeedup returns the scaled speedup p + (1-p)·f for serial
+// fraction f measured on the parallel system.
+func GustafsonSpeedup(serialFraction float64, p int) (float64, error) {
+	if serialFraction < 0 || serialFraction > 1 {
+		return 0, fmt.Errorf("metrics: serial fraction %v outside [0,1]", serialFraction)
+	}
+	if p <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive processor count %d", p)
+	}
+	return float64(p) + (1-float64(p))*serialFraction, nil
+}
+
+// KarpFlatt returns the experimentally determined serial fraction
+// e = (1/S - 1/p) / (1 - 1/p) from a measured speedup S on p processors.
+// It requires p >= 2.
+func KarpFlatt(speedup float64, p int) (float64, error) {
+	if p < 2 {
+		return 0, fmt.Errorf("metrics: Karp–Flatt needs p >= 2, got %d", p)
+	}
+	if speedup <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive speedup %v", speedup)
+	}
+	ip := 1 / float64(p)
+	return (1/speedup - ip) / (1 - ip), nil
+}
+
+// ScalingPoint is one row of a scaling study.
+type ScalingPoint struct {
+	Procs      int
+	Time       time.Duration
+	Speedup    float64
+	Efficiency float64
+	KarpFlatt  float64 // NaN for p = 1
+}
+
+// ScalingStudy derives the full scaling table from measured times, where
+// times[i] is the completion time on i+1 processors.
+func ScalingStudy(times []time.Duration) ([]ScalingPoint, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("metrics: empty scaling study")
+	}
+	t1 := times[0]
+	out := make([]ScalingPoint, len(times))
+	for i, tp := range times {
+		p := i + 1
+		s, err := Speedup(t1, tp)
+		if err != nil {
+			return nil, err
+		}
+		e := s / float64(p)
+		kf := math.NaN()
+		if p >= 2 {
+			kf, err = KarpFlatt(s, p)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out[i] = ScalingPoint{Procs: p, Time: tp, Speedup: s, Efficiency: e, KarpFlatt: kf}
+	}
+	return out, nil
+}
+
+// Utilization summarizes how a run's wall time divides per processor.
+type Utilization struct {
+	Proc          string
+	Busy          float64 // painting + moving
+	WaitImplement float64
+	WaitLayer     float64
+	Overhead      float64 // pickup/putdown/repair
+	Idle          float64 // done before makespan (load imbalance) + setup share
+}
+
+// Utilizations computes per-processor utilization fractions of the run's
+// makespan. The fractions sum to 1 per processor (up to rounding).
+func Utilizations(r *sim.Result) []Utilization {
+	out := make([]Utilization, len(r.Procs))
+	total := float64(r.Makespan)
+	if total <= 0 {
+		return out
+	}
+	for i, p := range r.Procs {
+		busy := float64(p.PaintTime) / total
+		wi := float64(p.WaitImplement) / total
+		wl := float64(p.WaitLayer) / total
+		oh := float64(p.Overhead) / total
+		idle := 1 - busy - wi - wl - oh
+		if idle < 0 {
+			idle = 0
+		}
+		out[i] = Utilization{Proc: p.Name, Busy: busy, WaitImplement: wi,
+			WaitLayer: wl, Overhead: oh, Idle: idle}
+	}
+	return out
+}
+
+// LoadImbalance returns (maxFinish - minFinish) / makespan over processors
+// that did any work — the Webster load-balancing lesson in one number
+// (the maple leaf slows one worker's region; imbalance grows).
+func LoadImbalance(r *sim.Result) float64 {
+	var minF, maxF time.Duration
+	first := true
+	for _, p := range r.Procs {
+		if p.Cells == 0 {
+			continue
+		}
+		if first {
+			minF, maxF = p.Finish, p.Finish
+			first = false
+			continue
+		}
+		if p.Finish < minF {
+			minF = p.Finish
+		}
+		if p.Finish > maxF {
+			maxF = p.Finish
+		}
+	}
+	if first || r.Makespan <= 0 {
+		return 0
+	}
+	return float64(maxF-minF) / float64(r.Makespan)
+}
+
+// ContentionReport summarizes implement contention in a run.
+type ContentionReport struct {
+	TotalWait     time.Duration
+	MaxQueueDepth int
+	Handoffs      int
+	// WaitShare is TotalWait / (p × makespan): the fraction of the
+	// team's person-time lost to waiting for implements.
+	WaitShare float64
+}
+
+// Contention extracts the contention report from a run.
+func Contention(r *sim.Result) ContentionReport {
+	rep := ContentionReport{TotalWait: r.TotalWaitImplement()}
+	for _, is := range r.Implements {
+		if is.MaxQueue > rep.MaxQueueDepth {
+			rep.MaxQueueDepth = is.MaxQueue
+		}
+		rep.Handoffs += is.Handoffs
+	}
+	denom := float64(len(r.Procs)) * float64(r.Makespan)
+	if denom > 0 {
+		rep.WaitShare = float64(rep.TotalWait) / denom
+	}
+	return rep
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/processor"
+	"flagsim/internal/rng"
+	"flagsim/internal/sim"
+	"flagsim/internal/workplan"
+)
+
+func TestSpeedupBasics(t *testing.T) {
+	s, err := Speedup(100*time.Second, 25*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 4 {
+		t.Fatalf("speedup %v", s)
+	}
+	if _, err := Speedup(0, time.Second); err == nil {
+		t.Fatal("zero t1 should error")
+	}
+	if _, err := Speedup(time.Second, 0); err == nil {
+		t.Fatal("zero tp should error")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	e, err := Efficiency(100*time.Second, 30*time.Second, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-100.0/30/4) > 1e-12 {
+		t.Fatalf("efficiency %v", e)
+	}
+	if _, err := Efficiency(time.Second, time.Second, 0); err == nil {
+		t.Fatal("p=0 should error")
+	}
+}
+
+func TestAmdahl(t *testing.T) {
+	// f=0: linear. f=1: no speedup.
+	s, _ := AmdahlSpeedup(0, 8)
+	if s != 8 {
+		t.Fatalf("f=0 speedup %v", s)
+	}
+	s, _ = AmdahlSpeedup(1, 8)
+	if s != 1 {
+		t.Fatalf("f=1 speedup %v", s)
+	}
+	// Classic: f=0.1, p→∞ caps at 10. At p=16 it is already below 7.
+	s, _ = AmdahlSpeedup(0.1, 16)
+	if s < 6 || s > 7 {
+		t.Fatalf("f=0.1 p=16 speedup %v", s)
+	}
+	if _, err := AmdahlSpeedup(-0.1, 4); err == nil {
+		t.Fatal("negative fraction should error")
+	}
+	if _, err := AmdahlSpeedup(1.1, 4); err == nil {
+		t.Fatal("fraction > 1 should error")
+	}
+}
+
+func TestGustafson(t *testing.T) {
+	s, _ := GustafsonSpeedup(0, 8)
+	if s != 8 {
+		t.Fatalf("f=0 scaled speedup %v", s)
+	}
+	s, _ = GustafsonSpeedup(1, 8)
+	if s != 1 {
+		t.Fatalf("f=1 scaled speedup %v", s)
+	}
+}
+
+func TestKarpFlattRecoversAmdahlFraction(t *testing.T) {
+	// If times follow Amdahl with serial fraction f, Karp–Flatt recovers f.
+	const f = 0.2
+	for _, p := range []int{2, 4, 8} {
+		s, _ := AmdahlSpeedup(f, p)
+		e, err := KarpFlatt(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e-f) > 1e-9 {
+			t.Fatalf("p=%d: recovered %v, want %v", p, e, f)
+		}
+	}
+	if _, err := KarpFlatt(2, 1); err == nil {
+		t.Fatal("p=1 should error")
+	}
+}
+
+func TestKarpFlattProperty(t *testing.T) {
+	check := func(fRaw, pRaw uint8) bool {
+		f := float64(fRaw%90) / 100
+		p := int(pRaw%14) + 2
+		s, err := AmdahlSpeedup(f, p)
+		if err != nil {
+			return false
+		}
+		e, err := KarpFlatt(s, p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(e-f) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalingStudy(t *testing.T) {
+	times := []time.Duration{100 * time.Second, 52 * time.Second, 40 * time.Second}
+	pts, err := ScalingStudy(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Speedup != 1 || !math.IsNaN(pts[0].KarpFlatt) {
+		t.Fatalf("p=1 row %+v", pts[0])
+	}
+	if pts[1].Procs != 2 || math.Abs(pts[1].Speedup-100.0/52) > 1e-12 {
+		t.Fatalf("p=2 row %+v", pts[1])
+	}
+	if pts[2].Efficiency >= pts[1].Efficiency {
+		t.Fatal("efficiency should fall with p for sub-linear scaling")
+	}
+	if _, err := ScalingStudy(nil); err == nil {
+		t.Fatal("empty study should error")
+	}
+}
+
+func runFor(t *testing.T, p int, scenario4 bool) *sim.Result {
+	t.Helper()
+	f := flagspec.Mauritius
+	profile := processor.DefaultProfile("P")
+	profile.WarmupPenalty = 0
+	profile.MovePerCell = 0
+	team, err := processor.Team(p, profile, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan *workplan.Plan
+	if scenario4 {
+		plan, err = workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, p, false)
+	} else {
+		plan, err = workplan.LayerBlocks(f, f.DefaultW, f.DefaultH, p)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Plan: plan, Procs: team,
+		Set: implement.NewSet(implement.ThickMarker, f.Colors()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestUtilizationsSumToOne(t *testing.T) {
+	res := runFor(t, 4, true)
+	for _, u := range Utilizations(res) {
+		sum := u.Busy + u.WaitImplement + u.WaitLayer + u.Overhead + u.Idle
+		if math.Abs(sum-1) > 0.02 {
+			t.Fatalf("%s utilization sums to %v", u.Proc, sum)
+		}
+	}
+}
+
+func TestContentionReportScenario4(t *testing.T) {
+	res := runFor(t, 4, true)
+	rep := Contention(res)
+	if rep.TotalWait == 0 {
+		t.Fatal("scenario 4 must show waiting")
+	}
+	if rep.MaxQueueDepth < 1 {
+		t.Fatalf("max queue %d", rep.MaxQueueDepth)
+	}
+	if rep.WaitShare <= 0 || rep.WaitShare >= 1 {
+		t.Fatalf("wait share %v", rep.WaitShare)
+	}
+	if rep.Handoffs == 0 {
+		t.Fatal("scenario 4 must hand implements off")
+	}
+}
+
+func TestContentionReportScenario3Clean(t *testing.T) {
+	res := runFor(t, 4, false)
+	rep := Contention(res)
+	if rep.TotalWait != 0 {
+		t.Fatalf("scenario 3 should have no contention, got %v", rep.TotalWait)
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	res3 := runFor(t, 4, false)
+	// Scenario 3 on Mauritius is perfectly balanced.
+	if imb := LoadImbalance(res3); imb > 0.01 {
+		t.Fatalf("scenario 3 imbalance %v", imb)
+	}
+	res4 := runFor(t, 4, true)
+	if imb := LoadImbalance(res4); imb <= 0 {
+		t.Fatalf("scenario 4 imbalance %v should be positive (pipeline drain)", imb)
+	}
+}

@@ -1,0 +1,122 @@
+// Package palette defines the color model shared by flag specifications,
+// the grid, drawing implements, and the renderers.
+//
+// Colors are a small closed enumeration rather than arbitrary RGB: the
+// activity hands each team exactly one implement per named color, and
+// contention over those named implements is the core phenomenon the paper
+// teaches. RGB values exist only for the PPM/SVG renderers.
+package palette
+
+import "fmt"
+
+// Color identifies one of the named implement/paint colors used across all
+// flags in the activity.
+type Color uint8
+
+// The closed set of colors appearing on the activity's flags.
+const (
+	// None marks an unpainted cell. The paper's grading of Jordan
+	// dependency graphs accepts omitting the white stripe because paper
+	// is already white; None and White are therefore distinct on the grid
+	// but may compare equal under Grid.EqualAssumingWhitePaper.
+	None Color = iota
+	Red
+	Blue
+	Yellow
+	Green
+	White
+	Black
+)
+
+// ncolors is the number of defined colors including None.
+const ncolors = 7
+
+// Valid reports whether c is one of the defined colors.
+func (c Color) Valid() bool { return c < ncolors }
+
+// String returns the lowercase color name.
+func (c Color) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Red:
+		return "red"
+	case Blue:
+		return "blue"
+	case Yellow:
+		return "yellow"
+	case Green:
+		return "green"
+	case White:
+		return "white"
+	case Black:
+		return "black"
+	default:
+		return fmt.Sprintf("color(%d)", uint8(c))
+	}
+}
+
+// Parse converts a color name to a Color.
+func Parse(name string) (Color, error) {
+	for c := Color(0); c < ncolors; c++ {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return None, fmt.Errorf("palette: unknown color %q", name)
+}
+
+// All returns the paintable colors (everything but None).
+func All() []Color {
+	return []Color{Red, Blue, Yellow, Green, White, Black}
+}
+
+// Rune returns the single-character glyph used by the ASCII renderer.
+func (c Color) Rune() rune {
+	switch c {
+	case None:
+		return '.'
+	case Red:
+		return 'R'
+	case Blue:
+		return 'B'
+	case Yellow:
+		return 'Y'
+	case Green:
+		return 'G'
+	case White:
+		return 'W'
+	case Black:
+		return 'K'
+	default:
+		return '?'
+	}
+}
+
+// RGB returns the render color as 8-bit channels.
+func (c Color) RGB() (r, g, b uint8) {
+	switch c {
+	case None:
+		return 0xee, 0xee, 0xee
+	case Red:
+		return 0xce, 0x11, 0x26
+	case Blue:
+		return 0x00, 0x20, 0x9f
+	case Yellow:
+		return 0xff, 0xd5, 0x00
+	case Green:
+		return 0x00, 0x6a, 0x4e
+	case White:
+		return 0xff, 0xff, 0xff
+	case Black:
+		return 0x1a, 0x1a, 0x1a
+	default:
+		return 0xff, 0x00, 0xff
+	}
+}
+
+// Hex returns the render color as an SVG hex string.
+func (c Color) Hex() string {
+	r, g, b := c.RGB()
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}

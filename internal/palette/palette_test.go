@@ -1,0 +1,84 @@
+package palette
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for c := Color(0); c.Valid(); c++ {
+		got, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Fatalf("roundtrip %v -> %v", c, got)
+		}
+	}
+}
+
+func TestParseUnknown(t *testing.T) {
+	if _, err := Parse("mauve"); err == nil {
+		t.Fatal("expected error for unknown color")
+	}
+}
+
+func TestAllExcludesNone(t *testing.T) {
+	for _, c := range All() {
+		if c == None {
+			t.Fatal("All() must not include None")
+		}
+		if !c.Valid() {
+			t.Fatalf("All() contains invalid color %v", c)
+		}
+	}
+	if len(All()) != 6 {
+		t.Fatalf("expected 6 paintable colors, got %d", len(All()))
+	}
+}
+
+func TestRunesUnique(t *testing.T) {
+	seen := map[rune]Color{}
+	for c := Color(0); c.Valid(); c++ {
+		r := c.Rune()
+		if prev, dup := seen[r]; dup {
+			t.Fatalf("rune %q shared by %v and %v", r, prev, c)
+		}
+		seen[r] = c
+	}
+}
+
+func TestInvalidColorString(t *testing.T) {
+	c := Color(200)
+	if c.Valid() {
+		t.Fatal("200 should be invalid")
+	}
+	if !strings.Contains(c.String(), "200") {
+		t.Fatalf("invalid color string %q should include the value", c.String())
+	}
+}
+
+func TestHexFormat(t *testing.T) {
+	for c := Color(0); c.Valid(); c++ {
+		h := c.Hex()
+		if len(h) != 7 || h[0] != '#' {
+			t.Fatalf("%v hex %q malformed", c, h)
+		}
+	}
+	if White.Hex() != "#ffffff" {
+		t.Fatalf("white hex = %q", White.Hex())
+	}
+}
+
+func TestRGBDistinct(t *testing.T) {
+	type rgb struct{ r, g, b uint8 }
+	seen := map[rgb]Color{}
+	for c := Color(0); c.Valid(); c++ {
+		r, g, b := c.RGB()
+		key := rgb{r, g, b}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("colors %v and %v share RGB %v", prev, c, key)
+		}
+		seen[key] = c
+	}
+}

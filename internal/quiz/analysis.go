@@ -1,0 +1,101 @@
+package quiz
+
+import (
+	"fmt"
+
+	"flagsim/internal/stats"
+)
+
+// SignificanceRow is the McNemar analysis of one (concept, site) cell —
+// the "more in-depth statistical analysis" the paper's future work plans,
+// run over the reproduced cohorts.
+type SignificanceRow struct {
+	Concept Concept
+	Site    Site
+	Result  stats.McNemarResult
+	// NetGainPct is post-correct minus pre-correct, in percentage points.
+	NetGainPct float64
+}
+
+// Significant reports whether the change clears the given alpha.
+func (r SignificanceRow) Significant(alpha float64) bool {
+	return r.Result.PValue <= alpha
+}
+
+// AnalyzeSignificance runs McNemar's test per concept per site over the
+// cohorts' raw records.
+func AnalyzeSignificance(cohorts map[Site]*Cohort) ([]SignificanceRow, error) {
+	var out []SignificanceRow
+	for _, concept := range Concepts() {
+		for _, site := range Sites() {
+			c, ok := cohorts[site]
+			if !ok {
+				continue
+			}
+			recs, ok := c.Records[concept]
+			if !ok {
+				continue
+			}
+			transitions := make([]stats.Transition, len(recs))
+			for i, r := range recs {
+				switch {
+				case r.PreCorrect && r.PostCorrect:
+					transitions[i] = stats.RetainedCorrect
+				case !r.PreCorrect && r.PostCorrect:
+					transitions[i] = stats.Gained
+				case r.PreCorrect && !r.PostCorrect:
+					transitions[i] = stats.Lost
+				default:
+					transitions[i] = stats.RetainedIncorrect
+				}
+			}
+			res, err := stats.McNemar(transitions)
+			if err != nil {
+				return nil, fmt.Errorf("quiz: %v/%v: %w", concept, site, err)
+			}
+			m, err := c.Measure(concept)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SignificanceRow{
+				Concept:    concept,
+				Site:       site,
+				Result:     res,
+				NetGainPct: m.NetGain(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// PooledConceptCohort concatenates all sites' transitions for one concept,
+// for a pooled McNemar test across the three institutions.
+func PooledConceptCohort(cohorts map[Site]*Cohort, concept Concept) ([]stats.Transition, error) {
+	var out []stats.Transition
+	for _, site := range Sites() {
+		c, ok := cohorts[site]
+		if !ok {
+			continue
+		}
+		recs, ok := c.Records[concept]
+		if !ok {
+			continue
+		}
+		for _, r := range recs {
+			switch {
+			case r.PreCorrect && r.PostCorrect:
+				out = append(out, stats.RetainedCorrect)
+			case !r.PreCorrect && r.PostCorrect:
+				out = append(out, stats.Gained)
+			case r.PreCorrect && !r.PostCorrect:
+				out = append(out, stats.Lost)
+			default:
+				out = append(out, stats.RetainedIncorrect)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("quiz: no records for %v", concept)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package quiz
+
+import (
+	"testing"
+
+	"flagsim/internal/rng"
+	"flagsim/internal/stats"
+)
+
+func studyForAnalysis(t *testing.T) map[Site]*Cohort {
+	t.Helper()
+	cohorts, err := GenerateStudy(PaperMatrices(), rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cohorts
+}
+
+func TestAnalyzeSignificanceShape(t *testing.T) {
+	rows, err := AnalyzeSignificance(studyForAnalysis(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("%d rows, want 15", len(rows))
+	}
+	for _, r := range rows {
+		if r.Result.PValue < 0 || r.Result.PValue > 1 {
+			t.Fatalf("%v/%v p = %v", r.Concept, r.Site, r.Result.PValue)
+		}
+	}
+}
+
+func TestAnalyzeSignificanceKnownCells(t *testing.T) {
+	rows, err := AnalyzeSignificance(studyForAnalysis(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]SignificanceRow{}
+	for _, r := range rows {
+		byKey[r.Concept.String()+"/"+string(r.Site)] = r
+	}
+	// HPU speedup: no discordant pairs at all (100% retained) -> p = 1.
+	if r := byKey["speedup/HPU"]; r.Result.PValue != 1 {
+		t.Fatalf("speedup/HPU p = %v, want 1", r.Result.PValue)
+	}
+	// HPU pipelining: 6 lost, 0 gained -> exact p = 2*(1/2)^6 = 0.03125,
+	// a significant *loss*.
+	r := byKey["pipelining/HPU"]
+	if !r.Significant(0.05) {
+		t.Fatalf("pipelining/HPU p = %v should be significant", r.Result.PValue)
+	}
+	if r.NetGainPct >= 0 {
+		t.Fatalf("pipelining/HPU net gain %v should be negative", r.NetGainPct)
+	}
+	// USI contention: 5 gained, 0 lost -> p = 0.0625, suggestive.
+	r = byKey["contention/USI"]
+	if r.Result.PValue > 0.07 || r.Result.PValue < 0.06 {
+		t.Fatalf("contention/USI p = %v, want 0.0625", r.Result.PValue)
+	}
+	if r.NetGainPct <= 0 {
+		t.Fatalf("contention/USI net gain %v should be positive", r.NetGainPct)
+	}
+}
+
+func TestPooledConceptCohort(t *testing.T) {
+	cohorts := studyForAnalysis(t)
+	pooled, err := PooledConceptCohort(cohorts, Contention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pooled) != 13+86+12 {
+		t.Fatalf("pooled size %d", len(pooled))
+	}
+	res, err := stats.McNemar(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pooled contention: gains (5+21+2=28) overwhelm losses (0+8+0=8):
+	// significant learning at the pooled scale.
+	if !(res.PValue < 0.01) {
+		t.Fatalf("pooled contention p = %v, want < .01", res.PValue)
+	}
+	if res.Gained <= res.Lost {
+		t.Fatalf("pooled gains %d should exceed losses %d", res.Gained, res.Lost)
+	}
+}
+
+func TestPooledConceptCohortMissing(t *testing.T) {
+	if _, err := PooledConceptCohort(map[Site]*Cohort{}, Speedup); err == nil {
+		t.Fatal("empty study should error")
+	}
+}

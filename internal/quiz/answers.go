@@ -1,0 +1,166 @@
+package quiz
+
+import (
+	"fmt"
+
+	"flagsim/internal/rng"
+)
+
+// Answer sheets complete the assessment pipeline below the transition
+// level: each student marks an actual option (a–d, or true/false) on the
+// pre- and post-test, wrong answers land on specific distractors, and
+// grading the sheets against the key recovers the Fig. 8 transitions.
+// This is the layer a real deployment collects; everything above it is
+// derived.
+
+// AnswerSheet is one student's raw pre/post answers, indexed by question
+// position in the instrument (option indices, 0-based).
+type AnswerSheet struct {
+	Site    Site
+	Student int
+	Pre     []int
+	Post    []int
+}
+
+// distractorWeights biases which wrong option a confused student picks,
+// per question. The weights encode the plausible misconceptions: e.g. on
+// the contention question, wrong answers favor "the increase in
+// computational speed by adding more processors" (confusing contention
+// with scaling), and on pipelining they favor "executing multiple tasks
+// simultaneously" (confusing pipelining with plain parallelism).
+func distractorWeights(q Question) []float64 {
+	w := make([]float64, numOptions(q))
+	for i := range w {
+		if i != q.Correct {
+			w[i] = 1
+		}
+	}
+	switch q.Concept {
+	case TaskDecomposition:
+		w[1] = 2 // "organizing tasks in a sequential manner"
+	case Contention:
+		w[2] = 2.5 // "increase in computational speed…"
+	case Pipelining:
+		w[0] = 3 // "executing multiple tasks simultaneously"
+	}
+	w[q.Correct] = 0
+	return w
+}
+
+// numOptions returns the answer-space size (2 for true/false).
+func numOptions(q Question) int {
+	if q.Kind == TrueFalse {
+		return 2
+	}
+	return len(q.Options)
+}
+
+// GenerateAnswerSheets materializes raw answers from a cohort's
+// transition records: correct answers mark the key; incorrect answers
+// sample a distractor.
+func GenerateAnswerSheets(c *Cohort, stream *rng.Stream) ([]AnswerSheet, error) {
+	if c == nil || c.N <= 0 {
+		return nil, fmt.Errorf("quiz: nil or empty cohort")
+	}
+	if stream == nil {
+		stream = rng.New(0)
+	}
+	qs := Instrument()
+	sheets := make([]AnswerSheet, c.N)
+	for s := range sheets {
+		sheets[s] = AnswerSheet{
+			Site:    c.Site,
+			Student: s,
+			Pre:     make([]int, len(qs)),
+			Post:    make([]int, len(qs)),
+		}
+	}
+	for qi, q := range qs {
+		recs, ok := c.Records[q.Concept]
+		if !ok {
+			return nil, fmt.Errorf("quiz: cohort %s missing %s records", c.Site, q.Concept)
+		}
+		if len(recs) != c.N {
+			return nil, fmt.Errorf("quiz: cohort %s has %d records for %s, want %d",
+				c.Site, len(recs), q.Concept, c.N)
+		}
+		weights := distractorWeights(q)
+		qStream := stream.SplitLabeled(string(c.Site) + "/" + q.Concept.String())
+		pick := func(correct bool) int {
+			if correct {
+				return q.Correct
+			}
+			return qStream.Pick(weights)
+		}
+		for s, rec := range recs {
+			sheets[s].Pre[qi] = pick(rec.PreCorrect)
+			sheets[s].Post[qi] = pick(rec.PostCorrect)
+		}
+	}
+	return sheets, nil
+}
+
+// GradeSheets grades raw sheets against the key and reconstructs the
+// cohort's records — the inverse of GenerateAnswerSheets.
+func GradeSheets(site Site, sheets []AnswerSheet) (*Cohort, error) {
+	if len(sheets) == 0 {
+		return nil, fmt.Errorf("quiz: no sheets")
+	}
+	qs := Instrument()
+	c := &Cohort{Site: site, N: len(sheets), Records: make(map[Concept][]StudentRecord)}
+	for qi, q := range qs {
+		recs := make([]StudentRecord, len(sheets))
+		for s, sheet := range sheets {
+			if len(sheet.Pre) != len(qs) || len(sheet.Post) != len(qs) {
+				return nil, fmt.Errorf("quiz: sheet %d has %d/%d answers, want %d",
+					s, len(sheet.Pre), len(sheet.Post), len(qs))
+			}
+			if bad := sheet.Pre[qi]; bad < 0 || bad >= numOptions(q) {
+				return nil, fmt.Errorf("quiz: sheet %d question %d pre-answer %d out of range", s, qi, bad)
+			}
+			if bad := sheet.Post[qi]; bad < 0 || bad >= numOptions(q) {
+				return nil, fmt.Errorf("quiz: sheet %d question %d post-answer %d out of range", s, qi, bad)
+			}
+			recs[s] = StudentRecord{
+				PreCorrect:  sheet.Pre[qi] == q.Correct,
+				PostCorrect: sheet.Post[qi] == q.Correct,
+			}
+		}
+		c.Records[q.Concept] = recs
+	}
+	return c, nil
+}
+
+// DistractorCount tallies one wrong option's selections on the post-test.
+type DistractorCount struct {
+	Concept Concept
+	Option  int
+	Count   int
+}
+
+// DistractorAnalysis counts, per concept, how often each wrong option was
+// chosen on the post-test across sheets — the item analysis an instructor
+// uses to find the misconception behind "incorrect retention".
+func DistractorAnalysis(sheets []AnswerSheet) ([]DistractorCount, error) {
+	if len(sheets) == 0 {
+		return nil, fmt.Errorf("quiz: no sheets")
+	}
+	qs := Instrument()
+	var out []DistractorCount
+	for qi, q := range qs {
+		counts := make([]int, numOptions(q))
+		for _, sheet := range sheets {
+			if qi >= len(sheet.Post) {
+				return nil, fmt.Errorf("quiz: short sheet")
+			}
+			counts[sheet.Post[qi]]++
+		}
+		for opt, n := range counts {
+			if opt == q.Correct || n == 0 {
+				continue
+			}
+			out = append(out, DistractorCount{Concept: q.Concept, Option: opt, Count: n})
+		}
+	}
+	return out, nil
+}

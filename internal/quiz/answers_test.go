@@ -1,0 +1,158 @@
+package quiz
+
+import (
+	"testing"
+
+	"flagsim/internal/rng"
+	"flagsim/internal/stats"
+)
+
+func sheetsFor(t *testing.T, site Site) (*Cohort, []AnswerSheet) {
+	t.Helper()
+	cohorts, err := GenerateStudy(PaperMatrices(), rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cohorts[site]
+	sheets, err := GenerateAnswerSheets(c, rng.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, sheets
+}
+
+func TestAnswerSheetsShape(t *testing.T) {
+	c, sheets := sheetsFor(t, TNTech)
+	if len(sheets) != c.N {
+		t.Fatalf("%d sheets for %d students", len(sheets), c.N)
+	}
+	for _, s := range sheets {
+		if len(s.Pre) != 5 || len(s.Post) != 5 {
+			t.Fatalf("sheet has %d/%d answers", len(s.Pre), len(s.Post))
+		}
+	}
+}
+
+func TestGradeSheetsRoundTrip(t *testing.T) {
+	for _, site := range Sites() {
+		c, sheets := sheetsFor(t, site)
+		back, err := GradeSheets(site, sheets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, concept := range Concepts() {
+			want := c.Records[concept]
+			got := back.Records[concept]
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: %d records, want %d", site, concept, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/%s student %d: %+v != %+v", site, concept, i, got[i], want[i])
+				}
+			}
+		}
+		// Transition matrices survive the full sheet round trip.
+		for _, concept := range Concepts() {
+			a, err := c.Measure(concept)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := back.Measure(concept)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("%s/%s matrices differ after sheet roundtrip", site, concept)
+			}
+		}
+	}
+}
+
+func TestWrongAnswersNeverMarkTheKey(t *testing.T) {
+	c, sheets := sheetsFor(t, USI)
+	qs := Instrument()
+	for qi, q := range qs {
+		recs := c.Records[q.Concept]
+		for s, sheet := range sheets {
+			if !recs[s].PreCorrect && sheet.Pre[qi] == q.Correct {
+				t.Fatalf("incorrect student %d marked the key on %s pre", s, q.Concept)
+			}
+			if recs[s].PostCorrect && sheet.Post[qi] != q.Correct {
+				t.Fatalf("correct student %d missed the key on %s post", s, q.Concept)
+			}
+		}
+	}
+}
+
+func TestDistractorAnalysis(t *testing.T) {
+	_, sheets := sheetsFor(t, TNTech)
+	rows, err := DistractorAnalysis(sheets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("TNTech has plenty of wrong post answers; analysis empty")
+	}
+	// Pipelining at TNTech has 74.4% incorrect post answers, and the
+	// weighted misconception is option 0 ("executing multiple tasks
+	// simultaneously"): it must be the most-picked pipelining distractor.
+	best := map[Concept]DistractorCount{}
+	for _, r := range rows {
+		if r.Count > best[r.Concept].Count {
+			best[r.Concept] = r
+		}
+	}
+	if best[Pipelining].Option != 0 {
+		t.Fatalf("top pipelining distractor is option %d, want 0", best[Pipelining].Option)
+	}
+	// No row may reference the correct option.
+	for _, r := range rows {
+		for _, q := range Instrument() {
+			if q.Concept == r.Concept && r.Option == q.Correct {
+				t.Fatalf("distractor row references the key: %+v", r)
+			}
+		}
+	}
+}
+
+func TestGenerateAnswerSheetsValidation(t *testing.T) {
+	if _, err := GenerateAnswerSheets(nil, rng.New(1)); err == nil {
+		t.Fatal("nil cohort should error")
+	}
+	if _, err := GradeSheets(USI, nil); err == nil {
+		t.Fatal("no sheets should error")
+	}
+	// Malformed sheet.
+	if _, err := GradeSheets(USI, []AnswerSheet{{Pre: []int{0}, Post: []int{0}}}); err == nil {
+		t.Fatal("short sheet should error")
+	}
+	if _, err := GradeSheets(USI, []AnswerSheet{{
+		Pre:  []int{0, 0, 0, 0, 9},
+		Post: []int{0, 0, 0, 0, 0},
+	}}); err == nil {
+		t.Fatal("out-of-range answer should error")
+	}
+}
+
+func TestSheetsPreservePaperStatistics(t *testing.T) {
+	// End-to-end: matrices -> cohorts -> sheets -> grading -> matrices,
+	// still within largest-remainder tolerance of the paper.
+	c, sheets := sheetsFor(t, USI)
+	back, err := GradeSheets(USI, sheets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+	m, err := back.Measure(TaskDecomposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PaperMatrices()[TaskDecomposition][USI]
+	for _, tr := range stats.Transitions() {
+		d := m.Share(tr) - want.Share(tr)
+		if d < -8 || d > 8 {
+			t.Fatalf("%v share %.1f too far from paper %.1f", tr, m.Share(tr), want.Share(tr))
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package quiz
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV interchange for raw answer sheets, so the grading and Fig. 8
+// analysis run on real pre/post data. One row per student:
+//
+//	site,student,pre1,pre2,pre3,pre4,pre5,post1,post2,post3,post4,post5
+//
+// Answers are 0-based option indices (0/1 for true/false).
+
+// WriteSheetsCSV writes answer sheets.
+func WriteSheetsCSV(w io.Writer, sheets []AnswerSheet) error {
+	if len(sheets) == 0 {
+		return fmt.Errorf("quiz: no sheets")
+	}
+	nq := len(Instrument())
+	cw := csv.NewWriter(w)
+	header := []string{"site", "student"}
+	for i := 1; i <= nq; i++ {
+		header = append(header, fmt.Sprintf("pre%d", i))
+	}
+	for i := 1; i <= nq; i++ {
+		header = append(header, fmt.Sprintf("post%d", i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range sheets {
+		if len(s.Pre) != nq || len(s.Post) != nq {
+			return fmt.Errorf("quiz: sheet for student %d has %d/%d answers, want %d",
+				s.Student, len(s.Pre), len(s.Post), nq)
+		}
+		row := []string{string(s.Site), strconv.Itoa(s.Student)}
+		for _, a := range s.Pre {
+			row = append(row, strconv.Itoa(a))
+		}
+		for _, a := range s.Post {
+			row = append(row, strconv.Itoa(a))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSheetsCSV reads answer sheets, grouped by site.
+func ReadSheetsCSV(r io.Reader) (map[Site][]AnswerSheet, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("quiz: csv: %w", err)
+	}
+	nq := len(Instrument())
+	wantCols := 2 + 2*nq
+	if len(records) < 2 {
+		return nil, fmt.Errorf("quiz: csv needs a header and at least one student")
+	}
+	if len(records[0]) != wantCols || records[0][0] != "site" {
+		return nil, fmt.Errorf("quiz: csv header must be site,student,pre1..pre%d,post1..post%d", nq, nq)
+	}
+	qs := Instrument()
+	out := map[Site][]AnswerSheet{}
+	for li, row := range records[1:] {
+		if len(row) != wantCols {
+			return nil, fmt.Errorf("quiz: csv row %d has %d fields, want %d", li+2, len(row), wantCols)
+		}
+		site := Site(row[0])
+		student, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("quiz: csv row %d: bad student %q", li+2, row[1])
+		}
+		sheet := AnswerSheet{Site: site, Student: student, Pre: make([]int, nq), Post: make([]int, nq)}
+		parse := func(cell string, qi int) (int, error) {
+			v, err := strconv.Atoi(cell)
+			if err != nil || v < 0 || v >= numOptions(qs[qi]) {
+				return 0, fmt.Errorf("quiz: csv row %d: answer %q out of range for question %d", li+2, cell, qi+1)
+			}
+			return v, nil
+		}
+		for qi := 0; qi < nq; qi++ {
+			if sheet.Pre[qi], err = parse(row[2+qi], qi); err != nil {
+				return nil, err
+			}
+			if sheet.Post[qi], err = parse(row[2+nq+qi], qi); err != nil {
+				return nil, err
+			}
+		}
+		out[site] = append(out[site], sheet)
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package quiz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flagsim/internal/rng"
+)
+
+func TestSheetsCSVRoundTrip(t *testing.T) {
+	cohorts, err := GenerateStudy(PaperMatrices(), rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []AnswerSheet
+	for _, site := range Sites() {
+		sheets, err := GenerateAnswerSheets(cohorts[site], rng.New(62))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, sheets...)
+	}
+	var buf bytes.Buffer
+	if err := WriteSheetsCSV(&buf, all); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSheetsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("%d sites", len(back))
+	}
+	for _, site := range Sites() {
+		if len(back[site]) != CohortSize(site) {
+			t.Fatalf("%s: %d sheets, want %d", site, len(back[site]), CohortSize(site))
+		}
+		// Grading the imported sheets reproduces the original matrices.
+		graded, err := GradeSheets(site, back[site])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, concept := range Concepts() {
+			a, _ := cohorts[site].Measure(concept)
+			b, _ := graded.Measure(concept)
+			if a != b {
+				t.Fatalf("%s/%s matrices differ after CSV roundtrip", site, concept)
+			}
+		}
+	}
+}
+
+func TestReadSheetsCSVValidation(t *testing.T) {
+	cases := []string{
+		"",
+		"site,student,pre1,post1\nUSI,1,0,0", // wrong column count
+		"site,student,pre1,pre2,pre3,pre4,pre5,post1,post2,post3,post4,post5\nUSI,1,0,0,0,0,0,0,0,0,0,9", // MC answer out of range
+	}
+	for _, src := range cases {
+		if _, err := ReadSheetsCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadSheetsCSV(%q) should fail", src)
+		}
+	}
+	// True/false question (q2, index 1) rejects option 2.
+	bad := "site,student,pre1,pre2,pre3,pre4,pre5,post1,post2,post3,post4,post5\nUSI,1,0,2,0,0,0,0,0,0,0,0"
+	if _, err := ReadSheetsCSV(strings.NewReader(bad)); err == nil {
+		t.Error("true/false answer 2 should fail")
+	}
+	good := "site,student,pre1,pre2,pre3,pre4,pre5,post1,post2,post3,post4,post5\nUSI,1,3,1,2,0,3,0,0,1,0,1"
+	if _, err := ReadSheetsCSV(strings.NewReader(good)); err != nil {
+		t.Errorf("valid sheet rejected: %v", err)
+	}
+}
+
+func TestWriteSheetsCSVValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSheetsCSV(&buf, nil); err == nil {
+		t.Fatal("no sheets should error")
+	}
+	if err := WriteSheetsCSV(&buf, []AnswerSheet{{Pre: []int{1}, Post: []int{1}}}); err == nil {
+		t.Fatal("malformed sheet should error")
+	}
+}

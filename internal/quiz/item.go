@@ -1,0 +1,70 @@
+package quiz
+
+import (
+	"fmt"
+
+	"flagsim/internal/stats"
+)
+
+// Classical item analysis over raw answer sheets: per-question difficulty
+// (fraction correct) and upper-lower discrimination on the post-test —
+// the psychometrics an instructor runs before reusing the Fig. 7
+// instrument.
+
+// ItemStats is one question's analysis.
+type ItemStats struct {
+	Concept        Concept
+	PreDifficulty  float64 // fraction correct on the pre-test
+	PostDifficulty float64 // fraction correct on the post-test
+	Discrimination float64 // upper-lower D on the post-test
+}
+
+// AnalyzeItems computes the item statistics from answer sheets (one
+// site's, or several sites' concatenated).
+func AnalyzeItems(sheets []AnswerSheet) ([]ItemStats, error) {
+	if len(sheets) == 0 {
+		return nil, fmt.Errorf("quiz: no sheets")
+	}
+	qs := Instrument()
+	n := len(sheets)
+	// Total post score per student, for discrimination grouping.
+	scores := make([]int, n)
+	correctPost := make([][]bool, len(qs))
+	correctPre := make([][]bool, len(qs))
+	for qi, q := range qs {
+		correctPost[qi] = make([]bool, n)
+		correctPre[qi] = make([]bool, n)
+		for s, sheet := range sheets {
+			if len(sheet.Pre) != len(qs) || len(sheet.Post) != len(qs) {
+				return nil, fmt.Errorf("quiz: sheet %d malformed", s)
+			}
+			correctPre[qi][s] = sheet.Pre[qi] == q.Correct
+			correctPost[qi][s] = sheet.Post[qi] == q.Correct
+			if correctPost[qi][s] {
+				scores[s]++
+			}
+		}
+	}
+	out := make([]ItemStats, len(qs))
+	for qi, q := range qs {
+		pre, err := stats.ItemDifficulty(correctPre[qi])
+		if err != nil {
+			return nil, err
+		}
+		post, err := stats.ItemDifficulty(correctPost[qi])
+		if err != nil {
+			return nil, err
+		}
+		disc, err := stats.ItemDiscrimination(correctPost[qi], scores)
+		if err != nil {
+			return nil, err
+		}
+		out[qi] = ItemStats{
+			Concept:        q.Concept,
+			PreDifficulty:  pre,
+			PostDifficulty: post,
+			Discrimination: disc,
+		}
+	}
+	return out, nil
+}

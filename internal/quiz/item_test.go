@@ -1,0 +1,81 @@
+package quiz
+
+import (
+	"testing"
+
+	"flagsim/internal/rng"
+)
+
+func TestAnalyzeItemsShapeAndRanges(t *testing.T) {
+	cohorts, err := GenerateStudy(PaperMatrices(), rng.New(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []AnswerSheet
+	for _, site := range Sites() {
+		sheets, err := GenerateAnswerSheets(cohorts[site], rng.New(72))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, sheets...)
+	}
+	items, err := AnalyzeItems(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 5 {
+		t.Fatalf("%d items", len(items))
+	}
+	for _, it := range items {
+		if it.PreDifficulty < 0 || it.PreDifficulty > 1 ||
+			it.PostDifficulty < 0 || it.PostDifficulty > 1 {
+			t.Fatalf("%v difficulties out of range: %+v", it.Concept, it)
+		}
+		if it.Discrimination < -1 || it.Discrimination > 1 {
+			t.Fatalf("%v discrimination %v out of range", it.Concept, it.Discrimination)
+		}
+	}
+}
+
+func TestItemAnalysisReflectsPaperDifficulty(t *testing.T) {
+	cohorts, err := GenerateStudy(PaperMatrices(), rng.New(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []AnswerSheet
+	for _, site := range Sites() {
+		sheets, err := GenerateAnswerSheets(cohorts[site], rng.New(74))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, sheets...)
+	}
+	items, err := AnalyzeItems(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byConcept := map[Concept]ItemStats{}
+	for _, it := range items {
+		byConcept[it.Concept] = it
+	}
+	// Fig. 8's pattern: scalability is easy both times; pipelining is the
+	// hardest item on both tests.
+	if byConcept[Scalability].PostDifficulty < byConcept[Pipelining].PostDifficulty {
+		t.Fatal("scalability should be easier than pipelining post-test")
+	}
+	if byConcept[Pipelining].PreDifficulty > 0.45 {
+		t.Fatalf("pipelining pre-difficulty %v should be low", byConcept[Pipelining].PreDifficulty)
+	}
+	if byConcept[Scalability].PreDifficulty < 0.75 {
+		t.Fatalf("scalability pre-difficulty %v should be high", byConcept[Scalability].PreDifficulty)
+	}
+}
+
+func TestAnalyzeItemsValidation(t *testing.T) {
+	if _, err := AnalyzeItems(nil); err == nil {
+		t.Fatal("no sheets should error")
+	}
+	if _, err := AnalyzeItems([]AnswerSheet{{Pre: []int{0}, Post: []int{0}}}); err == nil {
+		t.Fatal("malformed sheet should error")
+	}
+}

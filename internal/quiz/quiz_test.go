@@ -1,0 +1,214 @@
+package quiz
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"flagsim/internal/rng"
+	"flagsim/internal/stats"
+)
+
+func TestInstrumentShape(t *testing.T) {
+	qs := Instrument()
+	if len(qs) != 5 {
+		t.Fatalf("%d questions, want 5 (Fig. 7)", len(qs))
+	}
+	for i, q := range qs {
+		if q.Concept != Concepts()[i] {
+			t.Fatalf("question %d concept %v", i, q.Concept)
+		}
+		switch q.Kind {
+		case MultipleChoice:
+			if len(q.Options) != 4 {
+				t.Fatalf("%v has %d options", q.Concept, len(q.Options))
+			}
+			if q.Correct < 0 || q.Correct >= len(q.Options) {
+				t.Fatalf("%v correct index %d", q.Concept, q.Correct)
+			}
+		case TrueFalse:
+			if len(q.Options) != 0 {
+				t.Fatalf("%v true/false has options", q.Concept)
+			}
+		}
+	}
+}
+
+func TestInstrumentCorrectAnswers(t *testing.T) {
+	qs := Instrument()
+	// Task decomposition: "breaking down a large task..." (a).
+	if qs[0].Correct != 0 || !strings.Contains(qs[0].Options[0], "breaking down") {
+		t.Fatal("task decomposition answer wrong")
+	}
+	// Speedup: true.
+	if qs[1].Kind != TrueFalse || qs[1].Correct != 0 {
+		t.Fatal("speedup answer wrong")
+	}
+	// Contention: "competition ... shared resources" (b).
+	if qs[2].Correct != 1 || !strings.Contains(qs[2].Options[1], "competition") {
+		t.Fatal("contention answer wrong")
+	}
+	// Scalability: true.
+	if qs[3].Correct != 0 {
+		t.Fatal("scalability answer wrong")
+	}
+	// Pipelining: "overlapping the execution" (b).
+	if qs[4].Correct != 1 || !strings.Contains(qs[4].Options[1], "overlapping") {
+		t.Fatal("pipelining answer wrong")
+	}
+}
+
+func TestPaperMatricesValid(t *testing.T) {
+	m := PaperMatrices()
+	for _, concept := range Concepts() {
+		for _, site := range Sites() {
+			tm, ok := m[concept][site]
+			if !ok {
+				t.Fatalf("missing matrix %v/%v", concept, site)
+			}
+			if err := tm.Validate(); err != nil {
+				t.Fatalf("%v/%v: %v", concept, site, err)
+			}
+		}
+	}
+}
+
+func TestPaperMatricesSpotChecks(t *testing.T) {
+	m := PaperMatrices()
+	// Fig. 8 verbatim values.
+	if got := m[TaskDecomposition][USI].RetainedCorrect; got != 76.9 {
+		t.Fatalf("task-decomposition@USI retained %v", got)
+	}
+	if got := m[Speedup][HPU].RetainedCorrect; got != 100 {
+		t.Fatalf("speedup@HPU retained %v", got)
+	}
+	if got := m[Contention][HPU].RetainedIncorrect; got != 50.0 {
+		t.Fatalf("contention@HPU RI %v", got)
+	}
+	if got := m[Pipelining][TNTech].RetainedIncorrect; got != 74.4 {
+		t.Fatalf("pipelining@TNTech RI %v", got)
+	}
+	if got := m[Scalability][USI].RetainedCorrect; got != 92.3 {
+		t.Fatalf("scalability@USI retained %v", got)
+	}
+}
+
+func TestFig8ShapeHolds(t *testing.T) {
+	// The qualitative claims of Fig. 8's analysis must hold in the
+	// calibrated matrices: scalability & speedup retain high, contention
+	// & pipelining start low with high incorrect retention.
+	m := PaperMatrices()
+	for _, site := range Sites() {
+		if m[Scalability][site].RetainedCorrect < m[Contention][site].RetainedCorrect {
+			t.Fatalf("%s: scalability should retain better than contention", site)
+		}
+		if m[Pipelining][site].PreCorrect() > m[Speedup][site].PreCorrect() {
+			t.Fatalf("%s: pipelining pre-quiz should be below speedup", site)
+		}
+		if m[Pipelining][site].RetainedIncorrect < 40 {
+			t.Fatalf("%s: pipelining incorrect retention should be high", site)
+		}
+	}
+}
+
+func TestCohortSizes(t *testing.T) {
+	if CohortSize(USI) != 13 {
+		t.Fatal("USI percentages are thirteenths")
+	}
+	if CohortSize(TNTech) != 86 || CohortSize(HPU) != 12 {
+		t.Fatal("cohort sizes changed")
+	}
+}
+
+func TestGenerateAndMeasureRoundTrip(t *testing.T) {
+	m := PaperMatrices()
+	cohorts, err := GenerateStudy(m, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, concept := range Concepts() {
+		for _, site := range Sites() {
+			c := cohorts[site]
+			got, err := c.Measure(concept)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := m[concept][site]
+			tol := 100.0/float64(c.N) + 1e-9 // largest-remainder bound
+			for _, tr := range stats.Transitions() {
+				if d := math.Abs(got.Share(tr) - want.Share(tr)); d > tol {
+					t.Fatalf("%v/%v %v: measured %.1f want %.1f (tol %.1f)",
+						concept, site, tr, got.Share(tr), want.Share(tr), tol)
+				}
+			}
+		}
+	}
+}
+
+func TestUSICountsExact(t *testing.T) {
+	// USI's reported percentages are exact thirteenths, so measurement
+	// reproduces them to the printed precision.
+	cohorts, err := GenerateStudy(PaperMatrices(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cohorts[USI].Measure(TaskDecomposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.RetainedCorrect-76.9) > 0.05 {
+		t.Fatalf("retained %.2f, want 76.9", got.RetainedCorrect)
+	}
+	if math.Abs(got.Lost-23.1) > 0.05 {
+		t.Fatalf("lost %.2f, want 23.1", got.Lost)
+	}
+}
+
+func TestBuildFig8Rows(t *testing.T) {
+	cohorts, err := GenerateStudy(PaperMatrices(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := BuildFig8(cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("%d rows, want 5 concepts × 3 sites", len(rows))
+	}
+	// Rows come in concept-major, site-minor order.
+	if rows[0].Concept != TaskDecomposition || rows[0].Site != USI {
+		t.Fatalf("first row %v/%v", rows[0].Concept, rows[0].Site)
+	}
+	if rows[14].Concept != Pipelining || rows[14].Site != HPU {
+		t.Fatalf("last row %v/%v", rows[14].Concept, rows[14].Site)
+	}
+}
+
+func TestGenerateCohortValidation(t *testing.T) {
+	if _, err := GenerateCohort(USI, 0, PaperMatrices(), rng.New(1)); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+func TestMeasureUnknownConcept(t *testing.T) {
+	c := &Cohort{Site: USI, N: 5, Records: map[Concept][]StudentRecord{}}
+	if _, err := c.Measure(Speedup); err == nil {
+		t.Fatal("missing records should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := GenerateStudy(PaperMatrices(), rng.New(9))
+	b, _ := GenerateStudy(PaperMatrices(), rng.New(9))
+	for _, site := range Sites() {
+		for _, concept := range Concepts() {
+			ra, rb := a[site].Records[concept], b[site].Records[concept]
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("%v/%v differs at %d", site, concept, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"flagsim/internal/metrics"
+	"flagsim/internal/quiz"
+	"flagsim/internal/sim"
+	"flagsim/internal/survey"
+	"flagsim/internal/viz"
+)
+
+// SVGGantt renders a traced run as an SVG timeline: paint spans in their
+// palette colors, implement waits in hatched gray, layer stalls in light
+// blue-gray, overheads in pale yellow.
+func SVGGantt(w io.Writer, r *sim.Result, pxWidth int) error {
+	if r.Trace == nil {
+		return fmt.Errorf("report: run has no trace; set Config.Trace")
+	}
+	lanes := make([]string, len(r.Procs))
+	for i, p := range r.Procs {
+		lanes[i] = p.Name
+	}
+	spans := make([]viz.SVGGanttSpan, 0, len(r.Trace))
+	for _, sp := range r.Trace {
+		out := viz.SVGGanttSpan{Lane: sp.Proc, Start: sp.Start, End: sp.End}
+		switch sp.Kind {
+		case sim.SpanPaint:
+			out.Fill = sp.Color.Hex()
+			out.Label = fmt.Sprintf("paint %s %v", sp.Color, sp.Cell)
+		case sim.SpanWaitImplement:
+			out.Fill = "#bbbbbb"
+			out.Label = fmt.Sprintf("waiting for %s implement", sp.Color)
+		case sim.SpanWaitLayer:
+			out.Fill = "#9fb2c8"
+			out.Label = "waiting for prerequisite layer"
+		case sim.SpanSetup:
+			out.Fill = "#e8e0c8"
+			out.Label = "scenario setup"
+		default:
+			out.Fill = "#ddd6a8"
+			out.Label = sp.Kind.String()
+		}
+		spans = append(spans, out)
+	}
+	return viz.SVGGantt(w, lanes, spans, r.Makespan, pxWidth)
+}
+
+// QuizSignificance writes the McNemar analysis table for the reproduced
+// quiz cohorts.
+func QuizSignificance(w io.Writer, rows []quiz.SignificanceRow, alpha float64) error {
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		p := fmt.Sprintf("%.4f", r.Result.PValue)
+		form := "exact"
+		if !r.Result.Exact {
+			form = fmt.Sprintf("chi2=%.2f", r.Result.Statistic)
+		}
+		verdict := ""
+		if r.Significant(alpha) {
+			if r.NetGainPct > 0 {
+				verdict = "significant gain"
+			} else {
+				verdict = "significant LOSS"
+			}
+		}
+		table = append(table, []string{
+			r.Concept.String(), string(r.Site),
+			fmt.Sprintf("%d", r.Result.Gained), fmt.Sprintf("%d", r.Result.Lost),
+			fmt.Sprintf("%+.1f", r.NetGainPct), p, form, verdict,
+		})
+	}
+	return viz.Table(w, []string{"concept", "site", "gained", "lost", "net-%", "p", "test", fmt.Sprintf("verdict (alpha=%.2f)", alpha)}, table)
+}
+
+// SurveyComparisons writes Mann–Whitney comparisons for one question.
+func SurveyComparisons(w io.Writer, comps []survey.Comparison, alpha float64) error {
+	table := make([][]string, 0, len(comps))
+	for _, c := range comps {
+		verdict := ""
+		if c.Result.PValue <= alpha {
+			verdict = "differs"
+		}
+		table = append(table, []string{
+			string(c.A), string(c.B),
+			fmt.Sprintf("%.1f", c.MedianA), fmt.Sprintf("%.1f", c.MedianB),
+			fmt.Sprintf("%.4f", c.Result.PValue),
+			fmt.Sprintf("%+.2f", c.Result.RankBiserial),
+			verdict,
+		})
+	}
+	return viz.Table(w, []string{"A", "B", "median-A", "median-B", "p", "effect", fmt.Sprintf("verdict (alpha=%.2f)", alpha)}, table)
+}
+
+// AmdahlFitReport writes the whole-curve fit next to the per-point
+// Karp–Flatt values.
+func AmdahlFitReport(w io.Writer, times []time.Duration) error {
+	fit, err := metrics.FitAmdahl(times)
+	if err != nil {
+		return err
+	}
+	if err := Speedups(w, times); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"Amdahl fit over the whole curve: serial fraction %.4f (max speedup %.1f, RMSE %.3f)\n",
+		fit.SerialFraction, fit.MaxSpeedup, fit.RMSE)
+	return err
+}

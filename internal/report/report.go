@@ -1,0 +1,215 @@
+// Package report formats simulation and assessment results for humans: it
+// glues sim/metrics/survey/quiz/submission outputs to the viz renderers.
+// Every cmd/ binary and the experiments harness prints through this
+// package so the repository has one canonical presentation of each
+// artifact.
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"flagsim/internal/core"
+	"flagsim/internal/metrics"
+	"flagsim/internal/quiz"
+	"flagsim/internal/sim"
+	"flagsim/internal/submission"
+	"flagsim/internal/survey"
+	"flagsim/internal/viz"
+)
+
+// Scenario writes the summary of one run: makespan, per-processor
+// breakdown, and contention.
+func Scenario(w io.Writer, title string, r *sim.Result) error {
+	if _, err := fmt.Fprintf(w, "%s\n  strategy: %s  makespan: %v  events: %d\n",
+		title, r.Plan.Strategy, r.Makespan.Round(time.Millisecond), r.Events); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(r.Procs))
+	for _, p := range r.Procs {
+		rows = append(rows, []string{
+			p.Name,
+			fmt.Sprintf("%d", p.Cells),
+			p.Finish.Round(time.Millisecond).String(),
+			p.PaintTime.Round(time.Millisecond).String(),
+			p.WaitImplement.Round(time.Millisecond).String(),
+			p.WaitLayer.Round(time.Millisecond).String(),
+			p.Overhead.Round(time.Millisecond).String(),
+		})
+	}
+	if err := viz.Table(w, []string{"proc", "cells", "finish", "paint", "wait-impl", "wait-layer", "overhead"}, rows); err != nil {
+		return err
+	}
+	rep := metrics.Contention(r)
+	_, err := fmt.Fprintf(w, "  contention: wait=%v max-queue=%d handoffs=%d wait-share=%.1f%%  pipeline-fill=%v  breaks=%d\n",
+		rep.TotalWait.Round(time.Millisecond), rep.MaxQueueDepth, rep.Handoffs,
+		rep.WaitShare*100, r.PipelineFill().Round(time.Millisecond), r.Breaks)
+	return err
+}
+
+// Gantt renders a traced run as an ASCII timeline, one lane per
+// processor. Paint spans use the color's glyph; waits render as '·' for
+// implement waits and '~' for layer stalls; overheads as ','.
+func Gantt(w io.Writer, r *sim.Result, cols int) error {
+	if r.Trace == nil {
+		return fmt.Errorf("report: run has no trace; set Config.Trace")
+	}
+	lanes := make([]string, len(r.Procs))
+	for i, p := range r.Procs {
+		lanes[i] = p.Name
+	}
+	spans := make([]viz.GanttSpan, 0, len(r.Trace))
+	for _, sp := range r.Trace {
+		glyph := ','
+		switch sp.Kind {
+		case sim.SpanPaint:
+			glyph = sp.Color.Rune()
+		case sim.SpanWaitImplement:
+			glyph = '·'
+		case sim.SpanWaitLayer:
+			glyph = '~'
+		case sim.SpanSetup:
+			glyph = ' '
+		}
+		spans = append(spans, viz.GanttSpan{Lane: sp.Proc, Glyph: glyph, Start: sp.Start, End: sp.End})
+	}
+	return viz.Gantt(w, lanes, spans, r.Makespan, cols)
+}
+
+// Speedups writes a scaling table from completion times on 1..p
+// processors.
+func Speedups(w io.Writer, times []time.Duration) error {
+	pts, err := metrics.ScalingStudy(times)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(pts))
+	for _, pt := range pts {
+		kf := "-"
+		if pt.Procs >= 2 {
+			kf = fmt.Sprintf("%.3f", pt.KarpFlatt)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", pt.Procs),
+			pt.Time.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", pt.Speedup),
+			fmt.Sprintf("%.2f", pt.Efficiency),
+			kf,
+		})
+	}
+	return viz.Table(w, []string{"p", "time", "speedup", "efficiency", "karp-flatt"}, rows)
+}
+
+// SurveyTable writes a Tables I–III style median table.
+func SurveyTable(w io.Writer, t *survey.Table) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	header := []string{"Question"}
+	for _, inst := range t.Institutions {
+		header = append(header, string(inst))
+	}
+	rows := make([][]string, 0, len(t.Questions))
+	for _, q := range t.Questions {
+		question, err := survey.QuestionByID(q)
+		if err != nil {
+			return err
+		}
+		row := []string{question.Text}
+		for _, inst := range t.Institutions {
+			row = append(row, t.Cell(q, inst).String())
+		}
+		rows = append(rows, row)
+	}
+	return viz.Table(w, header, rows)
+}
+
+// Fig6Groups converts cohorts into grouped bars (one group per question,
+// one bar per institution) for the Fig. 6 chart.
+func Fig6Groups(cohorts map[survey.Institution]*survey.Cohort) []viz.GroupedBar {
+	var groups []viz.GroupedBar
+	for _, q := range survey.Instrument() {
+		var bars []viz.Bar
+		for _, inst := range survey.Institutions() {
+			c, ok := cohorts[inst]
+			if !ok {
+				continue
+			}
+			if m, ok := c.Median(q.ID); ok {
+				bars = append(bars, viz.Bar{Label: string(inst), Value: m})
+			}
+		}
+		if len(bars) > 0 {
+			groups = append(groups, viz.GroupedBar{Group: q.Text, Bars: bars})
+		}
+	}
+	return groups
+}
+
+// Fig6 writes the median bar chart (ASCII form of the paper's Fig. 6).
+func Fig6(w io.Writer, cohorts map[survey.Institution]*survey.Cohort) error {
+	return viz.GroupedBarChart(w, "Fig. 6: median scores per question across institutions",
+		Fig6Groups(cohorts), 25, 5)
+}
+
+// Fig6SVG writes the chart as SVG.
+func Fig6SVG(w io.Writer, cohorts map[survey.Institution]*survey.Cohort) error {
+	return viz.SVGGroupedBarChart(w, "Median scores per question across institutions",
+		Fig6Groups(cohorts), 5)
+}
+
+// Fig8 writes the pre/post transition analysis in the paper's per-concept
+// layout.
+func Fig8(w io.Writer, rows []quiz.Fig8Row) error {
+	var current quiz.Concept = 255
+	for _, row := range rows {
+		if row.Concept != current {
+			current = row.Concept
+			if _, err := fmt.Fprintf(w, "\n%s:\n", row.Concept); err != nil {
+				return err
+			}
+		}
+		m := row.Matrix
+		if _, err := fmt.Fprintf(w,
+			"  %-7s retained-correct %5.1f%%  gained %5.1f%%  lost %5.1f%%  retained-incorrect %5.1f%%  (pre %5.1f%% -> post %5.1f%%)\n",
+			row.Site, m.RetainedCorrect, m.Gained, m.Lost, m.RetainedIncorrect,
+			m.PreCorrect(), m.PostCorrect()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Submissions writes the §V-C grading distribution.
+func Submissions(w io.Writer, counts submission.Counts) error {
+	rows := make([][]string, 0, 5)
+	for _, cat := range submission.Categories() {
+		rows = append(rows, []string{
+			cat.String(),
+			fmt.Sprintf("%d", counts[cat]),
+			fmt.Sprintf("%.0f%%", counts.Share(cat)),
+		})
+	}
+	if err := viz.Table(w, []string{"category", "count", "share"}, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "at least mostly correct: %.0f%% of %d submissions\n",
+		counts.AtLeastMostlyCorrectShare(), counts.Total())
+	return err
+}
+
+// Lessons writes the classroom discussion lessons.
+func Lessons(w io.Writer, lessons []core.Lesson) error {
+	for _, l := range lessons {
+		if _, err := fmt.Fprintf(w, "\n[%s] %s\n", l.Name, l.Headline); err != nil {
+			return err
+		}
+		for _, k := range viz.SortedKeys(l.Values) {
+			if _, err := fmt.Fprintf(w, "  %-28s %10.2f\n", k, l.Values[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/quiz"
+	"flagsim/internal/rng"
+	"flagsim/internal/sim"
+	"flagsim/internal/submission"
+	"flagsim/internal/survey"
+)
+
+func tracedRun(t *testing.T) *sim.Result {
+	t.Helper()
+	scen, err := core.ScenarioByID(core.S4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := core.NewTeam(scen.Workers, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.RunSpec{
+		Flag:     flagspec.Mauritius,
+		Scenario: scen,
+		Team:     team,
+		Set:      implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors()),
+		Trace:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScenarioReport(t *testing.T) {
+	res := tracedRun(t)
+	var buf bytes.Buffer
+	if err := Scenario(&buf, "test run", res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test run", "vertical-slices", "P1", "P4", "contention", "pipeline-fill"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGanttFromTrace(t *testing.T) {
+	res := tracedRun(t)
+	var buf bytes.Buffer
+	if err := Gantt(&buf, res, 80); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Paint glyphs and wait dots must both appear for scenario 4.
+	if !strings.ContainsAny(out, "RBYG") {
+		t.Fatal("gantt missing paint spans")
+	}
+	if !strings.Contains(out, "·") {
+		t.Fatal("gantt missing implement-wait spans")
+	}
+}
+
+func TestGanttRequiresTrace(t *testing.T) {
+	res := tracedRun(t)
+	res.Trace = nil
+	var buf bytes.Buffer
+	if err := Gantt(&buf, res, 80); err == nil {
+		t.Fatal("untraced run should error")
+	}
+}
+
+func TestSVGGanttFromTrace(t *testing.T) {
+	res := tracedRun(t)
+	var buf bytes.Buffer
+	if err := SVGGantt(&buf, res, 600); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<svg") {
+		t.Fatal("not SVG")
+	}
+	// Paint fills and the wait gray must appear.
+	if !strings.Contains(out, "#ce1126") {
+		t.Fatal("missing red paint span")
+	}
+	if !strings.Contains(out, "#bbbbbb") {
+		t.Fatal("missing wait span fill")
+	}
+	if !strings.Contains(out, "waiting for") {
+		t.Fatal("missing wait tooltip")
+	}
+}
+
+func TestSpeedupsTable(t *testing.T) {
+	var buf bytes.Buffer
+	times := []time.Duration{100 * time.Second, 55 * time.Second, 40 * time.Second}
+	if err := Speedups(&buf, times); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1.82") {
+		t.Fatalf("missing p=2 speedup:\n%s", out)
+	}
+}
+
+func TestSurveyTableReport(t *testing.T) {
+	cohorts, err := survey.GenerateStudy(survey.PaperTargets(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _, _, err := survey.BuildPaperTables(cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SurveyTable(&buf, t1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "I had fun during the activity") {
+		t.Fatal("missing question text")
+	}
+	if !strings.Contains(out, "NA") {
+		t.Fatal("missing NA cell")
+	}
+}
+
+func TestFig6AndSVG(t *testing.T) {
+	cohorts, err := survey.GenerateStudy(survey.PaperTargets(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Fig6(&buf, cohorts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Webster") {
+		t.Fatal("chart missing institutions")
+	}
+	buf.Reset()
+	if err := Fig6SVG(&buf, cohorts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<svg") {
+		t.Fatal("not SVG")
+	}
+}
+
+func TestFig8Report(t *testing.T) {
+	cohorts, err := quiz.GenerateStudy(quiz.PaperMatrices(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := quiz.BuildFig8(cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Fig8(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"task-decomposition", "pipelining", "retained-correct", "USI", "HPU"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig8 missing %q", want)
+		}
+	}
+}
+
+func TestSubmissionsReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Submissions(&buf, submission.PaperCounts()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "perfect") || !strings.Contains(out, "59%") {
+		t.Fatalf("submissions report incomplete:\n%s", out)
+	}
+}
+
+func TestQuizSignificanceReport(t *testing.T) {
+	cohorts, err := quiz.GenerateStudy(quiz.PaperMatrices(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := quiz.AnalyzeSignificance(cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := QuizSignificance(&buf, rows, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "significant") {
+		t.Fatal("no significance verdicts rendered")
+	}
+	if !strings.Contains(out, "exact") {
+		t.Fatal("test form column missing")
+	}
+}
+
+func TestSurveyComparisonsReport(t *testing.T) {
+	cohorts, err := survey.GenerateStudy(survey.PaperTargets(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := survey.CompareAllPairs(cohorts, "increased-loops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SurveyComparisons(&buf, comps, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Montclair") {
+		t.Fatal("comparison table incomplete")
+	}
+}
+
+func TestAmdahlFitReport(t *testing.T) {
+	times := []time.Duration{100 * time.Second, 52 * time.Second, 36 * time.Second, 28 * time.Second}
+	var buf bytes.Buffer
+	if err := AmdahlFitReport(&buf, times); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "serial fraction") {
+		t.Fatal("fit line missing")
+	}
+}
+
+func TestLessonsReport(t *testing.T) {
+	var buf bytes.Buffer
+	err := Lessons(&buf, []core.Lesson{{
+		Name: "demo", Headline: "headline here",
+		Values: map[string]float64{"b-metric": 2, "a-metric": 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[demo] headline here") {
+		t.Fatal("lesson header missing")
+	}
+	// Sorted keys: a before b.
+	if strings.Index(out, "a-metric") > strings.Index(out, "b-metric") {
+		t.Fatal("values not sorted")
+	}
+}

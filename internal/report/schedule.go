@@ -1,0 +1,60 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"flagsim/internal/depgraph"
+	"flagsim/internal/viz"
+)
+
+// taskFills cycles distinct fills for schedule tasks.
+var taskFills = []string{"#4878a8", "#a85448", "#6aa84f", "#8a64a8", "#a8924a", "#50a0a0", "#b05070", "#708050"}
+
+// ScheduleSVG renders a list schedule as an SVG Gantt: one lane per
+// processor, one block per task — the layer-schedule visualization used
+// in the Knox dependency discussion ("visualize schedules with different
+// numbers of processors").
+func ScheduleSVG(w io.Writer, s *depgraph.Schedule, pxWidth int) error {
+	if s == nil || len(s.Tasks) == 0 {
+		return fmt.Errorf("report: empty schedule")
+	}
+	lanes := make([]string, s.Procs)
+	for i := range lanes {
+		lanes[i] = fmt.Sprintf("P%d", i+1)
+	}
+	spans := make([]viz.SVGGanttSpan, 0, len(s.Tasks))
+	for i, t := range s.Tasks {
+		spans = append(spans, viz.SVGGanttSpan{
+			Lane:  t.Proc,
+			Start: t.Start,
+			End:   t.End,
+			Fill:  taskFills[i%len(taskFills)],
+			Label: t.ID,
+		})
+	}
+	return viz.SVGGantt(w, lanes, spans, s.Makespan, pxWidth)
+}
+
+// ScheduleASCII renders a list schedule as an ASCII Gantt using the first
+// letter of each task ID as its glyph.
+func ScheduleASCII(w io.Writer, s *depgraph.Schedule, cols int) error {
+	if s == nil || len(s.Tasks) == 0 {
+		return fmt.Errorf("report: empty schedule")
+	}
+	lanes := make([]string, s.Procs)
+	for i := range lanes {
+		lanes[i] = fmt.Sprintf("P%d", i+1)
+	}
+	spans := make([]viz.GanttSpan, 0, len(s.Tasks))
+	for _, t := range s.Tasks {
+		glyph := '?'
+		if len(t.ID) > 0 {
+			glyph = rune(t.ID[0])
+		}
+		spans = append(spans, viz.GanttSpan{
+			Lane: t.Proc, Glyph: glyph, Start: t.Start, End: t.End,
+		})
+	}
+	return viz.Gantt(w, lanes, spans, s.Makespan, cols)
+}

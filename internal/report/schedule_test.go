@@ -1,0 +1,62 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flagsim/internal/depgraph"
+)
+
+func TestScheduleSVG(t *testing.T) {
+	g := depgraph.JordanReference(false)
+	s, err := depgraph.ListSchedule(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ScheduleSVG(&buf, s, 600); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatal("not SVG")
+	}
+	for _, task := range []string{"black-stripe", "red-triangle", "white-star"} {
+		if !strings.Contains(out, "<title>"+task+"</title>") {
+			t.Fatalf("missing task %s", task)
+		}
+	}
+	if !strings.Contains(out, "P3") {
+		t.Fatal("missing lane label")
+	}
+}
+
+func TestScheduleASCII(t *testing.T) {
+	g := depgraph.GreatBritainReference()
+	s, err := depgraph.ListSchedule(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ScheduleASCII(&buf, s, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Tasks render by first letter: 'b' (blue-field), 'w', 'r'.
+	for _, glyph := range []string{"b", "w", "r"} {
+		if !strings.Contains(out, glyph) {
+			t.Fatalf("missing glyph %q:\n%s", glyph, out)
+		}
+	}
+}
+
+func TestScheduleRenderValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ScheduleSVG(&buf, nil, 100); err == nil {
+		t.Fatal("nil schedule should error")
+	}
+	if err := ScheduleASCII(&buf, &depgraph.Schedule{}, 60); err == nil {
+		t.Fatal("empty schedule should error")
+	}
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"flagsim/internal/viz"
+	"flagsim/internal/workplan"
+)
+
+// procStrokes are the per-processor outline colors on scenario slides.
+var procStrokes = []string{"#1c1c1c", "#c8309a", "#ff7700", "#0aa0c8", "#7744cc", "#3a9a30", "#aa2222", "#888800"}
+
+// SlideSVG renders a decomposition as the activity's scenario slide
+// (Fig. 1): every cell filled with its paint color, outlined in its
+// processor's color, and numbered with its position in that processor's
+// execution order — "Number the cells to efficiently convey the order in
+// which they should be filled" (§IV).
+func SlideSVG(w io.Writer, title string, plan *workplan.Plan, cellPx int) error {
+	if plan == nil {
+		return fmt.Errorf("report: nil plan")
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	var cells []viz.AnnotatedCell
+	for pi, tasks := range plan.PerProc {
+		stroke := procStrokes[pi%len(procStrokes)]
+		for i, t := range tasks {
+			cells = append(cells, viz.AnnotatedCell{
+				X: t.Cell.X, Y: t.Cell.Y,
+				Fill:   t.Color.Hex(),
+				Stroke: stroke,
+				Label:  fmt.Sprintf("%d", i+1),
+			})
+		}
+	}
+	var legend []viz.LegendEntry
+	for pi := range plan.PerProc {
+		legend = append(legend, viz.LegendEntry{
+			Color: procStrokes[pi%len(procStrokes)],
+			Label: fmt.Sprintf("P%d", pi+1),
+		})
+	}
+	if title == "" {
+		title = plan.Strategy
+	}
+	return viz.SVGAnnotatedGrid(w, title, cells, plan.W, plan.H, cellPx, legend)
+}
+
+// SlideASCII renders the slide as text: each cell shows its processor
+// number, with a second grid showing the per-processor order mod 10 —
+// enough to eyeball a decomposition in a terminal or a test.
+func SlideASCII(w io.Writer, plan *workplan.Plan) error {
+	if plan == nil {
+		return fmt.Errorf("report: nil plan")
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	owner := make([][]rune, plan.H)
+	order := make([][]rune, plan.H)
+	for y := range owner {
+		owner[y] = []rune(strings.Repeat(".", plan.W))
+		order[y] = []rune(strings.Repeat(".", plan.W))
+	}
+	for pi, tasks := range plan.PerProc {
+		glyph := rune('1' + pi)
+		if pi > 8 {
+			glyph = '+'
+		}
+		for i, t := range tasks {
+			owner[t.Cell.Y][t.Cell.X] = glyph
+			order[t.Cell.Y][t.Cell.X] = rune('0' + (i+1)%10)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\nprocessor per cell:          execution order (mod 10):\n", plan.Strategy); err != nil {
+		return err
+	}
+	for y := 0; y < plan.H; y++ {
+		pad := strings.Repeat(" ", 29-plan.W)
+		if plan.W >= 29 {
+			pad = " "
+		}
+		if _, err := fmt.Fprintf(w, "%s%s%s\n", string(owner[y]), pad, string(order[y])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

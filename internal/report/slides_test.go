@@ -1,0 +1,77 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/workplan"
+)
+
+func TestSlideSVG(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SlideSVG(&buf, "Scenario 4", plan, 30); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatal("not SVG")
+	}
+	// 96 cells plus legend boxes.
+	if got := strings.Count(out, "<rect"); got < 96 {
+		t.Fatalf("%d rects, want >= 96", got)
+	}
+	// Order numbers 1..24 per processor; "24" must appear.
+	if !strings.Contains(out, ">24</text>") {
+		t.Fatal("missing execution-order label 24")
+	}
+	// Legend for all four processors.
+	for _, p := range []string{"P1", "P2", "P3", "P4"} {
+		if !strings.Contains(out, ">"+p+"</text>") {
+			t.Fatalf("missing legend %s", p)
+		}
+	}
+	// The flag's paint colors appear as fills.
+	if !strings.Contains(out, "#ce1126") || !strings.Contains(out, "#006a4e") {
+		t.Fatal("paint colors missing")
+	}
+}
+
+func TestSlideASCII(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, err := workplan.LayerBlocks(f, f.DefaultW, f.DefaultH, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SlideASCII(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Scenario 3: each stripe owned by one processor.
+	if !strings.Contains(out, "111111111111") {
+		t.Fatal("P1's stripe missing")
+	}
+	if !strings.Contains(out, "444444444444") {
+		t.Fatal("P4's stripe missing")
+	}
+	if !strings.Contains(out, "execution order") {
+		t.Fatal("order grid missing")
+	}
+}
+
+func TestSlideValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SlideSVG(&buf, "", nil, 30); err == nil {
+		t.Fatal("nil plan should error")
+	}
+	if err := SlideASCII(&buf, nil); err == nil {
+		t.Fatal("nil plan should error")
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/workplan"
+)
+
+func chromeTracedRun(t *testing.T) *Result {
+	t.Helper()
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Plan:  plan,
+		Procs: newTeam(t, 4),
+		Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+		Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	res := chromeTracedRun(t)
+	var buf bytes.Buffer
+	if err := res.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	// 4 thread-name metadata events plus the spans.
+	if len(events) < 4+96 {
+		t.Fatalf("only %d events", len(events))
+	}
+	metas, paints, waits := 0, 0, 0
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			metas++
+		case "X":
+			name, _ := e["name"].(string)
+			if strings.HasPrefix(name, "paint ") {
+				paints++
+			}
+			if strings.HasPrefix(name, "wait ") {
+				waits++
+			}
+			if ts, ok := e["ts"].(float64); !ok || ts < 0 {
+				t.Fatalf("bad timestamp in %v", e)
+			}
+			if dur, ok := e["dur"].(float64); !ok || dur < 0 {
+				t.Fatalf("bad duration in %v", e)
+			}
+			tid, _ := e["tid"].(float64)
+			if tid < 1 || tid > 4 {
+				t.Fatalf("bad tid in %v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %v", e["ph"])
+		}
+	}
+	if metas != 4 {
+		t.Fatalf("%d thread metas, want 4", metas)
+	}
+	if paints != 96 {
+		t.Fatalf("%d paint events, want 96", paints)
+	}
+	if waits == 0 {
+		t.Fatal("scenario 4 should emit wait events")
+	}
+}
+
+func TestChromeTraceRequiresTrace(t *testing.T) {
+	res := chromeTracedRun(t)
+	res.Trace = nil
+	if err := res.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("untraced run should error")
+	}
+}
+
+func TestTraceDurationAccounting(t *testing.T) {
+	res := chromeTracedRun(t)
+	paint := res.TraceDuration(SpanPaint)
+	var wantPaint int64
+	for _, p := range res.Procs {
+		wantPaint += int64(p.PaintTime)
+	}
+	if int64(paint) != wantPaint {
+		t.Fatalf("traced paint %v != accounted %v", paint, wantPaint)
+	}
+	wait := res.TraceDuration(SpanWaitImplement)
+	if wait != res.TotalWaitImplement() {
+		t.Fatalf("traced wait %v != accounted %v", wait, res.TotalWaitImplement())
+	}
+}

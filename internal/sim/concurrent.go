@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+	"flagsim/internal/palette"
+	"flagsim/internal/workplan"
+)
+
+// ConcurrentConfig describes a run on the real-goroutine executor: the same
+// workload as Run, but each processor is an OS-scheduled goroutine, the
+// grid is a shared mutable structure guarded by a mutex, implements are
+// FIFO-queued condition-variable pools, and layer dependencies are counter
+// barriers. Virtual durations are slept, scaled down by Scale.
+//
+// The concurrent executor exists for two reasons: it demonstrates that the
+// activity's phenomena (contention, pipelining, dependency stalls) emerge
+// from real parallel execution and not just from the DES model, and it
+// gives the test suite a race-detector workout over the shared-state code
+// paths. Its timings are nondeterministic; tests assert correctness of the
+// final image and conservation laws, not exact times.
+type ConcurrentConfig struct {
+	Plan  *workplan.Plan
+	Procs []*ConcurrentProc
+	Set   *implement.Set
+	// Scale divides virtual durations: a Scale of 10000 runs 1s of
+	// virtual time in 100µs of wall time. Values <= 0 default to 10000.
+	Scale float64
+}
+
+// ConcurrentProc is the per-processor timing model for the concurrent
+// executor: a fixed per-cell cost per implement class (no warmup or
+// jitter; those are DES concerns) so runs finish quickly.
+type ConcurrentProc struct {
+	Name  string
+	Skill float64
+}
+
+// ConcurrentResult is the outcome of a concurrent run.
+type ConcurrentResult struct {
+	Wall     time.Duration // real elapsed time
+	Virtual  time.Duration // Wall scaled back to virtual units
+	Grid     *grid.Grid
+	Cells    []int           // cells painted per processor
+	Waits    []time.Duration // wall time spent blocked per processor
+	Finishes []time.Duration // wall finish time per processor
+}
+
+// colorPool is a FIFO pool of implements of one color.
+type colorPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	free    []*implement.Implement
+	next    uint64 // next ticket to serve
+	tickets uint64 // tickets issued
+}
+
+func newColorPool(impls []*implement.Implement) *colorPool {
+	p := &colorPool{free: append([]*implement.Implement(nil), impls...)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// acquire blocks until an implement is available and this caller is at the
+// head of the FIFO.
+func (p *colorPool) acquire() *implement.Implement {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ticket := p.tickets
+	p.tickets++
+	for p.next != ticket || len(p.free) == 0 {
+		p.cond.Wait()
+	}
+	p.next++
+	im := p.free[0]
+	p.free = p.free[1:]
+	p.cond.Broadcast()
+	return im
+}
+
+func (p *colorPool) release(im *implement.Implement) {
+	p.mu.Lock()
+	p.free = append(p.free, im)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// layerBarrier tracks per-layer remaining cell counts.
+type layerBarrier struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	remaining []int
+}
+
+func newLayerBarrier(counts []int) *layerBarrier {
+	b := &layerBarrier{remaining: append([]int(nil), counts...)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *layerBarrier) cellDone(layer int) {
+	b.mu.Lock()
+	b.remaining[layer]--
+	done := b.remaining[layer] == 0
+	b.mu.Unlock()
+	if done {
+		b.cond.Broadcast()
+	}
+}
+
+func (b *layerBarrier) waitFor(deps []int) {
+	b.mu.Lock()
+	for {
+		ready := true
+		for _, d := range deps {
+			if b.remaining[d] > 0 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			b.mu.Unlock()
+			return
+		}
+		b.cond.Wait()
+	}
+}
+
+// RunConcurrent executes the plan with real goroutines and returns the
+// measured result. The final grid is always verified paintable; callers
+// verify image correctness with Result-style comparison against the flag
+// raster.
+func RunConcurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("sim: nil plan")
+	}
+	if err := cfg.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Procs) != cfg.Plan.NumProcs() {
+		return nil, fmt.Errorf("sim: plan wants %d processors, got %d", cfg.Plan.NumProcs(), len(cfg.Procs))
+	}
+	if cfg.Set == nil {
+		return nil, fmt.Errorf("sim: nil implement set")
+	}
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 10000
+	}
+
+	pools := make(map[palette.Color]*colorPool)
+	for _, c := range cfg.Set.Colors() {
+		pools[c] = newColorPool(cfg.Set.ForColor(c))
+	}
+	for _, tasks := range cfg.Plan.PerProc {
+		for _, t := range tasks {
+			if pools[t.Color] == nil {
+				return nil, fmt.Errorf("sim: no implement for color %s", t.Color)
+			}
+		}
+	}
+
+	g := grid.New(cfg.Plan.W, cfg.Plan.H)
+	barrier := newLayerBarrier(cfg.Plan.LayerCellCount)
+	res := &ConcurrentResult{
+		Grid:     g,
+		Cells:    make([]int, len(cfg.Procs)),
+		Waits:    make([]time.Duration, len(cfg.Procs)),
+		Finishes: make([]time.Duration, len(cfg.Procs)),
+	}
+	var errMu sync.Mutex
+	var firstErr error
+	sleep := func(virtual time.Duration) {
+		time.Sleep(time.Duration(float64(virtual) / scale))
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for pi := range cfg.Procs {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			pr := cfg.Procs[pi]
+			skill := pr.Skill
+			if skill <= 0 {
+				skill = 1
+			}
+			var holding *implement.Implement
+			for _, t := range cfg.Plan.PerProc[pi] {
+				deps := cfg.Plan.LayerDeps[t.Layer]
+				if len(deps) > 0 {
+					if holding != nil {
+						pools[holding.Color].release(holding)
+						holding = nil
+					}
+					w0 := time.Now()
+					barrier.waitFor(deps)
+					res.Waits[pi] += time.Since(w0)
+				}
+				if holding != nil && holding.Color != t.Color {
+					sleep(holding.Spec.PutDown)
+					pools[holding.Color].release(holding)
+					holding = nil
+				}
+				if holding == nil {
+					w0 := time.Now()
+					holding = pools[t.Color].acquire()
+					res.Waits[pi] += time.Since(w0)
+					sleep(holding.Spec.Pickup)
+				}
+				service := float64(processorBaseCellTime) * holding.Spec.SpeedFactor / skill
+				sleep(time.Duration(service))
+				if err := g.PaintLocked(t.Cell, t.Color); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				res.Cells[pi]++
+				barrier.cellDone(t.Layer)
+			}
+			if holding != nil {
+				pools[holding.Color].release(holding)
+			}
+			res.Finishes[pi] = time.Since(start)
+		}(pi)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	res.Virtual = time.Duration(float64(res.Wall) * scale)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// processorBaseCellTime mirrors processor.BaseCellTime without importing
+// the processor package (the concurrent executor has its own simplified
+// timing model).
+const processorBaseCellTime = time.Second

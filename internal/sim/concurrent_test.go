@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+	"flagsim/internal/workplan"
+)
+
+func concurrentTeam(n int) []*ConcurrentProc {
+	out := make([]*ConcurrentProc, n)
+	for i := range out {
+		out[i] = &ConcurrentProc{Name: "P", Skill: 1}
+	}
+	return out
+}
+
+func runConcurrentScenario(t *testing.T, plan *workplan.Plan, f *flagspec.Flag, extra int) *ConcurrentResult {
+	t.Helper()
+	set := implement.NewSetN(implement.ThickMarker, f.Colors(), extra)
+	res, err := RunConcurrent(ConcurrentConfig{
+		Plan:  plan,
+		Procs: concurrentTeam(plan.NumProcs()),
+		Set:   set,
+		Scale: 50000, // 1 virtual second = 20µs wall
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConcurrentScenario3Correct(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, err := workplan.LayerBlocks(f, f.DefaultW, f.DefaultH, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runConcurrentScenario(t, plan, f, 1)
+	want, _ := grid.RasterizeDefault(f)
+	if !res.Grid.Equal(want) {
+		t.Fatalf("concurrent run painted the wrong image:\n%s", res.Grid)
+	}
+	total := 0
+	for _, c := range res.Cells {
+		total += c
+	}
+	if total != plan.TotalTasks() {
+		t.Fatalf("painted %d cells, want %d", total, plan.TotalTasks())
+	}
+}
+
+func TestConcurrentScenario4ContentionCorrectness(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runConcurrentScenario(t, plan, f, 1)
+	want, _ := grid.RasterizeDefault(f)
+	if !res.Grid.Equal(want) {
+		t.Fatal("contended concurrent run painted the wrong image")
+	}
+}
+
+func TestConcurrentLayeredFlagDependencies(t *testing.T) {
+	f := flagspec.GreatBritain
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runConcurrentScenario(t, plan, f, 1)
+	want, _ := grid.RasterizeDefault(f)
+	// Layer barriers make the final image exact even under real
+	// goroutine interleaving; this is the race-detector workout.
+	if !res.Grid.Equal(want) {
+		t.Fatal("layered concurrent run violated paint order")
+	}
+}
+
+func TestConcurrentRejectsBadConfig(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, _ := workplan.Sequential(f, f.DefaultW, f.DefaultH)
+	if _, err := RunConcurrent(ConcurrentConfig{Plan: plan, Procs: nil, Set: implement.NewSet(implement.ThickMarker, f.Colors())}); err == nil {
+		t.Fatal("wrong team size should error")
+	}
+	if _, err := RunConcurrent(ConcurrentConfig{Plan: nil}); err == nil {
+		t.Fatal("nil plan should error")
+	}
+	if _, err := RunConcurrent(ConcurrentConfig{
+		Plan: plan, Procs: concurrentTeam(1),
+		Set: implement.NewSet(implement.ThickMarker, flagspec.France.Colors()),
+	}); err == nil {
+		t.Fatal("uncovered colors should error")
+	}
+}
+
+func TestConcurrentManyRunsStayCorrect(t *testing.T) {
+	// Repeat to give the scheduler room to interleave differently.
+	f := flagspec.Mauritius
+	plan, _ := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, true)
+	want, _ := grid.RasterizeDefault(f)
+	for i := 0; i < 10; i++ {
+		res := runConcurrentScenario(t, plan, f, 1)
+		if !res.Grid.Equal(want) {
+			t.Fatalf("run %d painted the wrong image", i)
+		}
+	}
+}

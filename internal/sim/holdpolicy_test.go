@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+)
+
+// The hold-policy ablation has a sharp, teachable result: under
+// contention (scenario 4, one implement per color), EagerRelease is far
+// WORSE than GreedyHold, not better. Putting the marker down after every
+// cell hands it to the FIFO queue's head; the original holder re-queues
+// behind three waiters for its very next cell of the same color, and the
+// implement ping-pongs with a pickup+putdown round trip per cell — a
+// textbook lock convoy. Students who politely share after every cell
+// recreate it on paper.
+func TestEagerReleaseConvoyUnderContention(t *testing.T) {
+	f := flagspec.Mauritius
+	run := func(h HoldPolicy) *Result {
+		plan := mauritiusPlan(t, 4)
+		res, err := Run(Config{
+			Plan:  plan,
+			Procs: newTeam(t, 4),
+			Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+			Hold:  h,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Verify(f); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	greedy := run(GreedyHold)
+	eager := run(EagerRelease)
+	// The convoy at least doubles the makespan and multiplies total wait.
+	if eager.Makespan < 2*greedy.Makespan {
+		t.Fatalf("expected a convoy: eager %v vs greedy %v", eager.Makespan, greedy.Makespan)
+	}
+	if eager.TotalWaitImplement() < 4*greedy.TotalWaitImplement() {
+		t.Fatalf("convoy wait %v should dwarf greedy wait %v",
+			eager.TotalWaitImplement(), greedy.TotalWaitImplement())
+	}
+	// Handoffs explode: nearly one per cell instead of one per stripe
+	// segment.
+	handoffs := func(r *Result) int {
+		n := 0
+		for _, is := range r.Implements {
+			n += is.Handoffs
+		}
+		return n
+	}
+	if handoffs(eager) <= 2*handoffs(greedy) {
+		t.Fatalf("eager handoffs %d should far exceed greedy %d",
+			handoffs(eager), handoffs(greedy))
+	}
+}
+
+// Without contention (extra implements), eager release costs only its
+// pickup/putdown overhead — slower, but no convoy.
+func TestEagerReleaseMildWithoutContention(t *testing.T) {
+	f := flagspec.Mauritius
+	run := func(h HoldPolicy) *Result {
+		plan := mauritiusPlan(t, 4)
+		res, err := Run(Config{
+			Plan:  plan,
+			Procs: newTeam(t, 4),
+			Set:   implement.NewSetN(implement.ThickMarker, f.Colors(), 4),
+			Hold:  h,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	greedy := run(GreedyHold)
+	eager := run(EagerRelease)
+	if eager.Makespan <= greedy.Makespan {
+		t.Fatalf("eager (%v) still pays overhead vs greedy (%v)", eager.Makespan, greedy.Makespan)
+	}
+	// But bounded: under 2.2x (each cell adds at most putdown+pickup to
+	// its 1s service).
+	if float64(eager.Makespan) > 2.2*float64(greedy.Makespan) {
+		t.Fatalf("uncontended eager (%v) should be bounded vs greedy (%v)", eager.Makespan, greedy.Makespan)
+	}
+	if eager.TotalWaitImplement() != 0 {
+		t.Fatalf("no contention expected with 4 implements per color, got %v", eager.TotalWaitImplement())
+	}
+}

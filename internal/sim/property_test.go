@@ -1,0 +1,212 @@
+package sim
+
+// Property-based tests over the simulator's core invariants, exercised
+// with randomized workloads via testing/quick:
+//
+//	1. Correctness: every run reproduces the flag's reference raster.
+//	2. Work conservation: traced paint time equals accounted paint time,
+//	   and the number of painted cells equals the plan's task count.
+//	3. Time sanity: makespan >= the largest single-processor paint time
+//	   share and >= setup; per-processor finish <= makespan.
+//	4. Determinism: identical configs give identical results.
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/processor"
+	"flagsim/internal/rng"
+	"flagsim/internal/workplan"
+)
+
+// randomPlan builds one of the decompositions from fuzz inputs.
+func randomPlan(f *flagspec.Flag, strat, pRaw uint8) (*workplan.Plan, error) {
+	w, h := f.DefaultW, f.DefaultH
+	p := int(pRaw%4) + 1
+	switch strat % 5 {
+	case 0:
+		return workplan.Sequential(f, w, h)
+	case 1:
+		if p > len(f.Layers) {
+			p = len(f.Layers)
+		}
+		return workplan.LayerBlocks(f, w, h, p)
+	case 2:
+		return workplan.VerticalSlices(f, w, h, p, false)
+	case 3:
+		return workplan.Cyclic(f, w, h, p)
+	default:
+		return workplan.Blocks(f, w, h, p, p, 2)
+	}
+}
+
+func fuzzTeam(n int, seed uint64, jitter float64) ([]*processor.Processor, error) {
+	profile := processor.DefaultProfile("P")
+	profile.JitterSigma = jitter
+	return processor.Team(n, profile, rng.New(seed))
+}
+
+func TestSimPropertyCorrectAndConserving(t *testing.T) {
+	flags := flagspec.All()
+	check := func(fi, strat, pRaw, kindRaw uint8, seed uint64) bool {
+		f := flags[int(fi)%len(flags)]
+		plan, err := randomPlan(f, strat, pRaw)
+		if err != nil {
+			return false
+		}
+		team, err := fuzzTeam(plan.NumProcs(), seed, 0.1)
+		if err != nil {
+			return false
+		}
+		kind := implement.Kinds()[int(kindRaw)%4]
+		res, err := Run(Config{
+			Plan:  plan,
+			Procs: team,
+			Set:   implement.NewSet(kind, f.Colors()),
+			Trace: true,
+		})
+		if err != nil {
+			return false
+		}
+		// 1. Correctness.
+		if res.Verify(f) != nil {
+			return false
+		}
+		// 2. Work conservation.
+		cells := 0
+		var paintAccounted time.Duration
+		for _, p := range res.Procs {
+			cells += p.Cells
+			paintAccounted += p.PaintTime
+		}
+		if cells != plan.TotalTasks() {
+			return false
+		}
+		if res.TraceDuration(SpanPaint) != paintAccounted {
+			return false
+		}
+		// 3. Time sanity.
+		if res.Makespan < res.SetupTime {
+			return false
+		}
+		for _, p := range res.Procs {
+			if p.Finish > res.Makespan {
+				return false
+			}
+			if p.PaintTime > res.Makespan {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimPropertyDeterminism(t *testing.T) {
+	flags := flagspec.All()
+	check := func(fi, strat, pRaw uint8, seed uint64) bool {
+		f := flags[int(fi)%len(flags)]
+		plan, err := randomPlan(f, strat, pRaw)
+		if err != nil {
+			return false
+		}
+		run := func() *Result {
+			team, err := fuzzTeam(plan.NumProcs(), seed, 0.2)
+			if err != nil {
+				return nil
+			}
+			res, err := Run(Config{
+				Plan: plan, Procs: team,
+				Set: implement.NewSet(implement.ThickMarker, f.Colors()),
+			})
+			if err != nil {
+				return nil
+			}
+			return res
+		}
+		a, b := run(), run()
+		if a == nil || b == nil {
+			return false
+		}
+		return a.Makespan == b.Makespan &&
+			a.Events == b.Events &&
+			a.TotalWaitImplement() == b.TotalWaitImplement() &&
+			a.TotalWaitLayer() == b.TotalWaitLayer()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicPropertyCorrectness(t *testing.T) {
+	flags := flagspec.All()
+	check := func(fi, pRaw, policyRaw uint8, seed uint64, extra bool) bool {
+		f := flags[int(fi)%len(flags)]
+		p := int(pRaw%4) + 1
+		team, err := fuzzTeam(p, seed, 0.15)
+		if err != nil {
+			return false
+		}
+		n := 1
+		if extra {
+			n = 2
+		}
+		res, err := RunDynamic(DynamicConfig{
+			Flag:   f,
+			Procs:  team,
+			Set:    implement.NewSetN(implement.ThickMarker, f.Colors(), n),
+			Policy: PullPolicy(policyRaw % 2),
+		})
+		if err != nil {
+			return false
+		}
+		if res.Verify(f) != nil {
+			return false
+		}
+		cells := 0
+		for _, ps := range res.Procs {
+			cells += ps.Cells
+		}
+		return cells == res.Plan.TotalTasks()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimPropertyMakespanLowerBound(t *testing.T) {
+	// Makespan can never beat total-work / p for warmup-free unit
+	// workers with zero overheads (no movement, free implements).
+	check := func(pRaw uint8) bool {
+		f := flagspec.Mauritius
+		p := int(pRaw%8) + 1
+		profile := processor.DefaultProfile("P")
+		profile.WarmupPenalty = 0
+		profile.MovePerCell = 0
+		team, err := processor.Team(p, profile, rng.New(1))
+		if err != nil {
+			return false
+		}
+		plan, err := workplan.Cyclic(f, f.DefaultW, f.DefaultH, p)
+		if err != nil {
+			return false
+		}
+		res, err := Run(Config{
+			Plan: plan, Procs: team,
+			Set: implement.NewSetN(implement.ThickMarker, f.Colors(), p),
+		})
+		if err != nil {
+			return false
+		}
+		lower := time.Duration(96/p) * time.Second
+		return res.Makespan >= lower
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

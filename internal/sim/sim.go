@@ -1,0 +1,580 @@
+// Package sim executes a workplan on a team of processors sharing a set of
+// drawing implements, under a deterministic discrete-event kernel.
+//
+// The model matches the physical activity:
+//
+//   - a processor works through its ordered task list;
+//   - before painting a cell it must hold an implement of the cell's
+//     color; implements are exclusive, and requests queue FIFO per color
+//     (students hand a marker to whoever asked first);
+//   - acquiring costs pickup time, switching implements costs put-down
+//     time, and crayons occasionally break and cost a repair delay;
+//   - a cell whose layer has unmet dependencies (the Painter's-algorithm
+//     layers of §III-D) blocks until every prerequisite layer is fully
+//     painted, team-wide;
+//   - a run starts with a serial setup phase (the instructor explaining
+//     the scenario and the team organizing) — the Amdahl serial fraction
+//     of the activity.
+//
+// Every run is exactly reproducible: FIFO queues, deterministic event
+// tie-breaking, and seeded randomness.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"flagsim/internal/devent"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/geom"
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+	"flagsim/internal/palette"
+	"flagsim/internal/processor"
+	"flagsim/internal/workplan"
+)
+
+// HoldPolicy controls when a processor releases its implement.
+type HoldPolicy uint8
+
+const (
+	// GreedyHold keeps the implement until a different color is needed —
+	// how students actually behave, and the default.
+	GreedyHold HoldPolicy = iota
+	// EagerRelease puts the implement down after every cell, maximizing
+	// availability at the cost of constant pickup overhead. The ablation
+	// shows when politeness hurts.
+	EagerRelease
+)
+
+// String names the policy.
+func (h HoldPolicy) String() string {
+	switch h {
+	case GreedyHold:
+		return "greedy-hold"
+	case EagerRelease:
+		return "eager-release"
+	default:
+		return fmt.Sprintf("hold-policy(%d)", uint8(h))
+	}
+}
+
+// SpanKind classifies trace spans for Gantt rendering.
+type SpanKind uint8
+
+// Trace span kinds.
+const (
+	SpanPaint SpanKind = iota
+	SpanWaitImplement
+	SpanWaitLayer
+	SpanPickup
+	SpanPutDown
+	SpanRepair
+	SpanSetup
+)
+
+// String names the span kind.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanPaint:
+		return "paint"
+	case SpanWaitImplement:
+		return "wait-implement"
+	case SpanWaitLayer:
+		return "wait-layer"
+	case SpanPickup:
+		return "pickup"
+	case SpanPutDown:
+		return "putdown"
+	case SpanRepair:
+		return "repair"
+	case SpanSetup:
+		return "setup"
+	default:
+		return fmt.Sprintf("span(%d)", uint8(k))
+	}
+}
+
+// Span is one interval of a processor's timeline.
+type Span struct {
+	Proc  int
+	Kind  SpanKind
+	Start time.Duration
+	End   time.Duration
+	Color palette.Color // for paint/wait/pickup spans
+	Cell  geom.Pt       // for paint spans
+}
+
+// ProcStats summarizes one processor's run.
+type ProcStats struct {
+	Name          string
+	Cells         int
+	Finish        time.Duration
+	FirstPaint    time.Duration // pipeline-fill measurement: when the first cell started
+	PaintTime     time.Duration // includes movement
+	WaitImplement time.Duration
+	WaitLayer     time.Duration
+	Overhead      time.Duration // pickup + putdown + repair
+}
+
+// ImplementStats summarizes one implement's run.
+type ImplementStats struct {
+	ID        int
+	Color     palette.Color
+	Kind      implement.Kind
+	BusyTime  time.Duration
+	Handoffs  int // acquisitions after the first
+	MaxQueue  int
+	Breakages int
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Plan       *workplan.Plan
+	Makespan   time.Duration
+	SetupTime  time.Duration
+	Procs      []ProcStats
+	Implements []ImplementStats
+	Breaks     int
+	Grid       *grid.Grid
+	Trace      []Span // nil unless Config.Trace
+	Events     uint64
+}
+
+// TotalWaitImplement sums implement-contention wait across processors —
+// the paper's contention lesson in one number.
+func (r *Result) TotalWaitImplement() time.Duration {
+	var t time.Duration
+	for _, p := range r.Procs {
+		t += p.WaitImplement
+	}
+	return t
+}
+
+// TotalWaitLayer sums dependency-stall time across processors.
+func (r *Result) TotalWaitLayer() time.Duration {
+	var t time.Duration
+	for _, p := range r.Procs {
+		t += p.WaitLayer
+	}
+	return t
+}
+
+// PipelineFill returns the latest first-paint time across processors: how
+// long it took for work to reach every stage of the pipeline (§III-C:
+// "the processors are idle until they get the first implement").
+func (r *Result) PipelineFill() time.Duration {
+	var fill time.Duration
+	for _, p := range r.Procs {
+		if p.Cells > 0 && p.FirstPaint > fill {
+			fill = p.FirstPaint
+		}
+	}
+	return fill
+}
+
+// Verify checks the run's final grid against the flag's reference raster.
+func (r *Result) Verify(f *flagspec.Flag) error {
+	want, err := grid.Rasterize(f, r.Plan.W, r.Plan.H)
+	if err != nil {
+		return err
+	}
+	if !r.Grid.Equal(want) {
+		diff, _ := r.Grid.Diff(want)
+		return fmt.Errorf("sim: run of %q left %d cells wrong", r.Plan.Strategy, len(diff))
+	}
+	return nil
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Plan  *workplan.Plan
+	Procs []*processor.Processor
+	Set   *implement.Set
+	// Hold selects the implement retention policy; default GreedyHold.
+	Hold HoldPolicy
+	// Setup is the serial phase before any processor starts (scenario
+	// explanation + team organization). It is the run's inherent serial
+	// fraction.
+	Setup time.Duration
+	// Trace records per-span timelines (memory-proportional to tasks).
+	Trace bool
+}
+
+// validate rejects inconsistent configurations up front so the event loop
+// never deadlocks on impossible inputs.
+func (c *Config) validate() error {
+	if c.Plan == nil {
+		return fmt.Errorf("sim: nil plan")
+	}
+	if err := c.Plan.Validate(); err != nil {
+		return err
+	}
+	if len(c.Procs) != c.Plan.NumProcs() {
+		return fmt.Errorf("sim: plan wants %d processors, got %d", c.Plan.NumProcs(), len(c.Procs))
+	}
+	if c.Set == nil {
+		return fmt.Errorf("sim: nil implement set")
+	}
+	need := make(map[palette.Color]bool)
+	for _, tasks := range c.Plan.PerProc {
+		for _, t := range tasks {
+			need[t.Color] = true
+		}
+	}
+	var colors []palette.Color
+	for _, cl := range palette.All() {
+		if need[cl] {
+			colors = append(colors, cl)
+		}
+	}
+	if err := c.Set.Covers(colors); err != nil {
+		return err
+	}
+	if c.Setup < 0 {
+		return fmt.Errorf("sim: negative setup time")
+	}
+	return nil
+}
+
+// procState is the runtime state machine of one processor.
+type procState struct {
+	proc    *processor.Processor
+	tasks   []workplan.Task
+	next    int
+	holding *implement.Implement
+	stats   ProcStats
+	// waitStart marks when the current wait began, for accounting.
+	waitStart time.Duration
+	painted   bool // has painted at least one cell
+}
+
+// implState is the runtime state of one physical implement.
+type implState struct {
+	im     *implement.Implement
+	holder int // processor index, or -1
+	stats  ImplementStats
+	// busySince marks acquisition time while held.
+	busySince time.Duration
+	acquired  int
+}
+
+// runState is the full simulation state.
+type runState struct {
+	cfg    *Config
+	kernel *devent.Kernel
+	grid   *grid.Grid
+	procs  []*procState
+	impls  []*implState
+	// byColor indexes implement states per color.
+	byColor map[palette.Color][]*implState
+	// queues holds FIFO waiters per color.
+	queues map[palette.Color][]int
+	// layerRemaining counts unpainted cells per layer; layerWaiters holds
+	// processors parked on a layer's completion.
+	layerRemaining []int
+	layerWaiters   [][]int
+	trace          []Span
+	breaks         int
+	err            error
+}
+
+// Run executes the configuration to completion and returns the result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	st := &runState{
+		cfg:     &cfg,
+		kernel:  devent.New(),
+		grid:    grid.New(cfg.Plan.W, cfg.Plan.H),
+		byColor: make(map[palette.Color][]*implState),
+		queues:  make(map[palette.Color][]int),
+	}
+	for i, pr := range cfg.Procs {
+		pr.ResetRun()
+		st.procs = append(st.procs, &procState{
+			proc:  pr,
+			tasks: cfg.Plan.PerProc[i],
+			stats: ProcStats{Name: pr.Name},
+		})
+	}
+	for _, im := range cfg.Set.All() {
+		is := &implState{im: im, holder: -1,
+			stats: ImplementStats{ID: im.ID, Color: im.Color, Kind: im.Kind}}
+		st.impls = append(st.impls, is)
+		st.byColor[im.Color] = append(st.byColor[im.Color], is)
+	}
+	st.layerRemaining = make([]int, len(cfg.Plan.LayerCellCount))
+	copy(st.layerRemaining, cfg.Plan.LayerCellCount)
+	st.layerWaiters = make([][]int, len(cfg.Plan.LayerCellCount))
+
+	// Serial setup phase, then all processors start simultaneously — the
+	// paper's "starting all the teams coloring simultaneously".
+	if cfg.Trace && cfg.Setup > 0 {
+		for i := range st.procs {
+			st.trace = append(st.trace, Span{Proc: i, Kind: SpanSetup, Start: 0, End: cfg.Setup})
+		}
+	}
+	for i := range st.procs {
+		i := i
+		if err := st.kernel.Schedule(cfg.Setup, func() { st.advance(i) }); err != nil {
+			return nil, err
+		}
+	}
+	makespan := st.kernel.Run()
+	if st.err != nil {
+		return nil, st.err
+	}
+	for i, ps := range st.procs {
+		if ps.next != len(ps.tasks) {
+			return nil, fmt.Errorf("sim: deadlock: processor %d stopped at task %d of %d",
+				i, ps.next, len(ps.tasks))
+		}
+	}
+
+	res := &Result{
+		Plan:      cfg.Plan,
+		Makespan:  makespan,
+		SetupTime: cfg.Setup,
+		Grid:      st.grid,
+		Breaks:    st.breaks,
+		Trace:     st.trace,
+		Events:    st.kernel.Processed(),
+	}
+	for _, ps := range st.procs {
+		res.Procs = append(res.Procs, ps.stats)
+	}
+	for _, is := range st.impls {
+		res.Implements = append(res.Implements, is.stats)
+	}
+	return res, nil
+}
+
+// advance drives processor pi as far as it can go at the current virtual
+// time, parking it on a queue or scheduling a completion event.
+func (st *runState) advance(pi int) {
+	if st.err != nil {
+		return
+	}
+	ps := st.procs[pi]
+	now := st.kernel.Now()
+
+	for {
+		if ps.next == len(ps.tasks) {
+			// Done: release anything held so teammates can proceed.
+			if ps.holding != nil {
+				st.release(pi, now)
+			}
+			if ps.stats.Finish < now {
+				ps.stats.Finish = now
+			}
+			return
+		}
+		task := ps.tasks[ps.next]
+
+		// Layer dependencies: before parking, put down anything held so a
+		// teammate can use it (a student waiting for the background to
+		// finish does not hoard the red marker); then park on the first
+		// incomplete prerequisite.
+		if dep, blocked := st.blockedOnLayer(task.Layer); blocked {
+			if ps.holding != nil {
+				st.putDownAndContinue(pi, now)
+				return
+			}
+			st.layerWaiters[dep] = append(st.layerWaiters[dep], pi)
+			ps.waitStart = now
+			return
+		}
+
+		// Implement in hand of the right color: paint.
+		if ps.holding != nil && ps.holding.Color == task.Color {
+			st.paint(pi, task, now)
+			return
+		}
+
+		// Wrong implement in hand: put it down first (busy during
+		// put-down, then re-advance).
+		if ps.holding != nil {
+			st.putDownAndContinue(pi, now)
+			return
+		}
+
+		// Need to acquire an implement of task.Color.
+		if is := st.freeImplement(task.Color); is != nil {
+			st.grant(pi, is, st.kernel.Now())
+			return
+		}
+
+		// All implements of that color are busy: join the FIFO queue.
+		st.queues[task.Color] = append(st.queues[task.Color], pi)
+		ps.waitStart = now
+		depth := len(st.queues[task.Color])
+		for _, is := range st.byColor[task.Color] {
+			if depth > is.stats.MaxQueue {
+				is.stats.MaxQueue = depth
+			}
+		}
+		return
+	}
+}
+
+// putDownAndContinue spends the put-down time, releases the held
+// implement, and re-enters the processor's advance loop.
+func (st *runState) putDownAndContinue(pi int, now time.Duration) {
+	ps := st.procs[pi]
+	putDown := ps.holding.Spec.PutDown
+	if st.cfg.Trace && putDown > 0 {
+		st.trace = append(st.trace, Span{Proc: pi, Kind: SpanPutDown,
+			Start: now, End: now + putDown, Color: ps.holding.Color})
+	}
+	ps.stats.Overhead += putDown
+	st.scheduleAfter(putDown, func() {
+		st.release(pi, st.kernel.Now())
+		st.advance(pi)
+	})
+}
+
+// blockedOnLayer reports the first incomplete prerequisite layer of l.
+func (st *runState) blockedOnLayer(l int) (dep int, blocked bool) {
+	for _, d := range st.cfg.Plan.LayerDeps[l] {
+		if st.layerRemaining[d] > 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// freeImplement returns a free implement of color c (lowest ID first for
+// determinism), or nil.
+func (st *runState) freeImplement(c palette.Color) *implState {
+	for _, is := range st.byColor[c] {
+		if is.holder == -1 {
+			return is
+		}
+	}
+	return nil
+}
+
+// grant reserves implement is for processor pi and schedules the pickup.
+func (st *runState) grant(pi int, is *implState, now time.Duration) {
+	ps := st.procs[pi]
+	is.holder = pi
+	is.busySince = now
+	is.acquired++
+	if is.acquired > 1 {
+		is.stats.Handoffs++
+	}
+	pickup := is.im.Spec.Pickup
+	if st.cfg.Trace && pickup > 0 {
+		st.trace = append(st.trace, Span{Proc: pi, Kind: SpanPickup,
+			Start: now, End: now + pickup, Color: is.im.Color})
+	}
+	ps.stats.Overhead += pickup
+	ps.holding = is.im
+	st.scheduleAfter(pickup, func() { st.advance(pi) })
+}
+
+// release frees processor pi's implement at time now and hands it to the
+// first queued waiter, if any.
+func (st *runState) release(pi int, now time.Duration) {
+	ps := st.procs[pi]
+	is := st.implStateOf(ps.holding)
+	ps.holding = nil
+	is.holder = -1
+	is.stats.BusyTime += now - is.busySince
+
+	c := is.im.Color
+	q := st.queues[c]
+	if len(q) == 0 {
+		return
+	}
+	next := q[0]
+	st.queues[c] = q[1:]
+	waiter := st.procs[next]
+	waiter.stats.WaitImplement += now - waiter.waitStart
+	if st.cfg.Trace && now > waiter.waitStart {
+		st.trace = append(st.trace, Span{Proc: next, Kind: SpanWaitImplement,
+			Start: waiter.waitStart, End: now, Color: c})
+	}
+	st.grant(next, is, now)
+}
+
+func (st *runState) implStateOf(im *implement.Implement) *implState {
+	for _, is := range st.byColor[im.Color] {
+		if is.im == im {
+			return is
+		}
+	}
+	panic("sim: implement not in set")
+}
+
+// paint executes the current task for processor pi, scheduling completion.
+func (st *runState) paint(pi int, task workplan.Task, now time.Duration) {
+	ps := st.procs[pi]
+	service := ps.proc.ServiceTime(task.Cell, ps.holding)
+	var repair time.Duration
+	if ps.proc.Breaks(ps.holding) {
+		repair = ps.holding.Spec.Repair
+		st.breaks++
+		st.implStateOf(ps.holding).stats.Breakages++
+		if st.cfg.Trace && repair > 0 {
+			st.trace = append(st.trace, Span{Proc: pi, Kind: SpanRepair,
+				Start: now + service, End: now + service + repair, Color: task.Color})
+		}
+	}
+	if st.cfg.Trace {
+		st.trace = append(st.trace, Span{Proc: pi, Kind: SpanPaint,
+			Start: now, End: now + service, Color: task.Color, Cell: task.Cell})
+	}
+	if !ps.painted {
+		ps.painted = true
+		ps.stats.FirstPaint = now
+	}
+	ps.stats.PaintTime += service
+	ps.stats.Overhead += repair
+	st.scheduleAfter(service+repair, func() {
+		if err := st.grid.Paint(task.Cell, task.Color); err != nil {
+			st.err = err
+			return
+		}
+		ps.stats.Cells++
+		ps.next++
+		st.completeLayerCell(task.Layer)
+		// EagerRelease puts the implement down after every cell even if
+		// the next cell wants the same color.
+		if st.cfg.Hold == EagerRelease && ps.holding != nil && ps.next < len(ps.tasks) {
+			st.putDownAndContinue(pi, st.kernel.Now())
+			return
+		}
+		st.advance(pi)
+	})
+}
+
+// completeLayerCell decrements a layer counter and wakes parked
+// processors when the layer finishes.
+func (st *runState) completeLayerCell(layer int) {
+	st.layerRemaining[layer]--
+	if st.layerRemaining[layer] > 0 {
+		return
+	}
+	waiters := st.layerWaiters[layer]
+	st.layerWaiters[layer] = nil
+	now := st.kernel.Now()
+	for _, pi := range waiters {
+		ps := st.procs[pi]
+		ps.stats.WaitLayer += now - ps.waitStart
+		if st.cfg.Trace && now > ps.waitStart {
+			st.trace = append(st.trace, Span{Proc: pi, Kind: SpanWaitLayer,
+				Start: ps.waitStart, End: now})
+		}
+		pi := pi
+		st.scheduleAfter(0, func() { st.advance(pi) })
+	}
+}
+
+func (st *runState) scheduleAfter(d time.Duration, fn func()) {
+	if err := st.kernel.Schedule(d, fn); err != nil && st.err == nil {
+		st.err = err
+	}
+}

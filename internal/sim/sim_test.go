@@ -1,0 +1,391 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+	"flagsim/internal/processor"
+	"flagsim/internal/rng"
+	"flagsim/internal/workplan"
+)
+
+// newTeam builds n deterministic, warmup-free students for timing tests.
+func newTeam(t *testing.T, n int) []*processor.Processor {
+	t.Helper()
+	profile := processor.DefaultProfile("P")
+	profile.WarmupPenalty = 0
+	profile.MovePerCell = 0
+	team, err := processor.Team(n, profile, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return team
+}
+
+// newWarmTeam builds students with the default warmup model.
+func newWarmTeam(t *testing.T, n int) []*processor.Processor {
+	t.Helper()
+	team, err := processor.Team(n, processor.DefaultProfile("P"), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return team
+}
+
+func mauritiusPlan(t *testing.T, scenario int) *workplan.Plan {
+	t.Helper()
+	f := flagspec.Mauritius
+	var plan *workplan.Plan
+	var err error
+	switch scenario {
+	case 1:
+		plan, err = workplan.Sequential(f, f.DefaultW, f.DefaultH)
+	case 2:
+		plan, err = workplan.LayerBlocks(f, f.DefaultW, f.DefaultH, 2)
+	case 3:
+		plan, err = workplan.LayerBlocks(f, f.DefaultW, f.DefaultH, 4)
+	case 4:
+		plan, err = workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	case 5:
+		plan, err = workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, true)
+	default:
+		t.Fatalf("unknown scenario %d", scenario)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func runScenario(t *testing.T, scenario int, team []*processor.Processor) *Result {
+	t.Helper()
+	plan := mauritiusPlan(t, scenario)
+	res, err := Run(Config{
+		Plan:  plan,
+		Procs: team,
+		Set:   implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(flagspec.Mauritius); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScenario1PaintsFlagCorrectly(t *testing.T) {
+	res := runScenario(t, 1, newTeam(t, 1))
+	want, err := grid.RasterizeDefault(flagspec.Mauritius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Grid.Equal(want) {
+		t.Fatalf("grid mismatch:\n%s\nwant:\n%s", res.Grid, want)
+	}
+	if res.Procs[0].Cells != 96 {
+		t.Fatalf("cells = %d, want 96", res.Procs[0].Cells)
+	}
+}
+
+func TestScenario1DeterministicMakespan(t *testing.T) {
+	// Warmup-free, jitter-free single worker: 96 cells at 1s, one initial
+	// pickup (500ms), and three color switches (400ms put-down + 500ms
+	// pickup each) between the four stripes.
+	res := runScenario(t, 1, newTeam(t, 1))
+	want := 96*time.Second + 500*time.Millisecond + 3*(400+500)*time.Millisecond
+	if res.Makespan != want {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestTimesDecreaseScenario1Through3(t *testing.T) {
+	t1 := runScenario(t, 1, newTeam(t, 1)).Makespan
+	t2 := runScenario(t, 2, newTeam(t, 2)).Makespan
+	t3 := runScenario(t, 3, newTeam(t, 4)).Makespan
+	if !(t1 > t2 && t2 > t3) {
+		t.Fatalf("times should decrease: t1=%v t2=%v t3=%v", t1, t2, t3)
+	}
+	// With disjoint stripes, two and four workers should be near-linear.
+	if s := float64(t1) / float64(t2); s < 1.8 || s > 2.2 {
+		t.Fatalf("scenario-2 speedup %v not near 2", s)
+	}
+	if s := float64(t1) / float64(t3); s < 3.5 || s > 4.5 {
+		t.Fatalf("scenario-3 speedup %v not near 4", s)
+	}
+}
+
+func TestScenario4SlowerThanScenario3(t *testing.T) {
+	t3 := runScenario(t, 3, newTeam(t, 4)).Makespan
+	res4 := runScenario(t, 4, newTeam(t, 4))
+	if res4.Makespan <= t3 {
+		t.Fatalf("scenario 4 (%v) should be slower than scenario 3 (%v)", res4.Makespan, t3)
+	}
+	if res4.TotalWaitImplement() == 0 {
+		t.Fatal("scenario 4 should show implement contention")
+	}
+}
+
+func TestPipelinedScenario4BeatsNaive(t *testing.T) {
+	naive := runScenario(t, 4, newTeam(t, 4))
+	piped := runScenario(t, 5, newTeam(t, 4))
+	if piped.Makespan >= naive.Makespan {
+		t.Fatalf("pipelined (%v) should beat naive (%v)", piped.Makespan, naive.Makespan)
+	}
+	// Rotation assigns distinct starting colors, so nobody waits.
+	if w := piped.TotalWaitImplement(); w != 0 {
+		t.Fatalf("pipelined run should have zero contention, got %v", w)
+	}
+	// Naive order funnels everyone through the first stripe: the last
+	// processor's first paint is late (pipeline fill).
+	if naive.PipelineFill() <= piped.PipelineFill() {
+		t.Fatalf("naive fill (%v) should exceed pipelined fill (%v)",
+			naive.PipelineFill(), piped.PipelineFill())
+	}
+}
+
+func TestWarmupMakesRepeatRunFaster(t *testing.T) {
+	team := newWarmTeam(t, 1)
+	first := runScenario(t, 1, team)
+	second := runScenario(t, 1, team)
+	if second.Makespan >= first.Makespan {
+		t.Fatalf("repeat run (%v) should be faster than first (%v)", second.Makespan, first.Makespan)
+	}
+	improvement := 1 - float64(second.Makespan)/float64(first.Makespan)
+	if improvement < 0.02 || improvement > 0.5 {
+		t.Fatalf("improvement %.1f%% outside plausible range", improvement*100)
+	}
+}
+
+func TestImplementKindsOrderTimes(t *testing.T) {
+	var prev time.Duration
+	for i, kind := range implement.Kinds() {
+		team := newTeam(t, 1)
+		plan := mauritiusPlan(t, 1)
+		res, err := Run(Config{
+			Plan:  plan,
+			Procs: team,
+			Set:   implement.NewSet(kind, flagspec.Mauritius.Colors()),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Makespan <= prev {
+			t.Fatalf("%v (%v) should be slower than previous kind (%v)", kind, res.Makespan, prev)
+		}
+		prev = res.Makespan
+	}
+}
+
+func TestExtraImplementsRemoveContention(t *testing.T) {
+	plan := mauritiusPlan(t, 4)
+	base, err := Run(Config{
+		Plan:  plan,
+		Procs: newTeam(t, 4),
+		Set:   implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := Run(Config{
+		Plan:  plan,
+		Procs: newTeam(t, 4),
+		Set:   implement.NewSetN(implement.ThickMarker, flagspec.Mauritius.Colors(), 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra.TotalWaitImplement() != 0 {
+		t.Fatalf("4 implements per color should eliminate waiting, got %v", extra.TotalWaitImplement())
+	}
+	if extra.Makespan >= base.Makespan {
+		t.Fatalf("extra implements (%v) should beat one-per-color (%v)", extra.Makespan, base.Makespan)
+	}
+}
+
+func TestSetupDelaysEveryone(t *testing.T) {
+	plan := mauritiusPlan(t, 1)
+	setup := 30 * time.Second
+	withSetup, err := Run(Config{
+		Plan: plan, Procs: newTeam(t, 1),
+		Set:   implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors()),
+		Setup: setup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(Config{
+		Plan: plan, Procs: newTeam(t, 1),
+		Set: implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSetup.Makespan != without.Makespan+setup {
+		t.Fatalf("setup should add exactly %v: %v vs %v", setup, withSetup.Makespan, without.Makespan)
+	}
+}
+
+func TestLayeredFlagRespectsDependencies(t *testing.T) {
+	f := flagspec.GreatBritain
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Plan: plan, Procs: newTeam(t, 4),
+		Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+		Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWaitLayer() == 0 {
+		t.Fatal("layered flag sliced across workers should stall on layer dependencies")
+	}
+	// In the trace, no saltire cell may start before the last blue-field
+	// cell finishes.
+	var blueFieldEnd time.Duration
+	for _, sp := range res.Trace {
+		if sp.Kind == SpanPaint && sp.Color == f.Layers[0].Color && sp.End > blueFieldEnd {
+			// blue-field is the only blue layer on this flag.
+			blueFieldEnd = sp.End
+		}
+	}
+	for _, sp := range res.Trace {
+		if sp.Kind == SpanPaint && sp.Color == f.Layers[1].Color && sp.Start < blueFieldEnd {
+			// white paint (saltire or cross) must wait for the field...
+			// except white cells are only in later layers, so any white
+			// paint before the field completes is a dependency violation.
+			t.Fatalf("white layer cell painted at %v before blue field completed at %v", sp.Start, blueFieldEnd)
+		}
+	}
+}
+
+func TestEagerReleasePolicySlowerOnSequential(t *testing.T) {
+	plan := mauritiusPlan(t, 1)
+	greedy, err := Run(Config{
+		Plan: plan, Procs: newTeam(t, 1),
+		Set: implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := Run(Config{
+		Plan: plan, Procs: newTeam(t, 1),
+		Set:  implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors()),
+		Hold: EagerRelease,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.Makespan <= greedy.Makespan {
+		t.Fatalf("eager release (%v) should cost more than greedy hold (%v) with no contention",
+			eager.Makespan, greedy.Makespan)
+	}
+}
+
+func TestRunRejectsMissingImplementColor(t *testing.T) {
+	plan := mauritiusPlan(t, 1)
+	_, err := Run(Config{
+		Plan: plan, Procs: newTeam(t, 1),
+		Set: implement.NewSet(implement.ThickMarker, flagspec.France.Colors()), // no yellow/green
+	})
+	if err == nil {
+		t.Fatal("expected error for implement set not covering the flag's colors")
+	}
+}
+
+func TestRunRejectsWrongTeamSize(t *testing.T) {
+	plan := mauritiusPlan(t, 3)
+	_, err := Run(Config{
+		Plan: plan, Procs: newTeam(t, 2),
+		Set: implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors()),
+	})
+	if err == nil {
+		t.Fatal("expected error for mismatched team size")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runScenario(t, 4, newTeam(t, 4))
+	b := runScenario(t, 4, newTeam(t, 4))
+	if a.Makespan != b.Makespan {
+		t.Fatalf("same seed, different makespans: %v vs %v", a.Makespan, b.Makespan)
+	}
+	if a.TotalWaitImplement() != b.TotalWaitImplement() {
+		t.Fatalf("same seed, different contention: %v vs %v",
+			a.TotalWaitImplement(), b.TotalWaitImplement())
+	}
+	if a.Events != b.Events {
+		t.Fatalf("same seed, different event counts: %d vs %d", a.Events, b.Events)
+	}
+}
+
+func TestCrayonBreakageInjectsRepairs(t *testing.T) {
+	// Crank breakage probability up so the test is robust.
+	f := flagspec.Mauritius
+	plan := mauritiusPlan(t, 1)
+	var impls []*implement.Implement
+	for i, c := range f.Colors() {
+		spec := implement.DefaultSpec(implement.Crayon)
+		spec.BreakProb = 0.5
+		impls = append(impls, &implement.Implement{ID: i, Color: c, Kind: implement.Crayon, Spec: spec})
+	}
+	set, err := implement.NewMixedSet(impls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := processor.DefaultProfile("P")
+	profile.WarmupPenalty = 0
+	team, err := processor.Team(1, profile, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Plan: plan, Procs: team, Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breaks == 0 {
+		t.Fatal("expected crayon breakages at p=0.5 over 96 cells")
+	}
+	if err := res.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceSpansAreWellFormed(t *testing.T) {
+	plan := mauritiusPlan(t, 4)
+	res, err := Run(Config{
+		Plan: plan, Procs: newTeam(t, 4),
+		Set:   implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors()),
+		Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paints := 0
+	for _, sp := range res.Trace {
+		if sp.End < sp.Start {
+			t.Fatalf("span %v ends before it starts", sp)
+		}
+		if sp.Proc < 0 || sp.Proc >= 4 {
+			t.Fatalf("span has invalid processor %d", sp.Proc)
+		}
+		if sp.End > res.Makespan {
+			t.Fatalf("span %v extends past makespan %v", sp, res.Makespan)
+		}
+		if sp.Kind == SpanPaint {
+			paints++
+		}
+	}
+	if paints != plan.TotalTasks() {
+		t.Fatalf("trace has %d paint spans, want %d", paints, plan.TotalTasks())
+	}
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hypothesis tests for the assessment data. The paper's future work plans
+// "a more in-depth statistical analysis to identify trends [and] assess
+// the activity's effectiveness"; these are the two tests that fit its
+// data shapes: McNemar's test for paired pre/post binary outcomes (the
+// Fig. 8 quiz transitions) and the Mann–Whitney U test for comparing
+// Likert response distributions between institutions (Tables I–III).
+
+// McNemarResult reports a McNemar test on paired binary outcomes.
+type McNemarResult struct {
+	// Gained and Lost are the discordant-pair counts (incorrect→correct
+	// and correct→incorrect).
+	Gained, Lost int
+	// Statistic is the continuity-corrected chi-square statistic; NaN
+	// when the exact test was used.
+	Statistic float64
+	// PValue is two-sided. For small discordant counts (< 25) the exact
+	// binomial test is used; otherwise the chi-square approximation.
+	PValue float64
+	// Exact reports whether the exact binomial form was used.
+	Exact bool
+}
+
+// McNemar tests whether knowledge gained differs from knowledge lost in a
+// cohort of pre/post transitions. The null hypothesis is that a student is
+// as likely to gain as to lose the concept.
+func McNemar(cohort []Transition) (McNemarResult, error) {
+	if len(cohort) == 0 {
+		return McNemarResult{}, fmt.Errorf("stats: McNemar on empty cohort")
+	}
+	var res McNemarResult
+	for _, t := range cohort {
+		switch t {
+		case Gained:
+			res.Gained++
+		case Lost:
+			res.Lost++
+		case RetainedCorrect, RetainedIncorrect:
+			// concordant pairs do not enter the test
+		default:
+			return McNemarResult{}, fmt.Errorf("stats: invalid transition %d", t)
+		}
+	}
+	n := res.Gained + res.Lost
+	if n == 0 {
+		// No discordant pairs: no evidence of change in either direction.
+		res.PValue = 1
+		res.Exact = true
+		res.Statistic = math.NaN()
+		return res, nil
+	}
+	if n < 25 {
+		// Exact two-sided binomial test with p = 1/2.
+		k := res.Gained
+		if res.Lost < k {
+			k = res.Lost
+		}
+		p := 0.0
+		for i := 0; i <= k; i++ {
+			p += binomPMF(n, i, 0.5)
+		}
+		p *= 2
+		// Subtract the double-counted center term when n is even and the
+		// split is exactly even.
+		if res.Gained == res.Lost {
+			p -= binomPMF(n, k, 0.5)
+		}
+		if p > 1 {
+			p = 1
+		}
+		res.PValue = p
+		res.Exact = true
+		res.Statistic = math.NaN()
+		return res, nil
+	}
+	// Edwards continuity-corrected chi-square with 1 degree of freedom.
+	d := math.Abs(float64(res.Gained-res.Lost)) - 1
+	if d < 0 {
+		d = 0
+	}
+	res.Statistic = d * d / float64(n)
+	res.PValue = chiSquare1SF(res.Statistic)
+	return res, nil
+}
+
+// binomPMF returns C(n,k) p^k (1-p)^(n-k) computed in log space.
+func binomPMF(n, k int, p float64) float64 {
+	return math.Exp(lnChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// chiSquare1SF returns the survival function of the chi-square
+// distribution with 1 degree of freedom: P(X >= x) = erfc(sqrt(x/2)).
+func chiSquare1SF(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Erfc(math.Sqrt(x / 2))
+}
+
+// MannWhitneyResult reports a two-sided Mann–Whitney U test.
+type MannWhitneyResult struct {
+	// U is the test statistic for the first sample.
+	U float64
+	// Z is the tie-corrected normal approximation z-score.
+	Z float64
+	// PValue is the two-sided p-value from the normal approximation.
+	PValue float64
+	// RankBiserial is the common-language effect size r = 1 - 2U/(n1·n2),
+	// in [-1, 1]; 0 means stochastically equal samples.
+	RankBiserial float64
+}
+
+// MannWhitneyU compares two independent ordinal samples (e.g. two
+// institutions' Likert responses to one question) with average ranks for
+// ties and a tie-corrected normal approximation. Both samples need at
+// least 2 observations; the approximation is conventional for the class
+// sizes in the study (n >= 8 or so).
+func MannWhitneyU(a, b []float64) (MannWhitneyResult, error) {
+	n1, n2 := len(a), len(b)
+	if n1 < 2 || n2 < 2 {
+		return MannWhitneyResult{}, fmt.Errorf("stats: Mann–Whitney needs >= 2 per sample, got %d and %d", n1, n2)
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	// Sort by value (insertion sort is fine at survey sizes, but use the
+	// library for clarity).
+	sortObs(all)
+
+	// Average ranks with tie groups; accumulate tie correction term.
+	n := len(all)
+	ranks := make([]float64, n)
+	tieTerm := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1)*float64(n1+1)/2
+	mu := float64(n1) * float64(n2) / 2
+	nf := float64(n)
+	sigma2 := float64(n1) * float64(n2) / 12 * ((nf + 1) - tieTerm/(nf*(nf-1)))
+	res := MannWhitneyResult{
+		U:            u1,
+		RankBiserial: 1 - 2*u1/(float64(n1)*float64(n2)),
+	}
+	if sigma2 <= 0 {
+		// All observations tied: no evidence of difference.
+		res.Z = 0
+		res.PValue = 1
+		return res, nil
+	}
+	// Continuity correction of 0.5 toward the mean.
+	d := u1 - mu
+	switch {
+	case d > 0.5:
+		d -= 0.5
+	case d < -0.5:
+		d += 0.5
+	default:
+		d = 0
+	}
+	res.Z = d / math.Sqrt(sigma2)
+	res.PValue = math.Erfc(math.Abs(res.Z) / math.Sqrt2)
+	return res, nil
+}
+
+// obs is one observation tagged with its sample of origin.
+type obs struct {
+	v     float64
+	group int
+}
+
+// sortObs is a stable insertion sort; survey samples are tiny and this
+// avoids an interface allocation per comparison.
+func sortObs(all []obs) {
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].v < all[j-1].v; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+}
+
+// LikertToFloats converts integer Likert responses for the test helpers.
+func LikertToFloats(responses []int) []float64 {
+	out := make([]float64, len(responses))
+	for i, r := range responses {
+		out[i] = float64(r)
+	}
+	return out
+}

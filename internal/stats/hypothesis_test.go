@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flagsim/internal/rng"
+)
+
+func cohortOf(gained, lost, retained, ri int) []Transition {
+	var out []Transition
+	for i := 0; i < gained; i++ {
+		out = append(out, Gained)
+	}
+	for i := 0; i < lost; i++ {
+		out = append(out, Lost)
+	}
+	for i := 0; i < retained; i++ {
+		out = append(out, RetainedCorrect)
+	}
+	for i := 0; i < ri; i++ {
+		out = append(out, RetainedIncorrect)
+	}
+	return out
+}
+
+func TestMcNemarNoDiscordantPairs(t *testing.T) {
+	res, err := McNemar(cohortOf(0, 0, 10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue != 1 {
+		t.Fatalf("p = %v, want 1 with no discordant pairs", res.PValue)
+	}
+}
+
+func TestMcNemarBalancedDiscordants(t *testing.T) {
+	// 5 gained, 5 lost: perfectly balanced, p must be 1 (exact test).
+	res, err := McNemar(cohortOf(5, 5, 10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("small discordant count should use the exact test")
+	}
+	if math.Abs(res.PValue-1) > 1e-9 {
+		t.Fatalf("balanced p = %v, want 1", res.PValue)
+	}
+}
+
+func TestMcNemarExactKnownValue(t *testing.T) {
+	// 9 gained, 1 lost: two-sided exact p = 2 * sum_{i<=1} C(10,i)/2^10
+	// = 2 * (1 + 10)/1024 = 0.021484375.
+	res, err := McNemar(cohortOf(9, 1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("n=10 should be exact")
+	}
+	want := 2.0 * 11.0 / 1024.0
+	if math.Abs(res.PValue-want) > 1e-9 {
+		t.Fatalf("p = %v, want %v", res.PValue, want)
+	}
+	if res.Gained != 9 || res.Lost != 1 {
+		t.Fatalf("counts %d/%d", res.Gained, res.Lost)
+	}
+}
+
+func TestMcNemarChiSquareLargeCounts(t *testing.T) {
+	// 30 gained, 10 lost: chi2 = (|20|-1)^2/40 = 9.025, p ~ 0.00266.
+	res, err := McNemar(cohortOf(30, 10, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("n=40 should use the chi-square form")
+	}
+	if math.Abs(res.Statistic-9.025) > 1e-9 {
+		t.Fatalf("chi2 = %v", res.Statistic)
+	}
+	if res.PValue > 0.005 || res.PValue < 0.002 {
+		t.Fatalf("p = %v, want ~0.0027", res.PValue)
+	}
+}
+
+func TestMcNemarDetectsStrongLearning(t *testing.T) {
+	// The contention concept at USI: 5 gained, 0 lost out of 13.
+	res, err := McNemar(cohortOf(5, 0, 6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact p = 2 * (1/2)^5 = 0.0625: suggestive but not significant at
+	// alpha = .05 with so few students — the reason the paper defers to a
+	// larger sample.
+	if math.Abs(res.PValue-0.0625) > 1e-9 {
+		t.Fatalf("p = %v, want 0.0625", res.PValue)
+	}
+}
+
+func TestMcNemarEmptyCohort(t *testing.T) {
+	if _, err := McNemar(nil); err == nil {
+		t.Fatal("empty cohort should error")
+	}
+}
+
+func TestMcNemarPValueInRangeProperty(t *testing.T) {
+	check := func(g, l, r, ri uint8) bool {
+		cohort := cohortOf(int(g%40), int(l%40), int(r%40), int(ri%40))
+		if len(cohort) == 0 {
+			return true
+		}
+		res, err := McNemar(cohort)
+		if err != nil {
+			return false
+		}
+		return res.PValue >= 0 && res.PValue <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	a := []float64{4, 4, 5, 5, 3}
+	res, err := MannWhitneyU(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.99 {
+		t.Fatalf("identical samples p = %v, want ~1", res.PValue)
+	}
+	if math.Abs(res.RankBiserial) > 1e-9 {
+		t.Fatalf("effect size %v, want 0", res.RankBiserial)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	res, err := MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue != 1 {
+		t.Fatalf("all-tied p = %v, want 1", res.PValue)
+	}
+}
+
+func TestMannWhitneyClearSeparation(t *testing.T) {
+	lo := []float64{1, 1, 2, 2, 1, 2, 1, 2, 2, 1}
+	hi := []float64{4, 5, 5, 4, 5, 4, 5, 5, 4, 5}
+	res, err := MannWhitneyU(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 0.001 {
+		t.Fatalf("separated samples p = %v, want tiny", res.PValue)
+	}
+	if math.Abs(res.RankBiserial) < 0.99 {
+		t.Fatalf("effect size %v, want ~±1", res.RankBiserial)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	a := []float64{3, 4, 4, 5, 2, 4}
+	b := []float64{4, 5, 5, 5, 4, 3}
+	ab, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := MannWhitneyU(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ab.PValue-ba.PValue) > 1e-9 {
+		t.Fatalf("p not symmetric: %v vs %v", ab.PValue, ba.PValue)
+	}
+	if math.Abs(ab.RankBiserial+ba.RankBiserial) > 1e-9 {
+		t.Fatalf("effect sizes should negate: %v vs %v", ab.RankBiserial, ba.RankBiserial)
+	}
+}
+
+func TestMannWhitneyValidation(t *testing.T) {
+	if _, err := MannWhitneyU([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("tiny sample should error")
+	}
+}
+
+func TestMannWhitneyOnCalibratedCohorts(t *testing.T) {
+	// Webster's had-fun target is 5.0, Knox's 4.0: the test should find
+	// the difference at typical cohort sizes.
+	stream := rng.New(3)
+	webster, err := SampleLikertWithMedian(5.0, 18, stream.Split(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knox, err := SampleLikertWithMedian(4.0, 28, stream.Split(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MannWhitneyU(LikertToFloats(webster), LikertToFloats(knox))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 0.05 {
+		t.Fatalf("5.0-median vs 4.0-median cohorts p = %v, expected significant", res.PValue)
+	}
+}
+
+func TestMannWhitneyPValueRangeProperty(t *testing.T) {
+	check := func(seed uint64, n1Raw, n2Raw uint8) bool {
+		stream := rng.New(seed)
+		n1 := int(n1Raw%20) + 2
+		n2 := int(n2Raw%20) + 2
+		a := make([]float64, n1)
+		b := make([]float64, n2)
+		for i := range a {
+			a[i] = float64(stream.Intn(5) + 1)
+		}
+		for i := range b {
+			b[i] = float64(stream.Intn(5) + 1)
+		}
+		res, err := MannWhitneyU(a, b)
+		if err != nil {
+			return false
+		}
+		return res.PValue >= 0 && res.PValue <= 1.0000001 &&
+			res.RankBiserial >= -1.0000001 && res.RankBiserial <= 1.0000001
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"fmt"
+
+	"flagsim/internal/rng"
+)
+
+// LikertScale is the number of points on the activity's Likert items
+// (1 = Strongly Disagree .. 5 = Strongly Agree).
+const LikertScale = 5
+
+// LikertDist is a probability distribution over Likert responses 1..5.
+type LikertDist [LikertScale]float64
+
+// Validate checks the distribution sums to ~1 with non-negative mass.
+func (d LikertDist) Validate() error {
+	sum := 0.0
+	for i, p := range d {
+		if p < 0 {
+			return fmt.Errorf("stats: negative mass at likert %d", i+1)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("stats: likert distribution sums to %v", sum)
+	}
+	return nil
+}
+
+// Sample draws one Likert response (1..5).
+func (d LikertDist) Sample(stream *rng.Stream) int {
+	w := make([]float64, LikertScale)
+	copy(w, d[:])
+	return stream.Pick(w) + 1
+}
+
+// SampleN draws n responses.
+func (d LikertDist) SampleN(n int, stream *rng.Stream) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Sample(stream)
+	}
+	return out
+}
+
+// Median returns the distribution's exact population median under the
+// midpoint convention: the value m (possibly half-integral) such that the
+// CDF crosses 0.5 at m.
+func (d LikertDist) Median() float64 {
+	cum := 0.0
+	for i, p := range d {
+		cum += p
+		if cum > 0.5+1e-12 {
+			return float64(i + 1)
+		}
+		if cum >= 0.5-1e-12 && cum <= 0.5+1e-12 {
+			// Exactly half the mass at or below i+1: midpoint between
+			// this value and the next value with mass.
+			for j := i + 1; j < LikertScale; j++ {
+				if d[j] > 0 {
+					return (float64(i+1) + float64(j+1)) / 2
+				}
+			}
+			return float64(i + 1)
+		}
+	}
+	return LikertScale
+}
+
+// LikertForMedian constructs a plausible response distribution whose
+// population median is the target (integral or half-integral in
+// [1, 5]). The construction concentrates mass around the median the way
+// real Likert engagement data does: a dominant mode with symmetric-ish
+// shoulders.
+//
+// For an integral target m, 60% of the mass sits on m, 20% one step below
+// (clamped), 20% one step above (clamped). For a half-integral target
+// m = k + 0.5, mass is split 50/50 between k and k+1 so the population CDF
+// hits exactly 0.5 at k — median (k + k+1)/2 — with 10% shoulders carved
+// symmetrically from both sides.
+func LikertForMedian(target float64) (LikertDist, error) {
+	var d LikertDist
+	if target < 1 || target > LikertScale {
+		return d, fmt.Errorf("stats: likert median target %v outside [1,%d]", target, LikertScale)
+	}
+	doubled := target * 2
+	rounded := float64(int(doubled+0.5)) == doubled
+	if !rounded {
+		return d, fmt.Errorf("stats: likert median target %v is not a multiple of 0.5", target)
+	}
+	isHalf := int(doubled)%2 == 1
+	if !isHalf {
+		m := int(target) - 1 // index
+		d[m] = 0.6
+		lo, hi := m-1, m+1
+		switch {
+		case lo < 0:
+			d[hi] += 0.4
+		case hi >= LikertScale:
+			d[lo] += 0.4
+		default:
+			d[lo] += 0.2
+			d[hi] += 0.2
+		}
+		return d, nil
+	}
+	k := int(target-0.5) - 1 // lower index of the straddle
+	if k < 0 || k+1 >= LikertScale {
+		return d, fmt.Errorf("stats: half-point target %v has no straddle", target)
+	}
+	// Exactly half the mass at or below k so the CDF touches 0.5 there.
+	d[k] = 0.4
+	d[k+1] = 0.4
+	if k-1 >= 0 {
+		d[k-1] = 0.1
+	} else {
+		d[k] += 0.1
+	}
+	if k+2 < LikertScale {
+		d[k+2] = 0.1
+	} else {
+		d[k+1] += 0.1
+	}
+	return d, nil
+}
+
+// isHalfIntegral reports whether v is k + 0.5 for integer k.
+func isHalfIntegral(v float64) bool {
+	doubled := v * 2
+	return float64(int(doubled)) == doubled && int(doubled)%2 == 1
+}
+
+// SampleMedianMatches reports whether a sample of responses has the target
+// median under the midpoint convention.
+func SampleMedianMatches(responses []int, target float64) bool {
+	m, err := MedianInts(responses)
+	if err != nil {
+		return false
+	}
+	return m == target
+}
+
+// SampleLikertWithMedian draws n responses from the LikertForMedian
+// distribution, retrying (bounded) until the sample median equals the
+// population median — the calibration loop that makes Tables I–III exact
+// by construction while still being genuine samples. Even n with a
+// half-integral target requires n to be even-split-able; the retry loop
+// handles it. It fails only if maxTries is exhausted, which for the
+// distribution shapes above is vanishingly unlikely at the class sizes
+// involved.
+func SampleLikertWithMedian(target float64, n int, stream *rng.Stream, maxTries int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: sample size %d", n)
+	}
+	d, err := LikertForMedian(target)
+	if err != nil {
+		return nil, err
+	}
+	if isHalfIntegral(target) && n%2 == 1 {
+		return nil, fmt.Errorf("stats: half-point median %v is impossible with odd sample size %d", target, n)
+	}
+	if maxTries <= 0 {
+		maxTries = 1000
+	}
+	for try := 0; try < maxTries; try++ {
+		s := d.SampleN(n, stream)
+		if SampleMedianMatches(s, target) {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("stats: could not hit median %v with n=%d in %d tries", target, n, maxTries)
+}

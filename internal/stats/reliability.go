@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+)
+
+// CronbachAlpha computes the internal-consistency reliability of a scale:
+// alpha = (k/(k-1)) * (1 - sum(item variances)/variance(total)).
+//
+// items[i][s] is item i's response from student s; every item needs the
+// same student count. This is the standard validation statistic for
+// instruments like the ASPECT-derived engagement survey: a category
+// (engagement, understanding, instructor) with alpha >= ~0.7 is measuring
+// one coherent construct.
+func CronbachAlpha(items [][]int) (float64, error) {
+	k := len(items)
+	if k < 2 {
+		return 0, fmt.Errorf("stats: Cronbach's alpha needs >= 2 items, got %d", k)
+	}
+	n := len(items[0])
+	if n < 2 {
+		return 0, fmt.Errorf("stats: Cronbach's alpha needs >= 2 respondents, got %d", n)
+	}
+	for i, item := range items {
+		if len(item) != n {
+			return 0, fmt.Errorf("stats: item %d has %d responses, want %d", i, len(item), n)
+		}
+	}
+	// Population-variance form (divides by n); the ratio is unaffected by
+	// the choice as long as it is consistent.
+	variance := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			m += x
+		}
+		m /= float64(len(xs))
+		v := 0.0
+		for _, x := range xs {
+			d := x - m
+			v += d * d
+		}
+		return v / float64(len(xs))
+	}
+	sumItemVar := 0.0
+	totals := make([]float64, n)
+	buf := make([]float64, n)
+	for _, item := range items {
+		for s, v := range item {
+			buf[s] = float64(v)
+			totals[s] += float64(v)
+		}
+		sumItemVar += variance(buf)
+	}
+	totalVar := variance(totals)
+	if totalVar == 0 {
+		// Every student gave identical totals: the scale carries no
+		// between-student signal; alpha is undefined, conventionally
+		// reported as 0 here with an explicit error.
+		return 0, fmt.Errorf("stats: zero total variance; alpha undefined")
+	}
+	return float64(k) / float64(k-1) * (1 - sumItemVar/totalVar), nil
+}
+
+// ItemDifficulty returns the fraction of correct responses (the classical
+// p-value of an item; higher = easier).
+func ItemDifficulty(correct []bool) (float64, error) {
+	if len(correct) == 0 {
+		return 0, fmt.Errorf("stats: item difficulty of empty responses")
+	}
+	n := 0
+	for _, c := range correct {
+		if c {
+			n++
+		}
+	}
+	return float64(n) / float64(len(correct)), nil
+}
+
+// ItemDiscrimination returns the classical upper-lower discrimination
+// index D: the difficulty among the top 27% of total scorers minus the
+// difficulty among the bottom 27%. scores[s] is student s's total test
+// score; correct[s] is whether the student answered this item correctly.
+// D >= 0.3 is conventionally a good item; near-zero items don't separate
+// strong from weak students.
+func ItemDiscrimination(correct []bool, scores []int) (float64, error) {
+	n := len(correct)
+	if n < 4 {
+		return 0, fmt.Errorf("stats: discrimination needs >= 4 students, got %d", n)
+	}
+	if len(scores) != n {
+		return 0, fmt.Errorf("stats: %d scores for %d students", len(scores), n)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable sort by score descending (insertion sort; cohorts are small).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && scores[idx[j]] > scores[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	g := n * 27 / 100
+	if g < 1 {
+		g = 1
+	}
+	frac := func(group []int) float64 {
+		c := 0
+		for _, s := range group {
+			if correct[s] {
+				c++
+			}
+		}
+		return float64(c) / float64(len(group))
+	}
+	top := idx[:g]
+	bottom := idx[n-g:]
+	return frac(top) - frac(bottom), nil
+}

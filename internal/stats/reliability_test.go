@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"flagsim/internal/rng"
+)
+
+func TestCronbachAlphaKnownValue(t *testing.T) {
+	// Hand-computable example: two perfectly correlated items.
+	items := [][]int{
+		{1, 2, 3, 4, 5},
+		{1, 2, 3, 4, 5},
+	}
+	a, err := CronbachAlpha(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-9 {
+		t.Fatalf("perfectly correlated items alpha = %v, want 1", a)
+	}
+}
+
+func TestCronbachAlphaUncorrelated(t *testing.T) {
+	// Independent noise items: alpha near 0 (can be negative).
+	stream := rng.New(5)
+	items := make([][]int, 4)
+	for i := range items {
+		items[i] = make([]int, 200)
+		for s := range items[i] {
+			items[i][s] = stream.Intn(5) + 1
+		}
+	}
+	a, err := CronbachAlpha(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a > 0.25 || a < -0.5 {
+		t.Fatalf("uncorrelated items alpha = %v, want near 0", a)
+	}
+}
+
+func TestCronbachAlphaCoherentScale(t *testing.T) {
+	// Items driven by a shared latent trait plus noise: high alpha.
+	stream := rng.New(7)
+	const n = 300
+	latent := make([]float64, n)
+	for s := range latent {
+		latent[s] = stream.Float64() * 4
+	}
+	items := make([][]int, 5)
+	for i := range items {
+		items[i] = make([]int, n)
+		for s := range items[i] {
+			v := int(latent[s]+stream.Float64()) + 1
+			if v > 5 {
+				v = 5
+			}
+			if v < 1 {
+				v = 1
+			}
+			items[i][s] = v
+		}
+	}
+	a, err := CronbachAlpha(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0.8 {
+		t.Fatalf("coherent scale alpha = %v, want >= 0.8", a)
+	}
+}
+
+func TestCronbachAlphaValidation(t *testing.T) {
+	if _, err := CronbachAlpha([][]int{{1, 2}}); err == nil {
+		t.Fatal("one item should error")
+	}
+	if _, err := CronbachAlpha([][]int{{1}, {2}}); err == nil {
+		t.Fatal("one respondent should error")
+	}
+	if _, err := CronbachAlpha([][]int{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged items should error")
+	}
+	if _, err := CronbachAlpha([][]int{{3, 3}, {4, 4}}); err == nil {
+		t.Fatal("zero total variance should error")
+	}
+}
+
+func TestItemDifficulty(t *testing.T) {
+	d, err := ItemDifficulty([]bool{true, true, false, false})
+	if err != nil || d != 0.5 {
+		t.Fatalf("difficulty %v err %v", d, err)
+	}
+	if _, err := ItemDifficulty(nil); err == nil {
+		t.Fatal("empty responses should error")
+	}
+}
+
+func TestItemDiscriminationSeparates(t *testing.T) {
+	// 10 students; scores 9..0; the item is answered correctly exactly by
+	// the top half: maximal discrimination.
+	correct := make([]bool, 10)
+	scores := make([]int, 10)
+	for i := range scores {
+		scores[i] = 9 - i
+		correct[i] = i < 5
+	}
+	d, err := ItemDiscrimination(correct, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("D = %v, want 1 for perfectly discriminating item", d)
+	}
+	// Inverted: answered only by the weakest.
+	for i := range correct {
+		correct[i] = i >= 5
+	}
+	d, _ = ItemDiscrimination(correct, scores)
+	if d != -1 {
+		t.Fatalf("D = %v, want -1", d)
+	}
+}
+
+func TestItemDiscriminationValidation(t *testing.T) {
+	if _, err := ItemDiscrimination([]bool{true}, []int{1}); err == nil {
+		t.Fatal("tiny cohort should error")
+	}
+	if _, err := ItemDiscrimination([]bool{true, false, true, false}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}

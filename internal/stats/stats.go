@@ -1,0 +1,137 @@
+// Package stats provides the statistical primitives the assessment
+// pipeline needs: order statistics on small samples (Likert medians),
+// summary statistics, discrete distributions with target medians, 2×2
+// transition matrices for pre/post quizzes, and bootstrap confidence
+// intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flagsim/internal/rng"
+)
+
+// Median returns the sample median using the midpoint convention for even
+// sample sizes — the convention under which a class's Likert responses
+// yield the half-point medians (4.5) reported in the paper's tables.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: median of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], nil
+	}
+	return (s[n/2-1] + s[n/2]) / 2, nil
+}
+
+// MedianInts is Median over integer samples (Likert responses).
+func MedianInts(xs []int) (float64, error) {
+	f := make([]float64, len(xs))
+	for i, x := range xs {
+		f[i] = float64(x)
+	}
+	return Median(f)
+}
+
+// Quartiles returns Q1, Q2 (median), Q3 using the inclusive
+// median-of-halves method.
+func Quartiles(xs []float64) (q1, q2, q3 float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, 0, fmt.Errorf("stats: quartiles of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	q2, _ = Median(s)
+	var lower, upper []float64
+	if n%2 == 0 {
+		lower, upper = s[:n/2], s[n/2:]
+	} else {
+		lower, upper = s[:n/2+1], s[n/2:]
+	}
+	q1, _ = Median(lower)
+	q3, _ = Median(upper)
+	return q1, q2, q3, nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: mean of empty sample")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: stddev needs at least 2 samples, got %d", len(xs))
+	}
+	m, _ := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1)), nil
+}
+
+// MinMax returns the smallest and largest values.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: min/max of empty sample")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// BootstrapMedianCI returns a percentile bootstrap confidence interval for
+// the median at the given confidence level (e.g. 0.95), using reps
+// resamples drawn from stream.
+func BootstrapMedianCI(xs []float64, level float64, reps int, stream *rng.Stream) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: bootstrap of empty sample")
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence level %v outside (0,1)", level)
+	}
+	if reps < 10 {
+		return 0, 0, fmt.Errorf("stats: too few bootstrap reps (%d)", reps)
+	}
+	if stream == nil {
+		stream = rng.New(0)
+	}
+	medians := make([]float64, reps)
+	resample := make([]float64, len(xs))
+	for r := 0; r < reps; r++ {
+		for i := range resample {
+			resample[i] = xs[stream.Intn(len(xs))]
+		}
+		medians[r], _ = Median(resample)
+	}
+	sort.Float64s(medians)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(reps))
+	hiIdx := int((1 - alpha) * float64(reps))
+	if hiIdx >= reps {
+		hiIdx = reps - 1
+	}
+	return medians[loIdx], medians[hiIdx], nil
+}

@@ -1,0 +1,323 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flagsim/internal/rng"
+)
+
+func TestMedianOdd(t *testing.T) {
+	m, err := Median([]float64{3, 1, 2})
+	if err != nil || m != 2 {
+		t.Fatalf("median %v err %v", m, err)
+	}
+}
+
+func TestMedianEvenMidpoint(t *testing.T) {
+	m, err := Median([]float64{4, 5, 4, 5})
+	if err != nil || m != 4.5 {
+		t.Fatalf("median %v err %v", m, err)
+	}
+}
+
+func TestMedianEmpty(t *testing.T) {
+	if _, err := Median(nil); err == nil {
+		t.Fatal("empty median should error")
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_, _ = Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("median mutated input: %v", xs)
+	}
+}
+
+func TestMedianInts(t *testing.T) {
+	m, err := MedianInts([]int{5, 4, 4, 5, 5})
+	if err != nil || m != 5 {
+		t.Fatalf("median %v err %v", m, err)
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	q1, q2, q3, err := Quartiles([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 != 4.5 || q1 != 2.5 || q3 != 6.5 {
+		t.Fatalf("quartiles %v %v %v", q1, q2, q3)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, _ := Mean(xs)
+	if m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sd-2.138) > 0.01 {
+		t.Fatalf("stddev %v", sd)
+	}
+	if _, err := StdDev([]float64{1}); err == nil {
+		t.Fatal("stddev of one sample should error")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Fatalf("minmax %v %v err %v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Fatal("empty minmax should error")
+	}
+}
+
+func TestBootstrapMedianCIBrackets(t *testing.T) {
+	stream := rng.New(3)
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	lo, hi, err := BootstrapMedianCI(xs, 0.95, 500, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 50 || hi < 50 {
+		t.Fatalf("CI [%v,%v] should bracket the true median 50", lo, hi)
+	}
+	if hi-lo > 30 {
+		t.Fatalf("CI [%v,%v] implausibly wide", lo, hi)
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	if _, _, err := BootstrapMedianCI(nil, 0.95, 100, nil); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, _, err := BootstrapMedianCI([]float64{1}, 1.5, 100, nil); err == nil {
+		t.Fatal("bad level should error")
+	}
+	if _, _, err := BootstrapMedianCI([]float64{1}, 0.9, 3, nil); err == nil {
+		t.Fatal("too few reps should error")
+	}
+}
+
+// ---- Likert ----
+
+func TestLikertForMedianAllTargets(t *testing.T) {
+	for target := 1.0; target <= 5.0; target += 0.5 {
+		d, err := LikertForMedian(target)
+		if target == 1.0 || target == 5.0 {
+			// Integral edges work; 0.5-offsets beyond the scale don't
+			// exist in this loop.
+		}
+		if err != nil {
+			// Half-integral extremes 1.5..4.5 and integral 1..5 must all
+			// be constructible.
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if got := d.Median(); got != target {
+			t.Fatalf("target %v: population median %v", target, got)
+		}
+	}
+}
+
+func TestLikertForMedianRejectsBadTargets(t *testing.T) {
+	for _, target := range []float64{0.5, 5.5, 4.25, -1, 6} {
+		if _, err := LikertForMedian(target); err == nil {
+			t.Fatalf("target %v should be rejected", target)
+		}
+	}
+}
+
+func TestLikertSampleRange(t *testing.T) {
+	d, _ := LikertForMedian(4)
+	stream := rng.New(5)
+	for _, v := range d.SampleN(1000, stream) {
+		if v < 1 || v > 5 {
+			t.Fatalf("sample %d outside scale", v)
+		}
+	}
+}
+
+func TestSampleLikertWithMedianHitsTarget(t *testing.T) {
+	stream := rng.New(7)
+	for _, tc := range []struct {
+		target float64
+		n      int
+	}{
+		{4.0, 13}, {5.0, 25}, {3.0, 12}, {4.5, 12}, {3.5, 86}, {4.5, 64},
+	} {
+		s, err := SampleLikertWithMedian(tc.target, tc.n, stream.Split(), 5000)
+		if err != nil {
+			t.Fatalf("target %v n=%d: %v", tc.target, tc.n, err)
+		}
+		if !SampleMedianMatches(s, tc.target) {
+			t.Fatalf("target %v n=%d: sample median off", tc.target, tc.n)
+		}
+	}
+}
+
+func TestSampleLikertRejectsImpossible(t *testing.T) {
+	if _, err := SampleLikertWithMedian(4.5, 13, rng.New(1), 100); err == nil {
+		t.Fatal("half-point median with odd n is impossible and must error")
+	}
+	if _, err := SampleLikertWithMedian(4.0, 0, rng.New(1), 100); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+// Property: for any valid (target, even n), generated samples match.
+func TestSampleLikertProperty(t *testing.T) {
+	targets := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+	check := func(seed uint64, ti, nRaw uint8) bool {
+		target := targets[int(ti)%len(targets)]
+		n := (int(nRaw%30) + 2) * 2 // even, 4..62
+		s, err := SampleLikertWithMedian(target, n, rng.New(seed), 5000)
+		if err != nil {
+			return false
+		}
+		return SampleMedianMatches(s, target)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- Transitions ----
+
+func TestTransitionMatrixValidate(t *testing.T) {
+	good := TransitionMatrix{RetainedCorrect: 50, Gained: 20, Lost: 10, RetainedIncorrect: 20}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := TransitionMatrix{RetainedCorrect: 90, Gained: 20, Lost: 10, RetainedIncorrect: 20}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("sum 140 should fail")
+	}
+	neg := TransitionMatrix{RetainedCorrect: -5, Gained: 55, Lost: 25, RetainedIncorrect: 25}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative share should fail")
+	}
+}
+
+func TestTransitionDerivedRates(t *testing.T) {
+	m := TransitionMatrix{RetainedCorrect: 50, Gained: 20, Lost: 10, RetainedIncorrect: 20}
+	if m.PreCorrect() != 60 || m.PostCorrect() != 70 {
+		t.Fatalf("pre %v post %v", m.PreCorrect(), m.PostCorrect())
+	}
+	if m.NetGain() != 10 {
+		t.Fatalf("net gain %v", m.NetGain())
+	}
+}
+
+func TestCohortLargestRemainder(t *testing.T) {
+	// USI task decomposition: 76.9/0/23.1/0 over 13 students = 10/0/3/0.
+	m := TransitionMatrix{RetainedCorrect: 76.9, Gained: 0, Lost: 23.1, RetainedIncorrect: 0}
+	cohort, err := m.Cohort(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Transition]int{}
+	for _, tr := range cohort {
+		counts[tr]++
+	}
+	if counts[RetainedCorrect] != 10 || counts[Lost] != 3 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestCohortMeasureRoundTrip(t *testing.T) {
+	m := TransitionMatrix{RetainedCorrect: 76.9, Gained: 0, Lost: 23.1, RetainedIncorrect: 0}
+	cohort, _ := m.Cohort(13)
+	back, err := MeasureTransitions(cohort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back.RetainedCorrect-76.9) > 0.05 || math.Abs(back.Lost-23.1) > 0.05 {
+		t.Fatalf("roundtrip %+v", back)
+	}
+}
+
+// Property: Cohort then MeasureTransitions recovers each share within
+// 100/(2n) (largest-remainder rounding bound).
+func TestCohortRoundTripProperty(t *testing.T) {
+	check := func(aRaw, bRaw, cRaw uint8, nRaw uint8) bool {
+		n := int(nRaw%80) + 10
+		a := float64(aRaw % 100)
+		b := float64(bRaw) * (100 - a) / 510
+		c := float64(cRaw) * (100 - a - b) / 510
+		d := 100 - a - b - c
+		m := TransitionMatrix{RetainedCorrect: a, Gained: b, Lost: c, RetainedIncorrect: d}
+		if m.Validate() != nil {
+			return true // skip degenerate constructions
+		}
+		cohort, err := m.Cohort(n)
+		if err != nil {
+			return false
+		}
+		back, err := MeasureTransitions(cohort)
+		if err != nil {
+			return false
+		}
+		tol := 100.0/float64(n) + 1e-9
+		return math.Abs(back.RetainedCorrect-a) <= tol &&
+			math.Abs(back.Gained-b) <= tol &&
+			math.Abs(back.Lost-c) <= tol &&
+			math.Abs(back.RetainedIncorrect-d) <= tol
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffledCohortPreservesCounts(t *testing.T) {
+	m := TransitionMatrix{RetainedCorrect: 40, Gained: 30, Lost: 20, RetainedIncorrect: 10}
+	a, err := m.Cohort(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ShuffledCohort(20, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := map[Transition]int{}, map[Transition]int{}
+	for i := range a {
+		ca[a[i]]++
+		cb[b[i]]++
+	}
+	for _, tr := range Transitions() {
+		if ca[tr] != cb[tr] {
+			t.Fatalf("shuffle changed counts: %v vs %v", ca, cb)
+		}
+	}
+}
+
+func TestMeasureTransitionsEmpty(t *testing.T) {
+	if _, err := MeasureTransitions(nil); err == nil {
+		t.Fatal("empty cohort should error")
+	}
+}
+
+func TestCohortInvalidInputs(t *testing.T) {
+	m := TransitionMatrix{RetainedCorrect: 100}
+	if _, err := m.Cohort(0); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	bad := TransitionMatrix{RetainedCorrect: 10}
+	if _, err := bad.Cohort(5); err == nil {
+		t.Fatal("invalid matrix should error")
+	}
+}

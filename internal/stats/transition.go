@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"fmt"
+
+	"flagsim/internal/rng"
+)
+
+// Transition classifies one student's pre→post answer pair on one concept,
+// the four quadrants of the paper's Fig. 8 analysis.
+type Transition uint8
+
+// The four pre/post outcomes.
+const (
+	// RetainedCorrect: correct before and after ("retained correct
+	// answers").
+	RetainedCorrect Transition = iota
+	// Gained: incorrect before, correct after ("knowledge gains",
+	// "growth").
+	Gained
+	// Lost: correct before, incorrect after ("knowledge loss",
+	// "reduction").
+	Lost
+	// RetainedIncorrect: incorrect both times ("incorrect retention").
+	RetainedIncorrect
+)
+
+// String names the transition.
+func (t Transition) String() string {
+	switch t {
+	case RetainedCorrect:
+		return "retained-correct"
+	case Gained:
+		return "gained"
+	case Lost:
+		return "lost"
+	case RetainedIncorrect:
+		return "retained-incorrect"
+	default:
+		return fmt.Sprintf("transition(%d)", uint8(t))
+	}
+}
+
+// Transitions lists all four outcomes in canonical order.
+func Transitions() []Transition {
+	return []Transition{RetainedCorrect, Gained, Lost, RetainedIncorrect}
+}
+
+// TransitionMatrix holds the four pre/post percentages for one concept at
+// one institution. Percentages are of the cohort, in [0,100], and should
+// sum to ~100.
+type TransitionMatrix struct {
+	RetainedCorrect   float64
+	Gained            float64
+	Lost              float64
+	RetainedIncorrect float64
+}
+
+// Validate checks ranges and the sum-to-100 invariant (±0.5 to absorb the
+// paper's rounded percentages).
+func (m TransitionMatrix) Validate() error {
+	for _, v := range []float64{m.RetainedCorrect, m.Gained, m.Lost, m.RetainedIncorrect} {
+		if v < 0 || v > 100 {
+			return fmt.Errorf("stats: transition percentage %v outside [0,100]", v)
+		}
+	}
+	sum := m.RetainedCorrect + m.Gained + m.Lost + m.RetainedIncorrect
+	if sum < 99.5 || sum > 100.5 {
+		return fmt.Errorf("stats: transition percentages sum to %v", sum)
+	}
+	return nil
+}
+
+// Share returns the percentage for transition t.
+func (m TransitionMatrix) Share(t Transition) float64 {
+	switch t {
+	case RetainedCorrect:
+		return m.RetainedCorrect
+	case Gained:
+		return m.Gained
+	case Lost:
+		return m.Lost
+	default:
+		return m.RetainedIncorrect
+	}
+}
+
+// PreCorrect returns the pre-test correct percentage implied by the
+// matrix.
+func (m TransitionMatrix) PreCorrect() float64 { return m.RetainedCorrect + m.Lost }
+
+// PostCorrect returns the post-test correct percentage implied by the
+// matrix.
+func (m TransitionMatrix) PostCorrect() float64 { return m.RetainedCorrect + m.Gained }
+
+// NetGain returns PostCorrect - PreCorrect.
+func (m TransitionMatrix) NetGain() float64 { return m.Gained - m.Lost }
+
+// Cohort materializes the matrix as n concrete students using largest-
+// remainder apportionment, so the realized counts reproduce the
+// percentages as closely as integer arithmetic allows.
+func (m TransitionMatrix) Cohort(n int) ([]Transition, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: cohort of %d", n)
+	}
+	shares := []float64{m.RetainedCorrect, m.Gained, m.Lost, m.RetainedIncorrect}
+	counts := make([]int, 4)
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, 4)
+	total := 0
+	for i, s := range shares {
+		exact := s / 100 * float64(n)
+		counts[i] = int(exact)
+		fracs[i] = frac{i, exact - float64(counts[i])}
+		total += counts[i]
+	}
+	// Hand out the remainder to the largest fractional parts
+	// (deterministic index tie-break).
+	for total < n {
+		best := 0
+		for i := 1; i < 4; i++ {
+			if fracs[i].rem > fracs[best].rem {
+				best = i
+			}
+		}
+		counts[fracs[best].idx]++
+		fracs[best].rem = -1
+		total++
+	}
+	out := make([]Transition, 0, n)
+	for ti, c := range counts {
+		for k := 0; k < c; k++ {
+			out = append(out, Transition(ti))
+		}
+	}
+	return out, nil
+}
+
+// MeasureTransitions recomputes the percentage matrix from a concrete
+// cohort — the inverse of Cohort, closing the generate→measure loop.
+func MeasureTransitions(cohort []Transition) (TransitionMatrix, error) {
+	if len(cohort) == 0 {
+		return TransitionMatrix{}, fmt.Errorf("stats: empty cohort")
+	}
+	var counts [4]int
+	for _, t := range cohort {
+		if t > RetainedIncorrect {
+			return TransitionMatrix{}, fmt.Errorf("stats: invalid transition %d", t)
+		}
+		counts[t]++
+	}
+	n := float64(len(cohort))
+	return TransitionMatrix{
+		RetainedCorrect:   float64(counts[0]) / n * 100,
+		Gained:            float64(counts[1]) / n * 100,
+		Lost:              float64(counts[2]) / n * 100,
+		RetainedIncorrect: float64(counts[3]) / n * 100,
+	}, nil
+}
+
+// ShuffledCohort returns Cohort(n) in a randomized student order, for
+// pipelines that should not depend on generation order.
+func (m TransitionMatrix) ShuffledCohort(n int, stream *rng.Stream) ([]Transition, error) {
+	cohort, err := m.Cohort(n)
+	if err != nil {
+		return nil, err
+	}
+	if stream != nil {
+		stream.Shuffle(len(cohort), func(i, j int) {
+			cohort[i], cohort[j] = cohort[j], cohort[i]
+		})
+	}
+	return cohort, nil
+}

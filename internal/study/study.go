@@ -1,0 +1,229 @@
+// Package study simulates the paper's multi-institution deployment: the
+// same activity run as many class sections (different seeds, class sizes,
+// implement mixes), with cross-section statistics over the timing boards —
+// the "continued implementation and additional data collection" with
+// "more in-depth statistical analysis" of the paper's future work.
+package study
+
+import (
+	"fmt"
+	"time"
+
+	"flagsim/internal/classroom"
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/rng"
+	"flagsim/internal/stats"
+)
+
+// SectionConfig describes one class section.
+type SectionConfig struct {
+	// Name labels the section ("CS1-A", "HPU-F24", ...).
+	Name string
+	// Teams is the number of tables in the section.
+	Teams int
+	// Seed drives the section's randomness.
+	Seed uint64
+	// JitterSigma is the per-cell noise; sections differ in student
+	// variability.
+	JitterSigma float64
+}
+
+// Config describes the whole deployment.
+type Config struct {
+	// Flag is the workload (default Mauritius).
+	Flag *flagspec.Flag
+	// Sections are the class sections to run.
+	Sections []SectionConfig
+	// RepeatS1 and IncludePipelined mirror classroom.Config.
+	RepeatS1         bool
+	IncludePipelined bool
+}
+
+// Section is one completed section.
+type Section struct {
+	Config  SectionConfig
+	Session *classroom.Session
+}
+
+// Study is the completed deployment.
+type Study struct {
+	Flag     *flagspec.Flag
+	Sections []Section
+}
+
+// Run executes every section.
+func Run(cfg Config) (*Study, error) {
+	if len(cfg.Sections) == 0 {
+		return nil, fmt.Errorf("study: no sections")
+	}
+	f := cfg.Flag
+	if f == nil {
+		f = flagspec.Mauritius
+	}
+	out := &Study{Flag: f}
+	seen := map[string]bool{}
+	for _, sc := range cfg.Sections {
+		if sc.Name == "" {
+			return nil, fmt.Errorf("study: section without a name")
+		}
+		if seen[sc.Name] {
+			return nil, fmt.Errorf("study: duplicate section %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		sess, err := classroom.Run(classroom.Config{
+			Flag:             f,
+			Teams:            sc.Teams,
+			RepeatS1:         cfg.RepeatS1,
+			IncludePipelined: cfg.IncludePipelined,
+			JitterSigma:      sc.JitterSigma,
+			Seed:             sc.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("study: section %s: %w", sc.Name, err)
+		}
+		out.Sections = append(out.Sections, Section{Config: sc, Session: sess})
+	}
+	return out, nil
+}
+
+// PhaseSample collects every team's completion seconds for one phase
+// across all sections — the pooled sample for deployment-wide statistics.
+func (s *Study) PhaseSample(p classroom.Phase) ([]float64, error) {
+	var out []float64
+	for _, sec := range s.Sections {
+		times, err := sec.Session.BoardDurations(p)
+		if err != nil {
+			return nil, fmt.Errorf("study: %s: %w", sec.Config.Name, err)
+		}
+		for _, d := range times {
+			out = append(out, d.Seconds())
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("study: empty sample for %s", p.Label())
+	}
+	return out, nil
+}
+
+// PhaseSummary is the deployment-wide distribution of one phase's times.
+type PhaseSummary struct {
+	Phase  classroom.Phase
+	N      int
+	Median float64 // seconds
+	Q1, Q3 float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes the distribution for each phase of the deployment.
+func (s *Study) Summarize() ([]PhaseSummary, error) {
+	if len(s.Sections) == 0 {
+		return nil, fmt.Errorf("study: empty study")
+	}
+	var out []PhaseSummary
+	for _, p := range s.Sections[0].Session.Phases {
+		sample, err := s.PhaseSample(p)
+		if err != nil {
+			return nil, err
+		}
+		q1, q2, q3, err := stats.Quartiles(sample)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, err := stats.MinMax(sample)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PhaseSummary{
+			Phase: p, N: len(sample),
+			Median: q2, Q1: q1, Q3: q3, Min: lo, Max: hi,
+		})
+	}
+	return out, nil
+}
+
+// CompareScenarios runs a Mann–Whitney U test between two phases' pooled
+// samples (e.g. scenario 3 vs scenario 4 across the whole deployment):
+// with enough sections, the contention effect is statistically
+// detectable, not just visible.
+func (s *Study) CompareScenarios(a, b classroom.Phase) (stats.MannWhitneyResult, error) {
+	sa, err := s.PhaseSample(a)
+	if err != nil {
+		return stats.MannWhitneyResult{}, err
+	}
+	sb, err := s.PhaseSample(b)
+	if err != nil {
+		return stats.MannWhitneyResult{}, err
+	}
+	return stats.MannWhitneyU(sa, sb)
+}
+
+// SpeedupDistribution returns each team's S1→phase speedup across the
+// deployment, for effect-size reporting.
+func (s *Study) SpeedupDistribution(p classroom.Phase) ([]float64, error) {
+	base := classroom.Phase{Scenario: core.S1}
+	var out []float64
+	for _, sec := range s.Sections {
+		baseTimes, err := sec.Session.BoardDurations(base)
+		if err != nil {
+			return nil, err
+		}
+		phaseTimes, err := sec.Session.BoardDurations(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(baseTimes) != len(phaseTimes) {
+			return nil, fmt.Errorf("study: %s: team count mismatch", sec.Config.Name)
+		}
+		for i := range baseTimes {
+			if phaseTimes[i] <= 0 {
+				return nil, fmt.Errorf("study: non-positive phase time")
+			}
+			out = append(out, float64(baseTimes[i])/float64(phaseTimes[i]))
+		}
+	}
+	return out, nil
+}
+
+// MedianCI bootstraps a confidence interval for a phase's median time.
+func (s *Study) MedianCI(p classroom.Phase, level float64, reps int, seed uint64) (lo, hi float64, err error) {
+	sample, err := s.PhaseSample(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return stats.BootstrapMedianCI(sample, level, reps, rng.New(seed))
+}
+
+// DefaultDeployment builds a six-section deployment named after the
+// paper's institutions, with varied sizes and jitters.
+func DefaultDeployment() Config {
+	return Config{
+		RepeatS1: true,
+		Sections: []SectionConfig{
+			{Name: "HPU", Teams: 3, Seed: 101, JitterSigma: 0.12},
+			{Name: "Knox", Teams: 6, Seed: 102, JitterSigma: 0.10},
+			{Name: "Montclair", Teams: 5, Seed: 103, JitterSigma: 0.15},
+			{Name: "TNTech", Teams: 8, Seed: 104, JitterSigma: 0.10},
+			{Name: "USI", Teams: 3, Seed: 105, JitterSigma: 0.08},
+			{Name: "Webster", Teams: 4, Seed: 106, JitterSigma: 0.12},
+		},
+	}
+}
+
+// ScenarioPhase is a tiny helper for callers building phases.
+func ScenarioPhase(id core.ScenarioID, repeat bool) classroom.Phase {
+	return classroom.Phase{Scenario: id, Repeat: repeat}
+}
+
+// Total seconds of simulated classroom time across the deployment — a
+// scale indicator for reports.
+func (s *Study) TotalSimulatedTime() time.Duration {
+	var total time.Duration
+	for _, sec := range s.Sections {
+		for _, e := range sec.Session.Board {
+			total += e.Time
+		}
+	}
+	return total
+}

@@ -1,0 +1,169 @@
+package study
+
+import (
+	"testing"
+
+	"flagsim/internal/classroom"
+	"flagsim/internal/core"
+)
+
+func smallStudy(t *testing.T) *Study {
+	t.Helper()
+	s, err := Run(Config{
+		RepeatS1: true,
+		Sections: []SectionConfig{
+			{Name: "A", Teams: 3, Seed: 1, JitterSigma: 0.1},
+			{Name: "B", Teams: 4, Seed: 2, JitterSigma: 0.15},
+			{Name: "C", Teams: 3, Seed: 3, JitterSigma: 0.08},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("no sections should error")
+	}
+	if _, err := Run(Config{Sections: []SectionConfig{{Teams: 1, Seed: 1}}}); err == nil {
+		t.Fatal("unnamed section should error")
+	}
+	if _, err := Run(Config{Sections: []SectionConfig{
+		{Name: "A", Teams: 1, Seed: 1},
+		{Name: "A", Teams: 1, Seed: 2},
+	}}); err == nil {
+		t.Fatal("duplicate section names should error")
+	}
+}
+
+func TestPhaseSamplePoolsAllTeams(t *testing.T) {
+	s := smallStudy(t)
+	sample, err := s.PhaseSample(ScenarioPhase(core.S1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 10 {
+		t.Fatalf("pooled sample size %d, want 10 teams", len(sample))
+	}
+	for _, v := range sample {
+		if v <= 0 {
+			t.Fatalf("non-positive time %v", v)
+		}
+	}
+}
+
+func TestSummarizeShape(t *testing.T) {
+	s := smallStudy(t)
+	sums, err := s.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RepeatS1 => 5 phases.
+	if len(sums) != 5 {
+		t.Fatalf("%d summaries", len(sums))
+	}
+	for _, ps := range sums {
+		if ps.N != 10 {
+			t.Fatalf("%s N=%d", ps.Phase.Label(), ps.N)
+		}
+		if !(ps.Min <= ps.Q1 && ps.Q1 <= ps.Median && ps.Median <= ps.Q3 && ps.Q3 <= ps.Max) {
+			t.Fatalf("%s order violated: %+v", ps.Phase.Label(), ps)
+		}
+	}
+	// Scenario medians fall S1 -> S2 -> S3.
+	byLabel := map[string]PhaseSummary{}
+	for _, ps := range sums {
+		byLabel[ps.Phase.Label()] = ps
+	}
+	if !(byLabel["scenario-1"].Median > byLabel["scenario-2"].Median &&
+		byLabel["scenario-2"].Median > byLabel["scenario-3"].Median) {
+		t.Fatal("deployment medians should fall across scenarios 1-3")
+	}
+}
+
+func TestCompareScenariosDetectsContention(t *testing.T) {
+	s := smallStudy(t)
+	res, err := s.CompareScenarios(
+		ScenarioPhase(core.S3, false),
+		ScenarioPhase(core.S4, false),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 teams per sample, a ~60% slowdown. Cross-team implement-kind
+	// variance is large (dauber teams vs crayon teams), so the effect is
+	// significant but not astronomically so.
+	if res.PValue > 0.05 {
+		t.Fatalf("S3-vs-S4 p = %v; contention should be detectable", res.PValue)
+	}
+}
+
+func TestCompareSameScenarioNotSignificant(t *testing.T) {
+	s := smallStudy(t)
+	res, err := s.CompareScenarios(
+		ScenarioPhase(core.S1, false),
+		ScenarioPhase(core.S1, false),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.9 {
+		t.Fatalf("identical samples p = %v", res.PValue)
+	}
+}
+
+func TestSpeedupDistribution(t *testing.T) {
+	s := smallStudy(t)
+	speedups, err := s.SpeedupDistribution(ScenarioPhase(core.S3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(speedups) != 10 {
+		t.Fatalf("%d speedups", len(speedups))
+	}
+	for _, sp := range speedups {
+		if sp <= 1 || sp > 4 {
+			t.Fatalf("implausible S3 speedup %v", sp)
+		}
+	}
+}
+
+func TestMedianCI(t *testing.T) {
+	s := smallStudy(t)
+	lo, hi, err := s.MedianCI(ScenarioPhase(core.S1, false), 0.95, 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, _ := s.PhaseSample(ScenarioPhase(core.S1, false))
+	if lo > hi {
+		t.Fatalf("CI inverted [%v, %v]", lo, hi)
+	}
+	inside := 0
+	for _, v := range sample {
+		if v >= lo && v <= hi {
+			inside++
+		}
+	}
+	if inside == 0 {
+		t.Fatal("CI excludes the whole sample")
+	}
+}
+
+func TestDefaultDeploymentRuns(t *testing.T) {
+	s, err := Run(DefaultDeployment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Sections) != 6 {
+		t.Fatalf("%d sections", len(s.Sections))
+	}
+	if s.TotalSimulatedTime() <= 0 {
+		t.Fatal("no simulated time accumulated")
+	}
+	// Missing phase errors.
+	if _, err := s.PhaseSample(classroom.Phase{Scenario: core.S4Pipelined}); err == nil {
+		t.Fatal("missing phase should error")
+	}
+}

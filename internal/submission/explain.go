@@ -1,0 +1,84 @@
+package submission
+
+import (
+	"fmt"
+	"strings"
+
+	"flagsim/internal/depgraph"
+)
+
+// GradeWithReason grades a submission and explains the classification in
+// the rubric's terms — the feedback line an instructor hands back with
+// the drawing.
+func GradeWithReason(s Submission) (Category, string) {
+	cat := Grade(s)
+	return cat, reasonFor(s, cat)
+}
+
+func reasonFor(s Submission, cat Category) string {
+	g := s.Graph
+	switch cat {
+	case Perfect:
+		note := ""
+		if _, hasWhite := g.Node(taskWhite); !hasWhite {
+			note = " (white stripe omitted — fine, the paper is already white)"
+		}
+		return "matches the intended solution: independent stripes, then the triangle, then the star" + note
+	case MostlyCorrect:
+		switch {
+		case g == nil:
+			return "mostly correct"
+		case !s.ArrowsDrawn:
+			return "all tasks present and laid out in dependency order, but the arrows were omitted"
+		case hasNode(g, taskMergedStripes):
+			return "correct ordering with all stripes merged into a single task"
+		case hasNode(g, taskTriangleTop):
+			return "split triangle accepted; note the top half is actually independent of the green stripe and the bottom of the black"
+		default:
+			return "mostly correct"
+		}
+	case LinearChain:
+		return "a single chain of tasks: this is sequential-code thinking — the three stripes do not depend on each other and can be colored in parallel"
+	case Incomplete:
+		if g != nil && g.Validate() != nil {
+			return "the drawing contains a dependency cycle, which no schedule can satisfy"
+		}
+		missing := missingTasks(g)
+		if len(missing) > 0 {
+			return fmt.Sprintf("incomplete: missing task(s) %s", strings.Join(missing, ", "))
+		}
+		return "all tasks present but the dependencies do not match the flag's layer structure"
+	default:
+		return "no dependency graph was drawn (a flag drawing or code is not a task graph)"
+	}
+}
+
+func hasNode(g *depgraph.Graph, id string) bool {
+	if g == nil {
+		return false
+	}
+	_, ok := g.Node(id)
+	return ok
+}
+
+// missingTasks names the reference tasks absent from the submission
+// (white stripe excluded — omitting it is allowed).
+func missingTasks(g *depgraph.Graph) []string {
+	var out []string
+	if g == nil {
+		return []string{taskBlack, taskGreen, taskTriangle, taskStar}
+	}
+	if !hasNode(g, taskBlack) {
+		out = append(out, taskBlack)
+	}
+	if !hasNode(g, taskGreen) {
+		out = append(out, taskGreen)
+	}
+	if !hasNode(g, taskTriangle) && !(hasNode(g, taskTriangleTop) && hasNode(g, taskTriangleBot)) {
+		out = append(out, taskTriangle)
+	}
+	if !hasNode(g, taskStar) {
+		out = append(out, taskStar)
+	}
+	return out
+}

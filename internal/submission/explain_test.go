@@ -1,0 +1,98 @@
+package submission
+
+import (
+	"strings"
+	"testing"
+
+	"flagsim/internal/depgraph"
+	"flagsim/internal/rng"
+)
+
+func TestGradeWithReasonPerFamily(t *testing.T) {
+	cases := []struct {
+		name string
+		sub  Submission
+		cat  Category
+		want string
+	}{
+		{
+			"perfect",
+			Submission{Graph: depgraph.JordanReference(false), ArrowsDrawn: true},
+			Perfect, "intended solution",
+		},
+		{
+			"perfect omit white",
+			Submission{Graph: depgraph.JordanReference(true), ArrowsDrawn: true},
+			Perfect, "paper is already white",
+		},
+		{
+			"split triangle",
+			Submission{Graph: conservativeSplitReference(false), ArrowsDrawn: true},
+			MostlyCorrect, "independent of the green stripe",
+		},
+		{
+			"merged stripes",
+			Submission{Graph: mergedReference(false), ArrowsDrawn: true},
+			MostlyCorrect, "single task",
+		},
+		{
+			"linear chain",
+			Submission{Graph: linearChainSubmission(true), ArrowsDrawn: true},
+			LinearChain, "sequential-code thinking",
+		},
+		{
+			"incomplete",
+			Submission{Graph: incompleteSubmission(2), ArrowsDrawn: true},
+			Incomplete, "missing task",
+		},
+		{
+			"no learning",
+			Submission{Graph: noLearningSubmission(0), ArrowsDrawn: true},
+			NoLearning, "not a task graph",
+		},
+	}
+	for _, tc := range cases {
+		cat, reason := GradeWithReason(tc.sub)
+		if cat != tc.cat {
+			t.Errorf("%s: graded %v, want %v", tc.name, cat, tc.cat)
+			continue
+		}
+		if !strings.Contains(reason, tc.want) {
+			t.Errorf("%s: reason %q missing %q", tc.name, reason, tc.want)
+		}
+	}
+}
+
+func TestReasonForSpatialLayout(t *testing.T) {
+	g := depgraph.New()
+	for _, id := range []string{"black-stripe", "white-stripe", "green-stripe", "red-triangle", "white-star"} {
+		g.MustAddNode(depgraph.Node{ID: id})
+	}
+	cat, reason := GradeWithReason(Submission{Graph: g, ArrowsDrawn: false})
+	if cat != MostlyCorrect || !strings.Contains(reason, "arrows were omitted") {
+		t.Fatalf("spatial: %v %q", cat, reason)
+	}
+}
+
+func TestReasonForCycle(t *testing.T) {
+	g := depgraph.New()
+	for _, id := range []string{"black-stripe", "white-stripe", "green-stripe", "red-triangle", "white-star"} {
+		g.MustAddNode(depgraph.Node{ID: id})
+	}
+	g.MustAddEdge("red-triangle", "white-star")
+	g.MustAddEdge("white-star", "red-triangle")
+	cat, reason := GradeWithReason(Submission{Graph: g, ArrowsDrawn: true})
+	if cat != Incomplete || !strings.Contains(reason, "cycle") {
+		t.Fatalf("cycle: %v %q", cat, reason)
+	}
+}
+
+func TestEveryGeneratedSubmissionGetsAReason(t *testing.T) {
+	subs := GenerateClass(PaperCounts(), rng.New(91))
+	for _, s := range subs {
+		_, reason := GradeWithReason(s)
+		if reason == "" {
+			t.Fatalf("%s has no feedback line", s.Student)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package submission
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"flagsim/internal/depgraph"
+)
+
+// Class files let instructors batch-grade collected dependency graphs:
+//
+//	{"submissions": [
+//	  {"student": "S01", "arrows_drawn": true,
+//	   "graph": {"nodes": [...], "edges": [...]}}
+//	]}
+//
+// The graph wire form is depgraph's node/edge JSON. A null graph records a
+// student who drew the flag or wrote code instead.
+
+type jsonClass struct {
+	Submissions []jsonSubmission `json:"submissions"`
+}
+
+type jsonSubmission struct {
+	Student     string          `json:"student"`
+	ArrowsDrawn bool            `json:"arrows_drawn"`
+	Graph       json.RawMessage `json:"graph"`
+}
+
+// DecodeClass reads a class file.
+func DecodeClass(r io.Reader) ([]Submission, error) {
+	var jc jsonClass
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jc); err != nil {
+		return nil, fmt.Errorf("submission: decode class: %w", err)
+	}
+	if len(jc.Submissions) == 0 {
+		return nil, fmt.Errorf("submission: class file has no submissions")
+	}
+	out := make([]Submission, 0, len(jc.Submissions))
+	for i, js := range jc.Submissions {
+		s := Submission{Student: js.Student, ArrowsDrawn: js.ArrowsDrawn}
+		if s.Student == "" {
+			return nil, fmt.Errorf("submission: entry %d has no student label", i)
+		}
+		if len(js.Graph) > 0 && string(js.Graph) != "null" {
+			g, err := depgraph.Decode(bytes.NewReader(js.Graph))
+			if err != nil {
+				return nil, fmt.Errorf("submission: %s: %w", js.Student, err)
+			}
+			s.Graph = g
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// EncodeClass writes submissions as a class file.
+func EncodeClass(w io.Writer, subs []Submission) error {
+	jc := jsonClass{Submissions: make([]jsonSubmission, 0, len(subs))}
+	for _, s := range subs {
+		js := jsonSubmission{Student: s.Student, ArrowsDrawn: s.ArrowsDrawn}
+		if s.Graph != nil {
+			data, err := s.Graph.MarshalJSON()
+			if err != nil {
+				return fmt.Errorf("submission: %s: %w", s.Student, err)
+			}
+			js.Graph = data
+		}
+		jc.Submissions = append(jc.Submissions, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jc)
+}
+
+// GradedSubmission pairs a submission with its grade for reports.
+type GradedSubmission struct {
+	Student  string
+	Category Category
+}
+
+// GradeAll grades every submission, returning per-student grades in input
+// order plus the tally.
+func GradeAll(subs []Submission) ([]GradedSubmission, Counts) {
+	graded := make([]GradedSubmission, len(subs))
+	counts := make(Counts)
+	for i, s := range subs {
+		c := Grade(s)
+		graded[i] = GradedSubmission{Student: s.Student, Category: c}
+		counts[c]++
+	}
+	return graded, counts
+}

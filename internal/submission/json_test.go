@@ -1,0 +1,90 @@
+package submission
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flagsim/internal/rng"
+)
+
+func TestClassRoundTrip(t *testing.T) {
+	original := GenerateClass(PaperCounts(), rng.New(3))
+	var buf bytes.Buffer
+	if err := EncodeClass(&buf, original); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeClass(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(original) {
+		t.Fatalf("%d submissions, want %d", len(back), len(original))
+	}
+	// Grades must survive the round trip exactly.
+	for i := range original {
+		if back[i].Student != original[i].Student {
+			t.Fatalf("student %d label %q != %q", i, back[i].Student, original[i].Student)
+		}
+		if Grade(back[i]) != Grade(original[i]) {
+			t.Fatalf("%s grade changed through JSON: %v -> %v",
+				original[i].Student, Grade(original[i]), Grade(back[i]))
+		}
+	}
+	_, counts := GradeAll(back)
+	for cat, n := range PaperCounts() {
+		if counts[cat] != n {
+			t.Fatalf("%v count %d after roundtrip, want %d", cat, counts[cat], n)
+		}
+	}
+}
+
+func TestDecodeClassNullGraph(t *testing.T) {
+	src := `{"submissions": [
+		{"student": "S01", "arrows_drawn": true, "graph": null},
+		{"student": "S02", "arrows_drawn": true,
+		 "graph": {"nodes": [{"id": "black-stripe"}], "edges": []}}
+	]}`
+	subs, err := DecodeClass(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subs[0].Graph != nil {
+		t.Fatal("null graph should decode to nil")
+	}
+	if Grade(subs[0]) != NoLearning {
+		t.Fatal("null graph grades as no-learning")
+	}
+	if subs[1].Graph == nil || subs[1].Graph.NumNodes() != 1 {
+		t.Fatal("graph lost in decode")
+	}
+}
+
+func TestDecodeClassValidation(t *testing.T) {
+	cases := []string{
+		`{}`, // no submissions key content
+		`{"submissions": []}`,
+		`{"submissions": [{"arrows_drawn": true}]}`,                                                          // no student
+		`{"submissions": [{"student": "S01", "graph": {"nodes": [{"id": "a"}, {"id": "a"}], "edges": []}}]}`, // dup node
+		`{"submissions": [{"student": "S01"}], "extra": 1}`,                                                  // unknown field
+		`garbage`,
+	}
+	for _, src := range cases {
+		if _, err := DecodeClass(strings.NewReader(src)); err == nil {
+			t.Errorf("DecodeClass(%q) should fail", src)
+		}
+	}
+}
+
+func TestGradeAllOrderAndTally(t *testing.T) {
+	subs := GenerateClass(PaperCounts(), rng.New(8))
+	graded, counts := GradeAll(subs)
+	if len(graded) != 29 || counts.Total() != 29 {
+		t.Fatalf("graded %d, tally %d", len(graded), counts.Total())
+	}
+	for i := range graded {
+		if graded[i].Student != subs[i].Student {
+			t.Fatal("GradeAll reordered submissions")
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Package submission models the student dependency-graph exercise of the
+// paper's §V-C: students at Knox drew dependency graphs for coloring the
+// flag of Jordan, the instructors collected 29 drawings, and graded them
+// against the intended solution (Fig. 9) under an explicit rubric. This
+// package provides the rubric as an executable grader, the submission
+// archetypes the paper observed, and a generator that reproduces the
+// observed distribution.
+//
+// The rubric, from the paper:
+//
+//   - omitting the white stripe is correct (paper is already white);
+//   - splitting the red triangle into two right triangles is "mostly
+//     correct" even though no student encoded the halves' independence
+//     from the far stripes;
+//   - merging all stripes into one task, or laying tasks out spatially
+//     without arrows, is mostly correct;
+//   - a linear chain of tasks is the characteristic error (thinking in
+//     sequential code);
+//   - incomplete graphs were "working toward a linear solution";
+//   - drawing the flag itself, or writing code, demonstrates no learning.
+package submission
+
+import (
+	"fmt"
+
+	"flagsim/internal/depgraph"
+	"flagsim/internal/rng"
+)
+
+// Category is the grading outcome.
+type Category uint8
+
+// Grading categories, best to worst.
+const (
+	Perfect Category = iota
+	MostlyCorrect
+	LinearChain
+	Incomplete
+	NoLearning
+)
+
+// ncategories is the number of categories.
+const ncategories = 5
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case Perfect:
+		return "perfect"
+	case MostlyCorrect:
+		return "mostly-correct"
+	case LinearChain:
+		return "linear-chain"
+	case Incomplete:
+		return "incomplete"
+	case NoLearning:
+		return "no-learning"
+	default:
+		return fmt.Sprintf("category(%d)", uint8(c))
+	}
+}
+
+// Categories returns all grading categories, best to worst.
+func Categories() []Category {
+	return []Category{Perfect, MostlyCorrect, LinearChain, Incomplete, NoLearning}
+}
+
+// AtLeastMostlyCorrect reports whether the category counts toward the
+// paper's "at least mostly correct ... 59% of the respondents" statistic.
+func (c Category) AtLeastMostlyCorrect() bool {
+	return c == Perfect || c == MostlyCorrect
+}
+
+// Submission is one student's work product.
+type Submission struct {
+	// Student labels the submission ("S01".."S29").
+	Student string
+	// Graph is the drawn dependency graph; nil for students who drew the
+	// flag or wrote code instead.
+	Graph *depgraph.Graph
+	// ArrowsDrawn is false for submissions that suggested dependencies
+	// spatially but omitted the arrows.
+	ArrowsDrawn bool
+}
+
+// Task vocabulary recognized by the grader.
+const (
+	taskBlack         = "black-stripe"
+	taskWhite         = "white-stripe"
+	taskGreen         = "green-stripe"
+	taskTriangle      = "red-triangle"
+	taskTriangleTop   = "red-triangle-top"
+	taskTriangleBot   = "red-triangle-bottom"
+	taskStar          = "white-star"
+	taskMergedStripes = "stripes"
+)
+
+func knownTask(id string) bool {
+	switch id {
+	case taskBlack, taskWhite, taskGreen, taskTriangle,
+		taskTriangleTop, taskTriangleBot, taskStar, taskMergedStripes:
+		return true
+	}
+	return false
+}
+
+// Grade classifies a submission under the §V-C rubric.
+func Grade(s Submission) Category {
+	g := s.Graph
+	if g == nil || g.NumNodes() == 0 {
+		return NoLearning
+	}
+	known := 0
+	for _, n := range g.Nodes() {
+		if knownTask(n.ID) {
+			known++
+		}
+	}
+	if known == 0 {
+		// Flag drawings and code fragments carry no recognizable tasks.
+		return NoLearning
+	}
+
+	has := func(id string) bool { _, ok := g.Node(id); return ok }
+	splitTriangle := has(taskTriangleTop) && has(taskTriangleBot)
+	wholeTriangle := has(taskTriangle)
+	merged := has(taskMergedStripes)
+	individualStripes := has(taskBlack) && has(taskGreen) // white optional
+	star := has(taskStar)
+	fullCoverage := star && (wholeTriangle || splitTriangle) && (individualStripes || merged)
+
+	if !fullCoverage {
+		return Incomplete
+	}
+	if g.Validate() != nil {
+		// A cyclic drawing is not a dependency graph at all; the closest
+		// observed bucket is an incomplete understanding.
+		return Incomplete
+	}
+	if !s.ArrowsDrawn {
+		// Spatial-only layout with full task coverage: mostly correct.
+		if g.NumEdges() == 0 {
+			return MostlyCorrect
+		}
+		return Incomplete
+	}
+
+	switch {
+	case merged:
+		// Single stripes task: correct iff stripes → triangle → star.
+		ref := mergedReference(splitTriangle)
+		if g.SameConstraints(ref) {
+			return MostlyCorrect
+		}
+	case splitTriangle:
+		// Split triangle: accept both the conservative version (each
+		// half waits for all stripes — what every student actually drew)
+		// and the fully refined independence version.
+		omitWhite := !has(taskWhite)
+		if g.SameConstraints(conservativeSplitReference(omitWhite)) ||
+			g.SameConstraints(depgraph.JordanSplitTriangleReference(omitWhite)) {
+			return MostlyCorrect
+		}
+	default:
+		omitWhite := !has(taskWhite)
+		if g.SameConstraints(depgraph.JordanReference(omitWhite)) {
+			return Perfect
+		}
+	}
+
+	if g.IsLinearChain() {
+		return LinearChain
+	}
+	// Full coverage, acyclic, but wrong constraints that are not a pure
+	// chain: the paper lumps these with incomplete understanding.
+	return Incomplete
+}
+
+// mergedReference is the accepted one-stripes-task chain.
+func mergedReference(splitTriangle bool) *depgraph.Graph {
+	g := depgraph.New()
+	g.MustAddNode(depgraph.Node{ID: taskMergedStripes})
+	if splitTriangle {
+		g.MustAddNode(depgraph.Node{ID: taskTriangleTop})
+		g.MustAddNode(depgraph.Node{ID: taskTriangleBot})
+		g.MustAddNode(depgraph.Node{ID: taskStar})
+		g.MustAddEdge(taskMergedStripes, taskTriangleTop)
+		g.MustAddEdge(taskMergedStripes, taskTriangleBot)
+		g.MustAddEdge(taskTriangleTop, taskStar)
+		g.MustAddEdge(taskTriangleBot, taskStar)
+		return g
+	}
+	g.MustAddNode(depgraph.Node{ID: taskTriangle})
+	g.MustAddNode(depgraph.Node{ID: taskStar})
+	g.MustAddEdge(taskMergedStripes, taskTriangle)
+	g.MustAddEdge(taskTriangle, taskStar)
+	return g
+}
+
+// conservativeSplitReference is the split-triangle answer every observed
+// student gave: both halves depend on all drawn stripes ("None of the
+// students reflected [the independence] in their graph").
+func conservativeSplitReference(omitWhiteStripe bool) *depgraph.Graph {
+	g := depgraph.New()
+	stripes := []string{taskBlack, taskGreen}
+	if !omitWhiteStripe {
+		stripes = append(stripes, taskWhite)
+	}
+	for _, s := range stripes {
+		g.MustAddNode(depgraph.Node{ID: s})
+	}
+	g.MustAddNode(depgraph.Node{ID: taskTriangleTop})
+	g.MustAddNode(depgraph.Node{ID: taskTriangleBot})
+	g.MustAddNode(depgraph.Node{ID: taskStar})
+	for _, s := range stripes {
+		g.MustAddEdge(s, taskTriangleTop)
+		g.MustAddEdge(s, taskTriangleBot)
+	}
+	g.MustAddEdge(taskTriangleTop, taskStar)
+	g.MustAddEdge(taskTriangleBot, taskStar)
+	return g
+}
+
+// linearChainSubmission builds the characteristic error: all tasks in one
+// total order.
+func linearChainSubmission(withWhite bool) *depgraph.Graph {
+	g := depgraph.New()
+	order := []string{taskBlack}
+	if withWhite {
+		order = append(order, taskWhite)
+	}
+	order = append(order, taskGreen, taskTriangle, taskStar)
+	for _, id := range order {
+		g.MustAddNode(depgraph.Node{ID: id})
+	}
+	for i := 1; i < len(order); i++ {
+		g.MustAddEdge(order[i-1], order[i])
+	}
+	return g
+}
+
+// incompleteSubmission builds a partial chain (working toward linear).
+func incompleteSubmission(n int) *depgraph.Graph {
+	order := []string{taskBlack, taskWhite, taskGreen, taskTriangle, taskStar}
+	if n < 1 {
+		n = 1
+	}
+	if n > 3 {
+		n = 3
+	}
+	g := depgraph.New()
+	for _, id := range order[:n] {
+		g.MustAddNode(depgraph.Node{ID: id})
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(order[i-1], order[i])
+	}
+	return g
+}
+
+// noLearningSubmission builds a flag drawing (no recognizable tasks).
+func noLearningSubmission(kind int) *depgraph.Graph {
+	g := depgraph.New()
+	if kind%2 == 0 {
+		g.MustAddNode(depgraph.Node{ID: "flag-drawing", Label: "drew the flag"})
+	} else {
+		g.MustAddNode(depgraph.Node{ID: "code", Label: "started writing code"})
+		g.MustAddNode(depgraph.Node{ID: "for-loop", Label: "loop over pixels"})
+		g.MustAddEdge("code", "for-loop")
+	}
+	return g
+}
+
+// Counts is the §V-C distribution over categories.
+type Counts map[Category]int
+
+// Total sums the counts.
+func (c Counts) Total() int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// Share returns the percentage of category k.
+func (c Counts) Share(k Category) float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c[k]) / float64(t) * 100
+}
+
+// AtLeastMostlyCorrectShare returns the paper's headline 59% statistic.
+func (c Counts) AtLeastMostlyCorrectShare() float64 {
+	return c.Share(Perfect) + c.Share(MostlyCorrect)
+}
+
+// PaperCounts returns the observed §V-C distribution: 10 perfect, 7 mostly
+// correct (5 split-triangle, 1 merged-stripes, 1 spatial), 6 linear
+// chains, 2 incomplete, 4 no-learning — 29 total, 59% at least mostly
+// correct.
+func PaperCounts() Counts {
+	return Counts{Perfect: 10, MostlyCorrect: 7, LinearChain: 6, Incomplete: 2, NoLearning: 4}
+}
+
+// GenerateClass materializes a class of submissions matching the target
+// counts, with archetype details varied deterministically from the stream
+// (white stripe present or omitted, redundant edges on some perfect
+// answers, chain orderings shuffled). The returned slice is shuffled into
+// a plausible collection order.
+func GenerateClass(target Counts, stream *rng.Stream) []Submission {
+	if stream == nil {
+		stream = rng.New(0)
+	}
+	var subs []Submission
+	add := func(g *depgraph.Graph, arrows bool) {
+		subs = append(subs, Submission{Graph: g, ArrowsDrawn: arrows})
+	}
+	for i := 0; i < target[Perfect]; i++ {
+		omitWhite := stream.Bernoulli(0.5)
+		g := depgraph.JordanReference(omitWhite)
+		if i%3 == 0 {
+			// Some students draw the redundant stripe→star edges; same
+			// transitive constraints, still perfect.
+			for _, s := range []string{taskBlack, taskGreen} {
+				g.MustAddEdge(s, taskStar)
+			}
+		}
+		add(g, true)
+	}
+	mostly := target[MostlyCorrect]
+	for i := 0; i < mostly; i++ {
+		switch {
+		case i < mostly-2: // split triangle (5 of 7 in the paper)
+			add(conservativeSplitReference(stream.Bernoulli(0.5)), true)
+		case i == mostly-2: // merged stripes
+			add(mergedReference(false), true)
+		default: // spatial, no arrows
+			g := depgraph.New()
+			for _, id := range []string{taskBlack, taskWhite, taskGreen, taskTriangle, taskStar} {
+				g.MustAddNode(depgraph.Node{ID: id})
+			}
+			add(g, false)
+		}
+	}
+	for i := 0; i < target[LinearChain]; i++ {
+		add(linearChainSubmission(stream.Bernoulli(0.7)), true)
+	}
+	for i := 0; i < target[Incomplete]; i++ {
+		add(incompleteSubmission(2+i%2), true)
+	}
+	for i := 0; i < target[NoLearning]; i++ {
+		add(noLearningSubmission(i), true)
+	}
+	stream.Shuffle(len(subs), func(i, j int) { subs[i], subs[j] = subs[j], subs[i] })
+	for i := range subs {
+		subs[i].Student = fmt.Sprintf("S%02d", i+1)
+	}
+	return subs
+}
+
+// GradeClass grades every submission and tallies the distribution.
+func GradeClass(subs []Submission) Counts {
+	out := make(Counts, ncategories)
+	for _, s := range subs {
+		out[Grade(s)]++
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package submission
+
+import (
+	"math"
+	"testing"
+
+	"flagsim/internal/depgraph"
+	"flagsim/internal/rng"
+)
+
+func TestGradePerfect(t *testing.T) {
+	for _, omitWhite := range []bool{false, true} {
+		s := Submission{Graph: depgraph.JordanReference(omitWhite), ArrowsDrawn: true}
+		if got := Grade(s); got != Perfect {
+			t.Fatalf("omitWhite=%v graded %v", omitWhite, got)
+		}
+	}
+}
+
+func TestGradePerfectWithRedundantEdges(t *testing.T) {
+	g := depgraph.JordanReference(false)
+	g.MustAddEdge("black-stripe", "white-star")
+	g.MustAddEdge("green-stripe", "white-star")
+	if got := Grade(Submission{Graph: g, ArrowsDrawn: true}); got != Perfect {
+		t.Fatalf("redundant transitive edges graded %v", got)
+	}
+}
+
+func TestGradeSplitTriangleMostlyCorrect(t *testing.T) {
+	// The conservative split every observed student drew.
+	for _, omitWhite := range []bool{false, true} {
+		g := conservativeSplitReference(omitWhite)
+		if got := Grade(Submission{Graph: g, ArrowsDrawn: true}); got != MostlyCorrect {
+			t.Fatalf("conservative split graded %v", got)
+		}
+	}
+	// The fully refined split (independent halves) also counts as mostly
+	// correct under the paper's rubric.
+	g := depgraph.JordanSplitTriangleReference(false)
+	if got := Grade(Submission{Graph: g, ArrowsDrawn: true}); got != MostlyCorrect {
+		t.Fatalf("refined split graded %v", got)
+	}
+}
+
+func TestGradeMergedStripesMostlyCorrect(t *testing.T) {
+	if got := Grade(Submission{Graph: mergedReference(false), ArrowsDrawn: true}); got != MostlyCorrect {
+		t.Fatalf("merged stripes graded %v", got)
+	}
+}
+
+func TestGradeSpatialNoArrows(t *testing.T) {
+	g := depgraph.New()
+	for _, id := range []string{"black-stripe", "white-stripe", "green-stripe", "red-triangle", "white-star"} {
+		g.MustAddNode(depgraph.Node{ID: id})
+	}
+	if got := Grade(Submission{Graph: g, ArrowsDrawn: false}); got != MostlyCorrect {
+		t.Fatalf("spatial layout graded %v", got)
+	}
+}
+
+func TestGradeLinearChain(t *testing.T) {
+	for _, withWhite := range []bool{true, false} {
+		g := linearChainSubmission(withWhite)
+		if got := Grade(Submission{Graph: g, ArrowsDrawn: true}); got != LinearChain {
+			t.Fatalf("withWhite=%v graded %v", withWhite, got)
+		}
+	}
+}
+
+func TestGradeIncomplete(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		g := incompleteSubmission(n)
+		if got := Grade(Submission{Graph: g, ArrowsDrawn: true}); got != Incomplete {
+			t.Fatalf("n=%d graded %v", n, got)
+		}
+	}
+}
+
+func TestGradeNoLearning(t *testing.T) {
+	cases := []Submission{
+		{Graph: nil, ArrowsDrawn: true},
+		{Graph: depgraph.New(), ArrowsDrawn: true},
+		{Graph: noLearningSubmission(0), ArrowsDrawn: true},
+		{Graph: noLearningSubmission(1), ArrowsDrawn: true},
+	}
+	for i, s := range cases {
+		if got := Grade(s); got != NoLearning {
+			t.Fatalf("case %d graded %v", i, got)
+		}
+	}
+}
+
+func TestGradeCyclicIsIncomplete(t *testing.T) {
+	g := depgraph.New()
+	for _, id := range []string{"black-stripe", "white-stripe", "green-stripe", "red-triangle", "white-star"} {
+		g.MustAddNode(depgraph.Node{ID: id})
+	}
+	g.MustAddEdge("black-stripe", "red-triangle")
+	g.MustAddEdge("red-triangle", "white-star")
+	g.MustAddEdge("white-star", "black-stripe")
+	if got := Grade(Submission{Graph: g, ArrowsDrawn: true}); got != Incomplete {
+		t.Fatalf("cyclic drawing graded %v", got)
+	}
+}
+
+func TestGradeWrongConstraintsNotChainIsIncomplete(t *testing.T) {
+	// Star before triangle: full coverage, acyclic, wrong, not a chain.
+	g := depgraph.New()
+	for _, id := range []string{"black-stripe", "white-stripe", "green-stripe", "red-triangle", "white-star"} {
+		g.MustAddNode(depgraph.Node{ID: id})
+	}
+	g.MustAddEdge("white-star", "red-triangle")
+	g.MustAddEdge("black-stripe", "red-triangle")
+	if got := Grade(Submission{Graph: g, ArrowsDrawn: true}); got != Incomplete {
+		t.Fatalf("wrong-order graph graded %v", got)
+	}
+}
+
+func TestPaperCountsShape(t *testing.T) {
+	c := PaperCounts()
+	if c.Total() != 29 {
+		t.Fatalf("total %d, want 29", c.Total())
+	}
+	if math.Abs(c.Share(Perfect)-34.48) > 0.1 {
+		t.Fatalf("perfect share %.2f", c.Share(Perfect))
+	}
+	if math.Abs(c.Share(MostlyCorrect)-24.14) > 0.1 {
+		t.Fatalf("mostly share %.2f", c.Share(MostlyCorrect))
+	}
+	// The paper's headline: 59% at least mostly correct.
+	if s := c.AtLeastMostlyCorrectShare(); math.Abs(s-58.6) > 0.5 {
+		t.Fatalf("at-least-mostly %.1f, want ~59", s)
+	}
+	if math.Abs(c.Share(NoLearning)-13.79) > 0.1 {
+		t.Fatalf("no-learning share %.2f, want ~14", c.Share(NoLearning))
+	}
+}
+
+func TestGenerateClassReproducesDistribution(t *testing.T) {
+	target := PaperCounts()
+	for seed := uint64(0); seed < 5; seed++ {
+		subs := GenerateClass(target, rng.New(seed))
+		if len(subs) != target.Total() {
+			t.Fatalf("seed %d: %d submissions", seed, len(subs))
+		}
+		got := GradeClass(subs)
+		for _, cat := range Categories() {
+			if got[cat] != target[cat] {
+				t.Fatalf("seed %d: %v count %d, want %d (full: %v)",
+					seed, cat, got[cat], target[cat], got)
+			}
+		}
+	}
+}
+
+func TestGenerateClassStudentsLabeled(t *testing.T) {
+	subs := GenerateClass(PaperCounts(), rng.New(1))
+	seen := map[string]bool{}
+	for _, s := range subs {
+		if s.Student == "" || seen[s.Student] {
+			t.Fatalf("bad or duplicate student label %q", s.Student)
+		}
+		seen[s.Student] = true
+	}
+}
+
+func TestCategoryStringsAndOrder(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 5 {
+		t.Fatalf("%d categories", len(cats))
+	}
+	if !Perfect.AtLeastMostlyCorrect() || !MostlyCorrect.AtLeastMostlyCorrect() {
+		t.Fatal("perfect/mostly must count as at-least-mostly-correct")
+	}
+	if LinearChain.AtLeastMostlyCorrect() {
+		t.Fatal("linear chain must not count")
+	}
+	for _, c := range cats {
+		if c.String() == "" {
+			t.Fatalf("category %d has no name", c)
+		}
+	}
+}
+
+func TestSharesSumTo100(t *testing.T) {
+	c := PaperCounts()
+	sum := 0.0
+	for _, cat := range Categories() {
+		sum += c.Share(cat)
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+}
+
+func TestEmptyCountsShares(t *testing.T) {
+	var c Counts = map[Category]int{}
+	if c.Share(Perfect) != 0 || c.AtLeastMostlyCorrectShare() != 0 {
+		t.Fatal("empty counts should have zero shares")
+	}
+}

@@ -1,0 +1,159 @@
+package survey
+
+import (
+	"fmt"
+	"sort"
+
+	"flagsim/internal/rng"
+)
+
+// The engagement survey ends with two open-ended questions (§V-A). The
+// paper reports the responses as recurring themes; this file models the
+// qualitative pipeline: a theme taxonomy taken from the paper's summary,
+// a generator that produces theme-tagged comments with realistic
+// frequencies, and the tally that reproduces the reported ordering.
+
+// OpenQuestion identifies one of the two open-ended items.
+type OpenQuestion uint8
+
+// The two open-ended questions.
+const (
+	// MostInteresting: "the most interesting thing they learned".
+	MostInteresting OpenQuestion = iota
+	// Improvements: "suggest improvements to the activity".
+	Improvements
+)
+
+// String names the question.
+func (q OpenQuestion) String() string {
+	switch q {
+	case MostInteresting:
+		return "most-interesting"
+	case Improvements:
+		return "improvements"
+	default:
+		return fmt.Sprintf("open-question(%d)", uint8(q))
+	}
+}
+
+// Theme is one recurring idea in the qualitative feedback.
+type Theme struct {
+	ID string
+	// Question is which open item the theme answers.
+	Question OpenQuestion
+	// Summary paraphrases the paper's description of the theme.
+	Summary string
+	// Weight is the relative frequency used by the generator; the
+	// ordering of weights within a question follows the order in which
+	// the paper lists the themes ("Many students…", "Several…", "Some…",
+	// "A few…").
+	Weight float64
+}
+
+// Themes returns the taxonomy extracted from §V-A.1 and §V-A.2.
+func Themes() []Theme {
+	return []Theme{
+		// Most interesting thing learned (§V-A.1).
+		{"parallel-operation", MostInteresting, "better understood how parallel computing operates; more processors do not always mean more efficiency", 10},
+		{"diminishing-returns", MostInteresting, "excessive parallelization leads to resource contention and even slowdowns", 8},
+		{"hands-on-visualization", MostInteresting, "the hands-on activity made parallel computing visible and fun", 8},
+		{"workload-distribution", MostInteresting, "workload distribution, task synchronization, and coordination challenges", 6},
+		{"planning-complexity", MostInteresting, "effective parallelism requires careful planning and task allocation", 5},
+		{"already-knew", MostInteresting, "already familiar with parallel computing concepts", 2},
+		{"apply-to-programming", MostInteresting, "interested in applying the ideas to programming", 2},
+		{"teamwork-analogy", MostInteresting, "teamwork parallels multiprocessor computing", 3},
+		// Suggested improvements (§V-A.2).
+		{"better-tools", Improvements, "better quality crayons or markers to avoid breakage", 9},
+		{"restructure-activity", Improvements, "more engaging tasks, more problem-solving, or integrated coding exercises", 6},
+		{"shorter", Improvements, "make the activity shorter to avoid redundancy", 4},
+		{"clearer-instructions", Improvements, "clearer instructions, especially on pipelining and parallel processing connections", 6},
+		{"introduce-vocabulary", Improvements, "introduce key vocabulary during the activity", 3},
+		{"logistics", Improvements, "larger paper, better classroom setup, better-organized group work", 4},
+		{"competition", Improvements, "add a competitive element such as leaderboards or timed challenges", 3},
+		{"no-changes", Improvements, "the activity worked well as is", 4},
+	}
+}
+
+// ThemesFor filters the taxonomy by question.
+func ThemesFor(q OpenQuestion) []Theme {
+	var out []Theme
+	for _, t := range Themes() {
+		if t.Question == q {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Comment is one theme-tagged free-text response.
+type Comment struct {
+	Institution Institution
+	Question    OpenQuestion
+	ThemeID     string
+	Text        string
+}
+
+// GenerateComments draws n theme-tagged comments per open question for an
+// institution, with theme frequencies proportional to the taxonomy
+// weights. Institutions that used crayons (per §IV, the crayon site "got
+// many complaints") have their better-tools weight tripled when
+// usedCrayons is set.
+func GenerateComments(inst Institution, n int, usedCrayons bool, stream *rng.Stream) ([]Comment, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("survey: %d comments", n)
+	}
+	if stream == nil {
+		stream = rng.New(0)
+	}
+	var out []Comment
+	for _, q := range []OpenQuestion{MostInteresting, Improvements} {
+		themes := ThemesFor(q)
+		weights := make([]float64, len(themes))
+		for i, th := range themes {
+			weights[i] = th.Weight
+			if usedCrayons && th.ID == "better-tools" {
+				weights[i] *= 3
+			}
+		}
+		qs := stream.SplitLabeled(string(inst) + "/" + q.String())
+		for i := 0; i < n; i++ {
+			th := themes[qs.Pick(weights)]
+			out = append(out, Comment{
+				Institution: inst,
+				Question:    q,
+				ThemeID:     th.ID,
+				Text:        th.Summary,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ThemeCount is one row of the qualitative tally.
+type ThemeCount struct {
+	ThemeID string
+	Count   int
+}
+
+// TallyThemes counts theme occurrences for one question, most frequent
+// first (stable by theme ID on ties) — the ordering the paper's summary
+// prose follows.
+func TallyThemes(comments []Comment, q OpenQuestion) []ThemeCount {
+	counts := map[string]int{}
+	for _, c := range comments {
+		if c.Question == q {
+			counts[c.ThemeID]++
+		}
+	}
+	out := make([]ThemeCount, 0, len(counts))
+	for id, n := range counts {
+		out = append(out, ThemeCount{ThemeID: id, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].ThemeID < out[j].ThemeID
+	})
+	return out
+}

@@ -1,0 +1,120 @@
+package survey
+
+import (
+	"testing"
+
+	"flagsim/internal/rng"
+)
+
+func TestThemesTaxonomy(t *testing.T) {
+	themes := Themes()
+	if len(themes) != 16 {
+		t.Fatalf("%d themes", len(themes))
+	}
+	seen := map[string]bool{}
+	for _, th := range themes {
+		if th.ID == "" || th.Summary == "" || th.Weight <= 0 {
+			t.Fatalf("bad theme %+v", th)
+		}
+		if seen[th.ID] {
+			t.Fatalf("duplicate theme %q", th.ID)
+		}
+		seen[th.ID] = true
+	}
+	if len(ThemesFor(MostInteresting)) != 8 || len(ThemesFor(Improvements)) != 8 {
+		t.Fatal("theme split wrong")
+	}
+}
+
+func TestGenerateCommentsShape(t *testing.T) {
+	comments, err := GenerateComments(Knox, 30, false, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 per open question.
+	if len(comments) != 60 {
+		t.Fatalf("%d comments", len(comments))
+	}
+	valid := map[string]OpenQuestion{}
+	for _, th := range Themes() {
+		valid[th.ID] = th.Question
+	}
+	for _, c := range comments {
+		q, ok := valid[c.ThemeID]
+		if !ok {
+			t.Fatalf("unknown theme %q", c.ThemeID)
+		}
+		if q != c.Question {
+			t.Fatalf("theme %q tagged with wrong question", c.ThemeID)
+		}
+		if c.Text == "" {
+			t.Fatal("empty comment text")
+		}
+	}
+}
+
+func TestCrayonSiteComplainsMore(t *testing.T) {
+	// With tripled weight, better-tools should lead the improvements
+	// tally at a crayon site far more often than not.
+	crayonWins, plainWins := 0, 0
+	for seed := uint64(0); seed < 20; seed++ {
+		crayon, err := GenerateComments(TNTech, 40, true, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := GenerateComments(TNTech, 40, false, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if TallyThemes(crayon, Improvements)[0].ThemeID == "better-tools" {
+			crayonWins++
+		}
+		if TallyThemes(plain, Improvements)[0].ThemeID == "better-tools" {
+			plainWins++
+		}
+	}
+	if crayonWins < 15 {
+		t.Fatalf("better-tools led only %d/20 crayon tallies", crayonWins)
+	}
+	if crayonWins <= plainWins {
+		t.Fatalf("crayon site (%d) should complain at least as often as marker site (%d)", crayonWins, plainWins)
+	}
+}
+
+func TestTallyThemesOrdering(t *testing.T) {
+	comments := []Comment{
+		{Question: Improvements, ThemeID: "shorter"},
+		{Question: Improvements, ThemeID: "better-tools"},
+		{Question: Improvements, ThemeID: "better-tools"},
+		{Question: MostInteresting, ThemeID: "already-knew"},
+	}
+	tally := TallyThemes(comments, Improvements)
+	if len(tally) != 2 {
+		t.Fatalf("%d rows", len(tally))
+	}
+	if tally[0].ThemeID != "better-tools" || tally[0].Count != 2 {
+		t.Fatalf("top row %+v", tally[0])
+	}
+	// The MostInteresting comment must not leak into this tally.
+	for _, row := range tally {
+		if row.ThemeID == "already-knew" {
+			t.Fatal("question filter failed")
+		}
+	}
+}
+
+func TestGenerateCommentsValidation(t *testing.T) {
+	if _, err := GenerateComments(Knox, 0, false, rng.New(1)); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}
+
+func TestGenerateCommentsDeterministic(t *testing.T) {
+	a, _ := GenerateComments(HPU, 10, false, rng.New(7))
+	b, _ := GenerateComments(HPU, 10, false, rng.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("comment %d differs", i)
+		}
+	}
+}

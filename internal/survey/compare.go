@@ -1,0 +1,71 @@
+package survey
+
+import (
+	"fmt"
+
+	"flagsim/internal/stats"
+)
+
+// Comparison is a Mann–Whitney U comparison of one question's responses
+// between two institutions — the cross-site trend analysis the paper's
+// future work proposes over Tables I–III.
+type Comparison struct {
+	Question string
+	A, B     Institution
+	Result   stats.MannWhitneyResult
+	MedianA  float64
+	MedianB  float64
+}
+
+// CompareInstitutions tests one question between two institutions'
+// cohorts. It errors if either cohort did not ask the question (the
+// paper's NA cells).
+func CompareInstitutions(cohorts map[Institution]*Cohort, question string, a, b Institution) (Comparison, error) {
+	ca, ok := cohorts[a]
+	if !ok {
+		return Comparison{}, fmt.Errorf("survey: no cohort for %s", a)
+	}
+	cb, ok := cohorts[b]
+	if !ok {
+		return Comparison{}, fmt.Errorf("survey: no cohort for %s", b)
+	}
+	ra, ok := ca.Responses[question]
+	if !ok {
+		return Comparison{}, fmt.Errorf("survey: %s did not ask %q", a, question)
+	}
+	rb, ok := cb.Responses[question]
+	if !ok {
+		return Comparison{}, fmt.Errorf("survey: %s did not ask %q", b, question)
+	}
+	res, err := stats.MannWhitneyU(stats.LikertToFloats(ra), stats.LikertToFloats(rb))
+	if err != nil {
+		return Comparison{}, err
+	}
+	ma, _ := ca.Median(question)
+	mb, _ := cb.Median(question)
+	return Comparison{
+		Question: question, A: a, B: b,
+		Result: res, MedianA: ma, MedianB: mb,
+	}, nil
+}
+
+// CompareAllPairs runs the comparison for every institution pair that
+// asked the question, in column order.
+func CompareAllPairs(cohorts map[Institution]*Cohort, question string) ([]Comparison, error) {
+	insts := Institutions()
+	var out []Comparison
+	for i := 0; i < len(insts); i++ {
+		for j := i + 1; j < len(insts); j++ {
+			c, err := CompareInstitutions(cohorts, question, insts[i], insts[j])
+			if err != nil {
+				// NA cells are expected; skip those pairs.
+				continue
+			}
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("survey: question %q asked nowhere", question)
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package survey
+
+import (
+	"testing"
+
+	"flagsim/internal/rng"
+)
+
+func studyForCompare(t *testing.T) map[Institution]*Cohort {
+	t.Helper()
+	cohorts, err := GenerateStudy(PaperTargets(), rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cohorts
+}
+
+func TestCompareInstitutionsFindsGap(t *testing.T) {
+	cohorts := studyForCompare(t)
+	// increased-loops: Montclair 5.0 vs HPU 3.0 — the largest gap in
+	// Table II; the test should flag it.
+	c, err := CompareInstitutions(cohorts, "increased-loops", Montclair, HPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MedianA != 5.0 || c.MedianB != 3.0 {
+		t.Fatalf("medians %v/%v", c.MedianA, c.MedianB)
+	}
+	if c.Result.PValue > 0.05 {
+		t.Fatalf("5.0-vs-3.0 medians p = %v, expected significant", c.Result.PValue)
+	}
+	// Montclair higher -> its ranks dominate -> negative rank-biserial
+	// under our orientation or positive; just require a large magnitude.
+	if abs(c.Result.RankBiserial) < 0.3 {
+		t.Fatalf("effect size %v too small for a 2-point median gap", c.Result.RankBiserial)
+	}
+}
+
+func TestCompareInstitutionsSameTarget(t *testing.T) {
+	cohorts := studyForCompare(t)
+	// had-fun: HPU 4.0 vs Knox 4.0 — same target; should usually not be
+	// significant.
+	c, err := CompareInstitutions(cohorts, "had-fun", HPU, Knox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Result.PValue < 0.05 {
+		t.Fatalf("same-median cohorts p = %v; implausibly significant", c.Result.PValue)
+	}
+}
+
+func TestCompareInstitutionsNACell(t *testing.T) {
+	cohorts := studyForCompare(t)
+	if _, err := CompareInstitutions(cohorts, "instructor-effort", Webster, HPU); err == nil {
+		t.Fatal("Webster NA cell should error")
+	}
+	if _, err := CompareInstitutions(cohorts, "had-fun", "Nowhere", HPU); err == nil {
+		t.Fatal("unknown institution should error")
+	}
+}
+
+func TestCompareAllPairs(t *testing.T) {
+	cohorts := studyForCompare(t)
+	pairs, err := CompareAllPairs(cohorts, "had-fun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All six institutions asked had-fun: C(6,2) = 15 pairs.
+	if len(pairs) != 15 {
+		t.Fatalf("%d pairs, want 15", len(pairs))
+	}
+	pairs, err = CompareAllPairs(cohorts, "stimulated-interest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TNTech is NA: C(5,2) = 10 pairs.
+	if len(pairs) != 10 {
+		t.Fatalf("%d pairs, want 10", len(pairs))
+	}
+	if _, err := CompareAllPairs(cohorts, "bogus"); err == nil {
+		t.Fatal("unknown question should error")
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

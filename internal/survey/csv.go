@@ -1,0 +1,126 @@
+package survey
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV interchange so the analysis pipeline runs on real classroom data,
+// not just synthetic cohorts. The format is one row per student, one
+// column per question ID, values 1–5, blank for questions the institution
+// did not ask:
+//
+//	institution,student,had-fun,focused,...
+//	HPU,1,4,5,...
+//
+// Mixed-institution files are supported; ReadCohortsCSV splits them.
+
+// WriteCohortCSV writes one cohort's responses.
+func WriteCohortCSV(w io.Writer, c *Cohort) error {
+	if c == nil || c.N <= 0 {
+		return fmt.Errorf("survey: nil or empty cohort")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"institution", "student"}
+	var asked []string
+	for _, q := range Instrument() {
+		if _, ok := c.Responses[q.ID]; ok {
+			asked = append(asked, q.ID)
+		}
+	}
+	if len(asked) == 0 {
+		return fmt.Errorf("survey: cohort %s answered no questions; nothing to export", c.Institution)
+	}
+	header = append(header, asked...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for s := 0; s < c.N; s++ {
+		row := []string{string(c.Institution), strconv.Itoa(s + 1)}
+		for _, q := range asked {
+			resp := c.Responses[q]
+			if s >= len(resp) {
+				return fmt.Errorf("survey: question %q has %d responses for %d students", q, len(resp), c.N)
+			}
+			row = append(row, strconv.Itoa(resp[s]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCohortsCSV reads a (possibly mixed-institution) response file into
+// per-institution cohorts. Unknown question columns are rejected; blank
+// cells mean "not asked" and must be blank for every student of that
+// institution.
+func ReadCohortsCSV(r io.Reader) (map[Institution]*Cohort, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("survey: csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("survey: csv needs a header and at least one student")
+	}
+	header := records[0]
+	if len(header) < 3 || header[0] != "institution" || header[1] != "student" {
+		return nil, fmt.Errorf("survey: csv header must start with institution,student")
+	}
+	questions := header[2:]
+	for _, q := range questions {
+		if _, err := QuestionByID(q); err != nil {
+			return nil, err
+		}
+	}
+	type rawCohort struct {
+		responses map[string][]int
+		n         int
+	}
+	raw := map[Institution]*rawCohort{}
+	for li, row := range records[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("survey: csv row %d has %d fields, want %d", li+2, len(row), len(header))
+		}
+		inst := Institution(row[0])
+		rc, ok := raw[inst]
+		if !ok {
+			rc = &rawCohort{responses: map[string][]int{}}
+			raw[inst] = rc
+		}
+		rc.n++
+		for qi, q := range questions {
+			cell := row[2+qi]
+			if cell == "" {
+				if len(rc.responses[q]) > 0 {
+					return nil, fmt.Errorf("survey: csv row %d: %s answered %q earlier but is blank now", li+2, inst, q)
+				}
+				continue
+			}
+			v, err := strconv.Atoi(cell)
+			if err != nil || v < 1 || v > 5 {
+				return nil, fmt.Errorf("survey: csv row %d: bad response %q for %q", li+2, cell, q)
+			}
+			if len(rc.responses[q]) != rc.n-1 {
+				return nil, fmt.Errorf("survey: csv row %d: %s has inconsistent blanks for %q", li+2, inst, q)
+			}
+			rc.responses[q] = append(rc.responses[q], v)
+		}
+	}
+	out := map[Institution]*Cohort{}
+	for inst, rc := range raw {
+		c := &Cohort{Institution: inst, N: rc.n, Responses: map[string][]int{}}
+		for q, resp := range rc.responses {
+			if len(resp) != rc.n {
+				return nil, fmt.Errorf("survey: %s: %q answered by %d of %d students", inst, q, len(resp), rc.n)
+			}
+			c.Responses[q] = resp
+		}
+		out[inst] = c
+	}
+	return out, nil
+}

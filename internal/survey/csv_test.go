@@ -1,0 +1,143 @@
+package survey
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flagsim/internal/rng"
+)
+
+func TestCohortCSVRoundTrip(t *testing.T) {
+	cohorts, err := GenerateStudy(PaperTargets(), rng.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range Institutions() {
+		c := cohorts[inst]
+		var buf bytes.Buffer
+		if err := WriteCohortCSV(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCohortsCSV(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", inst, err)
+		}
+		bc, ok := back[inst]
+		if !ok {
+			t.Fatalf("%s lost in roundtrip", inst)
+		}
+		if bc.N != c.N {
+			t.Fatalf("%s: N %d != %d", inst, bc.N, c.N)
+		}
+		for q, want := range c.Responses {
+			got := bc.Responses[q]
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: %d responses, want %d", inst, q, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/%s student %d: %d != %d", inst, q, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCSVMixedInstitutions(t *testing.T) {
+	src := strings.Join([]string{
+		"institution,student,had-fun,focused",
+		"HPU,1,4,5",
+		"HPU,2,4,4",
+		"Knox,1,3,4",
+	}, "\n")
+	cohorts, err := ReadCohortsCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cohorts) != 2 {
+		t.Fatalf("%d institutions", len(cohorts))
+	}
+	if cohorts["HPU"].N != 2 || cohorts["Knox"].N != 1 {
+		t.Fatalf("sizes %d/%d", cohorts["HPU"].N, cohorts["Knox"].N)
+	}
+	m, ok := cohorts["HPU"].Median("had-fun")
+	if !ok || m != 4.0 {
+		t.Fatalf("HPU had-fun median %v", m)
+	}
+}
+
+func TestCSVBlankMeansNotAsked(t *testing.T) {
+	src := strings.Join([]string{
+		"institution,student,had-fun,instructor-effort",
+		"Webster,1,5,",
+		"Webster,2,5,",
+	}, "\n")
+	cohorts, err := ReadCohortsCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cohorts["Webster"]
+	if _, ok := c.Responses["instructor-effort"]; ok {
+		t.Fatal("blank column should mean not asked")
+	}
+	if _, ok := c.Responses["had-fun"]; !ok {
+		t.Fatal("answered column lost")
+	}
+}
+
+func TestCSVRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"institution,student,had-fun",          // no rows
+		"student,institution,had-fun\nHPU,1,4", // wrong header order
+		"institution,student,bogus-question\nHPU,1,4",  // unknown question
+		"institution,student,had-fun\nHPU,1,7",         // out-of-scale
+		"institution,student,had-fun\nHPU,1,x",         // non-numeric
+		"institution,student,had-fun\nHPU,1,4\nHPU,2,", // inconsistent blanks
+		"institution,student,had-fun,focused\nHPU,1,4", // short row (csv lib catches)
+	}
+	for _, src := range cases {
+		if _, err := ReadCohortsCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadCohortsCSV(%q) should fail", src)
+		}
+	}
+}
+
+func TestCSVTablesFromImportedData(t *testing.T) {
+	// End-to-end with "real" data: write the synthetic study to CSV,
+	// read it back, and rebuild Tables I–III — still exact.
+	cohorts, err := GenerateStudy(PaperTargets(), rng.New(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported := map[Institution]*Cohort{}
+	for inst, c := range cohorts {
+		var buf bytes.Buffer
+		if err := WriteCohortCSV(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCohortsCSV(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imported[inst] = back[inst]
+	}
+	t1, t2, t3, err := BuildPaperTables(imported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := PaperTargets()
+	for _, table := range []*Table{t1, t2, t3} {
+		if bad := table.VerifyAgainstTargets(targets); len(bad) != 0 {
+			t.Fatalf("imported-data tables drifted: %v", bad)
+		}
+	}
+}
+
+func TestWriteCohortCSVValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCohortCSV(&buf, nil); err == nil {
+		t.Fatal("nil cohort should error")
+	}
+}

@@ -1,0 +1,60 @@
+package survey
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCohortsCSV hardens the survey-data importer: accepted files
+// must produce cohorts whose every response is on the 1–5 scale and whose
+// per-question lengths equal the cohort size, and they must round-trip.
+func FuzzReadCohortsCSV(f *testing.F) {
+	f.Add("institution,student,had-fun\nHPU,1,4\nHPU,2,5")
+	f.Add("institution,student,had-fun,focused\nKnox,1,3,4")
+	f.Add("institution,student,instructor-effort\nWebster,1,")
+	f.Add("institution,student\nHPU,1")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		cohorts, err := ReadCohortsCSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for inst, c := range cohorts {
+			if c.N <= 0 {
+				t.Fatalf("%s accepted with N=%d", inst, c.N)
+			}
+			for q, resp := range c.Responses {
+				if len(resp) != c.N {
+					t.Fatalf("%s/%s: %d responses for %d students", inst, q, len(resp), c.N)
+				}
+				for _, v := range resp {
+					if v < 1 || v > 5 {
+						t.Fatalf("%s/%s: off-scale response %d accepted", inst, q, v)
+					}
+				}
+				if _, err := QuestionByID(q); err != nil {
+					t.Fatalf("unknown question %q accepted", q)
+				}
+			}
+			// Round trip each institution's cohort.
+			var buf bytes.Buffer
+			if err := WriteCohortCSV(&buf, c); err != nil {
+				// Cohorts with zero answered questions can't round-trip
+				// meaningfully; Write requires asked questions.
+				if len(c.Responses) == 0 {
+					continue
+				}
+				t.Fatalf("%s: accepted cohort failed to write: %v", inst, err)
+			}
+			back, err := ReadCohortsCSV(&buf)
+			if err != nil {
+				t.Fatalf("%s: written CSV failed to read: %v", inst, err)
+			}
+			if back[inst] == nil || back[inst].N != c.N {
+				t.Fatalf("%s: round trip changed cohort size", inst)
+			}
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package survey
+
+import (
+	"fmt"
+
+	"flagsim/internal/stats"
+)
+
+// CategoryAlpha computes Cronbach's alpha for one category's items at one
+// institution — the reliability check a real ASPECT deployment reports.
+// Every item of the category must have been asked (NA items are skipped;
+// at least two asked items are required).
+func CategoryAlpha(c *Cohort, category Category) (float64, error) {
+	if c == nil {
+		return 0, fmt.Errorf("survey: nil cohort")
+	}
+	var items [][]int
+	for _, q := range QuestionsInCategory(category) {
+		if resp, ok := c.Responses[q.ID]; ok {
+			items = append(items, resp)
+		}
+	}
+	if len(items) < 2 {
+		return 0, fmt.Errorf("survey: %s asked %d %s items; alpha needs >= 2",
+			c.Institution, len(items), category)
+	}
+	return stats.CronbachAlpha(items)
+}
+
+// StudyAlphas computes per-institution alphas for one category, skipping
+// institutions where the category is undefined (e.g. Webster's instructor
+// items). Keys are the institutions with a defined alpha.
+func StudyAlphas(cohorts map[Institution]*Cohort, category Category) map[Institution]float64 {
+	out := map[Institution]float64{}
+	for inst, c := range cohorts {
+		if a, err := CategoryAlpha(c, category); err == nil {
+			out[inst] = a
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package survey
+
+import (
+	"testing"
+
+	"flagsim/internal/rng"
+)
+
+func TestCategoryAlphaComputes(t *testing.T) {
+	cohorts, err := GenerateStudy(PaperTargets(), rng.New(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Knox asked everything; all three categories have alphas.
+	for _, cat := range []Category{Engagement, Understanding, Instructor} {
+		a, err := CategoryAlpha(cohorts[Knox], cat)
+		if err != nil {
+			t.Fatalf("%v: %v", cat, err)
+		}
+		if a < -1.001 || a > 1.001 {
+			t.Fatalf("%v alpha %v out of range", cat, a)
+		}
+	}
+}
+
+func TestCategoryAlphaNAHandling(t *testing.T) {
+	cohorts, err := GenerateStudy(PaperTargets(), rng.New(82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Webster asked only one instructor item: alpha undefined.
+	if _, err := CategoryAlpha(cohorts[Webster], Instructor); err == nil {
+		t.Fatal("Webster instructor alpha should be undefined (1 item)")
+	}
+	// But its engagement scale works.
+	if _, err := CategoryAlpha(cohorts[Webster], Engagement); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudyAlphas(t *testing.T) {
+	cohorts, err := GenerateStudy(PaperTargets(), rng.New(83))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphas := StudyAlphas(cohorts, Instructor)
+	if _, ok := alphas[Webster]; ok {
+		t.Fatal("Webster must be skipped for instructor alpha")
+	}
+	if len(alphas) != 5 {
+		t.Fatalf("%d institutions with instructor alpha, want 5", len(alphas))
+	}
+	alphas = StudyAlphas(cohorts, Engagement)
+	if len(alphas) != 6 {
+		t.Fatalf("%d institutions with engagement alpha, want 6", len(alphas))
+	}
+}
+
+func TestCategoryAlphaValidation(t *testing.T) {
+	if _, err := CategoryAlpha(nil, Engagement); err == nil {
+		t.Fatal("nil cohort should error")
+	}
+}

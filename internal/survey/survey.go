@@ -1,0 +1,310 @@
+// Package survey implements the paper's student engagement instrument and
+// the synthetic-cohort machinery that regenerates Tables I–III and Fig. 6.
+//
+// The instrument is the ASPECT-derived questionnaire of Fig. 5: eighteen
+// 5-point Likert items covering the student experience (engagement), their
+// understanding, and instructor effectiveness. The paper reports only
+// per-institution medians; package survey holds those reported medians as
+// calibration targets, generates plausible cohorts whose sample medians hit
+// the targets exactly, and then re-measures the medians through the same
+// analysis path a real deployment would use.
+package survey
+
+import (
+	"fmt"
+	"sort"
+
+	"flagsim/internal/rng"
+	"flagsim/internal/stats"
+)
+
+// Category groups instrument questions the way the paper's §V does.
+type Category uint8
+
+// Question categories.
+const (
+	// Engagement covers enjoyment, participation, and focus (Table I).
+	Engagement Category = iota
+	// Understanding covers comprehension of material and computing
+	// concepts (Table II).
+	Understanding
+	// Instructor covers preparedness, enthusiasm, and availability
+	// (Table III).
+	Instructor
+	// General covers instrument items not reported in any table.
+	General
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case Engagement:
+		return "engagement"
+	case Understanding:
+		return "understanding"
+	case Instructor:
+		return "instructor"
+	case General:
+		return "general"
+	default:
+		return fmt.Sprintf("category(%d)", uint8(c))
+	}
+}
+
+// Question is one Likert item of the instrument.
+type Question struct {
+	// ID is the stable key used in tables and cohorts.
+	ID string
+	// Text is the wording from Fig. 5.
+	Text string
+	// Category is the paper's grouping.
+	Category Category
+	// Starred marks the item only asked where the activity tied into a
+	// current programming assignment (the Fig. 5 asterisk).
+	Starred bool
+}
+
+// Instrument returns the full Fig. 5 questionnaire in presentation order.
+func Instrument() []Question {
+	return []Question{
+		{ID: "explain-improved", Text: "Explaining the material to my group improved my understanding of it", Category: Understanding},
+		{ID: "explained-to-me", Text: "Having the material explained to me by my group members improved my understanding of it", Category: Understanding},
+		{ID: "group-discussion", Text: "Group discussion during the activity contributed to my understanding of parallel computing", Category: Understanding},
+		{ID: "had-fun", Text: "I had fun during the activity", Category: Engagement},
+		{ID: "others-contributed", Text: "Overall, the other members of my group made valuable contributions during the activity", Category: General},
+		{ID: "prefer-class", Text: "I would prefer to take a class that includes this group activity over one that does not", Category: General},
+		{ID: "confident", Text: "I am confident in my understanding of the material presented during the activity", Category: Understanding},
+		{ID: "increased-pc", Text: "The activity increased my understanding of parallel computing", Category: Understanding},
+		{ID: "stimulated-interest", Text: "The activity stimulated my interest in parallel computing", Category: Engagement},
+		{ID: "increased-loops", Text: "The activity increased my understanding of loops", Category: Understanding},
+		{ID: "my-contribution", Text: "I made a valuable contribution to my group during the activity", Category: Engagement},
+		{ID: "focused", Text: "I was focused during the activity", Category: Engagement},
+		{ID: "worked-hard", Text: "I worked hard during the activity", Category: Engagement},
+		{ID: "instructor-prepared", Text: "The instructor seemed prepared for the activity", Category: Instructor},
+		{ID: "instructor-effort", Text: "The instructor put a good deal of effort into my learning from the activity", Category: Instructor},
+		{ID: "instructor-enthusiasm", Text: "The instructor's enthusiasm made me more interested in the activity", Category: Instructor},
+		{ID: "staff-available", Text: "The instructor and/or TAs were available to answer questions during the activity", Category: Instructor},
+		{ID: "tied-to-assignment", Text: "I like that the activity tied into the class's current programming assignment", Category: General, Starred: true},
+	}
+}
+
+// QuestionByID returns the instrument question with the given ID.
+func QuestionByID(id string) (Question, error) {
+	for _, q := range Instrument() {
+		if q.ID == id {
+			return q, nil
+		}
+	}
+	return Question{}, fmt.Errorf("survey: unknown question %q", id)
+}
+
+// QuestionsInCategory filters the instrument.
+func QuestionsInCategory(c Category) []Question {
+	var out []Question
+	for _, q := range Instrument() {
+		if q.Category == c {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Institution identifies one of the six pilot sites.
+type Institution string
+
+// The six institutions of the study, in the paper's column order.
+const (
+	HPU       Institution = "HPU"
+	Knox      Institution = "Knox"
+	Montclair Institution = "Montclair"
+	TNTech    Institution = "TNTech"
+	USI       Institution = "USI"
+	Webster   Institution = "Webster"
+)
+
+// Institutions returns the six sites in table column order.
+func Institutions() []Institution {
+	return []Institution{HPU, Knox, Montclair, TNTech, USI, Webster}
+}
+
+// Target is one reported median: a question at an institution. Missing
+// entries correspond to the paper's NA cells (questions an institution did
+// not ask).
+type Target struct {
+	Question    string
+	Institution Institution
+	Median      float64
+}
+
+// Targets is the calibration table: reported medians keyed by question
+// then institution.
+type Targets map[string]map[Institution]float64
+
+// Add records one target.
+func (t Targets) Add(question string, inst Institution, median float64) {
+	m, ok := t[question]
+	if !ok {
+		m = make(map[Institution]float64)
+		t[question] = m
+	}
+	m[inst] = median
+}
+
+// Lookup returns the target median, with ok=false for NA cells.
+func (t Targets) Lookup(question string, inst Institution) (float64, bool) {
+	m, ok := t[question]
+	if !ok {
+		return 0, false
+	}
+	v, ok := m[inst]
+	return v, ok
+}
+
+// Questions returns the question IDs present in the targets, sorted.
+func (t Targets) Questions() []string {
+	out := make([]string, 0, len(t))
+	for q := range t {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperTargets returns the medians reported in Tables I–III. NA cells are
+// simply absent: "stimulated-interest" at TNTech (Table I) and the three
+// instructor items Webster did not ask (Table III).
+func PaperTargets() Targets {
+	t := make(Targets)
+	add := func(q string, vals ...interface{}) {
+		insts := Institutions()
+		for i, v := range vals {
+			if f, ok := v.(float64); ok {
+				t.Add(q, insts[i], f)
+			}
+		}
+	}
+	na := struct{}{}
+	// Table I — engagement. Columns: HPU Knox Montclair TNTech USI Webster.
+	add("had-fun", 4.0, 4.0, 4.5, 4.0, 5.0, 5.0)
+	add("my-contribution", 5.0, 4.0, 5.0, 5.0, 4.0, 5.0)
+	add("focused", 4.5, 4.0, 5.0, 5.0, 5.0, 5.0)
+	add("worked-hard", 4.5, 4.0, 5.0, 5.0, 5.0, 5.0)
+	add("stimulated-interest", 4.5, 4.0, 3.5, na, 4.0, 5.0)
+	// Table II — understanding.
+	add("explain-improved", 5.0, 4.0, 4.0, 4.0, 4.5, 4.0)
+	add("explained-to-me", 4.5, 4.0, 4.5, 4.0, 4.0, 4.5)
+	add("group-discussion", 4.5, 4.0, 4.0, 4.0, 5.0, 5.0)
+	add("confident", 4.5, 4.0, 4.0, 4.0, 4.0, 5.0)
+	add("increased-pc", 5.0, 4.0, 4.5, 4.0, 5.0, 5.0)
+	add("increased-loops", 3.0, 4.0, 5.0, 3.0, 4.0, 4.0)
+	// Table III — instructor.
+	add("instructor-prepared", 5.0, 4.0, 5.0, 5.0, 5.0, 5.0)
+	add("instructor-effort", 5.0, 4.0, 5.0, 5.0, 5.0, na)
+	add("instructor-enthusiasm", 5.0, 4.0, 5.0, 5.0, 5.0, na)
+	add("staff-available", 5.0, 4.0, 5.0, 5.0, 5.0, na)
+	return t
+}
+
+// TableIQuestions returns the Table I rows in paper order.
+func TableIQuestions() []string {
+	return []string{"had-fun", "my-contribution", "focused", "worked-hard", "stimulated-interest"}
+}
+
+// TableIIQuestions returns the Table II rows in paper order.
+func TableIIQuestions() []string {
+	return []string{"explain-improved", "explained-to-me", "group-discussion",
+		"confident", "increased-pc", "increased-loops"}
+}
+
+// TableIIIQuestions returns the Table III rows in paper order.
+func TableIIIQuestions() []string {
+	return []string{"instructor-prepared", "instructor-effort",
+		"instructor-enthusiasm", "staff-available"}
+}
+
+// DefaultCohortSize returns the synthetic class size per institution. The
+// sizes are even (half-point medians such as HPU's 4.5 require an even
+// sample) and scaled to the study's reported populations where known: USI's
+// quiz cohort was 13 students, TNTech's 86, Knox's class 65.
+func DefaultCohortSize(inst Institution) int {
+	switch inst {
+	case HPU:
+		return 12
+	case Knox:
+		return 64
+	case Montclair:
+		return 24
+	case TNTech:
+		return 86
+	case USI:
+		return 14
+	case Webster:
+		return 18
+	default:
+		return 20
+	}
+}
+
+// Cohort is one institution's generated responses: per question, one
+// Likert response per student who was asked that question.
+type Cohort struct {
+	Institution Institution
+	N           int
+	Responses   map[string][]int
+}
+
+// GenerateCohort synthesizes an institution's survey responses hitting
+// every target median exactly. Questions without a target for this
+// institution (the NA cells) are omitted from the cohort, matching the
+// paper's "did not include these questions in the survey".
+func GenerateCohort(inst Institution, n int, targets Targets, stream *rng.Stream) (*Cohort, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("survey: cohort size %d", n)
+	}
+	if stream == nil {
+		stream = rng.New(0)
+	}
+	c := &Cohort{Institution: inst, N: n, Responses: make(map[string][]int)}
+	for _, q := range Instrument() {
+		target, ok := targets.Lookup(q.ID, inst)
+		if !ok {
+			continue
+		}
+		resp, err := stats.SampleLikertWithMedian(target, n, stream.SplitLabeled(string(inst)+"/"+q.ID), 5000)
+		if err != nil {
+			return nil, fmt.Errorf("survey: %s %s: %w", inst, q.ID, err)
+		}
+		c.Responses[q.ID] = resp
+	}
+	return c, nil
+}
+
+// Median returns the cohort's measured median for a question.
+func (c *Cohort) Median(question string) (float64, bool) {
+	resp, ok := c.Responses[question]
+	if !ok {
+		return 0, false
+	}
+	m, err := stats.MedianInts(resp)
+	if err != nil {
+		return 0, false
+	}
+	return m, true
+}
+
+// GenerateStudy generates cohorts for all six institutions from one master
+// stream.
+func GenerateStudy(targets Targets, stream *rng.Stream) (map[Institution]*Cohort, error) {
+	if stream == nil {
+		stream = rng.New(0)
+	}
+	out := make(map[Institution]*Cohort, 6)
+	for _, inst := range Institutions() {
+		c, err := GenerateCohort(inst, DefaultCohortSize(inst), targets, stream.SplitLabeled(string(inst)))
+		if err != nil {
+			return nil, err
+		}
+		out[inst] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+
+	"flagsim/internal/rng"
+)
+
+func TestInstrumentIntegrity(t *testing.T) {
+	qs := Instrument()
+	if len(qs) != 18 {
+		t.Fatalf("instrument has %d questions, want 18 (Fig. 5)", len(qs))
+	}
+	seen := map[string]bool{}
+	starred := 0
+	for _, q := range qs {
+		if q.ID == "" || q.Text == "" {
+			t.Fatalf("question %+v incomplete", q)
+		}
+		if seen[q.ID] {
+			t.Fatalf("duplicate question ID %q", q.ID)
+		}
+		seen[q.ID] = true
+		if q.Starred {
+			starred++
+		}
+	}
+	if starred != 1 {
+		t.Fatalf("%d starred questions, want 1", starred)
+	}
+}
+
+func TestQuestionCategories(t *testing.T) {
+	if n := len(QuestionsInCategory(Engagement)); n != 5 {
+		t.Fatalf("%d engagement questions, want 5 (Table I)", n)
+	}
+	if n := len(QuestionsInCategory(Understanding)); n != 6 {
+		t.Fatalf("%d understanding questions, want 6 (Table II)", n)
+	}
+	if n := len(QuestionsInCategory(Instructor)); n != 4 {
+		t.Fatalf("%d instructor questions, want 4 (Table III)", n)
+	}
+}
+
+func TestQuestionByID(t *testing.T) {
+	q, err := QuestionByID("had-fun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.Text, "fun") {
+		t.Fatalf("wrong question %q", q.Text)
+	}
+	if _, err := QuestionByID("nope"); err == nil {
+		t.Fatal("unknown ID should error")
+	}
+}
+
+func TestPaperTargetsShape(t *testing.T) {
+	targets := PaperTargets()
+	// Table rows must cover all three tables' question sets.
+	for _, q := range append(append(TableIQuestions(), TableIIQuestions()...), TableIIIQuestions()...) {
+		if _, ok := targets[q]; !ok {
+			t.Fatalf("no targets for %q", q)
+		}
+	}
+	// The paper's NA cells.
+	if _, ok := targets.Lookup("stimulated-interest", TNTech); ok {
+		t.Fatal("stimulated-interest at TNTech must be NA")
+	}
+	for _, q := range []string{"instructor-effort", "instructor-enthusiasm", "staff-available"} {
+		if _, ok := targets.Lookup(q, Webster); ok {
+			t.Fatalf("%s at Webster must be NA", q)
+		}
+	}
+	// Spot checks against the printed tables.
+	if v, _ := targets.Lookup("had-fun", USI); v != 5.0 {
+		t.Fatalf("had-fun@USI %v", v)
+	}
+	if v, _ := targets.Lookup("increased-loops", HPU); v != 3.0 {
+		t.Fatalf("increased-loops@HPU %v", v)
+	}
+	if v, _ := targets.Lookup("stimulated-interest", Montclair); v != 3.5 {
+		t.Fatalf("stimulated-interest@Montclair %v", v)
+	}
+}
+
+func TestCohortSizesAllowHalfPointMedians(t *testing.T) {
+	targets := PaperTargets()
+	for _, inst := range Institutions() {
+		n := DefaultCohortSize(inst)
+		for q := range targets {
+			target, ok := targets.Lookup(q, inst)
+			if !ok {
+				continue
+			}
+			if target*2 != float64(int(target*2)) {
+				continue
+			}
+			if isHalf := int(target*2)%2 == 1; isHalf && n%2 == 1 {
+				t.Fatalf("%s has odd cohort %d but half-point target %v on %s", inst, n, target, q)
+			}
+		}
+	}
+}
+
+func TestGenerateCohortHitsEveryTarget(t *testing.T) {
+	targets := PaperTargets()
+	c, err := GenerateCohort(HPU, DefaultCohortSize(HPU), targets, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range targets {
+		want, ok := targets.Lookup(q, HPU)
+		if !ok {
+			continue
+		}
+		got, ok := c.Median(q)
+		if !ok {
+			t.Fatalf("cohort missing %q", q)
+		}
+		if got != want {
+			t.Fatalf("%s: median %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestGenerateCohortOmitsNAQuestions(t *testing.T) {
+	c, err := GenerateCohort(Webster, DefaultCohortSize(Webster), PaperTargets(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Responses["instructor-effort"]; ok {
+		t.Fatal("Webster did not ask instructor-effort; cohort must omit it")
+	}
+	if _, ok := c.Responses["instructor-prepared"]; !ok {
+		t.Fatal("Webster did ask instructor-prepared")
+	}
+}
+
+func TestGenerateStudyDeterministic(t *testing.T) {
+	a, err := GenerateStudy(PaperTargets(), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateStudy(PaperTargets(), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for inst, ca := range a {
+		cb := b[inst]
+		for q, ra := range ca.Responses {
+			rb := cb.Responses[q]
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("%s/%s differs at %d", inst, q, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildPaperTablesExact(t *testing.T) {
+	cohorts, err := GenerateStudy(PaperTargets(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2, t3, err := BuildPaperTables(cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := PaperTargets()
+	for _, table := range []*Table{t1, t2, t3} {
+		if bad := table.VerifyAgainstTargets(targets); len(bad) != 0 {
+			t.Fatalf("%s mismatches: %v", table.Title, bad)
+		}
+	}
+	// Spot checks through the measured path.
+	if c := t1.Cell("had-fun", Montclair); c.NA || c.Median != 4.5 {
+		t.Fatalf("had-fun@Montclair %+v", c)
+	}
+	if c := t3.Cell("instructor-effort", Webster); !c.NA {
+		t.Fatalf("instructor-effort@Webster should be NA, got %+v", c)
+	}
+	if c := t3.Cell("instructor-effort", Webster); c.String() != "NA" {
+		t.Fatalf("NA cell renders %q", c.String())
+	}
+	if c := t2.Cell("increased-pc", USI); c.String() != "5.0" {
+		t.Fatalf("cell renders %q", c.String())
+	}
+}
+
+func TestBuildTableUnknownQuestion(t *testing.T) {
+	cohorts, _ := GenerateStudy(PaperTargets(), rng.New(1))
+	if _, err := BuildTable("x", []string{"bogus"}, cohorts); err == nil {
+		t.Fatal("unknown question should error")
+	}
+}
+
+func TestGenerateCohortValidation(t *testing.T) {
+	if _, err := GenerateCohort(HPU, 0, PaperTargets(), rng.New(1)); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}

@@ -1,0 +1,115 @@
+package survey
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell is one median entry in a results table; NA mirrors the paper's
+// "Not applicable" cells.
+type Cell struct {
+	Median float64
+	NA     bool
+}
+
+// String formats the cell the way the paper's tables do.
+func (c Cell) String() string {
+	if c.NA {
+		return "NA"
+	}
+	return fmt.Sprintf("%.1f", c.Median)
+}
+
+// Table is a questions × institutions median table — the shape of
+// Tables I, II, and III.
+type Table struct {
+	Title        string
+	Questions    []string // row keys, in paper order
+	Institutions []Institution
+	Cells        map[string]map[Institution]Cell
+}
+
+// Cell returns the entry for (question, institution).
+func (t *Table) Cell(question string, inst Institution) Cell {
+	row, ok := t.Cells[question]
+	if !ok {
+		return Cell{NA: true}
+	}
+	c, ok := row[inst]
+	if !ok {
+		return Cell{NA: true}
+	}
+	return c
+}
+
+// BuildTable measures medians from generated cohorts for the given question
+// rows — the analysis path of §V-A.
+func BuildTable(title string, questions []string, cohorts map[Institution]*Cohort) (*Table, error) {
+	t := &Table{
+		Title:        title,
+		Questions:    questions,
+		Institutions: Institutions(),
+		Cells:        make(map[string]map[Institution]Cell),
+	}
+	for _, q := range questions {
+		if _, err := QuestionByID(q); err != nil {
+			return nil, err
+		}
+		row := make(map[Institution]Cell, len(t.Institutions))
+		for _, inst := range t.Institutions {
+			c, ok := cohorts[inst]
+			if !ok {
+				row[inst] = Cell{NA: true}
+				continue
+			}
+			m, ok := c.Median(q)
+			if !ok {
+				row[inst] = Cell{NA: true}
+				continue
+			}
+			row[inst] = Cell{Median: m}
+		}
+		t.Cells[q] = row
+	}
+	return t, nil
+}
+
+// VerifyAgainstTargets compares a measured table to the calibration
+// targets and returns the mismatched cells (empty means the reproduction
+// is exact). NA-ness must agree too.
+func (t *Table) VerifyAgainstTargets(targets Targets) []string {
+	var bad []string
+	for _, q := range t.Questions {
+		for _, inst := range t.Institutions {
+			cell := t.Cell(q, inst)
+			want, ok := targets.Lookup(q, inst)
+			switch {
+			case !ok && !cell.NA:
+				bad = append(bad, fmt.Sprintf("%s/%s: expected NA, measured %.1f", q, inst, cell.Median))
+			case ok && cell.NA:
+				bad = append(bad, fmt.Sprintf("%s/%s: expected %.1f, measured NA", q, inst, want))
+			case ok && math.Abs(cell.Median-want) > 1e-9:
+				bad = append(bad, fmt.Sprintf("%s/%s: expected %.1f, measured %.1f", q, inst, want, cell.Median))
+			}
+		}
+	}
+	return bad
+}
+
+// BuildPaperTables generates the full study and returns measured
+// reproductions of Tables I, II, and III.
+func BuildPaperTables(cohorts map[Institution]*Cohort) (t1, t2, t3 *Table, err error) {
+	t1, err = BuildTable("Table I: engagement (enjoyment, participation, focus)", TableIQuestions(), cohorts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	t2, err = BuildTable("Table II: understanding (comprehension of material and computing concepts)", TableIIQuestions(), cohorts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	t3, err = BuildTable("Table III: instructor-related questions", TableIIIQuestions(), cohorts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return t1, t2, t3, nil
+}

@@ -1,0 +1,88 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// AnnotatedCell is one cell of an annotated grid rendering: a fill color,
+// an outline color (e.g. per-processor), and a short label (e.g. the
+// execution order number).
+type AnnotatedCell struct {
+	X, Y   int
+	Fill   string
+	Stroke string
+	Label  string
+}
+
+// LegendEntry labels one stroke color in the legend row.
+type LegendEntry struct {
+	Color string
+	Label string
+}
+
+// SVGAnnotatedGrid renders a cell grid with per-cell fills, outlines, and
+// labels — the renderer behind the Fig. 1 scenario slides ("Number the
+// cells to efficiently convey the order in which they should be filled",
+// §IV).
+func SVGAnnotatedGrid(w io.Writer, title string, cells []AnnotatedCell, wCells, hCells, cellPx int, legend []LegendEntry) error {
+	if wCells <= 0 || hCells <= 0 {
+		return fmt.Errorf("viz: annotated grid with non-positive size %dx%d", wCells, hCells)
+	}
+	if cellPx <= 0 {
+		cellPx = 36
+	}
+	const pad = 10
+	titleH := 0
+	if title != "" {
+		titleH = 24
+	}
+	legendH := 0
+	if len(legend) > 0 {
+		legendH = 24
+	}
+	pw := wCells*cellPx + pad*2
+	ph := hCells*cellPx + pad*2 + titleH + legendH
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", pw, ph)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", pw, ph)
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="15" font-weight="bold">%s</text>`+"\n",
+			pad, pad+14, escapeXML(title))
+	}
+	oy := pad + titleH
+	for _, c := range cells {
+		if c.X < 0 || c.X >= wCells || c.Y < 0 || c.Y >= hCells {
+			return fmt.Errorf("viz: annotated cell (%d,%d) outside %dx%d", c.X, c.Y, wCells, hCells)
+		}
+		x, y := pad+c.X*cellPx, oy+c.Y*cellPx
+		fill := c.Fill
+		if fill == "" {
+			fill = "#ffffff"
+		}
+		stroke := c.Stroke
+		if stroke == "" {
+			stroke = "#888888"
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="%s" stroke-width="2"/>`+"\n",
+			x+1, y+1, cellPx-2, cellPx-2, fill, stroke)
+		if c.Label != "" {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" text-anchor="middle" fill="#000" opacity="0.75">%s</text>`+"\n",
+				x+cellPx/2, y+cellPx/2+5, cellPx/3, escapeXML(c.Label))
+		}
+	}
+	if len(legend) > 0 {
+		x := pad
+		ly := oy + hCells*cellPx + 16
+		for _, e := range legend {
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="14" height="14" fill="none" stroke="%s" stroke-width="3"/>`+"\n",
+				x, ly-11, e.Color)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13">%s</text>`+"\n", x+20, ly, escapeXML(e.Label))
+			x += 20 + 9*len(e.Label) + 24
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

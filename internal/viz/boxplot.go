@@ -1,0 +1,89 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BoxRow is one labeled five-number summary for the boxplot renderer.
+type BoxRow struct {
+	Label  string
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// Boxplot renders horizontal ASCII box-and-whisker rows on a shared
+// scale:
+//
+//	scenario-1 |      |-----[=====|=====]-------|      | 152.0
+//
+// Whiskers span min..max, the box Q1..Q3, '|' inside the box marks the
+// median, and the trailing number is the median value.
+func Boxplot(w io.Writer, title string, rows []BoxRow, width int) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("viz: empty boxplot")
+	}
+	if width <= 0 {
+		width = 60
+	}
+	lo, hi := rows[0].Min, rows[0].Max
+	for _, r := range rows {
+		if r.Min > r.Q1 || r.Q1 > r.Median || r.Median > r.Q3 || r.Q3 > r.Max {
+			return fmt.Errorf("viz: boxplot row %q out of order", r.Label)
+		}
+		if r.Min < lo {
+			lo = r.Min
+		}
+		if r.Max > hi {
+			hi = r.Max
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	pos := func(v float64) int {
+		p := int((v - lo) / span * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	labelW := 0
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	for _, r := range rows {
+		line := []rune(strings.Repeat(" ", width))
+		for x := pos(r.Min); x <= pos(r.Max); x++ {
+			line[x] = '-'
+		}
+		for x := pos(r.Q1); x <= pos(r.Q3); x++ {
+			line[x] = '='
+		}
+		line[pos(r.Min)] = '|'
+		line[pos(r.Max)] = '|'
+		line[pos(r.Q1)] = '['
+		line[pos(r.Q3)] = ']'
+		line[pos(r.Median)] = '#'
+		if _, err := fmt.Fprintf(w, "%-*s |%s| %.1f\n", labelW, r.Label, string(line), r.Median); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  %-.1f%*s\n", labelW, "", lo, width-len(fmt.Sprintf("%.1f", lo))+1, fmt.Sprintf("%.1f", hi))
+	return err
+}

@@ -1,0 +1,66 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBoxplotRenders(t *testing.T) {
+	var buf bytes.Buffer
+	err := Boxplot(&buf, "times", []BoxRow{
+		{Label: "s1", Min: 100, Q1: 120, Median: 150, Q3: 200, Max: 290},
+		{Label: "s3", Min: 40, Q1: 45, Median: 57, Q3: 75, Max: 100},
+	}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "times") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 2 rows + axis
+		t.Fatalf("%d lines", len(lines))
+	}
+	for _, row := range lines[1:3] {
+		for _, glyph := range []string{"[", "]", "#", "|"} {
+			if !strings.Contains(row, glyph) {
+				t.Fatalf("row %q missing %q", row, glyph)
+			}
+		}
+	}
+	// Medians annotated.
+	if !strings.Contains(lines[1], "150.0") || !strings.Contains(lines[2], "57.0") {
+		t.Fatal("median annotations missing")
+	}
+	// s3's box sits left of s1's on the shared scale.
+	if strings.Index(lines[2], "[") >= strings.Index(lines[1], "[") {
+		t.Fatal("shared scale violated")
+	}
+}
+
+func TestBoxplotValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Boxplot(&buf, "", nil, 40); err == nil {
+		t.Fatal("empty boxplot should error")
+	}
+	if err := Boxplot(&buf, "", []BoxRow{
+		{Label: "bad", Min: 10, Q1: 5, Median: 7, Q3: 8, Max: 12},
+	}, 40); err == nil {
+		t.Fatal("out-of-order summary should error")
+	}
+}
+
+func TestBoxplotDegenerateSpan(t *testing.T) {
+	var buf bytes.Buffer
+	err := Boxplot(&buf, "", []BoxRow{
+		{Label: "flat", Min: 5, Q1: 5, Median: 5, Q3: 5, Max: 5},
+	}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Fatal("degenerate row should still mark its median")
+	}
+}

@@ -1,0 +1,144 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBarChartDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	// width <= 0 defaults to 40; explicit maxValue scales bars.
+	if err := BarChart(&buf, "", []Bar{{Label: "x", Value: 5}}, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "#"); n != 20 {
+		t.Fatalf("half-scale bar is %d chars, want 20 of 40", n)
+	}
+	// All-zero values must not divide by zero.
+	buf.Reset()
+	if err := BarChart(&buf, "", []Bar{{Label: "x", Value: 0}}, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarChartClampsOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarChart(&buf, "", []Bar{{Label: "x", Value: 100}}, 10, 50); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "#"); n != 10 {
+		t.Fatalf("over-max bar is %d chars, want clamp to 10", n)
+	}
+}
+
+func TestSVGGroupedBarChartAutoMax(t *testing.T) {
+	var buf bytes.Buffer
+	err := SVGGroupedBarChart(&buf, "t", []GroupedBar{
+		{Group: "g", Bars: []Bar{{Label: "a", Value: 2}, {Label: "b", Value: 4}}},
+	}, 0) // auto-scale
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4.0") {
+		t.Fatal("value labels missing")
+	}
+	// Empty groups with zero max must not divide by zero.
+	buf.Reset()
+	if err := SVGGroupedBarChart(&buf, "t", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGanttAutoTotalAndDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	// total=0 derives from spans; cols<=0 defaults to 80.
+	err := Gantt(&buf, []string{"P1"}, []GanttSpan{
+		{Lane: 0, Glyph: 'x', Start: 0, End: 4 * time.Second},
+	}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), strings.Repeat("x", 70)) {
+		t.Fatal("auto-total span should fill the default width")
+	}
+}
+
+func TestSVGGanttAutoTotalAndWidthDefault(t *testing.T) {
+	var buf bytes.Buffer
+	err := SVGGantt(&buf, []string{"P1"}, []SVGGanttSpan{
+		{Lane: 0, Start: 0, End: time.Second, Fill: "#123456"},
+	}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#123456") {
+		t.Fatal("span missing")
+	}
+}
+
+func TestTableEmptyRows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table(&buf, []string{"a", "b"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines for header-only table", len(lines))
+	}
+}
+
+func TestTableRaggedRow(t *testing.T) {
+	var buf bytes.Buffer
+	// Short rows pad; long rows are truncated to header width without
+	// panicking.
+	if err := Table(&buf, []string{"a", "b"}, [][]string{{"only-a"}, {"x", "y", "z-extra"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only-a") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestBoxplotWidthDefault(t *testing.T) {
+	var buf bytes.Buffer
+	err := Boxplot(&buf, "", []BoxRow{
+		{Label: "r", Min: 0, Q1: 1, Median: 2, Q3: 3, Max: 4},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Fatal("median marker missing")
+	}
+}
+
+func TestAnnotatedGridDefaultsAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	// Defaults: cellPx <= 0, empty fills/strokes.
+	err := SVGAnnotatedGrid(&buf, "", []AnnotatedCell{{X: 0, Y: 0}}, 2, 2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#ffffff") || !strings.Contains(out, "#888888") {
+		t.Fatal("default fill/stroke missing")
+	}
+	if err := SVGAnnotatedGrid(&buf, "", []AnnotatedCell{{X: 5, Y: 0}}, 2, 2, 10, nil); err == nil {
+		t.Fatal("out-of-bounds cell should error")
+	}
+	if err := SVGAnnotatedGrid(&buf, "", nil, 0, 2, 10, nil); err == nil {
+		t.Fatal("zero-size grid should error")
+	}
+}
+
+func TestGroupedBarChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := GroupedBarChart(&buf, "title", nil, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "title") {
+		t.Fatal("title missing")
+	}
+}

@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// SVGGanttSpan is one colored interval in an SVG Gantt chart. Fill is any
+// SVG color; Label is an optional tooltip (rendered as a <title> child).
+type SVGGanttSpan struct {
+	Lane  int
+	Start time.Duration
+	End   time.Duration
+	Fill  string
+	Label string
+}
+
+// SVGGantt renders lanes of spans as an SVG timeline — the schedule
+// visualization standing in for the activity's slide animations (Suo
+// 2025): one row per processor, time flowing right, colored blocks for
+// paint spans, hatched gray for waits.
+func SVGGantt(w io.Writer, laneNames []string, spans []SVGGanttSpan, total time.Duration, pxWidth int) error {
+	if len(laneNames) == 0 {
+		return fmt.Errorf("viz: svg gantt with no lanes")
+	}
+	if pxWidth <= 0 {
+		pxWidth = 800
+	}
+	if total <= 0 {
+		for _, s := range spans {
+			if s.End > total {
+				total = s.End
+			}
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("viz: empty svg gantt")
+	}
+	const (
+		laneH  = 26
+		gap    = 6
+		labelW = 60
+		pad    = 10
+		axisH  = 24
+	)
+	height := pad*2 + len(laneNames)*(laneH+gap) + axisH
+	width := pad*2 + labelW + pxWidth
+	scale := func(d time.Duration) float64 {
+		return float64(d) / float64(total) * float64(pxWidth)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	for i, name := range laneNames {
+		y := pad + i*(laneH+gap)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", pad, y+laneH-8, escapeXML(name))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f2f2f2"/>`+"\n",
+			pad+labelW, y, pxWidth, laneH)
+	}
+	for _, s := range spans {
+		if s.Lane < 0 || s.Lane >= len(laneNames) {
+			return fmt.Errorf("viz: svg gantt span lane %d out of range", s.Lane)
+		}
+		if s.End < s.Start {
+			return fmt.Errorf("viz: svg gantt span ends before it starts")
+		}
+		y := pad + s.Lane*(laneH+gap)
+		x := float64(pad+labelW) + scale(s.Start)
+		bw := scale(s.End - s.Start)
+		if bw < 1 {
+			bw = 1
+		}
+		fill := s.Fill
+		if fill == "" {
+			fill = "#888888"
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s">`,
+			x, y+2, bw, laneH-4, fill)
+		if s.Label != "" {
+			fmt.Fprintf(&b, `<title>%s</title>`, escapeXML(s.Label))
+		}
+		b.WriteString("</rect>\n")
+	}
+	// Time axis with 4 ticks.
+	axisY := pad + len(laneNames)*(laneH+gap) + 12
+	for i := 0; i <= 4; i++ {
+		t := total * time.Duration(i) / 4
+		x := float64(pad+labelW) + scale(t)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, axisY, t.Round(time.Second))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

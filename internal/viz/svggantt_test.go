@@ -1,0 +1,68 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSVGGanttBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := SVGGantt(&buf, []string{"P1", "P2"}, []SVGGanttSpan{
+		{Lane: 0, Start: 0, End: 5 * time.Second, Fill: "#ce1126", Label: "red stripe"},
+		{Lane: 1, Start: 2 * time.Second, End: 8 * time.Second, Fill: "#00209f"},
+	}, 10*time.Second, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.Contains(out, "#ce1126") || !strings.Contains(out, "#00209f") {
+		t.Fatal("span fills missing")
+	}
+	if !strings.Contains(out, "<title>red stripe</title>") {
+		t.Fatal("tooltip missing")
+	}
+	if !strings.Contains(out, "P1") || !strings.Contains(out, "P2") {
+		t.Fatal("lane labels missing")
+	}
+	if !strings.Contains(out, "10s") {
+		t.Fatal("axis end tick missing")
+	}
+}
+
+func TestSVGGanttValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVGGantt(&buf, nil, nil, time.Second, 100); err == nil {
+		t.Fatal("no lanes should error")
+	}
+	if err := SVGGantt(&buf, []string{"P1"}, nil, 0, 100); err == nil {
+		t.Fatal("empty chart should error")
+	}
+	if err := SVGGantt(&buf, []string{"P1"}, []SVGGanttSpan{
+		{Lane: 5, Start: 0, End: time.Second},
+	}, time.Second, 100); err == nil {
+		t.Fatal("bad lane should error")
+	}
+	if err := SVGGantt(&buf, []string{"P1"}, []SVGGanttSpan{
+		{Lane: 0, Start: time.Second, End: 0},
+	}, time.Second, 100); err == nil {
+		t.Fatal("inverted span should error")
+	}
+}
+
+func TestSVGGanttDefaultFill(t *testing.T) {
+	var buf bytes.Buffer
+	err := SVGGantt(&buf, []string{"P1"}, []SVGGanttSpan{
+		{Lane: 0, Start: 0, End: time.Second},
+	}, time.Second, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#888888") {
+		t.Fatal("default fill missing")
+	}
+}

@@ -1,0 +1,260 @@
+// Package viz renders the repository's textual and SVG visual artifacts:
+// ASCII bar charts (Fig. 6's median chart), Gantt charts of simulation
+// traces (the schedule animations of §III-D as text), and fixed-width
+// tables (Tables I–III). Everything renders to plain io.Writer targets; no
+// GUI toolkit is used or needed.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Bar is one labeled value in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal ASCII bars scaled to width chars. maxValue
+// of zero auto-scales to the largest bar.
+func BarChart(w io.Writer, title string, bars []Bar, width int, maxValue float64) error {
+	if width <= 0 {
+		width = 40
+	}
+	if maxValue <= 0 {
+		for _, b := range bars {
+			if b.Value > maxValue {
+				maxValue = b.Value
+			}
+		}
+	}
+	if maxValue <= 0 {
+		maxValue = 1
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	for _, b := range bars {
+		n := int(b.Value / maxValue * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		if _, err := fmt.Fprintf(w, "%-*s | %-*s %.2f\n",
+			labelW, b.Label, width, strings.Repeat("#", n), b.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GroupedBar is one group of bars sharing a label (e.g. one survey
+// question with one bar per institution).
+type GroupedBar struct {
+	Group string
+	Bars  []Bar
+}
+
+// GroupedBarChart renders groups separated by blank lines — the textual
+// Fig. 6.
+func GroupedBarChart(w io.Writer, title string, groups []GroupedBar, width int, maxValue float64) error {
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n\n", title); err != nil {
+			return err
+		}
+	}
+	for gi, g := range groups {
+		if gi > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := BarChart(w, g.Group, g.Bars, width, maxValue); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SVGGroupedBarChart renders the grouped chart as an SVG document.
+func SVGGroupedBarChart(w io.Writer, title string, groups []GroupedBar, maxValue float64) error {
+	const (
+		barH     = 14
+		gapH     = 4
+		groupGap = 18
+		labelW   = 240
+		chartW   = 420
+		pad      = 10
+	)
+	if maxValue <= 0 {
+		for _, g := range groups {
+			for _, b := range g.Bars {
+				if b.Value > maxValue {
+					maxValue = b.Value
+				}
+			}
+		}
+	}
+	if maxValue <= 0 {
+		maxValue = 1
+	}
+	height := pad*2 + 24
+	for _, g := range groups {
+		height += 16 + len(g.Bars)*(barH+gapH) + groupGap
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n",
+		labelW+chartW+pad*3, height)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="14" font-weight="bold">%s</text>`+"\n", pad, pad+12, escapeXML(title))
+	colors := []string{"#4878a8", "#a85448", "#6aa84f", "#8a64a8", "#a8924a", "#50a0a0"}
+	y := pad + 30
+	for _, g := range groups {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-weight="bold">%s</text>`+"\n", pad, y, escapeXML(g.Group))
+		y += 8
+		for i, bar := range g.Bars {
+			bw := int(bar.Value / maxValue * chartW)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n",
+				pad+labelW-6, y+barH-3, escapeXML(bar.Label))
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+				pad+labelW, y, bw, barH, colors[i%len(colors)])
+			fmt.Fprintf(&b, `<text x="%d" y="%d">%.1f</text>`+"\n",
+				pad+labelW+bw+4, y+barH-3, bar.Value)
+			y += barH + gapH
+		}
+		y += groupGap
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Table renders rows of cells with a header as fixed-width columns.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(header)); err != nil {
+		return err
+	}
+	total := len(widths)*2 - 2
+	for _, width := range widths {
+		total += width
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GanttSpan is the subset of a sim trace span the Gantt renderer needs,
+// decoupled from package sim to keep viz dependency-free.
+type GanttSpan struct {
+	Lane  int
+	Glyph rune
+	Start time.Duration
+	End   time.Duration
+}
+
+// Gantt renders lanes of spans as ASCII timelines, one row per lane,
+// cols characters wide. Overlapping spans in one lane are drawn
+// last-writer-wins, which is fine for the simulator's non-overlapping
+// per-processor spans.
+func Gantt(w io.Writer, laneNames []string, spans []GanttSpan, total time.Duration, cols int) error {
+	if cols <= 0 {
+		cols = 80
+	}
+	if total <= 0 {
+		for _, s := range spans {
+			if s.End > total {
+				total = s.End
+			}
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("viz: empty gantt")
+	}
+	rows := make([][]rune, len(laneNames))
+	for i := range rows {
+		rows[i] = []rune(strings.Repeat(".", cols))
+	}
+	for _, s := range spans {
+		if s.Lane < 0 || s.Lane >= len(rows) {
+			return fmt.Errorf("viz: span lane %d out of range", s.Lane)
+		}
+		a := int(float64(s.Start) / float64(total) * float64(cols))
+		b := int(float64(s.End) / float64(total) * float64(cols))
+		if b == a && b < cols {
+			b = a + 1
+		}
+		for x := a; x < b && x < cols; x++ {
+			rows[s.Lane][x] = s.Glyph
+		}
+	}
+	nameW := 0
+	for _, n := range laneNames {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for i, name := range laneNames {
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", nameW, name, string(rows[i])); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0%*s\n", nameW, "", cols-1, total.Round(time.Second))
+	return err
+}
+
+// SortedKeys returns map keys in sorted order, a small helper for
+// deterministic report output.
+func SortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,170 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBarChartScalesAndLabels(t *testing.T) {
+	var buf bytes.Buffer
+	err := BarChart(&buf, "times", []Bar{
+		{Label: "s1", Value: 100},
+		{Label: "s2", Value: 50},
+	}, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "times") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	full := strings.Count(lines[1], "#")
+	half := strings.Count(lines[2], "#")
+	if full != 20 {
+		t.Fatalf("max bar %d chars, want 20", full)
+	}
+	if half != 10 {
+		t.Fatalf("half bar %d chars, want 10", half)
+	}
+	if !strings.Contains(lines[1], "100.00") {
+		t.Fatal("missing value annotation")
+	}
+}
+
+func TestBarChartZeroValuesSafe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarChart(&buf, "", []Bar{{Label: "z", Value: 0}}, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#") {
+		t.Fatal("zero bar should draw nothing")
+	}
+}
+
+func TestGroupedBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := GroupedBarChart(&buf, "fig6", []GroupedBar{
+		{Group: "q1", Bars: []Bar{{Label: "HPU", Value: 4}, {Label: "USI", Value: 5}}},
+		{Group: "q2", Bars: []Bar{{Label: "HPU", Value: 3}}},
+	}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig6", "q1", "q2", "HPU", "USI"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestSVGGroupedBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := SVGGroupedBarChart(&buf, "Median <scores>", []GroupedBar{
+		{Group: "q1", Bars: []Bar{{Label: "HPU", Value: 4.5}}},
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.Contains(out, "&lt;scores&gt;") {
+		t.Fatal("XML escaping missing")
+	}
+	if !strings.Contains(out, "4.5") {
+		t.Fatal("value label missing")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"Question", "HPU", "Knox"}, [][]string{
+		{"I had fun during the activity", "4.0", "4.0"},
+		{"short", "5.0", "NA"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// Columns align: "HPU" column starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "HPU")
+	for _, row := range lines[2:] {
+		if row[idx] == ' ' {
+			t.Fatalf("misaligned row %q", row)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatal("missing separator")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	var buf bytes.Buffer
+	err := Gantt(&buf, []string{"P1", "P2"}, []GanttSpan{
+		{Lane: 0, Glyph: 'R', Start: 0, End: 5 * time.Second},
+		{Lane: 1, Glyph: 'w', Start: 0, End: 2 * time.Second},
+		{Lane: 1, Glyph: 'B', Start: 2 * time.Second, End: 10 * time.Second},
+	}, 10*time.Second, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "RRRRRRRRRR") {
+		t.Fatalf("P1 lane %q should be half R", lines[0])
+	}
+	if !strings.Contains(lines[1], "wwww") || !strings.Contains(lines[1], "BBBB") {
+		t.Fatalf("P2 lane %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "10s") {
+		t.Fatalf("axis %q missing total", lines[2])
+	}
+}
+
+func TestGanttRejectsBadLane(t *testing.T) {
+	var buf bytes.Buffer
+	err := Gantt(&buf, []string{"P1"}, []GanttSpan{{Lane: 3, Glyph: 'x', Start: 0, End: time.Second}}, time.Second, 10)
+	if err == nil {
+		t.Fatal("bad lane should error")
+	}
+}
+
+func TestGanttEmptyErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Gantt(&buf, []string{"P1"}, nil, 0, 10); err == nil {
+		t.Fatal("empty gantt should error")
+	}
+}
+
+func TestGanttTinySpanVisible(t *testing.T) {
+	var buf bytes.Buffer
+	err := Gantt(&buf, []string{"P1"}, []GanttSpan{
+		{Lane: 0, Glyph: 'x', Start: 0, End: time.Millisecond},
+	}, time.Hour, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x") {
+		t.Fatal("sub-pixel span should still render one glyph")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]float64{"b": 1, "a": 2, "c": 0})
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("keys %v", keys)
+	}
+}

@@ -1,0 +1,78 @@
+package workplan
+
+import (
+	"testing"
+
+	"flagsim/internal/flagspec"
+)
+
+func TestSerpentineReproducesFlags(t *testing.T) {
+	for _, f := range flagspec.All() {
+		for _, o := range []Ordering{ReadingOrder, Serpentine} {
+			plan, err := SequentialOrdered(f, f.DefaultW, f.DefaultH, o)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", f.Name, o, err)
+			}
+			if err := plan.Verify(f); err != nil {
+				t.Errorf("%s/%s: %v", f.Name, o, err)
+			}
+		}
+	}
+}
+
+func TestSerpentineCutsMovement(t *testing.T) {
+	f := flagspec.Mauritius
+	reading, err := SequentialOrdered(f, f.DefaultW, f.DefaultH, ReadingOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serp, err := SequentialOrdered(f, f.DefaultW, f.DefaultH, Serpentine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, ms := MovementCost(reading), MovementCost(serp)
+	if ms >= mr {
+		t.Fatalf("serpentine movement %d should beat reading order %d", ms, mr)
+	}
+	// On a 12-wide stripe, every row break costs 12 in reading order and
+	// 1 in serpentine; the saving is substantial.
+	if float64(ms) > 0.6*float64(mr) {
+		t.Fatalf("serpentine saving too small: %d vs %d", ms, mr)
+	}
+}
+
+func TestSerpentineAdjacencyProperty(t *testing.T) {
+	// Within a contiguous rectangular layer, consecutive serpentine cells
+	// are always Manhattan-adjacent.
+	f := flagspec.Mauritius
+	plan, err := SequentialOrdered(f, f.DefaultW, f.DefaultH, Serpentine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := plan.PerProc[0]
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].Layer != tasks[i-1].Layer {
+			continue // layer change may jump
+		}
+		if d := tasks[i-1].Cell.ManhattanDist(tasks[i].Cell); d != 1 {
+			t.Fatalf("serpentine jump of %d at task %d (%v -> %v)",
+				d, i, tasks[i-1].Cell, tasks[i].Cell)
+		}
+	}
+}
+
+func TestReadingOrderMatchesSequential(t *testing.T) {
+	f := flagspec.Jordan
+	a, err := Sequential(f, f.DefaultW, f.DefaultH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SequentialOrdered(f, f.DefaultW, f.DefaultH, ReadingOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MovementCost(a) != MovementCost(b) {
+		t.Fatalf("reading-order variant diverges from Sequential: %d vs %d",
+			MovementCost(a), MovementCost(b))
+	}
+}
