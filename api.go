@@ -305,3 +305,33 @@ const (
 // RunDynamic executes a self-scheduled run: idle processors pull the next
 // cell from a shared bag at run time, adapting to skill differences.
 func RunDynamic(cfg DynamicConfig) (*Result, error) { return sim.RunDynamic(cfg) }
+
+// SimConfig configures a plan-driven run directly (Run and RunSteal); the
+// scenario helpers build one internally.
+type SimConfig = sim.Config
+
+// RunSteal executes a static plan under work stealing: a processor that
+// empties its own queue takes the trailing half of the most-loaded
+// teammate's queue instead of retiring — the load-imbalance fix that
+// keeps a good static split's locality. Result.Steals counts migrations.
+func RunSteal(cfg SimConfig) (*Result, error) { return sim.RunSteal(cfg) }
+
+// RunStealing executes a scenario under the work-stealing executor and
+// verifies the colored flag.
+func RunStealing(spec RunSpec) (*Result, error) { return core.RunStealing(spec) }
+
+// ---- Engine observation ----
+
+// Probe observes engine execution: grants, releases, blocks, completed
+// cells, retirements, and every materialized span.
+type Probe = sim.Probe
+
+// BaseProbe is a no-op Probe for embedding.
+type BaseProbe = sim.BaseProbe
+
+// CountingProbe tallies engine events — the cheapest metrics hook.
+type CountingProbe = sim.CountingProbe
+
+// SpanCollector accumulates every span the engine emits, reconstructing a
+// traced run's timeline from an untraced run.
+type SpanCollector = sim.SpanCollector

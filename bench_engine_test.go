@@ -1,0 +1,99 @@
+package flagsim_test
+
+// Engine benchmarks: the unified executor core under each TaskSource
+// policy, at the same workload size, so a regression in the shared engine
+// shows up in all three and a regression in one policy's bookkeeping shows
+// up alone. The static and dynamic numbers track the pre-unification
+// executors (target: within noise of the seed).
+
+import (
+	"testing"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/processor"
+	"flagsim/internal/rng"
+	"flagsim/internal/sim"
+	"flagsim/internal/workplan"
+)
+
+// benchEngineTeam builds a mildly skewed team so the steal benchmark has
+// migrations to perform.
+func benchEngineTeam(b *testing.B, skills ...float64) []*processor.Processor {
+	b.Helper()
+	out := make([]*processor.Processor, len(skills))
+	for i, s := range skills {
+		p := processor.DefaultProfile("P")
+		p.Name = "P" + string(rune('1'+i))
+		p.Skill = s
+		pr, err := processor.New(p, rng.New(benchSeed).SplitLabeled(p.Name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = pr
+	}
+	return out
+}
+
+func BenchmarkEngineStatic(b *testing.B) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, 64, 32, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Plan:  plan,
+			Procs: benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
+			Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+func BenchmarkEngineDynamic(b *testing.B) {
+	f := flagspec.Mauritius
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunDynamic(sim.DynamicConfig{
+			Flag: f, W: 64, H: 32,
+			Procs:  benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
+			Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+			Policy: sim.PullColorAffinity,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+func BenchmarkEngineSteal(b *testing.B) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, 64, 32, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var steals int
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunSteal(sim.Config{
+			Plan:  plan,
+			Procs: benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
+			Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steals = res.Steals
+	}
+	b.ReportMetric(float64(steals), "steals/run")
+}

@@ -106,6 +106,7 @@ func experiments() []experiment {
 		{"E30", "Ablation — cell ordering and movement cost (serpentine)", e30Serpentine},
 		{"E31", "Future work — instrument psychometrics (alpha, item analysis)", e31Psychometrics},
 		{"E32", "Ablation — hold policy: the eager-release lock convoy", e32HoldPolicy},
+		{"E33", "Ablation — work stealing: static locality with dynamic balance", e33Stealing},
 	}
 }
 
@@ -800,6 +801,73 @@ func e28Dynamic() error {
 		rows = append(rows, []string{"dynamic " + policy.String(),
 			dyn.Makespan.Round(time.Millisecond).String(), cellsOf(dyn)})
 	}
+	fmt.Println("team skills 1.3/1.3/1.3/0.5, two implements per color:")
+	return viz.Table(os.Stdout, []string{"scheduler", "makespan", "cells per student"}, rows)
+}
+
+func e33Stealing() error {
+	// The load-imbalance ablation completed: the same skewed team runs the
+	// same vertical-slice plan under three schedulers. Static slices are
+	// hostage to the slow student; the shared bag fixes the balance but
+	// pays per-cell scheduling; work stealing keeps the static split's
+	// locality and migrates work only when someone runs dry.
+	f := flagspec.Mauritius
+	skills := []float64{1.3, 1.3, 1.3, 0.5}
+	mkTeam := func() ([]*processor.Processor, error) {
+		out := make([]*processor.Processor, len(skills))
+		for i, s := range skills {
+			p := processor.DefaultProfile(fmt.Sprintf("P%d", i+1))
+			p.Skill = s
+			pr, err := processor.New(p, rng.New(seed).SplitLabeled(p.Name))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = pr
+		}
+		return out, nil
+	}
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, true)
+	if err != nil {
+		return err
+	}
+	set := func() *implement.Set { return implement.NewSetN(implement.ThickMarker, f.Colors(), 2) }
+
+	var rows [][]string
+	run := func(label string, exec func(sim.Config) (*sim.Result, error)) error {
+		team, err := mkTeam()
+		if err != nil {
+			return err
+		}
+		res, err := exec(sim.Config{Plan: plan, Procs: team, Set: set()})
+		if err != nil {
+			return err
+		}
+		extra := ""
+		if res.Steals > 0 {
+			extra = fmt.Sprintf(" (%d steals)", res.Steals)
+		}
+		rows = append(rows, []string{label,
+			res.Makespan.Round(time.Millisecond).String(), cellsOf(res) + extra})
+		return nil
+	}
+	if err := run("static slices", sim.Run); err != nil {
+		return err
+	}
+	if err := run("work stealing", sim.RunSteal); err != nil {
+		return err
+	}
+	dynTeam, err := mkTeam()
+	if err != nil {
+		return err
+	}
+	dyn, err := sim.RunDynamic(sim.DynamicConfig{
+		Flag: f, Procs: dynTeam, Set: set(), Policy: sim.PullColorAffinity,
+	})
+	if err != nil {
+		return err
+	}
+	rows = append(rows, []string{"dynamic " + sim.PullColorAffinity.String(),
+		dyn.Makespan.Round(time.Millisecond).String(), cellsOf(dyn)})
 	fmt.Println("team skills 1.3/1.3/1.3/0.5, two implements per color:")
 	return viz.Table(os.Stdout, []string{"scheduler", "makespan", "cells per student"}, rows)
 }

@@ -29,6 +29,7 @@ func main() {
 		kindName  = flag.String("kind", "thick-marker", "implement kind: dauber, thick-marker, thin-marker, crayon")
 		extra     = flag.Int("implements", 1, "implements per color")
 		seed      = flag.Uint64("seed", 42, "random seed")
+		steal     = flag.Bool("steal", false, "run under the work-stealing executor (idle students take work from the most-loaded pile)")
 		setup     = flag.Duration("setup", core.DefaultSetup, "serial setup time before coloring")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart")
 		svgGantt  = flag.String("svg-gantt", "", "write an SVG Gantt chart to this file")
@@ -65,18 +66,26 @@ func main() {
 	if *extra < 1 {
 		fatal(fmt.Errorf("-implements must be >= 1"))
 	}
-	res, err := core.Run(core.RunSpec{
+	spec := core.RunSpec{
 		Flag:     f,
 		Scenario: scen,
 		Team:     team,
 		Set:      implement.NewSetN(kind, f.Colors(), *extra),
 		Setup:    *setup,
 		Trace:    *gantt || *svgGantt != "",
-	})
+	}
+	runner := core.Run
+	if *steal {
+		runner = core.RunStealing
+	}
+	res, err := runner(spec)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s: %s\n", scen.ID, scen.Description)
+	if *steal {
+		fmt.Printf("work stealing: %d migrations\n", res.Steals)
+	}
 	title := fmt.Sprintf("flag=%s kind=%s implements=%d setup=%v",
 		f.Name, kind, *extra, setup.Round(time.Second))
 	if err := report.Scenario(os.Stdout, title, res); err != nil {

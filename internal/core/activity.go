@@ -132,10 +132,10 @@ type RunSpec struct {
 	Trace bool
 }
 
-// Run executes the scenario and verifies the flag was colored correctly.
-func Run(spec RunSpec) (*sim.Result, error) {
+// simConfig translates a RunSpec into the simulator's plan-driven config.
+func simConfig(spec RunSpec) (sim.Config, error) {
 	if spec.Flag == nil {
-		return nil, fmt.Errorf("core: nil flag")
+		return sim.Config{}, fmt.Errorf("core: nil flag")
 	}
 	w, h := spec.W, spec.H
 	if w <= 0 {
@@ -146,27 +146,54 @@ func Run(spec RunSpec) (*sim.Result, error) {
 	}
 	plan, err := spec.Scenario.Plan(spec.Flag, w, h)
 	if err != nil {
-		return nil, err
+		return sim.Config{}, err
 	}
 	// A team larger than the plan needs is fine: the extra students sit
 	// out (scenario 3 on a three-stripe flag uses only three colorers).
 	if len(spec.Team) < plan.NumProcs() {
-		return nil, fmt.Errorf("core: %v wants %d workers, team has %d",
+		return sim.Config{}, fmt.Errorf("core: %v wants %d workers, team has %d",
 			spec.Scenario.ID, plan.NumProcs(), len(spec.Team))
 	}
-	team := spec.Team[:plan.NumProcs()]
 	set := spec.Set
 	if set == nil {
 		set = implement.NewSet(implement.ThickMarker, spec.Flag.Colors())
 	}
-	res, err := sim.Run(sim.Config{
+	return sim.Config{
 		Plan:  plan,
-		Procs: team,
+		Procs: spec.Team[:plan.NumProcs()],
 		Set:   set,
 		Hold:  spec.Hold,
 		Setup: spec.Setup,
 		Trace: spec.Trace,
-	})
+	}, nil
+}
+
+// Run executes the scenario and verifies the flag was colored correctly.
+func Run(spec RunSpec) (*sim.Result, error) {
+	cfg, err := simConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Verify(spec.Flag); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunStealing executes the scenario under the work-stealing executor —
+// the scenario's static split is the starting assignment, and idle
+// students take work off the most-loaded teammate's pile — then verifies
+// the flag.
+func RunStealing(spec RunSpec) (*sim.Result, error) {
+	cfg, err := simConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunSteal(cfg)
 	if err != nil {
 		return nil, err
 	}

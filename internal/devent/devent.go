@@ -13,7 +13,6 @@
 package devent
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -25,24 +24,58 @@ type event struct {
 	fn  func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before orders events by (timestamp, scheduling sequence) — the total
+// order that makes runs reproducible.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// eventQueue is a typed binary min-heap of events, ordered by
+// event.before. Hand-rolled (rather than container/heap) so elements
+// stay values — no per-event allocation, no interface boxing on the
+// kernel's hottest path.
+type eventQueue []event
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < n && h[left].before(h[least]) {
+			least = left
+		}
+		if right < n && h[right].before(h[least]) {
+			least = right
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
 }
 
 // Kernel is a discrete-event simulator instance. The zero value is ready
@@ -52,6 +85,7 @@ type Kernel struct {
 	seq       uint64
 	queue     eventQueue
 	processed uint64
+	maxDepth  int
 }
 
 // New returns a kernel at virtual time zero.
@@ -66,6 +100,10 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 // Pending returns the number of events not yet executed.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// MaxDepth returns the high-water event-queue depth observed so far — a
+// capacity-planning counter: how much simultaneity the run ever held.
+func (k *Kernel) MaxDepth() int { return k.maxDepth }
+
 // Schedule enqueues fn to run after delay. Negative delays are rejected:
 // virtual time never runs backward.
 func (k *Kernel) Schedule(delay time.Duration, fn func()) error {
@@ -76,7 +114,10 @@ func (k *Kernel) Schedule(delay time.Duration, fn func()) error {
 		return fmt.Errorf("devent: nil event function")
 	}
 	k.seq++
-	heap.Push(&k.queue, &event{at: k.now + delay, seq: k.seq, fn: fn})
+	k.queue.push(event{at: k.now + delay, seq: k.seq, fn: fn})
+	if len(k.queue) > k.maxDepth {
+		k.maxDepth = len(k.queue)
+	}
 	return nil
 }
 
@@ -95,7 +136,7 @@ func (k *Kernel) Step() bool {
 	if len(k.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.queue).(*event)
+	e := k.queue.pop()
 	k.now = e.at
 	k.processed++
 	e.fn()

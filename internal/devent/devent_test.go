@@ -164,6 +164,65 @@ func TestZeroDelaySameTime(t *testing.T) {
 	}
 }
 
+func TestMaxDepthHighWater(t *testing.T) {
+	k := New()
+	if k.MaxDepth() != 0 {
+		t.Fatalf("fresh kernel MaxDepth %d", k.MaxDepth())
+	}
+	for i := 1; i <= 4; i++ {
+		must(t, k.Schedule(time.Duration(i)*time.Second, func() {}))
+	}
+	if k.MaxDepth() != 4 {
+		t.Fatalf("MaxDepth %d, want 4", k.MaxDepth())
+	}
+	k.Run()
+	// Draining the queue must not lower the high-water mark.
+	if k.MaxDepth() != 4 || k.Pending() != 0 {
+		t.Fatalf("MaxDepth %d pending %d after drain", k.MaxDepth(), k.Pending())
+	}
+	// A cascade that never holds more than one pending event plus the
+	// four historical ones keeps the old mark.
+	must(t, k.Schedule(time.Second, func() {}))
+	if k.MaxDepth() != 4 {
+		t.Fatalf("MaxDepth %d after shallow reschedule", k.MaxDepth())
+	}
+}
+
+func TestHeapOrderWithInterleavedPushPop(t *testing.T) {
+	// Stress the hand-rolled heap: interleave scheduling and stepping
+	// with a deterministic pseudo-random delay pattern and verify the
+	// observed timestamps are monotone.
+	k := New()
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() time.Duration {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return time.Duration(state%1000) * time.Millisecond
+	}
+	var last time.Duration
+	fired := 0
+	for i := 0; i < 50; i++ {
+		must(t, k.Schedule(next(), func() {
+			if k.Now() < last {
+				t.Fatalf("clock ran backward: %v after %v", k.Now(), last)
+			}
+			last = k.Now()
+			fired++
+		}))
+		if i%3 == 0 {
+			k.Step()
+		}
+	}
+	k.Run()
+	if fired != 50 {
+		t.Fatalf("fired %d of 50", fired)
+	}
+	if k.MaxDepth() == 0 {
+		t.Fatal("MaxDepth never recorded")
+	}
+}
+
 func must(t *testing.T, err error) {
 	t.Helper()
 	if err != nil {

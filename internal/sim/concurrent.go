@@ -30,6 +30,11 @@ type ConcurrentConfig struct {
 	// Scale divides virtual durations: a Scale of 10000 runs 1s of
 	// virtual time in 100µs of wall time. Values <= 0 default to 10000.
 	Scale float64
+	// Trace records spans in the shared SpanKind vocabulary, with wall
+	// offsets scaled back to virtual time, so the Gantt and Chrome-trace
+	// renderers draw concurrent runs too. Span boundaries come from the
+	// OS scheduler and are therefore nondeterministic.
+	Trace bool
 }
 
 // ConcurrentProc is the per-processor timing model for the concurrent
@@ -48,6 +53,20 @@ type ConcurrentResult struct {
 	Cells    []int           // cells painted per processor
 	Waits    []time.Duration // wall time spent blocked per processor
 	Finishes []time.Duration // wall finish time per processor
+	Names    []string        // processor names, for rendering
+	Trace    []Span          // nil unless ConcurrentConfig.Trace
+}
+
+// GanttResult adapts the concurrent run to the renderers' *Result shape
+// (trace, processor lanes, makespan) so report.Gantt, report.SVGGantt,
+// and WriteChromeTrace draw all three executors alike. Only those fields
+// are populated.
+func (r *ConcurrentResult) GanttResult() *Result {
+	res := &Result{Makespan: r.Virtual, Trace: r.Trace, Grid: r.Grid}
+	for i, name := range r.Names {
+		res.Procs = append(res.Procs, ProcStats{Name: name, Cells: r.Cells[i]})
+	}
+	return res
 }
 
 // colorPool is a FIFO pool of implements of one color.
@@ -171,12 +190,20 @@ func RunConcurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
 		Cells:    make([]int, len(cfg.Procs)),
 		Waits:    make([]time.Duration, len(cfg.Procs)),
 		Finishes: make([]time.Duration, len(cfg.Procs)),
+		Names:    make([]string, len(cfg.Procs)),
+	}
+	for i, pr := range cfg.Procs {
+		res.Names[i] = pr.Name
 	}
 	var errMu sync.Mutex
 	var firstErr error
 	sleep := func(virtual time.Duration) {
 		time.Sleep(time.Duration(float64(virtual) / scale))
 	}
+
+	// traces[pi] is goroutine-local; merged after the join so tracing
+	// needs no extra synchronization on the hot path.
+	traces := make([][]Span, len(cfg.Procs))
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -189,6 +216,20 @@ func RunConcurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
 			if skill <= 0 {
 				skill = 1
 			}
+			// vnow maps wall offsets to virtual time for span boundaries.
+			vnow := func() time.Duration {
+				return time.Duration(float64(time.Since(start)) * scale)
+			}
+			span := func(kind SpanKind, from time.Duration, t workplan.Task) {
+				if !cfg.Trace {
+					return
+				}
+				sp := Span{Proc: pi, Kind: kind, Start: from, End: vnow(), Color: t.Color}
+				if kind == SpanPaint {
+					sp.Cell = t.Cell
+				}
+				traces[pi] = append(traces[pi], sp)
+			}
 			var holding *implement.Implement
 			for _, t := range cfg.Plan.PerProc[pi] {
 				deps := cfg.Plan.LayerDeps[t.Layer]
@@ -198,22 +239,36 @@ func RunConcurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
 						holding = nil
 					}
 					w0 := time.Now()
+					v0 := vnow()
 					barrier.waitFor(deps)
-					res.Waits[pi] += time.Since(w0)
+					if wait := time.Since(w0); wait > 0 {
+						res.Waits[pi] += wait
+						span(SpanWaitLayer, v0, workplan.Task{})
+					}
 				}
 				if holding != nil && holding.Color != t.Color {
+					v0 := vnow()
 					sleep(holding.Spec.PutDown)
+					span(SpanPutDown, v0, workplan.Task{Color: holding.Color})
 					pools[holding.Color].release(holding)
 					holding = nil
 				}
 				if holding == nil {
 					w0 := time.Now()
+					v0 := vnow()
 					holding = pools[t.Color].acquire()
-					res.Waits[pi] += time.Since(w0)
+					if wait := time.Since(w0); wait > 0 {
+						res.Waits[pi] += wait
+						span(SpanWaitImplement, v0, t)
+					}
+					v0 = vnow()
 					sleep(holding.Spec.Pickup)
+					span(SpanPickup, v0, t)
 				}
 				service := float64(processorBaseCellTime) * holding.Spec.SpeedFactor / skill
+				v0 := vnow()
 				sleep(time.Duration(service))
+				span(SpanPaint, v0, t)
 				if err := g.PaintLocked(t.Cell, t.Color); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -234,6 +289,11 @@ func RunConcurrent(cfg ConcurrentConfig) (*ConcurrentResult, error) {
 	wg.Wait()
 	res.Wall = time.Since(start)
 	res.Virtual = time.Duration(float64(res.Wall) * scale)
+	if cfg.Trace {
+		for _, spans := range traces {
+			res.Trace = append(res.Trace, spans...)
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

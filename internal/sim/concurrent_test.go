@@ -109,3 +109,65 @@ func TestConcurrentManyRunsStayCorrect(t *testing.T) {
 		}
 	}
 }
+
+func TestConcurrentTraceSharedVocabulary(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunConcurrent(ConcurrentConfig{
+		Plan:  plan,
+		Procs: concurrentTeam(4),
+		Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+		Scale: 50000,
+		Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("traced concurrent run recorded no spans")
+	}
+	paints := 0
+	for _, sp := range res.Trace {
+		if sp.Proc < 0 || sp.Proc >= 4 {
+			t.Fatalf("span with bad lane: %+v", sp)
+		}
+		if sp.End < sp.Start {
+			t.Fatalf("span runs backward: %+v", sp)
+		}
+		if sp.Kind == SpanPaint {
+			paints++
+		}
+	}
+	if paints != plan.TotalTasks() {
+		t.Errorf("trace has %d paint spans, want %d", paints, plan.TotalTasks())
+	}
+
+	g := res.GanttResult()
+	if len(g.Procs) != 4 || g.Makespan != res.Virtual || len(g.Trace) != len(res.Trace) {
+		t.Fatalf("GanttResult adapter mismatch: procs=%d makespan=%v spans=%d",
+			len(g.Procs), g.Makespan, len(g.Trace))
+	}
+}
+
+func TestConcurrentUntracedHasNoTrace(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunConcurrent(ConcurrentConfig{
+		Plan:  plan,
+		Procs: concurrentTeam(2),
+		Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+		Scale: 50000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("untraced run stored spans")
+	}
+}

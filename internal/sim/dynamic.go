@@ -4,11 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"flagsim/internal/devent"
 	"flagsim/internal/flagspec"
-	"flagsim/internal/grid"
 	"flagsim/internal/implement"
-	"flagsim/internal/palette"
 	"flagsim/internal/processor"
 	"flagsim/internal/workplan"
 )
@@ -66,28 +63,154 @@ type DynamicConfig struct {
 	Setup time.Duration
 	// Trace records spans.
 	Trace bool
+	// Probes observe engine events.
+	Probes []Probe
 }
 
-// dynState extends the static machinery with the shared bag.
-type dynState struct {
-	cfg    *DynamicConfig
-	kernel *devent.Kernel
-	grid   *grid.Grid
-	procs  []*procState
-	impls  []*implState
-
-	byColor map[palette.Color][]*implState
-	queues  map[palette.Color][]int
-
+// bagSource is the self-scheduling policy: a shared bag of unclaimed
+// tasks, pulled at run time under the configured policy. Processors that
+// find no available work park globally and wake on any layer completion.
+type bagSource struct {
+	policy PullPolicy
 	// bag[l] holds the unclaimed tasks of layer l in reading order.
-	bag            [][]workplan.Task
-	layerRemaining []int // unpainted cells per layer (for dependencies)
-	layerDeps      [][]int
-	idle           []bool // processors parked because nothing was available
-	trace          []Span
-	breaks         int
-	err            error
-	assigned       [][]workplan.Task // executed tasks per proc, for the Result
+	bag [][]workplan.Task
+	// idle marks processors parked because nothing was available.
+	idle []bool
+	// assigned records executed tasks per proc, for the Result's plan.
+	assigned [][]workplan.Task
+}
+
+func newBagSource(policy PullPolicy, layers, procs int, tasks []workplan.Task) *bagSource {
+	s := &bagSource{
+		policy:   policy,
+		bag:      make([][]workplan.Task, layers),
+		idle:     make([]bool, procs),
+		assigned: make([][]workplan.Task, procs),
+	}
+	for _, t := range tasks {
+		s.bag[t.Layer] = append(s.bag[t.Layer], t)
+	}
+	return s
+}
+
+// available reports whether layer l has unclaimed tasks whose
+// prerequisites are all complete.
+func (s *bagSource) available(e *Engine, l int) bool {
+	if _, blocked := e.LayerBlocked(l); blocked {
+		return false
+	}
+	return len(s.bag[l]) > 0
+}
+
+// claim removes and returns the i-th unclaimed task of layer l.
+func (s *bagSource) claim(l, i int) workplan.Task {
+	t := s.bag[l][i]
+	s.bag[l] = append(s.bag[l][:i], s.bag[l][i+1:]...)
+	return t
+}
+
+// nextTask claims the next available task for processor pi under the
+// configured policy, or reports none.
+func (s *bagSource) nextTask(e *Engine, pi int) (workplan.Task, bool) {
+	if s.policy == PullColorAffinity {
+		if holding := e.Holding(pi); holding != nil {
+			// Prefer cells matching the implement in hand.
+			for l := range s.bag {
+				if !s.available(e, l) {
+					continue
+				}
+				for i, t := range s.bag[l] {
+					if t.Color == holding.Color {
+						return s.claim(l, i), true
+					}
+				}
+			}
+		} else {
+			// Empty-handed: prefer a color whose implement is free right
+			// now — a student grabs an idle marker rather than queueing
+			// behind a teammate.
+			for l := range s.bag {
+				if !s.available(e, l) {
+					continue
+				}
+				for i, t := range s.bag[l] {
+					if e.HasFreeImplement(t.Color) {
+						return s.claim(l, i), true
+					}
+				}
+			}
+		}
+	}
+	for l := range s.bag {
+		if s.available(e, l) {
+			return s.claim(l, 0), true
+		}
+	}
+	return workplan.Task{}, false
+}
+
+// anyBagged reports whether any cell remains unclaimed.
+func (s *bagSource) anyBagged() bool {
+	for _, b := range s.bag {
+		if len(b) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Select implements TaskSource: claim a task, park when cells remain but
+// are dependency-blocked, retire when the bag is empty (in-flight cells
+// may still be painting).
+func (s *bagSource) Select(e *Engine, pi int) Selection {
+	if task, ok := s.nextTask(e, pi); ok {
+		return Selection{Kind: SelectTask, Task: task}
+	}
+	if s.anyBagged() {
+		return Selection{Kind: SelectWait}
+	}
+	return Selection{Kind: SelectDone}
+}
+
+// Requeue implements TaskSource: the task goes back to the front of its
+// layer (after pickup the processor re-advances and claims again,
+// possibly the same cell).
+func (s *bagSource) Requeue(_ *Engine, _ int, task workplan.Task) {
+	s.bag[task.Layer] = append([]workplan.Task{task}, s.bag[task.Layer]...)
+}
+
+// Park implements TaskSource: pi idles until any layer completes.
+func (s *bagSource) Park(_ *Engine, pi int, _ Selection) {
+	s.idle[pi] = true
+}
+
+// CellDone implements TaskSource: record the assignment and wake every
+// idle processor when a layer completes (new work may be available).
+func (s *bagSource) CellDone(e *Engine, pi int, task workplan.Task) {
+	s.assigned[pi] = append(s.assigned[pi], task)
+	if e.LayerRemaining(task.Layer) != 0 {
+		return
+	}
+	for w, parked := range s.idle {
+		if !parked {
+			continue
+		}
+		s.idle[w] = false
+		e.Wake(w)
+	}
+}
+
+// HasMore implements TaskSource.
+func (s *bagSource) HasMore(*Engine, int) bool { return s.anyBagged() }
+
+// CheckComplete implements TaskSource.
+func (s *bagSource) CheckComplete(e *Engine) error {
+	for l := 0; l < e.Layers(); l++ {
+		if remaining := e.LayerRemaining(l); remaining != 0 {
+			return fmt.Errorf("sim: dynamic run stalled with %d cells left", remaining)
+		}
+	}
+	return nil
 }
 
 // RunDynamic executes the self-scheduled run.
@@ -119,52 +242,22 @@ func RunDynamic(cfg DynamicConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &dynState{
-		cfg:     &cfg,
-		kernel:  devent.New(),
-		grid:    grid.New(w, h),
-		byColor: make(map[palette.Color][]*implState),
-		queues:  make(map[palette.Color][]int),
-		bag:     make([][]workplan.Task, len(cfg.Flag.Layers)),
-		idle:    make([]bool, len(cfg.Procs)),
-	}
-	for _, t := range seq.PerProc[0] {
-		st.bag[t.Layer] = append(st.bag[t.Layer], t)
-	}
-	st.layerRemaining = append([]int(nil), seq.LayerCellCount...)
-	st.layerDeps = seq.LayerDeps
-	st.assigned = make([][]workplan.Task, len(cfg.Procs))
-
-	for _, pr := range cfg.Procs {
-		pr.ResetRun()
-		st.procs = append(st.procs, &procState{proc: pr, stats: ProcStats{Name: pr.Name}})
-	}
-	for _, im := range cfg.Set.All() {
-		is := &implState{im: im, holder: -1,
-			stats: ImplementStats{ID: im.ID, Color: im.Color, Kind: im.Kind}}
-		st.impls = append(st.impls, is)
-		st.byColor[im.Color] = append(st.byColor[im.Color], is)
-	}
-
-	if cfg.Trace && cfg.Setup > 0 {
-		for i := range st.procs {
-			st.trace = append(st.trace, Span{Proc: i, Kind: SpanSetup, Start: 0, End: cfg.Setup})
-		}
-	}
-	for i := range st.procs {
-		i := i
-		if err := st.kernel.Schedule(cfg.Setup, func() { st.advance(i) }); err != nil {
-			return nil, err
-		}
-	}
-	makespan := st.kernel.Run()
-	if st.err != nil {
-		return nil, st.err
-	}
-	for _, remaining := range st.layerRemaining {
-		if remaining != 0 {
-			return nil, fmt.Errorf("sim: dynamic run stalled with %d cells left", remaining)
-		}
+	source := newBagSource(cfg.Policy, len(cfg.Flag.Layers), len(cfg.Procs), seq.PerProc[0])
+	e := newEngine(engineConfig{
+		source:         source,
+		procs:          cfg.Procs,
+		set:            cfg.Set,
+		setup:          cfg.Setup,
+		trace:          cfg.Trace,
+		probes:         cfg.Probes,
+		w:              w,
+		h:              h,
+		layerDeps:      seq.LayerDeps,
+		layerCellCount: seq.LayerCellCount,
+	})
+	makespan, err := e.run()
+	if err != nil {
+		return nil, err
 	}
 
 	// Synthesize the executed assignment as a Plan so the Result carries
@@ -172,288 +265,10 @@ func RunDynamic(cfg DynamicConfig) (*Result, error) {
 	plan := &workplan.Plan{
 		FlagName: cfg.Flag.Name, W: w, H: h,
 		Strategy:       fmt.Sprintf("dynamic-%s(p=%d)", cfg.Policy, len(cfg.Procs)),
-		PerProc:        st.assigned,
-		LayerDeps:      st.layerDeps,
+		PerProc:        source.assigned,
+		LayerDeps:      seq.LayerDeps,
 		LayerCellCount: seq.LayerCellCount,
 		Overpainted:    true,
 	}
-	res := &Result{
-		Plan:      plan,
-		Makespan:  makespan,
-		SetupTime: cfg.Setup,
-		Grid:      st.grid,
-		Breaks:    st.breaks,
-		Trace:     st.trace,
-		Events:    st.kernel.Processed(),
-	}
-	for _, ps := range st.procs {
-		res.Procs = append(res.Procs, ps.stats)
-	}
-	for _, is := range st.impls {
-		res.Implements = append(res.Implements, is.stats)
-	}
-	return res, nil
-}
-
-// nextTask claims the next available task for processor pi under the
-// configured policy, or reports none.
-func (st *dynState) nextTask(pi int) (workplan.Task, bool) {
-	ps := st.procs[pi]
-	// Availability: every layer whose deps are complete.
-	available := func(l int) bool {
-		for _, d := range st.layerDeps[l] {
-			if st.layerRemaining[d] > 0 {
-				return false
-			}
-		}
-		return len(st.bag[l]) > 0
-	}
-	if st.cfg.Policy == PullColorAffinity {
-		if ps.holding != nil {
-			// Prefer cells matching the implement in hand.
-			for l := range st.bag {
-				if !available(l) {
-					continue
-				}
-				for i, t := range st.bag[l] {
-					if t.Color == ps.holding.Color {
-						st.bag[l] = append(st.bag[l][:i], st.bag[l][i+1:]...)
-						return t, true
-					}
-				}
-			}
-		} else {
-			// Empty-handed: prefer a color whose implement is free right
-			// now — a student grabs an idle marker rather than queueing
-			// behind a teammate.
-			for l := range st.bag {
-				if !available(l) {
-					continue
-				}
-				for i, t := range st.bag[l] {
-					if st.freeImplement(t.Color) != nil {
-						st.bag[l] = append(st.bag[l][:i], st.bag[l][i+1:]...)
-						return t, true
-					}
-				}
-			}
-		}
-	}
-	for l := range st.bag {
-		if available(l) {
-			t := st.bag[l][0]
-			st.bag[l] = st.bag[l][1:]
-			return t, true
-		}
-	}
-	return workplan.Task{}, false
-}
-
-// anyBagged reports whether any cell remains unclaimed.
-func (st *dynState) anyBagged() bool {
-	for _, b := range st.bag {
-		if len(b) > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// advance drives processor pi: claim a task, secure the implement, paint.
-func (st *dynState) advance(pi int) {
-	if st.err != nil {
-		return
-	}
-	ps := st.procs[pi]
-	now := st.kernel.Now()
-
-	task, ok := st.nextTask(pi)
-	if !ok {
-		if !st.anyBagged() {
-			// Fully done (or only in-flight cells remain): release and
-			// finish.
-			if ps.holding != nil {
-				st.release(pi, now)
-			}
-			if ps.stats.Finish < now {
-				ps.stats.Finish = now
-			}
-			return
-		}
-		// Cells remain but are dependency-blocked: park as idle; painters
-		// finishing layer cells will wake us.
-		if ps.holding != nil {
-			st.putDown(pi, now)
-			return
-		}
-		st.idle[pi] = true
-		ps.waitStart = now
-		return
-	}
-
-	// Need the implement for task.Color.
-	if ps.holding != nil && ps.holding.Color != task.Color {
-		// Put the task back (front of its layer) and switch implements.
-		st.bag[task.Layer] = append([]workplan.Task{task}, st.bag[task.Layer]...)
-		st.putDown(pi, now)
-		return
-	}
-	if ps.holding == nil {
-		if is := st.freeImplement(task.Color); is != nil {
-			// Re-bag the task; after pickup the processor re-advances and
-			// claims again (possibly the same cell).
-			st.bag[task.Layer] = append([]workplan.Task{task}, st.bag[task.Layer]...)
-			st.grant(pi, is, now)
-			return
-		}
-		// Queue for the color, task goes back in the bag.
-		st.bag[task.Layer] = append([]workplan.Task{task}, st.bag[task.Layer]...)
-		st.queues[task.Color] = append(st.queues[task.Color], pi)
-		ps.waitStart = now
-		depth := len(st.queues[task.Color])
-		for _, is := range st.byColor[task.Color] {
-			if depth > is.stats.MaxQueue {
-				is.stats.MaxQueue = depth
-			}
-		}
-		return
-	}
-
-	// Holding the right implement: paint.
-	service := ps.proc.ServiceTime(task.Cell, ps.holding)
-	var repair time.Duration
-	if ps.proc.Breaks(ps.holding) {
-		repair = ps.holding.Spec.Repair
-		st.breaks++
-		st.implStateOfDyn(ps.holding).stats.Breakages++
-		if st.cfg.Trace && repair > 0 {
-			st.trace = append(st.trace, Span{Proc: pi, Kind: SpanRepair,
-				Start: now + service, End: now + service + repair, Color: task.Color})
-		}
-	}
-	if st.cfg.Trace {
-		st.trace = append(st.trace, Span{Proc: pi, Kind: SpanPaint,
-			Start: now, End: now + service, Color: task.Color, Cell: task.Cell})
-	}
-	if !ps.painted {
-		ps.painted = true
-		ps.stats.FirstPaint = now
-	}
-	ps.stats.PaintTime += service
-	ps.stats.Overhead += repair
-	st.scheduleAfter(service+repair, func() {
-		if err := st.grid.Paint(task.Cell, task.Color); err != nil {
-			st.err = err
-			return
-		}
-		ps.stats.Cells++
-		st.assigned[pi] = append(st.assigned[pi], task)
-		st.layerRemaining[task.Layer]--
-		if st.layerRemaining[task.Layer] == 0 {
-			st.wakeIdle()
-		}
-		st.advance(pi)
-	})
-}
-
-// wakeIdle reschedules every idle processor (a layer completed, so new
-// work may be available).
-func (st *dynState) wakeIdle() {
-	now := st.kernel.Now()
-	for pi, parked := range st.idle {
-		if !parked {
-			continue
-		}
-		st.idle[pi] = false
-		ps := st.procs[pi]
-		ps.stats.WaitLayer += now - ps.waitStart
-		if st.cfg.Trace && now > ps.waitStart {
-			st.trace = append(st.trace, Span{Proc: pi, Kind: SpanWaitLayer,
-				Start: ps.waitStart, End: now})
-		}
-		pi := pi
-		st.scheduleAfter(0, func() { st.advance(pi) })
-	}
-}
-
-// putDown spends put-down time and releases, then re-advances.
-func (st *dynState) putDown(pi int, now time.Duration) {
-	ps := st.procs[pi]
-	d := ps.holding.Spec.PutDown
-	if st.cfg.Trace && d > 0 {
-		st.trace = append(st.trace, Span{Proc: pi, Kind: SpanPutDown,
-			Start: now, End: now + d, Color: ps.holding.Color})
-	}
-	ps.stats.Overhead += d
-	st.scheduleAfter(d, func() {
-		st.release(pi, st.kernel.Now())
-		st.advance(pi)
-	})
-}
-
-// The following mirror the static executor's resource mechanics.
-
-func (st *dynState) freeImplement(c palette.Color) *implState {
-	for _, is := range st.byColor[c] {
-		if is.holder == -1 {
-			return is
-		}
-	}
-	return nil
-}
-
-func (st *dynState) grant(pi int, is *implState, now time.Duration) {
-	ps := st.procs[pi]
-	is.holder = pi
-	is.busySince = now
-	is.acquired++
-	if is.acquired > 1 {
-		is.stats.Handoffs++
-	}
-	pickup := is.im.Spec.Pickup
-	if st.cfg.Trace && pickup > 0 {
-		st.trace = append(st.trace, Span{Proc: pi, Kind: SpanPickup,
-			Start: now, End: now + pickup, Color: is.im.Color})
-	}
-	ps.stats.Overhead += pickup
-	ps.holding = is.im
-	st.scheduleAfter(pickup, func() { st.advance(pi) })
-}
-
-func (st *dynState) release(pi int, now time.Duration) {
-	ps := st.procs[pi]
-	is := st.implStateOfDyn(ps.holding)
-	ps.holding = nil
-	is.holder = -1
-	is.stats.BusyTime += now - is.busySince
-
-	c := is.im.Color
-	q := st.queues[c]
-	if len(q) == 0 {
-		return
-	}
-	next := q[0]
-	st.queues[c] = q[1:]
-	waiter := st.procs[next]
-	waiter.stats.WaitImplement += now - waiter.waitStart
-	if st.cfg.Trace && now > waiter.waitStart {
-		st.trace = append(st.trace, Span{Proc: next, Kind: SpanWaitImplement,
-			Start: waiter.waitStart, End: now, Color: c})
-	}
-	st.grant(next, is, now)
-}
-
-func (st *dynState) implStateOfDyn(im *implement.Implement) *implState {
-	for _, is := range st.byColor[im.Color] {
-		if is.im == im {
-			return is
-		}
-	}
-	panic("sim: implement not in set")
-}
-
-func (st *dynState) scheduleAfter(d time.Duration, fn func()) {
-	if err := st.kernel.Schedule(d, fn); err != nil && st.err == nil {
-		st.err = err
-	}
+	return e.buildResult(plan, makespan), nil
 }

@@ -1,0 +1,499 @@
+package sim
+
+// The unified simulation engine. One deterministic event core executes
+// every policy: the engine owns the kernel, the grid, the implement pools
+// with their FIFO ticket queues, the layer dependency counters, the
+// per-processor timing model, and trace emission. What used to be two
+// parallel executors (the static per-plan one and the dynamic shared-bag
+// one) is now a single state machine parameterized by a TaskSource — the
+// pluggable scheduling policy that decides what each processor does next.
+//
+// The split of responsibilities:
+//
+//   - Engine: resource mechanics (grant/release/pickup/put-down), paint
+//     execution and statistics, layer counters, span emission, probes.
+//   - TaskSource: task selection, claim bookkeeping, parking and waking
+//     of blocked processors, completion checks.
+//
+// Three sources ship with the package: planSource (static per-processor
+// plans, scenarios 1–4), bagSource (shared work bag, self-scheduling),
+// and stealSource (static plans plus work stealing by idle processors).
+
+import (
+	"time"
+
+	"flagsim/internal/devent"
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+	"flagsim/internal/palette"
+	"flagsim/internal/processor"
+	"flagsim/internal/workplan"
+)
+
+// SelectKind classifies a TaskSource decision.
+type SelectKind uint8
+
+// TaskSource decisions.
+const (
+	// SelectTask hands the engine a task to execute. The engine either
+	// paints it (right implement in hand) or returns it via Requeue and
+	// first switches or acquires implements.
+	SelectTask SelectKind = iota
+	// SelectWait parks the processor until the source wakes it (a layer
+	// dependency or an empty-but-unfinished work pool).
+	SelectWait
+	// SelectDone retires the processor: no more work will ever arrive.
+	SelectDone
+)
+
+// Selection is a TaskSource's decision for one processor at one instant.
+type Selection struct {
+	Kind SelectKind
+	// Task is the selected work when Kind == SelectTask.
+	Task workplan.Task
+	// Layer is the blocking layer when Kind == SelectWait and the wait is
+	// a layer dependency (planSource and stealSource park per layer;
+	// bagSource parks globally and leaves it zero).
+	Layer int
+}
+
+// TaskSource is the pluggable scheduling policy of the engine. Sources
+// may inspect engine state through the exported accessors (Now, Holding,
+// LayerBlocked, LayerRemaining, HasFreeImplement) and must wake parked
+// processors with Wake.
+type TaskSource interface {
+	// Select decides what processor pi does next at the current virtual
+	// time. A returned task is claimed: the engine paints it or hands it
+	// back via Requeue before switching implements.
+	Select(e *Engine, pi int) Selection
+	// Requeue returns a claimed-but-unpainted task to the source (the
+	// processor must acquire or switch implements first and will
+	// re-Select afterwards).
+	Requeue(e *Engine, pi int, task workplan.Task)
+	// Park records pi as blocked under the given SelectWait selection.
+	// The engine has already stamped the processor's waitStart.
+	Park(e *Engine, pi int, sel Selection)
+	// CellDone records that pi painted task. The engine has already
+	// painted the grid cell and decremented the layer counter; the source
+	// updates its bookkeeping and wakes any processors the completion
+	// unblocks via e.Wake.
+	CellDone(e *Engine, pi int, task workplan.Task)
+	// HasMore reports whether pi has further known work — it gates the
+	// EagerRelease hold policy's put-down after each cell.
+	HasMore(e *Engine, pi int) bool
+	// CheckComplete validates that the run finished all work; it is
+	// called after the event queue drains and returns the executor's
+	// deadlock/stall error if work remains.
+	CheckComplete(e *Engine) error
+}
+
+// procState is the runtime state machine of one processor.
+type procState struct {
+	proc    *processor.Processor
+	holding *implement.Implement
+	stats   ProcStats
+	// waitStart marks when the current wait began, for accounting.
+	waitStart time.Duration
+	painted   bool // has painted at least one cell
+}
+
+// implState is the runtime state of one physical implement.
+type implState struct {
+	im     *implement.Implement
+	holder int // processor index, or -1
+	stats  ImplementStats
+	// busySince marks acquisition time while held.
+	busySince time.Duration
+	acquired  int
+}
+
+// engineConfig assembles an Engine; the exported Run* constructors
+// translate their public configs into one of these.
+type engineConfig struct {
+	source TaskSource
+	procs  []*processor.Processor
+	set    *implement.Set
+	hold   HoldPolicy
+	setup  time.Duration
+	trace  bool
+	probes []Probe
+	w, h   int
+	// layerDeps and layerCellCount describe the workload's dependency
+	// structure; the engine owns the live remaining counters.
+	layerDeps      [][]int
+	layerCellCount []int
+}
+
+// Engine is the unified executor state. Sources receive it on every
+// callback; external policies use the exported accessors.
+type Engine struct {
+	source TaskSource
+	hold   HoldPolicy
+	setup  time.Duration
+	// observing is true when spans must be materialized (tracing or at
+	// least one probe installed); tracing additionally stores them.
+	observing bool
+	tracing   bool
+	probes    []Probe
+
+	kernel *devent.Kernel
+	grid   *grid.Grid
+	procs  []*procState
+	impls  []*implState
+	// byColor indexes implement states per color.
+	byColor map[palette.Color][]*implState
+	// queues holds FIFO waiters per color.
+	queues map[palette.Color][]int
+	// layerRemaining counts unpainted cells per layer.
+	layerRemaining []int
+	layerDeps      [][]int
+	trace          []Span
+	breaks         int
+	err            error
+}
+
+// newEngine builds the engine state shared by every executor.
+func newEngine(cfg engineConfig) *Engine {
+	e := &Engine{
+		source:    cfg.source,
+		hold:      cfg.hold,
+		setup:     cfg.setup,
+		tracing:   cfg.trace,
+		observing: cfg.trace || len(cfg.probes) > 0,
+		probes:    cfg.probes,
+		kernel:    devent.New(),
+		grid:      grid.New(cfg.w, cfg.h),
+		byColor:   make(map[palette.Color][]*implState),
+		queues:    make(map[palette.Color][]int),
+		layerDeps: cfg.layerDeps,
+	}
+	for _, pr := range cfg.procs {
+		pr.ResetRun()
+		e.procs = append(e.procs, &procState{proc: pr, stats: ProcStats{Name: pr.Name}})
+	}
+	for _, im := range cfg.set.All() {
+		is := &implState{im: im, holder: -1,
+			stats: ImplementStats{ID: im.ID, Color: im.Color, Kind: im.Kind}}
+		e.impls = append(e.impls, is)
+		e.byColor[im.Color] = append(e.byColor[im.Color], is)
+	}
+	e.layerRemaining = append([]int(nil), cfg.layerCellCount...)
+	return e
+}
+
+// run executes the engine to completion: serial setup, simultaneous
+// start, event loop until drained, then the source's completion check.
+func (e *Engine) run() (time.Duration, error) {
+	if e.observing && e.setup > 0 {
+		for i := range e.procs {
+			e.emitSpan(Span{Proc: i, Kind: SpanSetup, Start: 0, End: e.setup})
+		}
+	}
+	for i := range e.procs {
+		i := i
+		if err := e.kernel.Schedule(e.setup, func() { e.advance(i) }); err != nil {
+			return 0, err
+		}
+	}
+	makespan := e.kernel.Run()
+	if e.err != nil {
+		return 0, e.err
+	}
+	if err := e.source.CheckComplete(e); err != nil {
+		return 0, err
+	}
+	return makespan, nil
+}
+
+// buildResult assembles the shared Result fields; the caller supplies the
+// workload description (static plans pass theirs, bag/steal sources
+// synthesize the executed assignment).
+func (e *Engine) buildResult(plan *workplan.Plan, makespan time.Duration) *Result {
+	res := &Result{
+		Plan:          plan,
+		Makespan:      makespan,
+		SetupTime:     e.setup,
+		Grid:          e.grid,
+		Breaks:        e.breaks,
+		Trace:         e.trace,
+		Events:        e.kernel.Processed(),
+		MaxEventQueue: e.kernel.MaxDepth(),
+	}
+	for _, ps := range e.procs {
+		res.Procs = append(res.Procs, ps.stats)
+	}
+	for _, is := range e.impls {
+		res.Implements = append(res.Implements, is.stats)
+	}
+	return res
+}
+
+// ---- Accessors for TaskSource implementations ----
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.kernel.Now() }
+
+// NumProcs returns the processor count.
+func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// Holding returns the implement processor pi holds, or nil.
+func (e *Engine) Holding(pi int) *implement.Implement { return e.procs[pi].holding }
+
+// Layers returns the number of layers in the workload.
+func (e *Engine) Layers() int { return len(e.layerRemaining) }
+
+// LayerRemaining returns the number of unpainted cells of layer l.
+func (e *Engine) LayerRemaining(l int) int { return e.layerRemaining[l] }
+
+// LayerBlocked reports the first incomplete prerequisite layer of l.
+func (e *Engine) LayerBlocked(l int) (dep int, blocked bool) {
+	for _, d := range e.layerDeps[l] {
+		if e.layerRemaining[d] > 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// HasFreeImplement reports whether an implement of color c is free now.
+func (e *Engine) HasFreeImplement(c palette.Color) bool {
+	return e.freeImplement(c) != nil
+}
+
+// Wake unparks processor pi: accounts its layer-wait time, emits the
+// wait-layer span, and schedules its re-advance at the current instant.
+func (e *Engine) Wake(pi int) {
+	now := e.kernel.Now()
+	ps := e.procs[pi]
+	ps.stats.WaitLayer += now - ps.waitStart
+	if e.observing && now > ps.waitStart {
+		e.emitSpan(Span{Proc: pi, Kind: SpanWaitLayer, Start: ps.waitStart, End: now})
+	}
+	e.scheduleAfter(0, func() { e.advance(pi) })
+}
+
+// ---- Event loop ----
+
+// advance drives processor pi as far as it can go at the current virtual
+// time, parking it on a queue or scheduling a completion event.
+func (e *Engine) advance(pi int) {
+	if e.err != nil {
+		return
+	}
+	ps := e.procs[pi]
+	now := e.kernel.Now()
+
+	sel := e.source.Select(e, pi)
+	switch sel.Kind {
+	case SelectDone:
+		// Done: release anything held so teammates can proceed.
+		if ps.holding != nil {
+			e.release(pi, now)
+		}
+		if ps.stats.Finish < now {
+			ps.stats.Finish = now
+		}
+		for _, p := range e.probes {
+			p.ProcDone(pi, now)
+		}
+		return
+
+	case SelectWait:
+		// Before parking, put down anything held so a teammate can use it
+		// (a student waiting for the background to finish does not hoard
+		// the red marker).
+		if ps.holding != nil {
+			e.putDownAndContinue(pi, now)
+			return
+		}
+		e.source.Park(e, pi, sel)
+		ps.waitStart = now
+		for _, p := range e.probes {
+			p.Block(pi, SpanWaitLayer, palette.None, now)
+		}
+		return
+	}
+
+	task := sel.Task
+
+	// Implement in hand of the right color: paint.
+	if ps.holding != nil && ps.holding.Color == task.Color {
+		e.paint(pi, task, now)
+		return
+	}
+
+	// Wrong implement in hand: hand the task back, put the implement down
+	// (busy during put-down, then re-advance).
+	if ps.holding != nil {
+		e.source.Requeue(e, pi, task)
+		e.putDownAndContinue(pi, now)
+		return
+	}
+
+	// Need to acquire an implement of task.Color.
+	e.source.Requeue(e, pi, task)
+	if is := e.freeImplement(task.Color); is != nil {
+		e.grant(pi, is, e.kernel.Now())
+		return
+	}
+
+	// All implements of that color are busy: join the FIFO queue.
+	e.queues[task.Color] = append(e.queues[task.Color], pi)
+	ps.waitStart = now
+	depth := len(e.queues[task.Color])
+	for _, is := range e.byColor[task.Color] {
+		if depth > is.stats.MaxQueue {
+			is.stats.MaxQueue = depth
+		}
+	}
+	for _, p := range e.probes {
+		p.Block(pi, SpanWaitImplement, task.Color, now)
+	}
+}
+
+// putDownAndContinue spends the put-down time, releases the held
+// implement, and re-enters the processor's advance loop.
+func (e *Engine) putDownAndContinue(pi int, now time.Duration) {
+	ps := e.procs[pi]
+	putDown := ps.holding.Spec.PutDown
+	if e.observing && putDown > 0 {
+		e.emitSpan(Span{Proc: pi, Kind: SpanPutDown,
+			Start: now, End: now + putDown, Color: ps.holding.Color})
+	}
+	ps.stats.Overhead += putDown
+	e.scheduleAfter(putDown, func() {
+		e.release(pi, e.kernel.Now())
+		e.advance(pi)
+	})
+}
+
+// freeImplement returns a free implement of color c (lowest ID first for
+// determinism), or nil.
+func (e *Engine) freeImplement(c palette.Color) *implState {
+	for _, is := range e.byColor[c] {
+		if is.holder == -1 {
+			return is
+		}
+	}
+	return nil
+}
+
+// grant reserves implement is for processor pi and schedules the pickup.
+func (e *Engine) grant(pi int, is *implState, now time.Duration) {
+	ps := e.procs[pi]
+	is.holder = pi
+	is.busySince = now
+	is.acquired++
+	if is.acquired > 1 {
+		is.stats.Handoffs++
+	}
+	pickup := is.im.Spec.Pickup
+	if e.observing && pickup > 0 {
+		e.emitSpan(Span{Proc: pi, Kind: SpanPickup,
+			Start: now, End: now + pickup, Color: is.im.Color})
+	}
+	ps.stats.Overhead += pickup
+	ps.holding = is.im
+	for _, p := range e.probes {
+		p.Grant(pi, is.im, now)
+	}
+	e.scheduleAfter(pickup, func() { e.advance(pi) })
+}
+
+// release frees processor pi's implement at time now and hands it to the
+// first queued waiter, if any.
+func (e *Engine) release(pi int, now time.Duration) {
+	ps := e.procs[pi]
+	is := e.implStateOf(ps.holding)
+	ps.holding = nil
+	is.holder = -1
+	is.stats.BusyTime += now - is.busySince
+	for _, p := range e.probes {
+		p.Release(pi, is.im, now)
+	}
+
+	c := is.im.Color
+	q := e.queues[c]
+	if len(q) == 0 {
+		return
+	}
+	next := q[0]
+	e.queues[c] = q[1:]
+	waiter := e.procs[next]
+	waiter.stats.WaitImplement += now - waiter.waitStart
+	if e.observing && now > waiter.waitStart {
+		e.emitSpan(Span{Proc: next, Kind: SpanWaitImplement,
+			Start: waiter.waitStart, End: now, Color: c})
+	}
+	e.grant(next, is, now)
+}
+
+func (e *Engine) implStateOf(im *implement.Implement) *implState {
+	for _, is := range e.byColor[im.Color] {
+		if is.im == im {
+			return is
+		}
+	}
+	panic("sim: implement not in set")
+}
+
+// paint executes the claimed task for processor pi, scheduling completion.
+func (e *Engine) paint(pi int, task workplan.Task, now time.Duration) {
+	ps := e.procs[pi]
+	service := ps.proc.ServiceTime(task.Cell, ps.holding)
+	var repair time.Duration
+	if ps.proc.Breaks(ps.holding) {
+		repair = ps.holding.Spec.Repair
+		e.breaks++
+		e.implStateOf(ps.holding).stats.Breakages++
+		if e.observing && repair > 0 {
+			e.emitSpan(Span{Proc: pi, Kind: SpanRepair,
+				Start: now + service, End: now + service + repair, Color: task.Color})
+		}
+	}
+	if e.observing {
+		e.emitSpan(Span{Proc: pi, Kind: SpanPaint,
+			Start: now, End: now + service, Color: task.Color, Cell: task.Cell})
+	}
+	if !ps.painted {
+		ps.painted = true
+		ps.stats.FirstPaint = now
+	}
+	ps.stats.PaintTime += service
+	ps.stats.Overhead += repair
+	e.scheduleAfter(service+repair, func() {
+		if err := e.grid.Paint(task.Cell, task.Color); err != nil {
+			e.err = err
+			return
+		}
+		ps.stats.Cells++
+		e.layerRemaining[task.Layer]--
+		e.source.CellDone(e, pi, task)
+		for _, p := range e.probes {
+			p.Complete(pi, task, e.kernel.Now())
+		}
+		// EagerRelease puts the implement down after every cell even if
+		// the next cell wants the same color.
+		if e.hold == EagerRelease && ps.holding != nil && e.source.HasMore(e, pi) {
+			e.putDownAndContinue(pi, e.kernel.Now())
+			return
+		}
+		e.advance(pi)
+	})
+}
+
+// emitSpan stores the span when tracing and fans it out to probes.
+func (e *Engine) emitSpan(sp Span) {
+	if e.tracing {
+		e.trace = append(e.trace, sp)
+	}
+	for _, p := range e.probes {
+		p.Span(sp)
+	}
+}
+
+func (e *Engine) scheduleAfter(d time.Duration, fn func()) {
+	if err := e.kernel.Schedule(d, fn); err != nil && e.err == nil {
+		e.err = err
+	}
+}

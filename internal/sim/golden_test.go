@@ -1,0 +1,302 @@
+package sim
+
+// Golden determinism tests: the exact virtual-time outcome of Run and
+// RunDynamic on fixed seeds, captured before the executors were unified on
+// the policy-driven engine. The engine must reproduce the seed executors
+// bit-for-bit — makespan, event count, every trace span, every
+// per-processor and per-implement statistic.
+//
+// Regenerate (only when a behavior change is intended and understood):
+//
+//	go test ./internal/sim -run TestGolden -update-golden
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/processor"
+	"flagsim/internal/rng"
+	"flagsim/internal/workplan"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden result files")
+
+// goldenResult is the serialized form of everything a Result determines.
+type goldenResult struct {
+	Strategy string        `json:"strategy"`
+	Makespan time.Duration `json:"makespan"`
+	Setup    time.Duration `json:"setup"`
+	Events   uint64        `json:"events"`
+	Breaks   int           `json:"breaks"`
+	Grid     string        `json:"grid"`
+	Procs    []goldenProc  `json:"procs"`
+	Impls    []goldenImpl  `json:"implements"`
+	Trace    []goldenSpan  `json:"trace"`
+}
+
+type goldenProc struct {
+	Name          string        `json:"name"`
+	Cells         int           `json:"cells"`
+	Finish        time.Duration `json:"finish"`
+	FirstPaint    time.Duration `json:"first_paint"`
+	PaintTime     time.Duration `json:"paint_time"`
+	WaitImplement time.Duration `json:"wait_implement"`
+	WaitLayer     time.Duration `json:"wait_layer"`
+	Overhead      time.Duration `json:"overhead"`
+}
+
+type goldenImpl struct {
+	ID        int           `json:"id"`
+	Color     string        `json:"color"`
+	Kind      string        `json:"kind"`
+	BusyTime  time.Duration `json:"busy_time"`
+	Handoffs  int           `json:"handoffs"`
+	MaxQueue  int           `json:"max_queue"`
+	Breakages int           `json:"breakages"`
+}
+
+type goldenSpan struct {
+	Proc  int           `json:"proc"`
+	Kind  string        `json:"kind"`
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+	Color string        `json:"color,omitempty"`
+	Cell  string        `json:"cell,omitempty"`
+}
+
+func goldenOf(r *Result) goldenResult {
+	g := goldenResult{
+		Strategy: r.Plan.Strategy,
+		Makespan: r.Makespan,
+		Setup:    r.SetupTime,
+		Events:   r.Events,
+		Breaks:   r.Breaks,
+		Grid:     r.Grid.String(),
+	}
+	for _, p := range r.Procs {
+		g.Procs = append(g.Procs, goldenProc{
+			Name: p.Name, Cells: p.Cells, Finish: p.Finish,
+			FirstPaint: p.FirstPaint, PaintTime: p.PaintTime,
+			WaitImplement: p.WaitImplement, WaitLayer: p.WaitLayer,
+			Overhead: p.Overhead,
+		})
+	}
+	for _, is := range r.Implements {
+		g.Impls = append(g.Impls, goldenImpl{
+			ID: is.ID, Color: is.Color.String(), Kind: is.Kind.String(),
+			BusyTime: is.BusyTime, Handoffs: is.Handoffs,
+			MaxQueue: is.MaxQueue, Breakages: is.Breakages,
+		})
+	}
+	for _, sp := range r.Trace {
+		gs := goldenSpan{Proc: sp.Proc, Kind: sp.Kind.String(), Start: sp.Start, End: sp.End}
+		if sp.Kind != SpanWaitLayer && sp.Kind != SpanSetup {
+			gs.Color = sp.Color.String()
+		}
+		if sp.Kind == SpanPaint {
+			gs.Cell = sp.Cell.String()
+		}
+		g.Trace = append(g.Trace, gs)
+	}
+	return g
+}
+
+// goldenTeam builds the deterministic team a golden case reuses on every
+// regeneration and comparison run.
+func goldenTeam(t *testing.T, n int, seed uint64, mutate func(*processor.Profile)) []*processor.Processor {
+	t.Helper()
+	profile := processor.DefaultProfile("P")
+	if mutate != nil {
+		mutate(&profile)
+	}
+	team, err := processor.Team(n, profile, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return team
+}
+
+// goldenSkillTeam builds one processor per skill with split seeds.
+func goldenSkillTeam(t *testing.T, seed uint64, skills ...float64) []*processor.Processor {
+	t.Helper()
+	out := make([]*processor.Processor, len(skills))
+	for i, s := range skills {
+		p := processor.DefaultProfile("P")
+		p.Name = "P" + string(rune('1'+i))
+		p.Skill = s
+		pr, err := processor.New(p, rng.New(seed).SplitLabeled(p.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = pr
+	}
+	return out
+}
+
+type goldenCase struct {
+	name string
+	run  func(t *testing.T) *Result
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"static-s4-mauritius", func(t *testing.T) *Result {
+			f := flagspec.Mauritius
+			plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Config{
+				Plan:  plan,
+				Procs: goldenTeam(t, 4, 1, nil),
+				Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+				Setup: 20 * time.Second,
+				Trace: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}},
+		{"static-gb-crayon-jitter", func(t *testing.T) *Result {
+			f := flagspec.GreatBritain
+			plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Config{
+				Plan: plan,
+				Procs: goldenTeam(t, 4, 7, func(p *processor.Profile) {
+					p.JitterSigma = 0.15
+				}),
+				Set:   implement.NewSet(implement.Crayon, f.Colors()),
+				Trace: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}},
+		{"static-eager-cyclic", func(t *testing.T) *Result {
+			f := flagspec.Mauritius
+			plan, err := workplan.Cyclic(f, f.DefaultW, f.DefaultH, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Config{
+				Plan:  plan,
+				Procs: goldenTeam(t, 3, 3, nil),
+				Set:   implement.NewSetN(implement.ThickMarker, f.Colors(), 2),
+				Hold:  EagerRelease,
+				Trace: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}},
+		{"dynamic-ordered-hetero", func(t *testing.T) *Result {
+			f := flagspec.Mauritius
+			res, err := RunDynamic(DynamicConfig{
+				Flag:   f,
+				Procs:  goldenSkillTeam(t, 5, 1.3, 1.3, 1.3, 0.5),
+				Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+				Policy: PullOrdered,
+				Setup:  10 * time.Second,
+				Trace:  true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}},
+		{"dynamic-affinity-2impl", func(t *testing.T) *Result {
+			f := flagspec.Mauritius
+			res, err := RunDynamic(DynamicConfig{
+				Flag:   f,
+				Procs:  goldenSkillTeam(t, 9, 1.6, 1.0, 0.7),
+				Set:    implement.NewSetN(implement.ThickMarker, f.Colors(), 2),
+				Policy: PullColorAffinity,
+				Trace:  true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}},
+		{"dynamic-gb-affinity", func(t *testing.T) *Result {
+			f := flagspec.GreatBritain
+			res, err := RunDynamic(DynamicConfig{
+				Flag:   f,
+				Procs:  goldenSkillTeam(t, 11, 1.0, 1.0, 1.0),
+				Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+				Policy: PullColorAffinity,
+				Trace:  true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}},
+	}
+}
+
+func TestGoldenResults(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			got := goldenOf(tc.run(t))
+			path := filepath.Join("testdata", "golden-"+tc.name+".json")
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			var want goldenResult
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+			if got.Makespan != want.Makespan {
+				t.Errorf("makespan = %v, want %v", got.Makespan, want.Makespan)
+			}
+			if got.Events != want.Events {
+				t.Errorf("events = %d, want %d", got.Events, want.Events)
+			}
+			if !reflect.DeepEqual(got.Procs, want.Procs) {
+				t.Errorf("per-processor stats diverge from golden:\n got %+v\nwant %+v", got.Procs, want.Procs)
+			}
+			if !reflect.DeepEqual(got.Impls, want.Impls) {
+				t.Errorf("per-implement stats diverge from golden:\n got %+v\nwant %+v", got.Impls, want.Impls)
+			}
+			if len(got.Trace) != len(want.Trace) {
+				t.Fatalf("trace has %d spans, want %d", len(got.Trace), len(want.Trace))
+			}
+			for i := range got.Trace {
+				if got.Trace[i] != want.Trace[i] {
+					t.Fatalf("trace span %d = %+v, want %+v", i, got.Trace[i], want.Trace[i])
+				}
+			}
+			if got.Grid != want.Grid {
+				t.Errorf("final grid diverges from golden")
+			}
+		})
+	}
+}

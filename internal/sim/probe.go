@@ -1,0 +1,98 @@
+package sim
+
+// Probes are the engine's observer layer: metrics, Chrome tracing, and
+// live dashboards hook engine execution without the engine knowing about
+// them. A probe receives a callback on every grant, release, block,
+// cell-completion, and processor-retirement event, plus every span the
+// engine materializes (the same vocabulary the Gantt renderers and the
+// Chrome-trace exporter consume).
+//
+// Installing a probe forces span materialization even when Config.Trace
+// is off, so a collector probe sees exactly what a traced run records.
+
+import (
+	"time"
+
+	"flagsim/internal/implement"
+	"flagsim/internal/palette"
+	"flagsim/internal/workplan"
+)
+
+// Probe observes engine execution. Embed BaseProbe to implement only the
+// callbacks you need and stay compatible as the interface grows.
+type Probe interface {
+	// Grant fires when pi acquires an implement (including handoffs).
+	Grant(pi int, im *implement.Implement, at time.Duration)
+	// Release fires when pi puts an implement back.
+	Release(pi int, im *implement.Implement, at time.Duration)
+	// Block fires when pi parks: kind is SpanWaitImplement (color set) or
+	// SpanWaitLayer (color is palette.None).
+	Block(pi int, kind SpanKind, color palette.Color, at time.Duration)
+	// Complete fires after pi's painted cell lands on the grid.
+	Complete(pi int, task workplan.Task, at time.Duration)
+	// ProcDone fires when pi retires with no further work.
+	ProcDone(pi int, at time.Duration)
+	// Span receives every materialized trace span as it is emitted.
+	Span(sp Span)
+}
+
+// BaseProbe is a no-op Probe for embedding.
+type BaseProbe struct{}
+
+// Grant implements Probe.
+func (BaseProbe) Grant(int, *implement.Implement, time.Duration) {}
+
+// Release implements Probe.
+func (BaseProbe) Release(int, *implement.Implement, time.Duration) {}
+
+// Block implements Probe.
+func (BaseProbe) Block(int, SpanKind, palette.Color, time.Duration) {}
+
+// Complete implements Probe.
+func (BaseProbe) Complete(int, workplan.Task, time.Duration) {}
+
+// ProcDone implements Probe.
+func (BaseProbe) ProcDone(int, time.Duration) {}
+
+// Span implements Probe.
+func (BaseProbe) Span(Span) {}
+
+// CountingProbe tallies engine events — the cheapest metrics hook.
+type CountingProbe struct {
+	BaseProbe
+	Grants    int
+	Releases  int
+	Blocks    int
+	Completes int
+	Retired   int
+	Spans     int
+}
+
+// Grant implements Probe.
+func (c *CountingProbe) Grant(int, *implement.Implement, time.Duration) { c.Grants++ }
+
+// Release implements Probe.
+func (c *CountingProbe) Release(int, *implement.Implement, time.Duration) { c.Releases++ }
+
+// Block implements Probe.
+func (c *CountingProbe) Block(int, SpanKind, palette.Color, time.Duration) { c.Blocks++ }
+
+// Complete implements Probe.
+func (c *CountingProbe) Complete(int, workplan.Task, time.Duration) { c.Completes++ }
+
+// ProcDone implements Probe.
+func (c *CountingProbe) ProcDone(int, time.Duration) { c.Retired++ }
+
+// Span implements Probe.
+func (c *CountingProbe) Span(Span) { c.Spans++ }
+
+// SpanCollector accumulates every span the engine emits — a traced run's
+// Result.Trace, reconstructed through the probe layer. It lets exporters
+// (Gantt, Chrome trace, animations) observe an untraced run.
+type SpanCollector struct {
+	BaseProbe
+	Spans []Span
+}
+
+// Span implements Probe.
+func (s *SpanCollector) Span(sp Span) { s.Spans = append(s.Spans, sp) }

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/workplan"
+)
+
+// TestSpanCollectorMatchesTrace runs the same configuration twice — once
+// traced, once untraced with a SpanCollector probe — and requires the
+// collector to reconstruct the trace exactly. This is the probe layer's
+// core guarantee: observers see what tracing records.
+func TestSpanCollectorMatchesTrace(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func() *implement.Set { return implement.NewSet(implement.ThickMarker, f.Colors()) }
+
+	traced, err := Run(Config{
+		Plan: plan, Procs: newTeam(t, 4), Set: set(),
+		Setup: 10 * time.Second, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var collector SpanCollector
+	probed, err := Run(Config{
+		Plan: plan, Procs: newTeam(t, 4), Set: set(),
+		Setup: 10 * time.Second, Probes: []Probe{&collector},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probed.Trace != nil {
+		t.Error("untraced run stored a trace")
+	}
+	if !reflect.DeepEqual(collector.Spans, traced.Trace) {
+		t.Fatalf("collector saw %d spans, traced run recorded %d (or contents differ)",
+			len(collector.Spans), len(traced.Trace))
+	}
+	if probed.Makespan != traced.Makespan || probed.Events != traced.Events {
+		t.Errorf("probe installation changed the run: %v/%d vs %v/%d",
+			probed.Makespan, probed.Events, traced.Makespan, traced.Events)
+	}
+}
+
+func TestCountingProbeTallies(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count CountingProbe
+	res, err := Run(Config{
+		Plan:  plan,
+		Procs: newTeam(t, 3),
+		Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+		Probes: []Probe{
+			&count,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	for _, p := range res.Procs {
+		cells += p.Cells
+	}
+	if count.Completes != cells {
+		t.Errorf("Completes = %d, want %d", count.Completes, cells)
+	}
+	if count.Retired != len(res.Procs) {
+		t.Errorf("Retired = %d, want %d", count.Retired, len(res.Procs))
+	}
+	if count.Grants == 0 || count.Releases == 0 {
+		t.Errorf("grants %d releases %d: implement traffic unobserved", count.Grants, count.Releases)
+	}
+	if count.Grants != count.Releases {
+		// Every acquired implement is released by retirement.
+		t.Errorf("grants %d != releases %d", count.Grants, count.Releases)
+	}
+	if count.Spans == 0 {
+		t.Error("no spans fanned out to the probe")
+	}
+}
+
+func TestProbesWorkOnDynamicAndSteal(t *testing.T) {
+	f := flagspec.Mauritius
+	var dynCount CountingProbe
+	dres, err := RunDynamic(DynamicConfig{
+		Flag:   f,
+		Procs:  dynTeam(t, 1.3, 1.0, 0.6),
+		Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+		Policy: PullColorAffinity,
+		Probes: []Probe{&dynCount},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	for _, p := range dres.Procs {
+		cells += p.Cells
+	}
+	if dynCount.Completes != cells {
+		t.Errorf("dynamic: Completes = %d, want %d", dynCount.Completes, cells)
+	}
+
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stealCount CountingProbe
+	sres, err := RunSteal(Config{
+		Plan:   plan,
+		Procs:  dynTeam(t, 1.3, 1.0, 0.6),
+		Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+		Probes: []Probe{&stealCount},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells = 0
+	for _, p := range sres.Procs {
+		cells += p.Cells
+	}
+	if stealCount.Completes != cells {
+		t.Errorf("steal: Completes = %d, want %d", stealCount.Completes, cells)
+	}
+}
+
+func TestMaxEventQueueExposed(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Plan:  plan,
+		Procs: newTeam(t, 4),
+		Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four processors are scheduled to start simultaneously, so the
+	// kernel's high-water depth is at least the team size.
+	if res.MaxEventQueue < 4 {
+		t.Errorf("MaxEventQueue = %d, want >= 4", res.MaxEventQueue)
+	}
+}
+
+// TestProbeDoesNotPerturbRun guards the observing/tracing split: a probed
+// run and a bare run must produce identical results.
+func TestProbeDoesNotPerturbRun(t *testing.T) {
+	f := flagspec.GreatBritain
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func() *implement.Set { return implement.NewSet(implement.Crayon, f.Colors()) }
+	bare, err := Run(Config{Plan: plan, Procs: newTeam(t, 4), Set: set()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count CountingProbe
+	probed, err := Run(Config{Plan: plan, Procs: newTeam(t, 4), Set: set(), Probes: []Probe{&count}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Makespan != probed.Makespan || bare.Events != probed.Events || bare.Breaks != probed.Breaks {
+		t.Fatalf("probe perturbed the run: (%v,%d,%d) vs (%v,%d,%d)",
+			bare.Makespan, bare.Events, bare.Breaks, probed.Makespan, probed.Events, probed.Breaks)
+	}
+	if !reflect.DeepEqual(bare.Procs, probed.Procs) {
+		t.Fatal("per-processor stats diverge under probing")
+	}
+}

@@ -18,13 +18,18 @@
 //
 // Every run is exactly reproducible: FIFO queues, deterministic event
 // tie-breaking, and seeded randomness.
+//
+// All executors share one engine (see engine.go); they differ only in
+// the TaskSource policy that selects each processor's next cell. Run uses
+// planSource (a fixed per-processor plan), RunDynamic uses bagSource (a
+// shared work bag), and RunSteal uses stealSource (fixed plans plus work
+// stealing).
 package sim
 
 import (
 	"fmt"
 	"time"
 
-	"flagsim/internal/devent"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/geom"
 	"flagsim/internal/grid"
@@ -139,6 +144,11 @@ type Result struct {
 	Grid       *grid.Grid
 	Trace      []Span // nil unless Config.Trace
 	Events     uint64
+	// MaxEventQueue is the kernel's high-water event-queue depth — a
+	// capacity-planning counter for large simulations.
+	MaxEventQueue int
+	// Steals counts work-stealing migrations (RunSteal only).
+	Steals int
 }
 
 // TotalWaitImplement sums implement-contention wait across processors —
@@ -199,6 +209,9 @@ type Config struct {
 	Setup time.Duration
 	// Trace records per-span timelines (memory-proportional to tasks).
 	Trace bool
+	// Probes observe engine events (grants, releases, blocks, completed
+	// cells, spans) without the engine knowing about them.
+	Probes []Probe
 }
 
 // validate rejects inconsistent configurations up front so the event loop
@@ -237,46 +250,76 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// procState is the runtime state machine of one processor.
-type procState struct {
-	proc    *processor.Processor
-	tasks   []workplan.Task
-	next    int
-	holding *implement.Implement
-	stats   ProcStats
-	// waitStart marks when the current wait began, for accounting.
-	waitStart time.Duration
-	painted   bool // has painted at least one cell
+// planSource is the static scheduling policy: every processor works
+// through its fixed ordered task list (scenarios 1–4). Blocked processors
+// park per prerequisite layer and wake when that layer completes.
+type planSource struct {
+	plan *workplan.Plan
+	// next[pi] indexes the processor's current task.
+	next []int
+	// layerWaiters holds processors parked on a layer's completion.
+	layerWaiters [][]int
 }
 
-// implState is the runtime state of one physical implement.
-type implState struct {
-	im     *implement.Implement
-	holder int // processor index, or -1
-	stats  ImplementStats
-	// busySince marks acquisition time while held.
-	busySince time.Duration
-	acquired  int
+func newPlanSource(plan *workplan.Plan) *planSource {
+	return &planSource{
+		plan:         plan,
+		next:         make([]int, plan.NumProcs()),
+		layerWaiters: make([][]int, len(plan.LayerCellCount)),
+	}
 }
 
-// runState is the full simulation state.
-type runState struct {
-	cfg    *Config
-	kernel *devent.Kernel
-	grid   *grid.Grid
-	procs  []*procState
-	impls  []*implState
-	// byColor indexes implement states per color.
-	byColor map[palette.Color][]*implState
-	// queues holds FIFO waiters per color.
-	queues map[palette.Color][]int
-	// layerRemaining counts unpainted cells per layer; layerWaiters holds
-	// processors parked on a layer's completion.
-	layerRemaining []int
-	layerWaiters   [][]int
-	trace          []Span
-	breaks         int
-	err            error
+// Select implements TaskSource: the next task of pi's plan, a layer wait,
+// or done when the plan is exhausted.
+func (s *planSource) Select(e *Engine, pi int) Selection {
+	tasks := s.plan.PerProc[pi]
+	if s.next[pi] == len(tasks) {
+		return Selection{Kind: SelectDone}
+	}
+	task := tasks[s.next[pi]]
+	if dep, blocked := e.LayerBlocked(task.Layer); blocked {
+		return Selection{Kind: SelectWait, Layer: dep}
+	}
+	return Selection{Kind: SelectTask, Task: task}
+}
+
+// Requeue implements TaskSource. Static plans only consume a task when it
+// is painted, so there is nothing to hand back.
+func (s *planSource) Requeue(*Engine, int, workplan.Task) {}
+
+// Park implements TaskSource: pi waits on the blocking layer.
+func (s *planSource) Park(_ *Engine, pi int, sel Selection) {
+	s.layerWaiters[sel.Layer] = append(s.layerWaiters[sel.Layer], pi)
+}
+
+// CellDone implements TaskSource: consume the task and wake processors
+// parked on the layer once it completes.
+func (s *planSource) CellDone(e *Engine, pi int, task workplan.Task) {
+	s.next[pi]++
+	if e.LayerRemaining(task.Layer) > 0 {
+		return
+	}
+	waiters := s.layerWaiters[task.Layer]
+	s.layerWaiters[task.Layer] = nil
+	for _, w := range waiters {
+		e.Wake(w)
+	}
+}
+
+// HasMore implements TaskSource.
+func (s *planSource) HasMore(_ *Engine, pi int) bool {
+	return s.next[pi] < len(s.plan.PerProc[pi])
+}
+
+// CheckComplete implements TaskSource.
+func (s *planSource) CheckComplete(*Engine) error {
+	for i, tasks := range s.plan.PerProc {
+		if s.next[i] != len(tasks) {
+			return fmt.Errorf("sim: deadlock: processor %d stopped at task %d of %d",
+				i, s.next[i], len(tasks))
+		}
+	}
+	return nil
 }
 
 // Run executes the configuration to completion and returns the result.
@@ -284,297 +327,22 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	st := &runState{
-		cfg:     &cfg,
-		kernel:  devent.New(),
-		grid:    grid.New(cfg.Plan.W, cfg.Plan.H),
-		byColor: make(map[palette.Color][]*implState),
-		queues:  make(map[palette.Color][]int),
-	}
-	for i, pr := range cfg.Procs {
-		pr.ResetRun()
-		st.procs = append(st.procs, &procState{
-			proc:  pr,
-			tasks: cfg.Plan.PerProc[i],
-			stats: ProcStats{Name: pr.Name},
-		})
-	}
-	for _, im := range cfg.Set.All() {
-		is := &implState{im: im, holder: -1,
-			stats: ImplementStats{ID: im.ID, Color: im.Color, Kind: im.Kind}}
-		st.impls = append(st.impls, is)
-		st.byColor[im.Color] = append(st.byColor[im.Color], is)
-	}
-	st.layerRemaining = make([]int, len(cfg.Plan.LayerCellCount))
-	copy(st.layerRemaining, cfg.Plan.LayerCellCount)
-	st.layerWaiters = make([][]int, len(cfg.Plan.LayerCellCount))
-
-	// Serial setup phase, then all processors start simultaneously — the
-	// paper's "starting all the teams coloring simultaneously".
-	if cfg.Trace && cfg.Setup > 0 {
-		for i := range st.procs {
-			st.trace = append(st.trace, Span{Proc: i, Kind: SpanSetup, Start: 0, End: cfg.Setup})
-		}
-	}
-	for i := range st.procs {
-		i := i
-		if err := st.kernel.Schedule(cfg.Setup, func() { st.advance(i) }); err != nil {
-			return nil, err
-		}
-	}
-	makespan := st.kernel.Run()
-	if st.err != nil {
-		return nil, st.err
-	}
-	for i, ps := range st.procs {
-		if ps.next != len(ps.tasks) {
-			return nil, fmt.Errorf("sim: deadlock: processor %d stopped at task %d of %d",
-				i, ps.next, len(ps.tasks))
-		}
-	}
-
-	res := &Result{
-		Plan:      cfg.Plan,
-		Makespan:  makespan,
-		SetupTime: cfg.Setup,
-		Grid:      st.grid,
-		Breaks:    st.breaks,
-		Trace:     st.trace,
-		Events:    st.kernel.Processed(),
-	}
-	for _, ps := range st.procs {
-		res.Procs = append(res.Procs, ps.stats)
-	}
-	for _, is := range st.impls {
-		res.Implements = append(res.Implements, is.stats)
-	}
-	return res, nil
-}
-
-// advance drives processor pi as far as it can go at the current virtual
-// time, parking it on a queue or scheduling a completion event.
-func (st *runState) advance(pi int) {
-	if st.err != nil {
-		return
-	}
-	ps := st.procs[pi]
-	now := st.kernel.Now()
-
-	for {
-		if ps.next == len(ps.tasks) {
-			// Done: release anything held so teammates can proceed.
-			if ps.holding != nil {
-				st.release(pi, now)
-			}
-			if ps.stats.Finish < now {
-				ps.stats.Finish = now
-			}
-			return
-		}
-		task := ps.tasks[ps.next]
-
-		// Layer dependencies: before parking, put down anything held so a
-		// teammate can use it (a student waiting for the background to
-		// finish does not hoard the red marker); then park on the first
-		// incomplete prerequisite.
-		if dep, blocked := st.blockedOnLayer(task.Layer); blocked {
-			if ps.holding != nil {
-				st.putDownAndContinue(pi, now)
-				return
-			}
-			st.layerWaiters[dep] = append(st.layerWaiters[dep], pi)
-			ps.waitStart = now
-			return
-		}
-
-		// Implement in hand of the right color: paint.
-		if ps.holding != nil && ps.holding.Color == task.Color {
-			st.paint(pi, task, now)
-			return
-		}
-
-		// Wrong implement in hand: put it down first (busy during
-		// put-down, then re-advance).
-		if ps.holding != nil {
-			st.putDownAndContinue(pi, now)
-			return
-		}
-
-		// Need to acquire an implement of task.Color.
-		if is := st.freeImplement(task.Color); is != nil {
-			st.grant(pi, is, st.kernel.Now())
-			return
-		}
-
-		// All implements of that color are busy: join the FIFO queue.
-		st.queues[task.Color] = append(st.queues[task.Color], pi)
-		ps.waitStart = now
-		depth := len(st.queues[task.Color])
-		for _, is := range st.byColor[task.Color] {
-			if depth > is.stats.MaxQueue {
-				is.stats.MaxQueue = depth
-			}
-		}
-		return
-	}
-}
-
-// putDownAndContinue spends the put-down time, releases the held
-// implement, and re-enters the processor's advance loop.
-func (st *runState) putDownAndContinue(pi int, now time.Duration) {
-	ps := st.procs[pi]
-	putDown := ps.holding.Spec.PutDown
-	if st.cfg.Trace && putDown > 0 {
-		st.trace = append(st.trace, Span{Proc: pi, Kind: SpanPutDown,
-			Start: now, End: now + putDown, Color: ps.holding.Color})
-	}
-	ps.stats.Overhead += putDown
-	st.scheduleAfter(putDown, func() {
-		st.release(pi, st.kernel.Now())
-		st.advance(pi)
+	e := newEngine(engineConfig{
+		source:         newPlanSource(cfg.Plan),
+		procs:          cfg.Procs,
+		set:            cfg.Set,
+		hold:           cfg.Hold,
+		setup:          cfg.Setup,
+		trace:          cfg.Trace,
+		probes:         cfg.Probes,
+		w:              cfg.Plan.W,
+		h:              cfg.Plan.H,
+		layerDeps:      cfg.Plan.LayerDeps,
+		layerCellCount: cfg.Plan.LayerCellCount,
 	})
-}
-
-// blockedOnLayer reports the first incomplete prerequisite layer of l.
-func (st *runState) blockedOnLayer(l int) (dep int, blocked bool) {
-	for _, d := range st.cfg.Plan.LayerDeps[l] {
-		if st.layerRemaining[d] > 0 {
-			return d, true
-		}
+	makespan, err := e.run()
+	if err != nil {
+		return nil, err
 	}
-	return 0, false
-}
-
-// freeImplement returns a free implement of color c (lowest ID first for
-// determinism), or nil.
-func (st *runState) freeImplement(c palette.Color) *implState {
-	for _, is := range st.byColor[c] {
-		if is.holder == -1 {
-			return is
-		}
-	}
-	return nil
-}
-
-// grant reserves implement is for processor pi and schedules the pickup.
-func (st *runState) grant(pi int, is *implState, now time.Duration) {
-	ps := st.procs[pi]
-	is.holder = pi
-	is.busySince = now
-	is.acquired++
-	if is.acquired > 1 {
-		is.stats.Handoffs++
-	}
-	pickup := is.im.Spec.Pickup
-	if st.cfg.Trace && pickup > 0 {
-		st.trace = append(st.trace, Span{Proc: pi, Kind: SpanPickup,
-			Start: now, End: now + pickup, Color: is.im.Color})
-	}
-	ps.stats.Overhead += pickup
-	ps.holding = is.im
-	st.scheduleAfter(pickup, func() { st.advance(pi) })
-}
-
-// release frees processor pi's implement at time now and hands it to the
-// first queued waiter, if any.
-func (st *runState) release(pi int, now time.Duration) {
-	ps := st.procs[pi]
-	is := st.implStateOf(ps.holding)
-	ps.holding = nil
-	is.holder = -1
-	is.stats.BusyTime += now - is.busySince
-
-	c := is.im.Color
-	q := st.queues[c]
-	if len(q) == 0 {
-		return
-	}
-	next := q[0]
-	st.queues[c] = q[1:]
-	waiter := st.procs[next]
-	waiter.stats.WaitImplement += now - waiter.waitStart
-	if st.cfg.Trace && now > waiter.waitStart {
-		st.trace = append(st.trace, Span{Proc: next, Kind: SpanWaitImplement,
-			Start: waiter.waitStart, End: now, Color: c})
-	}
-	st.grant(next, is, now)
-}
-
-func (st *runState) implStateOf(im *implement.Implement) *implState {
-	for _, is := range st.byColor[im.Color] {
-		if is.im == im {
-			return is
-		}
-	}
-	panic("sim: implement not in set")
-}
-
-// paint executes the current task for processor pi, scheduling completion.
-func (st *runState) paint(pi int, task workplan.Task, now time.Duration) {
-	ps := st.procs[pi]
-	service := ps.proc.ServiceTime(task.Cell, ps.holding)
-	var repair time.Duration
-	if ps.proc.Breaks(ps.holding) {
-		repair = ps.holding.Spec.Repair
-		st.breaks++
-		st.implStateOf(ps.holding).stats.Breakages++
-		if st.cfg.Trace && repair > 0 {
-			st.trace = append(st.trace, Span{Proc: pi, Kind: SpanRepair,
-				Start: now + service, End: now + service + repair, Color: task.Color})
-		}
-	}
-	if st.cfg.Trace {
-		st.trace = append(st.trace, Span{Proc: pi, Kind: SpanPaint,
-			Start: now, End: now + service, Color: task.Color, Cell: task.Cell})
-	}
-	if !ps.painted {
-		ps.painted = true
-		ps.stats.FirstPaint = now
-	}
-	ps.stats.PaintTime += service
-	ps.stats.Overhead += repair
-	st.scheduleAfter(service+repair, func() {
-		if err := st.grid.Paint(task.Cell, task.Color); err != nil {
-			st.err = err
-			return
-		}
-		ps.stats.Cells++
-		ps.next++
-		st.completeLayerCell(task.Layer)
-		// EagerRelease puts the implement down after every cell even if
-		// the next cell wants the same color.
-		if st.cfg.Hold == EagerRelease && ps.holding != nil && ps.next < len(ps.tasks) {
-			st.putDownAndContinue(pi, st.kernel.Now())
-			return
-		}
-		st.advance(pi)
-	})
-}
-
-// completeLayerCell decrements a layer counter and wakes parked
-// processors when the layer finishes.
-func (st *runState) completeLayerCell(layer int) {
-	st.layerRemaining[layer]--
-	if st.layerRemaining[layer] > 0 {
-		return
-	}
-	waiters := st.layerWaiters[layer]
-	st.layerWaiters[layer] = nil
-	now := st.kernel.Now()
-	for _, pi := range waiters {
-		ps := st.procs[pi]
-		ps.stats.WaitLayer += now - ps.waitStart
-		if st.cfg.Trace && now > ps.waitStart {
-			st.trace = append(st.trace, Span{Proc: pi, Kind: SpanWaitLayer,
-				Start: ps.waitStart, End: now})
-		}
-		pi := pi
-		st.scheduleAfter(0, func() { st.advance(pi) })
-	}
-}
-
-func (st *runState) scheduleAfter(d time.Duration, fn func()) {
-	if err := st.kernel.Schedule(d, fn); err != nil && st.err == nil {
-		st.err = err
-	}
+	return e.buildResult(cfg.Plan, makespan), nil
 }

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"fmt"
+
+	"flagsim/internal/workplan"
+)
+
+// Work stealing: processors start from a fixed plan (any static strategy),
+// but a processor that empties its own queue steals the trailing half of
+// the most-loaded teammate's queue instead of retiring. This is the
+// classroom fix for load imbalance that keeps the locality of a good
+// static split: a fast student finishes their slice, then walks over and
+// takes work off the slowest student's pile — without the every-cell
+// contention of a fully shared bag.
+//
+// Determinism: the victim is the processor with the most queued cells
+// (ties break toward the lowest index), and the stolen cells move in plan
+// order, so a fixed seed reproduces the same migrations.
+
+// stealSource executes per-processor queues with work stealing. Like
+// planSource it peeks (a selected task is consumed only when painted), so
+// a victim's head cell — possibly in flight — is never stolen.
+type stealSource struct {
+	// queues[pi] is the processor's remaining tasks, head first.
+	queues [][]workplan.Task
+	// layerWaiters holds processors parked on a layer's completion.
+	layerWaiters [][]int
+	// assigned records executed tasks per proc, for the Result's plan.
+	assigned [][]workplan.Task
+	steals   int
+}
+
+func newStealSource(plan *workplan.Plan) *stealSource {
+	s := &stealSource{
+		queues:       make([][]workplan.Task, plan.NumProcs()),
+		layerWaiters: make([][]int, len(plan.LayerCellCount)),
+		assigned:     make([][]workplan.Task, plan.NumProcs()),
+	}
+	for i, tasks := range plan.PerProc {
+		s.queues[i] = append([]workplan.Task(nil), tasks...)
+	}
+	return s
+}
+
+// steal moves the trailing half of the most-loaded queue to pi, leaving
+// at least the victim's head (it may already be painting). It reports
+// whether anything moved.
+func (s *stealSource) steal(pi int) bool {
+	victim, best := -1, 1 // a queue of one cell has nothing to spare
+	for v, q := range s.queues {
+		if v != pi && len(q) > best {
+			victim, best = v, len(q)
+		}
+	}
+	if victim == -1 {
+		return false
+	}
+	q := s.queues[victim]
+	k := len(q) / 2 // len >= 2, so 1 <= k <= len-1: head always stays
+	cut := len(q) - k
+	s.queues[pi] = append(s.queues[pi], q[cut:]...)
+	s.queues[victim] = q[:cut]
+	s.steals++
+	return true
+}
+
+// Select implements TaskSource: peek the own queue, steal when it is
+// empty, retire when no teammate has anything to spare.
+func (s *stealSource) Select(e *Engine, pi int) Selection {
+	if len(s.queues[pi]) == 0 && !s.steal(pi) {
+		return Selection{Kind: SelectDone}
+	}
+	task := s.queues[pi][0]
+	if dep, blocked := e.LayerBlocked(task.Layer); blocked {
+		return Selection{Kind: SelectWait, Layer: dep}
+	}
+	return Selection{Kind: SelectTask, Task: task}
+}
+
+// Requeue implements TaskSource. Peek semantics: the task is still at the
+// queue head, so there is nothing to hand back.
+func (s *stealSource) Requeue(*Engine, int, workplan.Task) {}
+
+// Park implements TaskSource: pi waits on the blocking layer.
+func (s *stealSource) Park(_ *Engine, pi int, sel Selection) {
+	s.layerWaiters[sel.Layer] = append(s.layerWaiters[sel.Layer], pi)
+}
+
+// CellDone implements TaskSource: consume the head task and wake
+// processors parked on the layer once it completes.
+func (s *stealSource) CellDone(e *Engine, pi int, task workplan.Task) {
+	s.queues[pi] = s.queues[pi][1:]
+	s.assigned[pi] = append(s.assigned[pi], task)
+	if e.LayerRemaining(task.Layer) > 0 {
+		return
+	}
+	waiters := s.layerWaiters[task.Layer]
+	s.layerWaiters[task.Layer] = nil
+	for _, w := range waiters {
+		e.Wake(w)
+	}
+}
+
+// HasMore implements TaskSource.
+func (s *stealSource) HasMore(_ *Engine, pi int) bool {
+	return len(s.queues[pi]) > 0
+}
+
+// CheckComplete implements TaskSource.
+func (s *stealSource) CheckComplete(*Engine) error {
+	for i, q := range s.queues {
+		if len(q) != 0 {
+			return fmt.Errorf("sim: deadlock: processor %d stranded with %d stolen-proof tasks", i, len(q))
+		}
+	}
+	return nil
+}
+
+// RunSteal executes the plan under work stealing. The Config is the same
+// as Run's; the plan's per-processor split is the starting assignment,
+// and the Result's plan records who actually painted what.
+func RunSteal(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	source := newStealSource(cfg.Plan)
+	e := newEngine(engineConfig{
+		source:         source,
+		procs:          cfg.Procs,
+		set:            cfg.Set,
+		hold:           cfg.Hold,
+		setup:          cfg.Setup,
+		trace:          cfg.Trace,
+		probes:         cfg.Probes,
+		w:              cfg.Plan.W,
+		h:              cfg.Plan.H,
+		layerDeps:      cfg.Plan.LayerDeps,
+		layerCellCount: cfg.Plan.LayerCellCount,
+	})
+	makespan, err := e.run()
+	if err != nil {
+		return nil, err
+	}
+	plan := &workplan.Plan{
+		FlagName: cfg.Plan.FlagName, W: cfg.Plan.W, H: cfg.Plan.H,
+		Strategy:       cfg.Plan.Strategy + "+steal",
+		PerProc:        source.assigned,
+		LayerDeps:      cfg.Plan.LayerDeps,
+		LayerCellCount: cfg.Plan.LayerCellCount,
+		Overpainted:    cfg.Plan.Overpainted,
+	}
+	res := e.buildResult(plan, makespan)
+	res.Steals = source.steals
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/workplan"
+)
+
+func runSteal(t *testing.T, f *flagspec.Flag, skills ...float64) *Result {
+	t.Helper()
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, len(skills), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSteal(Config{
+		Plan:  plan,
+		Procs: dynTeam(t, skills...),
+		Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestStealPaintsCorrectFlag(t *testing.T) {
+	for _, f := range []*flagspec.Flag{flagspec.Mauritius, flagspec.GreatBritain} {
+		res := runSteal(t, f, 1.4, 1.0, 1.0, 0.5)
+		if err := res.Verify(f); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+		total := 0
+		for _, p := range res.Procs {
+			total += p.Cells
+		}
+		want := 0
+		for _, n := range res.Plan.LayerCellCount {
+			want += n
+		}
+		if total != want {
+			t.Errorf("%s: painted %d cells, want %d", f.Name, total, want)
+		}
+	}
+}
+
+func TestStealBeatsStaticUnderSkewedSkills(t *testing.T) {
+	// The acceptance experiment: with one slow student, an equal-slice
+	// static plan leaves the fast students idle while the slow one drags;
+	// work stealing lets them drain the slow slice.
+	f := flagspec.Mauritius
+	skills := []float64{1.4, 1.0, 1.0, 0.5}
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, len(skills), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func() *implement.Set { return implement.NewSet(implement.ThickMarker, f.Colors()) }
+
+	static, err := Run(Config{Plan: plan, Procs: dynTeam(t, skills...), Set: set()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steal, err := RunSteal(Config{Plan: plan, Procs: dynTeam(t, skills...), Set: set()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steal.Steals == 0 {
+		t.Fatal("skewed run recorded no steals")
+	}
+	if steal.Makespan >= static.Makespan {
+		t.Errorf("steal makespan %v, static %v: stealing should beat the static plan",
+			steal.Makespan, static.Makespan)
+	}
+}
+
+func TestStealDeterministic(t *testing.T) {
+	a := runSteal(t, flagspec.Mauritius, 1.4, 1.0, 0.5)
+	b := runSteal(t, flagspec.Mauritius, 1.4, 1.0, 0.5)
+	if a.Makespan != b.Makespan || a.Events != b.Events || a.Steals != b.Steals {
+		t.Fatalf("nondeterministic: (%v,%d,%d) vs (%v,%d,%d)",
+			a.Makespan, a.Events, a.Steals, b.Makespan, b.Events, b.Steals)
+	}
+	for i := range a.Procs {
+		if a.Procs[i] != b.Procs[i] {
+			t.Fatalf("proc %d stats diverge", i)
+		}
+	}
+}
+
+func TestStealBalancedPlanStealsLittle(t *testing.T) {
+	// Uniform skills on an even split: stealing should be a no-op (or
+	// nearly so) and must not be slower than the plain static run.
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func() *implement.Set { return implement.NewSet(implement.ThickMarker, f.Colors()) }
+	static, err := Run(Config{Plan: plan, Procs: newTeam(t, 4), Set: set()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steal, err := RunSteal(Config{Plan: plan, Procs: newTeam(t, 4), Set: set()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steal.Makespan > static.Makespan {
+		t.Errorf("steal makespan %v exceeds static %v on a balanced plan",
+			steal.Makespan, static.Makespan)
+	}
+}
+
+func TestStealResultPlanRecordsExecutedAssignment(t *testing.T) {
+	res := runSteal(t, flagspec.Mauritius, 1.4, 1.0, 1.0, 0.5)
+	for i, p := range res.Procs {
+		if p.Cells != len(res.Plan.PerProc[i]) {
+			t.Errorf("proc %d: stats say %d cells, plan records %d",
+				i, p.Cells, len(res.Plan.PerProc[i]))
+		}
+	}
+	if res.Plan.Strategy != "vertical-slices(p=4)+steal" {
+		t.Errorf("strategy %q", res.Plan.Strategy)
+	}
+}
+
+func TestStealRespectsLayerDependencies(t *testing.T) {
+	// Great Britain has overpainted layers; a stolen cross cell must still
+	// wait for the ground layer. Tracing + Verify covers ordering; also
+	// check paint spans never start before setup.
+	f := flagspec.GreatBritain
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSteal(Config{
+		Plan:  plan,
+		Procs: dynTeam(t, 1.5, 1.0, 0.4),
+		Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+		Setup: 5 * time.Second,
+		Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range res.Trace {
+		if sp.Kind == SpanPaint && sp.Start < 5*time.Second {
+			t.Fatalf("paint span before setup ended: %+v", sp)
+		}
+	}
+}
