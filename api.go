@@ -17,6 +17,7 @@ import (
 	"flagsim/internal/sim"
 	"flagsim/internal/submission"
 	"flagsim/internal/survey"
+	"flagsim/internal/sweep"
 	"flagsim/internal/workplan"
 )
 
@@ -73,6 +74,10 @@ type Scenario = core.Scenario
 
 // RunSpec configures one scenario run.
 type RunSpec = core.RunSpec
+
+// DefaultSetup is the serial organization time the paper's scenarios
+// charge before painting starts.
+const DefaultSetup = core.DefaultSetup
 
 // Result is a completed simulation run.
 type Result = sim.Result
@@ -335,3 +340,51 @@ type CountingProbe = sim.CountingProbe
 // SpanCollector accumulates every span the engine emits, reconstructing a
 // traced run's timeline from an untraced run.
 type SpanCollector = sim.SpanCollector
+
+// ---- Batch sweeps ----
+
+// SweepSpec is a declarative, hashable description of one run: teams and
+// implement sets are materialized fresh inside the pool worker from the
+// spec's seed, so identical specs always produce bit-identical Results.
+type SweepSpec = sweep.Spec
+
+// SweepExec selects the executor class a SweepSpec runs under.
+type SweepExec = sweep.Exec
+
+// Executor classes for sweep specs.
+const (
+	SweepStatic  = sweep.ExecStatic
+	SweepSteal   = sweep.ExecSteal
+	SweepDynamic = sweep.ExecDynamic
+)
+
+// SweepOptions configures the sweep pool (worker bound; default
+// runtime.GOMAXPROCS).
+type SweepOptions = sweep.Options
+
+// SweepResult is a completed batch: per-run outcomes in input order plus
+// wall time and cache hit/miss counters.
+type SweepResult = sweep.Result
+
+// SweepRun is one run's outcome inside a SweepResult: result or error,
+// compute time, and whether it was served from the cache.
+type SweepRun = sweep.RunResult
+
+// SweepGrid enumerates a cartesian parameter grid (workers × implement
+// class × pull policy × seed × ...) around a base spec.
+type SweepGrid = sweep.Grid
+
+// Sweeper is a reusable sweep pool whose content-addressed result cache
+// persists across batches — rerunning a grid on the same Sweeper is
+// served warm.
+type Sweeper = sweep.Sweeper
+
+// NewSweeper returns a sweep pool with an empty result cache.
+func NewSweeper(opts SweepOptions) *Sweeper { return sweep.New(opts) }
+
+// RunSweep executes the specs on a fresh bounded worker pool and returns
+// per-run results in input order. Identical specs are computed once and
+// shared; use NewSweeper to keep the cache warm across batches.
+func RunSweep(specs []SweepSpec, opts SweepOptions) *SweepResult {
+	return sweep.RunAll(specs, opts)
+}

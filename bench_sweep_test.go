@@ -1,0 +1,71 @@
+package flagsim_test
+
+// E34 — the sweep subsystem: a 64-run grid (8 seeds × 4 implement kinds ×
+// 2 scenarios at a 64×32 raster) through the public RunSweep API, serial
+// vs pooled vs warm-cache. On a multi-core host the parallel/serial ratio
+// is the pool's speedup; the warm benchmark isolates the memoization win,
+// which holds even on one core.
+
+import (
+	"testing"
+	"time"
+
+	"flagsim"
+)
+
+// sweepBenchGrid is the 64-run E34 grid.
+func sweepBenchGrid() []flagsim.SweepSpec {
+	g := flagsim.SweepGrid{
+		Base: flagsim.SweepSpec{
+			Flag: "mauritius", W: 64, H: 32,
+			Setup:  flagsim.DefaultSetup,
+			Jitter: 0.1,
+		},
+		Scenarios: []flagsim.ScenarioID{flagsim.S4, flagsim.S4Pipelined},
+		Kinds: []flagsim.ImplementKind{
+			flagsim.Dauber, flagsim.ThickMarker, flagsim.ThinMarker, flagsim.Crayon,
+		},
+		Seeds: []uint64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	return g.Specs()
+}
+
+func benchSweep(b *testing.B, workers int) {
+	specs := sweepBenchGrid()
+	if len(specs) != 64 {
+		b.Fatalf("grid has %d runs, want 64", len(specs))
+	}
+	b.ResetTimer()
+	var wall time.Duration
+	for i := 0; i < b.N; i++ {
+		res := flagsim.RunSweep(specs, flagsim.SweepOptions{Workers: workers})
+		if err := res.Err(); err != nil {
+			b.Fatal(err)
+		}
+		wall = res.Wall
+	}
+	b.ReportMetric(wall.Seconds()*1000, "wall-ms")
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 8) }
+
+// BenchmarkSweepWarm reruns the grid on a Sweeper whose cache already
+// holds every result: all 64 runs should be hits.
+func BenchmarkSweepWarm(b *testing.B) {
+	specs := sweepBenchGrid()
+	sw := flagsim.NewSweeper(flagsim.SweepOptions{Workers: 8})
+	if err := sw.Run(specs).Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sw.Run(specs)
+		if err := res.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if res.Cache.Hits != len(specs) {
+			b.Fatalf("warm cache hits = %d, want %d", res.Cache.Hits, len(specs))
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Command benchguard is the CI regression gate for the engine and sweep
+// benchmarks: it runs `go test -bench` over the guarded set, compares the
+// per-benchmark ns/op medians against the checked-in BENCH_baseline.json,
+// and fails when the geometric mean of the current/baseline ratios
+// exceeds the threshold (default 1.20, i.e. a >20% geomean slowdown).
+//
+// Usage:
+//
+//	benchguard                      # guard against BENCH_baseline.json
+//	benchguard -update              # rewrite the baseline from this machine
+//	benchguard -threshold 1.5       # loosen the gate (noisy shared runners)
+//	benchguard -input bench.txt     # judge pre-recorded `go test -bench` output
+//
+// The geomean (benchstat's summary statistic) tolerates one noisy
+// benchmark: a single outlier must be large enough to move the mean of
+// the whole set. Absolute ns/op baselines are machine-specific — each CI
+// runner class wants its own baseline file, regenerated with -update.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// guarded is the default benchmark set: the three engine policies plus
+// the sweep pool.
+const guarded = "^(BenchmarkEngineStatic|BenchmarkEngineDynamic|BenchmarkEngineSteal|BenchmarkSweepParallel)$"
+
+// baseline is the BENCH_baseline.json schema.
+type baseline struct {
+	Note       string             `json:"note"`
+	Benchmarks map[string]float64 `json:"benchmarks"` // name -> ns/op median
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+//
+//	BenchmarkEngineStatic-8   	     253	   4717119 ns/op	       914.0 events/run
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	var (
+		benchPat  = flag.String("bench", guarded, "benchmark pattern passed to go test")
+		count     = flag.Int("count", 5, "runs per benchmark (median is compared)")
+		threshold = flag.Float64("threshold", 1.20, "max allowed geomean of current/baseline ns/op ratios")
+		basePath  = flag.String("baseline", "BENCH_baseline.json", "baseline file")
+		input     = flag.String("input", "", "parse this `go test -bench` output file instead of running benchmarks")
+		update    = flag.Bool("update", false, "rewrite the baseline from the current run and exit")
+	)
+	flag.Parse()
+
+	current, err := measure(*benchPat, *count, *input)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark results matched %q", *benchPat))
+	}
+
+	if *update {
+		if err := writeBaseline(*basePath, current); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: wrote %s (%d benchmarks)\n", *basePath, len(current))
+		return
+	}
+
+	base, err := readBaseline(*basePath)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run `benchguard -update` to create it)", err))
+	}
+	geomean, rows, err := compare(current, base.Benchmarks)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	fmt.Printf("geomean ratio: %.3f (threshold %.2f)\n", geomean, *threshold)
+	if geomean > *threshold {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: geomean slowdown %.1f%% exceeds %.0f%%\n",
+			(geomean-1)*100, (*threshold-1)*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: ok")
+}
+
+// measure returns name -> median ns/op, either by running the benchmarks
+// or by parsing a pre-recorded output file.
+func measure(pattern string, count int, input string) (map[string]float64, error) {
+	var r io.Reader
+	if input != "" {
+		fh, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer fh.Close()
+		r = fh
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", pattern, "-count", strconv.Itoa(count), "-benchtime", "1x", ".")
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go test -bench: %w", err)
+		}
+		// Warmed up; the timed pass.
+		cmd = exec.Command("go", "test", "-run", "^$",
+			"-bench", pattern, "-count", strconv.Itoa(count), ".")
+		cmd.Stderr = os.Stderr
+		out, err = cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go test -bench: %w", err)
+		}
+		r = strings.NewReader(string(out))
+	}
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if m := benchLine.FindStringSubmatch(sc.Text()); m != nil {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+			samples[m[1]] = append(samples[m[1]], ns)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	medians := make(map[string]float64, len(samples))
+	for name, s := range samples {
+		sort.Float64s(s)
+		medians[name] = s[len(s)/2]
+	}
+	return medians, nil
+}
+
+// compare returns the geomean of current/baseline ratios plus one
+// human-readable row per benchmark. A benchmark missing on either side is
+// an error: the guard must never silently shrink its coverage.
+func compare(current, base map[string]float64) (float64, []string, error) {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		if _, ok := base[name]; !ok {
+			return 0, nil, fmt.Errorf("%s has no baseline (run `benchguard -update`)", name)
+		}
+		names = append(names, name)
+	}
+	for name := range base {
+		if _, ok := current[name]; !ok {
+			return 0, nil, fmt.Errorf("baseline benchmark %s did not run", name)
+		}
+	}
+	sort.Strings(names)
+	logSum := 0.0
+	rows := make([]string, 0, len(names))
+	for _, name := range names {
+		ratio := current[name] / base[name]
+		logSum += math.Log(ratio)
+		rows = append(rows, fmt.Sprintf("%-28s %12.0f ns/op  baseline %12.0f  ratio %.3f",
+			name, current[name], base[name], ratio))
+	}
+	return math.Exp(logSum / float64(len(names))), rows, nil
+}
+
+func readBaseline(path string) (*baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, medians map[string]float64) error {
+	b := baseline{
+		Note:       "median ns/op per benchmark; regenerate with `go run ./cmd/benchguard -update` on the CI runner class",
+		Benchmarks: medians,
+	}
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -34,6 +34,7 @@ import (
 	"flagsim/internal/study"
 	"flagsim/internal/submission"
 	"flagsim/internal/survey"
+	"flagsim/internal/sweep"
 	"flagsim/internal/viz"
 	"flagsim/internal/workplan"
 )
@@ -107,6 +108,7 @@ func experiments() []experiment {
 		{"E31", "Future work — instrument psychometrics (alpha, item analysis)", e31Psychometrics},
 		{"E32", "Ablation — hold policy: the eager-release lock convoy", e32HoldPolicy},
 		{"E33", "Ablation — work stealing: static locality with dynamic balance", e33Stealing},
+		{"E34", "Infrastructure — sweep pool: parallel batches and the memo cache", e34Sweep},
 	}
 }
 
@@ -144,35 +146,40 @@ func e1Scenarios() error {
 	return nil
 }
 
+// e2Specs is the dense p=1..4 scaling grid behind the speedup table:
+// the scenario worker counts are 1, 2, 4, so scenario 3's plan is rerun
+// with an explicit three-student team for the gap.
+func e2Specs() []sweep.Spec {
+	base := sweep.Spec{
+		Flag: "mauritius", Kind: implement.ThickMarker,
+		Seed: seed, Setup: core.DefaultSetup,
+	}
+	specs := make([]sweep.Spec, 4)
+	for i, sc := range []core.ScenarioID{core.S1, core.S2, core.S3, core.S3} {
+		specs[i] = base
+		specs[i].Scenario = sc
+	}
+	specs[2].Workers = 3 // S3's plan under a 3-student team fills p=3
+	return specs
+}
+
 func e2Speedup() error {
-	times := make([]time.Duration, 0, 3)
-	for _, id := range []core.ScenarioID{core.S1, core.S2, core.S3} {
-		res, err := runScenario(id, implement.ThickMarker, seed)
-		if err != nil {
-			return err
+	batch := sweep.RunAll(e2Specs(), sweep.Options{})
+	dense := make([]time.Duration, len(batch.Runs))
+	for i, run := range batch.Runs {
+		if run.Err != nil {
+			return fmt.Errorf("%s: %w", run.Spec.Label(), run.Err)
 		}
-		times = append(times, res.Makespan)
+		dense[i] = run.Result.Makespan
 	}
-	// Scenario worker counts are 1, 2, 4: expand into a dense scaling
-	// table using scenario 3's plan at p=3 for the gap.
-	f := flagspec.Mauritius
-	scen3 := core.Scenario{ID: core.S3, Workers: 3}
-	team, err := core.NewTeam(3, seed)
-	if err != nil {
-		return err
-	}
-	res3, err := core.Run(core.RunSpec{Flag: f, Scenario: scen3, Team: team,
-		Set: implement.NewSet(implement.ThickMarker, f.Colors()), Setup: core.DefaultSetup})
-	if err != nil {
-		return err
-	}
-	dense := []time.Duration{times[0], times[1], res3.Makespan, times[2]}
 	fmt.Println("completion times by processors (setup = serial fraction):")
 	if err := report.Speedups(os.Stdout, dense); err != nil {
 		return err
 	}
 	fmt.Println("\nnote: p=3 matches p=2 — four indivisible stripes cannot use a third")
 	fmt.Println("worker (granularity limits speedup), itself a discussion point.")
+	fmt.Printf("\nsweep pool: %d workers, cache %d hit / %d miss\n",
+		batch.Workers, batch.Cache.Hits, batch.Cache.Misses)
 	return nil
 }
 
@@ -484,27 +491,42 @@ func e20Concurrent() error {
 	f := flagspec.Mauritius
 	fmt.Println("DES (virtual time) vs real goroutines (wall time scaled back to virtual;")
 	fmt.Println("sleep granularity inflates absolute goroutine numbers — compare shapes):")
-	var rows [][]string
-	for _, tc := range []struct {
+	cases := []struct {
 		name string
 		id   core.ScenarioID
 	}{
 		{"scenario-3", core.S3},
 		{"scenario-4", core.S4},
 		{"scenario-4-pipelined", core.S4Pipelined},
-	} {
-		des, err := runScenario(tc.id, implement.ThickMarker, seed)
+	}
+	// The DES side runs as one sweep batch. Check every run's error
+	// before building any row: a failed scenario must abort the table, not
+	// surface as a zero-makespan row next to a live goroutine column.
+	specs := make([]sweep.Spec, len(cases))
+	for i, tc := range cases {
+		specs[i] = sweep.Spec{
+			Flag: f.Name, Scenario: tc.id, Kind: implement.ThickMarker,
+			Seed: seed, Setup: core.DefaultSetup,
+		}
+	}
+	batch := sweep.RunAll(specs, sweep.Options{})
+	var rows [][]string
+	for i, tc := range cases {
+		des := batch.Runs[i]
+		if des.Err != nil {
+			return fmt.Errorf("%s DES run: %w", tc.name, des.Err)
+		}
+		scen, err := core.ScenarioByID(tc.id)
 		if err != nil {
 			return err
 		}
-		scen, _ := core.ScenarioByID(tc.id)
 		plan, err := scen.Plan(f, f.DefaultW, f.DefaultH)
 		if err != nil {
 			return err
 		}
 		procs := make([]*sim.ConcurrentProc, plan.NumProcs())
-		for i := range procs {
-			procs[i] = &sim.ConcurrentProc{Name: fmt.Sprintf("P%d", i+1), Skill: 1}
+		for j := range procs {
+			procs[j] = &sim.ConcurrentProc{Name: fmt.Sprintf("P%d", j+1), Skill: 1}
 		}
 		conc, err := sim.RunConcurrent(sim.ConcurrentConfig{
 			Plan: plan, Procs: procs,
@@ -512,11 +534,11 @@ func e20Concurrent() error {
 			Scale: 2000, // 1 virtual second = 500µs wall: large enough to dominate sleep jitter
 		})
 		if err != nil {
-			return err
+			return fmt.Errorf("%s goroutine run: %w", tc.name, err)
 		}
 		rows = append(rows, []string{
 			tc.name,
-			(des.Makespan - des.SetupTime).Round(time.Millisecond).String(),
+			(des.Result.Makespan - des.Result.SetupTime).Round(time.Millisecond).String(),
 			conc.Virtual.Round(time.Second).String(),
 		})
 	}
@@ -1066,3 +1088,69 @@ func cellsOf(r *sim.Result) string {
 
 // sortStrings is a tiny helper kept for deterministic debug output.
 var _ = sort.Strings
+
+// e34Specs is the 64-run grid of the sweep infrastructure study: 8 seeds
+// × 4 implement kinds × 2 scenarios at a 64×32 raster.
+func e34Specs() []sweep.Spec {
+	g := sweep.Grid{
+		Base: sweep.Spec{
+			Flag: "mauritius", W: 64, H: 32,
+			Setup: core.DefaultSetup, Jitter: 0.1,
+		},
+		Scenarios: []core.ScenarioID{core.S4, core.S4Pipelined},
+		Kinds:     implement.Kinds(),
+		Seeds:     []uint64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	return g.Specs()
+}
+
+func e34Sweep() error {
+	specs := e34Specs()
+	fmt.Printf("grid: %d runs (8 seeds x %d kinds x 2 scenarios, 64x32 raster)\n\n",
+		len(specs), len(implement.Kinds()))
+
+	serial := sweep.RunAll(specs, sweep.Options{Workers: 1})
+	if err := serial.Err(); err != nil {
+		return err
+	}
+	pool := sweep.New(sweep.Options{}) // GOMAXPROCS workers
+	cold := pool.Run(specs)
+	if err := cold.Err(); err != nil {
+		return err
+	}
+	warm := pool.Run(specs)
+	if err := warm.Err(); err != nil {
+		return err
+	}
+
+	// The determinism contract: worker count and cache state must not
+	// change a single result.
+	for i := range specs {
+		a, b, c := serial.Runs[i].Result, cold.Runs[i].Result, warm.Runs[i].Result
+		if a.Makespan != b.Makespan || a.Events != b.Events ||
+			b.Makespan != c.Makespan || b.Events != c.Events {
+			return fmt.Errorf("%s: serial/pooled/warm disagree (%v/%v/%v)",
+				specs[i].Label(), a.Makespan, b.Makespan, c.Makespan)
+		}
+	}
+	fmt.Println("serial, pooled and warm-cache batches agree on all runs.")
+
+	rows := [][]string{
+		{"serial (1 worker)", serial.Wall.Round(time.Millisecond).String(), "1.00",
+			fmt.Sprintf("%d/%d", serial.Cache.Hits, serial.Cache.Hits+serial.Cache.Misses)},
+		{fmt.Sprintf("pooled (%d workers)", cold.Workers),
+			cold.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", float64(serial.Wall)/float64(cold.Wall)),
+			fmt.Sprintf("%d/%d", cold.Cache.Hits, cold.Cache.Hits+cold.Cache.Misses)},
+		{"warm rerun (cached)", warm.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", float64(serial.Wall)/float64(warm.Wall)),
+			fmt.Sprintf("%d/%d", warm.Cache.Hits, warm.Cache.Hits+warm.Cache.Misses)},
+	}
+	if err := viz.Table(os.Stdout, []string{"batch", "wall", "speedup vs serial", "cache hits"}, rows); err != nil {
+		return err
+	}
+	fmt.Printf("\nwarm hit rate: %.0f%% — a repeated grid costs hash lookups, not runs.\n",
+		warm.Cache.HitRate()*100)
+	fmt.Println("(pool speedup tracks available cores; on one core the win is the cache.)")
+	return nil
+}

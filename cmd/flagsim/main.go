@@ -7,6 +7,8 @@
 //	flagsim -scenario 4 -flag mauritius -kind thick-marker -gantt
 //	flagsim -scenario 4 -pipelined
 //	flagsim -scenario 1 -kind crayon -seed 7
+//	flagsim -sweep -kind crayon          # all scenarios x implements/color
+//	flagsim -sweep -steal -sweep-workers 4
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 	"flagsim/internal/flagspec"
 	"flagsim/internal/implement"
 	"flagsim/internal/report"
+	"flagsim/internal/sweep"
+	"flagsim/internal/viz"
 )
 
 func main() {
@@ -35,6 +39,8 @@ func main() {
 		svgGantt  = flag.String("svg-gantt", "", "write an SVG Gantt chart to this file")
 		slide     = flag.String("slide", "", "write the Fig. 1-style numbered scenario slide (SVG) to this file")
 		cols      = flag.Int("cols", 100, "gantt width in characters")
+		doSweep   = flag.Bool("sweep", false, "run a batch sweep (all scenarios x implements/color) instead of one scenario")
+		sweepW    = flag.Int("sweep-workers", 0, "sweep pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -45,6 +51,12 @@ func main() {
 	kind, err := implement.ParseKind(*kindName)
 	if err != nil {
 		fatal(err)
+	}
+	if *doSweep {
+		if err := runSweep(f, kind, *steal, *seed, *setup, *sweepW); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	var id core.ScenarioID
 	switch {
@@ -130,6 +142,45 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *slide)
 	}
+}
+
+// runSweep fans the four scenarios x {1,2} implements per color across
+// the sweep pool and prints one makespan row per run plus cache stats.
+func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, setup time.Duration, workers int) error {
+	exec := sweep.ExecStatic
+	if steal {
+		exec = sweep.ExecSteal
+	}
+	g := sweep.Grid{
+		Base: sweep.Spec{
+			Exec: exec, Flag: f.Name, Kind: kind,
+			Seed: seed, Setup: setup,
+		},
+		Scenarios: []core.ScenarioID{core.S1, core.S2, core.S3, core.S4},
+		PerColor:  []int{1, 2},
+	}
+	batch := sweep.RunAll(g.Specs(), sweep.Options{Workers: workers})
+	var rows [][]string
+	for _, run := range batch.Runs {
+		if run.Err != nil {
+			return fmt.Errorf("%s: %w", run.Spec.Label(), run.Err)
+		}
+		r := run.Result
+		rows = append(rows, []string{
+			run.Spec.Scenario.String(),
+			fmt.Sprintf("%d", max(run.Spec.PerColor, 1)),
+			r.Makespan.Round(time.Millisecond).String(),
+			r.TotalWaitImplement().Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", r.Steals),
+		})
+	}
+	if err := viz.Table(os.Stdout, []string{"scenario", "impl/color", "makespan", "impl-wait", "steals"}, rows); err != nil {
+		return err
+	}
+	fmt.Printf("\nsweep: %d runs, %d workers, wall %v, cache %d hit / %d miss\n",
+		len(batch.Runs), batch.Workers, batch.Wall.Round(time.Millisecond),
+		batch.Cache.Hits, batch.Cache.Misses)
+	return nil
 }
 
 func fatal(err error) {

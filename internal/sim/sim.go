@@ -149,6 +149,10 @@ type Result struct {
 	MaxEventQueue int
 	// Steals counts work-stealing migrations (RunSteal only).
 	Steals int
+	// Migrated counts cells painted by a processor other than the one the
+	// starting plan assigned (RunSteal only) — the cell-level footprint of
+	// the Steals operations, each of which moves a batch of cells.
+	Migrated int
 }
 
 // TotalWaitImplement sums implement-contention wait across processors —

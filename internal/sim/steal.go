@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"flagsim/internal/geom"
 	"flagsim/internal/workplan"
 )
 
@@ -28,7 +29,19 @@ type stealSource struct {
 	layerWaiters [][]int
 	// assigned records executed tasks per proc, for the Result's plan.
 	assigned [][]workplan.Task
+	// owner maps each task (layers may overpaint a cell, so the key is
+	// layer+cell) to the processor the starting plan assigned, so CellDone
+	// can count migrated cells independently of steal batches.
+	owner    map[taskKey]int
 	steals   int
+	migrated int
+}
+
+// taskKey identifies one task of a plan; overpainting layers make the
+// cell alone ambiguous.
+type taskKey struct {
+	layer int
+	cell  geom.Pt
 }
 
 func newStealSource(plan *workplan.Plan) *stealSource {
@@ -36,9 +49,13 @@ func newStealSource(plan *workplan.Plan) *stealSource {
 		queues:       make([][]workplan.Task, plan.NumProcs()),
 		layerWaiters: make([][]int, len(plan.LayerCellCount)),
 		assigned:     make([][]workplan.Task, plan.NumProcs()),
+		owner:        make(map[taskKey]int),
 	}
 	for i, tasks := range plan.PerProc {
 		s.queues[i] = append([]workplan.Task(nil), tasks...)
+		for _, t := range tasks {
+			s.owner[taskKey{t.Layer, t.Cell}] = i
+		}
 	}
 	return s
 }
@@ -92,6 +109,9 @@ func (s *stealSource) Park(_ *Engine, pi int, sel Selection) {
 func (s *stealSource) CellDone(e *Engine, pi int, task workplan.Task) {
 	s.queues[pi] = s.queues[pi][1:]
 	s.assigned[pi] = append(s.assigned[pi], task)
+	if s.owner[taskKey{task.Layer, task.Cell}] != pi {
+		s.migrated++
+	}
 	if e.LayerRemaining(task.Layer) > 0 {
 		return
 	}
@@ -152,5 +172,6 @@ func RunSteal(cfg Config) (*Result, error) {
 	}
 	res := e.buildResult(plan, makespan)
 	res.Steals = source.steals
+	res.Migrated = source.migrated
 	return res, nil
 }

@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"time"
+
+	"flagsim/internal/core"
+	"flagsim/internal/implement"
+	"flagsim/internal/sim"
+)
+
+// Grid enumerates the cartesian product of parameter axes around a base
+// Spec — the shape of every scaling curve and ablation table in the
+// evaluation (workers × implement class × pull policy × seed). An empty
+// axis contributes the base spec's own value, so only the dimensions
+// under study need listing.
+type Grid struct {
+	Base      Spec
+	Execs     []Exec
+	Flags     []string
+	Scenarios []core.ScenarioID
+	Workers   []int
+	Kinds     []implement.Kind
+	PerColor  []int
+	Policies  []sim.PullPolicy
+	Seeds     []uint64
+	Setups    []time.Duration
+}
+
+// Size returns the number of specs the grid enumerates.
+func (g Grid) Size() int {
+	n := 1
+	for _, axis := range []int{
+		len(g.Execs), len(g.Flags), len(g.Scenarios), len(g.Workers),
+		len(g.Kinds), len(g.PerColor), len(g.Policies), len(g.Seeds), len(g.Setups),
+	} {
+		if axis > 0 {
+			n *= axis
+		}
+	}
+	return n
+}
+
+// Specs expands the grid in deterministic order: axes vary slowest-first
+// in struct field order (Execs outermost, Setups innermost), each in its
+// listed order.
+func (g Grid) Specs() []Spec {
+	out := make([]Spec, 0, g.Size())
+	for _, ex := range orOne(g.Execs, g.Base.Exec) {
+		for _, fl := range orOne(g.Flags, g.Base.Flag) {
+			for _, sc := range orOne(g.Scenarios, g.Base.Scenario) {
+				for _, w := range orOne(g.Workers, g.Base.Workers) {
+					for _, k := range orOne(g.Kinds, g.Base.Kind) {
+						for _, pc := range orOne(g.PerColor, g.Base.PerColor) {
+							for _, pol := range orOne(g.Policies, g.Base.Policy) {
+								for _, seed := range orOne(g.Seeds, g.Base.Seed) {
+									for _, setup := range orOne(g.Setups, g.Base.Setup) {
+										sp := g.Base
+										sp.Exec, sp.Flag, sp.Scenario, sp.Workers = ex, fl, sc, w
+										sp.Kind, sp.PerColor, sp.Policy = k, pc, pol
+										sp.Seed, sp.Setup = seed, setup
+										out = append(out, sp)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// orOne returns the axis, or the base value as a one-element axis when
+// the axis is empty.
+func orOne[T any](axis []T, base T) []T {
+	if len(axis) > 0 {
+		return axis
+	}
+	return []T{base}
+}

@@ -1,0 +1,204 @@
+// Package sweep batches simulator runs: a bounded worker pool fans a set
+// of declarative run specifications across GOMAXPROCS-many workers and a
+// content-addressed cache memoizes completed runs, so the repeated
+// parameter grids of the evaluation (scaling curves, ablation grids,
+// technology sweeps) skip identical work on a warm rerun.
+//
+// The unit of work is a Spec: a pure-value description of one run. Unlike
+// core.RunSpec, a Spec carries no live state — teams, implement sets, and
+// plans are materialized fresh inside the worker from the Spec's seed —
+// which is what makes a Spec hashable (Key), memoizable, and executable
+// on any worker with bit-identical results regardless of pool size or
+// scheduling order.
+package sweep
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/processor"
+	"flagsim/internal/rng"
+	"flagsim/internal/sim"
+)
+
+// Exec selects the executor class a Spec runs under.
+type Exec uint8
+
+// Executor classes.
+const (
+	// ExecStatic runs the scenario's fixed per-processor plan (sim.Run).
+	ExecStatic Exec = iota
+	// ExecSteal runs the plan under work stealing (sim.RunSteal).
+	ExecSteal
+	// ExecDynamic runs the shared-bag self-scheduler (sim.RunDynamic).
+	ExecDynamic
+)
+
+// String names the executor class.
+func (e Exec) String() string {
+	switch e {
+	case ExecStatic:
+		return "static"
+	case ExecSteal:
+		return "steal"
+	case ExecDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("exec(%d)", uint8(e))
+	}
+}
+
+// Spec is a declarative description of one simulation run. The zero value
+// of every field is a usable default (Mauritius handout size, scenario 1,
+// one dauber per color — set Kind explicitly for the usual thick marker).
+type Spec struct {
+	// Exec selects the executor class.
+	Exec Exec
+	// Flag names a built-in flag (see flagspec.Lookup).
+	Flag string
+	// W, H override the flag's default raster size when positive.
+	W, H int
+	// Scenario selects the decomposition for ExecStatic and ExecSteal.
+	Scenario core.ScenarioID
+	// Workers overrides the scenario's worker count when positive; for
+	// ExecDynamic it is the team size (minimum 1).
+	Workers int
+	// Kind is the implement technology class.
+	Kind implement.Kind
+	// PerColor is the number of implements per color; 0 means 1.
+	PerColor int
+	// Seed derives the team's random streams.
+	Seed uint64
+	// Setup is the serial organization phase.
+	Setup time.Duration
+	// Hold selects the implement retention policy.
+	Hold sim.HoldPolicy
+	// Policy selects the pull rule for ExecDynamic.
+	Policy sim.PullPolicy
+	// Skills optionally overrides per-worker skill; when set, its length
+	// must equal the effective worker count.
+	Skills []float64
+	// Jitter is the per-cell lognormal service-noise sigma (0 = none).
+	Jitter float64
+}
+
+// Label renders a compact human-readable identity for tables and errors.
+func (s Spec) Label() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s", s.Exec, s.Flag)
+	if s.Exec == ExecDynamic {
+		fmt.Fprintf(&b, "/%s", s.Policy)
+	} else {
+		fmt.Fprintf(&b, "/%s", s.Scenario)
+	}
+	if s.Workers > 0 {
+		fmt.Fprintf(&b, "/p=%d", s.Workers)
+	}
+	fmt.Fprintf(&b, "/%s", s.Kind)
+	if s.PerColor > 1 {
+		fmt.Fprintf(&b, "x%d", s.PerColor)
+	}
+	fmt.Fprintf(&b, "/seed=%d", s.Seed)
+	return b.String()
+}
+
+// Key returns the spec's content address: a SHA-256 digest over a
+// versioned canonical encoding of every field that influences the run.
+// Two specs with equal keys produce bit-identical Results, so the digest
+// is safe to use as a memoization key. Fields are hashed literally — a
+// zero W and an explicit W equal to the flag's default are distinct keys
+// even though they describe the same run (they still cache consistently,
+// each under its own address).
+func (s Spec) Key() [sha256.Size]byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep-v1|exec=%d|flag=%s|w=%d|h=%d|scen=%d|workers=%d|kind=%d|percolor=%d|seed=%d|setup=%d|hold=%d|policy=%d|jitter=%x|skills=",
+		s.Exec, s.Flag, s.W, s.H, s.Scenario, s.Workers, s.Kind, s.PerColor,
+		s.Seed, s.Setup, s.Hold, s.Policy, math.Float64bits(s.Jitter))
+	for _, sk := range s.Skills {
+		fmt.Fprintf(&b, "%x,", math.Float64bits(sk))
+	}
+	return sha256.Sum256([]byte(b.String()))
+}
+
+// team materializes n fresh student processors from the spec's seed. A
+// new team per run is the determinism contract: processor warmup counters
+// and random streams never leak between pooled runs.
+func (s Spec) team(n int) ([]*processor.Processor, error) {
+	if len(s.Skills) > 0 && len(s.Skills) != n {
+		return nil, fmt.Errorf("sweep: %d skills for %d workers", len(s.Skills), n)
+	}
+	if len(s.Skills) == 0 && s.Jitter == 0 {
+		return core.NewTeam(n, s.Seed)
+	}
+	out := make([]*processor.Processor, n)
+	for i := range out {
+		p := processor.DefaultProfile(fmt.Sprintf("P%d", i+1))
+		if len(s.Skills) > 0 {
+			p.Skill = s.Skills[i]
+		}
+		p.JitterSigma = s.Jitter
+		pr, err := processor.New(p, rng.New(s.Seed).SplitLabeled(p.Name))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pr
+	}
+	return out, nil
+}
+
+// run materializes and executes the spec. Everything stateful is built
+// here, inside the worker, so runs are independent of pool placement.
+func (s Spec) run() (*sim.Result, error) {
+	f, err := flagspec.Lookup(s.Flag)
+	if err != nil {
+		return nil, err
+	}
+	per := s.PerColor
+	if per < 1 {
+		per = 1
+	}
+	set := implement.NewSetN(s.Kind, f.Colors(), per)
+	switch s.Exec {
+	case ExecStatic, ExecSteal:
+		scen, err := core.ScenarioByID(s.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		if s.Workers > 0 {
+			scen.Workers = s.Workers
+		}
+		team, err := s.team(scen.Workers)
+		if err != nil {
+			return nil, err
+		}
+		spec := core.RunSpec{
+			Flag: f, W: s.W, H: s.H, Scenario: scen, Team: team,
+			Set: set, Setup: s.Setup, Hold: s.Hold,
+		}
+		if s.Exec == ExecSteal {
+			return core.RunStealing(spec)
+		}
+		return core.Run(spec)
+	case ExecDynamic:
+		n := s.Workers
+		if n < 1 {
+			n = 1
+		}
+		team, err := s.team(n)
+		if err != nil {
+			return nil, err
+		}
+		return sim.RunDynamic(sim.DynamicConfig{
+			Flag: f, W: s.W, H: s.H, Procs: team, Set: set,
+			Policy: s.Policy, Setup: s.Setup,
+		})
+	default:
+		return nil, fmt.Errorf("sweep: unknown executor class %d", s.Exec)
+	}
+}

@@ -1,0 +1,180 @@
+package sweep
+
+// The batch engine: a bounded worker pool with a content-addressed result
+// cache. Specs fan across the pool, results come back in input order, and
+// identical specs — within one batch or across batches on the same
+// Sweeper — are computed exactly once (singleflight): the first arrival
+// computes, duplicates wait on the entry and count as hits.
+//
+// Determinism contract: a Spec materializes all of its state (team,
+// implement set, plan) inside the worker from its seed, and the DES
+// kernel underneath is single-threaded per run, so a run's Result is a
+// pure function of the Spec. Pool size and scheduling order affect only
+// wall-clock time, never results — RunSweep with 1 worker and with 8
+// workers returns bit-identical per-run Results.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flagsim/internal/sim"
+)
+
+// Options configures a Sweeper.
+type Options struct {
+	// Workers bounds pool concurrency; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// CacheStats counts cache outcomes. A within-batch duplicate of a spec
+// counts as a hit: the duplicate waited for the first arrival's compute
+// instead of repeating it.
+type CacheStats struct {
+	Hits   int
+	Misses int
+}
+
+// HitRate returns hits / (hits + misses), or 0 for an empty tally.
+func (c CacheStats) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+// RunResult is the outcome of one spec in a batch.
+type RunResult struct {
+	Spec Spec
+	// Result is the completed run; shared (not copied) with every other
+	// cache hit of the same key, so treat it as read-only.
+	Result *sim.Result
+	// Err is the run's error; errors are memoized like results (a spec
+	// that fails deterministically fails from cache too).
+	Err error
+	// Elapsed is this run's compute wall time; zero on a cache hit.
+	Elapsed time.Duration
+	// CacheHit reports whether the result came from the cache.
+	CacheHit bool
+}
+
+// Result is the outcome of one batch: per-run outcomes in input order
+// plus batch-level timing and cache accounting.
+type Result struct {
+	// Runs holds one outcome per input spec, in input order.
+	Runs []RunResult
+	// Wall is the whole batch's wall-clock time.
+	Wall time.Duration
+	// Workers is the pool bound the batch ran under.
+	Workers int
+	// Cache tallies this batch's hits and misses.
+	Cache CacheStats
+}
+
+// Err returns the first per-run error, annotated with the run's label,
+// or nil when every run succeeded.
+func (r *Result) Err() error {
+	for i := range r.Runs {
+		if err := r.Runs[i].Err; err != nil {
+			return fmt.Errorf("sweep: %s: %w", r.Runs[i].Spec.Label(), err)
+		}
+	}
+	return nil
+}
+
+// entry is one cache slot. done closes when the compute finishes; res and
+// err are immutable afterwards.
+type entry struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// Sweeper owns a worker pool bound and a result cache that persists
+// across batches, so a rerun of the same grid is served warm. A Sweeper
+// is safe for concurrent use.
+type Sweeper struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[[sha256.Size]byte]*entry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// New returns a Sweeper with an empty cache.
+func New(opts Options) *Sweeper {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Sweeper{workers: w, cache: make(map[[sha256.Size]byte]*entry)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (s *Sweeper) Workers() int { return s.workers }
+
+// Stats returns the Sweeper's lifetime cache tally across all batches.
+func (s *Sweeper) Stats() CacheStats {
+	return CacheStats{Hits: int(s.hits.Load()), Misses: int(s.misses.Load())}
+}
+
+// Run executes the batch and returns per-run outcomes in input order.
+func (s *Sweeper) Run(specs []Spec) *Result {
+	start := time.Now()
+	batch := &Result{Runs: make([]RunResult, len(specs)), Workers: s.workers}
+	var hits, misses atomic.Uint64
+	sem := make(chan struct{}, s.workers)
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Acquire the worker slot before the cache lookup: the entry
+			// creator therefore always holds a slot and finishes without
+			// needing another, so waiters parked on e.done cannot starve
+			// the compute they are waiting for.
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			key := specs[i].Key()
+			s.mu.Lock()
+			e, cached := s.cache[key]
+			if !cached {
+				e = &entry{done: make(chan struct{})}
+				s.cache[key] = e
+			}
+			s.mu.Unlock()
+
+			if cached {
+				<-e.done
+				hits.Add(1)
+				s.hits.Add(1)
+				batch.Runs[i] = RunResult{Spec: specs[i], Result: e.res, Err: e.err, CacheHit: true}
+				return
+			}
+			t0 := time.Now()
+			e.res, e.err = specs[i].run()
+			elapsed := time.Since(t0)
+			close(e.done)
+			misses.Add(1)
+			s.misses.Add(1)
+			batch.Runs[i] = RunResult{Spec: specs[i], Result: e.res, Err: e.err, Elapsed: elapsed}
+		}(i)
+	}
+	wg.Wait()
+	batch.Wall = time.Since(start)
+	batch.Cache = CacheStats{Hits: int(hits.Load()), Misses: int(misses.Load())}
+	return batch
+}
+
+// RunAll executes specs on a fresh single-use Sweeper — the convenience
+// entry point for one-shot batches. Reuse a Sweeper instead when warm
+// reruns should hit the cache.
+func RunAll(specs []Spec, opts Options) *Result {
+	return New(opts).Run(specs)
+}

@@ -1,0 +1,224 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"flagsim/internal/core"
+	"flagsim/internal/implement"
+	"flagsim/internal/sim"
+)
+
+// testGrid is a mixed 24-run grid exercising all three executor classes,
+// crayons (whose breakage draws from the team's random streams) and
+// jittered service times, so determinism failures from shared RNG state
+// would have every chance to show.
+func testGrid() []Spec {
+	g := Grid{
+		Base: Spec{
+			Flag:     "mauritius",
+			Scenario: core.S4,
+			Kind:     implement.ThickMarker,
+			Setup:    5 * time.Second,
+			Jitter:   0.15,
+		},
+		Execs: []Exec{ExecStatic, ExecSteal, ExecDynamic},
+		Kinds: []implement.Kind{implement.ThickMarker, implement.Crayon},
+		Seeds: []uint64{1, 2, 3, 4},
+	}
+	specs := g.Specs()
+	// Dynamic specs need an explicit team size (Workers=0 means "scenario
+	// default" for the plan-driven classes but a solo team for dynamic).
+	for i := range specs {
+		if specs[i].Exec == ExecDynamic {
+			specs[i].Workers = 4
+		}
+	}
+	return specs
+}
+
+// fingerprint renders everything a Result determines into a comparable
+// string, so "byte-identical" is checked literally.
+func fingerprint(r *sim.Result) string {
+	return fmt.Sprintf("%v|%d|%d|%d|%d|%v|%v|%+v|%+v|%s",
+		r.Makespan, r.Events, r.Breaks, r.Steals, r.Migrated,
+		r.TotalWaitImplement(), r.TotalWaitLayer(), r.Procs, r.Implements,
+		r.Grid.String())
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	specs := testGrid()
+	serial := New(Options{Workers: 1}).Run(specs)
+	pooled := New(Options{Workers: 8}).Run(specs)
+	if len(serial.Runs) != len(specs) || len(pooled.Runs) != len(specs) {
+		t.Fatalf("runs = %d and %d, want %d", len(serial.Runs), len(pooled.Runs), len(specs))
+	}
+	for i := range specs {
+		a, b := serial.Runs[i], pooled.Runs[i]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("%s: errors %v / %v", specs[i].Label(), a.Err, b.Err)
+		}
+		if fa, fb := fingerprint(a.Result), fingerprint(b.Result); fa != fb {
+			t.Errorf("%s: workers=1 and workers=8 diverge:\n  %s\n  %s", specs[i].Label(), fa, fb)
+		}
+		if !reflect.DeepEqual(a.Result, b.Result) {
+			t.Errorf("%s: deep structural mismatch between worker counts", specs[i].Label())
+		}
+	}
+}
+
+func TestSweepWarmCache(t *testing.T) {
+	specs := testGrid()
+	sw := New(Options{Workers: 4})
+	cold := sw.Run(specs)
+	if err := cold.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache.Misses != len(specs) || cold.Cache.Hits != 0 {
+		t.Fatalf("cold cache = %+v, want %d misses", cold.Cache, len(specs))
+	}
+	warm := sw.Run(specs)
+	if err := warm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.Hits != len(specs) || warm.Cache.Misses != 0 {
+		t.Fatalf("warm cache = %+v, want %d hits", warm.Cache, len(specs))
+	}
+	if rate := warm.Cache.HitRate(); rate < 0.95 {
+		t.Fatalf("warm hit rate %.2f < 0.95", rate)
+	}
+	for i := range specs {
+		if !warm.Runs[i].CacheHit {
+			t.Errorf("warm run %d not marked as cache hit", i)
+		}
+		if warm.Runs[i].Elapsed != 0 {
+			t.Errorf("warm run %d reports compute time %v", i, warm.Runs[i].Elapsed)
+		}
+		if warm.Runs[i].Result != cold.Runs[i].Result {
+			t.Errorf("warm run %d returned a different result object", i)
+		}
+	}
+	stats := sw.Stats()
+	if stats.Hits != len(specs) || stats.Misses != len(specs) {
+		t.Errorf("lifetime stats = %+v, want %d/%d", stats, len(specs), len(specs))
+	}
+}
+
+func TestSweepDedupesWithinBatch(t *testing.T) {
+	spec := Spec{Flag: "mauritius", Scenario: core.S3, Kind: implement.ThickMarker, Seed: 7}
+	specs := make([]Spec, 8)
+	for i := range specs {
+		specs[i] = spec
+	}
+	batch := New(Options{Workers: 4}).Run(specs)
+	if err := batch.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Cache.Misses != 1 || batch.Cache.Hits != 7 {
+		t.Fatalf("cache = %+v, want 1 miss / 7 hits", batch.Cache)
+	}
+	for i := 1; i < len(specs); i++ {
+		if batch.Runs[i].Result != batch.Runs[0].Result {
+			t.Errorf("run %d did not share the singleflight result", i)
+		}
+	}
+}
+
+func TestSweepMemoizesErrors(t *testing.T) {
+	specs := []Spec{
+		{Flag: "atlantis", Scenario: core.S1, Kind: implement.ThickMarker},
+		{Flag: "mauritius", Scenario: core.S1, Kind: implement.ThickMarker},
+	}
+	sw := New(Options{Workers: 2})
+	cold := sw.Run(specs)
+	if cold.Runs[0].Err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+	if cold.Runs[1].Err != nil {
+		t.Fatalf("valid spec errored: %v", cold.Runs[1].Err)
+	}
+	if err := cold.Err(); err == nil {
+		t.Fatal("batch Err() lost the per-run error")
+	}
+	warm := sw.Run(specs[:1])
+	if !warm.Runs[0].CacheHit || warm.Runs[0].Err == nil {
+		t.Fatalf("error was not memoized: %+v", warm.Runs[0])
+	}
+}
+
+func TestGridEnumeration(t *testing.T) {
+	g := Grid{
+		Base:     Spec{Flag: "mauritius", Kind: implement.ThickMarker},
+		Workers:  []int{1, 2, 4},
+		Kinds:    []implement.Kind{implement.Dauber, implement.Crayon},
+		Policies: []sim.PullPolicy{sim.PullOrdered, sim.PullColorAffinity},
+	}
+	specs := g.Specs()
+	if g.Size() != 12 || len(specs) != 12 {
+		t.Fatalf("size = %d, len = %d, want 12", g.Size(), len(specs))
+	}
+	// Slowest-first field order: workers outermost of the set axes.
+	if specs[0].Workers != 1 || specs[len(specs)-1].Workers != 4 {
+		t.Errorf("axis order unexpected: first %+v last %+v", specs[0], specs[len(specs)-1])
+	}
+	seen := make(map[[32]byte]bool)
+	for _, sp := range specs {
+		if sp.Flag != "mauritius" {
+			t.Errorf("base field not inherited: %+v", sp)
+		}
+		seen[sp.Key()] = true
+	}
+	if len(seen) != 12 {
+		t.Errorf("grid produced %d unique keys, want 12", len(seen))
+	}
+}
+
+func TestSpecKey(t *testing.T) {
+	a := Spec{Flag: "mauritius", Scenario: core.S4, Kind: implement.Crayon, Seed: 1}
+	b := a
+	if a.Key() != b.Key() {
+		t.Error("identical specs hash differently")
+	}
+	for name, mutate := range map[string]func(*Spec){
+		"seed":     func(s *Spec) { s.Seed = 2 },
+		"exec":     func(s *Spec) { s.Exec = ExecSteal },
+		"kind":     func(s *Spec) { s.Kind = implement.Dauber },
+		"percolor": func(s *Spec) { s.PerColor = 2 },
+		"setup":    func(s *Spec) { s.Setup = time.Second },
+		"skills":   func(s *Spec) { s.Skills = []float64{1, 1, 1, 1} },
+		"jitter":   func(s *Spec) { s.Jitter = 0.1 },
+		"size":     func(s *Spec) { s.W, s.H = 64, 32 },
+	} {
+		c := a
+		mutate(&c)
+		if c.Key() == a.Key() {
+			t.Errorf("mutating %s did not change the key", name)
+		}
+	}
+}
+
+func TestSpecSkillsAndWorkersOverride(t *testing.T) {
+	// A three-worker scenario-3 run with explicit skills: the slow student
+	// paints fewer cells under stealing, and the skill list must match the
+	// worker count.
+	sp := Spec{
+		Exec: ExecSteal, Flag: "mauritius", Scenario: core.S3,
+		Workers: 3, Kind: implement.ThickMarker, Seed: 11,
+		Skills: []float64{1.4, 1.0, 0.5},
+	}
+	batch := RunAll([]Spec{sp}, Options{Workers: 1})
+	if err := batch.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res := batch.Runs[0].Result
+	if len(res.Procs) != 3 {
+		t.Fatalf("got %d procs, want 3", len(res.Procs))
+	}
+	bad := sp
+	bad.Skills = []float64{1, 1}
+	if err := RunAll([]Spec{bad}, Options{}).Err(); err == nil {
+		t.Error("mismatched skills length did not error")
+	}
+}
