@@ -1,6 +1,7 @@
 package flagsim
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"flagsim/internal/processor"
 	"flagsim/internal/quiz"
 	"flagsim/internal/rng"
+	"flagsim/internal/server"
 	"flagsim/internal/sim"
 	"flagsim/internal/submission"
 	"flagsim/internal/survey"
@@ -387,4 +389,69 @@ func NewSweeper(opts SweepOptions) *Sweeper { return sweep.New(opts) }
 // shared; use NewSweeper to keep the cache warm across batches.
 func RunSweep(specs []SweepSpec, opts SweepOptions) *SweepResult {
 	return sweep.RunAll(specs, opts)
+}
+
+// SweepCacheStats is a snapshot of a Sweeper's memo cache: lifetime
+// hits and misses plus resident entries.
+type SweepCacheStats = sweep.CacheStats
+
+// ---- Cancellation ----
+
+// ErrCanceled reports that a run's context was canceled before the
+// simulation finished; Result-level errors wrap it (test with
+// errors.Is). The engine polls the context at a fixed event cadence,
+// so cancellation lands promptly even mid-run.
+var ErrCanceled = sim.ErrCanceled
+
+// RunScenarioCtx is RunScenario bounded by ctx: the engine's event loop
+// stops at the next checkpoint once ctx is done and returns an error
+// wrapping ErrCanceled.
+func RunScenarioCtx(ctx context.Context, spec RunSpec) (*Result, error) {
+	return core.RunCtx(ctx, spec)
+}
+
+// RunStealingCtx is RunStealing bounded by ctx.
+func RunStealingCtx(ctx context.Context, spec RunSpec) (*Result, error) {
+	return core.RunStealingCtx(ctx, spec)
+}
+
+// RunStealCtx is RunSteal bounded by ctx.
+func RunStealCtx(ctx context.Context, cfg SimConfig) (*Result, error) {
+	return sim.RunStealCtx(ctx, cfg)
+}
+
+// RunDynamicCtx is RunDynamic bounded by ctx.
+func RunDynamicCtx(ctx context.Context, cfg DynamicConfig) (*Result, error) {
+	return sim.RunDynamicCtx(ctx, cfg)
+}
+
+// RunSweepCtx is RunSweep bounded by ctx: runs not yet started fail
+// fast once ctx is done, runs in flight stop at the engine's next
+// checkpoint, and canceled computes are never memoized.
+func RunSweepCtx(ctx context.Context, specs []SweepSpec, opts SweepOptions) *SweepResult {
+	return sweep.New(opts).Run(ctx, specs)
+}
+
+// ---- HTTP service ----
+
+// ServerConfig parameterizes the HTTP simulation service: listen
+// address, admission bounds (max in-flight, max queued), per-request
+// deadline, sweep pool size, and graceful drain budget. The zero value
+// serves with sensible defaults.
+type ServerConfig = server.Config
+
+// SimServer is the HTTP simulation service: POST /v1/run and
+// /v1/sweep execute under admission control with the sweep cache warm
+// across requests; GET /healthz and /metrics expose serving state.
+type SimServer = server.Server
+
+// NewServer assembles an HTTP simulation service (for embedding its
+// Handler in an existing mux, or driving Serve directly).
+func NewServer(cfg ServerConfig) *SimServer { return server.New(cfg) }
+
+// Serve runs the HTTP simulation service until ctx is canceled, then
+// drains gracefully: in-flight requests get cfg.DrainTimeout to
+// finish, and a clean drain returns nil.
+func Serve(ctx context.Context, cfg ServerConfig) error {
+	return server.New(cfg).ListenAndServe(ctx)
 }

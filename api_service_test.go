@@ -1,0 +1,139 @@
+package flagsim_test
+
+// Public-surface tests for the PR-3 additions: flag-registry error
+// paths, the ctx-taking run/sweep variants, and the embedded HTTP
+// service — all through the root package, the way a downstream user
+// would reach them.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flagsim"
+)
+
+func TestLookupFlagErrorPaths(t *testing.T) {
+	for _, name := range []string{"atlantis", "", "Mauritius", "mauritius "} {
+		f, err := flagsim.LookupFlag(name)
+		if err == nil {
+			t.Fatalf("LookupFlag(%q) succeeded: %v", name, f)
+		}
+		if f != nil {
+			t.Fatalf("LookupFlag(%q) returned a flag alongside an error", name)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "unknown flag") || !strings.Contains(msg, "mauritius") {
+			t.Errorf("LookupFlag(%q) error is not self-serving: %q", name, msg)
+		}
+	}
+}
+
+func TestFlagNamesSortedUniqueResolvable(t *testing.T) {
+	names := flagsim.FlagNames()
+	if len(names) == 0 {
+		t.Fatal("no flags registered")
+	}
+	seen := make(map[string]bool)
+	for i, name := range names {
+		if i > 0 && names[i-1] >= name {
+			t.Errorf("names not strictly sorted at %d: %q >= %q", i, names[i-1], name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate flag name %q", name)
+		}
+		seen[name] = true
+		if _, err := flagsim.LookupFlag(name); err != nil {
+			t.Errorf("listed flag %q does not resolve: %v", name, err)
+		}
+	}
+	// The returned slice is the caller's to mutate.
+	names[0] = "clobbered"
+	if again := flagsim.FlagNames(); again[0] == "clobbered" {
+		t.Error("FlagNames exposes shared backing storage")
+	}
+}
+
+func TestRunScenarioCtxCancellation(t *testing.T) {
+	scen, err := flagsim.ScenarioByID(flagsim.S4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Teams carry RNG state across runs, so each run gets a fresh one.
+	newSpec := func() flagsim.RunSpec {
+		team, err := flagsim.NewTeam(scen.Workers, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return flagsim.RunSpec{Flag: flagsim.Mauritius, Scenario: scen, Team: team}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := flagsim.RunScenarioCtx(ctx, newSpec()); !errors.Is(err, flagsim.ErrCanceled) {
+		t.Fatalf("canceled run: err = %v, want ErrCanceled", err)
+	}
+
+	// A live context must not perturb the deterministic result.
+	live, err := flagsim.RunScenarioCtx(context.Background(), newSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := flagsim.RunScenario(newSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Makespan != plain.Makespan || live.Events != plain.Events {
+		t.Fatalf("ctx run diverged: %v/%d vs %v/%d",
+			live.Makespan, live.Events, plain.Makespan, plain.Events)
+	}
+}
+
+func TestRunSweepCtxCancellation(t *testing.T) {
+	specs := []flagsim.SweepSpec{
+		{Flag: "mauritius", Scenario: flagsim.S3, Kind: flagsim.ThickMarker, Seed: 1},
+		{Flag: "mauritius", Scenario: flagsim.S4, Kind: flagsim.Crayon, Seed: 2},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	batch := flagsim.RunSweepCtx(ctx, specs, flagsim.SweepOptions{Workers: 2})
+	for i, run := range batch.Runs {
+		if !errors.Is(run.Err, flagsim.ErrCanceled) {
+			t.Fatalf("run %d: err = %v, want ErrCanceled", i, run.Err)
+		}
+	}
+	if batch := flagsim.RunSweepCtx(context.Background(), specs, flagsim.SweepOptions{}); batch.Err() != nil {
+		t.Fatalf("live-ctx sweep failed: %v", batch.Err())
+	}
+}
+
+func TestEmbeddedServerThroughAPI(t *testing.T) {
+	srv := flagsim.NewServer(flagsim.ServerConfig{MaxInFlight: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"flag":"mauritius","scenario":2,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d", resp.StatusCode)
+	}
+	if stats := srv.Sweeper().Stats(); stats.Misses != 1 || stats.Entries != 1 {
+		t.Fatalf("sweeper stats after one run: %+v", stats)
+	}
+}

@@ -1,0 +1,59 @@
+package flagsim_test
+
+// E35 companion benchmarks — the serving hot path, gated by benchguard.
+// Both run against a real HTTP listener with the sweep cache warm, so
+// they time what a healthy production request costs (routing, admission,
+// JSON, cache hit) rather than the simulation itself: a regression here
+// is serving overhead, which the engine benchmarks would never see.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flagsim"
+)
+
+func benchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	ts := httptest.NewServer(flagsim.NewServer(flagsim.ServerConfig{MaxInFlight: 2}).Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchPost(b *testing.B, url, body string) {
+	b.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServerRun times a warm /v1/run round trip end to end.
+func BenchmarkServerRun(b *testing.B) {
+	ts := benchServer(b)
+	body := `{"flag":"mauritius","scenario":4,"seed":1}`
+	benchPost(b, ts.URL+"/v1/run", body) // populate the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL+"/v1/run", body)
+	}
+}
+
+// BenchmarkServerSweepWarm times a fully warm 8-run /v1/sweep grid.
+func BenchmarkServerSweepWarm(b *testing.B) {
+	ts := benchServer(b)
+	body := `{"base": {"flag": "mauritius", "scenario": 4}, "execs": ["static", "steal"], "seeds": [1, 2, 3, 4]}`
+	benchPost(b, ts.URL+"/v1/sweep", body) // populate the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL+"/v1/sweep", body)
+	}
+}

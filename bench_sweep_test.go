@@ -55,12 +55,12 @@ func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 8) }
 func BenchmarkSweepWarm(b *testing.B) {
 	specs := sweepBenchGrid()
 	sw := flagsim.NewSweeper(flagsim.SweepOptions{Workers: 8})
-	if err := sw.Run(specs).Err(); err != nil {
+	if err := sw.Run(nil, specs).Err(); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := sw.Run(specs)
+		res := sw.Run(nil, specs)
 		if err := res.Err(); err != nil {
 			b.Fatal(err)
 		}

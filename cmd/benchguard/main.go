@@ -32,9 +32,9 @@ import (
 	"strings"
 )
 
-// guarded is the default benchmark set: the three engine policies plus
-// the sweep pool.
-const guarded = "^(BenchmarkEngineStatic|BenchmarkEngineDynamic|BenchmarkEngineSteal|BenchmarkSweepParallel)$"
+// guarded is the default benchmark set: the three engine policies, the
+// sweep pool, and the two warm serving paths of the HTTP service.
+const guarded = "^(BenchmarkEngineStatic|BenchmarkEngineDynamic|BenchmarkEngineSteal|BenchmarkSweepParallel|BenchmarkServerRun|BenchmarkServerSweepWarm)$"
 
 // baseline is the BENCH_baseline.json schema.
 type baseline struct {

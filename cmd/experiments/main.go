@@ -1114,11 +1114,11 @@ func e34Sweep() error {
 		return err
 	}
 	pool := sweep.New(sweep.Options{}) // GOMAXPROCS workers
-	cold := pool.Run(specs)
+	cold := pool.Run(nil, specs)
 	if err := cold.Err(); err != nil {
 		return err
 	}
-	warm := pool.Run(specs)
+	warm := pool.Run(nil, specs)
 	if err := warm.Err(); err != nil {
 		return err
 	}

@@ -146,6 +146,8 @@ func main() {
 
 // runSweep fans the four scenarios x {1,2} implements per color across
 // the sweep pool and prints one makespan row per run plus cache stats.
+// Failed runs print an error row and are reported on stderr at the end
+// (non-zero exit) instead of aborting the batch or scrolling past.
 func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, setup time.Duration, workers int) error {
 	exec := sweep.ExecStatic
 	if steal {
@@ -159,11 +161,19 @@ func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, se
 		Scenarios: []core.ScenarioID{core.S1, core.S2, core.S3, core.S4},
 		PerColor:  []int{1, 2},
 	}
-	batch := sweep.RunAll(g.Specs(), sweep.Options{Workers: workers})
+	sw := sweep.New(sweep.Options{Workers: workers})
+	batch := sw.Run(nil, g.Specs())
 	var rows [][]string
+	failed := 0
 	for _, run := range batch.Runs {
 		if run.Err != nil {
-			return fmt.Errorf("%s: %w", run.Spec.Label(), run.Err)
+			failed++
+			rows = append(rows, []string{
+				run.Spec.Scenario.String(),
+				fmt.Sprintf("%d", max(run.Spec.PerColor, 1)),
+				"ERROR: " + run.Err.Error(), "-", "-",
+			})
+			continue
 		}
 		r := run.Result
 		rows = append(rows, []string{
@@ -177,9 +187,13 @@ func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, se
 	if err := viz.Table(os.Stdout, []string{"scenario", "impl/color", "makespan", "impl-wait", "steals"}, rows); err != nil {
 		return err
 	}
-	fmt.Printf("\nsweep: %d runs, %d workers, wall %v, cache %d hit / %d miss\n",
+	stats := sw.Stats()
+	fmt.Printf("\nsweep: %d runs, %d workers, wall %v, cache %d hit / %d miss / %d entries\n",
 		len(batch.Runs), batch.Workers, batch.Wall.Round(time.Millisecond),
-		batch.Cache.Hits, batch.Cache.Misses)
+		stats.Hits, stats.Misses, stats.Entries)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sweep runs failed (see ERROR rows above)", failed, len(batch.Runs))
+	}
 	return nil
 }
 

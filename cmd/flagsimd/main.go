@@ -1,0 +1,97 @@
+// Command flagsimd serves flag simulations over HTTP: POST /v1/run and
+// POST /v1/sweep execute scenario runs under bounded admission control,
+// with the sweep subsystem's memo cache warm for the life of the
+// process. GET /healthz reports liveness and GET /metrics exports
+// Prometheus text.
+//
+// Usage:
+//
+//	flagsimd -addr :8080
+//	flagsimd -max-in-flight 2 -max-queue 16 -request-timeout 30s
+//	flagsimd -pprof-addr 127.0.0.1:6060   # optional profiling listener
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: listeners close
+// immediately, in-flight runs get -drain-timeout to finish, and a clean
+// drain exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flagsim/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxInFlight = flag.Int("max-in-flight", 0, "max concurrently executing simulation requests (0 = GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 64, "max requests waiting for a slot before fast-fail 429 (-1 = no queue)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request execution deadline (0 = none)")
+		sweepW      = flag.Int("sweep-workers", 0, "sweep pool size (0 = GOMAXPROCS)")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight requests")
+		retryAfter  = flag.Duration("retry-after", time.Second, "backoff hint attached to 429 responses")
+		maxSpecs    = flag.Int("max-sweep-specs", 4096, "largest grid one /v1/sweep request may expand to")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr:           *addr,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       normalizeQueue(*maxQueue),
+		RequestTimeout: *reqTimeout,
+		SweepWorkers:   *sweepW,
+		DrainTimeout:   *drain,
+		RetryAfter:     *retryAfter,
+		MaxSweepSpecs:  *maxSpecs,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *pprofAddr != "" {
+		// The pprof listener is deliberately separate from the service
+		// address so profiling is never exposed on the public port; the
+		// blank net/http/pprof import registers on DefaultServeMux.
+		go func() {
+			log.Printf("flagsimd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("flagsimd: pprof listener failed: %v", err)
+			}
+		}()
+	}
+
+	// Bind here rather than inside the server so ":0" logs the port the
+	// kernel actually chose — smoke tests and scripts scrape this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flagsimd:", err)
+		os.Exit(1)
+	}
+	log.Printf("flagsimd: listening on %s", ln.Addr())
+	if err := server.New(cfg).Serve(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, "flagsimd:", err)
+		os.Exit(1)
+	}
+	log.Printf("flagsimd: drained cleanly")
+}
+
+// normalizeQueue maps the CLI's "-1 disables the queue" convention onto
+// the Config's (<0 → 0, 0 → default) one, so "-max-queue 0" at the
+// command line also means "no queue" as a user would expect.
+func normalizeQueue(q int) int {
+	if q <= 0 {
+		return -1
+	}
+	return q
+}

@@ -1,0 +1,128 @@
+// Command loadgen drives a running flagsimd with closed-loop load: each
+// of -concurrency workers posts a /v1/run request, waits for the reply,
+// and immediately posts the next, for -duration. It reports throughput,
+// a status-code breakdown (429s surface admission fast-fails), and a
+// latency profile (p50/p90/p99/max).
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -concurrency 8 -duration 10s
+//	loadgen -concurrency 16 -seeds 64            # mostly cold: 64 distinct specs
+//	loadgen -concurrency 16 -seeds 1             # fully warm after the first hit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	var (
+		baseURL     = flag.String("url", "http://127.0.0.1:8080", "flagsimd base URL")
+		concurrency = flag.Int("concurrency", 4, "closed-loop workers")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		flagName    = flag.String("flag", "mauritius", "flag to request")
+		scenario    = flag.Int("scenario", 4, "scenario number 1-4")
+		seeds       = flag.Uint64("seeds", 1, "rotate this many distinct seeds (1 = fully cacheable)")
+		w           = flag.Int("w", 0, "raster width override")
+		h           = flag.Int("h", 0, "raster height override")
+	)
+	flag.Parse()
+	if *concurrency < 1 || *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -concurrency and -seeds must be >= 1")
+		os.Exit(1)
+	}
+
+	url := strings.TrimRight(*baseURL, "/") + "/v1/run"
+	client := &http.Client{Timeout: time.Minute}
+	deadline := time.Now().Add(*duration)
+
+	type sample struct {
+		status  int
+		latency time.Duration
+	}
+	results := make([][]sample, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *concurrency; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for n := 0; time.Now().Before(deadline); n++ {
+				// Workers own disjoint residues mod concurrency, so no two
+				// in-flight requests share a seed until the -seeds space wraps.
+				seed := (uint64(n)*uint64(*concurrency) + uint64(worker)) % *seeds
+				body := fmt.Sprintf(`{"flag":%q,"scenario":%d,"seed":%d,"w":%d,"h":%d}`,
+					*flagName, *scenario, seed, *w, *h)
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", strings.NewReader(body))
+				lat := time.Since(t0)
+				status := 0
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					status = resp.StatusCode
+				}
+				results[worker] = append(results[worker], sample{status, lat})
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []sample
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	if len(all) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no requests completed")
+		os.Exit(1)
+	}
+	byStatus := make(map[int]int)
+	var oks []time.Duration
+	for _, s := range all {
+		byStatus[s.status]++
+		if s.status == http.StatusOK {
+			oks = append(oks, s.latency)
+		}
+	}
+	sort.Slice(oks, func(i, j int) bool { return oks[i] < oks[j] })
+
+	fmt.Printf("loadgen: %d requests in %v (%.1f req/s) at concurrency %d\n",
+		len(all), wall.Round(time.Millisecond), float64(len(all))/wall.Seconds(), *concurrency)
+	var codes []int
+	for code := range byStatus {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		label := "transport error"
+		if code != 0 {
+			label = fmt.Sprintf("HTTP %d", code)
+		}
+		fmt.Printf("  %-16s %d\n", label, byStatus[code])
+	}
+	if len(oks) > 0 {
+		fmt.Printf("  latency (200s)   p50 %v  p90 %v  p99 %v  max %v\n",
+			pct(oks, 50), pct(oks, 90), pct(oks, 99), oks[len(oks)-1].Round(time.Microsecond))
+	}
+	if byStatus[http.StatusOK] == 0 {
+		os.Exit(1)
+	}
+}
+
+// pct reads the p-th percentile from sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(time.Microsecond)
+}

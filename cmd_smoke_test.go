@@ -5,11 +5,17 @@ package flagsim_test
 // keep the CLIs honest — unit suites don't execute main().
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildCmds compiles all binaries into a shared temp dir once per test
@@ -17,7 +23,7 @@ import (
 var builtDir string
 
 func binaries() []string {
-	return []string{"flagsim", "flagrender", "classroom", "surveygen", "depcheck", "experiments", "animate", "study"}
+	return []string{"flagsim", "flagrender", "classroom", "surveygen", "depcheck", "experiments", "animate", "study", "flagsimd", "loadgen"}
 }
 
 func buildAll(t *testing.T) string {
@@ -80,6 +86,18 @@ func TestCmdFlagsimSlideAndSVG(t *testing.T) {
 		if !strings.HasPrefix(string(data), "<svg") {
 			t.Fatalf("%s is not SVG", path)
 		}
+	}
+}
+
+func TestCmdFlagsimSweep(t *testing.T) {
+	out := runCmd(t, "flagsim", "", "-sweep", "-sweep-workers", "2")
+	for _, want := range []string{"scenario-4", "impl/color", "cache", "entries"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ERROR") {
+		t.Fatalf("sweep reported failed runs:\n%s", out)
 	}
 }
 
@@ -174,6 +192,84 @@ func TestCmdAnimate(t *testing.T) {
 	flip := runCmd(t, "animate", "", "-scenario", "1", "-flipbook")
 	if !strings.Contains(flip, "--- frame 0") {
 		t.Fatal("flipbook incomplete")
+	}
+}
+
+// syncBuffer is a goroutine-safe writer: exec's copier writes while the
+// test polls String.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestCmdFlagsimdServeAndDrain boots the daemon on an ephemeral port,
+// exercises the API with curl-equivalent requests and a short loadgen
+// burst, then SIGTERMs it and asserts a clean drain (exit 0).
+func TestCmdFlagsimdServeAndDrain(t *testing.T) {
+	dir := buildAll(t)
+	cmd := exec.Command(filepath.Join(dir, "flagsimd"), "-addr", "127.0.0.1:0")
+	stderr := &syncBuffer{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs "listening on 127.0.0.1:PORT" once bound.
+	var base string
+	for i := 0; i < 500 && base == ""; i++ {
+		if m := regexp.MustCompile(`listening on (127\.0\.0\.1:\d+)`).FindStringSubmatch(stderr.String()); m != nil {
+			base = "http://" + m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never reported its address:\n%s", stderr)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %v", err, resp)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"flag":"mauritius","scenario":4,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"makespan_ns"`) {
+		t.Fatalf("run: status %d body %s", resp.StatusCode, body)
+	}
+
+	lg := runCmd(t, "loadgen", "", "-url", base, "-concurrency", "2", "-duration", "500ms")
+	if !strings.Contains(lg, "req/s") || !strings.Contains(lg, "HTTP 200") {
+		t.Fatalf("loadgen output:\n%s", lg)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Fatalf("no clean-drain log:\n%s", stderr)
 	}
 }
 

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -169,12 +170,17 @@ func simConfig(spec RunSpec) (sim.Config, error) {
 }
 
 // Run executes the scenario and verifies the flag was colored correctly.
-func Run(spec RunSpec) (*sim.Result, error) {
+func Run(spec RunSpec) (*sim.Result, error) { return RunCtx(nil, spec) }
+
+// RunCtx is Run with a cancellation context: a canceled ctx aborts the
+// simulation at the next engine checkpoint with sim.ErrCanceled. A nil
+// ctx runs unchecked.
+func RunCtx(ctx context.Context, spec RunSpec) (*sim.Result, error) {
 	cfg, err := simConfig(spec)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(cfg)
+	res, err := sim.RunCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -188,12 +194,15 @@ func Run(spec RunSpec) (*sim.Result, error) {
 // the scenario's static split is the starting assignment, and idle
 // students take work off the most-loaded teammate's pile — then verifies
 // the flag.
-func RunStealing(spec RunSpec) (*sim.Result, error) {
+func RunStealing(spec RunSpec) (*sim.Result, error) { return RunStealingCtx(nil, spec) }
+
+// RunStealingCtx is RunStealing with a cancellation context (see RunCtx).
+func RunStealingCtx(ctx context.Context, spec RunSpec) (*sim.Result, error) {
 	cfg, err := simConfig(spec)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunSteal(cfg)
+	res, err := sim.RunStealCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

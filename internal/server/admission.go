@@ -1,0 +1,64 @@
+package server
+
+// Admission control: a bounded gate in front of the simulation pool.
+// MaxInFlight requests execute concurrently; up to MaxQueue more wait
+// for a slot; anything beyond that fast-fails so saturation surfaces as
+// an immediate 429 + Retry-After instead of an unbounded queue whose
+// latency grows without limit (clients retry against fresh capacity
+// rather than piling onto a doomed backlog).
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated reports that both the execution slots and the wait queue
+// are full.
+var errSaturated = errors.New("server: saturated: in-flight and queue limits reached")
+
+// gate is the admission limiter. The channel holds the execution slots;
+// waiting counts the requests parked for one.
+type gate struct {
+	slots    chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+}
+
+func newGate(maxInFlight, maxQueue int) *gate {
+	return &gate{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire claims an execution slot, queueing up to the gate's bound. It
+// returns errSaturated when the queue is full, or the context's error
+// if the caller gives up while waiting.
+func (g *gate) acquire(ctx context.Context) error {
+	// Fast path: a slot is free right now.
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.waiting.Add(1) > g.maxQueue {
+		g.waiting.Add(-1)
+		return errSaturated
+	}
+	defer g.waiting.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot.
+func (g *gate) release() { <-g.slots }
+
+// depth reports the current in-flight and queued request counts.
+func (g *gate) depth() (inFlight, queued int) {
+	return len(g.slots), int(g.waiting.Load())
+}

@@ -1,0 +1,556 @@
+package server
+
+// Request/response DTOs and the endpoint handlers. Requests use
+// human-readable enums ("steal", "crayon", "pull-color-affinity") and
+// map onto sweep.Spec — the same declarative, content-addressed unit of
+// work the library batches, so the service inherits the determinism
+// contract for free: a response's result section is a pure function of
+// the spec, byte-identical to what a library call computes.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"flagsim/internal/core"
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/sim"
+	"flagsim/internal/sweep"
+)
+
+// statusClientClosedRequest is nginx's conventional status for "client
+// went away before the response"; net/http has no constant for it.
+const statusClientClosedRequest = 499
+
+// RunRequest describes one simulation run over the wire.
+type RunRequest struct {
+	// Exec is the executor class: "static" (default), "steal", "dynamic".
+	Exec string `json:"exec,omitempty"`
+	// Flag names a built-in flag; default "mauritius".
+	Flag string `json:"flag,omitempty"`
+	// W, H override the flag's handout raster size when positive.
+	W int `json:"w,omitempty"`
+	H int `json:"h,omitempty"`
+	// Scenario is the Fig. 1 scenario number 1-4; default 1. Pipelined
+	// selects the rotated variant of scenario 4.
+	Scenario  int  `json:"scenario,omitempty"`
+	Pipelined bool `json:"pipelined,omitempty"`
+	// Workers overrides the scenario's worker count (team size for
+	// "dynamic").
+	Workers int `json:"workers,omitempty"`
+	// Kind is the implement class: "dauber", "thick-marker" (default),
+	// "thin-marker", "crayon".
+	Kind string `json:"kind,omitempty"`
+	// PerColor is the number of implements per color; default 1.
+	PerColor int `json:"per_color,omitempty"`
+	// Seed derives the team's random streams.
+	Seed uint64 `json:"seed,omitempty"`
+	// Setup is the serial organization phase as a Go duration ("20s").
+	Setup string `json:"setup,omitempty"`
+	// Hold is the retention policy: "greedy-hold" (default),
+	// "eager-release".
+	Hold string `json:"hold,omitempty"`
+	// Policy is the dynamic pull rule: "pull-ordered" (default),
+	// "pull-color-affinity".
+	Policy string `json:"policy,omitempty"`
+	// Skills optionally fixes per-worker skill multipliers.
+	Skills []float64 `json:"skills,omitempty"`
+	// Jitter is the lognormal service-noise sigma.
+	Jitter float64 `json:"jitter,omitempty"`
+}
+
+// spec resolves the request into the library's declarative run spec.
+func (r RunRequest) spec() (sweep.Spec, error) {
+	sp := sweep.Spec{
+		W: r.W, H: r.H, Workers: r.Workers, PerColor: r.PerColor,
+		Seed: r.Seed, Skills: r.Skills, Jitter: r.Jitter,
+	}
+	switch r.Exec {
+	case "", "static":
+		sp.Exec = sweep.ExecStatic
+	case "steal":
+		sp.Exec = sweep.ExecSteal
+	case "dynamic":
+		sp.Exec = sweep.ExecDynamic
+	default:
+		return sp, fmt.Errorf("unknown exec %q (static, steal, dynamic)", r.Exec)
+	}
+	sp.Flag = r.Flag
+	if sp.Flag == "" {
+		sp.Flag = "mauritius"
+	}
+	if _, err := flagspec.Lookup(sp.Flag); err != nil {
+		return sp, err
+	}
+	switch {
+	case r.Scenario == 0 || r.Scenario == 1:
+		sp.Scenario = core.S1
+	case r.Scenario >= 2 && r.Scenario <= 3:
+		sp.Scenario = core.ScenarioID(r.Scenario - 1)
+	case r.Scenario == 4 && r.Pipelined:
+		sp.Scenario = core.S4Pipelined
+	case r.Scenario == 4:
+		sp.Scenario = core.S4
+	default:
+		return sp, fmt.Errorf("scenario %d out of range 1-4", r.Scenario)
+	}
+	if r.Pipelined && r.Scenario != 4 && r.Scenario != 0 {
+		return sp, fmt.Errorf("pipelined applies to scenario 4, not %d", r.Scenario)
+	}
+	kindName := r.Kind
+	if kindName == "" {
+		kindName = "thick-marker"
+	}
+	kind, err := implement.ParseKind(kindName)
+	if err != nil {
+		return sp, err
+	}
+	sp.Kind = kind
+	if r.Setup != "" {
+		d, err := time.ParseDuration(r.Setup)
+		if err != nil {
+			return sp, fmt.Errorf("bad setup duration: %v", err)
+		}
+		if d < 0 {
+			return sp, fmt.Errorf("negative setup %v", d)
+		}
+		sp.Setup = d
+	}
+	switch r.Hold {
+	case "", "greedy-hold":
+		sp.Hold = sim.GreedyHold
+	case "eager-release":
+		sp.Hold = sim.EagerRelease
+	default:
+		return sp, fmt.Errorf("unknown hold %q (greedy-hold, eager-release)", r.Hold)
+	}
+	switch r.Policy {
+	case "", "pull-ordered":
+		sp.Policy = sim.PullOrdered
+	case "pull-color-affinity":
+		sp.Policy = sim.PullColorAffinity
+	default:
+		return sp, fmt.Errorf("unknown policy %q (pull-ordered, pull-color-affinity)", r.Policy)
+	}
+	if sp.Exec == sweep.ExecDynamic && sp.Workers == 0 {
+		// The scenario's worker count is what a run request means even
+		// under the bag executor; a solo dynamic run must be explicit.
+		scen, err := core.ScenarioByID(sp.Scenario)
+		if err != nil {
+			return sp, err
+		}
+		sp.Workers = scen.Workers
+	}
+	return sp, nil
+}
+
+// ProcResult is one processor's statistics in a response.
+type ProcResult struct {
+	Name            string `json:"name"`
+	Cells           int    `json:"cells"`
+	FinishNS        int64  `json:"finish_ns"`
+	FirstPaintNS    int64  `json:"first_paint_ns"`
+	PaintNS         int64  `json:"paint_ns"`
+	WaitImplementNS int64  `json:"wait_implement_ns"`
+	WaitLayerNS     int64  `json:"wait_layer_ns"`
+	OverheadNS      int64  `json:"overhead_ns"`
+}
+
+// ImplementResult is one implement's statistics in a response.
+type ImplementResult struct {
+	ID        int    `json:"id"`
+	Color     string `json:"color"`
+	Kind      string `json:"kind"`
+	BusyNS    int64  `json:"busy_ns"`
+	Handoffs  int    `json:"handoffs"`
+	MaxQueue  int    `json:"max_queue"`
+	Breakages int    `json:"breakages"`
+}
+
+// SimResult is the deterministic section of a run response: every field
+// is a pure function of the spec, so two requests for the same spec —
+// or a request and a direct library call — produce byte-identical JSON.
+type SimResult struct {
+	Strategy        string            `json:"strategy"`
+	MakespanNS      int64             `json:"makespan_ns"`
+	SetupNS         int64             `json:"setup_ns"`
+	Events          uint64            `json:"events"`
+	MaxEventQueue   int               `json:"max_event_queue"`
+	Breaks          int               `json:"breaks"`
+	Steals          int               `json:"steals"`
+	Migrated        int               `json:"migrated"`
+	WaitImplementNS int64             `json:"wait_implement_ns"`
+	WaitLayerNS     int64             `json:"wait_layer_ns"`
+	PipelineFillNS  int64             `json:"pipeline_fill_ns"`
+	GridSHA256      string            `json:"grid_sha256"`
+	Procs           []ProcResult      `json:"procs"`
+	Implements      []ImplementResult `json:"implements"`
+}
+
+// NewSimResult flattens a library Result into the wire form.
+func NewSimResult(res *sim.Result) SimResult {
+	sum := sha256.Sum256([]byte(res.Grid.String()))
+	out := SimResult{
+		Strategy:        res.Plan.Strategy,
+		MakespanNS:      int64(res.Makespan),
+		SetupNS:         int64(res.SetupTime),
+		Events:          res.Events,
+		MaxEventQueue:   res.MaxEventQueue,
+		Breaks:          res.Breaks,
+		Steals:          res.Steals,
+		Migrated:        res.Migrated,
+		WaitImplementNS: int64(res.TotalWaitImplement()),
+		WaitLayerNS:     int64(res.TotalWaitLayer()),
+		PipelineFillNS:  int64(res.PipelineFill()),
+		GridSHA256:      hex.EncodeToString(sum[:]),
+	}
+	for _, p := range res.Procs {
+		out.Procs = append(out.Procs, ProcResult{
+			Name: p.Name, Cells: p.Cells,
+			FinishNS: int64(p.Finish), FirstPaintNS: int64(p.FirstPaint),
+			PaintNS: int64(p.PaintTime), WaitImplementNS: int64(p.WaitImplement),
+			WaitLayerNS: int64(p.WaitLayer), OverheadNS: int64(p.Overhead),
+		})
+	}
+	for _, im := range res.Implements {
+		out.Implements = append(out.Implements, ImplementResult{
+			ID: im.ID, Color: im.Color.String(), Kind: im.Kind.String(),
+			BusyNS: int64(im.BusyTime), Handoffs: im.Handoffs,
+			MaxQueue: im.MaxQueue, Breakages: im.Breakages,
+		})
+	}
+	return out
+}
+
+// RunResponse is the /v1/run reply. Result is deterministic; the
+// serving fields around it (cache_hit, elapsed_ns) are not.
+type RunResponse struct {
+	Spec      string    `json:"spec"`
+	CacheHit  bool      `json:"cache_hit"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+	Result    SimResult `json:"result"`
+}
+
+// SweepRequest is a cartesian grid over a base run request. Empty axes
+// inherit the base value.
+type SweepRequest struct {
+	Base      RunRequest `json:"base"`
+	Execs     []string   `json:"execs,omitempty"`
+	Flags     []string   `json:"flags,omitempty"`
+	Scenarios []int      `json:"scenarios,omitempty"`
+	Workers   []int      `json:"workers,omitempty"`
+	Kinds     []string   `json:"kinds,omitempty"`
+	PerColor  []int      `json:"per_color,omitempty"`
+	Policies  []string   `json:"policies,omitempty"`
+	Seeds     []uint64   `json:"seeds,omitempty"`
+	Setups    []string   `json:"setups,omitempty"`
+}
+
+// specs expands the request into the grid's spec list by enumerating the
+// wire-level axes through RunRequest.spec, so every cell gets the same
+// validation and defaulting as a single run.
+func (r SweepRequest) specs() ([]sweep.Spec, error) {
+	orBase := func(axis []string, base string) []string {
+		if len(axis) > 0 {
+			return axis
+		}
+		return []string{base}
+	}
+	orBaseInt := func(axis []int, base int) []int {
+		if len(axis) > 0 {
+			return axis
+		}
+		return []int{base}
+	}
+	seeds := r.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{r.Base.Seed}
+	}
+	var out []sweep.Spec
+	for _, exec := range orBase(r.Execs, r.Base.Exec) {
+		for _, fl := range orBase(r.Flags, r.Base.Flag) {
+			for _, scen := range orBaseInt(r.Scenarios, r.Base.Scenario) {
+				for _, workers := range orBaseInt(r.Workers, r.Base.Workers) {
+					for _, kind := range orBase(r.Kinds, r.Base.Kind) {
+						for _, pc := range orBaseInt(r.PerColor, r.Base.PerColor) {
+							for _, pol := range orBase(r.Policies, r.Base.Policy) {
+								for _, seed := range seeds {
+									for _, setup := range orBase(r.Setups, r.Base.Setup) {
+										req := r.Base
+										req.Exec, req.Flag, req.Scenario, req.Workers = exec, fl, scen, workers
+										req.Kind, req.PerColor, req.Policy = kind, pc, pol
+										req.Seed, req.Setup = seed, setup
+										sp, err := req.spec()
+										if err != nil {
+											return nil, err
+										}
+										out = append(out, sp)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// SweepRunRow is one run's compact row in a sweep response.
+type SweepRunRow struct {
+	Spec       string `json:"spec"`
+	CacheHit   bool   `json:"cache_hit"`
+	MakespanNS int64  `json:"makespan_ns,omitempty"`
+	Events     uint64 `json:"events,omitempty"`
+	GridSHA256 string `json:"grid_sha256,omitempty"`
+	Err        string `json:"err,omitempty"`
+}
+
+// SweepResponse is the /v1/sweep reply.
+type SweepResponse struct {
+	Count   int           `json:"count"`
+	Workers int           `json:"workers"`
+	WallNS  int64         `json:"wall_ns"`
+	Hits    int           `json:"cache_hits"`
+	Misses  int           `json:"cache_misses"`
+	Failed  int           `json:"failed"`
+	Runs    []SweepRunRow `json:"runs"`
+}
+
+// FlagInfo is one catalog entry in the /v1/flags reply.
+type FlagInfo struct {
+	Name     string   `json:"name"`
+	DefaultW int      `json:"default_w"`
+	DefaultH int      `json:"default_h"`
+	Layers   int      `json:"layers"`
+	Colors   []string `json:"colors"`
+}
+
+// Health is the /healthz reply.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	InFlight      int     `json:"in_flight"`
+	Queued        int     `json:"queued"`
+	CacheHits     int     `json:"cache_hits"`
+	CacheMisses   int     `json:"cache_misses"`
+	CacheEntries  int     `json:"cache_entries"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(raw, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeJSON strictly decodes the request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// requestCtx derives the execution context: the client's own (canceled
+// on disconnect) bounded by the configured per-request deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// admit runs the gate and writes the backpressure responses on refusal.
+// It reports whether the request may proceed; the caller must release
+// on true.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
+	err := s.gate.acquire(ctx)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, errSaturated):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusTooManyRequests, err)
+	default:
+		// The client gave up (or timed out) while queued.
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("server: abandoned while queued: %w", err))
+	}
+	return false
+}
+
+// writeRunError maps a failed run onto a status code: canceled runs are
+// the client's doing (499) or the deadline's (504); anything else is a
+// spec the engine rejected (422).
+func (s *Server) writeRunError(w http.ResponseWriter, ctx context.Context, err error) {
+	if errors.Is(err, sim.ErrCanceled) {
+		s.metrics.canceled.inc()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("server: run exceeded the request deadline: %w", err))
+			return
+		}
+		writeError(w, statusClientClosedRequest, err)
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, err)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := req.spec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.gate.release()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+	batch := s.sweeper.Run(ctx, []sweep.Spec{spec})
+	run := batch.Runs[0]
+	if run.Err != nil {
+		s.writeRunError(w, ctx, run.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Spec:      spec.Label(),
+		CacheHit:  run.CacheHit,
+		ElapsedNS: int64(run.Elapsed),
+		Result:    NewSimResult(run.Result),
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	specs, err := req.specs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(specs) > s.cfg.MaxSweepSpecs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("grid expands to %d specs, limit %d", len(specs), s.cfg.MaxSweepSpecs))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.gate.release()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+	batch := s.sweeper.Run(ctx, specs)
+	resp := SweepResponse{
+		Count:   len(batch.Runs),
+		Workers: batch.Workers,
+		WallNS:  int64(batch.Wall),
+		Hits:    batch.Cache.Hits,
+		Misses:  batch.Cache.Misses,
+	}
+	canceled := false
+	for _, run := range batch.Runs {
+		row := SweepRunRow{Spec: run.Spec.Label(), CacheHit: run.CacheHit}
+		if run.Err != nil {
+			resp.Failed++
+			row.Err = run.Err.Error()
+			canceled = canceled || errors.Is(run.Err, sim.ErrCanceled)
+		} else {
+			sum := sha256.Sum256([]byte(run.Result.Grid.String()))
+			row.MakespanNS = int64(run.Result.Makespan)
+			row.Events = run.Result.Events
+			row.GridSHA256 = hex.EncodeToString(sum[:])
+		}
+		resp.Runs = append(resp.Runs, row)
+	}
+	if canceled {
+		s.writeRunError(w, ctx, fmt.Errorf("sweep: %d of %d runs: %w",
+			resp.Failed, resp.Count, sim.ErrCanceled))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFlags(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	var out []FlagInfo
+	for _, f := range flagspec.All() {
+		info := FlagInfo{
+			Name: f.Name, DefaultW: f.DefaultW, DefaultH: f.DefaultH,
+			Layers: len(f.Layers),
+		}
+		for _, c := range f.Colors() {
+			info.Colors = append(info.Colors, c.String())
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	inFlight, queued := s.gate.depth()
+	stats := s.sweeper.Stats()
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		InFlight:      inFlight,
+		Queued:        queued,
+		CacheHits:     stats.Hits,
+		CacheMisses:   stats.Misses,
+		CacheEntries:  stats.Entries,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	inFlight, queued := s.gate.depth()
+	stats := s.sweeper.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeTo(w, gaugeSnapshot{
+		inFlight: inFlight, queued: queued,
+		cacheHits: stats.Hits, cacheMisses: stats.Misses, cacheCount: stats.Entries,
+	})
+}

@@ -1,0 +1,196 @@
+// Package server is flagsim's network surface: a production-shaped HTTP
+// JSON service that runs scenario simulations and parameter sweeps on
+// demand. The serving core is a bounded admission queue (MaxInFlight
+// executing, MaxQueue waiting, fast-fail 429 beyond that) in front of
+// the sweep subsystem's worker pool, whose content-addressed memo cache
+// lives for the process lifetime — identical requests are served warm
+// across clients.
+//
+// Endpoints:
+//
+//	POST /v1/run     one scenario run (JSON spec in, full result out)
+//	POST /v1/sweep   a cartesian grid batch (compact per-run rows out)
+//	GET  /v1/flags   the built-in flag catalog
+//	GET  /healthz    liveness + serving gauges
+//	GET  /metrics    Prometheus text exposition
+//
+// Cancellation contract: every run executes under the request's context
+// (optionally bounded by RequestTimeout), threaded through the sweep
+// pool into the engine's event loop — a client that disconnects mid-run
+// stops the simulation at the next engine checkpoint instead of burning
+// CPU to the end, and canceled computes are never memoized.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"flagsim/internal/sweep"
+)
+
+// Config parameterizes the service. The zero value serves with sensible
+// bounds (see the field comments).
+type Config struct {
+	// Addr is the listen address; default ":8080".
+	Addr string
+	// MaxInFlight bounds concurrently executing simulation requests;
+	// <= 0 means runtime.GOMAXPROCS(0).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; beyond it
+	// the service fast-fails with 429. < 0 means 0 (no queue);
+	// 0 means the default of 64.
+	MaxQueue int
+	// RequestTimeout caps each simulation request's execution time;
+	// <= 0 disables the per-request deadline.
+	RequestTimeout time.Duration
+	// SweepWorkers sizes the underlying sweep pool; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	SweepWorkers int
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish after the serve context is canceled; default 30s.
+	DrainTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses;
+	// default 1s.
+	RetryAfter time.Duration
+	// MaxSweepSpecs caps the expanded grid size of one /v1/sweep request;
+	// default 4096.
+	MaxSweepSpecs int
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	case c.MaxQueue == 0:
+		c.MaxQueue = 64
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxSweepSpecs <= 0 {
+		c.MaxSweepSpecs = 4096
+	}
+	return c
+}
+
+// Server is the HTTP simulation service. Create one with New; it is
+// safe for concurrent use.
+type Server struct {
+	cfg     Config
+	sweeper *sweep.Sweeper
+	gate    *gate
+	metrics *metrics
+	mux     *http.ServeMux
+
+	// testHookAdmitted, when set, runs after a simulation request clears
+	// admission and before it executes — the deterministic seam the
+	// backpressure and drain tests block on.
+	testHookAdmitted func()
+}
+
+// New assembles a Server. The sweep pool and its memo cache live as
+// long as the Server, so repeated requests are served warm.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		sweeper: sweep.New(sweep.Options{Workers: cfg.SweepWorkers}),
+		gate:    newGate(cfg.MaxInFlight, cfg.MaxQueue),
+		metrics: newMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/run", s.instrument("/v1/run", s.handleRun))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/flags", s.instrument("/v1/flags", s.handleFlags))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler (for embedding or tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Sweeper exposes the process-lifetime sweep pool, e.g. for pre-warming
+// the cache before a benchmark.
+func (s *Server) Sweeper() *sweep.Sweeper { return s.sweeper }
+
+// statusRecorder captures the status code a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency
+// observation under the endpoint's label.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		elapsed := time.Since(start)
+		s.metrics.requests.get(requestLabels(endpoint, rec.status)).inc()
+		switch endpoint {
+		case "/v1/run":
+			s.metrics.runLatency.observe(elapsed)
+		case "/v1/sweep":
+			s.metrics.sweepLatency.observe(elapsed)
+		}
+		if rec.status == http.StatusTooManyRequests {
+			s.metrics.rejected.get(endpointLabels(endpoint)).inc()
+		}
+	}
+}
+
+// ListenAndServe binds cfg.Addr and serves until ctx is canceled, then
+// drains gracefully (see Serve).
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves on ln until ctx is canceled, then shuts down gracefully:
+// listeners close immediately, in-flight requests get DrainTimeout to
+// finish, and a clean drain returns nil. The listener is always closed
+// by the time Serve returns.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("server: drain incomplete: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

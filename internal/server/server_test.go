@@ -1,0 +1,450 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flagsim/internal/sweep"
+)
+
+// newTestServer wires a Server with test-friendly bounds behind an
+// httptest listener.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, raw
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, raw
+}
+
+// TestRunMatchesLibraryByteForByte is the service's determinism
+// contract: the response's result section must be byte-identical to
+// marshaling the result a direct library call computes for the same
+// spec.
+func TestRunMatchesLibraryByteForByte(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	reqs := []string{
+		`{"exec":"static","flag":"mauritius","scenario":4,"seed":1,"setup":"20s"}`,
+		`{"exec":"steal","flag":"mauritius","scenario":3,"kind":"crayon","seed":7,"jitter":0.15}`,
+		`{"exec":"dynamic","flag":"france","workers":4,"seed":3,"policy":"pull-color-affinity"}`,
+	}
+	for _, body := range reqs {
+		resp, raw := postJSON(t, ts.URL+"/v1/run", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", body, resp.StatusCode, raw)
+		}
+		var envelope struct {
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(raw, &envelope); err != nil {
+			t.Fatalf("%s: bad envelope: %v", body, err)
+		}
+
+		var req RunRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatal(err)
+		}
+		spec, err := req.spec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := sweep.RunAll([]sweep.Spec{spec}, sweep.Options{Workers: 1})
+		if err := batch.Err(); err != nil {
+			t.Fatalf("library run failed: %v", err)
+		}
+		want, err := json.Marshal(NewSimResult(batch.Runs[0].Result))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(envelope.Result, want) {
+			t.Errorf("%s: server and library results diverge:\n server  %s\n library %s",
+				body, envelope.Result, want)
+		}
+	}
+}
+
+func TestRunWarmCacheAcrossRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"flag":"mauritius","scenario":4,"seed":42}`
+
+	type reply struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	var cold, warm reply
+	_, raw := postJSON(t, ts.URL+"/v1/run", body)
+	if err := json.Unmarshal(raw, &cold); err != nil {
+		t.Fatal(err)
+	}
+	_, raw = postJSON(t, ts.URL+"/v1/run", body)
+	if err := json.Unmarshal(raw, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit || !warm.CacheHit {
+		t.Fatalf("cache hits: cold=%v warm=%v, want false/true", cold.CacheHit, warm.CacheHit)
+	}
+}
+
+func TestRunRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"exec":"quantum"}`, http.StatusBadRequest},
+		{`{"flag":"atlantis"}`, http.StatusBadRequest},
+		{`{"scenario":9}`, http.StatusBadRequest},
+		{`{"kind":"chalk"}`, http.StatusBadRequest},
+		{`{"setup":"yesterday"}`, http.StatusBadRequest},
+		{`{"hold":"forever"}`, http.StatusBadRequest},
+		{`{"policy":"push"}`, http.StatusBadRequest},
+		{`{"scenario":2,"pipelined":true}`, http.StatusBadRequest},
+		{`{"bogus_field":1}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/run", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.body, resp.StatusCode, tc.want, raw)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body missing: %s", tc.body, raw)
+		}
+	}
+	resp, _ := getBody(t, ts.URL+"/v1/run")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBackpressure drives the gate to saturation: with one execution
+// slot held and no queue, the next request must fast-fail 429 with a
+// Retry-After hint; with a one-deep queue, it must park and then
+// succeed once the slot frees.
+func TestBackpressure(t *testing.T) {
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: -1, RetryAfter: 3 * time.Second})
+	s.testHookAdmitted = func() {
+		admitted <- struct{}{}
+		<-release
+	}
+
+	body := `{"flag":"mauritius","scenario":1,"seed":1}`
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+		first <- resp.StatusCode
+	}()
+	<-admitted // the slot is now held
+
+	resp, raw := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST: status %d, want 429 (%s)", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", got)
+	}
+
+	close(release)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("first request: status %d, want 200", code)
+	}
+}
+
+func TestQueuedRequestServesAfterSlotFrees(t *testing.T) {
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1})
+	s.testHookAdmitted = func() {
+		admitted <- struct{}{}
+		<-release
+	}
+
+	body := `{"flag":"mauritius","scenario":1,"seed":2}`
+	codes := make(chan int, 2)
+	post := func() {
+		resp, _ := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+		codes <- resp.StatusCode
+	}
+	go post()
+	<-admitted
+	go post() // parks in the queue
+	waitFor(t, func() bool { _, q := s.gate.depth(); return q == 1 })
+
+	release <- struct{}{} // first finishes; queued request takes the slot
+	<-admitted
+	release <- struct{}{}
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200", i, code)
+		}
+	}
+}
+
+// TestRequestTimeoutCancelsRun bounds a large run with a deadline far
+// shorter than its compute time: the engine must stop early, the
+// client must see 504, and the aborted compute must not be memoized.
+func TestRequestTimeoutCancelsRun(t *testing.T) {
+	s, ts := newTestServer(t, Config{RequestTimeout: 5 * time.Millisecond})
+	body := `{"flag":"mauritius","scenario":4,"w":800,"h":400,"seed":9}`
+
+	resp, raw := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "canceled") {
+		t.Errorf("error body does not mention cancellation: %s", raw)
+	}
+	if stats := s.Sweeper().Stats(); stats.Entries != 0 {
+		t.Errorf("timed-out compute was memoized: %+v", stats)
+	}
+	if got := s.metrics.canceled.value(); got != 1 {
+		t.Errorf("canceled counter = %d, want 1", got)
+	}
+}
+
+// TestClientDisconnectCancelsRun drops the client mid-run and asserts
+// the server aborts the simulation instead of computing to completion.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	s.testHookAdmitted = func() { cancel() } // drop the client as the run is admitted
+
+	body := `{"flag":"mauritius","scenario":4,"w":800,"h":400,"seed":11}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatalf("request succeeded (%d) despite client cancel", resp.StatusCode)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("client error = %v, want context.Canceled", err)
+	}
+
+	waitFor(t, func() bool { return s.metrics.canceled.value() == 1 })
+	if stats := s.Sweeper().Stats(); stats.Entries != 0 {
+		t.Errorf("canceled compute was memoized: %+v", stats)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{
+		"base": {"flag": "mauritius", "scenario": 4, "setup": "5s"},
+		"execs": ["static", "steal"],
+		"seeds": [1, 2, 3]
+	}`
+	var got SweepResponse
+	resp, raw := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 6 || len(got.Runs) != 6 {
+		t.Fatalf("count = %d, runs = %d, want 6", got.Count, len(got.Runs))
+	}
+	if got.Misses != 6 || got.Hits != 0 || got.Failed != 0 {
+		t.Fatalf("cold sweep cache = %d hits / %d misses / %d failed", got.Hits, got.Misses, got.Failed)
+	}
+	for _, run := range got.Runs {
+		if run.Err != "" || run.MakespanNS <= 0 || len(run.GridSHA256) != 64 {
+			t.Fatalf("bad row: %+v", run)
+		}
+	}
+
+	// The same grid again is served entirely from the memo cache.
+	resp, raw = postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Hits != 6 || got.Misses != 0 {
+		t.Fatalf("warm sweep cache = %d hits / %d misses, want 6/0", got.Hits, got.Misses)
+	}
+}
+
+func TestSweepGridCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepSpecs: 4})
+	body := `{"base": {"flag": "mauritius"}, "seeds": [1,2,3,4,5]}`
+	resp, raw := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "limit 4") {
+		t.Errorf("error does not name the limit: %s", raw)
+	}
+}
+
+func TestFlagsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := getBody(t, ts.URL+"/v1/flags")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var flags []FlagInfo
+	if err := json.Unmarshal(raw, &flags); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]FlagInfo)
+	for _, f := range flags {
+		byName[f.Name] = f
+	}
+	m, ok := byName["mauritius"]
+	if !ok {
+		t.Fatalf("mauritius missing from catalog: %v", flags)
+	}
+	if m.DefaultW <= 0 || m.DefaultH <= 0 || m.Layers == 0 || len(m.Colors) == 0 {
+		t.Errorf("incomplete catalog entry: %+v", m)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/run", `{"flag":"mauritius","seed":5}`)
+	postJSON(t, ts.URL+"/v1/run", `{"flag":"mauritius","seed":5}`)
+
+	var h Health
+	resp, raw := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.InFlight != 0 || h.Queued != 0 {
+		t.Errorf("health = %+v", h)
+	}
+	if h.CacheMisses != 1 || h.CacheHits != 1 || h.CacheEntries != 1 {
+		t.Errorf("health cache stats = %+v, want 1 hit / 1 miss / 1 entry", h)
+	}
+
+	resp, raw = getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`flagsimd_requests_total{endpoint="/v1/run",code="200"} 2`,
+		"flagsimd_sweep_cache_hits_total 1",
+		"flagsimd_sweep_cache_misses_total 1",
+		"flagsimd_sweep_cache_entries 1",
+		"flagsimd_in_flight 0",
+		"flagsimd_queue_depth 0",
+		"flagsimd_run_seconds_count 2",
+		`flagsimd_run_seconds_bucket{le="+Inf"} 2`,
+		"flagsimd_uptime_seconds",
+		"# TYPE flagsimd_run_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestGracefulDrain cancels the serve context while a request is in
+// flight: the in-flight request must complete with 200 and Serve must
+// return nil once drained.
+func TestGracefulDrain(t *testing.T) {
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	s := New(Config{DrainTimeout: 5 * time.Second})
+	s.testHookAdmitted = func() {
+		admitted <- struct{}{}
+		<-release
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	url := fmt.Sprintf("http://%s/v1/run", ln.Addr())
+	code := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(url, "application/json",
+			strings.NewReader(`{"flag":"mauritius","seed":3}`))
+		if err != nil {
+			code <- -1
+			return
+		}
+		resp.Body.Close()
+		code <- resp.StatusCode
+	}()
+	<-admitted
+
+	cancel() // begin draining with the request still executing
+	close(release)
+	if got := <-code; got != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d, want 200", got)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v, want nil after clean drain", err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

@@ -1,0 +1,135 @@
+package sim
+
+// Cancellation contract of the ctx-taking executors: a canceled context
+// stops the engine at the next checkpoint with ErrCanceled, well before
+// the workload is done — the property the HTTP service relies on so an
+// abandoned request stops burning CPU.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/implement"
+	"flagsim/internal/workplan"
+)
+
+// bigConfig builds a large static workload (tens of thousands of events)
+// so a mid-run cancel has plenty of simulation left to skip.
+func bigConfig(t *testing.T) Config {
+	t.Helper()
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, 200, 100, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Plan:  plan,
+		Procs: newTeam(t, 4),
+		Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+	}
+}
+
+// cancelAfterProbe cancels the context after n completed cells — a
+// deterministic mid-run cancellation point driven by the engine itself.
+type cancelAfterProbe struct {
+	BaseProbe
+	n      int
+	cancel context.CancelFunc
+	seen   int
+}
+
+func (p *cancelAfterProbe) Complete(int, workplan.Task, time.Duration) {
+	p.seen++
+	if p.seen == p.n {
+		p.cancel()
+	}
+}
+
+func TestRunCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, bigConfig(t)); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled ctx: got %v, want ErrCanceled", err)
+	}
+}
+
+func TestRunCtxCancelMidRunStopsEarly(t *testing.T) {
+	cfg := bigConfig(t)
+	total := 0
+	for _, tasks := range cfg.Plan.PerProc {
+		total += len(tasks)
+	}
+	if total < 10000 {
+		t.Fatalf("workload too small to observe early exit: %d cells", total)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probe := &cancelAfterProbe{n: 100, cancel: cancel}
+	cfg.Probes = []Probe{probe}
+
+	_, err := RunCtx(ctx, cfg)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-run cancel: got %v, want ErrCanceled", err)
+	}
+	// The engine may run up to cancelCheckEvery more events past the
+	// cancel; each cell costs a handful of events, so a generous bound
+	// still proves the run stopped near the cancel point, not at the end.
+	if probe.seen > probe.n+cancelCheckEvery {
+		t.Fatalf("engine painted %d cells after cancel at %d", probe.seen-probe.n, probe.n)
+	}
+	if probe.seen >= total/2 {
+		t.Fatalf("engine painted %d of %d cells — not an early exit", probe.seen, total)
+	}
+}
+
+func TestRunStealCtxCancelMidRun(t *testing.T) {
+	cfg := bigConfig(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probe := &cancelAfterProbe{n: 100, cancel: cancel}
+	cfg.Probes = []Probe{probe}
+	if _, err := RunStealCtx(ctx, cfg); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("steal mid-run cancel: got %v, want ErrCanceled", err)
+	}
+}
+
+func TestRunDynamicCtxCancelMidRun(t *testing.T) {
+	f := flagspec.Mauritius
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probe := &cancelAfterProbe{n: 100, cancel: cancel}
+	_, err := RunDynamicCtx(ctx, DynamicConfig{
+		Flag: f, W: 200, H: 100,
+		Procs:  newTeam(t, 4),
+		Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+		Probes: []Probe{probe},
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("dynamic mid-run cancel: got %v, want ErrCanceled", err)
+	}
+}
+
+func TestRunCtxNilAndLiveCtxMatchRun(t *testing.T) {
+	cfg := Config{
+		Plan:  mauritiusPlan(t, 4),
+		Procs: newTeam(t, 4),
+		Set:   implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors()),
+	}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Procs = newTeam(t, 4)
+	checked, err := RunCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Makespan != checked.Makespan || plain.Events != checked.Events {
+		t.Fatalf("ctx-checked run diverged: %v/%d vs %v/%d",
+			plain.Makespan, plain.Events, checked.Makespan, checked.Events)
+	}
+}

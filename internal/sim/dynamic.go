@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -214,7 +215,10 @@ func (s *bagSource) CheckComplete(e *Engine) error {
 }
 
 // RunDynamic executes the self-scheduled run.
-func RunDynamic(cfg DynamicConfig) (*Result, error) {
+func RunDynamic(cfg DynamicConfig) (*Result, error) { return RunDynamicCtx(nil, cfg) }
+
+// RunDynamicCtx is RunDynamic with a cancellation context (see RunCtx).
+func RunDynamicCtx(ctx context.Context, cfg DynamicConfig) (*Result, error) {
 	if cfg.Flag == nil {
 		return nil, fmt.Errorf("sim: nil flag")
 	}
@@ -244,6 +248,7 @@ func RunDynamic(cfg DynamicConfig) (*Result, error) {
 	}
 	source := newBagSource(cfg.Policy, len(cfg.Flag.Layers), len(cfg.Procs), seq.PerProc[0])
 	e := newEngine(engineConfig{
+		ctx:            ctx,
 		source:         source,
 		procs:          cfg.Procs,
 		set:            cfg.Set,

@@ -27,6 +27,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -38,6 +40,13 @@ import (
 	"flagsim/internal/processor"
 	"flagsim/internal/workplan"
 )
+
+// ErrCanceled is the sentinel wrapped into the error the ctx-taking
+// executors (RunCtx, RunStealCtx, RunDynamicCtx) return when the run's
+// context is canceled mid-simulation: the engine stops at the next
+// cancellation checkpoint instead of simulating to the end. Test for it
+// with errors.Is.
+var ErrCanceled = errors.New("sim: run canceled")
 
 // HoldPolicy controls when a processor releases its implement.
 type HoldPolicy uint8
@@ -327,11 +336,17 @@ func (s *planSource) CheckComplete(*Engine) error {
 }
 
 // Run executes the configuration to completion and returns the result.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (*Result, error) { return RunCtx(nil, cfg) }
+
+// RunCtx is Run with a cancellation context: when ctx is canceled the
+// engine aborts at the next checkpoint and returns an error wrapping
+// ErrCanceled. A nil ctx runs unchecked (identical to Run).
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	e := newEngine(engineConfig{
+		ctx:            ctx,
 		source:         newPlanSource(cfg.Plan),
 		procs:          cfg.Procs,
 		set:            cfg.Set,

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"flagsim/internal/geom"
@@ -140,12 +141,16 @@ func (s *stealSource) CheckComplete(*Engine) error {
 // RunSteal executes the plan under work stealing. The Config is the same
 // as Run's; the plan's per-processor split is the starting assignment,
 // and the Result's plan records who actually painted what.
-func RunSteal(cfg Config) (*Result, error) {
+func RunSteal(cfg Config) (*Result, error) { return RunStealCtx(nil, cfg) }
+
+// RunStealCtx is RunSteal with a cancellation context (see RunCtx).
+func RunStealCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	source := newStealSource(cfg.Plan)
 	e := newEngine(engineConfig{
+		ctx:            ctx,
 		source:         source,
 		procs:          cfg.Procs,
 		set:            cfg.Set,

@@ -1,0 +1,79 @@
+package sweep
+
+// Grid edge cases: the enumeration degenerates gracefully — no axes means
+// the base spec alone, a single-value axis is a one-cell grid, and an
+// explicitly empty axis contributes the base value rather than zeroing
+// the product.
+
+import (
+	"testing"
+
+	"flagsim/internal/core"
+	"flagsim/internal/implement"
+)
+
+func TestGridNoAxesYieldsBaseSpec(t *testing.T) {
+	base := Spec{Flag: "canada", Scenario: core.S2, Kind: implement.Crayon, Seed: 3}
+	g := Grid{Base: base}
+	if g.Size() != 1 {
+		t.Fatalf("empty grid Size = %d, want 1", g.Size())
+	}
+	specs := g.Specs()
+	if len(specs) != 1 {
+		t.Fatalf("empty grid enumerated %d specs, want 1", len(specs))
+	}
+	if specs[0].Key() != base.Key() {
+		t.Fatalf("empty grid perturbed the base spec: %+v", specs[0])
+	}
+}
+
+func TestGridSingleCell(t *testing.T) {
+	g := Grid{
+		Base:  Spec{Flag: "mauritius", Kind: implement.ThickMarker},
+		Seeds: []uint64{7},
+	}
+	if g.Size() != 1 {
+		t.Fatalf("single-cell grid Size = %d, want 1", g.Size())
+	}
+	specs := g.Specs()
+	if len(specs) != 1 || specs[0].Seed != 7 {
+		t.Fatalf("single-cell grid = %+v", specs)
+	}
+}
+
+func TestGridEmptyAxisUsesBaseValue(t *testing.T) {
+	// Workers axis is nil: every spec inherits the base worker count, and
+	// the product is the size of the populated axes alone.
+	g := Grid{
+		Base:    Spec{Flag: "mauritius", Workers: 3, Kind: implement.ThickMarker},
+		Workers: nil,
+		Seeds:   []uint64{1, 2},
+		Kinds:   []implement.Kind{implement.Dauber, implement.Crayon, implement.ThinMarker},
+	}
+	specs := g.Specs()
+	if g.Size() != 6 || len(specs) != 6 {
+		t.Fatalf("Size = %d, len = %d, want 6", g.Size(), len(specs))
+	}
+	for _, sp := range specs {
+		if sp.Workers != 3 {
+			t.Fatalf("empty Workers axis lost the base value: %+v", sp)
+		}
+	}
+}
+
+func TestGridSizeMatchesEnumeration(t *testing.T) {
+	grids := []Grid{
+		{},
+		{Base: Spec{Flag: "mauritius"}},
+		{Seeds: []uint64{1, 2, 3}},
+		{Execs: []Exec{ExecStatic, ExecDynamic}, Seeds: []uint64{1, 2, 3, 4, 5}},
+		{Flags: []string{"mauritius", "france"},
+			Scenarios: []core.ScenarioID{core.S1, core.S2, core.S3},
+			PerColor:  []int{1, 2}},
+	}
+	for i, g := range grids {
+		if got := len(g.Specs()); got != g.Size() {
+			t.Errorf("grid %d: Size() = %d but enumerated %d", i, g.Size(), got)
+		}
+	}
+}

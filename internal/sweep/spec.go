@@ -13,6 +13,7 @@
 package sweep
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"math"
@@ -153,8 +154,10 @@ func (s Spec) team(n int) ([]*processor.Processor, error) {
 }
 
 // run materializes and executes the spec. Everything stateful is built
-// here, inside the worker, so runs are independent of pool placement.
-func (s Spec) run() (*sim.Result, error) {
+// here, inside the worker, so runs are independent of pool placement. A
+// non-nil ctx installs engine cancellation checkpoints; a canceled run
+// fails with an error wrapping sim.ErrCanceled.
+func (s Spec) run(ctx context.Context) (*sim.Result, error) {
 	f, err := flagspec.Lookup(s.Flag)
 	if err != nil {
 		return nil, err
@@ -182,9 +185,9 @@ func (s Spec) run() (*sim.Result, error) {
 			Set: set, Setup: s.Setup, Hold: s.Hold,
 		}
 		if s.Exec == ExecSteal {
-			return core.RunStealing(spec)
+			return core.RunStealingCtx(ctx, spec)
 		}
-		return core.Run(spec)
+		return core.RunCtx(ctx, spec)
 	case ExecDynamic:
 		n := s.Workers
 		if n < 1 {
@@ -194,7 +197,7 @@ func (s Spec) run() (*sim.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sim.RunDynamic(sim.DynamicConfig{
+		return sim.RunDynamicCtx(ctx, sim.DynamicConfig{
 			Flag: f, W: s.W, H: s.H, Procs: team, Set: set,
 			Policy: s.Policy, Setup: s.Setup,
 		})

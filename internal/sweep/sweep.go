@@ -14,7 +14,9 @@ package sweep
 // workers returns bit-identical per-run Results.
 
 import (
+	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,6 +38,10 @@ type Options struct {
 type CacheStats struct {
 	Hits   int
 	Misses int
+	// Entries is the number of memoized results resident in the cache.
+	// Only Sweeper.Stats snapshots fill it; a batch Result's Cache tally
+	// leaves it zero (a batch doesn't own the cache).
+	Entries int
 }
 
 // HitRate returns hits / (hits + misses), or 0 for an empty tally.
@@ -118,13 +124,24 @@ func New(opts Options) *Sweeper {
 // Workers returns the pool's concurrency bound.
 func (s *Sweeper) Workers() int { return s.workers }
 
-// Stats returns the Sweeper's lifetime cache tally across all batches.
+// Stats returns the Sweeper's lifetime cache tally across all batches,
+// plus the number of memoized results currently resident.
 func (s *Sweeper) Stats() CacheStats {
-	return CacheStats{Hits: int(s.hits.Load()), Misses: int(s.misses.Load())}
+	s.mu.Lock()
+	entries := len(s.cache)
+	s.mu.Unlock()
+	return CacheStats{Hits: int(s.hits.Load()), Misses: int(s.misses.Load()), Entries: entries}
 }
 
 // Run executes the batch and returns per-run outcomes in input order.
-func (s *Sweeper) Run(specs []Spec) *Result {
+//
+// ctx cancels the batch: runs already computing abort at the engine's
+// next cancellation checkpoint, queued runs fail fast, and every
+// affected RunResult carries an error wrapping sim.ErrCanceled. Canceled
+// computes are never memoized — the entry is evicted so a later batch
+// (or a concurrent duplicate with a live context) recomputes instead of
+// inheriting a poisoned result. A nil ctx runs unchecked.
+func (s *Sweeper) Run(ctx context.Context, specs []Spec) *Result {
 	start := time.Now()
 	batch := &Result{Runs: make([]RunResult, len(specs)), Workers: s.workers}
 	var hits, misses atomic.Uint64
@@ -142,28 +159,52 @@ func (s *Sweeper) Run(specs []Spec) *Result {
 			defer func() { <-sem }()
 
 			key := specs[i].Key()
-			s.mu.Lock()
-			e, cached := s.cache[key]
-			if !cached {
-				e = &entry{done: make(chan struct{})}
-				s.cache[key] = e
-			}
-			s.mu.Unlock()
+			for {
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						batch.Runs[i] = RunResult{Spec: specs[i],
+							Err: fmt.Errorf("%w before start: %v", sim.ErrCanceled, err)}
+						return
+					}
+				}
+				s.mu.Lock()
+				e, cached := s.cache[key]
+				if !cached {
+					e = &entry{done: make(chan struct{})}
+					s.cache[key] = e
+				}
+				s.mu.Unlock()
 
-			if cached {
+				if !cached {
+					t0 := time.Now()
+					e.res, e.err = specs[i].run(ctx)
+					elapsed := time.Since(t0)
+					if e.err != nil && errors.Is(e.err, sim.ErrCanceled) {
+						// Never memoize a canceled compute: evict before
+						// publishing so retrying waiters re-enter the
+						// lookup as fresh creators.
+						s.mu.Lock()
+						delete(s.cache, key)
+						s.mu.Unlock()
+					}
+					close(e.done)
+					misses.Add(1)
+					s.misses.Add(1)
+					batch.Runs[i] = RunResult{Spec: specs[i], Result: e.res, Err: e.err, Elapsed: elapsed}
+					return
+				}
+
 				<-e.done
+				if e.err != nil && errors.Is(e.err, sim.ErrCanceled) {
+					// The creator's context died mid-compute; this spec is
+					// still wanted, so retry as the new creator.
+					continue
+				}
 				hits.Add(1)
 				s.hits.Add(1)
 				batch.Runs[i] = RunResult{Spec: specs[i], Result: e.res, Err: e.err, CacheHit: true}
 				return
 			}
-			t0 := time.Now()
-			e.res, e.err = specs[i].run()
-			elapsed := time.Since(t0)
-			close(e.done)
-			misses.Add(1)
-			s.misses.Add(1)
-			batch.Runs[i] = RunResult{Spec: specs[i], Result: e.res, Err: e.err, Elapsed: elapsed}
 		}(i)
 	}
 	wg.Wait()
@@ -176,5 +217,5 @@ func (s *Sweeper) Run(specs []Spec) *Result {
 // entry point for one-shot batches. Reuse a Sweeper instead when warm
 // reruns should hit the cache.
 func RunAll(specs []Spec, opts Options) *Result {
-	return New(opts).Run(specs)
+	return New(opts).Run(nil, specs)
 }

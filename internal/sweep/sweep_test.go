@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
@@ -50,8 +52,8 @@ func fingerprint(r *sim.Result) string {
 
 func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	specs := testGrid()
-	serial := New(Options{Workers: 1}).Run(specs)
-	pooled := New(Options{Workers: 8}).Run(specs)
+	serial := New(Options{Workers: 1}).Run(nil, specs)
+	pooled := New(Options{Workers: 8}).Run(nil, specs)
 	if len(serial.Runs) != len(specs) || len(pooled.Runs) != len(specs) {
 		t.Fatalf("runs = %d and %d, want %d", len(serial.Runs), len(pooled.Runs), len(specs))
 	}
@@ -72,14 +74,14 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 func TestSweepWarmCache(t *testing.T) {
 	specs := testGrid()
 	sw := New(Options{Workers: 4})
-	cold := sw.Run(specs)
+	cold := sw.Run(nil, specs)
 	if err := cold.Err(); err != nil {
 		t.Fatal(err)
 	}
 	if cold.Cache.Misses != len(specs) || cold.Cache.Hits != 0 {
 		t.Fatalf("cold cache = %+v, want %d misses", cold.Cache, len(specs))
 	}
-	warm := sw.Run(specs)
+	warm := sw.Run(nil, specs)
 	if err := warm.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -104,6 +106,9 @@ func TestSweepWarmCache(t *testing.T) {
 	if stats.Hits != len(specs) || stats.Misses != len(specs) {
 		t.Errorf("lifetime stats = %+v, want %d/%d", stats, len(specs), len(specs))
 	}
+	if stats.Entries != len(specs) {
+		t.Errorf("cache entries = %d, want %d", stats.Entries, len(specs))
+	}
 }
 
 func TestSweepDedupesWithinBatch(t *testing.T) {
@@ -112,7 +117,7 @@ func TestSweepDedupesWithinBatch(t *testing.T) {
 	for i := range specs {
 		specs[i] = spec
 	}
-	batch := New(Options{Workers: 4}).Run(specs)
+	batch := New(Options{Workers: 4}).Run(nil, specs)
 	if err := batch.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +137,7 @@ func TestSweepMemoizesErrors(t *testing.T) {
 		{Flag: "mauritius", Scenario: core.S1, Kind: implement.ThickMarker},
 	}
 	sw := New(Options{Workers: 2})
-	cold := sw.Run(specs)
+	cold := sw.Run(nil, specs)
 	if cold.Runs[0].Err == nil {
 		t.Fatal("unknown flag did not error")
 	}
@@ -142,9 +147,57 @@ func TestSweepMemoizesErrors(t *testing.T) {
 	if err := cold.Err(); err == nil {
 		t.Fatal("batch Err() lost the per-run error")
 	}
-	warm := sw.Run(specs[:1])
+	warm := sw.Run(nil, specs[:1])
 	if !warm.Runs[0].CacheHit || warm.Runs[0].Err == nil {
 		t.Fatalf("error was not memoized: %+v", warm.Runs[0])
+	}
+}
+
+func TestSweepCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sw := New(Options{Workers: 2})
+	batch := sw.Run(ctx, testGrid())
+	for i, run := range batch.Runs {
+		if !errors.Is(run.Err, sim.ErrCanceled) {
+			t.Fatalf("run %d: err = %v, want ErrCanceled", i, run.Err)
+		}
+	}
+	if stats := sw.Stats(); stats.Entries != 0 {
+		t.Fatalf("canceled batch left %d cache entries", stats.Entries)
+	}
+}
+
+func TestSweepCancelMidRunNotMemoized(t *testing.T) {
+	// One very large run (~320k cells, ~100ms of compute even on a fast
+	// machine) canceled shortly after it starts: the run must fail with
+	// ErrCanceled and must NOT poison the cache — a rerun with a live
+	// context computes fresh and succeeds. The generous size also rides
+	// out single-core schedulers that park the canceling goroutine for
+	// tens of milliseconds.
+	spec := Spec{Flag: "mauritius", Scenario: core.S4, W: 800, H: 400,
+		Kind: implement.ThickMarker, Seed: 9}
+	sw := New(Options{Workers: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	batch := sw.Run(ctx, []Spec{spec})
+	if err := batch.Runs[0].Err; !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("canceled run: err = %v, want ErrCanceled", err)
+	}
+	if stats := sw.Stats(); stats.Entries != 0 {
+		t.Fatalf("canceled compute was memoized: %+v", stats)
+	}
+
+	retry := sw.Run(context.Background(), []Spec{spec})
+	if err := retry.Runs[0].Err; err != nil {
+		t.Fatalf("retry after cancel failed: %v", err)
+	}
+	if retry.Runs[0].CacheHit {
+		t.Fatal("retry was served from cache — canceled entry survived")
 	}
 }
 
