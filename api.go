@@ -3,6 +3,7 @@ package flagsim
 import (
 	"context"
 	"io"
+	"log/slog"
 	"time"
 
 	"flagsim/internal/classroom"
@@ -12,6 +13,7 @@ import (
 	"flagsim/internal/grid"
 	"flagsim/internal/implement"
 	"flagsim/internal/metrics"
+	"flagsim/internal/obs"
 	"flagsim/internal/processor"
 	"flagsim/internal/quiz"
 	"flagsim/internal/rng"
@@ -343,6 +345,45 @@ type CountingProbe = sim.CountingProbe
 // traced run's timeline from an untraced run.
 type SpanCollector = sim.SpanCollector
 
+// ResultProbe is the optional Probe extension executors call once per
+// completed run with the assembled Result — run-level totals (steals,
+// migrations, event counts, queue high-water) that per-event callbacks
+// cannot see.
+type ResultProbe = sim.ResultProbe
+
+// ---- Observability ----
+
+// MetricsRegistry is a dependency-free, ordered Prometheus text registry
+// (exposition format 0.0.4): counters, gauges, histograms, and
+// scrape-time function families.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// EngineMetricsProbe bridges engine events onto a MetricsRegistry:
+// cells painted, implement traffic, blocks by kind/color, spans by
+// kind, and run-level totals. Goroutine-safe; install one process-wide
+// (e.g. in SweepOptions.Probes) to observe every pooled run.
+type EngineMetricsProbe = obs.MetricsProbe
+
+// NewEngineMetricsProbe registers the engine families on reg and
+// returns the probe that feeds them.
+func NewEngineMetricsProbe(reg *MetricsRegistry) *EngineMetricsProbe {
+	return obs.NewMetricsProbe(reg)
+}
+
+// RegisterGoRuntimeMetrics adds the conventional go_* runtime families
+// (goroutines, heap, GC) to reg.
+func RegisterGoRuntimeMetrics(reg *MetricsRegistry) { obs.RegisterGoRuntime(reg) }
+
+// NewStructuredLogger builds a log/slog logger writing to w with the
+// given minimum level ("debug", "info", "warn", "error") and format
+// ("text" or "json").
+func NewStructuredLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
+
 // ---- Batch sweeps ----
 
 // SweepSpec is a declarative, hashable description of one run: teams and
@@ -442,7 +483,9 @@ type ServerConfig = server.Config
 
 // SimServer is the HTTP simulation service: POST /v1/run and
 // /v1/sweep execute under admission control with the sweep cache warm
-// across requests; GET /healthz and /metrics expose serving state.
+// across requests; GET /healthz and /metrics expose serving, engine,
+// and Go runtime state; GET /v1/runs and /v1/runs/{id}/trace replay
+// recent runs, and POST /v1/run?trace=chrome streams a Chrome trace.
 type SimServer = server.Server
 
 // NewServer assembles an HTTP simulation service (for embedding its

@@ -11,6 +11,7 @@ import (
 
 	"flagsim/internal/flagspec"
 	"flagsim/internal/implement"
+	"flagsim/internal/obs"
 	"flagsim/internal/processor"
 	"flagsim/internal/rng"
 	"flagsim/internal/sim"
@@ -96,4 +97,33 @@ func BenchmarkEngineSteal(b *testing.B) {
 		steals = res.Steals
 	}
 	b.ReportMetric(float64(steals), "steals/run")
+}
+
+// BenchmarkEngineStaticProbed is BenchmarkEngineStatic with an engine
+// metrics probe installed — the per-event observability tax every pooled
+// compute pays once a server wires MetricsProbe into the sweep pool.
+// Guarded so the probe's hot path (atomic counters, pre-resolved
+// per-kind span counters) stays cheap relative to the bare engine.
+func BenchmarkEngineStaticProbed(b *testing.B) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, 64, 32, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := obs.NewMetricsProbe(obs.NewRegistry())
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Plan:   plan,
+			Procs:  benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
+			Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+			Probes: []sim.Probe{probe},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
 }

@@ -34,7 +34,7 @@ import (
 
 // guarded is the default benchmark set: the three engine policies, the
 // sweep pool, and the two warm serving paths of the HTTP service.
-const guarded = "^(BenchmarkEngineStatic|BenchmarkEngineDynamic|BenchmarkEngineSteal|BenchmarkSweepParallel|BenchmarkServerRun|BenchmarkServerSweepWarm)$"
+const guarded = "^(BenchmarkEngineStatic|BenchmarkEngineStaticProbed|BenchmarkEngineDynamic|BenchmarkEngineSteal|BenchmarkSweepParallel|BenchmarkServerRun|BenchmarkServerSweepWarm)$"
 
 // baseline is the BENCH_baseline.json schema.
 type baseline struct {

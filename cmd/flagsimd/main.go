@@ -1,13 +1,16 @@
 // Command flagsimd serves flag simulations over HTTP: POST /v1/run and
 // POST /v1/sweep execute scenario runs under bounded admission control,
 // with the sweep subsystem's memo cache warm for the life of the
-// process. GET /healthz reports liveness and GET /metrics exports
-// Prometheus text.
+// process. GET /healthz reports liveness, GET /metrics exports the
+// unified Prometheus registry (serving + engine + Go runtime families),
+// GET /v1/runs lists recent runs, and GET /v1/runs/{id}/trace replays a
+// recent compute as a Chrome trace.
 //
 // Usage:
 //
 //	flagsimd -addr :8080
 //	flagsimd -max-in-flight 2 -max-queue 16 -request-timeout 30s
+//	flagsimd -log-level debug -log-format json -slow-request 500ms
 //	flagsimd -pprof-addr 127.0.0.1:6060   # optional profiling listener
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: listeners close
@@ -28,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"flagsim/internal/obs"
 	"flagsim/internal/server"
 )
 
@@ -42,8 +46,20 @@ func main() {
 		retryAfter  = flag.Duration("retry-after", time.Second, "backoff hint attached to 429 responses")
 		maxSpecs    = flag.Int("max-sweep-specs", 4096, "largest grid one /v1/sweep request may expand to")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		logLevel    = flag.String("log-level", "info", "minimum log severity: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "structured log encoding: text or json")
+		slowReq     = flag.Duration("slow-request", time.Second, "log simulation requests slower than this at Warn (0 = off)")
+		runRing     = flag.Int("run-ring", 128, "recent runs kept for /v1/runs and trace retrieval")
 	)
 	flag.Parse()
+
+	// The request log shares stderr with the startup lines below; the
+	// standard log package already writes there.
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flagsimd:", err)
+		os.Exit(2)
+	}
 
 	cfg := server.Config{
 		Addr:           *addr,
@@ -54,6 +70,9 @@ func main() {
 		DrainTimeout:   *drain,
 		RetryAfter:     *retryAfter,
 		MaxSweepSpecs:  *maxSpecs,
+		Logger:         logger,
+		SlowRequest:    *slowReq,
+		RunRingSize:    *runRing,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -9,9 +9,11 @@
 //	loadgen -url http://127.0.0.1:8080 -concurrency 8 -duration 10s
 //	loadgen -concurrency 16 -seeds 64            # mostly cold: 64 distinct specs
 //	loadgen -concurrency 16 -seeds 1             # fully warm after the first hit
+//	loadgen -out results.json                    # machine-readable report
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +35,7 @@ func main() {
 		seeds       = flag.Uint64("seeds", 1, "rotate this many distinct seeds (1 = fully cacheable)")
 		w           = flag.Int("w", 0, "raster width override")
 		h           = flag.Int("h", 0, "raster height override")
+		outPath     = flag.String("out", "", "write a JSON report (full latency histogram + per-code counts) here")
 	)
 	flag.Parse()
 	if *concurrency < 1 || *seeds < 1 {
@@ -113,9 +116,92 @@ func main() {
 		fmt.Printf("  latency (200s)   p50 %v  p90 %v  p99 %v  max %v\n",
 			pct(oks, 50), pct(oks, 90), pct(oks, 99), oks[len(oks)-1].Round(time.Microsecond))
 	}
+	if *outPath != "" {
+		if err := writeReport(*outPath, reportConfig{
+			URL: url, Concurrency: *concurrency, Duration: *duration,
+			Flag: *flagName, Scenario: *scenario, Seeds: *seeds,
+		}, wall, byStatus, oks); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  report written to %s\n", *outPath)
+	}
 	if byStatus[http.StatusOK] == 0 {
 		os.Exit(1)
 	}
+}
+
+// latencyBucketsSeconds mirrors the server's histogram ladder so a
+// loadgen report lines up bucket-for-bucket with a /metrics scrape.
+var latencyBucketsSeconds = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// reportConfig echoes the run's parameters into the report.
+type reportConfig struct {
+	URL         string        `json:"url"`
+	Concurrency int           `json:"concurrency"`
+	Duration    time.Duration `json:"duration_ns"`
+	Flag        string        `json:"flag"`
+	Scenario    int           `json:"scenario"`
+	Seeds       uint64        `json:"seeds"`
+}
+
+// histogramBucket is one cumulative latency bucket in the report.
+type histogramBucket struct {
+	LE    string `json:"le"` // upper bound in seconds; "+Inf" for the last
+	Count int    `json:"count"`
+}
+
+// report is the -out JSON document.
+type report struct {
+	Config     reportConfig      `json:"config"`
+	WallNS     int64             `json:"wall_ns"`
+	Requests   int               `json:"requests"`
+	Throughput float64           `json:"requests_per_second"`
+	ByCode     map[string]int    `json:"by_code"` // "200", "429", ...; "0" is a transport error
+	Histogram  []histogramBucket `json:"latency_histogram"`
+	P50NS      int64             `json:"p50_ns,omitempty"`
+	P90NS      int64             `json:"p90_ns,omitempty"`
+	P99NS      int64             `json:"p99_ns,omitempty"`
+	MaxNS      int64             `json:"max_ns,omitempty"`
+}
+
+// writeReport dumps the full latency distribution and per-code counts as
+// JSON. oks must be sorted ascending.
+func writeReport(path string, cfg reportConfig, wall time.Duration, byStatus map[int]int, oks []time.Duration) error {
+	total := 0
+	byCode := make(map[string]int, len(byStatus))
+	for code, n := range byStatus {
+		byCode[fmt.Sprintf("%d", code)] = n
+		total += n
+	}
+	rep := report{
+		Config: cfg, WallNS: int64(wall), Requests: total,
+		Throughput: float64(total) / wall.Seconds(), ByCode: byCode,
+	}
+	var cum int
+	for _, b := range latencyBucketsSeconds {
+		bound := time.Duration(b * float64(time.Second))
+		for cum < len(oks) && oks[cum] <= bound {
+			cum++
+		}
+		rep.Histogram = append(rep.Histogram, histogramBucket{
+			LE: fmt.Sprintf("%g", b), Count: cum,
+		})
+	}
+	rep.Histogram = append(rep.Histogram, histogramBucket{LE: "+Inf", Count: len(oks)})
+	if len(oks) > 0 {
+		rep.P50NS = int64(pct(oks, 50))
+		rep.P90NS = int64(pct(oks, 90))
+		rep.P99NS = int64(pct(oks, 99))
+		rep.MaxNS = int64(oks[len(oks)-1])
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 // pct reads the p-th percentile from sorted latencies.

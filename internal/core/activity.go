@@ -131,6 +131,9 @@ type RunSpec struct {
 	Hold sim.HoldPolicy
 	// Trace enables span capture.
 	Trace bool
+	// Probes observe engine events (see sim.Probe); a probe shared across
+	// concurrent runs must be goroutine-safe.
+	Probes []sim.Probe
 }
 
 // simConfig translates a RunSpec into the simulator's plan-driven config.
@@ -160,12 +163,13 @@ func simConfig(spec RunSpec) (sim.Config, error) {
 		set = implement.NewSet(implement.ThickMarker, spec.Flag.Colors())
 	}
 	return sim.Config{
-		Plan:  plan,
-		Procs: spec.Team[:plan.NumProcs()],
-		Set:   set,
-		Hold:  spec.Hold,
-		Setup: spec.Setup,
-		Trace: spec.Trace,
+		Plan:   plan,
+		Procs:  spec.Team[:plan.NumProcs()],
+		Set:    set,
+		Hold:   spec.Hold,
+		Setup:  spec.Setup,
+		Trace:  spec.Trace,
+		Probes: spec.Probes,
 	}, nil
 }
 

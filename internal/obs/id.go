@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// ctxKey is the package's private context-key namespace.
+type ctxKey int
+
+const runIDKey ctxKey = iota
+
+// idFallback serializes IDs when the system randomness source fails —
+// uniqueness within the process is all the fallback promises.
+var idFallback atomic.Uint64
+
+// NewRunID returns a fresh 16-hex-character run identifier. Run IDs name
+// one simulation request end to end: they appear in structured logs, in
+// pprof labels, in response headers, and as the key of the run ring's
+// trace endpoint.
+func NewRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("fallback-%08x", idFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRunID returns a context carrying the run ID.
+func WithRunID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, runIDKey, id)
+}
+
+// RunID returns the context's run ID, or "" when none is set.
+func RunID(ctx context.Context) string {
+	id, _ := ctx.Value(runIDKey).(string)
+	return id
+}

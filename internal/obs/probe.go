@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"time"
+
+	"flagsim/internal/implement"
+	"flagsim/internal/palette"
+	"flagsim/internal/sim"
+	"flagsim/internal/workplan"
+)
+
+// spanKinds enumerates the engine's span vocabulary so per-kind counters
+// can be resolved once at construction and incremented lock-free on the
+// event path.
+var spanKinds = []sim.SpanKind{
+	sim.SpanPaint, sim.SpanWaitImplement, sim.SpanWaitLayer,
+	sim.SpanPickup, sim.SpanPutDown, sim.SpanRepair, sim.SpanSetup,
+}
+
+// MetricsProbe bridges the engine's Probe vocabulary onto a Registry:
+// cells painted, implement grants/releases, blocks by kind and color,
+// spans by kind, and — via ObserveResult — per-run totals the probe
+// callbacks cannot see (steals, migrated cells, event counts, the
+// kernel's event-queue high-water mark).
+//
+// One MetricsProbe instance is meant to be installed process-wide (e.g.
+// on a Sweeper's worker pool), where it observes many engine runs
+// concurrently: every counter is an atomic, so the probe is goroutine-
+// safe by construction.
+type MetricsProbe struct {
+	cells    *Counter
+	grants   *Counter
+	releases *Counter
+	retired  *Counter
+	blocks   *CounterVec
+	spans    []*Counter // indexed by SpanKind
+
+	runs    *Counter
+	steals  *Counter
+	migrate *Counter
+	events  *Counter
+	queueHW *Gauge
+}
+
+var (
+	_ sim.Probe       = (*MetricsProbe)(nil)
+	_ sim.ResultProbe = (*MetricsProbe)(nil)
+)
+
+// NewMetricsProbe registers the engine metric families on reg and returns
+// the probe that feeds them.
+func NewMetricsProbe(reg *Registry) *MetricsProbe {
+	p := &MetricsProbe{
+		cells:    reg.Counter("flagsim_engine_cells_painted_total", "Grid cells painted by the simulation engine."),
+		grants:   reg.Counter("flagsim_engine_grants_total", "Implement acquisitions granted (including handoffs)."),
+		releases: reg.Counter("flagsim_engine_releases_total", "Implements put back by processors."),
+		retired:  reg.Counter("flagsim_engine_procs_retired_total", "Processors that finished all assigned work."),
+		blocks:   reg.CounterVec("flagsim_engine_blocks_total", "Processor blocks by wait kind and implement color.", "kind", "color"),
+		runs:     reg.Counter("flagsim_engine_runs_total", "Completed engine runs observed."),
+		steals:   reg.Counter("flagsim_engine_steals_total", "Work-stealing operations across observed runs."),
+		migrate:  reg.Counter("flagsim_engine_cells_migrated_total", "Cells painted by a processor other than the planned one."),
+		events:   reg.Counter("flagsim_engine_events_total", "Discrete events processed by the kernel."),
+		queueHW:  reg.Gauge("flagsim_engine_event_queue_high_water", "Largest kernel event-queue depth seen in any observed run."),
+	}
+	spanVec := reg.CounterVec("flagsim_engine_spans_total", "Trace spans materialized by kind.", "kind")
+	p.spans = make([]*Counter, len(spanKinds))
+	for _, k := range spanKinds {
+		p.spans[int(k)] = spanVec.With(k.String())
+	}
+	return p
+}
+
+// Grant implements sim.Probe.
+func (p *MetricsProbe) Grant(int, *implement.Implement, time.Duration) { p.grants.Inc() }
+
+// Release implements sim.Probe.
+func (p *MetricsProbe) Release(int, *implement.Implement, time.Duration) { p.releases.Inc() }
+
+// Block implements sim.Probe.
+func (p *MetricsProbe) Block(_ int, kind sim.SpanKind, color palette.Color, _ time.Duration) {
+	p.blocks.With(kind.String(), color.String()).Inc()
+}
+
+// Complete implements sim.Probe.
+func (p *MetricsProbe) Complete(int, workplan.Task, time.Duration) { p.cells.Inc() }
+
+// ProcDone implements sim.Probe.
+func (p *MetricsProbe) ProcDone(int, time.Duration) { p.retired.Inc() }
+
+// Span implements sim.Probe.
+func (p *MetricsProbe) Span(sp sim.Span) {
+	if int(sp.Kind) < len(p.spans) {
+		p.spans[int(sp.Kind)].Inc()
+	}
+}
+
+// ObserveResult implements sim.ResultProbe: executors call it once per
+// completed run with the built Result, feeding the run-level families the
+// event callbacks cannot see.
+func (p *MetricsProbe) ObserveResult(res *sim.Result) {
+	p.runs.Inc()
+	p.steals.Add(uint64(res.Steals))
+	p.migrate.Add(uint64(res.Migrated))
+	p.events.Add(res.Events)
+	p.queueHW.SetMax(int64(res.MaxEventQueue))
+}

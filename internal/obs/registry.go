@@ -1,0 +1,311 @@
+// Package obs is the shared observability core: a dependency-free
+// Prometheus text registry (counters, gauges, histograms), structured
+// logging helpers over log/slog, run identifiers carried in contexts,
+// and a bounded in-memory ring of recent run summaries for after-the-fact
+// trace retrieval.
+//
+// The registry started life as internal/server's hand-rolled /metrics
+// writer; it is promoted here so the engine (via MetricsProbe), the sweep
+// subsystem, the Go runtime, and the HTTP service all export through one
+// exposition endpoint. The design constraint is unchanged: zero external
+// dependencies, lock-free atomics on the hot path, exposition format
+// 0.0.4 on the wire.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v is larger — a high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// CounterVec is a counter family keyed by a fixed set of label names.
+// Lookup takes one mutex acquisition; the returned *Counter may be cached
+// by the caller for lock-free increments on hot paths.
+type CounterVec struct {
+	labels []string
+	mu     sync.Mutex
+	m      map[string]*Counter
+}
+
+// With returns the counter for the given label values (one per label
+// name, in declaration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: counter vec wants %d label values, got %d", len(v.labels), len(values)))
+	}
+	key := renderLabels(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.m[key]
+	if !ok {
+		c = &Counter{}
+		v.m[key] = c
+	}
+	return c
+}
+
+// snapshot returns the label tuples in sorted order with their values, so
+// scrapes are deterministic.
+func (v *CounterVec) snapshot() []labeledValue {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]labeledValue, 0, len(v.m))
+	for labels, c := range v.m {
+		out = append(out, labeledValue{labels, float64(c.Value())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+type labeledValue struct {
+	labels string
+	value  float64
+}
+
+// DefaultLatencyBuckets is the usual Prometheus latency ladder in
+// seconds, wide enough for cold multi-second sweeps.
+var DefaultLatencyBuckets = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Observations are
+// lock-free atomics; the exposition writer derives the cumulative bucket
+// counts, `+Inf`, `_sum`, and `_count` series.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	// sum is accumulated in nanoseconds-of-a-second fixed point (1e-9) so
+	// it stays an atomic integer; exposed as a float64 of base units.
+	sumNanos atomic.Int64
+}
+
+// Observe records a value in base units (seconds for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(int64(v * 1e9))
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	for i, b := range h.bounds {
+		if d.Seconds() <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// family is one registered metric family; collect writes its sample lines
+// (everything below the # HELP / # TYPE header).
+type family struct {
+	name, help, typ string
+	collect         func(w io.Writer)
+}
+
+// Registry is an ordered set of metric families with a Prometheus
+// text-format writer. Families render in registration order, each with
+// its HELP and TYPE header before any samples — the exposition-format
+// invariant the golden test pins down. A Registry is safe for concurrent
+// registration and scraping.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric family %q", f.name))
+	}
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+}
+
+// Counter registers and returns a counter family with one series.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: "counter",
+		collect: func(w io.Writer) { fmt.Fprintf(w, "%s %d\n", name, c.Value()) }})
+	return c
+}
+
+// CounterFunc registers a counter family whose value is read from fn at
+// scrape time — for monotonic tallies owned elsewhere (the sweep cache's
+// hit counter, the runtime's GC totals).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "counter",
+		collect: func(w io.Writer) { fmt.Fprintf(w, "%s %s\n", name, formatValue(fn())) }})
+}
+
+// CounterVec registers a counter family keyed by the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("obs: counter vec needs at least one label")
+	}
+	v := &CounterVec{labels: labels, m: make(map[string]*Counter)}
+	r.register(&family{name: name, help: help, typ: "counter",
+		collect: func(w io.Writer) {
+			for _, lv := range v.snapshot() {
+				fmt.Fprintf(w, "%s{%s} %s\n", name, lv.labels, formatValue(lv.value))
+			}
+		}})
+	return v
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: "gauge",
+		collect: func(w io.Writer) { fmt.Fprintf(w, "%s %d\n", name, g.Value()) }})
+	return g
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time — for
+// point-in-time state owned elsewhere (queue depths, cache residency,
+// goroutine counts).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "gauge",
+		collect: func(w io.Writer) { fmt.Fprintf(w, "%s %s\n", name, formatValue(fn())) }})
+}
+
+// Histogram registers and returns a fixed-bucket histogram. bounds must
+// be ascending upper limits in base units; they are not copied.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds))}
+	r.register(&family{name: name, help: help, typ: "histogram",
+		collect: func(w io.Writer) {
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.buckets[i].Load()
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatValue(b), cum)
+			}
+			count := h.count.Load()
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+			fmt.Fprintf(w, "%s_sum %s\n", name, formatValue(float64(h.sumNanos.Load())/1e9))
+			fmt.Fprintf(w, "%s_count %d\n", name, count)
+		}})
+	return h
+}
+
+// WriteText renders every family in registration order in Prometheus text
+// exposition format 0.0.4.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		f.collect(w)
+	}
+}
+
+// ContentType is the exposition format's HTTP content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// renderLabels joins label names and escaped values into the canonical
+// `k1="v1",k2="v2"` form.
+func renderLabels(names, values []string) string {
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition format's label-value escaping:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trip representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the writer's exact output down to the byte:
+// HELP before TYPE before samples, families in registration order,
+// label escaping, histogram cumulative buckets with +Inf, _sum, _count.
+// This is the conformance contract with Prometheus' text parser — change
+// it only on purpose.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs processed.")
+	c.Add(3)
+	v := r.CounterVec("results_total", "Results by status and note.", "status", "note")
+	v.With("ok", "").Add(2)
+	v.With("err", "quote\" slash\\ and\nnewline").Inc()
+	g := r.Gauge("depth", "Current depth.")
+	g.Set(-4)
+	r.GaugeFunc("temp", "A scrape-time gauge.", func() float64 { return 1.5 })
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 0.5, 2.5})
+	// Exactly representable values so the _sum line is byte-stable.
+	h.Observe(0.0625)
+	h.Observe(0.0625)
+	h.Observe(0.25)
+	h.Observe(10) // beyond the last bound: only +Inf and _count see it
+	var b strings.Builder
+	r.WriteText(&b)
+
+	want := `# HELP jobs_total Jobs processed.
+# TYPE jobs_total counter
+jobs_total 3
+# HELP results_total Results by status and note.
+# TYPE results_total counter
+results_total{status="err",note="quote\" slash\\ and\nnewline"} 1
+results_total{status="ok",note=""} 2
+# HELP depth Current depth.
+# TYPE depth gauge
+depth -4
+# HELP temp A scrape-time gauge.
+# TYPE temp gauge
+temp 1.5
+# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 2
+latency_seconds_bucket{le="0.5"} 3
+latency_seconds_bucket{le="2.5"} 3
+latency_seconds_bucket{le="+Inf"} 4
+latency_seconds_sum 10.375
+latency_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "First.")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate family name did not panic")
+		}
+	}()
+	r.Gauge("x_total", "Second.")
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "Durations.", DefaultLatencyBuckets)
+	h.ObserveDuration(30 * time.Millisecond)
+	h.ObserveDuration(3 * time.Second)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, line := range []string{
+		`d_seconds_bucket{le="0.05"} 1`,
+		`d_seconds_bucket{le="5"} 2`,
+		`d_seconds_bucket{le="+Inf"} 2`,
+		`d_seconds_sum 3.03`,
+		`d_seconds_count 2`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("descending bounds did not panic")
+		}
+	}()
+	r.Histogram("bad", "Bad bounds.", []float64{1, 0.5})
+}
+
+func TestCounterVecLabelArity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("pairs_total", "Two labels.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Errorf("SetMax lowered the high-water mark to %d", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Errorf("SetMax(9) = %d", g.Value())
+	}
+}
+
+// TestGoRuntimeFamilies checks the runtime gauges register and render
+// plausible values.
+func TestGoRuntimeFamilies(t *testing.T) {
+	r := NewRegistry()
+	RegisterGoRuntime(r)
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, fam := range []string{
+		"go_goroutines", "go_memstats_heap_alloc_bytes", "go_memstats_heap_objects",
+		"go_memstats_alloc_bytes_total", "go_gc_cycles_total", "go_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("missing runtime family %s", fam)
+		}
+		if strings.Contains(out, fam+" 0\n") && fam == "go_goroutines" {
+			t.Errorf("go_goroutines rendered as zero")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"flagsim/internal/sim"
+)
+
+// RunSummary is one request's after-the-fact record in the run ring:
+// identity, outcome, timing, and — for computed (non-cache-hit) single
+// runs — the engine's span trace, so an operator who spots a p99 outlier
+// in the latency histogram can pull that run's timeline without having
+// asked for tracing up front.
+type RunSummary struct {
+	ID       string        `json:"id"`
+	Endpoint string        `json:"endpoint"`
+	Spec     string        `json:"spec"`
+	SpecHash string        `json:"spec_hash"`
+	Start    time.Time     `json:"start"`
+	Latency  time.Duration `json:"latency_ns"`
+	Status   int           `json:"status"`
+	Outcome  string        `json:"outcome"`
+	CacheHit bool          `json:"cache_hit"`
+	Makespan time.Duration `json:"makespan_ns,omitempty"`
+	Events   uint64        `json:"events,omitempty"`
+	Runs     int           `json:"runs,omitempty"`
+
+	// Procs and Trace back the Chrome-trace export; both are nil when no
+	// spans were captured (cache hits, sweeps, errors). They are shared,
+	// not copied — treat them as read-only.
+	Procs []string   `json:"-"`
+	Trace []sim.Span `json:"-"`
+}
+
+// HasTrace reports whether the summary can serve a Chrome trace.
+func (s RunSummary) HasTrace() bool { return len(s.Trace) > 0 }
+
+// RunRing is a bounded ring of recent run summaries, newest overwriting
+// oldest. It is safe for concurrent use. The bound also bounds trace
+// memory: a summary's spans are dropped with it when the slot is reused.
+type RunRing struct {
+	mu   sync.Mutex
+	buf  []RunSummary
+	next int
+	size int
+	byID map[string]int // run ID -> slot
+}
+
+// NewRunRing returns a ring holding the last n summaries; n < 1 is
+// treated as 1.
+func NewRunRing(n int) *RunRing {
+	if n < 1 {
+		n = 1
+	}
+	return &RunRing{buf: make([]RunSummary, n), byID: make(map[string]int, n)}
+}
+
+// Add records a summary, evicting the oldest when full.
+func (r *RunRing) Add(s RunSummary) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot := r.next
+	if old := r.buf[slot]; old.ID != "" {
+		delete(r.byID, old.ID)
+	}
+	r.buf[slot] = s
+	r.byID[s.ID] = slot
+	r.next = (r.next + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+}
+
+// Get returns the summary for a run ID.
+func (r *RunRing) Get(id string) (RunSummary, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot, ok := r.byID[id]
+	if !ok {
+		return RunSummary{}, false
+	}
+	return r.buf[slot], true
+}
+
+// List returns the resident summaries, newest first.
+func (r *RunRing) List() []RunSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RunSummary, 0, r.size)
+	for i := 1; i <= r.size; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of resident summaries.
+func (r *RunRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsTTL bounds how often a scrape re-reads runtime.MemStats: the
+// read briefly stops the world, and one snapshot per scrape is plenty —
+// all memstats families registered together share it.
+const memStatsTTL = time.Second
+
+// RegisterGoRuntime registers Go runtime health gauges on r: goroutine
+// count, heap residency, and GC totals, under the conventional go_*
+// family names so standard dashboards light up unmodified.
+func RegisterGoRuntime(r *Registry) {
+	var (
+		mu   sync.Mutex
+		ms   runtime.MemStats
+		read time.Time
+	)
+	stats := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			if now := time.Now(); now.Sub(read) > memStatsTTL {
+				runtime.ReadMemStats(&ms)
+				read = now
+			}
+			return f(&ms)
+		}
+	}
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		stats(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		stats(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	r.CounterFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		stats(func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) }))
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles since process start.",
+		stats(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		stats(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+}

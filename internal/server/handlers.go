@@ -14,12 +14,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"flagsim/internal/core"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/implement"
+	"flagsim/internal/obs"
 	"flagsim/internal/sim"
 	"flagsim/internal/sweep"
 )
@@ -229,8 +231,9 @@ func NewSimResult(res *sim.Result) SimResult {
 }
 
 // RunResponse is the /v1/run reply. Result is deterministic; the
-// serving fields around it (cache_hit, elapsed_ns) are not.
+// serving fields around it (run_id, cache_hit, elapsed_ns) are not.
 type RunResponse struct {
+	RunID     string    `json:"run_id"`
 	Spec      string    `json:"spec"`
 	CacheHit  bool      `json:"cache_hit"`
 	ElapsedNS int64     `json:"elapsed_ns"`
@@ -396,18 +399,26 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
 
 // writeRunError maps a failed run onto a status code: canceled runs are
 // the client's doing (499) or the deadline's (504); anything else is a
-// spec the engine rejected (422).
+// spec the engine rejected (422). ctx carries the request's reqInfo, so
+// the outcome label lands in the log line and the run ring.
 func (s *Server) writeRunError(w http.ResponseWriter, ctx context.Context, err error) {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	if ri == nil {
+		ri = &reqInfo{}
+	}
 	if errors.Is(err, sim.ErrCanceled) {
-		s.metrics.canceled.inc()
+		s.metrics.canceled.Inc()
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			ri.outcome = "deadline"
 			writeError(w, http.StatusGatewayTimeout,
 				fmt.Errorf("server: run exceeded the request deadline: %w", err))
 			return
 		}
+		ri.outcome = "canceled"
 		writeError(w, statusClientClosedRequest, err)
 		return
 	}
+	ri.outcome = "unprocessable"
 	writeError(w, http.StatusUnprocessableEntity, err)
 }
 
@@ -427,6 +438,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	ri := info(r)
+	ri.spec = spec.Label()
+	key := spec.Key()
+	ri.specHash = hex.EncodeToString(key[:8])
+	traceMode := r.URL.Query().Get("trace")
+	if traceMode != "" && traceMode != "chrome" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown trace format %q (chrome)", traceMode))
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	if !s.admit(ctx, w) {
@@ -436,18 +457,59 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.testHookAdmitted != nil {
 		s.testHookAdmitted()
 	}
-	batch := s.sweeper.Run(ctx, []sweep.Spec{spec})
+	if traceMode == "chrome" {
+		// Traced runs bypass the memo cache: a cache hit has no engine
+		// run to observe, and the whole point here is a fresh timeline.
+		// The engine metrics probe still observes the run.
+		var collector sim.SpanCollector
+		res, err := spec.RunOnce(ctx, s.metrics.engine, &collector)
+		if err != nil {
+			s.writeRunError(w, ctx, err)
+			return
+		}
+		ri.runs = 1
+		ri.makespan, ri.events = res.Makespan, res.Events
+		ri.procs, ri.trace = procNames(res), collector.Spans
+		w.Header().Set("Content-Type", "application/json")
+		if err := sim.WriteChromeTraceSpans(w, ri.procs, ri.trace); err != nil {
+			s.logger.LogAttrs(ctx, slog.LevelError, "trace stream failed",
+				slog.String("run_id", obs.RunID(ctx)), slog.String("error", err.Error()))
+		}
+		return
+	}
+	// A per-request span collector rides along with the pool's probes:
+	// if this request is the one that computes (cache miss), its spans
+	// land in the run ring for /v1/runs/{id}/trace; on a cache hit the
+	// engine never runs and the collector stays empty.
+	var collector sim.SpanCollector
+	batch := s.sweeper.RunProbed(ctx, []sweep.Spec{spec}, &collector)
 	run := batch.Runs[0]
 	if run.Err != nil {
 		s.writeRunError(w, ctx, run.Err)
 		return
 	}
+	ri.cacheHit = run.CacheHit
+	ri.runs = 1
+	ri.makespan, ri.events = run.Result.Makespan, run.Result.Events
+	if len(collector.Spans) > 0 {
+		ri.procs, ri.trace = procNames(run.Result), collector.Spans
+	}
 	writeJSON(w, http.StatusOK, RunResponse{
+		RunID:     obs.RunID(r.Context()),
 		Spec:      spec.Label(),
 		CacheHit:  run.CacheHit,
 		ElapsedNS: int64(run.Elapsed),
 		Result:    NewSimResult(run.Result),
 	})
+}
+
+// procNames flattens the result's processor names for trace export.
+func procNames(res *sim.Result) []string {
+	out := make([]string, len(res.Procs))
+	for i, p := range res.Procs {
+		out[i] = p.Name
+	}
+	return out
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -481,6 +543,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.testHookAdmitted()
 	}
 	batch := s.sweeper.Run(ctx, specs)
+	ri := info(r)
+	ri.runs = len(batch.Runs)
+	ri.cacheHit = batch.Cache.Misses == 0 && batch.Cache.Hits > 0
 	resp := SweepResponse{
 		Count:   len(batch.Runs),
 		Workers: batch.Workers,
@@ -546,11 +611,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	inFlight, queued := s.gate.depth()
-	stats := s.sweeper.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writeTo(w, gaugeSnapshot{
-		inFlight: inFlight, queued: queued,
-		cacheHits: stats.Hits, cacheMisses: stats.Misses, cacheCount: stats.Entries,
-	})
+	w.Header().Set("Content-Type", obs.ContentType)
+	s.metrics.reg.WriteText(w)
 }

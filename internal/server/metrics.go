@@ -1,193 +1,106 @@
 package server
 
-// Hand-rolled Prometheus metrics: counters, gauges, and histograms with
-// a text-format (exposition format 0.0.4) writer. The whole point is to
-// keep the module dependency-free — the service exports the handful of
-// serving metrics that matter (request counts by endpoint/status, queue
-// depth, in-flight, latency histograms, sweep cache hit/miss) without
-// pulling in client_golang.
+// The service's metric registry, assembled on the shared observability
+// core (internal/obs). One obs.Registry carries three layers of families
+// so a single /metrics scrape reflects the whole stack:
+//
+//   - serving state (flagsimd_*): request counts by endpoint/status,
+//     admission gate occupancy, latency histograms, sweep-cache and
+//     worker-pool health — registered here;
+//   - engine state (flagsim_engine_*): cells painted, implement traffic,
+//     blocks by kind/color, steals — fed by the obs.MetricsProbe the
+//     Server installs on its sweep pool;
+//   - runtime state (go_*): goroutines, heap, GC — obs.RegisterGoRuntime.
 //
 // Concurrency: counters and histogram buckets are lock-free atomics on
-// the request path; the only lock is the label-map lookup on first use
-// of a new (endpoint, code) pair. Scrapes take the same lock briefly to
-// snapshot the label set.
+// the request path; gauges read from the gate and the sweeper at scrape
+// time through closures, so a scrape is always a point-in-time snapshot.
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"flagsim/internal/obs"
+	"flagsim/internal/sweep"
 )
 
-// counter is a monotonically increasing uint64.
-type counter struct{ v atomic.Uint64 }
-
-func (c *counter) inc()          { c.v.Add(1) }
-func (c *counter) value() uint64 { return c.v.Load() }
-
-// labeledCounter is a counter family keyed by one label tuple rendered
-// as a string (e.g. `endpoint="/v1/run",code="200"`).
-type labeledCounter struct {
-	mu sync.Mutex
-	m  map[string]*counter
-}
-
-func newLabeledCounter() *labeledCounter {
-	return &labeledCounter{m: make(map[string]*counter)}
-}
-
-func (l *labeledCounter) get(labels string) *counter {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	c, ok := l.m[labels]
-	if !ok {
-		c = &counter{}
-		l.m[labels] = c
-	}
-	return c
-}
-
-// snapshot returns the label tuples in sorted order with their values,
-// so scrapes are deterministic.
-func (l *labeledCounter) snapshot() []labeledValue {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]labeledValue, 0, len(l.m))
-	for labels, c := range l.m {
-		out = append(out, labeledValue{labels, float64(c.value())})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
-	return out
-}
-
-type labeledValue struct {
-	labels string
-	value  float64
-}
-
-// latencyBuckets are the histogram upper bounds in seconds — the usual
-// Prometheus latency ladder, wide enough for cold multi-second sweeps.
-var latencyBuckets = []float64{
-	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
-}
-
-// histogram is a fixed-bucket cumulative histogram of durations.
-type histogram struct {
-	bounds   []float64 // upper bounds, seconds, ascending
-	buckets  []atomic.Uint64
-	count    atomic.Uint64
-	sumNanos atomic.Int64
-}
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds))}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	for i, b := range h.bounds {
-		if s <= b {
-			h.buckets[i].Add(1)
-			break
-		}
-	}
-	h.count.Add(1)
-	h.sumNanos.Add(int64(d))
-}
-
-// metrics is the service's metric registry.
+// metrics bundles the registry and the serving-layer instruments the
+// request path updates directly.
 type metrics struct {
 	start time.Time
+	reg   *obs.Registry
+
 	// requests counts completed HTTP requests by endpoint and status.
-	requests *labeledCounter
+	requests *obs.CounterVec
 	// rejected counts admission fast-fails (the 429s), by endpoint.
-	rejected *labeledCounter
-	// latency histograms per simulation endpoint.
-	runLatency   *histogram
-	sweepLatency *histogram
+	rejected *obs.CounterVec
 	// canceled counts runs aborted by client disconnect or deadline.
-	canceled counter
+	canceled *obs.Counter
+	// latency histograms per simulation endpoint.
+	runLatency   *obs.Histogram
+	sweepLatency *obs.Histogram
+
+	// engine feeds the flagsim_engine_* families; the Server installs it
+	// on the sweep pool so every compute reports here.
+	engine *obs.MetricsProbe
 }
 
-func newMetrics() *metrics {
-	return &metrics{
-		start:        time.Now(),
-		requests:     newLabeledCounter(),
-		rejected:     newLabeledCounter(),
-		runLatency:   newHistogram(latencyBuckets),
-		sweepLatency: newHistogram(latencyBuckets),
-	}
+// sweepReader is the slice of the Sweeper the scrape-time gauges read.
+// It is an interface so New can hand newMetrics a late-bound view: the
+// registry's engine probe must exist before the Sweeper it is installed
+// on.
+type sweepReader interface {
+	Stats() sweep.CacheStats
+	PoolDepth() (running, queued int)
 }
 
-func requestLabels(endpoint string, code int) string {
-	return fmt.Sprintf("endpoint=%q,code=%q", endpoint, strconv.Itoa(code))
-}
+// newMetrics builds the registry. gate and sweeper back the scrape-time
+// gauges; they must outlive the returned metrics.
+func newMetrics(gate *gate, sweeper sweepReader) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{start: time.Now(), reg: reg}
 
-func endpointLabels(endpoint string) string {
-	return fmt.Sprintf("endpoint=%q", endpoint)
-}
+	m.requests = reg.CounterVec("flagsimd_requests_total",
+		"Completed HTTP requests by endpoint and status code.", "endpoint", "code")
+	m.rejected = reg.CounterVec("flagsimd_rejected_total",
+		"Requests fast-failed by admission control (HTTP 429).", "endpoint")
+	m.canceled = reg.Counter("flagsimd_runs_canceled_total",
+		"Simulation runs aborted by client disconnect or deadline.")
 
-// gaugeSnapshot carries the point-in-time serving state a scrape reads
-// from the admission gate and the sweeper.
-type gaugeSnapshot struct {
-	inFlight, queued                   int
-	cacheHits, cacheMisses, cacheCount int
-}
+	reg.GaugeFunc("flagsimd_in_flight",
+		"Requests currently executing on the worker pool.",
+		func() float64 { inFlight, _ := gate.depth(); return float64(inFlight) })
+	reg.GaugeFunc("flagsimd_queue_depth",
+		"Requests waiting for a worker slot.",
+		func() float64 { _, queued := gate.depth(); return float64(queued) })
 
-// writeTo renders the registry in Prometheus text format.
-func (m *metrics) writeTo(w io.Writer, g gaugeSnapshot) {
-	fmt.Fprintf(w, "# HELP flagsimd_requests_total Completed HTTP requests by endpoint and status code.\n")
-	fmt.Fprintf(w, "# TYPE flagsimd_requests_total counter\n")
-	for _, lv := range m.requests.snapshot() {
-		fmt.Fprintf(w, "flagsimd_requests_total{%s} %g\n", lv.labels, lv.value)
-	}
-	fmt.Fprintf(w, "# HELP flagsimd_rejected_total Requests fast-failed by admission control (HTTP 429).\n")
-	fmt.Fprintf(w, "# TYPE flagsimd_rejected_total counter\n")
-	for _, lv := range m.rejected.snapshot() {
-		fmt.Fprintf(w, "flagsimd_rejected_total{%s} %g\n", lv.labels, lv.value)
-	}
-	fmt.Fprintf(w, "# HELP flagsimd_runs_canceled_total Simulation runs aborted by client disconnect or deadline.\n")
-	fmt.Fprintf(w, "# TYPE flagsimd_runs_canceled_total counter\n")
-	fmt.Fprintf(w, "flagsimd_runs_canceled_total %d\n", m.canceled.value())
+	reg.CounterFunc("flagsimd_sweep_cache_hits_total",
+		"Sweep memo-cache hits since process start.",
+		func() float64 { return float64(sweeper.Stats().Hits) })
+	reg.CounterFunc("flagsimd_sweep_cache_misses_total",
+		"Sweep memo-cache misses since process start.",
+		func() float64 { return float64(sweeper.Stats().Misses) })
+	reg.GaugeFunc("flagsimd_sweep_cache_entries",
+		"Memoized results resident in the sweep cache.",
+		func() float64 { return float64(sweeper.Stats().Entries) })
+	reg.CounterFunc("flagsimd_sweep_cache_evictions_total",
+		"Sweep cache entries evicted (canceled computes are never memoized).",
+		func() float64 { return float64(sweeper.Stats().Evictions) })
+	reg.GaugeFunc("flagsimd_sweep_pool_running",
+		"Sweep pool workers currently computing a spec.",
+		func() float64 { running, _ := sweeper.PoolDepth(); return float64(running) })
+	reg.GaugeFunc("flagsimd_sweep_pool_queued",
+		"Specs waiting for a sweep pool worker slot.",
+		func() float64 { _, queued := sweeper.PoolDepth(); return float64(queued) })
 
-	fmt.Fprintf(w, "# HELP flagsimd_in_flight Requests currently executing on the worker pool.\n")
-	fmt.Fprintf(w, "# TYPE flagsimd_in_flight gauge\n")
-	fmt.Fprintf(w, "flagsimd_in_flight %d\n", g.inFlight)
-	fmt.Fprintf(w, "# HELP flagsimd_queue_depth Requests waiting for a worker slot.\n")
-	fmt.Fprintf(w, "# TYPE flagsimd_queue_depth gauge\n")
-	fmt.Fprintf(w, "flagsimd_queue_depth %d\n", g.queued)
+	m.runLatency = reg.Histogram("flagsimd_run_seconds",
+		"Wall time of /v1/run requests.", obs.DefaultLatencyBuckets)
+	m.sweepLatency = reg.Histogram("flagsimd_sweep_seconds",
+		"Wall time of /v1/sweep requests.", obs.DefaultLatencyBuckets)
 
-	fmt.Fprintf(w, "# HELP flagsimd_sweep_cache_hits_total Sweep memo-cache hits since process start.\n")
-	fmt.Fprintf(w, "# TYPE flagsimd_sweep_cache_hits_total counter\n")
-	fmt.Fprintf(w, "flagsimd_sweep_cache_hits_total %d\n", g.cacheHits)
-	fmt.Fprintf(w, "# HELP flagsimd_sweep_cache_misses_total Sweep memo-cache misses since process start.\n")
-	fmt.Fprintf(w, "# TYPE flagsimd_sweep_cache_misses_total counter\n")
-	fmt.Fprintf(w, "flagsimd_sweep_cache_misses_total %d\n", g.cacheMisses)
-	fmt.Fprintf(w, "# HELP flagsimd_sweep_cache_entries Memoized results resident in the sweep cache.\n")
-	fmt.Fprintf(w, "# TYPE flagsimd_sweep_cache_entries gauge\n")
-	fmt.Fprintf(w, "flagsimd_sweep_cache_entries %d\n", g.cacheCount)
+	reg.GaugeFunc("flagsimd_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(m.start).Seconds() })
 
-	m.writeHistogram(w, "flagsimd_run_seconds", "Wall time of /v1/run requests.", m.runLatency)
-	m.writeHistogram(w, "flagsimd_sweep_seconds", "Wall time of /v1/sweep requests.", m.sweepLatency)
-
-	fmt.Fprintf(w, "# HELP flagsimd_uptime_seconds Seconds since process start.\n")
-	fmt.Fprintf(w, "# TYPE flagsimd_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "flagsimd_uptime_seconds %g\n", time.Since(m.start).Seconds())
-}
-
-func (m *metrics) writeHistogram(w io.Writer, name, help string, h *histogram) {
-	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-	var cum uint64
-	for i, b := range h.bounds {
-		cum += h.buckets[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
-	}
-	count := h.count.Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNanos.Load())/1e9)
-	fmt.Fprintf(w, "%s_count %d\n", name, count)
+	m.engine = obs.NewMetricsProbe(reg)
+	obs.RegisterGoRuntime(reg)
+	return m
 }

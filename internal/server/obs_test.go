@@ -1,0 +1,292 @@
+package server
+
+// Tests for the observability layer: the unified /metrics registry
+// (engine + sweep + runtime families), run IDs, structured request
+// logging, and the run ring's trace endpoints.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"flagsim/internal/obs"
+)
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, raw := getBody(t, base+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	return string(raw)
+}
+
+// metricValue extracts a sample value from exposition text by exact
+// series name (including any label block).
+func metricValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	re := regexp.MustCompile("(?m)^" + regexp.QuoteMeta(series) + " ([0-9.e+-]+)$")
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("series %q not found in exposition", series)
+	}
+	var v float64
+	fmt.Sscanf(m[1], "%g", &v)
+	return v
+}
+
+// TestMetricsCoverWholeStack runs one compute and requires the scrape to
+// reflect all three layers: serving counters, engine families fed by the
+// pool probe, and Go runtime gauges.
+func TestMetricsCoverWholeStack(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := postJSON(t, ts.URL+"/v1/run", `{"flag":"mauritius","scenario":4,"seed":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d", resp.StatusCode)
+	}
+	out := scrape(t, ts.URL)
+
+	if v := metricValue(t, out, `flagsimd_requests_total{endpoint="/v1/run",code="200"}`); v != 1 {
+		t.Errorf("requests_total = %g, want 1", v)
+	}
+	if v := metricValue(t, out, "flagsim_engine_cells_painted_total"); v <= 0 {
+		t.Errorf("engine painted %g cells after a compute", v)
+	}
+	if v := metricValue(t, out, "flagsim_engine_runs_total"); v != 1 {
+		t.Errorf("engine runs = %g, want 1", v)
+	}
+	if v := metricValue(t, out, "flagsim_engine_event_queue_high_water"); v <= 0 {
+		t.Errorf("event queue high water = %g", v)
+	}
+	if v := metricValue(t, out, "flagsimd_sweep_cache_misses_total"); v != 1 {
+		t.Errorf("cache misses = %g, want 1", v)
+	}
+	if v := metricValue(t, out, "flagsim_engine_grants_total"); v <= 0 {
+		t.Errorf("grants = %g", v)
+	}
+	if v := metricValue(t, out, "go_goroutines"); v <= 0 {
+		t.Errorf("go_goroutines = %g", v)
+	}
+	if !strings.Contains(out, "# TYPE flagsim_engine_blocks_total counter") {
+		t.Error("blocks family missing its TYPE header")
+	}
+	if !strings.Contains(out, "# TYPE go_gc_pause_seconds_total counter") {
+		t.Error("runtime GC family missing")
+	}
+
+	// A warm re-run feeds the cache-hit counter but not the engine.
+	postJSON(t, ts.URL+"/v1/run", `{"flag":"mauritius","scenario":4,"seed":1}`)
+	out = scrape(t, ts.URL)
+	if v := metricValue(t, out, "flagsimd_sweep_cache_hits_total"); v != 1 {
+		t.Errorf("cache hits after warm rerun = %g, want 1", v)
+	}
+	if v := metricValue(t, out, "flagsim_engine_runs_total"); v != 1 {
+		t.Errorf("cache hit reached the engine probe: runs = %g", v)
+	}
+}
+
+// TestRunIDPlumbing checks the X-Run-ID header, the response envelope's
+// run_id, and that the two agree.
+func TestRunIDPlumbing(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/run", `{"flag":"mauritius","seed":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	header := resp.Header.Get("X-Run-ID")
+	if len(header) != 16 {
+		t.Fatalf("X-Run-ID = %q, want 16 hex chars", header)
+	}
+	var envelope struct {
+		RunID string `json:"run_id"`
+	}
+	if err := json.Unmarshal(raw, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.RunID != header {
+		t.Errorf("run_id %q != X-Run-ID %q", envelope.RunID, header)
+	}
+}
+
+// TestRunsRingAndTraceEndpoint exercises the after-the-fact trace path:
+// a computed run's spans are retrievable by run ID as a Chrome trace; a
+// cache hit's are not, with a 404 explaining why.
+func TestRunsRingAndTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := postJSON(t, ts.URL+"/v1/run", `{"flag":"mauritius","scenario":4,"seed":9}`)
+	cold := resp.Header.Get("X-Run-ID")
+	resp, _ = postJSON(t, ts.URL+"/v1/run", `{"flag":"mauritius","scenario":4,"seed":9}`)
+	warm := resp.Header.Get("X-Run-ID")
+
+	resp, raw := getBody(t, ts.URL+"/v1/runs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/runs status %d", resp.StatusCode)
+	}
+	var list RunsResponse
+	if err := json.Unmarshal(raw, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 2 || len(list.Runs) != 2 {
+		t.Fatalf("runs listed = %d, want 2", list.Count)
+	}
+	// Newest first: the warm hit leads.
+	if list.Runs[0].ID != warm || !list.Runs[0].CacheHit {
+		t.Errorf("newest entry = %+v, want warm hit %s", list.Runs[0], warm)
+	}
+	if list.Runs[1].ID != cold || list.Runs[1].CacheHit {
+		t.Errorf("oldest entry = %+v, want cold run %s", list.Runs[1], cold)
+	}
+	if list.Runs[1].Spec == "" || list.Runs[1].SpecHash == "" || list.Runs[1].Makespan == 0 {
+		t.Errorf("summary missing detail: %+v", list.Runs[1])
+	}
+
+	// The computed run has a trace.
+	resp, raw = getBody(t, ts.URL+"/v1/runs/"+cold+"/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d: %s", resp.StatusCode, raw)
+	}
+	assertChromeTrace(t, raw)
+
+	// The cache hit does not, and the 404 says so.
+	resp, raw = getBody(t, ts.URL+"/v1/runs/"+warm+"/trace")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cache-hit trace status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(raw), "trace=chrome") {
+		t.Errorf("404 body should point at ?trace=chrome: %s", raw)
+	}
+
+	// Unknown IDs 404 too.
+	resp, _ = getBody(t, ts.URL+"/v1/runs/ffffffffffffffff/trace")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id status %d", resp.StatusCode)
+	}
+}
+
+// TestTraceChromeQueryStreamsTrace checks POST /v1/run?trace=chrome:
+// the response is a Chrome trace, it is produced even when the spec is
+// already memoized (cache bypass), and the run lands in the ring with
+// its trace.
+func TestTraceChromeQueryStreamsTrace(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Warm the cache first so the bypass is what's under test.
+	postJSON(t, ts.URL+"/v1/run", `{"flag":"mauritius","scenario":4,"seed":5}`)
+	resp, raw := postJSON(t, ts.URL+"/v1/run?trace=chrome", `{"flag":"mauritius","scenario":4,"seed":5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	assertChromeTrace(t, raw)
+	id := resp.Header.Get("X-Run-ID")
+	if sum, ok := s.ring.Get(id); !ok || !sum.HasTrace() {
+		t.Errorf("traced run %s not in ring with trace", id)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/run?trace=perfetto", `{"flag":"mauritius"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown trace format status %d", resp.StatusCode)
+	}
+}
+
+// assertChromeTrace validates the Perfetto-loadable shape: a JSON array
+// holding thread_name metadata ("M") and complete ("X") events with
+// microsecond timestamps.
+func assertChromeTrace(t *testing.T, raw []byte) {
+	t.Helper()
+	var events []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		PID  int    `json:"pid"`
+		TID  int    `json:"tid"`
+		Dur  int64  `json:"dur"`
+	}
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	var metas, completes, paints int
+	for _, e := range events {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				metas++
+			}
+		case "X":
+			completes++
+			if strings.HasPrefix(e.Name, "paint ") {
+				paints++
+			}
+		}
+	}
+	if metas == 0 || completes == 0 || paints == 0 {
+		t.Fatalf("trace shape: %d thread_name metas, %d X events, %d paints", metas, completes, paints)
+	}
+}
+
+// TestRequestLogging captures the structured log and checks the
+// request line's fields, plus the slow-request promotion to Warn.
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	_, ts := newTestServer(t, Config{Logger: logger, SlowRequest: time.Nanosecond})
+	resp, _ := postJSON(t, ts.URL+"/v1/run", `{"flag":"mauritius","seed":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	line := struct {
+		Level    string `json:"level"`
+		Msg      string `json:"msg"`
+		RunID    string `json:"run_id"`
+		Endpoint string `json:"endpoint"`
+		Status   int    `json:"status"`
+		Outcome  string `json:"outcome"`
+		Spec     string `json:"spec"`
+		SpecHash string `json:"spec_hash"`
+		CacheHit *bool  `json:"cache_hit"`
+	}{}
+	dec := json.NewDecoder(&buf)
+	if err := dec.Decode(&line); err != nil {
+		t.Fatalf("no log line: %v", err)
+	}
+	if line.Msg != "slow request" || line.Level != "WARN" {
+		t.Errorf("1ns threshold should promote to Warn: %+v", line)
+	}
+	if line.RunID != resp.Header.Get("X-Run-ID") {
+		t.Errorf("log run_id %q != header %q", line.RunID, resp.Header.Get("X-Run-ID"))
+	}
+	if line.Endpoint != "/v1/run" || line.Status != 200 || line.Outcome != "ok" {
+		t.Errorf("log line = %+v", line)
+	}
+	if line.Spec == "" || len(line.SpecHash) != 16 || line.CacheHit == nil {
+		t.Errorf("log line missing spec detail: %+v", line)
+	}
+}
+
+// TestLoggingDefaultsQuiet: with no Logger configured nothing is
+// emitted anywhere (the nop logger), and serving still works.
+func TestLoggingDefaultsQuiet(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := postJSON(t, ts.URL+"/v1/run", `{"flag":"france"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// TestRunRingBounded: the ring never exceeds its configured size.
+func TestRunRingBounded(t *testing.T) {
+	s, ts := newTestServer(t, Config{RunRingSize: 2})
+	for seed := 0; seed < 5; seed++ {
+		postJSON(t, ts.URL+"/v1/run", fmt.Sprintf(`{"flag":"mauritius","seed":%d}`, seed))
+	}
+	if n := s.ring.Len(); n != 2 {
+		t.Errorf("ring holds %d, want 2", n)
+	}
+}

@@ -8,11 +8,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/run     one scenario run (JSON spec in, full result out)
+//	POST /v1/run     one scenario run (JSON spec in, full result out);
+//	                 ?trace=chrome streams the run's Chrome trace instead
 //	POST /v1/sweep   a cartesian grid batch (compact per-run rows out)
 //	GET  /v1/flags   the built-in flag catalog
+//	GET  /v1/runs    recent run summaries from the bounded run ring
+//	GET  /v1/runs/{id}/trace  a recent run's Chrome trace by run ID
 //	GET  /healthz    liveness + serving gauges
-//	GET  /metrics    Prometheus text exposition
+//	GET  /metrics    Prometheus text exposition (serving + engine + runtime)
+//
+// Observability: every request gets a run ID (X-Run-ID header, pprof
+// labels, structured log line, run-ring key); the /metrics registry is
+// the shared internal/obs one, with an engine MetricsProbe installed on
+// the sweep pool so a scrape reflects the simulator itself, not just the
+// HTTP layer.
 //
 // Cancellation contract: every run executes under the request's context
 // (optionally bounded by RequestTimeout), threaded through the sweep
@@ -25,11 +34,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
+	"flagsim/internal/obs"
+	"flagsim/internal/sim"
 	"flagsim/internal/sweep"
 )
 
@@ -60,6 +74,15 @@ type Config struct {
 	// MaxSweepSpecs caps the expanded grid size of one /v1/sweep request;
 	// default 4096.
 	MaxSweepSpecs int
+	// Logger receives the request-scoped structured log (run ID, endpoint,
+	// spec, cache outcome, latency). Nil discards everything.
+	Logger *slog.Logger
+	// SlowRequest promotes a simulation request's log line to Warn when
+	// its wall time exceeds this threshold; <= 0 disables the promotion.
+	SlowRequest time.Duration
+	// RunRingSize bounds the in-memory ring of recent run summaries that
+	// backs /v1/runs and the trace endpoint; default 128.
+	RunRingSize int
 }
 
 // withDefaults resolves the zero values.
@@ -85,6 +108,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepSpecs <= 0 {
 		c.MaxSweepSpecs = 4096
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.RunRingSize <= 0 {
+		c.RunRingSize = 128
+	}
 	return c
 }
 
@@ -95,6 +124,8 @@ type Server struct {
 	sweeper *sweep.Sweeper
 	gate    *gate
 	metrics *metrics
+	ring    *obs.RunRing
+	logger  *slog.Logger
 	mux     *http.ServeMux
 
 	// testHookAdmitted, when set, runs after a simulation request clears
@@ -104,19 +135,28 @@ type Server struct {
 }
 
 // New assembles a Server. The sweep pool and its memo cache live as
-// long as the Server, so repeated requests are served warm.
+// long as the Server, so repeated requests are served warm, and the
+// engine metrics probe is installed on the pool so every compute feeds
+// the shared registry.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:     cfg,
-		sweeper: sweep.New(sweep.Options{Workers: cfg.SweepWorkers}),
-		gate:    newGate(cfg.MaxInFlight, cfg.MaxQueue),
-		metrics: newMetrics(),
-	}
+	g := newGate(cfg.MaxInFlight, cfg.MaxQueue)
+	s := &Server{cfg: cfg, gate: g, ring: obs.NewRunRing(cfg.RunRingSize), logger: cfg.Logger}
+	// The registry's sweep gauges read the Sweeper at scrape time, and
+	// the Sweeper's pool probes come from the registry — so the registry
+	// is built first against a late-bound view (sweepStats) and the
+	// Sweeper second, with the freshly registered engine probe installed.
+	s.metrics = newMetrics(g, sweepStats{s})
+	s.sweeper = sweep.New(sweep.Options{
+		Workers: cfg.SweepWorkers,
+		Probes:  []sim.Probe{s.metrics.engine},
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/run", s.instrument("/v1/run", s.handleRun))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/flags", s.instrument("/v1/flags", s.handleFlags))
+	s.mux.HandleFunc("/v1/runs", s.instrument("/v1/runs", s.handleRuns))
+	s.mux.HandleFunc("/v1/runs/{id}/trace", s.instrument("/v1/runs/trace", s.handleRunTrace))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -129,6 +169,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // the cache before a benchmark.
 func (s *Server) Sweeper() *sweep.Sweeper { return s.sweeper }
 
+// Metrics exposes the server's observability registry, e.g. for
+// embedding additional families before serving.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
+
 // statusRecorder captures the status code a handler wrote.
 type statusRecorder struct {
 	http.ResponseWriter
@@ -140,25 +184,133 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency
-// observation under the endpoint's label.
+// reqInfo is the per-request scratchpad handlers fill so the instrument
+// wrapper can log and ring-record with handler-level detail (spec label,
+// spec hash, cache outcome) without re-parsing anything.
+type reqInfo struct {
+	spec     string
+	specHash string
+	cacheHit bool
+	outcome  string
+	runs     int
+	makespan time.Duration
+	events   uint64
+	procs    []string
+	trace    []sim.Span
+}
+
+type reqInfoKey struct{}
+
+// info returns the request's scratchpad, or a throwaway one when the
+// handler runs outside instrument (direct Handler() tests).
+func info(r *http.Request) *reqInfo {
+	if ri, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
+		return ri
+	}
+	return &reqInfo{}
+}
+
+// simEndpoint reports whether the endpoint executes simulations — these
+// get latency histograms, Info-level logs, and run-ring entries.
+func simEndpoint(endpoint string) bool {
+	return endpoint == "/v1/run" || endpoint == "/v1/sweep"
+}
+
+// instrument wraps a handler with the request-scoped observability
+// envelope: a fresh run ID (context value, X-Run-ID header, pprof
+// labels), request counting, latency observation, the structured log
+// line, and — for simulation endpoints — the run-ring entry.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := obs.NewRunID()
+		ri := &reqInfo{}
+		ctx := obs.WithRunID(r.Context(), id)
+		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		w.Header().Set("X-Run-ID", id)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
+		pprof.Do(ctx, pprof.Labels("run_id", id, "endpoint", endpoint), func(ctx context.Context) {
+			h(rec, r.WithContext(ctx))
+		})
 		elapsed := time.Since(start)
-		s.metrics.requests.get(requestLabels(endpoint, rec.status)).inc()
+
+		s.metrics.requests.With(endpoint, strconv.Itoa(rec.status)).Inc()
 		switch endpoint {
 		case "/v1/run":
-			s.metrics.runLatency.observe(elapsed)
+			s.metrics.runLatency.ObserveDuration(elapsed)
 		case "/v1/sweep":
-			s.metrics.sweepLatency.observe(elapsed)
+			s.metrics.sweepLatency.ObserveDuration(elapsed)
 		}
 		if rec.status == http.StatusTooManyRequests {
-			s.metrics.rejected.get(endpointLabels(endpoint)).inc()
+			s.metrics.rejected.With(endpoint).Inc()
+		}
+
+		if ri.outcome == "" {
+			if rec.status < 400 {
+				ri.outcome = "ok"
+			} else {
+				ri.outcome = "error"
+			}
+		}
+		if simEndpoint(endpoint) {
+			s.ring.Add(obs.RunSummary{
+				ID: id, Endpoint: endpoint,
+				Spec: ri.spec, SpecHash: ri.specHash,
+				Start: start, Latency: elapsed,
+				Status: rec.status, Outcome: ri.outcome,
+				CacheHit: ri.cacheHit, Makespan: ri.makespan,
+				Events: ri.events, Runs: ri.runs,
+				Procs: ri.procs, Trace: ri.trace,
+			})
+		}
+
+		level := slog.LevelDebug
+		if simEndpoint(endpoint) {
+			level = slog.LevelInfo
+		}
+		msg := "request"
+		if s.cfg.SlowRequest > 0 && simEndpoint(endpoint) && elapsed > s.cfg.SlowRequest {
+			level, msg = slog.LevelWarn, "slow request"
+		}
+		if s.logger.Enabled(r.Context(), level) {
+			attrs := []slog.Attr{
+				slog.String("run_id", id),
+				slog.String("endpoint", endpoint),
+				slog.Int("status", rec.status),
+				slog.Duration("latency", elapsed),
+				slog.String("outcome", ri.outcome),
+			}
+			if ri.spec != "" {
+				attrs = append(attrs,
+					slog.String("spec", ri.spec),
+					slog.String("spec_hash", ri.specHash),
+					slog.Bool("cache_hit", ri.cacheHit))
+			}
+			if ri.runs > 1 {
+				attrs = append(attrs, slog.Int("runs", ri.runs))
+			}
+			s.logger.LogAttrs(r.Context(), level, msg, attrs...)
 		}
 	}
+}
+
+// sweepStats adapts the Server to the two read methods newMetrics needs,
+// forwarding to s.sweeper once New has set it (scrapes cannot race the
+// constructor — the mux doesn't exist until after both are assembled).
+type sweepStats struct{ s *Server }
+
+func (v sweepStats) Stats() sweep.CacheStats {
+	if v.s.sweeper == nil {
+		return sweep.CacheStats{}
+	}
+	return v.s.sweeper.Stats()
+}
+
+func (v sweepStats) PoolDepth() (int, int) {
+	if v.s.sweeper == nil {
+		return 0, 0
+	}
+	return v.s.sweeper.PoolDepth()
 }
 
 // ListenAndServe binds cfg.Addr and serves until ctx is canceled, then

@@ -239,7 +239,7 @@ func TestRequestTimeoutCancelsRun(t *testing.T) {
 	if stats := s.Sweeper().Stats(); stats.Entries != 0 {
 		t.Errorf("timed-out compute was memoized: %+v", stats)
 	}
-	if got := s.metrics.canceled.value(); got != 1 {
+	if got := s.metrics.canceled.Value(); got != 1 {
 		t.Errorf("canceled counter = %d, want 1", got)
 	}
 }
@@ -265,7 +265,7 @@ func TestClientDisconnectCancelsRun(t *testing.T) {
 		t.Fatalf("client error = %v, want context.Canceled", err)
 	}
 
-	waitFor(t, func() bool { return s.metrics.canceled.value() == 1 })
+	waitFor(t, func() bool { return s.metrics.canceled.Value() == 1 })
 	if stats := s.Sweeper().Stats(); stats.Entries != 0 {
 		t.Errorf("canceled compute was memoized: %+v", stats)
 	}

@@ -1,0 +1,57 @@
+package server
+
+// After-the-fact run inspection: every simulation request leaves a
+// summary in the bounded run ring (keyed by the run ID the X-Run-ID
+// header returned), and computed single runs keep their span timeline,
+// so a p99 outlier spotted in the latency histogram can be pulled up as
+// a Chrome trace without having asked for tracing up front.
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+
+	"flagsim/internal/obs"
+	"flagsim/internal/sim"
+)
+
+// RunsResponse is the /v1/runs reply: recent runs, newest first.
+type RunsResponse struct {
+	Count int              `json:"count"`
+	Runs  []obs.RunSummary `json:"runs"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	runs := s.ring.List()
+	writeJSON(w, http.StatusOK, RunsResponse{Count: len(runs), Runs: runs})
+}
+
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	id := r.PathValue("id")
+	sum, ok := s.ring.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("unknown run id %q (the ring keeps the last %d runs)", id, s.cfg.RunRingSize))
+		return
+	}
+	if !sum.HasTrace() {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("run %s has no trace: cache hits and sweep batches skip span capture; re-run with POST /v1/run?trace=chrome", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := sim.WriteChromeTraceSpans(w, sum.Procs, sum.Trace); err != nil {
+		s.logger.LogAttrs(r.Context(), slog.LevelError, "trace stream failed",
+			slog.String("run_id", id), slog.String("error", err.Error()))
+	}
+}

@@ -19,6 +19,19 @@ func (r *Result) WriteChromeTrace(w io.Writer) error {
 	if r.Trace == nil {
 		return fmt.Errorf("sim: run has no trace; set Config.Trace")
 	}
+	procs := make([]string, len(r.Procs))
+	for i, p := range r.Procs {
+		procs[i] = p.Name
+	}
+	return WriteChromeTraceSpans(w, procs, r.Trace)
+}
+
+// WriteChromeTraceSpans exports an arbitrary span timeline in the Chrome
+// trace-event format — the span-level core of WriteChromeTrace, usable
+// with spans reconstructed through a SpanCollector probe (the HTTP
+// service's run ring serves traces this way) as well as with a traced
+// Result. procs names the processor threads; Span.Proc indexes it.
+func WriteChromeTraceSpans(w io.Writer, procs []string, spans []Span) error {
 	type traceEvent struct {
 		Name string            `json:"name"`
 		Cat  string            `json:"cat"`
@@ -29,7 +42,7 @@ func (r *Result) WriteChromeTrace(w io.Writer) error {
 		TID  int               `json:"tid"`
 		Args map[string]string `json:"args,omitempty"`
 	}
-	events := make([]traceEvent, 0, len(r.Trace)+len(r.Procs))
+	events := make([]traceEvent, 0, len(spans)+len(procs))
 	// Thread-name metadata so the viewer shows P1..Pn.
 	type metaEvent struct {
 		Name string            `json:"name"`
@@ -38,14 +51,14 @@ func (r *Result) WriteChromeTrace(w io.Writer) error {
 		TID  int               `json:"tid"`
 		Args map[string]string `json:"args"`
 	}
-	metas := make([]metaEvent, 0, len(r.Procs))
-	for i, p := range r.Procs {
+	metas := make([]metaEvent, 0, len(procs))
+	for i, name := range procs {
 		metas = append(metas, metaEvent{
 			Name: "thread_name", Ph: "M", PID: 1, TID: i + 1,
-			Args: map[string]string{"name": p.Name},
+			Args: map[string]string{"name": name},
 		})
 	}
-	for _, sp := range r.Trace {
+	for _, sp := range spans {
 		name := sp.Kind.String()
 		args := map[string]string{}
 		switch sp.Kind {

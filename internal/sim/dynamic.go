@@ -275,5 +275,7 @@ func RunDynamicCtx(ctx context.Context, cfg DynamicConfig) (*Result, error) {
 		LayerCellCount: seq.LayerCellCount,
 		Overpainted:    true,
 	}
-	return e.buildResult(plan, makespan), nil
+	res := e.buildResult(plan, makespan)
+	notifyResultProbes(cfg.Probes, res)
+	return res, nil
 }

@@ -9,8 +9,19 @@ package sim
 //
 // Installing a probe forces span materialization even when Config.Trace
 // is off, so a collector probe sees exactly what a traced run records.
+//
+// Goroutine safety: one engine run is single-threaded, so a probe
+// installed on exactly one run never sees concurrent callbacks. A probe
+// instance shared across runs that may execute in parallel — the sweep
+// pool's process-wide metrics probe is the canonical case — receives
+// interleaved callbacks from many engines at once and must be goroutine-
+// safe. Of the probes shipped here, CountingProbe is safe to share
+// (atomic counters); SpanCollector is not (it appends to a slice and
+// would interleave spans from unrelated runs) — install a fresh one per
+// run.
 
 import (
+	"sync/atomic"
 	"time"
 
 	"flagsim/internal/implement"
@@ -19,7 +30,9 @@ import (
 )
 
 // Probe observes engine execution. Embed BaseProbe to implement only the
-// callbacks you need and stay compatible as the interface grows.
+// callbacks you need and stay compatible as the interface grows. See the
+// package note above for the goroutine-safety contract when one probe
+// instance is shared across concurrent runs.
 type Probe interface {
 	// Grant fires when pi acquires an implement (including handoffs).
 	Grant(pi int, im *implement.Implement, at time.Duration)
@@ -34,6 +47,25 @@ type Probe interface {
 	ProcDone(pi int, at time.Duration)
 	// Span receives every materialized trace span as it is emitted.
 	Span(sp Span)
+}
+
+// ResultProbe is an optional extension: a Probe that also implements it
+// receives the completed run's Result once, after the event loop drains
+// and the executor assembles it. This is where run-level aggregates live
+// that no event callback can see — steal counts, migrated cells, total
+// events, the kernel's event-queue high-water mark.
+type ResultProbe interface {
+	ObserveResult(res *Result)
+}
+
+// notifyResultProbes fans a completed result out to every probe that
+// opted into result observation.
+func notifyResultProbes(probes []Probe, res *Result) {
+	for _, p := range probes {
+		if rp, ok := p.(ResultProbe); ok {
+			rp.ObserveResult(res)
+		}
+	}
 }
 
 // BaseProbe is a no-op Probe for embedding.
@@ -57,38 +89,61 @@ func (BaseProbe) ProcDone(int, time.Duration) {}
 // Span implements Probe.
 func (BaseProbe) Span(Span) {}
 
-// CountingProbe tallies engine events — the cheapest metrics hook.
+// CountingProbe tallies engine events — the cheapest metrics hook. Its
+// counters are atomics, so one CountingProbe may be shared across
+// concurrently executing runs (e.g. installed pool-wide on a sweep) and
+// tallies the aggregate.
 type CountingProbe struct {
 	BaseProbe
-	Grants    int
-	Releases  int
-	Blocks    int
-	Completes int
-	Retired   int
-	Spans     int
+	grants    atomic.Int64
+	releases  atomic.Int64
+	blocks    atomic.Int64
+	completes atomic.Int64
+	retired   atomic.Int64
+	spans     atomic.Int64
 }
 
 // Grant implements Probe.
-func (c *CountingProbe) Grant(int, *implement.Implement, time.Duration) { c.Grants++ }
+func (c *CountingProbe) Grant(int, *implement.Implement, time.Duration) { c.grants.Add(1) }
 
 // Release implements Probe.
-func (c *CountingProbe) Release(int, *implement.Implement, time.Duration) { c.Releases++ }
+func (c *CountingProbe) Release(int, *implement.Implement, time.Duration) { c.releases.Add(1) }
 
 // Block implements Probe.
-func (c *CountingProbe) Block(int, SpanKind, palette.Color, time.Duration) { c.Blocks++ }
+func (c *CountingProbe) Block(int, SpanKind, palette.Color, time.Duration) { c.blocks.Add(1) }
 
 // Complete implements Probe.
-func (c *CountingProbe) Complete(int, workplan.Task, time.Duration) { c.Completes++ }
+func (c *CountingProbe) Complete(int, workplan.Task, time.Duration) { c.completes.Add(1) }
 
 // ProcDone implements Probe.
-func (c *CountingProbe) ProcDone(int, time.Duration) { c.Retired++ }
+func (c *CountingProbe) ProcDone(int, time.Duration) { c.retired.Add(1) }
 
 // Span implements Probe.
-func (c *CountingProbe) Span(Span) { c.Spans++ }
+func (c *CountingProbe) Span(Span) { c.spans.Add(1) }
+
+// Grants returns the number of implement acquisitions observed.
+func (c *CountingProbe) Grants() int { return int(c.grants.Load()) }
+
+// Releases returns the number of implement put-downs observed.
+func (c *CountingProbe) Releases() int { return int(c.releases.Load()) }
+
+// Blocks returns the number of processor blocks observed.
+func (c *CountingProbe) Blocks() int { return int(c.blocks.Load()) }
+
+// Completes returns the number of painted cells observed.
+func (c *CountingProbe) Completes() int { return int(c.completes.Load()) }
+
+// Retired returns the number of processor retirements observed.
+func (c *CountingProbe) Retired() int { return int(c.retired.Load()) }
+
+// Spans returns the number of spans observed.
+func (c *CountingProbe) Spans() int { return int(c.spans.Load()) }
 
 // SpanCollector accumulates every span the engine emits — a traced run's
 // Result.Trace, reconstructed through the probe layer. It lets exporters
-// (Gantt, Chrome trace, animations) observe an untraced run.
+// (Gantt, Chrome trace, animations) observe an untraced run. A collector
+// is single-run state: install a fresh one per run, never share one
+// across concurrent runs.
 type SpanCollector struct {
 	BaseProbe
 	Spans []Span

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -72,20 +73,20 @@ func TestCountingProbeTallies(t *testing.T) {
 	for _, p := range res.Procs {
 		cells += p.Cells
 	}
-	if count.Completes != cells {
-		t.Errorf("Completes = %d, want %d", count.Completes, cells)
+	if count.Completes() != cells {
+		t.Errorf("Completes = %d, want %d", count.Completes(), cells)
 	}
-	if count.Retired != len(res.Procs) {
-		t.Errorf("Retired = %d, want %d", count.Retired, len(res.Procs))
+	if count.Retired() != len(res.Procs) {
+		t.Errorf("Retired = %d, want %d", count.Retired(), len(res.Procs))
 	}
-	if count.Grants == 0 || count.Releases == 0 {
-		t.Errorf("grants %d releases %d: implement traffic unobserved", count.Grants, count.Releases)
+	if count.Grants() == 0 || count.Releases() == 0 {
+		t.Errorf("grants %d releases %d: implement traffic unobserved", count.Grants(), count.Releases())
 	}
-	if count.Grants != count.Releases {
+	if count.Grants() != count.Releases() {
 		// Every acquired implement is released by retirement.
-		t.Errorf("grants %d != releases %d", count.Grants, count.Releases)
+		t.Errorf("grants %d != releases %d", count.Grants(), count.Releases())
 	}
-	if count.Spans == 0 {
+	if count.Spans() == 0 {
 		t.Error("no spans fanned out to the probe")
 	}
 }
@@ -107,8 +108,8 @@ func TestProbesWorkOnDynamicAndSteal(t *testing.T) {
 	for _, p := range dres.Procs {
 		cells += p.Cells
 	}
-	if dynCount.Completes != cells {
-		t.Errorf("dynamic: Completes = %d, want %d", dynCount.Completes, cells)
+	if dynCount.Completes() != cells {
+		t.Errorf("dynamic: Completes = %d, want %d", dynCount.Completes(), cells)
 	}
 
 	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 3, false)
@@ -129,8 +130,8 @@ func TestProbesWorkOnDynamicAndSteal(t *testing.T) {
 	for _, p := range sres.Procs {
 		cells += p.Cells
 	}
-	if stealCount.Completes != cells {
-		t.Errorf("steal: Completes = %d, want %d", stealCount.Completes, cells)
+	if stealCount.Completes() != cells {
+		t.Errorf("steal: Completes = %d, want %d", stealCount.Completes(), cells)
 	}
 }
 
@@ -181,3 +182,101 @@ func TestProbeDoesNotPerturbRun(t *testing.T) {
 		t.Fatal("per-processor stats diverge under probing")
 	}
 }
+
+// TestCountingProbeSharedAcrossConcurrentRuns installs one CountingProbe
+// on many runs executing in parallel — the shape of a process-wide
+// metrics probe on a sweep pool. Under -race this doubles as the probe
+// layer's goroutine-safety check; the assertion is task conservation
+// across the aggregate tally.
+func TestCountingProbeSharedAcrossConcurrentRuns(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 8
+	var shared CountingProbe
+	var wg sync.WaitGroup
+	cells := make([]int, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Run(Config{
+				Plan:   plan,
+				Procs:  newTeam(t, 4),
+				Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+				Probes: []Probe{&shared},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, p := range res.Procs {
+				cells[i] += p.Cells
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range cells {
+		total += c
+	}
+	if shared.Completes() != total {
+		t.Errorf("shared probe saw %d completes, runs painted %d cells", shared.Completes(), total)
+	}
+	if shared.Retired() != runs*4 {
+		t.Errorf("shared probe saw %d retirements, want %d", shared.Retired(), runs*4)
+	}
+}
+
+// TestResultProbeObservesRunLevelTotals checks the ResultProbe extension:
+// a probe that implements it receives the assembled Result exactly once
+// per run, on every executor.
+func TestResultProbeObservesRunLevelTotals(t *testing.T) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, f.DefaultW, f.DefaultH, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := &resultRecorder{}
+	res, err := Run(Config{
+		Plan: plan, Procs: newTeam(t, 4),
+		Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+		Probes: []Probe{rp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := RunSteal(Config{
+		Plan: plan, Procs: newTeam(t, 4),
+		Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+		Probes: []Probe{rp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := RunDynamic(DynamicConfig{
+		Flag: f, Procs: newTeam(t, 3),
+		Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+		Probes: []Probe{rp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*Result{res, sres, dres}
+	if !reflect.DeepEqual(rp.seen, want) {
+		t.Fatalf("result probe saw %d results, want the 3 returned ones", len(rp.seen))
+	}
+	if rp.seen[0].Events == 0 || rp.seen[0].MaxEventQueue == 0 {
+		t.Errorf("observed result missing run-level totals: %+v", rp.seen[0])
+	}
+}
+
+// resultRecorder is a test ResultProbe.
+type resultRecorder struct {
+	BaseProbe
+	seen []*Result
+}
+
+func (r *resultRecorder) ObserveResult(res *Result) { r.seen = append(r.seen, res) }

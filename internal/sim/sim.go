@@ -363,5 +363,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.buildResult(cfg.Plan, makespan), nil
+	res := e.buildResult(cfg.Plan, makespan)
+	notifyResultProbes(cfg.Probes, res)
+	return res, nil
 }

@@ -178,5 +178,6 @@ func RunStealCtx(ctx context.Context, cfg Config) (*Result, error) {
 	res := e.buildResult(plan, makespan)
 	res.Steals = source.steals
 	res.Migrated = source.migrated
+	notifyResultProbes(cfg.Probes, res)
 	return res, nil
 }

@@ -153,11 +153,21 @@ func (s Spec) team(n int) ([]*processor.Processor, error) {
 	return out, nil
 }
 
+// RunOnce materializes and executes the spec directly — no pool, no
+// cache — with the given probes installed on the engine. It is the
+// cache-bypassing entry point for traced runs: install a fresh
+// sim.SpanCollector and the run's spans come back through it even when
+// an identical spec is already memoized in some Sweeper.
+func (s Spec) RunOnce(ctx context.Context, probes ...sim.Probe) (*sim.Result, error) {
+	return s.run(ctx, probes)
+}
+
 // run materializes and executes the spec. Everything stateful is built
 // here, inside the worker, so runs are independent of pool placement. A
 // non-nil ctx installs engine cancellation checkpoints; a canceled run
-// fails with an error wrapping sim.ErrCanceled.
-func (s Spec) run(ctx context.Context) (*sim.Result, error) {
+// fails with an error wrapping sim.ErrCanceled. probes are installed on
+// the engine for this run.
+func (s Spec) run(ctx context.Context, probes []sim.Probe) (*sim.Result, error) {
 	f, err := flagspec.Lookup(s.Flag)
 	if err != nil {
 		return nil, err
@@ -182,7 +192,7 @@ func (s Spec) run(ctx context.Context) (*sim.Result, error) {
 		}
 		spec := core.RunSpec{
 			Flag: f, W: s.W, H: s.H, Scenario: scen, Team: team,
-			Set: set, Setup: s.Setup, Hold: s.Hold,
+			Set: set, Setup: s.Setup, Hold: s.Hold, Probes: probes,
 		}
 		if s.Exec == ExecSteal {
 			return core.RunStealingCtx(ctx, spec)
@@ -199,7 +209,7 @@ func (s Spec) run(ctx context.Context) (*sim.Result, error) {
 		}
 		return sim.RunDynamicCtx(ctx, sim.DynamicConfig{
 			Flag: f, W: s.W, H: s.H, Procs: team, Set: set,
-			Policy: s.Policy, Setup: s.Setup,
+			Policy: s.Policy, Setup: s.Setup, Probes: probes,
 		})
 	default:
 		return nil, fmt.Errorf("sweep: unknown executor class %d", s.Exec)

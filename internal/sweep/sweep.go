@@ -30,6 +30,12 @@ import (
 type Options struct {
 	// Workers bounds pool concurrency; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// Probes are installed on every compute the pool executes (cache hits
+	// fire nothing — the engine never ran). Because pool workers run
+	// concurrently, every probe listed here MUST be goroutine-safe (see
+	// the sim.Probe docs); sim.CountingProbe and the obs metrics probe
+	// qualify, sim.SpanCollector does not.
+	Probes []sim.Probe
 }
 
 // CacheStats counts cache outcomes. A within-batch duplicate of a spec
@@ -42,6 +48,10 @@ type CacheStats struct {
 	// Only Sweeper.Stats snapshots fill it; a batch Result's Cache tally
 	// leaves it zero (a batch doesn't own the cache).
 	Entries int
+	// Evictions counts entries removed from the cache (today: canceled
+	// computes, which are never memoized). Like Entries it is a
+	// Sweeper-lifetime figure filled only by Sweeper.Stats.
+	Evictions int
 }
 
 // HitRate returns hits / (hits + misses), or 0 for an empty tally.
@@ -104,12 +114,19 @@ type entry struct {
 // is safe for concurrent use.
 type Sweeper struct {
 	workers int
+	probes  []sim.Probe
 
 	mu    sync.Mutex
 	cache map[[sha256.Size]byte]*entry
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	// running and queued are the pool's live occupancy gauges: how many
+	// specs hold a worker slot and how many are waiting for one.
+	running atomic.Int64
+	queued  atomic.Int64
 }
 
 // New returns a Sweeper with an empty cache.
@@ -118,7 +135,7 @@ func New(opts Options) *Sweeper {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Sweeper{workers: w, cache: make(map[[sha256.Size]byte]*entry)}
+	return &Sweeper{workers: w, probes: opts.Probes, cache: make(map[[sha256.Size]byte]*entry)}
 }
 
 // Workers returns the pool's concurrency bound.
@@ -130,7 +147,16 @@ func (s *Sweeper) Stats() CacheStats {
 	s.mu.Lock()
 	entries := len(s.cache)
 	s.mu.Unlock()
-	return CacheStats{Hits: int(s.hits.Load()), Misses: int(s.misses.Load()), Entries: entries}
+	return CacheStats{
+		Hits: int(s.hits.Load()), Misses: int(s.misses.Load()),
+		Entries: entries, Evictions: int(s.evictions.Load()),
+	}
+}
+
+// PoolDepth returns the pool's instantaneous occupancy: specs currently
+// computing on a worker slot and specs queued waiting for one.
+func (s *Sweeper) PoolDepth() (running, queued int) {
+	return int(s.running.Load()), int(s.queued.Load())
 }
 
 // Run executes the batch and returns per-run outcomes in input order.
@@ -142,7 +168,22 @@ func (s *Sweeper) Stats() CacheStats {
 // (or a concurrent duplicate with a live context) recomputes instead of
 // inheriting a poisoned result. A nil ctx runs unchecked.
 func (s *Sweeper) Run(ctx context.Context, specs []Spec) *Result {
+	return s.RunProbed(ctx, specs)
+}
+
+// RunProbed is Run with additional batch-scoped probes installed on this
+// batch's computes, after the pool-wide Options.Probes. Unlike pool-wide
+// probes, batch probes only ever see this batch's runs — a fresh
+// sim.SpanCollector per single-spec batch is the intended use (that is
+// how the HTTP service captures a request's trace) — but within a batch
+// computes still run concurrently, so a collector is only safe when the
+// batch holds one spec.
+func (s *Sweeper) RunProbed(ctx context.Context, specs []Spec, extra ...sim.Probe) *Result {
 	start := time.Now()
+	probes := s.probes
+	if len(extra) > 0 {
+		probes = append(append([]sim.Probe(nil), s.probes...), extra...)
+	}
 	batch := &Result{Runs: make([]RunResult, len(specs)), Workers: s.workers}
 	var hits, misses atomic.Uint64
 	sem := make(chan struct{}, s.workers)
@@ -155,8 +196,11 @@ func (s *Sweeper) Run(ctx context.Context, specs []Spec) *Result {
 			// creator therefore always holds a slot and finishes without
 			// needing another, so waiters parked on e.done cannot starve
 			// the compute they are waiting for.
+			s.queued.Add(1)
 			sem <- struct{}{}
-			defer func() { <-sem }()
+			s.queued.Add(-1)
+			s.running.Add(1)
+			defer func() { s.running.Add(-1); <-sem }()
 
 			key := specs[i].Key()
 			for {
@@ -177,7 +221,7 @@ func (s *Sweeper) Run(ctx context.Context, specs []Spec) *Result {
 
 				if !cached {
 					t0 := time.Now()
-					e.res, e.err = specs[i].run(ctx)
+					e.res, e.err = specs[i].run(ctx, probes)
 					elapsed := time.Since(t0)
 					if e.err != nil && errors.Is(e.err, sim.ErrCanceled) {
 						// Never memoize a canceled compute: evict before
@@ -186,6 +230,7 @@ func (s *Sweeper) Run(ctx context.Context, specs []Spec) *Result {
 						s.mu.Lock()
 						delete(s.cache, key)
 						s.mu.Unlock()
+						s.evictions.Add(1)
 					}
 					close(e.done)
 					misses.Add(1)

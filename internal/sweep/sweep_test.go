@@ -275,3 +275,109 @@ func TestSpecSkillsAndWorkersOverride(t *testing.T) {
 		t.Error("mismatched skills length did not error")
 	}
 }
+
+// TestPoolProbesObserveComputesOnly installs a shared CountingProbe as a
+// pool-wide probe and checks that it fires exactly once per compute:
+// cache hits (warm rerun, within-batch duplicates) never reach the
+// engine, so they never reach the probe either.
+func TestPoolProbesObserveComputesOnly(t *testing.T) {
+	var count sim.CountingProbe
+	s := New(Options{Workers: 4, Probes: []sim.Probe{&count}})
+	spec := Spec{Flag: "mauritius", Scenario: core.S3, Kind: implement.ThickMarker, Seed: 7}
+
+	cold := s.Run(nil, []Spec{spec, spec, spec})
+	if err := cold.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache.Misses != 1 || cold.Cache.Hits != 2 {
+		t.Fatalf("cold batch: %d misses %d hits, want 1/2", cold.Cache.Misses, cold.Cache.Hits)
+	}
+	retiredAfterCold := count.Retired()
+	if retiredAfterCold == 0 {
+		t.Fatal("pool probe saw no retirements after a compute")
+	}
+
+	warm := s.Run(nil, []Spec{spec})
+	if err := warm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.Hits != 1 {
+		t.Fatalf("warm batch hits = %d, want 1", warm.Cache.Hits)
+	}
+	if got := count.Retired(); got != retiredAfterCold {
+		t.Errorf("cache hit reached the probe: retired %d -> %d", retiredAfterCold, got)
+	}
+}
+
+// TestRunProbedBatchProbe checks that a batch-scoped probe (RunProbed's
+// extra argument) observes the batch's compute, and that a span collector
+// installed this way reconstructs the run's trace — the HTTP service's
+// per-request tracing path.
+func TestRunProbedBatchProbe(t *testing.T) {
+	s := New(Options{Workers: 2})
+	spec := Spec{Flag: "mauritius", Scenario: core.S4, Kind: implement.ThickMarker, Seed: 3}
+	var collector sim.SpanCollector
+	batch := s.RunProbed(nil, []Spec{spec}, &collector)
+	if err := batch.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Runs[0].CacheHit {
+		t.Fatal("first run of a fresh sweeper hit the cache")
+	}
+	if len(collector.Spans) == 0 {
+		t.Fatal("batch probe collected no spans")
+	}
+	// The same spec via RunOnce (cache bypass) must see identical spans.
+	var again sim.SpanCollector
+	if _, err := spec.RunOnce(nil, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(collector.Spans, again.Spans) {
+		t.Fatalf("RunOnce spans differ from pooled compute: %d vs %d",
+			len(again.Spans), len(collector.Spans))
+	}
+}
+
+// TestPoolDepthAndEvictions covers the pool occupancy gauges and the
+// eviction counter: a canceled compute increments Evictions, and
+// PoolDepth returns to zero once the batch drains.
+func TestPoolDepthAndEvictions(t *testing.T) {
+	s := New(Options{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := Spec{Flag: "mauritius", Scenario: core.S1, Kind: implement.ThickMarker, Seed: 11}
+	batch := s.Run(ctx, []Spec{spec})
+	if batch.Err() == nil {
+		t.Fatal("canceled batch reported success")
+	}
+	st := s.Stats()
+	// Canceled before start doesn't create an entry; canceled mid-compute
+	// does and evicts it. Either way the cache must hold nothing.
+	if st.Entries != 0 {
+		t.Errorf("canceled batch left %d cache entries", st.Entries)
+	}
+	if running, queued := s.PoolDepth(); running != 0 || queued != 0 {
+		t.Errorf("drained pool reports running=%d queued=%d", running, queued)
+	}
+
+	// A mid-compute cancellation must count an eviction.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	done := make(chan *Result, 1)
+	go func() {
+		// Big raster so the compute is still in flight when we cancel.
+		big := Spec{Flag: "mauritius", Scenario: core.S1, Kind: implement.ThickMarker, W: 400, H: 260, Seed: 12}
+		close(release)
+		done <- s.Run(ctx2, []Spec{big})
+	}()
+	<-release
+	time.Sleep(2 * time.Millisecond)
+	cancel2()
+	batch2 := <-done
+	if batch2.Err() != nil && errors.Is(batch2.Err(), sim.ErrCanceled) {
+		if got := s.Stats().Evictions; got == 0 {
+			t.Error("mid-compute cancellation evicted nothing")
+		}
+	}
+	cancel()
+}
