@@ -6,9 +6,11 @@ import (
 	"log/slog"
 	"time"
 
+	"flagsim/internal/check"
 	"flagsim/internal/classroom"
 	"flagsim/internal/core"
 	"flagsim/internal/depgraph"
+	"flagsim/internal/fault"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/grid"
 	"flagsim/internal/implement"
@@ -351,6 +353,11 @@ type SpanCollector = sim.SpanCollector
 // cannot see.
 type ResultProbe = sim.ResultProbe
 
+// RunScopedProbe is the optional Probe extension for probes shared
+// across concurrent runs (sweep pools, servers): the engine asks
+// BeginRun for a fresh per-run child, so per-run state never races.
+type RunScopedProbe = sim.RunScopedProbe
+
 // ---- Observability ----
 
 // MetricsRegistry is a dependency-free, ordered Prometheus text registry
@@ -471,6 +478,66 @@ func RunDynamicCtx(ctx context.Context, cfg DynamicConfig) (*Result, error) {
 // checkpoint, and canceled computes are never memoized.
 func RunSweepCtx(ctx context.Context, specs []SweepSpec, opts SweepOptions) *SweepResult {
 	return sweep.New(opts).Run(ctx, specs)
+}
+
+// ---- Fault injection and correctness verification ----
+
+// FaultPlan is a seeded, hashable description of deterministic fault
+// injection: processor stall windows, degraded cells, forced implement
+// breakage, transient paint failures forcing repaints, and handoff
+// delays. Every decision is a pure function of (plan seed, cell), so
+// the same plan perturbs every executor identically and a fault-bearing
+// run is exactly as reproducible as a fault-free one.
+type FaultPlan = fault.Plan
+
+// FaultStall is one processor freeze window inside a FaultPlan
+// (Proc -1 stalls everyone).
+type FaultStall = fault.Stall
+
+// FaultInjector is the engine hook a compiled FaultPlan implements; a
+// nil injector leaves the engine's hot path untouched.
+type FaultInjector = sim.FaultInjector
+
+// FaultStats tallies what an injected plan actually did during a run
+// (Result.Faults).
+type FaultStats = sim.FaultStats
+
+// NewFaultInjector compiles a plan for installation in a RunSpec,
+// SimConfig, or DynamicConfig. A nil or zero plan returns a nil
+// injector (no injection); assign through a nil check.
+func NewFaultInjector(p *FaultPlan) (*fault.Injector, error) { return fault.New(p) }
+
+// FaultPreset returns a named built-in plan: "none", "light" (mild
+// degradation and handoff delays), "heavy" (stalls, breakage, repaints,
+// heavy contention delays).
+func FaultPreset(name string, seed uint64) (*FaultPlan, error) { return fault.Preset(name, seed) }
+
+// FaultPresetNames lists the built-in fault plans.
+func FaultPresetNames() []string { return fault.PresetNames() }
+
+// CheckOracle is an engine probe enforcing the simulator's invariants
+// online and at result time: exactly-once painting, implement mutual
+// exclusion, span well-formedness, the critical-path lower bound, task
+// conservation under stealing, and final-grid fidelity. Install one
+// per run (or share one across runs — it scopes itself) and ask Err.
+type CheckOracle = check.Oracle
+
+// NewCheckOracle returns an oracle ready to install as a probe.
+func NewCheckOracle() *CheckOracle { return check.NewOracle() }
+
+// CheckDiffConfig configures a differential verification suite.
+type CheckDiffConfig = check.DiffConfig
+
+// CheckDiffResult is a completed suite: per-run rows, oracle
+// violations, and cross-run conservation mismatches.
+type CheckDiffResult = check.DiffResult
+
+// CheckDiff pushes one workload through all three executors under a
+// set of fault plans, verifies every run with a fresh oracle, and
+// compares the conserved quantities (final grid, work performed,
+// cell-keyed fault markings). The zero config runs the default suite.
+func CheckDiff(ctx context.Context, cfg CheckDiffConfig) (*CheckDiffResult, error) {
+	return check.Diff(ctx, cfg)
 }
 
 // ---- HTTP service ----

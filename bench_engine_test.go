@@ -9,6 +9,8 @@ package flagsim_test
 import (
 	"testing"
 
+	"flagsim/internal/check"
+	"flagsim/internal/fault"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/implement"
 	"flagsim/internal/obs"
@@ -124,6 +126,76 @@ func BenchmarkEngineStaticProbed(b *testing.B) {
 			b.Fatal(err)
 		}
 		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkEngineStaticFaults is BenchmarkEngineStatic with the heavy
+// fault preset compiled in — the full fault-hook tax: a stall-window
+// scan per advance plus one stateless hash per cell for each enabled
+// fault class. Guarded so injection stays a bounded, predictable cost.
+func BenchmarkEngineStaticFaults(b *testing.B) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, 64, 32, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp, err := fault.Preset("heavy", benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj, err := fault.New(fp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Plan:   plan,
+			Procs:  benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
+			Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+			Faults: inj,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkEngineStaticOracle is BenchmarkEngineStatic with the
+// invariant oracle verifying every run — the cost of flagcheck-style
+// verification: per-event map bookkeeping plus the result-time span,
+// conservation, and grid-reference sweeps. Compare against
+// BenchmarkEngineStatic for the oracle's overhead; the bare benchmark
+// staying flat is the proof the oracle is off the hot path when not
+// installed (a nil-probe slice and a nil fault hook cost nothing).
+func BenchmarkEngineStaticOracle(b *testing.B) {
+	f := flagspec.Mauritius
+	plan, err := workplan.VerticalSlices(f, 64, 32, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := check.NewOracle()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Plan:   plan,
+			Procs:  benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
+			Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+			Probes: []sim.Probe{oracle},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.StopTimer()
+	if err := oracle.Err(); err != nil {
+		b.Fatal(err)
 	}
 	b.ReportMetric(float64(events), "events/run")
 }

@@ -1,0 +1,101 @@
+// Command flagcheck runs the correctness-verification suite: the same
+// workload pushed through all three executors (static, steal, dynamic)
+// under a set of deterministic fault plans, every run watched by the
+// invariant oracle, and the cross-run conserved quantities compared.
+// It exits non-zero when any invariant or conservation check fails, so
+// it works as a CI gate.
+//
+// Usage:
+//
+//	flagcheck                          # default suite: mauritius, none/light/heavy
+//	flagcheck -flag france -scenario 2
+//	flagcheck -seed 7 -repeat=false    # skip the determinism repeat runs
+//	flagcheck -self-test               # prove the oracle fires on a seeded bug
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flagsim/internal/check"
+	"flagsim/internal/core"
+	"flagsim/internal/fault"
+	"flagsim/internal/implement"
+)
+
+func main() {
+	var (
+		flagName  = flag.String("flag", "mauritius", "flag to color")
+		scenario  = flag.Int("scenario", 4, "scenario number 1-4 (Fig. 1)")
+		pipelined = flag.Bool("pipelined", true, "use the pipelined variant of scenario 4")
+		workers   = flag.Int("workers", 0, "override the scenario's worker count")
+		kindName  = flag.String("kind", "thick-marker", "implement kind: dauber, thick-marker, thin-marker, crayon")
+		seed      = flag.Uint64("seed", 42, "random seed (also derives the fault-plan seeds)")
+		repeat    = flag.Bool("repeat", true, "re-run every configuration and require byte-identical results")
+		selfTest  = flag.Bool("self-test", false, "seed an intentional lost-update bug and require the suite to catch it")
+		quiet     = flag.Bool("quiet", false, "suppress the table; print findings only")
+	)
+	flag.Parse()
+
+	var id core.ScenarioID
+	switch {
+	case *scenario == 4 && *pipelined:
+		id = core.S4Pipelined
+	case *scenario >= 1 && *scenario <= 4:
+		id = core.ScenarioID(*scenario - 1)
+	default:
+		fatal(fmt.Errorf("scenario %d out of range 1-4", *scenario))
+	}
+	kind, err := implement.ParseKind(*kindName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := check.DiffConfig{
+		Flag: *flagName, Scenario: id, Workers: *workers,
+		Kind: kind, Seed: *seed, Repeat: *repeat,
+	}
+	if *selfTest {
+		// The self-test injects the unsound lost-update plan alongside a
+		// clean run; the suite PASSES only by flagging the corruption.
+		cfg.Plans = []*fault.Plan{nil, {Seed: *seed + 1, LostPaintProb: 0.05}}
+		cfg.Repeat = false
+	}
+
+	start := time.Now()
+	res, err := check.Diff(nil, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Print(res.Report())
+	} else {
+		for _, v := range res.Violations {
+			fmt.Printf("VIOLATION %s\n", v)
+		}
+		for _, m := range res.Mismatches {
+			fmt.Printf("MISMATCH %s\n", m)
+		}
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	if *selfTest {
+		if len(res.Violations) == 0 || len(res.Mismatches) == 0 {
+			fatal(fmt.Errorf("self-test FAILED: seeded lost-update bug went undetected (%d violations, %d mismatches)",
+				len(res.Violations), len(res.Mismatches)))
+		}
+		fmt.Printf("self-test OK: seeded bug detected (%d violations, %d mismatches) in %v\n",
+			len(res.Violations), len(res.Mismatches), elapsed)
+		return
+	}
+	if err := res.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ok: %d runs verified, 0 findings, %v\n", len(res.Rows), elapsed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flagcheck:", err)
+	os.Exit(1)
+}

@@ -7,6 +7,7 @@
 //	flagsim -scenario 4 -flag mauritius -kind thick-marker -gantt
 //	flagsim -scenario 4 -pipelined
 //	flagsim -scenario 1 -kind crayon -seed 7
+//	flagsim -scenario 4 -faults heavy    # deterministic fault injection
 //	flagsim -sweep -kind crayon          # all scenarios x implements/color
 //	flagsim -sweep -steal -sweep-workers 4
 package main
@@ -18,9 +19,11 @@ import (
 	"time"
 
 	"flagsim/internal/core"
+	"flagsim/internal/fault"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/implement"
 	"flagsim/internal/report"
+	"flagsim/internal/sim"
 	"flagsim/internal/sweep"
 	"flagsim/internal/viz"
 )
@@ -41,6 +44,8 @@ func main() {
 		cols      = flag.Int("cols", 100, "gantt width in characters")
 		doSweep   = flag.Bool("sweep", false, "run a batch sweep (all scenarios x implements/color) instead of one scenario")
 		sweepW    = flag.Int("sweep-workers", 0, "sweep pool size (0 = GOMAXPROCS)")
+		faults    = flag.String("faults", "", "inject a fault preset: none, light, heavy")
+		faultSeed = flag.Uint64("fault-seed", 0, "seed for the fault preset (0 reuses -seed)")
 	)
 	flag.Parse()
 
@@ -52,8 +57,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var plan *fault.Plan
+	if *faults != "" {
+		fs := *faultSeed
+		if fs == 0 {
+			fs = *seed
+		}
+		plan, err = fault.Preset(*faults, fs)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	if *doSweep {
-		if err := runSweep(f, kind, *steal, *seed, *setup, *sweepW); err != nil {
+		if err := runSweep(f, kind, *steal, *seed, *setup, *sweepW, plan); err != nil {
 			fatal(err)
 		}
 		return
@@ -86,6 +102,11 @@ func main() {
 		Setup:    *setup,
 		Trace:    *gantt || *svgGantt != "",
 	}
+	if inj, err := fault.New(plan); err != nil {
+		fatal(err)
+	} else if inj != nil {
+		spec.Faults = inj
+	}
 	runner := core.Run
 	if *steal {
 		runner = core.RunStealing
@@ -98,6 +119,7 @@ func main() {
 	if *steal {
 		fmt.Printf("work stealing: %d migrations\n", res.Steals)
 	}
+	printFaults(res.Faults)
 	title := fmt.Sprintf("flag=%s kind=%s implements=%d setup=%v",
 		f.Name, kind, *extra, setup.Round(time.Second))
 	if err := report.Scenario(os.Stdout, title, res); err != nil {
@@ -148,7 +170,7 @@ func main() {
 // the sweep pool and prints one makespan row per run plus cache stats.
 // Failed runs print an error row and are reported on stderr at the end
 // (non-zero exit) instead of aborting the batch or scrolling past.
-func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, setup time.Duration, workers int) error {
+func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, setup time.Duration, workers int, plan *fault.Plan) error {
 	exec := sweep.ExecStatic
 	if steal {
 		exec = sweep.ExecSteal
@@ -156,7 +178,7 @@ func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, se
 	g := sweep.Grid{
 		Base: sweep.Spec{
 			Exec: exec, Flag: f.Name, Kind: kind,
-			Seed: seed, Setup: setup,
+			Seed: seed, Setup: setup, Faults: plan,
 		},
 		Scenarios: []core.ScenarioID{core.S1, core.S2, core.S3, core.S4},
 		PerColor:  []int{1, 2},
@@ -195,6 +217,17 @@ func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, se
 		return fmt.Errorf("%d of %d sweep runs failed (see ERROR rows above)", failed, len(batch.Runs))
 	}
 	return nil
+}
+
+// printFaults summarizes an injected fault plan's effects, or nothing
+// when no plan was installed or nothing fired.
+func printFaults(f sim.FaultStats) {
+	if !f.Any() {
+		return
+	}
+	fmt.Printf("faults: %d stalls (%v), %d degraded cells, %d forced breaks, %d delayed handoffs (%v), %d repaints\n",
+		f.Stalls, f.StallTime.Round(time.Millisecond), f.DegradedCells, f.ForcedBreaks,
+		f.HandoffDelays, f.HandoffDelayTime.Round(time.Millisecond), f.Repaints)
 }
 
 func fatal(err error) {

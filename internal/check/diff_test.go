@@ -1,0 +1,65 @@
+package check
+
+import (
+	"testing"
+
+	"flagsim/internal/fault"
+)
+
+// TestDiffCleanSuite runs the full default differential suite — three
+// executors × (none, light, heavy) fault plans, repeat-run determinism
+// on — and requires a completely clean bill: no invariant violations,
+// no conservation mismatches, byte-identical repeats.
+func TestDiffCleanSuite(t *testing.T) {
+	res, err := Diff(nil, DiffConfig{Seed: 42, Repeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("%v\n%s", err, res.Report())
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("suite ran %d rows, want 9", len(res.Rows))
+	}
+	// The fault presets must actually bite, or the suite verifies the
+	// happy path three times over.
+	var injected int
+	for _, row := range res.Rows {
+		if row.Faults.Any() {
+			injected++
+		}
+	}
+	if injected < 6 {
+		t.Errorf("only %d of 9 rows saw injected faults; presets too weak\n%s",
+			injected, res.Report())
+	}
+}
+
+// TestDiffFlagsUnsoundPlan is the harness half of the mutation
+// self-test: a suite that includes the lost-update plan must report both
+// oracle violations (the corrupted grid) and cross-run mismatches (the
+// corrupt rows' grids diverge from the clean rows').
+func TestDiffFlagsUnsoundPlan(t *testing.T) {
+	unsound := &fault.Plan{Seed: 99, LostPaintProb: 0.05}
+	res, err := Diff(nil, DiffConfig{Seed: 42, Plans: []*fault.Plan{nil, unsound}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil {
+		t.Fatalf("suite passed with an unsound plan in the mix\n%s", res.Report())
+	}
+	if len(res.Violations) == 0 {
+		t.Errorf("no oracle violations recorded for the unsound plan\n%s", res.Report())
+	}
+	if len(res.Mismatches) == 0 {
+		t.Errorf("no cross-run mismatches recorded for the unsound plan\n%s", res.Report())
+	}
+}
+
+// TestDiffRejectsInvalidPlan verifies a malformed plan fails fast.
+func TestDiffRejectsInvalidPlan(t *testing.T) {
+	bad := &fault.Plan{Seed: 1, DegradeProb: 0.5, DegradeFactor: 0.5}
+	if _, err := Diff(nil, DiffConfig{Plans: []*fault.Plan{bad}}); err == nil {
+		t.Fatal("Diff accepted a degrade factor below 1")
+	}
+}

@@ -1,0 +1,375 @@
+// Package check is the simulator's correctness-verification subsystem:
+// an invariant oracle that rides along any engine run as a probe, and a
+// differential harness (Diff) that runs equivalent configurations through
+// all three executors — with and without fault injection — and compares
+// the quantities the engine promises to conserve.
+//
+// The oracle earns its keep the way the paper's activity does: by making
+// the machine's rules observable. Every run, faulted or not, must paint
+// every cell of every layer exactly once, never let two processors hold
+// the same implement, never overlap one processor's timeline spans, and
+// never finish faster than its critical-path lower bound. The oracle
+// checks those rules from the outside — through the same probe callbacks
+// any metrics consumer sees — so a bug that corrupts a run while keeping
+// its statistics plausible (the classic lost update) still trips the grid
+// and conservation checks. The intentional-mutation self-test in this
+// package's tests proves the alarm actually rings: a seeded lost-update
+// injector (fault.Plan.LostPaintProb) silently drops grid writes, and the
+// oracle must flag the run.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/grid"
+	"flagsim/internal/implement"
+	"flagsim/internal/sim"
+	"flagsim/internal/workplan"
+)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	// Invariant is the stable identifier of the breached rule (one of
+	// the Inv* constants).
+	Invariant string
+	// Detail describes the specific breach.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// The oracle's invariant vocabulary. DESIGN.md §3e tabulates what each
+// rule means and which failure class it catches.
+const (
+	// InvPaintOnce: every (layer, cell) task completes exactly once.
+	InvPaintOnce = "paint-once"
+	// InvLayerComplete: each layer's completions match its cell count.
+	InvLayerComplete = "layer-complete"
+	// InvCellConservation: Σ per-processor cell counts == completions.
+	InvCellConservation = "cell-conservation"
+	// InvImplementMutex: an implement is held by at most one processor,
+	// and only the holder releases it.
+	InvImplementMutex = "implement-mutex"
+	// InvSpanOverlap: one processor's timeline spans never overlap.
+	InvSpanOverlap = "span-overlap"
+	// InvSpanBounds: spans are well-formed and end by the makespan.
+	InvSpanBounds = "span-bounds"
+	// InvCriticalPath: makespan ≥ setup + the busiest processor's work.
+	InvCriticalPath = "critical-path"
+	// InvStealConservation: migrated cells are bounded by completions
+	// and only appear when steals happened.
+	InvStealConservation = "steal-conservation"
+	// InvGridReference: the final grid equals the flag's reference
+	// raster (skipped when the plan's flag is not a built-in).
+	InvGridReference = "grid-reference"
+)
+
+// maxViolationsPerRun bounds the oracle's memory on a badly corrupted
+// run; past the cap only the per-invariant counters keep counting.
+const maxViolationsPerRun = 32
+
+// Oracle is a shareable invariant checker. It implements
+// sim.RunScopedProbe: install one Oracle anywhere a probe slice is
+// accepted — a single run's Config.Probes or pool-wide via
+// sweep.Options.Probes — and the engine asks it for a fresh per-run
+// child at run start, so concurrent pooled runs never share mutable
+// checking state. Violations aggregate in the parent under a mutex;
+// read them with Violations, Counts, or Err.
+type Oracle struct {
+	sim.BaseProbe
+
+	mu         sync.Mutex
+	runs       int
+	violations []Violation
+	counts     map[string]int
+}
+
+var (
+	_ sim.Probe          = (*Oracle)(nil)
+	_ sim.RunScopedProbe = (*Oracle)(nil)
+)
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle {
+	return &Oracle{counts: make(map[string]int)}
+}
+
+// BeginRun implements sim.RunScopedProbe: the engine calls it at run
+// start and installs the returned child for that run's callbacks.
+func (o *Oracle) BeginRun() sim.Probe {
+	return &runOracle{
+		parent:  o,
+		painted: make(map[taskKey]int),
+		held:    make(map[int]int),
+	}
+}
+
+// Runs returns the number of completed runs the oracle has verified.
+func (o *Oracle) Runs() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.runs
+}
+
+// Violations returns a copy of the recorded violations (capped per run;
+// Counts has the uncapped totals).
+func (o *Oracle) Violations() []Violation {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Violation(nil), o.violations...)
+}
+
+// Counts returns the total number of violations per invariant.
+func (o *Oracle) Counts() map[string]int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]int, len(o.counts))
+	for k, v := range o.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Err returns nil when every verified run held every invariant, or an
+// error summarizing the first violation and the totals.
+func (o *Oracle) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	total := 0
+	for _, n := range o.counts {
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d invariant violation(s) across %d run(s); first: %s",
+		total, o.runs, o.violations[0])
+}
+
+// report merges one finished run's findings into the parent.
+func (o *Oracle) report(violations []Violation) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.runs++
+	for _, v := range violations {
+		o.counts[v.Invariant]++
+	}
+	o.violations = append(o.violations, violations...)
+}
+
+// taskKey identifies one unit of work independent of which processor
+// executed it.
+type taskKey struct {
+	layer, x, y int
+}
+
+// runOracle is the per-run child: single-threaded by the engine's
+// single-threaded run contract, so it needs no locking of its own. It
+// checks online what it can (duplicate completions, mutual exclusion)
+// and defers whole-run checks to ObserveResult, where the parent learns
+// the outcome.
+type runOracle struct {
+	sim.BaseProbe
+	parent *Oracle
+
+	painted   map[taskKey]int
+	held      map[int]int // implement ID -> holder
+	spans     []sim.Span
+	completes int
+	found     []Violation // accumulated violations, capped
+	dropped   int
+}
+
+var _ sim.ResultProbe = (*runOracle)(nil)
+
+func (r *runOracle) violate(invariant, format string, args ...any) {
+	if len(r.found) >= maxViolationsPerRun {
+		r.dropped++
+		// Still count it: Violation counters must not saturate.
+		r.found = append(r.found[:maxViolationsPerRun-1],
+			Violation{Invariant: invariant, Detail: "further violations truncated"})
+		return
+	}
+	r.found = append(r.found, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Grant implements sim.Probe: mutual exclusion on acquisition.
+func (r *runOracle) Grant(pi int, im *implement.Implement, at time.Duration) {
+	if holder, taken := r.held[im.ID]; taken {
+		r.violate(InvImplementMutex,
+			"implement %d (%s) granted to P%d at %v while held by P%d",
+			im.ID, im.Color, pi, at, holder)
+	}
+	r.held[im.ID] = pi
+}
+
+// Release implements sim.Probe: only the holder releases.
+func (r *runOracle) Release(pi int, im *implement.Implement, at time.Duration) {
+	holder, taken := r.held[im.ID]
+	switch {
+	case !taken:
+		r.violate(InvImplementMutex,
+			"implement %d released by P%d at %v but was not held", im.ID, pi, at)
+	case holder != pi:
+		r.violate(InvImplementMutex,
+			"implement %d released by P%d at %v but held by P%d", im.ID, pi, at, holder)
+	}
+	delete(r.held, im.ID)
+}
+
+// Complete implements sim.Probe: at-most-once completion per task,
+// checked online so a duplicate fires at the offending event.
+func (r *runOracle) Complete(pi int, task workplan.Task, at time.Duration) {
+	k := taskKey{task.Layer, task.Cell.X, task.Cell.Y}
+	r.painted[k]++
+	r.completes++
+	if n := r.painted[k]; n > 1 {
+		r.violate(InvPaintOnce, "cell (%d,%d) layer %d completed %d times (P%d at %v)",
+			task.Cell.X, task.Cell.Y, task.Layer, n, pi, at)
+	}
+}
+
+// Span implements sim.Probe: collect the timeline for the overlap check.
+// Spans arrive in emission order, not start order (a repair span is
+// emitted before its paint span), so ordering happens at result time.
+func (r *runOracle) Span(sp sim.Span) { r.spans = append(r.spans, sp) }
+
+// ObserveResult implements sim.ResultProbe: whole-run invariants, then
+// the report to the parent. This is the only place the child talks to
+// shared state.
+func (r *runOracle) ObserveResult(res *sim.Result) {
+	r.checkTasks(res)
+	r.checkSpans(res)
+	r.checkCriticalPath(res)
+	r.checkStealing(res)
+	r.checkGrid(res)
+	if len(r.held) > 0 {
+		for id, pi := range r.held {
+			r.violate(InvImplementMutex,
+				"implement %d still held by P%d after run end", id, pi)
+		}
+	}
+	r.parent.report(r.found)
+}
+
+// checkTasks verifies completion exactly-once per (layer, cell) and the
+// conservation counters.
+func (r *runOracle) checkTasks(res *sim.Result) {
+	perLayer := make([]int, len(res.Plan.LayerCellCount))
+	for k, n := range r.painted {
+		if k.layer >= 0 && k.layer < len(perLayer) {
+			perLayer[k.layer] += n
+		} else {
+			r.violate(InvLayerComplete, "completion for unknown layer %d", k.layer)
+		}
+	}
+	for l, want := range res.Plan.LayerCellCount {
+		if perLayer[l] != want {
+			r.violate(InvLayerComplete, "layer %d completed %d cells, want %d",
+				l, perLayer[l], want)
+		}
+	}
+	if total := res.Plan.TotalTasks(); r.completes != total {
+		r.violate(InvPaintOnce, "%d completions for %d planned tasks", r.completes, total)
+	}
+	cells := 0
+	for _, p := range res.Procs {
+		cells += p.Cells
+	}
+	if cells != r.completes {
+		r.violate(InvCellConservation,
+			"processor stats count %d cells, %d completions observed", cells, r.completes)
+	}
+}
+
+// checkSpans verifies per-processor timeline sanity: well-formed spans
+// within [0, makespan], non-overlapping per processor.
+func (r *runOracle) checkSpans(res *sim.Result) {
+	perProc := make(map[int][]sim.Span)
+	for _, sp := range r.spans {
+		if sp.End < sp.Start || sp.Start < 0 {
+			r.violate(InvSpanBounds, "P%d %s span [%v, %v] malformed",
+				sp.Proc, sp.Kind, sp.Start, sp.End)
+			continue
+		}
+		if sp.End > res.Makespan {
+			r.violate(InvSpanBounds, "P%d %s span ends at %v, after makespan %v",
+				sp.Proc, sp.Kind, sp.End, res.Makespan)
+		}
+		perProc[sp.Proc] = append(perProc[sp.Proc], sp)
+	}
+	for pi, spans := range perProc {
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].Start != spans[j].Start {
+				return spans[i].Start < spans[j].Start
+			}
+			return spans[i].End < spans[j].End
+		})
+		for i := 1; i < len(spans); i++ {
+			prev, cur := spans[i-1], spans[i]
+			if cur.Start < prev.End {
+				r.violate(InvSpanOverlap, "P%d %s [%v, %v] overlaps %s [%v, %v]",
+					pi, cur.Kind, cur.Start, cur.End, prev.Kind, prev.Start, prev.End)
+			}
+		}
+	}
+}
+
+// checkCriticalPath verifies the makespan lower bound: setup is serial
+// and each processor's busy time (paint + pickup/putdown/repair
+// overhead) occupies disjoint intervals after it, so the makespan can
+// never beat setup plus the busiest processor.
+func (r *runOracle) checkCriticalPath(res *sim.Result) {
+	if r.completes == 0 {
+		return
+	}
+	var busiest time.Duration
+	for _, p := range res.Procs {
+		if busy := p.PaintTime + p.Overhead; busy > busiest {
+			busiest = busy
+		}
+	}
+	if bound := res.SetupTime + busiest; res.Makespan < bound {
+		r.violate(InvCriticalPath, "makespan %v below lower bound %v (setup %v + busiest %v)",
+			res.Makespan, bound, res.SetupTime, busiest)
+	}
+}
+
+// checkStealing verifies task conservation under work stealing.
+func (r *runOracle) checkStealing(res *sim.Result) {
+	if res.Steals < 0 || res.Migrated < 0 {
+		r.violate(InvStealConservation, "negative steal counters (%d, %d)",
+			res.Steals, res.Migrated)
+	}
+	if res.Migrated > r.completes {
+		r.violate(InvStealConservation, "%d migrated cells exceed %d completions",
+			res.Migrated, r.completes)
+	}
+	if res.Steals == 0 && res.Migrated != 0 {
+		r.violate(InvStealConservation, "%d migrated cells with zero steals", res.Migrated)
+	}
+}
+
+// checkGrid verifies the final grid against the flag's reference raster.
+// Skipped when the plan's flag is not a built-in (custom workloads have
+// no reference to compare against).
+func (r *runOracle) checkGrid(res *sim.Result) {
+	f, err := flagspec.Lookup(res.Plan.FlagName)
+	if err != nil {
+		return
+	}
+	want, err := grid.Rasterize(f, res.Plan.W, res.Plan.H)
+	if err != nil {
+		r.violate(InvGridReference, "rasterize reference: %v", err)
+		return
+	}
+	if !res.Grid.Equal(want) {
+		diff, _ := res.Grid.Diff(want)
+		r.violate(InvGridReference, "final grid differs from %q reference in %d cell(s)",
+			res.Plan.FlagName, len(diff))
+	}
+}

@@ -1,0 +1,208 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flagsim/internal/core"
+	"flagsim/internal/fault"
+	"flagsim/internal/geom"
+	"flagsim/internal/implement"
+	"flagsim/internal/palette"
+	"flagsim/internal/sim"
+	"flagsim/internal/sweep"
+	"flagsim/internal/workplan"
+)
+
+// taskAt forges a layer-0 task at (x, y) for direct injector probing.
+func taskAt(x, y int) workplan.Task {
+	return workplan.Task{Cell: geom.Pt{X: x, Y: y}, Color: palette.Red, Layer: 0}
+}
+
+// suitePlans returns the three standard fault plans (none, light, heavy)
+// the acceptance suite runs under.
+func suitePlans(t *testing.T) []*fault.Plan {
+	t.Helper()
+	light, err := fault.Preset("light", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := fault.Preset("heavy", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*fault.Plan{nil, light, heavy}
+}
+
+// TestOracleCleanEngine verifies the unmutated engine passes every
+// invariant across all three executors under the fault-free plan and
+// both fault presets — 9 oracle-verified runs.
+func TestOracleCleanEngine(t *testing.T) {
+	for _, plan := range suitePlans(t) {
+		for _, exec := range []sweep.Exec{sweep.ExecStatic, sweep.ExecSteal, sweep.ExecDynamic} {
+			oracle := NewOracle()
+			spec := sweep.Spec{
+				Exec: exec, Flag: "mauritius", Scenario: core.S4Pipelined,
+				Kind: implement.ThickMarker, Seed: 42, Faults: plan,
+			}
+			res, err := spec.RunOnce(nil, oracle)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Label(), err)
+			}
+			if err := oracle.Err(); err != nil {
+				t.Errorf("%s: %v\nviolations: %v", spec.Label(), err, oracle.Violations())
+			}
+			if oracle.Runs() != 1 {
+				t.Errorf("%s: oracle verified %d runs, want 1", spec.Label(), oracle.Runs())
+			}
+			if plan != nil && !res.Faults.Injected {
+				t.Errorf("%s: fault plan installed but Result.Faults.Injected is false", spec.Label())
+			}
+			if plan != nil && plan.DegradeProb > 0 && res.Faults.DegradedCells == 0 {
+				t.Errorf("%s: degrade plan injected nothing", spec.Label())
+			}
+		}
+	}
+}
+
+// TestOracleFlagsSeededLostUpdate is the intentional-mutation self-test:
+// an unsound injector drops grid writes while reporting tasks complete,
+// and the oracle must catch the corruption from observation alone. Run
+// under the dynamic executor, whose entry point does no grid
+// verification of its own — nothing masks the bug except the oracle.
+func TestOracleFlagsSeededLostUpdate(t *testing.T) {
+	plan := &fault.Plan{Seed: 99, LostPaintProb: 0.05}
+	oracle := NewOracle()
+	spec := sweep.Spec{
+		Exec: sweep.ExecDynamic, Flag: "mauritius",
+		Kind: implement.ThickMarker, Workers: 4, Seed: 42, Faults: plan,
+	}
+	res, err := spec.RunOnce(nil, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.LostPaints == 0 {
+		t.Fatal("unsound plan lost no paints; self-test exercises nothing")
+	}
+	if err := oracle.Err(); err == nil {
+		t.Fatalf("oracle passed a run with %d lost grid writes", res.Faults.LostPaints)
+	}
+	if n := oracle.Counts()[InvGridReference]; n == 0 {
+		t.Errorf("lost update not flagged as %s; counts: %v", InvGridReference, oracle.Counts())
+	}
+}
+
+// TestOracleOnlineMutexDetection drives a run-scoped child directly with
+// a forged event sequence: double grant, release by a non-holder, and a
+// duplicate completion must all fire online.
+func TestOracleOnlineMutexDetection(t *testing.T) {
+	oracle := NewOracle()
+	child := oracle.BeginRun()
+	im := &implement.Implement{ID: 3, Color: palette.Red, Kind: implement.ThickMarker}
+
+	child.Grant(0, im, 1*time.Second)
+	child.Grant(1, im, 2*time.Second) // granted while held
+	child.Release(2, im, 3*time.Second)
+	child.Release(2, im, 4*time.Second) // released while not held
+
+	r := child.(*runOracle)
+	if len(r.found) != 3 {
+		t.Fatalf("found %d violations, want 3: %v", len(r.found), r.found)
+	}
+	for _, v := range r.found {
+		if v.Invariant != InvImplementMutex {
+			t.Errorf("violation %v, want %s", v, InvImplementMutex)
+		}
+	}
+}
+
+// TestOracleViolationCap verifies a badly corrupted run cannot grow the
+// oracle's memory without bound.
+func TestOracleViolationCap(t *testing.T) {
+	oracle := NewOracle()
+	child := oracle.BeginRun().(*runOracle)
+	for i := 0; i < 10*maxViolationsPerRun; i++ {
+		child.violate(InvPaintOnce, "forged violation %d", i)
+	}
+	if len(child.found) > maxViolationsPerRun {
+		t.Fatalf("violations grew to %d, cap is %d", len(child.found), maxViolationsPerRun)
+	}
+	last := child.found[len(child.found)-1]
+	if !strings.Contains(last.Detail, "truncated") {
+		t.Errorf("last violation %v does not mark truncation", last)
+	}
+}
+
+// TestOracleSharedAcrossRuns verifies one parent Oracle aggregates
+// multiple runs (the pool-installation shape) without cross-run state.
+func TestOracleSharedAcrossRuns(t *testing.T) {
+	oracle := NewOracle()
+	spec := sweep.Spec{Exec: sweep.ExecStatic, Flag: "france",
+		Scenario: core.S2, Kind: implement.ThickMarker, Seed: 7}
+	for i := 0; i < 3; i++ {
+		if _, err := spec.RunOnce(nil, oracle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if oracle.Runs() != 3 {
+		t.Fatalf("oracle verified %d runs, want 3", oracle.Runs())
+	}
+	if err := oracle.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnsoundInjectorInterface pins the self-test backdoor's wiring: a
+// compiled plan with LostPaintProb implements sim.UnsoundInjector, and
+// one without stays unsound-free in behavior (LosePaint never fires).
+func TestUnsoundInjectorInterface(t *testing.T) {
+	inj, err := fault.New(&fault.Plan{Seed: 1, RepaintProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asUnsound sim.UnsoundInjector = inj
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			task := taskAt(x, y)
+			if asUnsound.LosePaint(0, task) {
+				t.Fatalf("LosePaint fired for cell (%d,%d) with LostPaintProb 0", x, y)
+			}
+		}
+	}
+}
+
+// TestOracleAsPoolProbe installs one shared Oracle as a sweep-pool
+// probe: every pooled compute gets a fresh run-scoped child (no state
+// races across concurrent runs), cache hits verify nothing (the engine
+// never ran), and the parent aggregates one clean verification per
+// compute.
+func TestOracleAsPoolProbe(t *testing.T) {
+	oracle := NewOracle()
+	pool := sweep.New(sweep.Options{Workers: 4, Probes: []sim.Probe{oracle}})
+	light, err := fault.Preset("light", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sweep.Spec{Flag: "mauritius", Scenario: core.S4Pipelined,
+		Kind: implement.ThickMarker, Seed: 21}
+	faulted := base
+	faulted.Faults = light
+	dyn := base
+	dyn.Exec = sweep.ExecDynamic
+	dyn.Workers = 4
+
+	batch := pool.Run(nil, []sweep.Spec{base, faulted, dyn, base})
+	if err := batch.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Cache.Misses != 3 || batch.Cache.Hits != 1 {
+		t.Fatalf("batch: %d misses %d hits, want 3/1", batch.Cache.Misses, batch.Cache.Hits)
+	}
+	if oracle.Runs() != 3 {
+		t.Fatalf("oracle verified %d runs, want 3 (one per compute, none per cache hit)", oracle.Runs())
+	}
+	if err := oracle.Err(); err != nil {
+		t.Fatalf("pooled runs failed verification: %v\n%v", err, oracle.Violations())
+	}
+}

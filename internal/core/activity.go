@@ -134,6 +134,10 @@ type RunSpec struct {
 	// Probes observe engine events (see sim.Probe); a probe shared across
 	// concurrent runs must be goroutine-safe.
 	Probes []sim.Probe
+	// Faults, when non-nil, injects deterministic faults into the run
+	// (see sim.FaultInjector). Safe fault classes leave the final grid
+	// correct, so Run's verification still passes under faults.
+	Faults sim.FaultInjector
 }
 
 // simConfig translates a RunSpec into the simulator's plan-driven config.
@@ -170,6 +174,7 @@ func simConfig(spec RunSpec) (sim.Config, error) {
 		Setup:  spec.Setup,
 		Trace:  spec.Trace,
 		Probes: spec.Probes,
+		Faults: spec.Faults,
 	}, nil
 }
 

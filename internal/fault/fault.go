@@ -1,0 +1,231 @@
+// Package fault provides seeded, hashable, deterministic fault plans for
+// the simulator. A Plan is a declarative description of what goes wrong
+// during a run — processors stalling mid-activity, implements degraded or
+// breaking outright, sluggish handoffs, cells that need a second coat —
+// and New compiles it into a sim.FaultInjector that all three executors
+// (static, dynamic, steal) consume through the same engine hook.
+//
+// Determinism is the point. Every fault decision is a pure hash of
+// (plan seed, fault class, stable task/implement coordinates), never of
+// processor identity or arrival order, so:
+//
+//   - the same Plan produces byte-identical Results run after run;
+//   - cell-keyed faults (degradation, repaints, lost paints) mark the
+//     same cells regardless of which executor — or which processor —
+//     happens to paint them, which is what lets check.Diff compare
+//     executors under the same plan;
+//   - plans are content-addressable: Key() feeds sweep.Spec hashing so a
+//     fault-bearing spec memoizes separately from its fault-free twin.
+//
+// The injector carries no mutable state, so one value is safe to share
+// across concurrently executing pooled runs.
+package fault
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stall is one processor stall window: processor Proc does nothing for
+// For starting at At (virtual time). Proc == -1 stalls every processor.
+type Stall struct {
+	Proc int           `json:"proc"`
+	At   time.Duration `json:"at"`
+	For  time.Duration `json:"for"`
+}
+
+// Plan is a declarative fault specification. The zero value is a valid
+// "no faults" plan; New(nil) and New(&Plan{}) both yield a nil injector.
+//
+// All probabilities are per-decision (per cell paint, per handoff) and
+// resolved by stateless hashing from Seed — see the package comment.
+type Plan struct {
+	// Seed drives every probabilistic fault decision. Two plans that
+	// differ only in Seed mark different cells.
+	Seed uint64 `json:"seed"`
+
+	// Stalls lists explicit processor stall windows.
+	Stalls []Stall `json:"stalls,omitempty"`
+
+	// DegradeProb marks each cell with probability DegradeProb; a marked
+	// cell's service time is multiplied by DegradeFactor (must be >= 1:
+	// faults slow runs down, they never speed them up).
+	DegradeProb   float64 `json:"degrade_prob,omitempty"`
+	DegradeFactor float64 `json:"degrade_factor,omitempty"`
+
+	// BreakProb forces an implement breakage (repair delay) on each cell
+	// with the given probability, over and above the implement's own
+	// stochastic breakage model.
+	BreakProb float64 `json:"break_prob,omitempty"`
+
+	// RepaintProb marks each cell to fail its first paint attempt,
+	// forcing one full repaint. Marked cells fail only attempt 0, so
+	// every cell still terminates.
+	RepaintProb float64 `json:"repaint_prob,omitempty"`
+
+	// HandoffDelayProb delays each implement handoff (acquisition after
+	// the first) with the given probability, adding HandoffDelay to the
+	// pickup time.
+	HandoffDelayProb float64       `json:"handoff_delay_prob,omitempty"`
+	HandoffDelay     time.Duration `json:"handoff_delay,omitempty"`
+
+	// LostPaintProb is the UNSOUND oracle-self-test mode: each cell's
+	// grid write is dropped with the given probability while the task
+	// still reports complete — a seeded lost-update bug. It exists so
+	// check.Oracle and check.Diff have a real engine-level corruption to
+	// catch; it participates in Key() because it changes results, and it
+	// must never appear in a plan used for actual measurement.
+	LostPaintProb float64 `json:"lost_paint_prob,omitempty"`
+}
+
+// Zero reports whether the plan injects nothing at all.
+func (p *Plan) Zero() bool {
+	return p == nil || (len(p.Stalls) == 0 &&
+		p.DegradeProb == 0 && p.BreakProb == 0 && p.RepaintProb == 0 &&
+		p.HandoffDelayProb == 0 && p.LostPaintProb == 0)
+}
+
+// Validate rejects plans that could stall time, speed runs up, or loop
+// forever. Probabilities must be in [0,1]; durations non-negative;
+// DegradeFactor >= 1 when degradation is enabled.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, s := range p.Stalls {
+		if s.Proc < -1 {
+			return fmt.Errorf("fault: stall %d: proc %d (want >= -1)", i, s.Proc)
+		}
+		if s.At < 0 || s.For < 0 {
+			return fmt.Errorf("fault: stall %d: negative time", i)
+		}
+	}
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"degrade_prob", p.DegradeProb},
+		{"break_prob", p.BreakProb},
+		{"repaint_prob", p.RepaintProb},
+		{"handoff_delay_prob", p.HandoffDelayProb},
+		{"lost_paint_prob", p.LostPaintProb},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s %v outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.DegradeProb > 0 && p.DegradeFactor < 1 {
+		return fmt.Errorf("fault: degrade_factor %v < 1 (faults must not speed runs up)", p.DegradeFactor)
+	}
+	if p.HandoffDelayProb > 0 && p.HandoffDelay <= 0 {
+		return fmt.Errorf("fault: handoff_delay_prob set but handoff_delay is %v", p.HandoffDelay)
+	}
+	return nil
+}
+
+// canonical returns the versioned canonical encoding hashed by Key. Any
+// field that can change a Result must appear here; bump the version tag
+// if the encoding ever changes meaning.
+func (p *Plan) canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault-v1|seed=%d", p.Seed)
+	// Stall order is semantically irrelevant (the injector takes the max
+	// covering window), so sort for a stable key.
+	stalls := append([]Stall(nil), p.Stalls...)
+	sort.Slice(stalls, func(i, j int) bool {
+		if stalls[i].At != stalls[j].At {
+			return stalls[i].At < stalls[j].At
+		}
+		if stalls[i].Proc != stalls[j].Proc {
+			return stalls[i].Proc < stalls[j].Proc
+		}
+		return stalls[i].For < stalls[j].For
+	})
+	for _, s := range stalls {
+		fmt.Fprintf(&b, "|stall=%d,%d,%d", s.Proc, int64(s.At), int64(s.For))
+	}
+	fmt.Fprintf(&b, "|degrade=%x,%x|break=%x|repaint=%x|handoff=%x,%d|lost=%x",
+		p.DegradeProb, p.DegradeFactor, p.BreakProb, p.RepaintProb,
+		p.HandoffDelayProb, int64(p.HandoffDelay), p.LostPaintProb)
+	return b.String()
+}
+
+// Key returns the plan's content address: a SHA-256 over the canonical
+// encoding. Equal keys imply identical fault behavior.
+func (p *Plan) Key() [32]byte {
+	return sha256.Sum256([]byte(p.canonical()))
+}
+
+// Label returns a short human-readable summary for report rows and sweep
+// labels, e.g. "seed7/stalls2/degrade0.10x3/repaint0.05".
+func (p *Plan) Label() string {
+	if p.Zero() {
+		return "none"
+	}
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed%d", p.Seed))
+	if len(p.Stalls) > 0 {
+		parts = append(parts, fmt.Sprintf("stalls%d", len(p.Stalls)))
+	}
+	if p.DegradeProb > 0 {
+		parts = append(parts, fmt.Sprintf("degrade%gx%g", p.DegradeProb, p.DegradeFactor))
+	}
+	if p.BreakProb > 0 {
+		parts = append(parts, fmt.Sprintf("break%g", p.BreakProb))
+	}
+	if p.RepaintProb > 0 {
+		parts = append(parts, fmt.Sprintf("repaint%g", p.RepaintProb))
+	}
+	if p.HandoffDelayProb > 0 {
+		parts = append(parts, fmt.Sprintf("handoff%g@%s", p.HandoffDelayProb, p.HandoffDelay))
+	}
+	if p.LostPaintProb > 0 {
+		parts = append(parts, fmt.Sprintf("UNSOUND-lost%g", p.LostPaintProb))
+	}
+	return strings.Join(parts, "/")
+}
+
+// Preset returns a named fault plan seeded with seed. The presets are the
+// -faults command-line vocabulary and the differential suite's standard
+// plans:
+//
+//	none   — no faults (returns a Zero plan)
+//	light  — occasional degraded cells and delayed handoffs
+//	heavy  — stall windows, frequent degradation, forced breaks, repaints
+func Preset(name string, seed uint64) (*Plan, error) {
+	switch name {
+	case "none":
+		return &Plan{Seed: seed}, nil
+	case "light":
+		return &Plan{
+			Seed:             seed,
+			DegradeProb:      0.05,
+			DegradeFactor:    2.0,
+			HandoffDelayProb: 0.10,
+			HandoffDelay:     2 * time.Second,
+		}, nil
+	case "heavy":
+		return &Plan{
+			Seed: seed,
+			Stalls: []Stall{
+				{Proc: 0, At: 30 * time.Second, For: 20 * time.Second},
+				{Proc: -1, At: 2 * time.Minute, For: 10 * time.Second},
+			},
+			DegradeProb:      0.15,
+			DegradeFactor:    3.0,
+			BreakProb:        0.02,
+			RepaintProb:      0.05,
+			HandoffDelayProb: 0.25,
+			HandoffDelay:     4 * time.Second,
+		}, nil
+	default:
+		return nil, fmt.Errorf("fault: unknown preset %q (want one of %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+}
+
+// PresetNames lists the Preset vocabulary.
+func PresetNames() []string { return []string{"none", "light", "heavy"} }

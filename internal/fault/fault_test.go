@@ -1,0 +1,234 @@
+package fault
+
+import (
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"flagsim/internal/geom"
+	"flagsim/internal/implement"
+	"flagsim/internal/palette"
+	"flagsim/internal/workplan"
+)
+
+func taskAt(x, y, layer int) workplan.Task {
+	return workplan.Task{Cell: geom.Pt{X: x, Y: y}, Color: palette.Red, Layer: layer}
+}
+
+func newTestImplement(id int) *implement.Implement {
+	return &implement.Implement{ID: id, Color: palette.Red, Kind: implement.ThickMarker}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"negative prob", Plan{DegradeProb: -0.1, DegradeFactor: 2}},
+		{"prob above one", Plan{RepaintProb: 1.5}},
+		{"degrade factor below one", Plan{DegradeProb: 0.1, DegradeFactor: 0.5}},
+		{"handoff prob without delay", Plan{HandoffDelayProb: 0.2}},
+		{"stall proc below -1", Plan{Stalls: []Stall{{Proc: -2, At: time.Second, For: time.Second}}}},
+		{"negative stall time", Plan{Stalls: []Stall{{Proc: 0, At: -time.Second, For: time.Second}}}},
+		{"lost paint prob above one", Plan{LostPaintProb: 2}},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.plan)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+	if err := (&Plan{}).Validate(); err != nil {
+		t.Errorf("zero plan rejected: %v", err)
+	}
+}
+
+// TestKeyDistinctAndStable pins the content address: every field that
+// changes behavior changes the key; stall order does not; and the key
+// of a known plan is stable across processes (it is a cache address —
+// changing the encoding silently would poison warm sweep caches).
+func TestKeyDistinctAndStable(t *testing.T) {
+	base := Plan{Seed: 7, DegradeProb: 0.1, DegradeFactor: 2}
+	variants := []Plan{
+		{Seed: 8, DegradeProb: 0.1, DegradeFactor: 2},
+		{Seed: 7, DegradeProb: 0.2, DegradeFactor: 2},
+		{Seed: 7, DegradeProb: 0.1, DegradeFactor: 3},
+		{Seed: 7, DegradeProb: 0.1, DegradeFactor: 2, BreakProb: 0.1},
+		{Seed: 7, DegradeProb: 0.1, DegradeFactor: 2, RepaintProb: 0.1},
+		{Seed: 7, DegradeProb: 0.1, DegradeFactor: 2, LostPaintProb: 0.1},
+		{Seed: 7, DegradeProb: 0.1, DegradeFactor: 2,
+			HandoffDelayProb: 0.1, HandoffDelay: time.Second},
+		{Seed: 7, DegradeProb: 0.1, DegradeFactor: 2,
+			Stalls: []Stall{{Proc: 0, At: time.Second, For: time.Second}}},
+	}
+	bk := base.Key()
+	seen := map[[32]byte]int{bk: -1}
+	for i, v := range variants {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with %d: %+v", i, prev, v)
+		}
+		seen[k] = i
+	}
+
+	a := Plan{Seed: 1, Stalls: []Stall{
+		{Proc: 1, At: 2 * time.Second, For: time.Second},
+		{Proc: 0, At: time.Second, For: time.Second},
+	}}
+	b := Plan{Seed: 1, Stalls: []Stall{
+		{Proc: 0, At: time.Second, For: time.Second},
+		{Proc: 1, At: 2 * time.Second, For: time.Second},
+	}}
+	if a.Key() != b.Key() {
+		t.Error("stall order changed the key; canonical() must sort")
+	}
+
+	// Golden address: fails if the canonical encoding ever changes
+	// without a version bump.
+	k := base.Key()
+	const want = "0a4906931d38e4b5f7e2df1b0b8ae05995ffdd43acc31ddfcf3dec6d622494a1"
+	if got := hex.EncodeToString(k[:]); got != want {
+		t.Errorf("canonical encoding drifted: key %s, want %s (bump fault-v1 if intentional)", got, want)
+	}
+}
+
+// TestInjectorDeterministicAndCellKeyed verifies decisions are pure
+// functions of (seed, cell) — identical across calls and independent of
+// the processor index — and that different fault classes mark different
+// cell sets.
+func TestInjectorDeterministicAndCellKeyed(t *testing.T) {
+	inj, err := New(&Plan{Seed: 9, DegradeProb: 0.3, DegradeFactor: 2, RepaintProb: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degrade, repaint := 0, 0
+	diverged := false
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 16; y++ {
+			task := taskAt(x, y, 0)
+			f0 := inj.ServiceFactor(0, task)
+			if f0 != inj.ServiceFactor(3, task) {
+				t.Fatalf("cell (%d,%d): service factor depends on processor", x, y)
+			}
+			if f0 != inj.ServiceFactor(0, task) {
+				t.Fatalf("cell (%d,%d): service factor not stable", x, y)
+			}
+			r0 := inj.PaintFails(0, task, 0)
+			if r0 != inj.PaintFails(5, task, 0) {
+				t.Fatalf("cell (%d,%d): repaint marking depends on processor", x, y)
+			}
+			if inj.PaintFails(0, task, 1) {
+				t.Fatalf("cell (%d,%d): repaint fired on attempt 1; cells must terminate", x, y)
+			}
+			if f0 != 1 {
+				degrade++
+			}
+			if r0 {
+				repaint++
+			}
+			if (f0 != 1) != r0 {
+				diverged = true
+			}
+		}
+	}
+	if degrade == 0 || repaint == 0 {
+		t.Fatalf("prob 0.3 over 256 cells marked degrade=%d repaint=%d; hashing broken", degrade, repaint)
+	}
+	if !diverged {
+		t.Error("degrade and repaint marked identical cell sets; class tags not mixed in")
+	}
+}
+
+func TestStallUntil(t *testing.T) {
+	inj, err := New(&Plan{Seed: 1, Stalls: []Stall{
+		{Proc: 0, At: 10 * time.Second, For: 5 * time.Second},
+		{Proc: 0, At: 12 * time.Second, For: 10 * time.Second}, // overlaps: covers to 22s
+		{Proc: -1, At: 40 * time.Second, For: 2 * time.Second},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		proc int
+		now  time.Duration
+		want time.Duration
+	}{
+		{0, 9 * time.Second, 9 * time.Second},   // before: no stall
+		{0, 10 * time.Second, 22 * time.Second}, // overlapping windows chain
+		{0, 15 * time.Second, 22 * time.Second},
+		{0, 22 * time.Second, 22 * time.Second}, // window end: released
+		{1, 15 * time.Second, 15 * time.Second}, // other proc untouched
+		{1, 41 * time.Second, 42 * time.Second}, // Proc -1 hits everyone
+		{0, 41 * time.Second, 42 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := inj.StallUntil(tc.proc, tc.now); got != tc.want {
+			t.Errorf("StallUntil(proc=%d, now=%v) = %v, want %v", tc.proc, tc.now, got, tc.want)
+		}
+	}
+}
+
+func TestNewNilForZeroPlans(t *testing.T) {
+	for _, p := range []*Plan{nil, {}, {Seed: 99}} {
+		inj, err := New(p)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", p, err)
+		}
+		if inj != nil {
+			t.Fatalf("New(%+v) returned a live injector for a zero plan", p)
+		}
+	}
+	if _, err := New(&Plan{DegradeProb: 2}); err == nil {
+		t.Fatal("New accepted an invalid plan")
+	}
+}
+
+func TestPresetVocabulary(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, err := Preset(name, 5)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+		if name == "none" && !p.Zero() {
+			t.Errorf("preset none is not a zero plan: %+v", p)
+		}
+		if name != "none" && p.Zero() {
+			t.Errorf("preset %q injects nothing", name)
+		}
+	}
+	if _, err := Preset("catastrophic", 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestHandoffDelayDeterministic(t *testing.T) {
+	inj, err := New(&Plan{Seed: 3, HandoffDelayProb: 0.5, HandoffDelay: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for id := 0; id < 8; id++ {
+		for at := time.Duration(0); at < 8*time.Second; at += time.Second {
+			im := newTestImplement(id)
+			d0 := inj.HandoffDelay(0, im, at)
+			if d0 != inj.HandoffDelay(2, im, at) {
+				t.Fatalf("implement %d at %v: delay depends on processor", id, at)
+			}
+			if d0 != 0 {
+				if d0 != 2*time.Second {
+					t.Fatalf("implement %d at %v: delay %v, want 2s", id, at, d0)
+				}
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("prob 0.5 over 64 handoffs delayed none")
+	}
+}

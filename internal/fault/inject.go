@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"time"
+
+	"flagsim/internal/implement"
+	"flagsim/internal/sim"
+	"flagsim/internal/workplan"
+)
+
+// Fault class tags mixed into the decision hash so the same coordinates
+// draw independently for each fault class.
+const (
+	classDegrade uint64 = 0xd3a1
+	classBreak   uint64 = 0xb21c
+	classRepaint uint64 = 0x4e9a
+	classHandoff uint64 = 0x8f07
+	classLost    uint64 = 0x105e
+)
+
+// Injector is the compiled form of a Plan: a stateless, goroutine-safe
+// sim.FaultInjector whose every decision is a pure hash of the plan seed
+// and stable coordinates. It also implements sim.UnsoundInjector, but
+// LosePaint only ever fires when the plan's LostPaintProb is set.
+type Injector struct {
+	plan Plan // copied; the injector never aliases caller memory
+}
+
+// New compiles a plan. It returns (nil, nil) for a nil or Zero plan so
+// callers can assign the result to a sim.FaultInjector interface without
+// producing a non-nil interface wrapping a nil pointer:
+//
+//	inj, err := fault.New(plan)
+//	if inj != nil { cfg.Faults = inj }
+func New(p *Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Zero() {
+		return nil, nil
+	}
+	return &Injector{plan: *p}, nil
+}
+
+// Plan returns a copy of the compiled plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// StallUntil implements sim.FaultInjector: it returns the fixed point of
+// extending through every stall window covering (pi, t), or now when none
+// covers it — overlapping and back-to-back windows chain into one stall.
+// Windows are a linear scan — plans carry a handful of stalls, not
+// thousands — and the loop terminates because until only ever grows and
+// each window can extend it at most once.
+func (in *Injector) StallUntil(pi int, now time.Duration) time.Duration {
+	until := now
+	for extended := true; extended; {
+		extended = false
+		for _, s := range in.plan.Stalls {
+			if s.Proc != -1 && s.Proc != pi {
+				continue
+			}
+			if end := s.At + s.For; s.At <= until && until < end {
+				until = end
+				extended = true
+			}
+		}
+	}
+	return until
+}
+
+// ServiceFactor implements sim.FaultInjector. Degradation is keyed on the
+// cell, not the processor, so the same cells are slow under every
+// executor.
+func (in *Injector) ServiceFactor(pi int, task workplan.Task) float64 {
+	if in.plan.DegradeProb > 0 && in.hit(classDegrade, task, in.plan.DegradeProb) {
+		return in.plan.DegradeFactor
+	}
+	return 1
+}
+
+// ForcedBreak implements sim.FaultInjector.
+func (in *Injector) ForcedBreak(pi int, task workplan.Task) bool {
+	return in.plan.BreakProb > 0 && in.hit(classBreak, task, in.plan.BreakProb)
+}
+
+// HandoffDelay implements sim.FaultInjector. Handoffs are keyed on the
+// implement and the (quantized) virtual time of the acquisition.
+func (in *Injector) HandoffDelay(pi int, im *implement.Implement, at time.Duration) time.Duration {
+	if in.plan.HandoffDelayProb == 0 {
+		return 0
+	}
+	// Quantize to milliseconds so float jitter in upstream timing math
+	// cannot flip the decision between otherwise-identical runs.
+	h := mix(in.plan.Seed ^ classHandoff)
+	h = mix(h ^ uint64(im.ID))
+	h = mix(h ^ uint64(at/time.Millisecond))
+	if toProb(h) < in.plan.HandoffDelayProb {
+		return in.plan.HandoffDelay
+	}
+	return 0
+}
+
+// PaintFails implements sim.FaultInjector: marked cells fail attempt 0
+// only, so every cell terminates after at most one repaint.
+func (in *Injector) PaintFails(pi int, task workplan.Task, attempt int) bool {
+	return attempt == 0 && in.plan.RepaintProb > 0 &&
+		in.hit(classRepaint, task, in.plan.RepaintProb)
+}
+
+// LosePaint implements sim.UnsoundInjector — the oracle self-test
+// backdoor. See Plan.LostPaintProb.
+func (in *Injector) LosePaint(pi int, task workplan.Task) bool {
+	return in.plan.LostPaintProb > 0 && in.hit(classLost, task, in.plan.LostPaintProb)
+}
+
+// hit makes a deterministic per-cell Bernoulli draw keyed on
+// (seed, class, layer, cell) — deliberately NOT on pi, so cell marking is
+// executor- and processor-independent.
+func (in *Injector) hit(class uint64, task workplan.Task, prob float64) bool {
+	h := mix(in.plan.Seed ^ class)
+	h = mix(h ^ uint64(task.Layer))
+	h = mix(h ^ uint64(task.Cell.X)<<32 ^ uint64(task.Cell.Y))
+	return toProb(h) < prob
+}
+
+// mix is the SplitMix64 finalizer (same constants as internal/rng), used
+// here as a stateless hash rather than a sequential stream.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// toProb maps a hash to a uniform float64 in [0, 1).
+func toProb(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// Compile-time interface checks.
+var (
+	_ sim.FaultInjector   = (*Injector)(nil)
+	_ sim.UnsoundInjector = (*Injector)(nil)
+)

@@ -15,6 +15,7 @@ import (
 var spanKinds = []sim.SpanKind{
 	sim.SpanPaint, sim.SpanWaitImplement, sim.SpanWaitLayer,
 	sim.SpanPickup, sim.SpanPutDown, sim.SpanRepair, sim.SpanSetup,
+	sim.SpanStall,
 }
 
 // MetricsProbe bridges the engine's Probe vocabulary onto a Registry:
@@ -40,6 +41,15 @@ type MetricsProbe struct {
 	migrate *Counter
 	events  *Counter
 	queueHW *Gauge
+
+	// flagsim_faults_* families, fed from Result.Faults.
+	faultRuns     *Counter
+	stalls        *Counter
+	degraded      *Counter
+	forcedBreaks  *Counter
+	handoffDelays *Counter
+	repaints      *Counter
+	lostPaints    *Counter
 }
 
 var (
@@ -61,6 +71,14 @@ func NewMetricsProbe(reg *Registry) *MetricsProbe {
 		migrate:  reg.Counter("flagsim_engine_cells_migrated_total", "Cells painted by a processor other than the planned one."),
 		events:   reg.Counter("flagsim_engine_events_total", "Discrete events processed by the kernel."),
 		queueHW:  reg.Gauge("flagsim_engine_event_queue_high_water", "Largest kernel event-queue depth seen in any observed run."),
+
+		faultRuns:     reg.Counter("flagsim_faults_runs_total", "Completed runs that had a fault injector installed."),
+		stalls:        reg.Counter("flagsim_faults_stalls_total", "Fault-injected processor stall windows served."),
+		degraded:      reg.Counter("flagsim_faults_degraded_cells_total", "Paint attempts with fault-degraded service time."),
+		forcedBreaks:  reg.Counter("flagsim_faults_forced_breaks_total", "Fault-forced implement breakages."),
+		handoffDelays: reg.Counter("flagsim_faults_handoff_delays_total", "Fault-delayed implement handoffs."),
+		repaints:      reg.Counter("flagsim_faults_repaints_total", "Cells repainted after a fault-injected paint failure."),
+		lostPaints:    reg.Counter("flagsim_faults_lost_paints_total", "Grid writes dropped by the unsound self-test injector."),
 	}
 	spanVec := reg.CounterVec("flagsim_engine_spans_total", "Trace spans materialized by kind.", "kind")
 	p.spans = make([]*Counter, len(spanKinds))
@@ -103,4 +121,13 @@ func (p *MetricsProbe) ObserveResult(res *sim.Result) {
 	p.migrate.Add(uint64(res.Migrated))
 	p.events.Add(res.Events)
 	p.queueHW.SetMax(int64(res.MaxEventQueue))
+	if f := res.Faults; f.Injected {
+		p.faultRuns.Inc()
+		p.stalls.Add(uint64(f.Stalls))
+		p.degraded.Add(uint64(f.DegradedCells))
+		p.forcedBreaks.Add(uint64(f.ForcedBreaks))
+		p.handoffDelays.Add(uint64(f.HandoffDelays))
+		p.repaints.Add(uint64(f.Repaints))
+		p.lostPaints.Add(uint64(f.LostPaints))
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"flagsim/internal/core"
+	"flagsim/internal/fault"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/implement"
 	"flagsim/internal/obs"
@@ -65,6 +66,95 @@ type RunRequest struct {
 	Skills []float64 `json:"skills,omitempty"`
 	// Jitter is the lognormal service-noise sigma.
 	Jitter float64 `json:"jitter,omitempty"`
+	// Faults optionally injects a deterministic fault plan into the run.
+	Faults *FaultRequest `json:"faults,omitempty"`
+}
+
+// FaultStallRequest is one stall window over the wire.
+type FaultStallRequest struct {
+	// Proc is the 0-based processor index; -1 stalls every processor.
+	Proc int `json:"proc"`
+	// At and For are Go durations ("30s", "1m30s").
+	At  string `json:"at"`
+	For string `json:"for"`
+}
+
+// FaultRequest describes a fault plan over the wire: either a named
+// preset ("none", "light", "heavy") or an explicit plan, never both.
+// The unsound lost-update injector is deliberately not reachable from
+// the wire — it exists only so the test suite can prove the oracle
+// fires.
+type FaultRequest struct {
+	// Preset names a built-in plan; mutually exclusive with the explicit
+	// fields below.
+	Preset string `json:"preset,omitempty"`
+	// Seed derives every per-cell fault decision. Zero is a valid seed;
+	// the plan's identity (and the spec's cache key) includes it.
+	Seed uint64 `json:"seed,omitempty"`
+	// Stalls are processor freeze windows.
+	Stalls []FaultStallRequest `json:"stalls,omitempty"`
+	// DegradeProb marks cells whose paint takes DegradeFactor times as
+	// long (factor must be >= 1).
+	DegradeProb   float64 `json:"degrade_prob,omitempty"`
+	DegradeFactor float64 `json:"degrade_factor,omitempty"`
+	// BreakProb forces implement breakage on marked cells.
+	BreakProb float64 `json:"break_prob,omitempty"`
+	// RepaintProb makes the first paint attempt of marked cells fail,
+	// forcing a repaint.
+	RepaintProb float64 `json:"repaint_prob,omitempty"`
+	// HandoffDelayProb delays implement handoffs by HandoffDelay.
+	HandoffDelayProb float64 `json:"handoff_delay_prob,omitempty"`
+	HandoffDelay     string  `json:"handoff_delay,omitempty"`
+}
+
+// plan resolves the wire form into a validated fault plan; nil means no
+// injection.
+func (f *FaultRequest) plan() (*fault.Plan, error) {
+	if f == nil {
+		return nil, nil
+	}
+	explicit := len(f.Stalls) > 0 || f.DegradeProb != 0 || f.DegradeFactor != 0 ||
+		f.BreakProb != 0 || f.RepaintProb != 0 ||
+		f.HandoffDelayProb != 0 || f.HandoffDelay != ""
+	if f.Preset != "" {
+		if explicit {
+			return nil, fmt.Errorf("faults: preset %q excludes explicit plan fields", f.Preset)
+		}
+		return fault.Preset(f.Preset, f.Seed)
+	}
+	p := &fault.Plan{
+		Seed:             f.Seed,
+		DegradeProb:      f.DegradeProb,
+		DegradeFactor:    f.DegradeFactor,
+		BreakProb:        f.BreakProb,
+		RepaintProb:      f.RepaintProb,
+		HandoffDelayProb: f.HandoffDelayProb,
+	}
+	for i, st := range f.Stalls {
+		at, err := time.ParseDuration(st.At)
+		if err != nil {
+			return nil, fmt.Errorf("faults: stall %d: bad at: %v", i, err)
+		}
+		dur, err := time.ParseDuration(st.For)
+		if err != nil {
+			return nil, fmt.Errorf("faults: stall %d: bad for: %v", i, err)
+		}
+		p.Stalls = append(p.Stalls, fault.Stall{Proc: st.Proc, At: at, For: dur})
+	}
+	if f.HandoffDelay != "" {
+		d, err := time.ParseDuration(f.HandoffDelay)
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad handoff_delay: %v", err)
+		}
+		p.HandoffDelay = d
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Zero() {
+		return nil, nil
+	}
+	return p, nil
 }
 
 // spec resolves the request into the library's declarative run spec.
@@ -140,6 +230,11 @@ func (r RunRequest) spec() (sweep.Spec, error) {
 	default:
 		return sp, fmt.Errorf("unknown policy %q (pull-ordered, pull-color-affinity)", r.Policy)
 	}
+	plan, err := r.Faults.plan()
+	if err != nil {
+		return sp, err
+	}
+	sp.Faults = plan
 	if sp.Exec == sweep.ExecDynamic && sp.Workers == 0 {
 		// The scenario's worker count is what a run request means even
 		// under the bag executor; a solo dynamic run must be explicit.
@@ -193,6 +288,21 @@ type SimResult struct {
 	GridSHA256      string            `json:"grid_sha256"`
 	Procs           []ProcResult      `json:"procs"`
 	Implements      []ImplementResult `json:"implements"`
+	// Faults is present only when an installed fault plan actually
+	// injected something, so fault-free responses stay byte-identical to
+	// what they were before the fault subsystem existed.
+	Faults *FaultResult `json:"faults,omitempty"`
+}
+
+// FaultResult tallies what an injected fault plan actually did.
+type FaultResult struct {
+	Stalls         int   `json:"stalls"`
+	StallNS        int64 `json:"stall_ns"`
+	DegradedCells  int   `json:"degraded_cells"`
+	ForcedBreaks   int   `json:"forced_breaks"`
+	HandoffDelays  int   `json:"handoff_delays"`
+	HandoffDelayNS int64 `json:"handoff_delay_ns"`
+	Repaints       int   `json:"repaints"`
 }
 
 // NewSimResult flattens a library Result into the wire form.
@@ -211,6 +321,17 @@ func NewSimResult(res *sim.Result) SimResult {
 		WaitLayerNS:     int64(res.TotalWaitLayer()),
 		PipelineFillNS:  int64(res.PipelineFill()),
 		GridSHA256:      hex.EncodeToString(sum[:]),
+	}
+	if f := res.Faults; f.Any() {
+		out.Faults = &FaultResult{
+			Stalls:         f.Stalls,
+			StallNS:        int64(f.StallTime),
+			DegradedCells:  f.DegradedCells,
+			ForcedBreaks:   f.ForcedBreaks,
+			HandoffDelays:  f.HandoffDelays,
+			HandoffDelayNS: int64(f.HandoffDelayTime),
+			Repaints:       f.Repaints,
+		}
 	}
 	for _, p := range res.Procs {
 		out.Procs = append(out.Procs, ProcResult{

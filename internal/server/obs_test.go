@@ -8,10 +8,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -289,4 +291,120 @@ func TestRunRingBounded(t *testing.T) {
 	if n := s.ring.Len(); n != 2 {
 		t.Errorf("ring holds %d, want 2", n)
 	}
+}
+
+// TestRunIDRingRoundTrip is the round-trip regression: the X-Run-ID a
+// run response carries must be retrievable from the ring via /v1/runs,
+// with the summary's spec, cache-hit flag, and status agreeing with the
+// response that minted the ID.
+func TestRunIDRingRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/run", `{"flag":"mauritius","scenario":3,"seed":5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Run-ID")
+	var envelope RunResponse
+	if err := json.Unmarshal(raw, &envelope); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, raw = getBody(t, ts.URL+"/v1/runs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/runs status %d", resp.StatusCode)
+	}
+	var list RunsResponse
+	if err := json.Unmarshal(raw, &list); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range list.Runs {
+		if s.ID != id {
+			continue
+		}
+		if s.Spec != envelope.Spec {
+			t.Errorf("ring spec %q != response spec %q", s.Spec, envelope.Spec)
+		}
+		if s.CacheHit != envelope.CacheHit {
+			t.Errorf("ring cache_hit %v != response %v", s.CacheHit, envelope.CacheHit)
+		}
+		if s.Status != http.StatusOK {
+			t.Errorf("ring status %d, want 200", s.Status)
+		}
+		if s.Outcome != "ok" {
+			t.Errorf("ring outcome %q, want ok", s.Outcome)
+		}
+		return
+	}
+	t.Fatalf("run %s not found in the ring (%d entries)", id, list.Count)
+}
+
+// TestRunsRingConcurrentReadersAndWriters hammers the run ring through
+// the full HTTP stack: parallel POST /v1/run writers (distinct seeds, so
+// every request is a fresh compute recorded in the ring) racing parallel
+// GET /v1/runs and /v1/runs/{id}/trace readers. Run under -race this is
+// the regression net for ring synchronization; in any mode it checks
+// every reader sees a consistent, bounded snapshot.
+func TestRunsRingConcurrentReadersAndWriters(t *testing.T) {
+	const ringSize = 8
+	_, ts := newTestServer(t, Config{RunRingSize: ringSize, MaxInFlight: 16, MaxQueue: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				body := fmt.Sprintf(`{"flag":"mauritius","seed":%d}`, w*100+i)
+				resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				id := resp.Header.Get("X-Run-ID")
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// Immediately read the trace this run just recorded —
+				// racing other writers that may be evicting it.
+				tr, err := http.Get(ts.URL + "/v1/runs/" + id + "/trace")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, tr.Body)
+				tr.Body.Close()
+				if tr.StatusCode != http.StatusOK && tr.StatusCode != http.StatusNotFound {
+					t.Errorf("trace status %d for %s", tr.StatusCode, id)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				resp, err := http.Get(ts.URL + "/v1/runs")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var list RunsResponse
+				err = json.NewDecoder(resp.Body).Decode(&list)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if list.Count > ringSize || len(list.Runs) != list.Count {
+					t.Errorf("inconsistent snapshot: count=%d len=%d cap=%d",
+						list.Count, len(list.Runs), ringSize)
+				}
+				for _, s := range list.Runs {
+					if s.ID == "" {
+						t.Error("ring listed an empty summary")
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -66,6 +66,9 @@ type DynamicConfig struct {
 	Trace bool
 	// Probes observe engine events.
 	Probes []Probe
+	// Faults, when non-nil, injects deterministic faults into the run;
+	// see FaultInjector.
+	Faults FaultInjector
 }
 
 // bagSource is the self-scheduling policy: a shared bag of unclaimed
@@ -255,6 +258,7 @@ func RunDynamicCtx(ctx context.Context, cfg DynamicConfig) (*Result, error) {
 		setup:          cfg.Setup,
 		trace:          cfg.Trace,
 		probes:         cfg.Probes,
+		faults:         cfg.Faults,
 		w:              w,
 		h:              h,
 		layerDeps:      seq.LayerDeps,
@@ -276,6 +280,6 @@ func RunDynamicCtx(ctx context.Context, cfg DynamicConfig) (*Result, error) {
 		Overpainted:    true,
 	}
 	res := e.buildResult(plan, makespan)
-	notifyResultProbes(cfg.Probes, res)
+	e.notifyResult(res)
 	return res, nil
 }

@@ -123,6 +123,8 @@ type engineConfig struct {
 	setup  time.Duration
 	trace  bool
 	probes []Probe
+	// faults, when non-nil, injects deterministic faults into the run.
+	faults FaultInjector
 	w, h   int
 	// layerDeps and layerCellCount describe the workload's dependency
 	// structure; the engine owns the live remaining counters.
@@ -141,7 +143,15 @@ type Engine struct {
 	// least one probe installed); tracing additionally stores them.
 	observing bool
 	tracing   bool
-	probes    []Probe
+	// probes holds the run-resolved probe set: RunScopedProbes from the
+	// config are replaced by their per-run children.
+	probes []Probe
+	// faults is the run's fault injector (nil on the unchecked hot path);
+	// unsound is its UnsoundInjector extension when present. fstats
+	// tallies what the injector did.
+	faults  FaultInjector
+	unsound UnsoundInjector
+	fstats  FaultStats
 
 	kernel *devent.Kernel
 	grid   *grid.Grid
@@ -168,7 +178,8 @@ func newEngine(cfg engineConfig) *Engine {
 		setup:     cfg.setup,
 		tracing:   cfg.trace,
 		observing: cfg.trace || len(cfg.probes) > 0,
-		probes:    cfg.probes,
+		probes:    resolveProbes(cfg.probes),
+		faults:    cfg.faults,
 		kernel:    devent.New(),
 		grid:      grid.New(cfg.w, cfg.h),
 		byColor:   make(map[palette.Color][]*implState),
@@ -186,7 +197,45 @@ func newEngine(cfg engineConfig) *Engine {
 		e.byColor[im.Color] = append(e.byColor[im.Color], is)
 	}
 	e.layerRemaining = append([]int(nil), cfg.layerCellCount...)
+	if cfg.faults != nil {
+		e.fstats.Injected = true
+		if u, ok := cfg.faults.(UnsoundInjector); ok {
+			e.unsound = u
+		}
+	}
 	return e
+}
+
+// resolveProbes replaces every RunScopedProbe with the per-run child its
+// BeginRun hands out, leaving plain probes in place. The copy keeps the
+// caller's shared slice untouched.
+func resolveProbes(probes []Probe) []Probe {
+	scoped := false
+	for _, p := range probes {
+		if _, ok := p.(RunScopedProbe); ok {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return probes
+	}
+	out := make([]Probe, len(probes))
+	for i, p := range probes {
+		if rsp, ok := p.(RunScopedProbe); ok {
+			out[i] = rsp.BeginRun()
+		} else {
+			out[i] = p
+		}
+	}
+	return out
+}
+
+// notifyResult fans the completed result out to the run-resolved probes
+// (so a RunScopedProbe's child — not its shared parent — observes it).
+// Executors call it after filling in their policy-specific Result fields.
+func (e *Engine) notifyResult(res *Result) {
+	notifyResultProbes(e.probes, res)
 }
 
 // run executes the engine to completion: serial setup, simultaneous
@@ -259,6 +308,7 @@ func (e *Engine) buildResult(plan *workplan.Plan, makespan time.Duration) *Resul
 		Trace:         e.trace,
 		Events:        e.kernel.Processed(),
 		MaxEventQueue: e.kernel.MaxDepth(),
+		Faults:        e.fstats,
 	}
 	for _, ps := range e.procs {
 		res.Procs = append(res.Procs, ps.stats)
@@ -323,6 +373,21 @@ func (e *Engine) advance(pi int) {
 	}
 	ps := e.procs[pi]
 	now := e.kernel.Now()
+
+	// A stall window covering this instant freezes the processor until
+	// the window ends; the re-advance lands at the window's end, where
+	// StallUntil no longer covers now, so time always progresses.
+	if e.faults != nil {
+		if until := e.faults.StallUntil(pi, now); until > now {
+			e.fstats.Stalls++
+			e.fstats.StallTime += until - now
+			if e.observing {
+				e.emitSpan(Span{Proc: pi, Kind: SpanStall, Start: now, End: until})
+			}
+			e.scheduleAfter(until-now, func() { e.advance(pi) })
+			return
+		}
+	}
 
 	sel := e.source.Select(e, pi)
 	switch sel.Kind {
@@ -429,6 +494,15 @@ func (e *Engine) grant(pi int, is *implState, now time.Duration) {
 		is.stats.Handoffs++
 	}
 	pickup := is.im.Spec.Pickup
+	// A faulty handoff (any acquisition after the implement's first)
+	// extends the pickup; the delay is overhead like the pickup itself.
+	if e.faults != nil && is.acquired > 1 {
+		if d := e.faults.HandoffDelay(pi, is.im, now); d > 0 {
+			pickup += d
+			e.fstats.HandoffDelays++
+			e.fstats.HandoffDelayTime += d
+		}
+	}
 	if e.observing && pickup > 0 {
 		e.emitSpan(Span{Proc: pi, Kind: SpanPickup,
 			Start: now, End: now + pickup, Color: is.im.Color})
@@ -480,17 +554,45 @@ func (e *Engine) implStateOf(im *implement.Implement) *implState {
 
 // paint executes the claimed task for processor pi, scheduling completion.
 func (e *Engine) paint(pi int, task workplan.Task, now time.Duration) {
+	e.paintAttempt(pi, task, now, 0)
+}
+
+// forcedBreakRepair is the repair delay charged when a fault-injected
+// breakage hits an implement whose own spec has no repair time (only
+// crayons model breakage natively); it matches the crayon repair delay.
+const forcedBreakRepair = 8 * time.Second
+
+// paintAttempt runs one paint attempt (attempt 0 unless a fault-injected
+// paint failure forced a repaint) and schedules its completion.
+func (e *Engine) paintAttempt(pi int, task workplan.Task, now time.Duration, attempt int) {
 	ps := e.procs[pi]
+	// ServiceTime draws from the processor's RNG stream; it must stay the
+	// first stochastic call so fault-free runs keep their exact sequence.
 	service := ps.proc.ServiceTime(task.Cell, ps.holding)
+	if e.faults != nil {
+		if f := e.faults.ServiceFactor(pi, task); f != 1 {
+			service = time.Duration(float64(service) * f)
+			e.fstats.DegradedCells++
+		}
+	}
 	var repair time.Duration
 	if ps.proc.Breaks(ps.holding) {
 		repair = ps.holding.Spec.Repair
 		e.breaks++
 		e.implStateOf(ps.holding).stats.Breakages++
-		if e.observing && repair > 0 {
-			e.emitSpan(Span{Proc: pi, Kind: SpanRepair,
-				Start: now + service, End: now + service + repair, Color: task.Color})
+	} else if e.faults != nil && attempt == 0 && e.faults.ForcedBreak(pi, task) {
+		// Fault-forced breakage: tallied separately from the implement's
+		// own stochastic breaks (Result.Breaks stays comparable to the
+		// fault-free run).
+		repair = ps.holding.Spec.Repair
+		if repair <= 0 {
+			repair = forcedBreakRepair
 		}
+		e.fstats.ForcedBreaks++
+	}
+	if e.observing && repair > 0 {
+		e.emitSpan(Span{Proc: pi, Kind: SpanRepair,
+			Start: now + service, End: now + service + repair, Color: task.Color})
 	}
 	if e.observing {
 		e.emitSpan(Span{Proc: pi, Kind: SpanPaint,
@@ -503,7 +605,18 @@ func (e *Engine) paint(pi int, task workplan.Task, now time.Duration) {
 	ps.stats.PaintTime += service
 	ps.stats.Overhead += repair
 	e.scheduleAfter(service+repair, func() {
-		if err := e.grid.Paint(task.Cell, task.Color); err != nil {
+		// A transient paint failure forces a full repaint of the cell:
+		// the attempt's time is spent but the task is not complete.
+		if e.faults != nil && e.faults.PaintFails(pi, task, attempt) {
+			e.fstats.Repaints++
+			e.paintAttempt(pi, task, e.kernel.Now(), attempt+1)
+			return
+		}
+		if e.unsound != nil && e.unsound.LosePaint(pi, task) {
+			// Oracle self-test backdoor: drop the grid write but report
+			// the task complete — a seeded lost-update bug.
+			e.fstats.LostPaints++
+		} else if err := e.grid.Paint(task.Cell, task.Color); err != nil {
 			e.err = err
 			return
 		}

@@ -1,0 +1,104 @@
+package sim
+
+// The engine's fault-injection hook. The discussion section of the paper
+// treats the activity as a real machine — students slow down mid-run,
+// markers get handed over sluggishly, a crayon snaps, a cell has to be
+// recolored because the first pass barely left pigment — and the engine
+// models those failure modes through one seam: a FaultInjector installed
+// on the run's config. The injector is consulted at four points of the
+// event loop (advance, grant, service computation, paint completion), so
+// every TaskSource policy — static plans, the shared bag, work stealing —
+// experiences exactly the same physics under the same fault plan.
+//
+// Contract: an injector must be deterministic (a pure function of its
+// configuration and the call arguments — no internal mutable state, no
+// wall clock) and goroutine-safe, because one injector value may be
+// shared by many concurrently executing pooled runs. The engine does all
+// the tallying: per-run fault counts land in Result.Faults, never inside
+// the injector. A nil injector is the fast path — the engine only pays a
+// nil check per decision point.
+//
+// Faults injected through this interface are *safe* by construction:
+// they add virtual time or extra work, but the run still paints every
+// cell and the final grid still matches the flag's reference raster.
+// The one deliberate exception is the UnsoundInjector extension below,
+// which exists so correctness oracles have a real engine bug to catch.
+
+import (
+	"time"
+
+	"flagsim/internal/implement"
+	"flagsim/internal/workplan"
+)
+
+// FaultInjector is the engine's fault hook. All three executors consult
+// the same injector at the same decision points, so a fault plan is
+// executor-independent. Implementations must be deterministic and
+// goroutine-safe (see the package note above).
+type FaultInjector interface {
+	// StallUntil returns the virtual time until which processor pi is
+	// stalled, given that it is about to act at now. A return <= now
+	// means no stall. The engine re-asks after the stall elapses, so an
+	// implementation must eventually return <= now for time to advance.
+	StallUntil(pi int, now time.Duration) time.Duration
+	// ServiceFactor multiplies pi's service time for task (degraded
+	// implement classes, a tired student). Must be > 0; 1 means no
+	// degradation. Factors < 1 would let a fault plan speed a run up and
+	// are rejected by fault.Plan validation.
+	ServiceFactor(pi int, task workplan.Task) float64
+	// ForcedBreak reports whether this paint breaks the implement over
+	// and above the implement's own stochastic breakage model.
+	ForcedBreak(pi int, task workplan.Task) bool
+	// HandoffDelay returns extra pickup time when pi acquires im in a
+	// handoff (any acquisition after the implement's first).
+	HandoffDelay(pi int, im *implement.Implement, at time.Duration) time.Duration
+	// PaintFails reports whether pi's attempt at task fails, forcing a
+	// full repaint of the cell. attempt is 0-based; an implementation
+	// must return false for some attempt or the cell never completes.
+	PaintFails(pi int, task workplan.Task, attempt int) bool
+}
+
+// UnsoundInjector is the oracle self-test backdoor: an injector that also
+// implements it can instruct the engine to drop a cell's grid write while
+// still reporting the task complete — a seeded lost-update bug. The run
+// finishes normally, the statistics look plausible, and the final grid is
+// silently wrong, which is exactly the failure class the check package's
+// invariant oracle and differential harness must detect. Never use outside
+// verification tests.
+type UnsoundInjector interface {
+	// LosePaint reports whether the grid write for pi's completed task
+	// should be dropped.
+	LosePaint(pi int, task workplan.Task) bool
+}
+
+// FaultStats tallies what a run's fault injector actually did. The engine
+// counts; injectors stay stateless.
+type FaultStats struct {
+	// Injected reports whether a fault injector was installed at all —
+	// a plan whose faults never triggered still marks the run as faulted.
+	Injected bool
+	// Stalls counts stall windows served; StallTime is their total
+	// inserted delay.
+	Stalls    int
+	StallTime time.Duration
+	// DegradedCells counts paints whose service time was multiplied.
+	DegradedCells int
+	// ForcedBreaks counts injector-forced implement breakages (the
+	// implement's own stochastic breaks are Result.Breaks).
+	ForcedBreaks int
+	// HandoffDelays counts delayed handoffs; HandoffDelayTime is their
+	// total inserted delay.
+	HandoffDelays    int
+	HandoffDelayTime time.Duration
+	// Repaints counts failed paint attempts that forced a repaint.
+	Repaints int
+	// LostPaints counts grid writes dropped by an UnsoundInjector. Any
+	// non-zero value means the run is intentionally corrupt.
+	LostPaints int
+}
+
+// Any reports whether the injector changed anything about the run.
+func (f FaultStats) Any() bool {
+	return f.Stalls > 0 || f.DegradedCells > 0 || f.ForcedBreaks > 0 ||
+		f.HandoffDelays > 0 || f.Repaints > 0 || f.LostPaints > 0
+}

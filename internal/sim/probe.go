@@ -58,6 +58,19 @@ type ResultProbe interface {
 	ObserveResult(res *Result)
 }
 
+// RunScopedProbe is an optional extension for probes that need per-run
+// state but are installed in a shared place (sweep.Options.Probes hands
+// one probe slice to every pooled compute). When the engine starts a run
+// it calls BeginRun on every such probe and installs the returned child
+// for that run's callbacks instead of the parent; the parent never sees
+// engine events directly. BeginRun must be goroutine-safe (pooled runs
+// start concurrently); the child it returns is single-run state and is
+// the value that receives ObserveResult if it implements ResultProbe.
+type RunScopedProbe interface {
+	Probe
+	BeginRun() Probe
+}
+
 // notifyResultProbes fans a completed result out to every probe that
 // opted into result observation.
 func notifyResultProbes(probes []Probe, res *Result) {

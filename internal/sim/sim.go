@@ -85,6 +85,9 @@ const (
 	SpanPutDown
 	SpanRepair
 	SpanSetup
+	// SpanStall is a fault-injected stall window (Config.Faults); the
+	// processor does nothing for the span's duration.
+	SpanStall
 )
 
 // String names the span kind.
@@ -104,6 +107,8 @@ func (k SpanKind) String() string {
 		return "repair"
 	case SpanSetup:
 		return "setup"
+	case SpanStall:
+		return "stall"
 	default:
 		return fmt.Sprintf("span(%d)", uint8(k))
 	}
@@ -162,6 +167,9 @@ type Result struct {
 	// starting plan assigned (RunSteal only) — the cell-level footprint of
 	// the Steals operations, each of which moves a batch of cells.
 	Migrated int
+	// Faults tallies what the run's fault injector did; the zero value
+	// (Injected false) means no injector was installed.
+	Faults FaultStats
 }
 
 // TotalWaitImplement sums implement-contention wait across processors —
@@ -225,6 +233,10 @@ type Config struct {
 	// Probes observe engine events (grants, releases, blocks, completed
 	// cells, spans) without the engine knowing about them.
 	Probes []Probe
+	// Faults, when non-nil, injects deterministic faults (stalls,
+	// degraded cells, forced breakages, delayed handoffs, repaints) into
+	// the run; see FaultInjector. nil keeps the unchecked hot path.
+	Faults FaultInjector
 }
 
 // validate rejects inconsistent configurations up front so the event loop
@@ -354,6 +366,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		setup:          cfg.Setup,
 		trace:          cfg.Trace,
 		probes:         cfg.Probes,
+		faults:         cfg.Faults,
 		w:              cfg.Plan.W,
 		h:              cfg.Plan.H,
 		layerDeps:      cfg.Plan.LayerDeps,
@@ -364,6 +377,6 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res := e.buildResult(cfg.Plan, makespan)
-	notifyResultProbes(cfg.Probes, res)
+	e.notifyResult(res)
 	return res, nil
 }

@@ -158,6 +158,7 @@ func RunStealCtx(ctx context.Context, cfg Config) (*Result, error) {
 		setup:          cfg.Setup,
 		trace:          cfg.Trace,
 		probes:         cfg.Probes,
+		faults:         cfg.Faults,
 		w:              cfg.Plan.W,
 		h:              cfg.Plan.H,
 		layerDeps:      cfg.Plan.LayerDeps,
@@ -178,6 +179,6 @@ func RunStealCtx(ctx context.Context, cfg Config) (*Result, error) {
 	res := e.buildResult(plan, makespan)
 	res.Steals = source.steals
 	res.Migrated = source.migrated
-	notifyResultProbes(cfg.Probes, res)
+	e.notifyResult(res)
 	return res, nil
 }

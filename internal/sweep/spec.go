@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"flagsim/internal/core"
+	"flagsim/internal/fault"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/implement"
 	"flagsim/internal/processor"
@@ -87,6 +88,10 @@ type Spec struct {
 	Skills []float64
 	// Jitter is the per-cell lognormal service-noise sigma (0 = none).
 	Jitter float64
+	// Faults, when non-nil, injects the plan's deterministic faults into
+	// the run. The plan participates in Key(), so a fault-bearing spec
+	// memoizes under its own address, distinct from its fault-free twin.
+	Faults *fault.Plan
 }
 
 // Label renders a compact human-readable identity for tables and errors.
@@ -106,6 +111,9 @@ func (s Spec) Label() string {
 		fmt.Fprintf(&b, "x%d", s.PerColor)
 	}
 	fmt.Fprintf(&b, "/seed=%d", s.Seed)
+	if s.Faults != nil {
+		fmt.Fprintf(&b, "/faults=%s", s.Faults.Label())
+	}
 	return b.String()
 }
 
@@ -123,6 +131,11 @@ func (s Spec) Key() [sha256.Size]byte {
 		s.Seed, s.Setup, s.Hold, s.Policy, math.Float64bits(s.Jitter))
 	for _, sk := range s.Skills {
 		fmt.Fprintf(&b, "%x,", math.Float64bits(sk))
+	}
+	// Fault plans extend the encoding only when present, so every
+	// pre-fault spec keeps the address it always had.
+	if s.Faults != nil {
+		fmt.Fprintf(&b, "|faults=%x", s.Faults.Key())
 	}
 	return sha256.Sum256([]byte(b.String()))
 }
@@ -177,6 +190,15 @@ func (s Spec) run(ctx context.Context, probes []sim.Probe) (*sim.Result, error) 
 		per = 1
 	}
 	set := implement.NewSetN(s.Kind, f.Colors(), per)
+	// Compile the fault plan once per run; a nil or Zero plan leaves the
+	// engine's fault hook off. The assignment through a concrete nil
+	// check avoids a non-nil interface wrapping a nil *fault.Injector.
+	var faults sim.FaultInjector
+	if inj, err := fault.New(s.Faults); err != nil {
+		return nil, err
+	} else if inj != nil {
+		faults = inj
+	}
 	switch s.Exec {
 	case ExecStatic, ExecSteal:
 		scen, err := core.ScenarioByID(s.Scenario)
@@ -193,6 +215,7 @@ func (s Spec) run(ctx context.Context, probes []sim.Probe) (*sim.Result, error) 
 		spec := core.RunSpec{
 			Flag: f, W: s.W, H: s.H, Scenario: scen, Team: team,
 			Set: set, Setup: s.Setup, Hold: s.Hold, Probes: probes,
+			Faults: faults,
 		}
 		if s.Exec == ExecSteal {
 			return core.RunStealingCtx(ctx, spec)
@@ -210,6 +233,7 @@ func (s Spec) run(ctx context.Context, probes []sim.Probe) (*sim.Result, error) 
 		return sim.RunDynamicCtx(ctx, sim.DynamicConfig{
 			Flag: f, W: s.W, H: s.H, Procs: team, Set: set,
 			Policy: s.Policy, Setup: s.Setup, Probes: probes,
+			Faults: faults,
 		})
 	default:
 		return nil, fmt.Errorf("sweep: unknown executor class %d", s.Exec)

@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
 	"flagsim/internal/core"
+	"flagsim/internal/fault"
 	"flagsim/internal/implement"
 	"flagsim/internal/sim"
+	"flagsim/internal/workplan"
 )
 
 // testGrid is a mixed 24-run grid exercising all three executor classes,
@@ -380,4 +383,136 @@ func TestPoolDepthAndEvictions(t *testing.T) {
 		}
 	}
 	cancel()
+}
+
+// TestSpecFaultKeyAndMemoization pins the fault plan's participation in
+// content addressing: a fault-bearing spec hashes distinctly from its
+// fault-free twin (and from other plans), memoizes under its own
+// address, and a warm rerun of the same faulted spec is served from
+// cache with a bit-identical Result.
+func TestSpecFaultKeyAndMemoization(t *testing.T) {
+	base := Spec{Flag: "mauritius", Scenario: core.S4, Kind: implement.ThickMarker, Seed: 5}
+	light, err := fault.Preset("light", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := fault.Preset("heavy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightSpec, heavySpec := base, base
+	lightSpec.Faults, heavySpec.Faults = light, heavy
+
+	keys := map[[32]byte]string{
+		base.Key():      "base",
+		lightSpec.Key(): "light",
+		heavySpec.Key(): "heavy",
+	}
+	if len(keys) != 3 {
+		t.Fatalf("fault plans collapsed spec keys: %v", keys)
+	}
+	reseeded := lightSpec
+	reseededPlan := *light
+	reseededPlan.Seed++
+	reseeded.Faults = &reseededPlan
+	if reseeded.Key() == lightSpec.Key() {
+		t.Fatal("fault plan seed not part of the spec key")
+	}
+
+	s := New(Options{Workers: 2})
+	cold := s.Run(nil, []Spec{base, lightSpec, heavySpec})
+	if err := cold.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache.Misses != 3 || cold.Cache.Hits != 0 {
+		t.Fatalf("cold batch: %d misses %d hits, want 3/0 (distinct addresses)",
+			cold.Cache.Misses, cold.Cache.Hits)
+	}
+	if cold.Runs[0].Result.Makespan == cold.Runs[2].Result.Makespan {
+		t.Error("heavy faults left the makespan unchanged; injection inert")
+	}
+	if !cold.Runs[1].Result.Faults.Injected || !cold.Runs[2].Result.Faults.Any() {
+		t.Errorf("fault stats missing from pooled results: %+v, %+v",
+			cold.Runs[1].Result.Faults, cold.Runs[2].Result.Faults)
+	}
+
+	warm := s.Run(nil, []Spec{lightSpec})
+	if !warm.Runs[0].CacheHit {
+		t.Fatal("warm faulted spec missed the cache")
+	}
+	if warm.Runs[0].Result != cold.Runs[1].Result {
+		t.Fatal("warm hit returned a different Result value than the memoized compute")
+	}
+}
+
+// cancelOnComplete cancels a context the moment any pooled compute
+// paints its first cell — a deterministic way to land a cancellation
+// mid-batch, with other specs still queued behind the worker bound.
+type cancelOnComplete struct {
+	sim.BaseProbe
+	once   sync.Once
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnComplete) Complete(pi int, task workplan.Task, at time.Duration) {
+	c.once.Do(c.cancel)
+}
+
+// TestSweepMidBatchCancellation cancels a batch while the first compute
+// is mid-run and the rest are queued: every affected run must fail with
+// ErrCanceled, canceled computes must be evicted rather than memoized,
+// and the pool must drain to zero occupancy. A fresh batch on the same
+// Sweeper then recomputes everything successfully.
+func TestSweepMidBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probe := &cancelOnComplete{cancel: cancel}
+
+	// One worker, several distinct big specs: the first run is guaranteed
+	// to be in flight when the probe cancels, the rest still queued.
+	s := New(Options{Workers: 1, Probes: []sim.Probe{probe}})
+	var specs []Spec
+	for seed := uint64(0); seed < 4; seed++ {
+		specs = append(specs, Spec{Flag: "mauritius", Scenario: core.S1,
+			Kind: implement.ThickMarker, W: 400, H: 260, Seed: 20 + seed})
+	}
+	batch := s.Run(ctx, specs)
+
+	canceled := 0
+	for i, run := range batch.Runs {
+		if run.Err == nil {
+			t.Fatalf("run %d survived a cancellation that fired on its pool's first painted cell", i)
+		}
+		if !errors.Is(run.Err, sim.ErrCanceled) {
+			t.Fatalf("run %d failed with %v, want ErrCanceled", i, run.Err)
+		}
+		canceled++
+	}
+	if canceled != len(specs) {
+		t.Fatalf("%d of %d runs canceled", canceled, len(specs))
+	}
+	st := s.Stats()
+	if st.Entries != 0 {
+		t.Errorf("canceled batch left %d cache entries", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Error("mid-compute cancellation evicted nothing")
+	}
+	if running, queued := s.PoolDepth(); running != 0 || queued != 0 {
+		t.Errorf("drained pool reports running=%d queued=%d", running, queued)
+	}
+
+	// The same Sweeper, a live context: everything recomputes cleanly.
+	retry := s.Run(context.Background(), specs)
+	if err := retry.Err(); err != nil {
+		t.Fatalf("retry after mid-batch cancel failed: %v", err)
+	}
+	for i, run := range retry.Runs {
+		if run.CacheHit {
+			t.Errorf("retry run %d was served from cache — canceled entry survived", i)
+		}
+	}
+	if running, queued := s.PoolDepth(); running != 0 || queued != 0 {
+		t.Errorf("pool did not drain after retry: running=%d queued=%d", running, queued)
+	}
 }
