@@ -317,9 +317,15 @@ const (
 // cell from a shared bag at run time, adapting to skill differences.
 func RunDynamic(cfg DynamicConfig) (*Result, error) { return sim.RunDynamic(cfg) }
 
-// SimConfig configures a plan-driven run directly (Run and RunSteal); the
-// scenario helpers build one internally.
+// SimConfig configures a plan-driven run directly (RunPlan and
+// RunSteal); the scenario helpers build one internally.
 type SimConfig = sim.Config
+
+// RunPlan executes a static plan-driven run directly. The scenario
+// helpers (RunScenario) build the SimConfig internally; use RunPlan
+// when you hold a Plan and want the full config surface — probes,
+// faults, tracing, or a reusable Arena.
+func RunPlan(cfg SimConfig) (*Result, error) { return sim.Run(cfg) }
 
 // RunSteal executes a static plan under work stealing: a processor that
 // empties its own queue takes the trailing half of the most-loaded
@@ -330,6 +336,23 @@ func RunSteal(cfg SimConfig) (*Result, error) { return sim.RunSteal(cfg) }
 // RunStealing executes a scenario under the work-stealing executor and
 // verifies the colored flag.
 func RunStealing(spec RunSpec) (*Result, error) { return core.RunStealing(spec) }
+
+// Arena is a caller-owned reusable run context: every piece of per-run
+// engine state (kernel, grid, queues, stats, result buffers) lives in it
+// and is recycled across runs. Set SimConfig.Arena (or
+// DynamicConfig.Arena) to run through one; after a warm-up run that
+// grows the buffers to the workload's size, further runs on the same
+// arena are allocation-free. The returned Result then aliases arena
+// memory and is valid only until the arena's next run — callers that
+// keep results across runs must copy what they need. A nil Arena in the
+// config draws scratch from an internal pool and returns an independent
+// Result.
+type Arena = sim.Arena
+
+// NewArena returns an empty arena ready for its first run. An arena is
+// not safe for concurrent runs; use one per goroutine (the internal pool
+// behind nil-Arena configs already does this for pooled runs).
+func NewArena() *Arena { return sim.NewArena() }
 
 // ---- Engine observation ----
 
@@ -461,6 +484,11 @@ func RunScenarioCtx(ctx context.Context, spec RunSpec) (*Result, error) {
 // RunStealingCtx is RunStealing bounded by ctx.
 func RunStealingCtx(ctx context.Context, spec RunSpec) (*Result, error) {
 	return core.RunStealingCtx(ctx, spec)
+}
+
+// RunPlanCtx is RunPlan bounded by ctx.
+func RunPlanCtx(ctx context.Context, cfg SimConfig) (*Result, error) {
+	return sim.RunCtx(ctx, cfg)
 }
 
 // RunStealCtx is RunSteal bounded by ctx.

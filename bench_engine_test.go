@@ -3,8 +3,15 @@ package flagsim_test
 // Engine benchmarks: the unified executor core under each TaskSource
 // policy, at the same workload size, so a regression in the shared engine
 // shows up in all three and a regression in one policy's bookkeeping shows
-// up alone. The static and dynamic numbers track the pre-unification
-// executors (target: within noise of the seed).
+// up alone.
+//
+// The three core benchmarks measure warm-arena runs: the team, implement
+// set, and arena are built once, so every iteration is a pure engine run
+// through recycled buffers. That is the configuration the arena work
+// targets, and it is what makes the allocation numbers meaningful — a
+// warm run of any executor must report 0 allocs/op, and benchguard gates
+// on it (see cmd/benchguard). BenchmarkEngineStaticNilHooks covers the
+// pooled path (no caller arena) for the same workload.
 
 import (
 	"testing"
@@ -38,19 +45,28 @@ func benchEngineTeam(b *testing.B, skills ...float64) []*processor.Processor {
 	return out
 }
 
-func BenchmarkEngineStatic(b *testing.B) {
-	f := flagspec.Mauritius
-	plan, err := workplan.VerticalSlices(f, 64, 32, 4, true)
+// benchEnginePlan is the shared static workload.
+func benchEnginePlan(b *testing.B) *workplan.Plan {
+	b.Helper()
+	plan, err := workplan.VerticalSlices(flagspec.Mauritius, 64, 32, 4, true)
 	if err != nil {
 		b.Fatal(err)
 	}
+	return plan
+}
+
+func BenchmarkEngineStatic(b *testing.B) {
+	f := flagspec.Mauritius
+	plan := benchEnginePlan(b)
+	procs := benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5)
+	set := implement.NewSet(implement.ThickMarker, f.Colors())
+	arena := sim.NewArena()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Run(sim.Config{
-			Plan:  plan,
-			Procs: benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
-			Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+			Plan: plan, Procs: procs, Set: set, Arena: arena,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -62,13 +78,16 @@ func BenchmarkEngineStatic(b *testing.B) {
 
 func BenchmarkEngineDynamic(b *testing.B) {
 	f := flagspec.Mauritius
+	procs := benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5)
+	set := implement.NewSet(implement.ThickMarker, f.Colors())
+	arena := sim.NewArena()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		res, err := sim.RunDynamic(sim.DynamicConfig{
 			Flag: f, W: 64, H: 32,
-			Procs:  benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
-			Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+			Procs: procs, Set: set, Arena: arena,
 			Policy: sim.PullColorAffinity,
 		})
 		if err != nil {
@@ -81,17 +100,16 @@ func BenchmarkEngineDynamic(b *testing.B) {
 
 func BenchmarkEngineSteal(b *testing.B) {
 	f := flagspec.Mauritius
-	plan, err := workplan.VerticalSlices(f, 64, 32, 4, true)
-	if err != nil {
-		b.Fatal(err)
-	}
+	plan := benchEnginePlan(b)
+	procs := benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5)
+	set := implement.NewSet(implement.ThickMarker, f.Colors())
+	arena := sim.NewArena()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var steals int
 	for i := 0; i < b.N; i++ {
 		res, err := sim.RunSteal(sim.Config{
-			Plan:  plan,
-			Procs: benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
-			Set:   implement.NewSet(implement.ThickMarker, f.Colors()),
+			Plan: plan, Procs: procs, Set: set, Arena: arena,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -101,25 +119,52 @@ func BenchmarkEngineSteal(b *testing.B) {
 	b.ReportMetric(float64(steals), "steals/run")
 }
 
-// BenchmarkEngineStaticProbed is BenchmarkEngineStatic with an engine
-// metrics probe installed — the per-event observability tax every pooled
-// compute pays once a server wires MetricsProbe into the sweep pool.
-// Guarded so the probe's hot path (atomic counters, pre-resolved
-// per-kind span counters) stays cheap relative to the bare engine.
-func BenchmarkEngineStaticProbed(b *testing.B) {
-	f := flagspec.Mauritius
-	plan, err := workplan.VerticalSlices(f, 64, 32, 4, true)
-	if err != nil {
-		b.Fatal(err)
-	}
-	probe := obs.NewMetricsProbe(obs.NewRegistry())
+// BenchmarkEngineStaticNilHooks is the specialized-path proof: the same
+// workload with no probe, no trace, and no fault injector, run through
+// the shared pool rather than a caller arena. With every hook nil the
+// engine selects the fast opcode bodies at run entry — straight-line
+// resource mechanics with no hook sites compiled in — so this number is
+// the floor the instrumented benchmarks (Probed, Faults, Oracle) are
+// compared against; the gap between it and BenchmarkEngineStatic is the
+// pooled path's per-run result allocations.
+func BenchmarkEngineStaticNilHooks(b *testing.B) {
+	plan := benchEnginePlan(b)
+	procs := benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5)
+	set := implement.NewSet(implement.ThickMarker, flagspec.Mauritius.Colors())
+	b.ReportAllocs()
 	b.ResetTimer()
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Run(sim.Config{
-			Plan:   plan,
-			Procs:  benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
-			Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+			Plan: plan, Procs: procs, Set: set,
+			Probes: nil, Faults: nil,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkEngineStaticProbed is BenchmarkEngineStatic with an engine
+// metrics probe installed — the per-event observability tax every pooled
+// compute pays once a server wires MetricsProbe into the sweep pool.
+// Installing any probe selects the instrumented opcode bodies, so the
+// delta against BenchmarkEngineStatic is the full hook-path cost.
+func BenchmarkEngineStaticProbed(b *testing.B) {
+	f := flagspec.Mauritius
+	plan := benchEnginePlan(b)
+	procs := benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5)
+	set := implement.NewSet(implement.ThickMarker, f.Colors())
+	arena := sim.NewArena()
+	probe := obs.NewMetricsProbe(obs.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Plan: plan, Procs: procs, Set: set, Arena: arena,
 			Probes: []sim.Probe{probe},
 		})
 		if err != nil {
@@ -136,10 +181,10 @@ func BenchmarkEngineStaticProbed(b *testing.B) {
 // fault class. Guarded so injection stays a bounded, predictable cost.
 func BenchmarkEngineStaticFaults(b *testing.B) {
 	f := flagspec.Mauritius
-	plan, err := workplan.VerticalSlices(f, 64, 32, 4, true)
-	if err != nil {
-		b.Fatal(err)
-	}
+	plan := benchEnginePlan(b)
+	procs := benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5)
+	set := implement.NewSet(implement.ThickMarker, f.Colors())
+	arena := sim.NewArena()
 	fp, err := fault.Preset("heavy", benchSeed)
 	if err != nil {
 		b.Fatal(err)
@@ -148,13 +193,12 @@ func BenchmarkEngineStaticFaults(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Run(sim.Config{
-			Plan:   plan,
-			Procs:  benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
-			Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+			Plan: plan, Procs: procs, Set: set, Arena: arena,
 			Faults: inj,
 		})
 		if err != nil {
@@ -174,18 +218,16 @@ func BenchmarkEngineStaticFaults(b *testing.B) {
 // installed (a nil-probe slice and a nil fault hook cost nothing).
 func BenchmarkEngineStaticOracle(b *testing.B) {
 	f := flagspec.Mauritius
-	plan, err := workplan.VerticalSlices(f, 64, 32, 4, true)
-	if err != nil {
-		b.Fatal(err)
-	}
+	plan := benchEnginePlan(b)
+	procs := benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5)
+	set := implement.NewSet(implement.ThickMarker, f.Colors())
+	arena := sim.NewArena()
 	oracle := check.NewOracle()
 	b.ResetTimer()
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Run(sim.Config{
-			Plan:   plan,
-			Procs:  benchEngineTeam(b, 1.3, 1.0, 1.0, 0.5),
-			Set:    implement.NewSet(implement.ThickMarker, f.Colors()),
+			Plan: plan, Procs: procs, Set: set, Arena: arena,
 			Probes: []sim.Probe{oracle},
 		})
 		if err != nil {

@@ -1,20 +1,35 @@
 // Command benchguard is the CI regression gate for the engine and sweep
-// benchmarks: it runs `go test -bench` over the guarded set, compares the
-// per-benchmark ns/op medians against the checked-in BENCH_baseline.json,
-// and fails when the geometric mean of the current/baseline ratios
-// exceeds the threshold (default 1.20, i.e. a >20% geomean slowdown).
+// benchmarks: it runs `go test -bench` over the guarded set, compares
+// per-benchmark medians against the checked-in BENCH_baseline.json, and
+// fails when
+//
+//   - the geometric mean of the current/baseline ns/op ratios exceeds
+//     the threshold (default 1.20, i.e. a >20% geomean slowdown), or
+//   - an allocation-flat benchmark (baseline 0 allocs/op) reports any
+//     allocations — the zero-alloc engine core is a hard invariant, not
+//     a statistical one, so a single alloc/op regression fails CI even
+//     when ns/op is within noise, or
+//   - an allocation-flat benchmark's B/op grows past a small absolute
+//     slack (512 B), which catches byte churn that rounds to 0 allocs/op
+//     under amortization.
 //
 // Usage:
 //
 //	benchguard                      # guard against BENCH_baseline.json
 //	benchguard -update              # rewrite the baseline from this machine
-//	benchguard -threshold 1.5       # loosen the gate (noisy shared runners)
+//	benchguard -threshold 1.5       # loosen the ns/op gate (noisy runners)
 //	benchguard -input bench.txt     # judge pre-recorded `go test -bench` output
 //
-// The geomean (benchstat's summary statistic) tolerates one noisy
+// The ns/op geomean (benchstat's summary statistic) tolerates one noisy
 // benchmark: a single outlier must be large enough to move the mean of
 // the whole set. Absolute ns/op baselines are machine-specific — each CI
 // runner class wants its own baseline file, regenerated with -update.
+// Allocation counts are machine-independent, so their gates are exact.
+//
+// When $GITHUB_STEP_SUMMARY is set (i.e. under GitHub Actions),
+// benchguard appends a markdown table of ns/op, B/op, and allocs/op
+// deltas to it, so the gate's numbers land on the workflow summary page
+// without log spelunking.
 package main
 
 import (
@@ -33,20 +48,58 @@ import (
 )
 
 // guarded is the default benchmark set: the three engine policies (bare,
-// probed, fault-injected, and oracle-verified for the static one), the
-// sweep pool, and the two warm serving paths of the HTTP service.
-const guarded = "^(BenchmarkEngineStatic|BenchmarkEngineStaticProbed|BenchmarkEngineStaticFaults|BenchmarkEngineStaticOracle|BenchmarkEngineDynamic|BenchmarkEngineSteal|BenchmarkSweepParallel|BenchmarkServerRun|BenchmarkServerSweepWarm)$"
+// nil-hook, probed, fault-injected, and oracle-verified for the static
+// one), the sweep pool, and the two warm serving paths of the HTTP
+// service.
+const guarded = "^(BenchmarkEngineStatic|BenchmarkEngineStaticNilHooks|BenchmarkEngineStaticProbed|BenchmarkEngineStaticFaults|BenchmarkEngineStaticOracle|BenchmarkEngineDynamic|BenchmarkEngineSteal|BenchmarkSweepParallel|BenchmarkServerRun|BenchmarkServerSweepWarm)$"
 
-// baseline is the BENCH_baseline.json schema.
+// flatBytesSlack is the absolute B/op growth allowed on an
+// allocation-flat benchmark before the gate fails. A genuinely
+// zero-alloc run can still report a few dozen amortized bytes/op of
+// runtime bookkeeping; a real buffer re-introduced into the hot path
+// costs kilobytes per run.
+const flatBytesSlack = 512
+
+// entry is one benchmark's record. BytesOp/AllocsOp are -1 when the
+// benchmark does not report allocation data (no ReportAllocs call).
+type entry struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// UnmarshalJSON also accepts the v1 baseline schema, where each
+// benchmark mapped to a bare ns/op number, so a stale baseline degrades
+// to "no allocation data" instead of a parse error.
+func (e *entry) UnmarshalJSON(raw []byte) error {
+	var ns float64
+	if err := json.Unmarshal(raw, &ns); err == nil {
+		*e = entry{NsOp: ns, BytesOp: -1, AllocsOp: -1}
+		return nil
+	}
+	type alias entry
+	var a alias
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return err
+	}
+	*e = entry(a)
+	return nil
+}
+
+// baseline is the BENCH_baseline.json schema (v2).
 type baseline struct {
-	Note       string             `json:"note"`
-	Benchmarks map[string]float64 `json:"benchmarks"` // name -> ns/op median
+	Note       string           `json:"note"`
+	Benchmarks map[string]entry `json:"benchmarks"`
 }
 
 // benchLine matches one `go test -bench` result row, e.g.
 //
-//	BenchmarkEngineStatic-8   	     253	   4717119 ns/op	       914.0 events/run
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+//	BenchmarkEngineStatic-8   253  471711 ns/op  914.0 events/run  0 B/op  0 allocs/op
+//
+// The B/op and allocs/op columns appear only for benchmarks that call
+// ReportAllocs (or under -benchmem); custom ReportMetric columns may sit
+// between ns/op and the allocation pair.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 func main() {
 	var (
@@ -79,28 +132,43 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("%w (run `benchguard -update` to create it)", err))
 	}
-	geomean, rows, unguarded, err := compare(current, base.Benchmarks)
+	rep, err := compare(current, base.Benchmarks)
 	if err != nil {
 		fatal(err)
 	}
-	for _, r := range rows {
+	for _, r := range rep.rows {
 		fmt.Println(r)
 	}
-	for _, name := range unguarded {
+	for _, name := range rep.unguarded {
 		fmt.Printf("benchguard: NOTE: %s has no baseline — reported, not guarded (run `benchguard -update` to start guarding it)\n", name)
 	}
-	fmt.Printf("geomean ratio: %.3f (threshold %.2f)\n", geomean, *threshold)
-	if geomean > *threshold {
+	fmt.Printf("geomean ratio: %.3f (threshold %.2f)\n", rep.geomean, *threshold)
+	if err := writeStepSummary(rep, *threshold); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: NOTE: step summary not written: %v\n", err)
+	}
+
+	failed := false
+	for _, v := range rep.violations {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: %s\n", v)
+		failed = true
+	}
+	if rep.geomean > *threshold {
 		fmt.Fprintf(os.Stderr, "benchguard: FAIL: geomean slowdown %.1f%% exceeds %.0f%%\n",
-			(geomean-1)*100, (*threshold-1)*100)
+			(rep.geomean-1)*100, (*threshold-1)*100)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: ok")
 }
 
-// measure returns name -> median ns/op, either by running the benchmarks
-// or by parsing a pre-recorded output file.
-func measure(pattern string, count int, input string) (map[string]float64, error) {
+// measure returns name -> per-metric medians, either by running the
+// benchmarks or by parsing a pre-recorded output file. Each metric's
+// median is taken independently across the -count runs; ns/op needs
+// that (shared runners are noisy) and the allocation metrics don't care
+// (they are deterministic run to run).
+func measure(pattern string, count int, input string) (map[string]entry, error) {
 	var r io.Reader
 	if input != "" {
 		fh, err := os.Open(input)
@@ -127,63 +195,175 @@ func measure(pattern string, count int, input string) (map[string]float64, error
 		}
 		r = strings.NewReader(string(out))
 	}
-	samples := make(map[string][]float64)
+	type sample struct{ ns, bytes, allocs []float64 }
+	samples := make(map[string]*sample)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		if m := benchLine.FindStringSubmatch(sc.Text()); m != nil {
-			ns, err := strconv.ParseFloat(m[2], 64)
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		s := samples[m[1]]
+		if s == nil {
+			s = &sample{}
+			samples[m[1]] = s
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		s.ns = append(s.ns, ns)
+		if m[3] != "" {
+			bv, err := strconv.ParseFloat(m[3], 64)
 			if err != nil {
 				return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
 			}
-			samples[m[1]] = append(samples[m[1]], ns)
+			av, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+			s.bytes = append(s.bytes, bv)
+			s.allocs = append(s.allocs, av)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	medians := make(map[string]float64, len(samples))
+	out := make(map[string]entry, len(samples))
 	for name, s := range samples {
-		sort.Float64s(s)
-		medians[name] = s[len(s)/2]
+		e := entry{NsOp: median(s.ns), BytesOp: -1, AllocsOp: -1}
+		if len(s.bytes) > 0 {
+			e.BytesOp = median(s.bytes)
+			e.AllocsOp = median(s.allocs)
+		}
+		out[name] = e
 	}
-	return medians, nil
+	return out, nil
 }
 
-// compare returns the geomean of current/baseline ratios, one
-// human-readable row per guarded benchmark, and the names of current
-// benchmarks with no baseline entry. The asymmetry is deliberate: a
-// baseline benchmark that did not run is an error (the guard must never
-// silently shrink its coverage), but a new benchmark not yet in the
-// baseline is only reported — a PR adding a benchmark should not fail
-// CI until someone regenerates the baseline on the runner class.
-func compare(current, base map[string]float64) (float64, []string, []string, error) {
-	var names, unguarded []string
+func median(s []float64) float64 {
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// report is compare's result: the ns/op geomean, human-readable rows,
+// markdown rows for the step summary, hard-gate violations, and current
+// benchmarks with no baseline entry.
+type report struct {
+	geomean    float64
+	rows       []string
+	mdRows     []string
+	violations []string
+	unguarded  []string
+}
+
+// compare judges current against base. The coverage asymmetry is
+// deliberate: a baseline benchmark that did not run is an error (the
+// guard must never silently shrink its coverage), but a new benchmark
+// not yet in the baseline is only reported — a PR adding a benchmark
+// should not fail CI until someone regenerates the baseline on the
+// runner class.
+func compare(current, base map[string]entry) (*report, error) {
+	rep := &report{}
+	var names []string
 	for name := range current {
 		if _, ok := base[name]; !ok {
-			unguarded = append(unguarded, name)
+			rep.unguarded = append(rep.unguarded, name)
 			continue
 		}
 		names = append(names, name)
 	}
 	for name := range base {
 		if _, ok := current[name]; !ok {
-			return 0, nil, nil, fmt.Errorf("baseline benchmark %s did not run", name)
+			return nil, fmt.Errorf("baseline benchmark %s did not run", name)
 		}
 	}
 	if len(names) == 0 {
-		return 0, nil, nil, fmt.Errorf("no current benchmark has a baseline entry")
+		return nil, fmt.Errorf("no current benchmark has a baseline entry")
 	}
 	sort.Strings(names)
-	sort.Strings(unguarded)
+	sort.Strings(rep.unguarded)
 	logSum := 0.0
-	rows := make([]string, 0, len(names))
 	for _, name := range names {
-		ratio := current[name] / base[name]
+		cur, b := current[name], base[name]
+		ratio := cur.NsOp / b.NsOp
 		logSum += math.Log(ratio)
-		rows = append(rows, fmt.Sprintf("%-28s %12.0f ns/op  baseline %12.0f  ratio %.3f",
-			name, current[name], base[name], ratio))
+		rep.rows = append(rep.rows, fmt.Sprintf("%-32s %12.0f ns/op  baseline %12.0f  ratio %.3f  %s",
+			name, cur.NsOp, b.NsOp, ratio, allocCol(cur, b)))
+		rep.mdRows = append(rep.mdRows, fmt.Sprintf("| %s | %.0f | %.0f | %.3f | %s | %s |",
+			name, cur.NsOp, b.NsOp, ratio, memCell(cur.BytesOp, b.BytesOp), memCell(cur.AllocsOp, b.AllocsOp)))
+
+		// The allocation gates are exact, not statistical, and only
+		// apply where the baseline is allocation-flat: there, any
+		// regression means the zero-alloc invariant broke.
+		if b.AllocsOp == 0 && cur.AllocsOp > 0 {
+			rep.violations = append(rep.violations,
+				fmt.Sprintf("%s allocates %.0f allocs/op (baseline 0): the warm-run zero-alloc invariant broke", name, cur.AllocsOp))
+		}
+		if b.AllocsOp == 0 && cur.BytesOp > b.BytesOp+flatBytesSlack {
+			rep.violations = append(rep.violations,
+				fmt.Sprintf("%s B/op grew %.0f -> %.0f (flat-benchmark slack %d B)", name, b.BytesOp, cur.BytesOp, flatBytesSlack))
+		}
 	}
-	return math.Exp(logSum / float64(len(names))), rows, unguarded, nil
+	rep.geomean = math.Exp(logSum / float64(len(names)))
+	return rep, nil
+}
+
+// allocCol renders the allocation columns of a console row.
+func allocCol(cur, b entry) string {
+	if cur.AllocsOp < 0 && b.AllocsOp < 0 {
+		return "(no alloc data)"
+	}
+	return fmt.Sprintf("%s B/op (base %s)  %s allocs/op (base %s)",
+		memStr(cur.BytesOp), memStr(b.BytesOp), memStr(cur.AllocsOp), memStr(b.AllocsOp))
+}
+
+// memStr renders an allocation metric; -1 (no data) shows as a dash.
+func memStr(v float64) string {
+	if v < 0 {
+		return "—"
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// memCell renders one markdown delta cell: "cur (base b, Δd)".
+func memCell(cur, base float64) string {
+	if cur < 0 && base < 0 {
+		return "—"
+	}
+	if base < 0 || cur < 0 {
+		return memStr(cur)
+	}
+	return fmt.Sprintf("%s (base %s, Δ%+.0f)", memStr(cur), memStr(base), cur-base)
+}
+
+// writeStepSummary appends the delta table to $GITHUB_STEP_SUMMARY when
+// the variable is set; otherwise it is a no-op.
+func writeStepSummary(rep *report, threshold float64) error {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return nil
+	}
+	fh, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	fmt.Fprintf(fh, "### benchguard\n\n")
+	fmt.Fprintf(fh, "geomean ns/op ratio: **%.3f** (threshold %.2f)\n\n", rep.geomean, threshold)
+	fmt.Fprintln(fh, "| benchmark | ns/op | baseline ns/op | ratio | B/op | allocs/op |")
+	fmt.Fprintln(fh, "|---|---|---|---|---|---|")
+	for _, r := range rep.mdRows {
+		fmt.Fprintln(fh, r)
+	}
+	if len(rep.violations) > 0 {
+		fmt.Fprintf(fh, "\n**violations:**\n\n")
+		for _, v := range rep.violations {
+			fmt.Fprintf(fh, "- %s\n", v)
+		}
+	}
+	fmt.Fprintln(fh)
+	return nil
 }
 
 func readBaseline(path string) (*baseline, error) {
@@ -201,9 +381,9 @@ func readBaseline(path string) (*baseline, error) {
 	return &b, nil
 }
 
-func writeBaseline(path string, medians map[string]float64) error {
+func writeBaseline(path string, medians map[string]entry) error {
 	b := baseline{
-		Note:       "median ns/op per benchmark; regenerate with `go run ./cmd/benchguard -update` on the CI runner class",
+		Note:       "per-benchmark medians: ns_op (machine-specific), b_op and allocs_op (exact; -1 = benchmark reports no allocation data); regenerate with `go run ./cmd/benchguard -update` on the CI runner class",
 		Benchmarks: medians,
 	}
 	raw, err := json.MarshalIndent(b, "", "  ")

@@ -17,11 +17,26 @@ import (
 	"time"
 )
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Two encodings share the queue: a
+// closure event (fn != 0) runs the function stored in the kernel's side
+// table at index fn-1, and an op event (fn == 0) dispatches (op, arg)
+// to the kernel's installed handler. Op events are the allocation-free
+// encoding — a closure heap-allocates its capture block per event,
+// while an op event is a pair of integers carried by value inside the
+// queue slot.
+//
+// The queue slot itself holds no pointers — closures live in the side
+// table, referenced by index. That keeps the element type pointer-free,
+// so every heap sift copy is a plain memmove with no GC write barriers
+// and the queue's backing array is never scanned; at one push and one
+// pop per simulated cell, the barriers alone were a measurable slice of
+// an engine run.
 type event struct {
 	at  time.Duration
 	seq uint64
-	fn  func()
+	op  uint8
+	arg int32
+	fn  int32
 }
 
 // before orders events by (timestamp, scheduling sequence) — the total
@@ -33,48 +48,39 @@ func (e event) before(o event) bool {
 	return e.seq < o.seq
 }
 
-// eventQueue is a typed binary min-heap of events, ordered by
-// event.before. Hand-rolled (rather than container/heap) so elements
-// stay values — no per-event allocation, no interface boxing on the
-// kernel's hottest path.
+// eventQueue is an unsorted array of pending events: push appends, pop
+// scans for the minimum under event.before and swap-removes it.
+// Deliberately not a heap — in every engine run the pending count is
+// bounded by the processor count (each processor has at most one
+// in-flight continuation), and at single-digit occupancy a branch-free
+// append plus a short linear scan beats heap sifting, which pays
+// ordered compares and 32-byte element moves on *both* push and pop.
+// The scan order is irrelevant to determinism: event.before is a strict
+// total order (the scheduling sequence breaks timestamp ties), so the
+// minimum is unique.
 type eventQueue []event
 
-func (q *eventQueue) push(e event) {
-	*q = append(*q, e)
-	h := *q
-	for i := len(h) - 1; i > 0; {
-		parent := (i - 1) / 2
-		if !h[i].before(h[parent]) {
-			break
+func (q *eventQueue) push(e event) { *q = append(*q, e) }
+
+// minIdx returns the index of the earliest pending event. The caller
+// guarantees a non-empty queue.
+func (q eventQueue) minIdx() int {
+	best := 0
+	for i := 1; i < len(q); i++ {
+		if q[i].before(q[best]) {
+			best = i
 		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
 	}
+	return best
 }
 
 func (q *eventQueue) pop() event {
 	h := *q
-	top := h[0]
+	i := h.minIdx()
+	top := h[i]
 	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = event{}
-	h = h[:n]
-	*q = h
-	for i := 0; ; {
-		left, right := 2*i+1, 2*i+2
-		least := i
-		if left < n && h[left].before(h[least]) {
-			least = left
-		}
-		if right < n && h[right].before(h[least]) {
-			least = right
-		}
-		if least == i {
-			break
-		}
-		h[i], h[least] = h[least], h[i]
-		i = least
-	}
+	h[i] = h[n]
+	*q = h[:n]
 	return top
 }
 
@@ -86,6 +92,13 @@ type Kernel struct {
 	queue     eventQueue
 	processed uint64
 	maxDepth  int
+	// handler receives op events (see SetHandler / ScheduleOp).
+	handler func(op uint8, arg int32)
+	// fns is the closure side table: queue slots reference entries by
+	// index+1 so the slots themselves stay pointer-free. fnFree recycles
+	// vacated entries.
+	fns    []func()
+	fnFree []int32
 }
 
 // New returns a kernel at virtual time zero.
@@ -114,11 +127,66 @@ func (k *Kernel) Schedule(delay time.Duration, fn func()) error {
 		return fmt.Errorf("devent: nil event function")
 	}
 	k.seq++
-	k.queue.push(event{at: k.now + delay, seq: k.seq, fn: fn})
+	var idx int32
+	if n := len(k.fnFree); n > 0 {
+		idx = k.fnFree[n-1]
+		k.fnFree = k.fnFree[:n-1]
+		k.fns[idx] = fn
+	} else {
+		idx = int32(len(k.fns))
+		k.fns = append(k.fns, fn)
+	}
+	k.queue.push(event{at: k.now + delay, seq: k.seq, fn: idx + 1})
 	if len(k.queue) > k.maxDepth {
 		k.maxDepth = len(k.queue)
 	}
 	return nil
+}
+
+// SetHandler installs the dispatcher for op events. One handler serves
+// the whole kernel: ScheduleOp carries only an opcode and a small
+// argument, and the handler — typically a closure bound once to the
+// simulation state, not once per event — interprets them. Installing a
+// new handler replaces the old one; events already queued dispatch to
+// the handler current at execution time.
+func (k *Kernel) SetHandler(h func(op uint8, arg int32)) { k.handler = h }
+
+// ScheduleOp enqueues an op event to run after delay: at its timestamp
+// the kernel calls the installed handler with (op, arg). Unlike
+// Schedule, ScheduleOp performs no per-event allocation — the opcode
+// pair is carried by value in the queue slot — which is what keeps a
+// warm-arena simulation run allocation-free. A handler must be
+// installed first.
+func (k *Kernel) ScheduleOp(delay time.Duration, op uint8, arg int32) error {
+	if delay < 0 {
+		return fmt.Errorf("devent: negative delay %v", delay)
+	}
+	if k.handler == nil {
+		return fmt.Errorf("devent: ScheduleOp without a handler installed")
+	}
+	k.seq++
+	k.queue.push(event{at: k.now + delay, seq: k.seq, op: op, arg: arg})
+	if len(k.queue) > k.maxDepth {
+		k.maxDepth = len(k.queue)
+	}
+	return nil
+}
+
+// Reset returns the kernel to virtual time zero with an empty queue,
+// keeping the queue's backing storage and the installed op handler, so
+// an arena-held kernel is reused across runs without reallocating. All
+// counters (processed, max depth) restart from zero.
+func (k *Kernel) Reset() {
+	k.now = 0
+	k.seq = 0
+	k.processed = 0
+	k.maxDepth = 0
+	k.queue = k.queue[:0]
+	for i := range k.fns {
+		k.fns[i] = nil
+	}
+	k.fns = k.fns[:0]
+	k.fnFree = k.fnFree[:0]
 }
 
 // ScheduleAt enqueues fn at an absolute virtual time, which must not be in
@@ -139,8 +207,51 @@ func (k *Kernel) Step() bool {
 	e := k.queue.pop()
 	k.now = e.at
 	k.processed++
-	e.fn()
+	if e.fn != 0 {
+		fn := k.fns[e.fn-1]
+		k.fns[e.fn-1] = nil
+		k.fnFree = append(k.fnFree, e.fn-1)
+		fn()
+	} else {
+		k.handler(e.op, e.arg)
+	}
 	return true
+}
+
+// StepInto step results.
+const (
+	// StepEmpty: no pending events; nothing was executed.
+	StepEmpty int8 = iota
+	// StepOp: the earliest event was an op event; the clock advanced and
+	// the event counts as processed, but the (op, arg) pair is returned
+	// to the caller for dispatch instead of going through the installed
+	// handler.
+	StepOp
+	// StepClosure: the earliest event was a closure event and ran here.
+	StepClosure
+)
+
+// StepInto is Step for callers that own the op dispatch: an op event is
+// returned instead of routed through the handler closure, so a tight
+// caller loop dispatches with a direct (inlinable) call rather than an
+// indirect one per event — the engine's drain loop is exactly that.
+// Closure events still execute here, so the two event encodings keep
+// one total order.
+func (k *Kernel) StepInto() (op uint8, arg int32, kind int8) {
+	if len(k.queue) == 0 {
+		return 0, 0, StepEmpty
+	}
+	e := k.queue.pop()
+	k.now = e.at
+	k.processed++
+	if e.fn != 0 {
+		fn := k.fns[e.fn-1]
+		k.fns[e.fn-1] = nil
+		k.fnFree = append(k.fnFree, e.fn-1)
+		fn()
+		return 0, 0, StepClosure
+	}
+	return e.op, e.arg, StepOp
 }
 
 // Run executes events until the queue is empty and returns the final
@@ -154,7 +265,7 @@ func (k *Kernel) Run() time.Duration {
 // RunUntil executes events with timestamps <= deadline; events beyond it
 // stay queued. The clock is left at min(deadline, last event time).
 func (k *Kernel) RunUntil(deadline time.Duration) time.Duration {
-	for len(k.queue) > 0 && k.queue[0].at <= deadline {
+	for len(k.queue) > 0 && k.queue[k.queue.minIdx()].at <= deadline {
 		k.Step()
 	}
 	if k.now < deadline && len(k.queue) > 0 {

@@ -229,3 +229,111 @@ func must(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+func TestOpEventsDispatchToHandler(t *testing.T) {
+	k := New()
+	var got []int32
+	k.SetHandler(func(op uint8, arg int32) {
+		if op != 7 {
+			t.Fatalf("op = %d, want 7", op)
+		}
+		got = append(got, arg)
+	})
+	must(t, k.ScheduleOp(2*time.Second, 7, 20))
+	must(t, k.ScheduleOp(1*time.Second, 7, 10))
+	must(t, k.ScheduleOp(2*time.Second, 7, 21))
+	k.Run()
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 21 {
+		t.Fatalf("dispatch order = %v, want [10 20 21]", got)
+	}
+}
+
+func TestOpAndClosureEventsShareOneOrdering(t *testing.T) {
+	// Ties between op and closure events at the same timestamp break by
+	// scheduling sequence, exactly as closure-only ties do — the property
+	// that lets the engine swap encodings without changing any run.
+	k := New()
+	var order []string
+	k.SetHandler(func(uint8, int32) { order = append(order, "op") })
+	must(t, k.Schedule(time.Second, func() { order = append(order, "fn1") }))
+	must(t, k.ScheduleOp(time.Second, 0, 0))
+	must(t, k.Schedule(time.Second, func() { order = append(order, "fn2") }))
+	k.Run()
+	want := []string{"fn1", "op", "fn2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleOpRequiresHandler(t *testing.T) {
+	k := New()
+	if err := k.ScheduleOp(0, 1, 1); err == nil {
+		t.Fatal("ScheduleOp without handler accepted")
+	}
+}
+
+func TestScheduleOpNegativeDelayRejected(t *testing.T) {
+	k := New()
+	k.SetHandler(func(uint8, int32) {})
+	if err := k.ScheduleOp(-time.Second, 1, 1); err == nil {
+		t.Fatal("negative op delay accepted")
+	}
+}
+
+func TestResetReusesKernel(t *testing.T) {
+	k := New()
+	fired := 0
+	k.SetHandler(func(uint8, int32) { fired++ })
+	must(t, k.ScheduleOp(time.Second, 0, 0))
+	must(t, k.ScheduleOp(3*time.Second, 0, 0))
+	k.Run()
+	if k.Now() != 3*time.Second || k.Processed() != 2 {
+		t.Fatalf("first run: now=%v processed=%d", k.Now(), k.Processed())
+	}
+	k.Reset()
+	if k.Now() != 0 || k.Processed() != 0 || k.Pending() != 0 || k.MaxDepth() != 0 {
+		t.Fatalf("Reset left state: now=%v processed=%d pending=%d depth=%d",
+			k.Now(), k.Processed(), k.Pending(), k.MaxDepth())
+	}
+	// The handler survives Reset and the second run replays cleanly.
+	must(t, k.ScheduleOp(2*time.Second, 0, 0))
+	k.Run()
+	if fired != 3 || k.Now() != 2*time.Second {
+		t.Fatalf("second run: fired=%d now=%v", fired, k.Now())
+	}
+}
+
+func TestResetDropsPendingEvents(t *testing.T) {
+	k := New()
+	must(t, k.Schedule(time.Hour, func() { t.Fatal("stale event survived Reset") }))
+	k.Reset()
+	k.Run()
+	if k.Now() != 0 {
+		t.Fatalf("now = %v after draining a reset kernel", k.Now())
+	}
+}
+
+func TestOpEventsDoNotAllocate(t *testing.T) {
+	k := New()
+	k.SetHandler(func(uint8, int32) {})
+	// Warm the queue's backing array, then measure steady-state.
+	for i := 0; i < 64; i++ {
+		must(t, k.ScheduleOp(time.Duration(i), 1, int32(i)))
+	}
+	k.Run()
+	k.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			if err := k.ScheduleOp(time.Duration(i), 1, int32(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Run()
+		k.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("op-event run allocated %.1f times per run, want 0", allocs)
+	}
+}

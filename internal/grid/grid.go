@@ -36,6 +36,27 @@ func New(w, h int) *Grid {
 	return &Grid{w: w, h: h, cells: make([]palette.Color, w*h)}
 }
 
+// Reuse resizes g to a blank w×h grid in place, keeping the cell backing
+// array whenever its capacity suffices — the arena path for simulation
+// runs that recycle one grid across many runs instead of allocating a
+// fresh canvas per run. Like New it panics on non-positive dimensions.
+func (g *Grid) Reuse(w, h int) {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("grid: non-positive size %dx%d", w, h))
+	}
+	n := w * h
+	if cap(g.cells) < n {
+		g.cells = make([]palette.Color, n)
+	} else {
+		g.cells = g.cells[:n]
+		for i := range g.cells {
+			g.cells[i] = palette.None
+		}
+	}
+	g.w, g.h = w, h
+	g.paints = 0
+}
+
 // W returns the grid width in cells.
 func (g *Grid) W() int { return g.w }
 

@@ -322,3 +322,38 @@ func TestLegendListsColors(t *testing.T) {
 		}
 	}
 }
+
+func TestReuseKeepsBackingAndBlanks(t *testing.T) {
+	g := New(8, 4)
+	if err := g.Paint(geom.Pt{X: 3, Y: 2}, palette.Red); err != nil {
+		t.Fatal(err)
+	}
+	g.Reuse(8, 4)
+	if got := g.At(geom.Pt{X: 3, Y: 2}); got != palette.None {
+		t.Fatalf("reused grid cell = %v, want blank", got)
+	}
+	if g.PaintCount() != 0 {
+		t.Fatalf("reused grid paints = %d, want 0", g.PaintCount())
+	}
+	// Shrinking then regrowing within capacity must not allocate cells.
+	g.Reuse(4, 2)
+	if g.W() != 4 || g.H() != 2 {
+		t.Fatalf("reused grid is %dx%d, want 4x2", g.W(), g.H())
+	}
+	g.Reuse(16, 8)
+	if g.W() != 16 || g.H() != 8 {
+		t.Fatalf("regrown grid is %dx%d, want 16x8", g.W(), g.H())
+	}
+	if got := g.At(geom.Pt{X: 15, Y: 7}); got != palette.None {
+		t.Fatalf("regrown corner = %v, want blank", got)
+	}
+}
+
+func TestReusePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reuse(0, 5) did not panic")
+		}
+	}()
+	New(1, 1).Reuse(0, 5)
+}

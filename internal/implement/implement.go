@@ -210,6 +210,11 @@ func (s *Set) Colors() []palette.Color {
 	return out
 }
 
+// Has reports whether the set holds at least one implement of color c.
+// It is the allocation-free per-color form of Covers, for hot-path
+// configuration checks that must not build a colors slice.
+func (s *Set) Has(c palette.Color) bool { return len(s.byColor[c]) > 0 }
+
 // Covers reports whether the set has at least one implement for every
 // color in need. A team whose set does not cover its flag cannot finish;
 // the simulator rejects the run up front instead of deadlocking.

@@ -31,6 +31,11 @@ const (
 // ncolors is the number of defined colors including None.
 const ncolors = 7
 
+// NColors is the number of defined colors including None — the size of a
+// dense per-color lookup table indexed by Color. Flat array indexing by
+// color is the allocation-free alternative to a map keyed by Color.
+const NColors = ncolors
+
 // Valid reports whether c is one of the defined colors.
 func (c Color) Valid() bool { return c < ncolors }
 

@@ -7,6 +7,7 @@ import (
 
 	"flagsim/internal/flagspec"
 	"flagsim/internal/implement"
+	"flagsim/internal/palette"
 	"flagsim/internal/processor"
 	"flagsim/internal/workplan"
 )
@@ -69,31 +70,146 @@ type DynamicConfig struct {
 	// Faults, when non-nil, injects deterministic faults into the run;
 	// see FaultInjector.
 	Faults FaultInjector
+	// Arena, when non-nil, runs through the caller-owned arena (the
+	// Result aliases arena memory — see Config.Arena and arena.go).
+	Arena *Arena
 }
 
 // bagSource is the self-scheduling policy: a shared bag of unclaimed
 // tasks, pulled at run time under the configured policy. Processors that
 // find no available work park globally and wake on any layer completion.
+//
+// Layout: the bag is an intrusive doubly-linked ring per layer, threaded
+// through index arrays over the fixed sequential task list. Claiming
+// unlinks a node and requeueing relinks it at the ring's front — both
+// O(1) with zero allocation and zero copying, where the slice-splice
+// representation this replaced spent half the dynamic executor's CPU in
+// memmove. Per-layer color counts let the affinity policy skip whole
+// layers without walking their rings.
 type bagSource struct {
 	policy PullPolicy
-	// bag[l] holds the unclaimed tasks of layer l in reading order.
-	bag [][]workplan.Task
+	// tasks is the sequential task list (one entry per layer cell), read
+	// only; ring links address tasks by index into it.
+	tasks []workplan.Task
+	// next and prev hold the rings. Nodes 0..len(tasks)-1 are tasks;
+	// node len(tasks)+l is layer l's sentinel. next[sentinel] is the
+	// layer's head (claim order), prev[sentinel] its tail.
+	next, prev []int32
+	nlayers    int
+	w, wh      int
+	// taskIdx maps layer*wh + y*w + x to the task's ring node, for O(1)
+	// requeue of a claimed task.
+	taskIdx []int32
+	// colorCount[l][c] counts bagged tasks of color c in layer l.
+	colorCount [][palette.NColors]int32
+	// bagged counts unclaimed tasks across all layers.
+	bagged int
 	// idle marks processors parked because nothing was available.
 	idle []bool
-	// assigned records executed tasks per proc, for the Result's plan.
-	assigned [][]workplan.Task
+	// rec records executed tasks per proc, for the Result's plan.
+	rec *assignRecorder
+
+	// Initial-state snapshot, keyed on the task list identity. Rebinding
+	// to the same tasks (the arena caches the sequential plan, so warm
+	// runs always are) restores the rings with three bulk copies instead
+	// of relinking every node. taskIdx is not snapshotted: claims and
+	// requeues never modify it, so it stays valid as built.
+	initFor            *workplan.Task
+	initN, initLayers  int
+	initW              int
+	initNext, initPrev []int32
+	initColor          [][palette.NColors]int32
 }
 
-func newBagSource(policy PullPolicy, layers, procs int, tasks []workplan.Task) *bagSource {
-	s := &bagSource{
-		policy:   policy,
-		bag:      make([][]workplan.Task, layers),
-		idle:     make([]bool, procs),
-		assigned: make([][]workplan.Task, procs),
+// sentinel returns layer l's ring sentinel node.
+func (s *bagSource) sentinel(l int) int32 { return int32(len(s.tasks) + l) }
+
+// bagSourceFor rebinds the arena's bag policy to a fresh run over tasks.
+func (a *Arena) bagSourceFor(policy PullPolicy, layers, procs int, tasks []workplan.Task, w, h int) *bagSource {
+	s := &a.bag
+	s.policy = policy
+	s.tasks = tasks
+	s.nlayers = layers
+	s.w, s.wh = w, w*h
+	n := len(tasks)
+	sz := n + layers
+	// Same task list as the previous build (the arena pins the cached
+	// sequential plan, so the pointer identifies immutable content, like
+	// the other pointer-keyed caches): restore the snapshot instead of
+	// relinking node by node.
+	if n > 0 && s.initFor == &tasks[0] && s.initN == n && s.initLayers == layers && s.initW == w {
+		copy(s.next, s.initNext)
+		copy(s.prev, s.initPrev)
+		copy(s.colorCount, s.initColor)
+	} else {
+		if cap(s.next) < sz {
+			s.next = make([]int32, sz)
+			s.prev = make([]int32, sz)
+		} else {
+			s.next = s.next[:sz]
+			s.prev = s.prev[:sz]
+		}
+		if cap(s.colorCount) < layers {
+			s.colorCount = make([][palette.NColors]int32, layers)
+		} else {
+			s.colorCount = s.colorCount[:layers]
+		}
+		for l := range s.colorCount {
+			s.colorCount[l] = [palette.NColors]int32{}
+		}
+		for l := 0; l < layers; l++ {
+			si := int32(n + l)
+			s.next[si], s.prev[si] = si, si
+		}
+		idxLen := layers * s.wh
+		if cap(s.taskIdx) < idxLen {
+			s.taskIdx = make([]int32, idxLen)
+		} else {
+			s.taskIdx = s.taskIdx[:idxLen]
+		}
+		for i, t := range tasks {
+			// Append at the layer tail: rings hold tasks in input (reading)
+			// order, exactly the claim order of the slice bag this replaced.
+			si := s.sentinel(t.Layer)
+			node := int32(i)
+			last := s.prev[si]
+			s.next[last] = node
+			s.prev[node] = last
+			s.next[node] = si
+			s.prev[si] = node
+			s.colorCount[t.Layer][t.Color]++
+			s.taskIdx[t.Layer*s.wh+t.Cell.Y*s.w+t.Cell.X] = node
+		}
+		if n > 0 {
+			if cap(s.initNext) < sz {
+				s.initNext = make([]int32, sz)
+				s.initPrev = make([]int32, sz)
+			} else {
+				s.initNext = s.initNext[:sz]
+				s.initPrev = s.initPrev[:sz]
+			}
+			if cap(s.initColor) < layers {
+				s.initColor = make([][palette.NColors]int32, layers)
+			} else {
+				s.initColor = s.initColor[:layers]
+			}
+			copy(s.initNext, s.next)
+			copy(s.initPrev, s.prev)
+			copy(s.initColor, s.colorCount)
+			s.initFor, s.initN, s.initLayers, s.initW = &tasks[0], n, layers, w
+		}
 	}
-	for _, t := range tasks {
-		s.bag[t.Layer] = append(s.bag[t.Layer], t)
+	s.bagged = n
+	if cap(s.idle) < procs {
+		s.idle = make([]bool, procs)
+	} else {
+		s.idle = s.idle[:procs]
 	}
+	for i := range s.idle {
+		s.idle[i] = false
+	}
+	s.rec = &a.rec
+	s.rec.reset(procs, n)
 	return s
 }
 
@@ -103,13 +219,17 @@ func (s *bagSource) available(e *Engine, l int) bool {
 	if _, blocked := e.LayerBlocked(l); blocked {
 		return false
 	}
-	return len(s.bag[l]) > 0
+	si := s.sentinel(l)
+	return s.next[si] != si
 }
 
-// claim removes and returns the i-th unclaimed task of layer l.
-func (s *bagSource) claim(l, i int) workplan.Task {
-	t := s.bag[l][i]
-	s.bag[l] = append(s.bag[l][:i], s.bag[l][i+1:]...)
+// claim unlinks ring node i and returns its task.
+func (s *bagSource) claim(i int32) workplan.Task {
+	s.next[s.prev[i]] = s.next[i]
+	s.prev[s.next[i]] = s.prev[i]
+	t := s.tasks[i]
+	s.colorCount[t.Layer][t.Color]--
+	s.bagged--
 	return t
 }
 
@@ -118,49 +238,54 @@ func (s *bagSource) claim(l, i int) workplan.Task {
 func (s *bagSource) nextTask(e *Engine, pi int) (workplan.Task, bool) {
 	if s.policy == PullColorAffinity {
 		if holding := e.Holding(pi); holding != nil {
-			// Prefer cells matching the implement in hand.
-			for l := range s.bag {
-				if !s.available(e, l) {
+			// Prefer cells matching the implement in hand. The per-layer
+			// color counts skip layers with no match without a ring walk.
+			c := holding.Color
+			for l := 0; l < s.nlayers; l++ {
+				if s.colorCount[l][c] == 0 || !s.available(e, l) {
 					continue
 				}
-				for i, t := range s.bag[l] {
-					if t.Color == holding.Color {
-						return s.claim(l, i), true
+				si := s.sentinel(l)
+				for i := s.next[si]; i != si; i = s.next[i] {
+					if s.tasks[i].Color == c {
+						return s.claim(i), true
 					}
 				}
 			}
 		} else {
 			// Empty-handed: prefer a color whose implement is free right
 			// now — a student grabs an idle marker rather than queueing
-			// behind a teammate.
-			for l := range s.bag {
+			// behind a teammate. Layers with no free-implement color are
+			// skipped by count before walking the ring.
+			for l := 0; l < s.nlayers; l++ {
 				if !s.available(e, l) {
 					continue
 				}
-				for i, t := range s.bag[l] {
-					if e.HasFreeImplement(t.Color) {
-						return s.claim(l, i), true
+				anyFree := false
+				for c := palette.Color(1); c < palette.NColors; c++ {
+					if s.colorCount[l][c] > 0 && e.HasFreeImplement(c) {
+						anyFree = true
+						break
+					}
+				}
+				if !anyFree {
+					continue
+				}
+				si := s.sentinel(l)
+				for i := s.next[si]; i != si; i = s.next[i] {
+					if e.HasFreeImplement(s.tasks[i].Color) {
+						return s.claim(i), true
 					}
 				}
 			}
 		}
 	}
-	for l := range s.bag {
+	for l := 0; l < s.nlayers; l++ {
 		if s.available(e, l) {
-			return s.claim(l, 0), true
+			return s.claim(s.next[s.sentinel(l)]), true
 		}
 	}
 	return workplan.Task{}, false
-}
-
-// anyBagged reports whether any cell remains unclaimed.
-func (s *bagSource) anyBagged() bool {
-	for _, b := range s.bag {
-		if len(b) > 0 {
-			return true
-		}
-	}
-	return false
 }
 
 // Select implements TaskSource: claim a task, park when cells remain but
@@ -170,7 +295,7 @@ func (s *bagSource) Select(e *Engine, pi int) Selection {
 	if task, ok := s.nextTask(e, pi); ok {
 		return Selection{Kind: SelectTask, Task: task}
 	}
-	if s.anyBagged() {
+	if s.bagged > 0 {
 		return Selection{Kind: SelectWait}
 	}
 	return Selection{Kind: SelectDone}
@@ -180,7 +305,15 @@ func (s *bagSource) Select(e *Engine, pi int) Selection {
 // layer (after pickup the processor re-advances and claims again,
 // possibly the same cell).
 func (s *bagSource) Requeue(_ *Engine, _ int, task workplan.Task) {
-	s.bag[task.Layer] = append([]workplan.Task{task}, s.bag[task.Layer]...)
+	i := s.taskIdx[task.Layer*s.wh+task.Cell.Y*s.w+task.Cell.X]
+	si := s.sentinel(task.Layer)
+	first := s.next[si]
+	s.next[si] = i
+	s.prev[i] = si
+	s.next[i] = first
+	s.prev[first] = i
+	s.colorCount[task.Layer][task.Color]++
+	s.bagged++
 }
 
 // Park implements TaskSource: pi idles until any layer completes.
@@ -191,7 +324,7 @@ func (s *bagSource) Park(_ *Engine, pi int, _ Selection) {
 // CellDone implements TaskSource: record the assignment and wake every
 // idle processor when a layer completes (new work may be available).
 func (s *bagSource) CellDone(e *Engine, pi int, task workplan.Task) {
-	s.assigned[pi] = append(s.assigned[pi], task)
+	s.rec.record(pi, task)
 	if e.LayerRemaining(task.Layer) != 0 {
 		return
 	}
@@ -205,7 +338,7 @@ func (s *bagSource) CellDone(e *Engine, pi int, task workplan.Task) {
 }
 
 // HasMore implements TaskSource.
-func (s *bagSource) HasMore(*Engine, int) bool { return s.anyBagged() }
+func (s *bagSource) HasMore(*Engine, int) bool { return s.bagged > 0 }
 
 // CheckComplete implements TaskSource.
 func (s *bagSource) CheckComplete(e *Engine) error {
@@ -222,6 +355,10 @@ func RunDynamic(cfg DynamicConfig) (*Result, error) { return RunDynamicCtx(nil, 
 
 // RunDynamicCtx is RunDynamic with a cancellation context (see RunCtx).
 func RunDynamicCtx(ctx context.Context, cfg DynamicConfig) (*Result, error) {
+	a, pooled := acquireArena(cfg.Arena)
+	if pooled {
+		defer arenaPool.Put(a)
+	}
 	if cfg.Flag == nil {
 		return nil, fmt.Errorf("sim: nil flag")
 	}
@@ -238,19 +375,32 @@ func RunDynamicCtx(ctx context.Context, cfg DynamicConfig) (*Result, error) {
 	if cfg.Set == nil {
 		return nil, fmt.Errorf("sim: nil implement set")
 	}
-	if err := cfg.Set.Covers(cfg.Flag.Colors()); err != nil {
-		return nil, err
+	// Coverage is memoized on the (flag, set) pointer pair; the arena
+	// pins both, so pointer equality implies already-checked inputs.
+	if a.vDynFlag != cfg.Flag || a.vDynSet != cfg.Set {
+		if err := cfg.Set.Covers(cfg.Flag.Colors()); err != nil {
+			return nil, err
+		}
+		a.vDynFlag, a.vDynSet = cfg.Flag, cfg.Set
 	}
 	if cfg.Setup < 0 {
 		return nil, fmt.Errorf("sim: negative setup")
 	}
 	// Build the bag from a sequential plan: one entry per (layer, cell).
-	seq, err := workplan.Sequential(cfg.Flag, w, h)
-	if err != nil {
-		return nil, err
+	// The decomposition is pure in (flag, w, h), so the arena caches it.
+	var seq *workplan.Plan
+	if a.seqFlag == cfg.Flag && a.seqW == w && a.seqH == h {
+		seq = a.seqPlan
+	} else {
+		var err error
+		seq, err = workplan.Sequential(cfg.Flag, w, h)
+		if err != nil {
+			return nil, err
+		}
+		a.seqFlag, a.seqW, a.seqH, a.seqPlan = cfg.Flag, w, h, seq
 	}
-	source := newBagSource(cfg.Policy, len(cfg.Flag.Layers), len(cfg.Procs), seq.PerProc[0])
-	e := newEngine(engineConfig{
+	source := a.bagSourceFor(cfg.Policy, len(cfg.Flag.Layers), len(cfg.Procs), seq.PerProc[0], w, h)
+	e := a.bind(engineConfig{
 		ctx:            ctx,
 		source:         source,
 		procs:          cfg.Procs,
@@ -271,15 +421,25 @@ func RunDynamicCtx(ctx context.Context, cfg DynamicConfig) (*Result, error) {
 
 	// Synthesize the executed assignment as a Plan so the Result carries
 	// the usual workload description.
-	plan := &workplan.Plan{
+	if a.stratDyn == "" || a.stratPolicy != cfg.Policy || a.stratProcs != len(cfg.Procs) {
+		a.stratPolicy, a.stratProcs = cfg.Policy, len(cfg.Procs)
+		a.stratDyn = fmt.Sprintf("dynamic-%s(p=%d)", cfg.Policy, len(cfg.Procs))
+	}
+	var plan *workplan.Plan
+	if a.owned {
+		plan = &a.synthPlan
+	} else {
+		plan = &workplan.Plan{}
+	}
+	*plan = workplan.Plan{
 		FlagName: cfg.Flag.Name, W: w, H: h,
-		Strategy:       fmt.Sprintf("dynamic-%s(p=%d)", cfg.Policy, len(cfg.Procs)),
-		PerProc:        source.assigned,
+		Strategy:       a.stratDyn,
+		PerProc:        a.rec.materialize(a, len(cfg.Procs)),
 		LayerDeps:      seq.LayerDeps,
 		LayerCellCount: seq.LayerCellCount,
 		Overpainted:    true,
 	}
-	res := e.buildResult(plan, makespan)
+	res := a.buildResult(e, plan, makespan)
 	e.notifyResult(res)
 	return res, nil
 }

@@ -18,6 +18,21 @@ package sim
 // Three sources ship with the package: planSource (static per-processor
 // plans, scenarios 1–4), bagSource (shared work bag, self-scheduling),
 // and stealSource (static plans plus work stealing by idle processors).
+//
+// Memory and dispatch layout (see DESIGN.md §3f): all per-run state is
+// flat and index-addressed — processors and implements are value slices,
+// per-color implement pools and FIFO ticket queues are fixed-size arrays
+// indexed by palette.Color, and every continuation is an op-coded kernel
+// event (an opcode plus a processor index) instead of a heap-allocated
+// closure. The state lives in a run arena (arena.go) recycled across
+// runs, which is what makes a warm run allocation-free. The event loop
+// is specialized once at run entry: a run with no probes, no tracing,
+// and no fault injector executes the fast opcode variants, whose bodies
+// contain no hook sites at all; any hook installs the instrumented
+// variants, which are line-for-line the hook-bearing equivalents. The
+// fast path additionally batches contiguous same-color plan spans into
+// a single completion event where no other processor could observe the
+// intermediate state.
 
 import (
 	"context"
@@ -89,24 +104,68 @@ type TaskSource interface {
 	CheckComplete(e *Engine) error
 }
 
-// procState is the runtime state machine of one processor.
+// procState is the runtime state machine of one processor. It is stored
+// by value in the engine's flat processor slice.
 type procState struct {
-	proc    *processor.Processor
-	holding *implement.Implement
+	proc *processor.Processor
+	// holding indexes the held implement in Engine.impls, or -1.
+	holding int32
 	stats   ProcStats
 	// waitStart marks when the current wait began, for accounting.
 	waitStart time.Duration
 	painted   bool // has painted at least one cell
+	// In-flight paint state: an op-coded completion event carries only
+	// the processor index, so the task being painted (and the repaint
+	// attempt and fast-path batch length) lives here. Sound because a
+	// processor has at most one pending kernel event at any instant.
+	curTask workplan.Task
+	attempt int32
+	batch   int32
 }
 
-// implState is the runtime state of one physical implement.
+// implState is the runtime state of one physical implement, stored by
+// value in the engine's flat implement slice.
 type implState struct {
 	im     *implement.Implement
-	holder int // processor index, or -1
+	holder int32 // processor index, or -1
 	stats  ImplementStats
 	// busySince marks acquisition time while held.
 	busySince time.Duration
 	acquired  int
+}
+
+// waitQueue is a FIFO ring of processor indices over a reusable backing
+// array: pushes and pops move cursors instead of growing or re-slicing,
+// so a run never reallocates and an arena reuses the ring across runs.
+// The ring is sized to the processor count at bind time — each waiter is
+// a distinct processor, so it can never overflow.
+type waitQueue struct {
+	buf  []int32
+	head int
+	n    int
+}
+
+func (q *waitQueue) reset(procs int) {
+	if cap(q.buf) < procs {
+		q.buf = make([]int32, procs)
+	} else {
+		q.buf = q.buf[:cap(q.buf)]
+	}
+	q.head, q.n = 0, 0
+}
+
+func (q *waitQueue) len() int { return q.n }
+
+func (q *waitQueue) push(pi int32) {
+	q.buf[(q.head+q.n)%len(q.buf)] = pi
+	q.n++
+}
+
+func (q *waitQueue) pop() int32 {
+	pi := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return pi
 }
 
 // engineConfig assembles an Engine; the exported Run* constructors
@@ -132,8 +191,22 @@ type engineConfig struct {
 	layerCellCount []int
 }
 
+// Opcodes for the kernel's op-coded events. Each op carries a processor
+// index. The fast/instrumented pairs are distinct opcodes — the variant
+// is chosen once at run entry (Engine.opAdvance et al.), so dispatch
+// jumps straight to the specialized body with no per-event mode check.
+const (
+	opAdvanceFast uint8 = iota
+	opAdvanceInst
+	opPaintDoneFast
+	opPaintDoneInst
+	opPutDownFast
+	opPutDownInst
+)
+
 // Engine is the unified executor state. Sources receive it on every
-// callback; external policies use the exported accessors.
+// callback; external policies use the exported accessors. Engines are
+// embedded in an Arena and rebound per run — see arena.go.
 type Engine struct {
 	ctx    context.Context
 	source TaskSource
@@ -143,6 +216,10 @@ type Engine struct {
 	// least one probe installed); tracing additionally stores them.
 	observing bool
 	tracing   bool
+	// instrumented records which dispatch variant this run selected:
+	// false means the fast opcodes (no probe, fault, or trace hook sites
+	// compiled into the executed bodies), true the hook-bearing ones.
+	instrumented bool
 	// probes holds the run-resolved probe set: RunScopedProbes from the
 	// config are replaced by their per-run children.
 	probes []Probe
@@ -153,57 +230,122 @@ type Engine struct {
 	unsound UnsoundInjector
 	fstats  FaultStats
 
-	kernel *devent.Kernel
+	kernel devent.Kernel
 	grid   *grid.Grid
-	procs  []*procState
-	impls  []*implState
-	// byColor indexes implement states per color.
-	byColor map[palette.Color][]*implState
-	// queues holds FIFO waiters per color.
-	queues map[palette.Color][]int
+	procs  []procState
+	impls  []implState
+	// byColor indexes implement states per color: flat index slices into
+	// impls, carved from one arena-backed array.
+	byColor [palette.NColors][]int32
+	// queues holds the FIFO implement waiters per color.
+	queues [palette.NColors]waitQueue
 	// layerRemaining counts unpainted cells per layer.
 	layerRemaining []int
 	layerDeps      [][]int
-	trace          []Span
-	breaks         int
-	err            error
+	// layerIsDep[l] is true when l is a prerequisite of some other layer.
+	// Only such layers can be parked on or have their remaining count
+	// read by another processor, so completions within a non-dep layer
+	// may be applied as one batch — no one can observe the intermediate
+	// counter states.
+	layerIsDep []bool
+	trace      []Span
+	breaks     int
+	err        error
+	// synthEvents counts the per-cell completion events elided by span
+	// batching, so Result.Events reports the same logical event count as
+	// the equivalent unbatched (instrumented) run.
+	synthEvents uint64
+
+	// plansrc, bagsrc, and stealsrc are the source downcast to the
+	// in-package policies, set once at bind. They devirtualize the
+	// per-event source callbacks (see srcSelect) and, for plansrc, gate
+	// fast-path span batching. At most one is non-nil; an external
+	// TaskSource leaves all three nil and dispatches through the
+	// interface.
+	plansrc  *planSource
+	bagsrc   *bagSource
+	stealsrc *stealSource
+	// The opcode variants selected once at run entry.
+	opAdvance, opPaintDone, opPutDown uint8
 }
 
-// newEngine builds the engine state shared by every executor.
-func newEngine(cfg engineConfig) *Engine {
-	e := &Engine{
-		ctx:       cfg.ctx,
-		source:    cfg.source,
-		hold:      cfg.hold,
-		setup:     cfg.setup,
-		tracing:   cfg.trace,
-		observing: cfg.trace || len(cfg.probes) > 0,
-		probes:    resolveProbes(cfg.probes),
-		faults:    cfg.faults,
-		kernel:    devent.New(),
-		grid:      grid.New(cfg.w, cfg.h),
-		byColor:   make(map[palette.Color][]*implState),
-		queues:    make(map[palette.Color][]int),
-		layerDeps: cfg.layerDeps,
+// srcSelect and the sibling helpers below dispatch source callbacks to
+// the concrete in-package policy when one is bound. An interface call
+// per event is measurable at this frequency (three to four callbacks
+// per cell); the downcast happens once per run, the nil checks here
+// predict perfectly, and the direct calls are inline candidates.
+
+func (e *Engine) srcRequeue(pi int, task workplan.Task) {
+	if s := e.plansrc; s != nil {
+		s.Requeue(e, pi, task)
+		return
 	}
-	for _, pr := range cfg.procs {
-		pr.ResetRun()
-		e.procs = append(e.procs, &procState{proc: pr, stats: ProcStats{Name: pr.Name}})
+	if s := e.bagsrc; s != nil {
+		s.Requeue(e, pi, task)
+		return
 	}
-	for _, im := range cfg.set.All() {
-		is := &implState{im: im, holder: -1,
-			stats: ImplementStats{ID: im.ID, Color: im.Color, Kind: im.Kind}}
-		e.impls = append(e.impls, is)
-		e.byColor[im.Color] = append(e.byColor[im.Color], is)
+	if s := e.stealsrc; s != nil {
+		s.Requeue(e, pi, task)
+		return
 	}
-	e.layerRemaining = append([]int(nil), cfg.layerCellCount...)
-	if cfg.faults != nil {
-		e.fstats.Injected = true
-		if u, ok := cfg.faults.(UnsoundInjector); ok {
-			e.unsound = u
-		}
+	e.srcRequeue(pi, task)
+}
+
+func (e *Engine) srcPark(pi int, sel Selection) {
+	if s := e.plansrc; s != nil {
+		s.Park(e, pi, sel)
+		return
 	}
-	return e
+	if s := e.bagsrc; s != nil {
+		s.Park(e, pi, sel)
+		return
+	}
+	if s := e.stealsrc; s != nil {
+		s.Park(e, pi, sel)
+		return
+	}
+	e.srcPark(pi, sel)
+}
+
+func (e *Engine) srcHasMore(pi int) bool {
+	if s := e.plansrc; s != nil {
+		return s.HasMore(e, pi)
+	}
+	if s := e.bagsrc; s != nil {
+		return s.HasMore(e, pi)
+	}
+	if s := e.stealsrc; s != nil {
+		return s.HasMore(e, pi)
+	}
+	return e.srcHasMore(pi)
+}
+
+// dispatch interprets op-coded kernel events. It is installed once per
+// arena as the kernel's handler.
+func (e *Engine) dispatch(op uint8, arg int32) {
+	pi := int(arg)
+	switch op {
+	case opAdvanceFast:
+		e.advanceFast(pi)
+	case opAdvanceInst:
+		e.advanceInst(pi)
+	case opPaintDoneFast:
+		e.paintDoneFast(pi)
+	case opPaintDoneInst:
+		e.paintDoneInst(pi)
+	case opPutDownFast:
+		e.release(pi, e.kernel.Now())
+		e.advanceFast(pi)
+	case opPutDownInst:
+		e.release(pi, e.kernel.Now())
+		e.advanceInst(pi)
+	}
+}
+
+func (e *Engine) schedOp(d time.Duration, op uint8, pi int) {
+	if err := e.kernel.ScheduleOp(d, op, int32(pi)); err != nil && e.err == nil {
+		e.err = err
+	}
 }
 
 // resolveProbes replaces every RunScopedProbe with the per-run child its
@@ -247,8 +389,7 @@ func (e *Engine) run() (time.Duration, error) {
 		}
 	}
 	for i := range e.procs {
-		i := i
-		if err := e.kernel.Schedule(e.setup, func() { e.advance(i) }); err != nil {
+		if err := e.kernel.ScheduleOp(e.setup, e.opAdvance, int32(i)); err != nil {
 			return 0, err
 		}
 	}
@@ -272,18 +413,36 @@ func (e *Engine) run() (time.Duration, error) {
 // shows up in the engine benchmarks.
 const cancelCheckEvery = 256
 
-// drain executes the event loop until the queue empties. Without a
-// context this is exactly the kernel's Run loop; with one, cancellation
-// checkpoints make the run abort early with ErrCanceled.
+// drain executes the event loop until the queue empties. It pulls op
+// events out of the kernel with StepInto and dispatches them with a
+// direct call — one indirect call per event through the kernel's
+// handler closure is measurable at engine event rates. With a context
+// installed, cancellation checkpoints make the run abort early with
+// ErrCanceled.
 func (e *Engine) drain() (time.Duration, error) {
 	if e.ctx == nil {
-		return e.kernel.Run(), nil
+		for {
+			op, arg, kind := e.kernel.StepInto()
+			if kind == devent.StepEmpty {
+				return e.kernel.Now(), nil
+			}
+			if kind == devent.StepOp {
+				e.dispatch(op, arg)
+			}
+		}
 	}
 	if err := e.ctx.Err(); err != nil {
 		return 0, fmt.Errorf("%w before the first event: %v", ErrCanceled, err)
 	}
 	var n uint64
-	for e.kernel.Step() {
+	for {
+		op, arg, kind := e.kernel.StepInto()
+		if kind == devent.StepEmpty {
+			return e.kernel.Now(), nil
+		}
+		if kind == devent.StepOp {
+			e.dispatch(op, arg)
+		}
 		n++
 		if n%cancelCheckEvery == 0 {
 			if err := e.ctx.Err(); err != nil {
@@ -292,31 +451,6 @@ func (e *Engine) drain() (time.Duration, error) {
 			}
 		}
 	}
-	return e.kernel.Now(), nil
-}
-
-// buildResult assembles the shared Result fields; the caller supplies the
-// workload description (static plans pass theirs, bag/steal sources
-// synthesize the executed assignment).
-func (e *Engine) buildResult(plan *workplan.Plan, makespan time.Duration) *Result {
-	res := &Result{
-		Plan:          plan,
-		Makespan:      makespan,
-		SetupTime:     e.setup,
-		Grid:          e.grid,
-		Breaks:        e.breaks,
-		Trace:         e.trace,
-		Events:        e.kernel.Processed(),
-		MaxEventQueue: e.kernel.MaxDepth(),
-		Faults:        e.fstats,
-	}
-	for _, ps := range e.procs {
-		res.Procs = append(res.Procs, ps.stats)
-	}
-	for _, is := range e.impls {
-		res.Implements = append(res.Implements, is.stats)
-	}
-	return res
 }
 
 // ---- Accessors for TaskSource implementations ----
@@ -328,7 +462,12 @@ func (e *Engine) Now() time.Duration { return e.kernel.Now() }
 func (e *Engine) NumProcs() int { return len(e.procs) }
 
 // Holding returns the implement processor pi holds, or nil.
-func (e *Engine) Holding(pi int) *implement.Implement { return e.procs[pi].holding }
+func (e *Engine) Holding(pi int) *implement.Implement {
+	if h := e.procs[pi].holding; h >= 0 {
+		return e.impls[h].im
+	}
+	return nil
+}
 
 // Layers returns the number of layers in the workload.
 func (e *Engine) Layers() int { return len(e.layerRemaining) }
@@ -348,30 +487,35 @@ func (e *Engine) LayerBlocked(l int) (dep int, blocked bool) {
 
 // HasFreeImplement reports whether an implement of color c is free now.
 func (e *Engine) HasFreeImplement(c palette.Color) bool {
-	return e.freeImplement(c) != nil
+	return e.freeImplement(c) >= 0
 }
 
 // Wake unparks processor pi: accounts its layer-wait time, emits the
 // wait-layer span, and schedules its re-advance at the current instant.
 func (e *Engine) Wake(pi int) {
 	now := e.kernel.Now()
-	ps := e.procs[pi]
+	ps := &e.procs[pi]
 	ps.stats.WaitLayer += now - ps.waitStart
 	if e.observing && now > ps.waitStart {
 		e.emitSpan(Span{Proc: pi, Kind: SpanWaitLayer, Start: ps.waitStart, End: now})
 	}
-	e.scheduleAfter(0, func() { e.advance(pi) })
+	e.schedOp(0, e.opAdvance, pi)
 }
 
-// ---- Event loop ----
+// ---- Event loop: instrumented variants ----
+//
+// The instrumented bodies are the reference semantics: every probe,
+// fault, and trace hook in place. The fast variants below are the same
+// control flow with the hook sites removed, valid only when no hook is
+// installed — the selection happens once, in Arena.bind.
 
-// advance drives processor pi as far as it can go at the current virtual
-// time, parking it on a queue or scheduling a completion event.
-func (e *Engine) advance(pi int) {
+// advanceInst drives processor pi as far as it can go at the current
+// virtual time, parking it on a queue or scheduling a completion event.
+func (e *Engine) advanceInst(pi int) {
 	if e.err != nil {
 		return
 	}
-	ps := e.procs[pi]
+	ps := &e.procs[pi]
 	now := e.kernel.Now()
 
 	// A stall window covering this instant freezes the processor until
@@ -384,16 +528,25 @@ func (e *Engine) advance(pi int) {
 			if e.observing {
 				e.emitSpan(Span{Proc: pi, Kind: SpanStall, Start: now, End: until})
 			}
-			e.scheduleAfter(until-now, func() { e.advance(pi) })
+			e.schedOp(until-now, e.opAdvance, pi)
 			return
 		}
 	}
 
-	sel := e.source.Select(e, pi)
+	var sel Selection
+	if s := e.plansrc; s != nil {
+		sel = s.Select(e, pi)
+	} else if s := e.bagsrc; s != nil {
+		sel = s.Select(e, pi)
+	} else if s := e.stealsrc; s != nil {
+		sel = s.Select(e, pi)
+	} else {
+		sel = e.source.Select(e, pi)
+	}
 	switch sel.Kind {
 	case SelectDone:
 		// Done: release anything held so teammates can proceed.
-		if ps.holding != nil {
+		if ps.holding >= 0 {
 			e.release(pi, now)
 		}
 		if ps.stats.Finish < now {
@@ -408,11 +561,11 @@ func (e *Engine) advance(pi int) {
 		// Before parking, put down anything held so a teammate can use it
 		// (a student waiting for the background to finish does not hoard
 		// the red marker).
-		if ps.holding != nil {
-			e.putDownAndContinue(pi, now)
+		if ps.holding >= 0 {
+			e.putDown(pi, now)
 			return
 		}
-		e.source.Park(e, pi, sel)
+		e.srcPark(pi, sel)
 		ps.waitStart = now
 		for _, p := range e.probes {
 			p.Block(pi, SpanWaitLayer, palette.None, now)
@@ -423,33 +576,33 @@ func (e *Engine) advance(pi int) {
 	task := sel.Task
 
 	// Implement in hand of the right color: paint.
-	if ps.holding != nil && ps.holding.Color == task.Color {
-		e.paint(pi, task, now)
+	if ps.holding >= 0 && e.impls[ps.holding].im.Color == task.Color {
+		e.paintAttemptInst(pi, task, now, 0)
 		return
 	}
 
 	// Wrong implement in hand: hand the task back, put the implement down
 	// (busy during put-down, then re-advance).
-	if ps.holding != nil {
-		e.source.Requeue(e, pi, task)
-		e.putDownAndContinue(pi, now)
+	if ps.holding >= 0 {
+		e.srcRequeue(pi, task)
+		e.putDown(pi, now)
 		return
 	}
 
 	// Need to acquire an implement of task.Color.
-	e.source.Requeue(e, pi, task)
-	if is := e.freeImplement(task.Color); is != nil {
-		e.grant(pi, is, e.kernel.Now())
+	e.srcRequeue(pi, task)
+	if ii := e.freeImplement(task.Color); ii >= 0 {
+		e.grant(pi, ii, e.kernel.Now())
 		return
 	}
 
 	// All implements of that color are busy: join the FIFO queue.
-	e.queues[task.Color] = append(e.queues[task.Color], pi)
+	e.queues[task.Color].push(int32(pi))
 	ps.waitStart = now
-	depth := len(e.queues[task.Color])
-	for _, is := range e.byColor[task.Color] {
-		if depth > is.stats.MaxQueue {
-			is.stats.MaxQueue = depth
+	depth := e.queues[task.Color].len()
+	for _, ii := range e.byColor[task.Color] {
+		if depth > e.impls[ii].stats.MaxQueue {
+			e.impls[ii].stats.MaxQueue = depth
 		}
 	}
 	for _, p := range e.probes {
@@ -457,37 +610,36 @@ func (e *Engine) advance(pi int) {
 	}
 }
 
-// putDownAndContinue spends the put-down time, releases the held
-// implement, and re-enters the processor's advance loop.
-func (e *Engine) putDownAndContinue(pi int, now time.Duration) {
-	ps := e.procs[pi]
-	putDown := ps.holding.Spec.PutDown
+// putDown spends the put-down time, then releases the held implement and
+// re-enters the processor's advance loop (via the put-down opcode).
+func (e *Engine) putDown(pi int, now time.Duration) {
+	ps := &e.procs[pi]
+	im := e.impls[ps.holding].im
+	putDown := im.Spec.PutDown
 	if e.observing && putDown > 0 {
 		e.emitSpan(Span{Proc: pi, Kind: SpanPutDown,
-			Start: now, End: now + putDown, Color: ps.holding.Color})
+			Start: now, End: now + putDown, Color: im.Color})
 	}
 	ps.stats.Overhead += putDown
-	e.scheduleAfter(putDown, func() {
-		e.release(pi, e.kernel.Now())
-		e.advance(pi)
-	})
+	e.schedOp(putDown, e.opPutDown, pi)
 }
 
-// freeImplement returns a free implement of color c (lowest ID first for
-// determinism), or nil.
-func (e *Engine) freeImplement(c palette.Color) *implState {
-	for _, is := range e.byColor[c] {
-		if is.holder == -1 {
-			return is
+// freeImplement returns the index of a free implement of color c (lowest
+// ID first for determinism), or -1.
+func (e *Engine) freeImplement(c palette.Color) int32 {
+	for _, ii := range e.byColor[c] {
+		if e.impls[ii].holder == -1 {
+			return ii
 		}
 	}
-	return nil
+	return -1
 }
 
-// grant reserves implement is for processor pi and schedules the pickup.
-func (e *Engine) grant(pi int, is *implState, now time.Duration) {
-	ps := e.procs[pi]
-	is.holder = pi
+// grant reserves implement ii for processor pi and schedules the pickup.
+func (e *Engine) grant(pi int, ii int32, now time.Duration) {
+	ps := &e.procs[pi]
+	is := &e.impls[ii]
+	is.holder = int32(pi)
 	is.busySince = now
 	is.acquired++
 	if is.acquired > 1 {
@@ -508,19 +660,20 @@ func (e *Engine) grant(pi int, is *implState, now time.Duration) {
 			Start: now, End: now + pickup, Color: is.im.Color})
 	}
 	ps.stats.Overhead += pickup
-	ps.holding = is.im
+	ps.holding = ii
 	for _, p := range e.probes {
 		p.Grant(pi, is.im, now)
 	}
-	e.scheduleAfter(pickup, func() { e.advance(pi) })
+	e.schedOp(pickup, e.opAdvance, pi)
 }
 
 // release frees processor pi's implement at time now and hands it to the
 // first queued waiter, if any.
 func (e *Engine) release(pi int, now time.Duration) {
-	ps := e.procs[pi]
-	is := e.implStateOf(ps.holding)
-	ps.holding = nil
+	ps := &e.procs[pi]
+	ii := ps.holding
+	is := &e.impls[ii]
+	ps.holding = -1
 	is.holder = -1
 	is.stats.BusyTime += now - is.busySince
 	for _, p := range e.probes {
@@ -528,33 +681,18 @@ func (e *Engine) release(pi int, now time.Duration) {
 	}
 
 	c := is.im.Color
-	q := e.queues[c]
-	if len(q) == 0 {
+	q := &e.queues[c]
+	if q.len() == 0 {
 		return
 	}
-	next := q[0]
-	e.queues[c] = q[1:]
-	waiter := e.procs[next]
+	next := int(q.pop())
+	waiter := &e.procs[next]
 	waiter.stats.WaitImplement += now - waiter.waitStart
 	if e.observing && now > waiter.waitStart {
 		e.emitSpan(Span{Proc: next, Kind: SpanWaitImplement,
 			Start: waiter.waitStart, End: now, Color: c})
 	}
-	e.grant(next, is, now)
-}
-
-func (e *Engine) implStateOf(im *implement.Implement) *implState {
-	for _, is := range e.byColor[im.Color] {
-		if is.im == im {
-			return is
-		}
-	}
-	panic("sim: implement not in set")
-}
-
-// paint executes the claimed task for processor pi, scheduling completion.
-func (e *Engine) paint(pi int, task workplan.Task, now time.Duration) {
-	e.paintAttempt(pi, task, now, 0)
+	e.grant(next, ii, now)
 }
 
 // forcedBreakRepair is the repair delay charged when a fault-injected
@@ -562,13 +700,15 @@ func (e *Engine) paint(pi int, task workplan.Task, now time.Duration) {
 // crayons model breakage natively); it matches the crayon repair delay.
 const forcedBreakRepair = 8 * time.Second
 
-// paintAttempt runs one paint attempt (attempt 0 unless a fault-injected
-// paint failure forced a repaint) and schedules its completion.
-func (e *Engine) paintAttempt(pi int, task workplan.Task, now time.Duration, attempt int) {
-	ps := e.procs[pi]
+// paintAttemptInst runs one paint attempt (attempt 0 unless a
+// fault-injected paint failure forced a repaint) and schedules its
+// completion.
+func (e *Engine) paintAttemptInst(pi int, task workplan.Task, now time.Duration, attempt int32) {
+	ps := &e.procs[pi]
+	im := e.impls[ps.holding].im
 	// ServiceTime draws from the processor's RNG stream; it must stay the
 	// first stochastic call so fault-free runs keep their exact sequence.
-	service := ps.proc.ServiceTime(task.Cell, ps.holding)
+	service := ps.proc.ServiceTime(task.Cell, im)
 	if e.faults != nil {
 		if f := e.faults.ServiceFactor(pi, task); f != 1 {
 			service = time.Duration(float64(service) * f)
@@ -576,15 +716,15 @@ func (e *Engine) paintAttempt(pi int, task workplan.Task, now time.Duration, att
 		}
 	}
 	var repair time.Duration
-	if ps.proc.Breaks(ps.holding) {
-		repair = ps.holding.Spec.Repair
+	if ps.proc.Breaks(im) {
+		repair = im.Spec.Repair
 		e.breaks++
-		e.implStateOf(ps.holding).stats.Breakages++
+		e.impls[ps.holding].stats.Breakages++
 	} else if e.faults != nil && attempt == 0 && e.faults.ForcedBreak(pi, task) {
 		// Fault-forced breakage: tallied separately from the implement's
 		// own stochastic breaks (Result.Breaks stays comparable to the
 		// fault-free run).
-		repair = ps.holding.Spec.Repair
+		repair = im.Spec.Repair
 		if repair <= 0 {
 			repair = forcedBreakRepair
 		}
@@ -604,36 +744,217 @@ func (e *Engine) paintAttempt(pi int, task workplan.Task, now time.Duration, att
 	}
 	ps.stats.PaintTime += service
 	ps.stats.Overhead += repair
-	e.scheduleAfter(service+repair, func() {
-		// A transient paint failure forces a full repaint of the cell:
-		// the attempt's time is spent but the task is not complete.
-		if e.faults != nil && e.faults.PaintFails(pi, task, attempt) {
-			e.fstats.Repaints++
-			e.paintAttempt(pi, task, e.kernel.Now(), attempt+1)
+	ps.curTask = task
+	ps.attempt = attempt
+	e.schedOp(service+repair, opPaintDoneInst, pi)
+}
+
+// paintDoneInst completes the in-flight paint attempt of processor pi.
+func (e *Engine) paintDoneInst(pi int) {
+	ps := &e.procs[pi]
+	task := ps.curTask
+	// A transient paint failure forces a full repaint of the cell: the
+	// attempt's time is spent but the task is not complete.
+	if e.faults != nil && e.faults.PaintFails(pi, task, int(ps.attempt)) {
+		e.fstats.Repaints++
+		e.paintAttemptInst(pi, task, e.kernel.Now(), ps.attempt+1)
+		return
+	}
+	if e.unsound != nil && e.unsound.LosePaint(pi, task) {
+		// Oracle self-test backdoor: drop the grid write but report
+		// the task complete — a seeded lost-update bug.
+		e.fstats.LostPaints++
+	} else if err := e.grid.Paint(task.Cell, task.Color); err != nil {
+		e.err = err
+		return
+	}
+	ps.stats.Cells++
+	e.layerRemaining[task.Layer]--
+	if s := e.bagsrc; s != nil {
+		s.CellDone(e, pi, task)
+	} else if s := e.stealsrc; s != nil {
+		s.CellDone(e, pi, task)
+	} else if s := e.plansrc; s != nil {
+		s.CellDone(e, pi, task)
+	} else {
+		e.source.CellDone(e, pi, task)
+	}
+	for _, p := range e.probes {
+		p.Complete(pi, task, e.kernel.Now())
+	}
+	// EagerRelease puts the implement down after every cell even if the
+	// next cell wants the same color.
+	if e.hold == EagerRelease && ps.holding >= 0 && e.srcHasMore(pi) {
+		e.putDown(pi, e.kernel.Now())
+		return
+	}
+	e.advanceInst(pi)
+}
+
+// ---- Event loop: fast variants ----
+//
+// The same control flow as the instrumented variants with every probe,
+// fault, and trace hook removed — straight-line resource mechanics.
+// Selected at run entry only when no probe, no tracing, and no fault
+// injector is installed, so removing the hooks cannot change results.
+
+func (e *Engine) advanceFast(pi int) {
+	if e.err != nil {
+		return
+	}
+	ps := &e.procs[pi]
+	now := e.kernel.Now()
+
+	var sel Selection
+	if s := e.plansrc; s != nil {
+		sel = s.Select(e, pi)
+	} else if s := e.bagsrc; s != nil {
+		sel = s.Select(e, pi)
+	} else if s := e.stealsrc; s != nil {
+		sel = s.Select(e, pi)
+	} else {
+		sel = e.source.Select(e, pi)
+	}
+	switch sel.Kind {
+	case SelectDone:
+		if ps.holding >= 0 {
+			e.release(pi, now)
+		}
+		if ps.stats.Finish < now {
+			ps.stats.Finish = now
+		}
+		return
+
+	case SelectWait:
+		if ps.holding >= 0 {
+			e.putDown(pi, now)
 			return
 		}
-		if e.unsound != nil && e.unsound.LosePaint(pi, task) {
-			// Oracle self-test backdoor: drop the grid write but report
-			// the task complete — a seeded lost-update bug.
-			e.fstats.LostPaints++
-		} else if err := e.grid.Paint(task.Cell, task.Color); err != nil {
+		e.srcPark(pi, sel)
+		ps.waitStart = now
+		return
+	}
+
+	task := sel.Task
+
+	if ps.holding >= 0 && e.impls[ps.holding].im.Color == task.Color {
+		e.paintFast(pi, task, now)
+		return
+	}
+
+	if ps.holding >= 0 {
+		e.srcRequeue(pi, task)
+		e.putDown(pi, now)
+		return
+	}
+
+	e.srcRequeue(pi, task)
+	if ii := e.freeImplement(task.Color); ii >= 0 {
+		e.grant(pi, ii, now)
+		return
+	}
+
+	e.queues[task.Color].push(int32(pi))
+	ps.waitStart = now
+	depth := e.queues[task.Color].len()
+	for _, ii := range e.byColor[task.Color] {
+		if depth > e.impls[ii].stats.MaxQueue {
+			e.impls[ii].stats.MaxQueue = depth
+		}
+	}
+}
+
+// paintFast executes the claimed task — and, when the static plan policy
+// allows, the whole contiguous same-color span it starts — under a
+// single completion event. Batching is sound only when nothing else in
+// the run can observe the intermediate per-cell state: the plan's task
+// order is fixed, the processor keeps holding the one implement
+// (GreedyHold), every batched cell's layer is already unblocked (layer
+// dependencies only ever complete), and no batched layer is a
+// prerequisite of any other layer (so no one parks on it or reads its
+// remaining count). Per-cell service and breakage draws happen upfront
+// in plan order from the processor's own stream — exactly the sequence
+// the per-cell path would draw — so timing, statistics, and breakages
+// are bit-identical; Result.Events stays comparable via synthEvents.
+func (e *Engine) paintFast(pi int, task workplan.Task, now time.Duration) {
+	ps := &e.procs[pi]
+	im := e.impls[ps.holding].im
+	k := 1
+	if e.plansrc != nil && e.hold == GreedyHold {
+		k = e.plansrc.batchLen(e, pi, task)
+	}
+	var service, repair time.Duration
+	if k == 1 {
+		service = ps.proc.ServiceTime(task.Cell, im)
+		if ps.proc.Breaks(im) {
+			repair = im.Spec.Repair
+			e.breaks++
+			e.impls[ps.holding].stats.Breakages++
+		}
+	} else {
+		tasks := e.plansrc.plan.PerProc[pi]
+		i := e.plansrc.next[pi]
+		for j := 0; j < k; j++ {
+			t := tasks[i+j]
+			service += ps.proc.ServiceTime(t.Cell, im)
+			if ps.proc.Breaks(im) {
+				repair += im.Spec.Repair
+				e.breaks++
+				e.impls[ps.holding].stats.Breakages++
+			}
+		}
+	}
+	if !ps.painted {
+		ps.painted = true
+		ps.stats.FirstPaint = now
+	}
+	ps.stats.PaintTime += service
+	ps.stats.Overhead += repair
+	ps.curTask = task
+	ps.batch = int32(k)
+	e.synthEvents += uint64(k - 1)
+	e.schedOp(service+repair, opPaintDoneFast, pi)
+}
+
+// paintDoneFast applies the completed paint (or batch of paints) of
+// processor pi and re-enters its advance loop.
+func (e *Engine) paintDoneFast(pi int) {
+	ps := &e.procs[pi]
+	if s := e.plansrc; s != nil {
+		tasks := s.plan.PerProc[pi]
+		for j := int32(0); j < ps.batch; j++ {
+			task := tasks[s.next[pi]]
+			if err := e.grid.Paint(task.Cell, task.Color); err != nil {
+				e.err = err
+				return
+			}
+			ps.stats.Cells++
+			e.layerRemaining[task.Layer]--
+			s.CellDone(e, pi, task)
+		}
+	} else {
+		task := ps.curTask
+		if err := e.grid.Paint(task.Cell, task.Color); err != nil {
 			e.err = err
 			return
 		}
 		ps.stats.Cells++
 		e.layerRemaining[task.Layer]--
-		e.source.CellDone(e, pi, task)
-		for _, p := range e.probes {
-			p.Complete(pi, task, e.kernel.Now())
+		if s := e.bagsrc; s != nil {
+			s.CellDone(e, pi, task)
+		} else if s := e.stealsrc; s != nil {
+			s.CellDone(e, pi, task)
+		} else if s := e.plansrc; s != nil {
+			s.CellDone(e, pi, task)
+		} else {
+			e.source.CellDone(e, pi, task)
 		}
-		// EagerRelease puts the implement down after every cell even if
-		// the next cell wants the same color.
-		if e.hold == EagerRelease && ps.holding != nil && e.source.HasMore(e, pi) {
-			e.putDownAndContinue(pi, e.kernel.Now())
-			return
-		}
-		e.advance(pi)
-	})
+	}
+	if e.hold == EagerRelease && ps.holding >= 0 && e.srcHasMore(pi) {
+		e.putDown(pi, e.kernel.Now())
+		return
+	}
+	e.advanceFast(pi)
 }
 
 // emitSpan stores the span when tracing and fans it out to probes.
@@ -643,11 +964,5 @@ func (e *Engine) emitSpan(sp Span) {
 	}
 	for _, p := range e.probes {
 		p.Span(sp)
-	}
-}
-
-func (e *Engine) scheduleAfter(d time.Duration, fn func()) {
-	if err := e.kernel.Schedule(d, fn); err != nil && e.err == nil {
-		e.err = err
 	}
 }

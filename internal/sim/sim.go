@@ -237,42 +237,12 @@ type Config struct {
 	// degraded cells, forced breakages, delayed handoffs, repaints) into
 	// the run; see FaultInjector. nil keeps the unchecked hot path.
 	Faults FaultInjector
-}
-
-// validate rejects inconsistent configurations up front so the event loop
-// never deadlocks on impossible inputs.
-func (c *Config) validate() error {
-	if c.Plan == nil {
-		return fmt.Errorf("sim: nil plan")
-	}
-	if err := c.Plan.Validate(); err != nil {
-		return err
-	}
-	if len(c.Procs) != c.Plan.NumProcs() {
-		return fmt.Errorf("sim: plan wants %d processors, got %d", c.Plan.NumProcs(), len(c.Procs))
-	}
-	if c.Set == nil {
-		return fmt.Errorf("sim: nil implement set")
-	}
-	need := make(map[palette.Color]bool)
-	for _, tasks := range c.Plan.PerProc {
-		for _, t := range tasks {
-			need[t.Color] = true
-		}
-	}
-	var colors []palette.Color
-	for _, cl := range palette.All() {
-		if need[cl] {
-			colors = append(colors, cl)
-		}
-	}
-	if err := c.Set.Covers(colors); err != nil {
-		return err
-	}
-	if c.Setup < 0 {
-		return fmt.Errorf("sim: negative setup time")
-	}
-	return nil
+	// Arena, when non-nil, runs through the caller-owned arena: all
+	// per-run state is recycled and the returned Result aliases arena
+	// memory valid only until the arena's next run. nil draws scratch
+	// from an internal pool and returns an independent Result. See
+	// arena.go for the full contract.
+	Arena *Arena
 }
 
 // planSource is the static scheduling policy: every processor works
@@ -284,14 +254,6 @@ type planSource struct {
 	next []int
 	// layerWaiters holds processors parked on a layer's completion.
 	layerWaiters [][]int
-}
-
-func newPlanSource(plan *workplan.Plan) *planSource {
-	return &planSource{
-		plan:         plan,
-		next:         make([]int, plan.NumProcs()),
-		layerWaiters: make([][]int, len(plan.LayerCellCount)),
-	}
 }
 
 // Select implements TaskSource: the next task of pi's plan, a layer wait,
@@ -324,11 +286,44 @@ func (s *planSource) CellDone(e *Engine, pi int, task workplan.Task) {
 	if e.LayerRemaining(task.Layer) > 0 {
 		return
 	}
+	// Reslice to zero rather than nil so the waiter buffer is reused by
+	// the arena. Safe against the wakes below: a completed layer can
+	// never block anyone again, so nothing appends to this backing while
+	// (or after) we iterate the old header.
 	waiters := s.layerWaiters[task.Layer]
-	s.layerWaiters[task.Layer] = nil
+	s.layerWaiters[task.Layer] = waiters[:0]
 	for _, w := range waiters {
 		e.Wake(w)
 	}
+}
+
+// batchLen reports how many tasks, starting at processor pi's current
+// plan position (whose task is first, already selected and color-matched
+// to the held implement), may be painted as one fast-path batch. The
+// batch extends while tasks keep the same color, their layers are
+// unblocked at this instant (dependencies only ever complete, so
+// unblocked-now stays unblocked), and no touched layer is a prerequisite
+// of another layer — a non-dep layer is never parked on and its
+// remaining count is never read across processors, so collapsing its
+// per-cell completions into one event is unobservable.
+func (s *planSource) batchLen(e *Engine, pi int, first workplan.Task) int {
+	if e.layerIsDep[first.Layer] {
+		return 1
+	}
+	tasks := s.plan.PerProc[pi]
+	i := s.next[pi]
+	k := 1
+	for i+k < len(tasks) {
+		t := tasks[i+k]
+		if t.Color != first.Color || e.layerIsDep[t.Layer] {
+			break
+		}
+		if _, blocked := e.LayerBlocked(t.Layer); blocked {
+			break
+		}
+		k++
+	}
+	return k
 }
 
 // HasMore implements TaskSource.
@@ -354,12 +349,16 @@ func Run(cfg Config) (*Result, error) { return RunCtx(nil, cfg) }
 // engine aborts at the next checkpoint and returns an error wrapping
 // ErrCanceled. A nil ctx runs unchecked (identical to Run).
 func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
+	a, pooled := acquireArena(cfg.Arena)
+	if pooled {
+		defer arenaPool.Put(a)
+	}
+	if err := a.validateStatic(&cfg); err != nil {
 		return nil, err
 	}
-	e := newEngine(engineConfig{
+	e := a.bind(engineConfig{
 		ctx:            ctx,
-		source:         newPlanSource(cfg.Plan),
+		source:         a.planSourceFor(cfg.Plan),
 		procs:          cfg.Procs,
 		set:            cfg.Set,
 		hold:           cfg.Hold,
@@ -376,7 +375,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := e.buildResult(cfg.Plan, makespan)
+	res := a.buildResult(e, cfg.Plan, makespan)
 	e.notifyResult(res)
 	return res, nil
 }

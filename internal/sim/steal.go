@@ -23,19 +23,29 @@ import (
 // stealSource executes per-processor queues with work stealing. Like
 // planSource it peeks (a selected task is consumed only when painted), so
 // a victim's head cell — possibly in flight — is never stolen.
+//
+// Layout: each processor's queue is a head/tail window over a flat
+// per-processor buffer sized to the whole plan, so steals are a copy of
+// the stolen span plus two cursor updates — no slice growth during a
+// run. A queue that would overflow its buffer (possible only through
+// repeated re-stealing) first compacts its live window to the front,
+// which keeps every buffer bounded by the total task count.
 type stealSource struct {
-	// queues[pi] is the processor's remaining tasks, head first.
-	queues [][]workplan.Task
+	// bufs[pi] is processor pi's task buffer; the live queue is
+	// bufs[pi][head[pi]:tail[pi]], head first.
+	bufs       [][]workplan.Task
+	head, tail []int
 	// layerWaiters holds processors parked on a layer's completion.
 	layerWaiters [][]int
-	// assigned records executed tasks per proc, for the Result's plan.
-	assigned [][]workplan.Task
-	// owner maps each task (layers may overpaint a cell, so the key is
-	// layer+cell) to the processor the starting plan assigned, so CellDone
-	// can count migrated cells independently of steal batches.
-	owner    map[taskKey]int
-	steals   int
-	migrated int
+	// owner maps layer*wh + y*w + x to the processor the starting plan
+	// assigned (layers may overpaint a cell, so the key includes the
+	// layer), so CellDone can count migrated cells independently of
+	// steal batches.
+	owner            []int32
+	w, wh            int
+	steals, migrated int
+	// rec records executed tasks per proc, for the Result's plan.
+	rec *assignRecorder
 }
 
 // taskKey identifies one task of a plan; overpainting layers make the
@@ -45,20 +55,68 @@ type taskKey struct {
 	cell  geom.Pt
 }
 
-func newStealSource(plan *workplan.Plan) *stealSource {
-	s := &stealSource{
-		queues:       make([][]workplan.Task, plan.NumProcs()),
-		layerWaiters: make([][]int, len(plan.LayerCellCount)),
-		assigned:     make([][]workplan.Task, plan.NumProcs()),
-		owner:        make(map[taskKey]int),
+// stealSourceFor rebinds the arena's stealing policy to plan.
+func (a *Arena) stealSourceFor(plan *workplan.Plan) *stealSource {
+	s := &a.steal
+	n := plan.NumProcs()
+	total := plan.TotalTasks()
+	s.w, s.wh = plan.W, plan.W*plan.H
+	if cap(s.bufs) < n {
+		nbufs := make([][]workplan.Task, n)
+		copy(nbufs, s.bufs[:cap(s.bufs)])
+		s.bufs = nbufs
+	} else {
+		s.bufs = s.bufs[:n]
+	}
+	if cap(s.head) < n {
+		s.head = make([]int, n)
+		s.tail = make([]int, n)
+	} else {
+		s.head = s.head[:n]
+		s.tail = s.tail[:n]
+	}
+	layers := len(plan.LayerCellCount)
+	ownerLen := layers * s.wh
+	if cap(s.owner) < ownerLen {
+		s.owner = make([]int32, ownerLen)
+	} else {
+		s.owner = s.owner[:ownerLen]
 	}
 	for i, tasks := range plan.PerProc {
-		s.queues[i] = append([]workplan.Task(nil), tasks...)
+		if cap(s.bufs[i]) < total {
+			s.bufs[i] = make([]workplan.Task, total)
+		} else {
+			s.bufs[i] = s.bufs[i][:total]
+		}
+		copy(s.bufs[i], tasks)
+		s.head[i] = 0
+		s.tail[i] = len(tasks)
 		for _, t := range tasks {
-			s.owner[taskKey{t.Layer, t.Cell}] = i
+			s.owner[t.Layer*s.wh+t.Cell.Y*s.w+t.Cell.X] = int32(i)
 		}
 	}
+	s.layerWaiters = reuseWaiters(s.layerWaiters, layers, n)
+	s.steals, s.migrated = 0, 0
+	s.rec = &a.rec
+	s.rec.reset(n, total)
 	return s
+}
+
+// qlen returns processor v's live queue length.
+func (s *stealSource) qlen(v int) int { return s.tail[v] - s.head[v] }
+
+// pushBack appends tasks to pi's queue, compacting the live window to
+// the buffer front first if the tail would overflow. pi's queue is empty
+// whenever this runs (only an out-of-work processor steals), so the
+// compacted window plus the stolen span always fits.
+func (s *stealSource) pushBack(pi int, tasks []workplan.Task) {
+	b := s.bufs[pi]
+	if s.tail[pi]+len(tasks) > len(b) {
+		n := copy(b, b[s.head[pi]:s.tail[pi]])
+		s.head[pi], s.tail[pi] = 0, n
+	}
+	copy(b[s.tail[pi]:], tasks)
+	s.tail[pi] += len(tasks)
 }
 
 // steal moves the trailing half of the most-loaded queue to pi, leaving
@@ -66,19 +124,18 @@ func newStealSource(plan *workplan.Plan) *stealSource {
 // whether anything moved.
 func (s *stealSource) steal(pi int) bool {
 	victim, best := -1, 1 // a queue of one cell has nothing to spare
-	for v, q := range s.queues {
-		if v != pi && len(q) > best {
-			victim, best = v, len(q)
+	for v := range s.bufs {
+		if v != pi && s.qlen(v) > best {
+			victim, best = v, s.qlen(v)
 		}
 	}
 	if victim == -1 {
 		return false
 	}
-	q := s.queues[victim]
-	k := len(q) / 2 // len >= 2, so 1 <= k <= len-1: head always stays
-	cut := len(q) - k
-	s.queues[pi] = append(s.queues[pi], q[cut:]...)
-	s.queues[victim] = q[:cut]
+	k := s.qlen(victim) / 2 // len >= 2, so 1 <= k <= len-1: head always stays
+	cut := s.tail[victim] - k
+	s.pushBack(pi, s.bufs[victim][cut:s.tail[victim]])
+	s.tail[victim] = cut
 	s.steals++
 	return true
 }
@@ -86,10 +143,10 @@ func (s *stealSource) steal(pi int) bool {
 // Select implements TaskSource: peek the own queue, steal when it is
 // empty, retire when no teammate has anything to spare.
 func (s *stealSource) Select(e *Engine, pi int) Selection {
-	if len(s.queues[pi]) == 0 && !s.steal(pi) {
+	if s.qlen(pi) == 0 && !s.steal(pi) {
 		return Selection{Kind: SelectDone}
 	}
-	task := s.queues[pi][0]
+	task := s.bufs[pi][s.head[pi]]
 	if dep, blocked := e.LayerBlocked(task.Layer); blocked {
 		return Selection{Kind: SelectWait, Layer: dep}
 	}
@@ -108,16 +165,19 @@ func (s *stealSource) Park(_ *Engine, pi int, sel Selection) {
 // CellDone implements TaskSource: consume the head task and wake
 // processors parked on the layer once it completes.
 func (s *stealSource) CellDone(e *Engine, pi int, task workplan.Task) {
-	s.queues[pi] = s.queues[pi][1:]
-	s.assigned[pi] = append(s.assigned[pi], task)
-	if s.owner[taskKey{task.Layer, task.Cell}] != pi {
+	s.head[pi]++
+	s.rec.record(pi, task)
+	if s.owner[task.Layer*s.wh+task.Cell.Y*s.w+task.Cell.X] != int32(pi) {
 		s.migrated++
 	}
 	if e.LayerRemaining(task.Layer) > 0 {
 		return
 	}
+	// Reslice to zero, not nil, to keep the arena's waiter backing; a
+	// completed layer never gains a waiter again, so the old header is
+	// safe to iterate (see planSource.CellDone).
 	waiters := s.layerWaiters[task.Layer]
-	s.layerWaiters[task.Layer] = nil
+	s.layerWaiters[task.Layer] = waiters[:0]
 	for _, w := range waiters {
 		e.Wake(w)
 	}
@@ -125,14 +185,14 @@ func (s *stealSource) CellDone(e *Engine, pi int, task workplan.Task) {
 
 // HasMore implements TaskSource.
 func (s *stealSource) HasMore(_ *Engine, pi int) bool {
-	return len(s.queues[pi]) > 0
+	return s.qlen(pi) > 0
 }
 
 // CheckComplete implements TaskSource.
 func (s *stealSource) CheckComplete(*Engine) error {
-	for i, q := range s.queues {
-		if len(q) != 0 {
-			return fmt.Errorf("sim: deadlock: processor %d stranded with %d stolen-proof tasks", i, len(q))
+	for i := range s.bufs {
+		if s.qlen(i) != 0 {
+			return fmt.Errorf("sim: deadlock: processor %d stranded with %d stolen-proof tasks", i, s.qlen(i))
 		}
 	}
 	return nil
@@ -145,11 +205,15 @@ func RunSteal(cfg Config) (*Result, error) { return RunStealCtx(nil, cfg) }
 
 // RunStealCtx is RunSteal with a cancellation context (see RunCtx).
 func RunStealCtx(ctx context.Context, cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
+	a, pooled := acquireArena(cfg.Arena)
+	if pooled {
+		defer arenaPool.Put(a)
+	}
+	if err := a.validateStatic(&cfg); err != nil {
 		return nil, err
 	}
-	source := newStealSource(cfg.Plan)
-	e := newEngine(engineConfig{
+	source := a.stealSourceFor(cfg.Plan)
+	e := a.bind(engineConfig{
 		ctx:            ctx,
 		source:         source,
 		procs:          cfg.Procs,
@@ -168,15 +232,25 @@ func RunStealCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan := &workplan.Plan{
+	if a.stealPlanCached != cfg.Plan {
+		a.stealPlanCached = cfg.Plan
+		a.stratSteal = cfg.Plan.Strategy + "+steal"
+	}
+	var plan *workplan.Plan
+	if a.owned {
+		plan = &a.synthPlan
+	} else {
+		plan = &workplan.Plan{}
+	}
+	*plan = workplan.Plan{
 		FlagName: cfg.Plan.FlagName, W: cfg.Plan.W, H: cfg.Plan.H,
-		Strategy:       cfg.Plan.Strategy + "+steal",
-		PerProc:        source.assigned,
+		Strategy:       a.stratSteal,
+		PerProc:        a.rec.materialize(a, len(cfg.Procs)),
 		LayerDeps:      cfg.Plan.LayerDeps,
 		LayerCellCount: cfg.Plan.LayerCellCount,
 		Overpainted:    cfg.Plan.Overpainted,
 	}
-	res := e.buildResult(plan, makespan)
+	res := a.buildResult(e, plan, makespan)
 	res.Steals = source.steals
 	res.Migrated = source.migrated
 	e.notifyResult(res)
