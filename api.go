@@ -24,6 +24,7 @@ import (
 	"flagsim/internal/submission"
 	"flagsim/internal/survey"
 	"flagsim/internal/sweep"
+	"flagsim/internal/workload"
 	"flagsim/internal/workplan"
 )
 
@@ -592,4 +593,111 @@ func NewServer(cfg ServerConfig) *SimServer { return server.New(cfg) }
 // finish, and a clean drain returns nil.
 func Serve(ctx context.Context, cfg ServerConfig) error {
 	return server.New(cfg).ListenAndServe(ctx)
+}
+
+// ---- Workload generation ----
+
+// TrafficShape is a deterministic arrival-intensity profile λ(t) in
+// requests per second. Built-ins: PoissonShape (constant rate),
+// BurstyShape (on/off square wave), DiurnalShape (clamped sum of
+// sinusoids over a base rate).
+type TrafficShape = workload.Shape
+
+// PoissonShape is a constant-rate arrival process.
+type PoissonShape = workload.Poisson
+
+// BurstyShape is an on/off square wave: OnRate for the first Duty
+// fraction of every Period, OffRate for the rest — the synchronized
+// classroom-flood pattern a mean-rate process smooths away.
+type BurstyShape = workload.Bursty
+
+// DiurnalShape is a multi-period sinusoidal profile: Base plus one
+// sine per Harmonic, clamped at zero.
+type DiurnalShape = workload.Diurnal
+
+// ParseTrafficShape parses the CLI shape grammar: "poisson:200",
+// "bursty:500,10,2s,0.25", "diurnal:100,10s:80,3s:30".
+func ParseTrafficShape(s string) (TrafficShape, error) { return workload.ParseShape(s) }
+
+// WorkloadMix weights the four request kinds in the population
+// (runs, sweeps, faulted runs, trace runs); the zero value means the
+// default mostly-runs mix.
+type WorkloadMix = workload.Mix
+
+// WorkloadPopulation parameterizes the request space arrivals draw
+// from: mix weights, flag/executor/scenario/seed spaces, raster size.
+type WorkloadPopulation = workload.Population
+
+// WorkloadSchedule is a precomputed, sorted open-loop arrival
+// schedule — a pure function of (seed, shape, duration, population).
+type WorkloadSchedule = workload.Schedule
+
+// MakeWorkloadSchedule draws the schedule deterministically: arrival
+// times and request draws come from independently labeled SplitMix64
+// child streams of seed, so the i-th request's parameters do not
+// depend on the arrival process (or vice versa).
+func MakeWorkloadSchedule(seed uint64, shape TrafficShape, duration time.Duration, pop WorkloadPopulation) (*WorkloadSchedule, error) {
+	return workload.MakeSchedule(seed, shape, duration, pop)
+}
+
+// WorkloadTrace is a recorded sequence of request/response exchanges
+// with a canonical, versioned, seekable wire format ("FSWL"):
+// decode→encode is byte-identical, malformed input fails with errors
+// wrapping workload.ErrTraceFormat, and readers can skip records
+// without parsing bodies.
+type WorkloadTrace = workload.Trace
+
+// WorkloadRunnerConfig configures open-loop firing: target URL,
+// client, speed (0 = as fast as possible), metrics, and an optional
+// per-response observer.
+type WorkloadRunnerConfig = workload.RunnerConfig
+
+// WorkloadReport summarizes one firing: offered vs goodput rates,
+// status counts, latency percentiles, max in-flight, and fire-lag
+// (how far the generator fell behind its own schedule).
+type WorkloadReport = workload.Report
+
+// FireWorkload fires a schedule open-loop at a running service:
+// every request launches at its scheduled instant regardless of how
+// many are still in flight, which is what makes queueing collapse
+// observable. The returned trace records scheduled offsets, so it
+// replays on the original timeline.
+func FireWorkload(ctx context.Context, sched *WorkloadSchedule, cfg WorkloadRunnerConfig) (*WorkloadTrace, *WorkloadReport, error) {
+	return workload.Fire(ctx, sched, cfg)
+}
+
+// ReplayWorkload re-fires a recorded trace on its recorded timeline
+// (scaled by cfg.Speed) against a target service.
+func ReplayWorkload(ctx context.Context, tr *WorkloadTrace, cfg WorkloadRunnerConfig) (*WorkloadTrace, *WorkloadReport, error) {
+	return workload.Replay(ctx, tr, cfg)
+}
+
+// CompareWorkloadTraces diffs the deterministic sections of two
+// traces of the same schedule: results behind 200/4xx statuses must
+// match bit-for-bit after stripping the serving envelope (run id,
+// cache flag, timing), while load-dependent statuses (429, 503,
+// timeouts) are excluded. This is the capture/replay contract.
+func CompareWorkloadTraces(recorded, replayed *WorkloadTrace) (*workload.CompareReport, error) {
+	return workload.CompareTraces(recorded, replayed)
+}
+
+// SaturationSLO is the pass/fail criterion for one saturation trial:
+// a p99 latency bound and a maximum error rate.
+type SaturationSLO = workload.SLO
+
+// SaturationConfig configures the capacity search: target, SLO,
+// trial window, bracket bounds, and bisection depth.
+type SaturationConfig = workload.SaturationConfig
+
+// SaturationResult reports the highest offered rate that met the SLO
+// (SustainableQPS), the lowest that failed (CollapseQPS), and every
+// trial in between.
+type SaturationResult = workload.SaturationResult
+
+// FindSaturation binary-searches the maximum sustainable open-loop
+// QPS under the SLO: bracket by doubling until a trial fails, then
+// bisect. cmd/capacitygate wires this into CI as a capacity
+// regression gate.
+func FindSaturation(ctx context.Context, cfg SaturationConfig) (*SaturationResult, error) {
+	return workload.FindSaturation(ctx, cfg)
 }

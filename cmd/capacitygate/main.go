@@ -1,0 +1,191 @@
+// Command capacitygate is the CI regression gate for serving capacity:
+// it boots an in-process flagsimd, runs the open-loop saturation search
+// (internal/workload.FindSaturation) with a fixed seed and workload, and
+// fails when the sustainable QPS under the SLO has regressed more than
+// -threshold below the checked-in CAPACITY_baseline.json.
+//
+// Where benchguard gates the engine's ns/op, capacitygate gates the
+// whole serving stack end to end — admission gate, sweep pool, memo
+// cache, HTTP layer — under open-loop load, so a regression that only
+// shows up as queueing collapse (and that a closed-loop benchmark would
+// self-throttle around) still fails CI.
+//
+// Usage:
+//
+//	capacitygate                    # gate against CAPACITY_baseline.json
+//	capacitygate -update            # rewrite the baseline from this machine
+//	capacitygate -threshold 0.5     # tolerate a 50% regression (noisy runners)
+//	capacitygate -window 1s -iters 4  # faster, coarser probe
+//
+// Sustainable QPS is machine-specific, like ns/op baselines: each CI
+// runner class wants its own baseline, regenerated with -update. The
+// search ladder itself is deterministic (fixed seed, fixed workload);
+// only the measured capacity reflects the machine.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"flagsim/internal/server"
+	"flagsim/internal/workload"
+)
+
+// capacityBaseline is the CAPACITY_baseline.json schema.
+type capacityBaseline struct {
+	Note           string  `json:"note"`
+	SustainableQPS float64 `json:"sustainable_qps"`
+	P99SLONS       int64   `json:"p99_slo_ns"`
+	MaxErrorRate   float64 `json:"max_error_rate"`
+	WindowNS       int64   `json:"window_ns"`
+	Seed           uint64  `json:"seed"`
+}
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "CAPACITY_baseline.json", "baseline file")
+		update    = flag.Bool("update", false, "rewrite the baseline from the current run and exit")
+		threshold = flag.Float64("threshold", 0.20, "max tolerated fractional QPS regression vs baseline")
+		seed      = flag.Uint64("seed", 1, "workload seed (fixed for reproducible trial ladders)")
+		window    = flag.Duration("window", 2*time.Second, "per-trial schedule duration")
+		iters     = flag.Int("iters", 5, "bisection steps after bracketing")
+		loQPS     = flag.Float64("lo", 25, "starting (assumed sustainable) rate")
+		hiQPS     = flag.Float64("hi", 25000, "upper cap on the search")
+		sloP99    = flag.Duration("slo-p99", 250*time.Millisecond, "p99 latency SLO for a trial to pass")
+		sloErr    = flag.Float64("slo-err", 0.01, "max non-200 fraction for a trial to pass")
+	)
+	flag.Parse()
+
+	res, err := probe(*seed, *window, *iters, *loQPS, *hiQPS, workload.SLO{P99: *sloP99, MaxErrorRate: *sloErr})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("capacitygate: sustainable %.1f qps (collapse at %.1f) under p99<=%v err<=%.2f, %d trials\n",
+		res.SustainableQPS, res.CollapseQPS, *sloP99, *sloErr, len(res.Trials))
+	if res.SustainableQPS == 0 {
+		fatal(fmt.Errorf("nothing sustainable: even %.1f qps failed the SLO", *loQPS))
+	}
+
+	if *update {
+		b := capacityBaseline{
+			Note:           "open-loop sustainable QPS under the SLO (machine-specific); regenerate with `go run ./cmd/capacitygate -update` on the CI runner class",
+			SustainableQPS: res.SustainableQPS,
+			P99SLONS:       int64(*sloP99),
+			MaxErrorRate:   *sloErr,
+			WindowNS:       int64(*window),
+			Seed:           *seed,
+		}
+		raw, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*basePath, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("capacitygate: wrote %s (%.1f qps)\n", *basePath, res.SustainableQPS)
+		return
+	}
+
+	base, err := readBaseline(*basePath)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run `capacitygate -update` to create it)", err))
+	}
+	if base.Seed != *seed || base.WindowNS != int64(*window) {
+		fmt.Printf("capacitygate: NOTE: baseline was taken with seed %d window %v; comparing anyway\n",
+			base.Seed, time.Duration(base.WindowNS))
+	}
+	floor := base.SustainableQPS * (1 - *threshold)
+	ratio := res.SustainableQPS / base.SustainableQPS
+	fmt.Printf("capacitygate: baseline %.1f qps, floor %.1f (threshold %.0f%%), ratio %.3f\n",
+		base.SustainableQPS, floor, *threshold*100, ratio)
+	writeStepSummary(res.SustainableQPS, base.SustainableQPS, ratio, *threshold)
+	if res.SustainableQPS < floor {
+		fmt.Fprintf(os.Stderr, "capacitygate: FAIL: sustainable QPS regressed %.1f%% (%.1f -> %.1f, floor %.1f)\n",
+			(1-ratio)*100, base.SustainableQPS, res.SustainableQPS, floor)
+		os.Exit(1)
+	}
+	if ratio > 1+*threshold {
+		fmt.Printf("capacitygate: NOTE: capacity improved %.1f%% — consider `capacitygate -update` to tighten the gate\n",
+			(ratio-1)*100)
+	}
+	fmt.Println("capacitygate: ok")
+}
+
+// probe boots an in-process server on an ephemeral port and runs the
+// saturation search against it over loopback, so the gate measures the
+// serving stack, not a network.
+func probe(seed uint64, window time.Duration, iters int, lo, hi float64, slo workload.SLO) (*workload.SaturationResult, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{MaxQueue: 64})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	// Plain runs on a small raster with a modest seed space: enough cache
+	// misses that trials exercise real computes, small enough that one
+	// compute never dominates a 2s window.
+	pop := workload.Population{
+		Mix:   workload.Mix{Runs: 1},
+		Seeds: 32,
+		W:     16, H: 12,
+	}
+	return workload.FindSaturation(context.Background(), workload.SaturationConfig{
+		Target:     "http://" + ln.Addr().String(),
+		Seed:       seed,
+		Population: pop,
+		Window:     window,
+		LoQPS:      lo, HiQPS: hi,
+		Iters: iters,
+		SLO:   slo,
+		Log:   os.Stdout,
+	})
+}
+
+func readBaseline(path string) (*capacityBaseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b capacityBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.SustainableQPS <= 0 {
+		return nil, fmt.Errorf("%s: no sustainable_qps recorded", path)
+	}
+	return &b, nil
+}
+
+// writeStepSummary appends the gate's numbers to $GITHUB_STEP_SUMMARY
+// when set (GitHub Actions), mirroring benchguard.
+func writeStepSummary(current, base, ratio, threshold float64) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	fh, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	defer fh.Close()
+	fmt.Fprintf(fh, "### capacitygate\n\n")
+	fmt.Fprintf(fh, "| sustainable qps | baseline | ratio | threshold |\n|---|---|---|---|\n")
+	fmt.Fprintf(fh, "| %.1f | %.1f | %.3f | -%.0f%% |\n\n", current, base, ratio, threshold*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capacitygate:", err)
+	os.Exit(1)
+}

@@ -12,6 +12,8 @@
 //	flagsimd -max-in-flight 2 -max-queue 16 -request-timeout 30s
 //	flagsimd -log-level debug -log-format json -slow-request 500ms
 //	flagsimd -pprof-addr 127.0.0.1:6060   # optional profiling listener
+//	flagsimd -capture traffic.fswl        # record live simulation traffic
+//	                                      # (replay with: loadgen -replay traffic.fswl)
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: listeners close
 // immediately, in-flight runs get -drain-timeout to finish, and a clean
@@ -33,6 +35,7 @@ import (
 
 	"flagsim/internal/obs"
 	"flagsim/internal/server"
+	"flagsim/internal/workload"
 )
 
 func main() {
@@ -50,6 +53,7 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "structured log encoding: text or json")
 		slowReq     = flag.Duration("slow-request", time.Second, "log simulation requests slower than this at Warn (0 = off)")
 		runRing     = flag.Int("run-ring", 128, "recent runs kept for /v1/runs and trace retrieval")
+		capturePath = flag.String("capture", "", "record every simulation exchange into this workload trace file (replayable with loadgen -replay)")
 	)
 	flag.Parse()
 
@@ -61,6 +65,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	var captureDone func() error
 	cfg := server.Config{
 		Addr:           *addr,
 		MaxInFlight:    *maxInFlight,
@@ -73,6 +78,28 @@ func main() {
 		Logger:         logger,
 		SlowRequest:    *slowReq,
 		RunRingSize:    *runRing,
+	}
+	if *capturePath != "" {
+		f, err := os.Create(*capturePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flagsimd:", err)
+			os.Exit(1)
+		}
+		tw, err := workload.NewTraceWriter(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flagsimd:", err)
+			os.Exit(1)
+		}
+		cfg.Capture = workload.CaptureToTrace(tw)
+		captureDone = func() error {
+			// Serve has returned and drained, so no handler can still be
+			// feeding the writer.
+			if err := tw.Flush(); err != nil {
+				return err
+			}
+			log.Printf("flagsimd: captured %d exchanges to %s", tw.Count(), *capturePath)
+			return f.Close()
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -101,6 +128,12 @@ func main() {
 	if err := server.New(cfg).Serve(ctx, ln); err != nil {
 		fmt.Fprintln(os.Stderr, "flagsimd:", err)
 		os.Exit(1)
+	}
+	if captureDone != nil {
+		if err := captureDone(); err != nil {
+			fmt.Fprintln(os.Stderr, "flagsimd: capture:", err)
+			os.Exit(1)
+		}
 	}
 	log.Printf("flagsimd: drained cleanly")
 }

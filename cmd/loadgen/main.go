@@ -1,19 +1,31 @@
-// Command loadgen drives a running flagsimd with closed-loop load: each
-// of -concurrency workers posts a /v1/run request, waits for the reply,
-// and immediately posts the next, for -duration. It reports throughput,
-// a status-code breakdown (429s surface admission fast-fails), and a
-// latency profile (p50/p90/p99/max).
+// Command loadgen drives a running flagsimd in one of three modes:
+//
+//   - closed loop (default): each of -concurrency workers posts a
+//     /v1/run request, waits for the reply, and immediately posts the
+//     next, for -duration. Self-throttling: offered load falls as the
+//     server slows, so it measures the server near its happy path.
+//   - open loop (-open): a deterministic arrival schedule (-shape,
+//     -seed) over a mixed request population (-mix) fires at its
+//     scheduled instants regardless of response latency, so saturation
+//     shows up as latency cliffs and 429 storms instead of silently
+//     reducing the offered rate. -capture records every exchange into
+//     a replayable trace file.
+//   - replay (-replay FILE): re-fires a captured trace at -speed and
+//     verifies the deterministic response sections came back
+//     byte-identical.
 //
 // Usage:
 //
 //	loadgen -url http://127.0.0.1:8080 -concurrency 8 -duration 10s
-//	loadgen -concurrency 16 -seeds 64            # mostly cold: 64 distinct specs
-//	loadgen -concurrency 16 -seeds 1             # fully warm after the first hit
-//	loadgen -out results.json                    # machine-readable report
+//	loadgen -open -shape poisson:200 -duration 10s -capture trace.fswl
+//	loadgen -open -shape bursty:800,20,2s,0.25 -mix run=0.8,sweep=0.2
+//	loadgen -replay trace.fswl -speed 4
+//	loadgen -out results.json     # machine-readable report (latency,
+//	                              # queueing-delay, and service-time splits)
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +35,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"flagsim/internal/workload"
 )
 
 func main() {
@@ -31,49 +45,78 @@ func main() {
 		concurrency = flag.Int("concurrency", 4, "closed-loop workers")
 		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
 		flagName    = flag.String("flag", "mauritius", "flag to request")
-		scenario    = flag.Int("scenario", 4, "scenario number 1-4")
+		scenario    = flag.Int("scenario", 4, "scenario number 1-4 (open loop: 0 draws uniformly)")
 		seeds       = flag.Uint64("seeds", 1, "rotate this many distinct seeds (1 = fully cacheable)")
 		w           = flag.Int("w", 0, "raster width override")
 		h           = flag.Int("h", 0, "raster height override")
-		outPath     = flag.String("out", "", "write a JSON report (full latency histogram + per-code counts) here")
+		outPath     = flag.String("out", "", "write a JSON report (latency/queue/service histograms + per-code counts) here")
+
+		open     = flag.Bool("open", false, "open-loop mode: fire a deterministic schedule regardless of latency")
+		shapeStr = flag.String("shape", "poisson:100", "open-loop arrival shape: poisson:RATE | bursty:ON,OFF,PERIOD,DUTY | diurnal:BASE,PERIOD:AMP[,...]")
+		seed     = flag.Uint64("seed", 1, "open-loop schedule seed")
+		speed    = flag.Float64("speed", 1, "schedule time compression (0 = as fast as possible)")
+		mixStr   = flag.String("mix", "", "open-loop request mix, e.g. run=0.85,sweep=0.05,faulted=0.05,trace=0.05")
+		execsStr = flag.String("execs", "", "open-loop executor classes to rotate, comma-separated (empty = static,steal,dynamic)")
+		capture  = flag.String("capture", "", "open loop: record every exchange into this trace file")
+		replay   = flag.String("replay", "", "replay this captured trace instead of generating load")
 	)
 	flag.Parse()
-	if *concurrency < 1 || *seeds < 1 {
-		fmt.Fprintln(os.Stderr, "loadgen: -concurrency and -seeds must be >= 1")
+
+	var err error
+	switch {
+	case *replay != "":
+		err = runReplay(*baseURL, *replay, *speed, *outPath)
+	case *open:
+		err = runOpen(*baseURL, openConfig{
+			Shape: *shapeStr, Seed: *seed, Speed: *speed, Duration: *duration,
+			Mix: *mixStr, Execs: *execsStr, Flag: *flagName, Scenario: *scenario, Seeds: *seeds,
+			W: *w, H: *h, Capture: *capture, Out: *outPath,
+		})
+	default:
+		err = runClosed(*baseURL, *concurrency, *duration, *flagName, *scenario, *seeds, *w, *h, *outPath)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
+}
 
-	url := strings.TrimRight(*baseURL, "/") + "/v1/run"
-	client := &http.Client{Timeout: time.Minute}
-	deadline := time.Now().Add(*duration)
+// ---- closed loop ----
 
-	type sample struct {
-		status  int
-		latency time.Duration
+func runClosed(baseURL string, concurrency int, duration time.Duration,
+	flagName string, scenario int, seeds uint64, w, h int, outPath string) error {
+	if concurrency < 1 || seeds < 1 {
+		return fmt.Errorf("-concurrency and -seeds must be >= 1")
 	}
-	results := make([][]sample, *concurrency)
+	url := strings.TrimRight(baseURL, "/") + "/v1/run"
+	client := &http.Client{Timeout: time.Minute}
+	deadline := time.Now().Add(duration)
+
+	results := make([][]sample, concurrency)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < *concurrency; i++ {
+	for i := 0; i < concurrency; i++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
 			for n := 0; time.Now().Before(deadline); n++ {
 				// Workers own disjoint residues mod concurrency, so no two
 				// in-flight requests share a seed until the -seeds space wraps.
-				seed := (uint64(n)*uint64(*concurrency) + uint64(worker)) % *seeds
+				sd := (uint64(n)*uint64(concurrency) + uint64(worker)) % seeds
 				body := fmt.Sprintf(`{"flag":%q,"scenario":%d,"seed":%d,"w":%d,"h":%d}`,
-					*flagName, *scenario, seed, *w, *h)
+					flagName, scenario, sd, w, h)
 				t0 := time.Now()
 				resp, err := client.Post(url, "application/json", strings.NewReader(body))
-				lat := time.Since(t0)
-				status := 0
+				s := sample{latency: time.Since(t0)}
 				if err == nil {
-					io.Copy(io.Discard, resp.Body)
+					raw, _ := io.ReadAll(resp.Body)
 					resp.Body.Close()
-					status = resp.StatusCode
+					s.status = resp.StatusCode
+					if s.status == http.StatusOK {
+						s.service = parseServiceNS(raw)
+					}
 				}
-				results[worker] = append(results[worker], sample{status, lat})
+				results[worker] = append(results[worker], s)
 			}
 		}(i)
 	}
@@ -85,21 +128,180 @@ func main() {
 		all = append(all, r...)
 	}
 	if len(all) == 0 {
-		fmt.Fprintln(os.Stderr, "loadgen: no requests completed")
-		os.Exit(1)
+		return fmt.Errorf("no requests completed")
 	}
+	fmt.Printf("loadgen: %d requests in %v (%.1f req/s) at concurrency %d\n",
+		len(all), wall.Round(time.Millisecond), float64(len(all))/wall.Seconds(), concurrency)
+	printSamples(all)
+	if outPath != "" {
+		rep := buildReport(reportConfig{
+			URL: url, Mode: "closed", Concurrency: concurrency, Duration: duration,
+			Flag: flagName, Scenario: scenario, Seeds: seeds,
+		}, wall, all)
+		if err := writeReport(outPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("  report written to %s\n", outPath)
+	}
+	if !anyOK(all) {
+		return fmt.Errorf("no request succeeded")
+	}
+	return nil
+}
+
+// ---- open loop ----
+
+type openConfig struct {
+	Shape    string
+	Seed     uint64
+	Speed    float64
+	Duration time.Duration
+	Mix      string
+	Execs    string
+	Flag     string
+	Scenario int
+	Seeds    uint64
+	W, H     int
+	Capture  string
+	Out      string
+}
+
+func runOpen(baseURL string, cfg openConfig) error {
+	shape, err := workload.ParseShape(cfg.Shape)
+	if err != nil {
+		return err
+	}
+	pop := workload.Population{
+		Flags: []string{cfg.Flag}, Seeds: cfg.Seeds,
+		W: cfg.W, H: cfg.H, Scenario: cfg.Scenario,
+	}
+	if cfg.Execs != "" {
+		pop.Execs = strings.Split(cfg.Execs, ",")
+	}
+	if cfg.Mix != "" {
+		if pop.Mix, err = workload.ParseMix(cfg.Mix); err != nil {
+			return err
+		}
+	}
+	sched, err := workload.MakeSchedule(cfg.Seed, shape, cfg.Duration, pop)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: open loop, %d arrivals over %v (%s, seed %d, %.1f offered/s)\n",
+		len(sched.Arrivals), cfg.Duration, cfg.Shape, cfg.Seed, sched.OfferedQPS())
+
+	tr, rep, err := workload.Fire(context.Background(), sched, workload.RunnerConfig{
+		Target: baseURL, Speed: cfg.Speed,
+	})
+	if err != nil {
+		return err
+	}
+	printWorkloadReport(rep)
+
+	if cfg.Capture != "" {
+		if err := writeTraceFile(cfg.Capture, tr); err != nil {
+			return err
+		}
+		fmt.Printf("  trace captured to %s (%d records)\n", cfg.Capture, len(tr.Records))
+	}
+	if cfg.Out != "" {
+		out := buildReport(reportConfig{
+			URL: baseURL, Mode: "open", Duration: cfg.Duration,
+			Flag: cfg.Flag, Scenario: cfg.Scenario, Seeds: cfg.Seeds,
+			Shape: cfg.Shape, Seed: cfg.Seed, Speed: cfg.Speed,
+		}, rep.Wall, traceSamples(tr))
+		if err := writeReport(cfg.Out, out); err != nil {
+			return err
+		}
+		fmt.Printf("  report written to %s\n", cfg.Out)
+	}
+	if rep.ByCode["200"] == 0 {
+		return fmt.Errorf("no request succeeded")
+	}
+	return nil
+}
+
+// ---- replay ----
+
+func runReplay(baseURL, path string, speed float64, outPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	recorded, err := workload.DecodeTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: replaying %d recorded exchanges from %s at speed %g\n",
+		len(recorded.Records), path, speed)
+	replayed, rep, err := workload.Replay(context.Background(), recorded, workload.RunnerConfig{
+		Target: baseURL, Speed: speed,
+	})
+	if err != nil {
+		return err
+	}
+	printWorkloadReport(rep)
+	cmp, err := workload.CompareTraces(recorded, replayed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  verification: %d compared, %d skipped (load-dependent), %d mismatches\n",
+		cmp.Compared, cmp.Skipped, len(cmp.Mismatches))
+	for _, m := range cmp.Mismatches {
+		rec := &recorded.Records[m.Index]
+		fmt.Printf("    record %d (%s %s): %s\n", m.Index, rec.Method, rec.Path, m.Reason)
+	}
+	if outPath != "" {
+		out := buildReport(reportConfig{URL: baseURL, Mode: "replay", Speed: speed},
+			rep.Wall, traceSamples(replayed))
+		if err := writeReport(outPath, out); err != nil {
+			return err
+		}
+		fmt.Printf("  report written to %s\n", outPath)
+	}
+	if len(cmp.Mismatches) > 0 {
+		return fmt.Errorf("replay diverged on %d records", len(cmp.Mismatches))
+	}
+	return nil
+}
+
+// ---- shared helpers ----
+
+// traceSamples converts trace records to report samples.
+func traceSamples(tr *workload.Trace) []sample {
+	out := make([]sample, len(tr.Records))
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		out[i] = sample{status: r.Status, latency: r.Latency}
+		if r.Status == http.StatusOK {
+			out[i].service = parseServiceNS(r.Resp)
+		}
+	}
+	return out
+}
+
+func anyOK(samples []sample) bool {
+	for _, s := range samples {
+		if s.status == http.StatusOK {
+			return true
+		}
+	}
+	return false
+}
+
+// printSamples prints the per-code breakdown and the latency split.
+func printSamples(all []sample) {
 	byStatus := make(map[int]int)
-	var oks []time.Duration
+	var lat, queue, service []time.Duration
 	for _, s := range all {
 		byStatus[s.status]++
 		if s.status == http.StatusOK {
-			oks = append(oks, s.latency)
+			lat = append(lat, s.latency)
+			queue = append(queue, s.queue())
+			service = append(service, s.service)
 		}
 	}
-	sort.Slice(oks, func(i, j int) bool { return oks[i] < oks[j] })
-
-	fmt.Printf("loadgen: %d requests in %v (%.1f req/s) at concurrency %d\n",
-		len(all), wall.Round(time.Millisecond), float64(len(all))/wall.Seconds(), *concurrency)
 	var codes []int
 	for code := range byStatus {
 		codes = append(codes, code)
@@ -112,103 +314,41 @@ func main() {
 		}
 		fmt.Printf("  %-16s %d\n", label, byStatus[code])
 	}
-	if len(oks) > 0 {
+	for _, d := range [][]time.Duration{lat, queue, service} {
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	}
+	if len(lat) > 0 {
 		fmt.Printf("  latency (200s)   p50 %v  p90 %v  p99 %v  max %v\n",
-			pct(oks, 50), pct(oks, 90), pct(oks, 99), oks[len(oks)-1].Round(time.Microsecond))
-	}
-	if *outPath != "" {
-		if err := writeReport(*outPath, reportConfig{
-			URL: url, Concurrency: *concurrency, Duration: *duration,
-			Flag: *flagName, Scenario: *scenario, Seeds: *seeds,
-		}, wall, byStatus, oks); err != nil {
-			fmt.Fprintln(os.Stderr, "loadgen:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("  report written to %s\n", *outPath)
-	}
-	if byStatus[http.StatusOK] == 0 {
-		os.Exit(1)
+			pct(lat, 50), pct(lat, 90), pct(lat, 99), lat[len(lat)-1].Round(time.Microsecond))
+		fmt.Printf("  queueing delay   p50 %v  p99 %v\n", pct(queue, 50), pct(queue, 99))
+		fmt.Printf("  service time     p50 %v  p99 %v\n", pct(service, 50), pct(service, 99))
 	}
 }
 
-// latencyBucketsSeconds mirrors the server's histogram ladder so a
-// loadgen report lines up bucket-for-bucket with a /metrics scrape.
-var latencyBucketsSeconds = []float64{
-	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+func printWorkloadReport(rep *workload.Report) {
+	fmt.Printf("  offered %d in %v (%.1f/s offered, %.1f/s goodput), max in-flight %d, fire-lag p99 %v\n",
+		rep.Offered, rep.Wall.Round(time.Millisecond), rep.OfferedQPS, rep.GoodputQPS,
+		rep.MaxInFlight, rep.FireLagP99.Round(time.Microsecond))
+	var codes []string
+	for code := range rep.ByCode {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		fmt.Printf("  HTTP %-11s %d\n", code, rep.ByCode[code])
+	}
+	if rep.P99 > 0 {
+		fmt.Printf("  latency (200s)   p50 %v  p90 %v  p99 %v  max %v\n",
+			rep.P50.Round(time.Microsecond), rep.P90.Round(time.Microsecond),
+			rep.P99.Round(time.Microsecond), rep.Max.Round(time.Microsecond))
+	}
 }
 
-// reportConfig echoes the run's parameters into the report.
-type reportConfig struct {
-	URL         string        `json:"url"`
-	Concurrency int           `json:"concurrency"`
-	Duration    time.Duration `json:"duration_ns"`
-	Flag        string        `json:"flag"`
-	Scenario    int           `json:"scenario"`
-	Seeds       uint64        `json:"seeds"`
-}
-
-// histogramBucket is one cumulative latency bucket in the report.
-type histogramBucket struct {
-	LE    string `json:"le"` // upper bound in seconds; "+Inf" for the last
-	Count int    `json:"count"`
-}
-
-// report is the -out JSON document.
-type report struct {
-	Config     reportConfig      `json:"config"`
-	WallNS     int64             `json:"wall_ns"`
-	Requests   int               `json:"requests"`
-	Throughput float64           `json:"requests_per_second"`
-	ByCode     map[string]int    `json:"by_code"` // "200", "429", ...; "0" is a transport error
-	Histogram  []histogramBucket `json:"latency_histogram"`
-	P50NS      int64             `json:"p50_ns,omitempty"`
-	P90NS      int64             `json:"p90_ns,omitempty"`
-	P99NS      int64             `json:"p99_ns,omitempty"`
-	MaxNS      int64             `json:"max_ns,omitempty"`
-}
-
-// writeReport dumps the full latency distribution and per-code counts as
-// JSON. oks must be sorted ascending.
-func writeReport(path string, cfg reportConfig, wall time.Duration, byStatus map[int]int, oks []time.Duration) error {
-	total := 0
-	byCode := make(map[string]int, len(byStatus))
-	for code, n := range byStatus {
-		byCode[fmt.Sprintf("%d", code)] = n
-		total += n
-	}
-	rep := report{
-		Config: cfg, WallNS: int64(wall), Requests: total,
-		Throughput: float64(total) / wall.Seconds(), ByCode: byCode,
-	}
-	var cum int
-	for _, b := range latencyBucketsSeconds {
-		bound := time.Duration(b * float64(time.Second))
-		for cum < len(oks) && oks[cum] <= bound {
-			cum++
-		}
-		rep.Histogram = append(rep.Histogram, histogramBucket{
-			LE: fmt.Sprintf("%g", b), Count: cum,
-		})
-	}
-	rep.Histogram = append(rep.Histogram, histogramBucket{LE: "+Inf", Count: len(oks)})
-	if len(oks) > 0 {
-		rep.P50NS = int64(pct(oks, 50))
-		rep.P90NS = int64(pct(oks, 90))
-		rep.P99NS = int64(pct(oks, 99))
-		rep.MaxNS = int64(oks[len(oks)-1])
-	}
-	raw, err := json.MarshalIndent(rep, "", "  ")
+// writeTraceFile encodes the trace into path.
+func writeTraceFile(path string, tr *workload.Trace) error {
+	raw, err := workload.EncodeTrace(tr)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
-}
-
-// pct reads the p-th percentile from sorted latencies.
-func pct(sorted []time.Duration, p int) time.Duration {
-	idx := len(sorted) * p / 100
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx].Round(time.Microsecond)
+	return os.WriteFile(path, raw, 0o644)
 }

@@ -1,0 +1,177 @@
+package main
+
+// The -out report. Closed-loop latency alone is a lie under load: a
+// request that spent 900ms queued at the admission gate and 100ms
+// simulating reports the same 1s as one that simulated for 1s. The
+// server tells us the split — simulation responses carry their
+// handler-measured execution time (elapsed_ns on runs, wall_ns on
+// sweeps) — so the report separates each 200's total latency into
+// service time (what the server spent computing) and queueing delay
+// (everything else: gate wait, scheduling, network).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// sample is one completed request as the report sees it.
+type sample struct {
+	status  int
+	latency time.Duration
+	// service is the server-reported execution time; zero when the
+	// response carries none (errors, trace streams).
+	service time.Duration
+}
+
+// queue is the sample's queueing delay: total latency minus server-side
+// service time, clamped at zero (clock skew between the two measurements
+// can produce a small negative residue).
+func (s sample) queue() time.Duration {
+	if q := s.latency - s.service; q > 0 {
+		return q
+	}
+	return 0
+}
+
+// parseServiceNS extracts the server-reported execution time from a 200
+// response body: elapsed_ns on /v1/run replies, wall_ns on /v1/sweep
+// replies. Zero means the body reports none.
+func parseServiceNS(body []byte) time.Duration {
+	var env struct {
+		ElapsedNS int64 `json:"elapsed_ns"`
+		WallNS    int64 `json:"wall_ns"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		return 0
+	}
+	if env.ElapsedNS > 0 {
+		return time.Duration(env.ElapsedNS)
+	}
+	if env.WallNS > 0 {
+		return time.Duration(env.WallNS)
+	}
+	return 0
+}
+
+// latencyBucketsSeconds mirrors the server's histogram ladder so a
+// loadgen report lines up bucket-for-bucket with a /metrics scrape.
+var latencyBucketsSeconds = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// reportConfig echoes the run's parameters into the report.
+type reportConfig struct {
+	URL         string        `json:"url"`
+	Mode        string        `json:"mode"` // "closed", "open", "replay"
+	Concurrency int           `json:"concurrency,omitempty"`
+	Duration    time.Duration `json:"duration_ns"`
+	Flag        string        `json:"flag,omitempty"`
+	Scenario    int           `json:"scenario,omitempty"`
+	Seeds       uint64        `json:"seeds,omitempty"`
+	Shape       string        `json:"shape,omitempty"`
+	Seed        uint64        `json:"seed,omitempty"`
+	Speed       float64       `json:"speed,omitempty"`
+}
+
+// histogramBucket is one cumulative latency bucket in the report.
+type histogramBucket struct {
+	LE    string `json:"le"` // upper bound in seconds; "+Inf" for the last
+	Count int    `json:"count"`
+}
+
+// report is the -out JSON document. Total latency, queueing delay, and
+// service time are reported as parallel histogram/percentile triples
+// over the HTTP 200 population.
+type report struct {
+	Config     reportConfig   `json:"config"`
+	WallNS     int64          `json:"wall_ns"`
+	Requests   int            `json:"requests"`
+	Throughput float64        `json:"requests_per_second"`
+	ByCode     map[string]int `json:"by_code"` // "200", "429", ...; "0" is a transport error
+
+	Histogram        []histogramBucket `json:"latency_histogram"`
+	QueueHistogram   []histogramBucket `json:"queue_histogram"`
+	ServiceHistogram []histogramBucket `json:"service_histogram"`
+
+	P50NS int64 `json:"p50_ns"`
+	P90NS int64 `json:"p90_ns"`
+	P99NS int64 `json:"p99_ns"`
+	MaxNS int64 `json:"max_ns"`
+
+	QueueP50NS int64 `json:"queue_p50_ns"`
+	QueueP99NS int64 `json:"queue_p99_ns"`
+
+	ServiceP50NS int64 `json:"service_p50_ns"`
+	ServiceP99NS int64 `json:"service_p99_ns"`
+}
+
+// histogram renders sorted durations onto the shared bucket ladder.
+func histogram(sorted []time.Duration) []histogramBucket {
+	var out []histogramBucket
+	var cum int
+	for _, b := range latencyBucketsSeconds {
+		bound := time.Duration(b * float64(time.Second))
+		for cum < len(sorted) && sorted[cum] <= bound {
+			cum++
+		}
+		out = append(out, histogramBucket{LE: fmt.Sprintf("%g", b), Count: cum})
+	}
+	return append(out, histogramBucket{LE: "+Inf", Count: len(sorted)})
+}
+
+// buildReport aggregates samples into the report document.
+func buildReport(cfg reportConfig, wall time.Duration, samples []sample) *report {
+	byCode := make(map[string]int)
+	var lat, queue, service []time.Duration
+	for _, s := range samples {
+		byCode[fmt.Sprintf("%d", s.status)]++
+		if s.status == 200 {
+			lat = append(lat, s.latency)
+			queue = append(queue, s.queue())
+			service = append(service, s.service)
+		}
+	}
+	for _, d := range [][]time.Duration{lat, queue, service} {
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	}
+	rep := &report{
+		Config: cfg, WallNS: int64(wall), Requests: len(samples),
+		Throughput:       float64(len(samples)) / wall.Seconds(),
+		ByCode:           byCode,
+		Histogram:        histogram(lat),
+		QueueHistogram:   histogram(queue),
+		ServiceHistogram: histogram(service),
+	}
+	if len(lat) > 0 {
+		rep.P50NS = int64(pct(lat, 50))
+		rep.P90NS = int64(pct(lat, 90))
+		rep.P99NS = int64(pct(lat, 99))
+		rep.MaxNS = int64(lat[len(lat)-1])
+		rep.QueueP50NS = int64(pct(queue, 50))
+		rep.QueueP99NS = int64(pct(queue, 99))
+		rep.ServiceP50NS = int64(pct(service, 50))
+		rep.ServiceP99NS = int64(pct(service, 99))
+	}
+	return rep
+}
+
+// writeReport dumps the report as indented JSON.
+func writeReport(path string, rep *report) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// pct reads the p-th percentile from sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(time.Microsecond)
+}

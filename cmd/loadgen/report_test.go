@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestReportSchema pins the -out document's shape: downstream tooling
+// (and the E37 experiment scripts) key on these exact field names, so a
+// rename or removal must fail a test, not a dashboard.
+func TestReportSchema(t *testing.T) {
+	samples := []sample{
+		{status: 200, latency: 100 * time.Millisecond, service: 40 * time.Millisecond},
+		{status: 200, latency: 10 * time.Millisecond, service: 8 * time.Millisecond},
+		{status: 200, latency: 500 * time.Millisecond, service: 20 * time.Millisecond},
+		{status: 429, latency: time.Millisecond},
+		{status: 0, latency: time.Millisecond},
+	}
+	rep := buildReport(reportConfig{
+		URL: "http://x", Mode: "closed", Concurrency: 2,
+		Duration: time.Second, Flag: "mauritius", Scenario: 4, Seeds: 8,
+	}, 2*time.Second, samples)
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for k := range doc {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{
+		"by_code", "config",
+		"latency_histogram", "max_ns",
+		"p50_ns", "p90_ns", "p99_ns",
+		"queue_histogram", "queue_p50_ns", "queue_p99_ns",
+		"requests", "requests_per_second",
+		"service_histogram", "service_p50_ns", "service_p99_ns",
+		"wall_ns",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("report schema changed:\ngot  %v\nwant %v", got, want)
+	}
+
+	// The key set must not depend on the values: warm-cache traffic
+	// reports service time 0 (cache hits skip the engine), and those
+	// keys still have to be there for tooling to read the zero.
+	warm, err := json.Marshal(buildReport(reportConfig{URL: "http://x", Mode: "closed"},
+		time.Second, []sample{{status: 200, latency: time.Millisecond}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warmDoc map[string]json.RawMessage
+	if err := json.Unmarshal(warm, &warmDoc); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range want {
+		if _, ok := warmDoc[k]; !ok {
+			t.Fatalf("all-warm report (service 0) lost key %q", k)
+		}
+	}
+
+	var cfg map[string]any
+	if err := json.Unmarshal(doc["config"], &cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"url", "mode", "concurrency", "duration_ns", "flag", "scenario", "seeds"} {
+		if _, ok := cfg[k]; !ok {
+			t.Fatalf("config lost field %q: %v", k, cfg)
+		}
+	}
+}
+
+// TestReportSeparatesQueueFromService checks the split's arithmetic:
+// queue = latency - service (clamped at zero), and the three percentile
+// families are computed over their own distributions, not each other's.
+func TestReportSeparatesQueueFromService(t *testing.T) {
+	// All 200s: 100ms total with 10ms service -> 90ms queued. One sample
+	// has service > latency (clock skew shape) and must clamp to 0.
+	samples := []sample{
+		{status: 200, latency: 100 * time.Millisecond, service: 10 * time.Millisecond},
+		{status: 200, latency: 100 * time.Millisecond, service: 10 * time.Millisecond},
+		{status: 200, latency: 5 * time.Millisecond, service: 6 * time.Millisecond},
+	}
+	rep := buildReport(reportConfig{Mode: "open"}, time.Second, samples)
+
+	if rep.P50NS != int64(100*time.Millisecond) {
+		t.Fatalf("latency p50 %v", time.Duration(rep.P50NS))
+	}
+	if rep.ServiceP50NS != int64(10*time.Millisecond) {
+		t.Fatalf("service p50 %v", time.Duration(rep.ServiceP50NS))
+	}
+	if rep.QueueP50NS != int64(90*time.Millisecond) {
+		t.Fatalf("queue p50 %v, want latency minus service", time.Duration(rep.QueueP50NS))
+	}
+	if q := (sample{latency: 5 * time.Millisecond, service: 6 * time.Millisecond}).queue(); q != 0 {
+		t.Fatalf("negative residue must clamp to 0, got %v", q)
+	}
+	if rep.ByCode["200"] != 3 || rep.Requests != 3 {
+		t.Fatalf("counts: %+v", rep)
+	}
+
+	// Histograms cover only the 200 population and end at its size.
+	for _, hist := range [][]histogramBucket{rep.Histogram, rep.QueueHistogram, rep.ServiceHistogram} {
+		if hist[len(hist)-1].LE != "+Inf" || hist[len(hist)-1].Count != 3 {
+			t.Fatalf("histogram tail %+v", hist[len(hist)-1])
+		}
+	}
+}
+
+func TestParseServiceNS(t *testing.T) {
+	cases := []struct {
+		body string
+		want time.Duration
+	}{
+		{`{"run_id":"x","elapsed_ns":12345,"result":{}}`, 12345},
+		{`{"count":2,"wall_ns":777,"runs":[]}`, 777},
+		{`{"traceEvents":[]}`, 0},
+		{`not json`, 0},
+	}
+	for _, c := range cases {
+		if got := parseServiceNS([]byte(c.body)); got != c.want {
+			t.Fatalf("parseServiceNS(%q) = %v, want %v", c.body, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+// Generator-side load metrics. A load generator has its own vital signs,
+// distinct from the server's: offered vs completed tell you whether the
+// open loop actually offered what the schedule promised, goodput is the
+// 200-only completion rate the saturation analyzer gates on, in-flight
+// high-water shows queueing collapse from the client's side, and fire
+// lag — how late each request fired relative to its schedule — is the
+// self-check that the generator itself was not the bottleneck (a lagging
+// generator silently degrades an open loop back into a closed one).
+
+import "time"
+
+// LoadgenMetrics is the family set a workload runner feeds. Register one
+// per registry; the runner updates it, and WriteText exposes it next to
+// whatever else the registry carries.
+type LoadgenMetrics struct {
+	// Offered counts requests fired (scheduled arrivals actually sent).
+	Offered *Counter
+	// Responses counts completions by status code ("0" is a transport
+	// error).
+	Responses *CounterVec
+	// Goodput counts HTTP 200 completions.
+	Goodput *Counter
+	// InFlight is the current number of outstanding requests.
+	InFlight *Gauge
+	// InFlightMax is the high-water mark of InFlight.
+	InFlightMax *Gauge
+	// Latency observes completed-request wall time.
+	Latency *Histogram
+	// FireLag observes how late each request fired relative to its
+	// scheduled instant.
+	FireLag *Histogram
+}
+
+// NewLoadgenMetrics registers the generator families on reg under the
+// flagsim_workload_* prefix.
+func NewLoadgenMetrics(reg *Registry) *LoadgenMetrics {
+	return &LoadgenMetrics{
+		Offered: reg.Counter("flagsim_workload_offered_total",
+			"Requests the open-loop generator fired."),
+		Responses: reg.CounterVec("flagsim_workload_responses_total",
+			"Responses observed by the generator, by status code (0 = transport error).", "code"),
+		Goodput: reg.Counter("flagsim_workload_goodput_total",
+			"HTTP 200 responses observed by the generator."),
+		InFlight: reg.Gauge("flagsim_workload_in_flight",
+			"Requests currently outstanding at the generator."),
+		InFlightMax: reg.Gauge("flagsim_workload_in_flight_max",
+			"High-water mark of outstanding requests."),
+		Latency: reg.Histogram("flagsim_workload_latency_seconds",
+			"Completed-request wall time observed by the generator.", DefaultLatencyBuckets),
+		FireLag: reg.Histogram("flagsim_workload_fire_lag_seconds",
+			"How late each request fired relative to its scheduled instant.", DefaultLatencyBuckets),
+	}
+}
+
+// Fired records one request leaving the generator, lag behind schedule
+// included.
+func (m *LoadgenMetrics) Fired(lag time.Duration) {
+	m.Offered.Inc()
+	m.InFlight.Add(1)
+	m.InFlightMax.SetMax(m.InFlight.Value())
+	if lag < 0 {
+		lag = 0
+	}
+	m.FireLag.ObserveDuration(lag)
+}
+
+// Completed records one response (or transport failure, status 0).
+func (m *LoadgenMetrics) Completed(status string, latency time.Duration) {
+	m.InFlight.Add(-1)
+	m.Responses.With(status).Inc()
+	if status == "200" {
+		m.Goodput.Inc()
+	}
+	m.Latency.ObserveDuration(latency)
+}

@@ -85,6 +85,15 @@ func (s *Stream) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1) via
+// inversion. Dividing by a rate λ yields Exp(λ) interarrival gaps, which
+// is how the workload generator builds Poisson arrival processes; the
+// 1-Float64 argument keeps the log argument in (0, 1] so the result is
+// always finite.
+func (s *Stream) ExpFloat64() float64 {
+	return -math.Log(1 - s.Float64())
+}
+
 // NormFloat64 returns a standard normal variate using the polar
 // (Marsaglia) method.
 func (s *Stream) NormFloat64() float64 {

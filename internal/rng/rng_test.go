@@ -98,6 +98,23 @@ func TestFloat64Mean(t *testing.T) {
 	}
 }
 
+func TestExpFloat64Moments(t *testing.T) {
+	s := New(11)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("exponential variate %v out of range", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v too far from 1", mean)
+	}
+}
+
 func TestNormFloat64Moments(t *testing.T) {
 	s := New(6)
 	const n = 100000

@@ -31,9 +31,11 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -83,6 +85,31 @@ type Config struct {
 	// RunRingSize bounds the in-memory ring of recent run summaries that
 	// backs /v1/runs and the trace endpoint; default 128.
 	RunRingSize int
+	// Capture, when non-nil, receives every simulation request/response
+	// exchange (the /v1/run and /v1/sweep POST surface) after the
+	// response is written — the hook live traffic is recorded through
+	// (see internal/workload's trace format and flagsimd -capture). The
+	// hook runs on the request goroutine and may be called concurrently;
+	// it must be goroutine-safe and should return quickly.
+	Capture func(CapturedExchange)
+}
+
+// CapturedExchange is one request/response pair handed to the Capture
+// hook: everything needed to replay the call and verify the response,
+// nothing tied to the live connection.
+type CapturedExchange struct {
+	// At is the request's arrival offset from server start, so a capture
+	// preserves the live traffic's temporal shape.
+	At time.Duration
+	// Method and Path identify the call; Path includes the query string
+	// ("/v1/run?trace=chrome").
+	Method, Path string
+	// Status is the HTTP status the handler wrote.
+	Status int
+	// ReqBody and RespBody are the full request and response bodies.
+	ReqBody, RespBody []byte
+	// Latency is the handler's wall time.
+	Latency time.Duration
 }
 
 // withDefaults resolves the zero values.
@@ -173,15 +200,24 @@ func (s *Server) Sweeper() *sweep.Sweeper { return s.sweeper }
 // embedding additional families before serving.
 func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
-// statusRecorder captures the status code a handler wrote.
+// statusRecorder captures the status code a handler wrote and, when the
+// capture hook is armed, tees the response body.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	body   *bytes.Buffer
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.body != nil {
+		r.body.Write(p)
+	}
+	return r.ResponseWriter.Write(p)
 }
 
 // reqInfo is the per-request scratchpad handlers fill so the instrument
@@ -229,10 +265,32 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
 		w.Header().Set("X-Run-ID", id)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		// Capture tees the exchange: the request body is read up front
+		// (and handed back to the handler as a fresh reader), the
+		// response body through the recorder. The bound mirrors
+		// decodeJSON's MaxBytesReader, so the handler sees the same
+		// bytes it would have read itself.
+		capture := s.cfg.Capture != nil && simEndpoint(endpoint) && r.Method == http.MethodPost
+		var reqBody []byte
+		if capture {
+			reqBody, _ = io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			r.Body = io.NopCloser(bytes.NewReader(reqBody))
+			rec.body = &bytes.Buffer{}
+		}
 		pprof.Do(ctx, pprof.Labels("run_id", id, "endpoint", endpoint), func(ctx context.Context) {
 			h(rec, r.WithContext(ctx))
 		})
 		elapsed := time.Since(start)
+		if capture {
+			s.cfg.Capture(CapturedExchange{
+				At:      start.Sub(s.metrics.start),
+				Method:  r.Method,
+				Path:    r.URL.RequestURI(),
+				Status:  rec.status,
+				ReqBody: reqBody, RespBody: rec.body.Bytes(),
+				Latency: elapsed,
+			})
+		}
 
 		s.metrics.requests.With(endpoint, strconv.Itoa(rec.status)).Inc()
 		switch endpoint {

@@ -1,0 +1,39 @@
+package workload
+
+// Bridging live flagsimd traffic into the trace format: the server's
+// Capture hook fires once per simulation exchange on the request
+// goroutine, concurrently; the adapter serializes those into a
+// TraceWriter so a capture file is a valid, replayable trace of
+// whatever real clients did to the service.
+
+import (
+	"sync"
+
+	"flagsim/internal/server"
+)
+
+// CaptureToTrace adapts a TraceWriter into a server.Config.Capture hook.
+// The returned function is goroutine-safe; records land in completion
+// order (the order responses were written, which is the order a replay
+// can meaningfully verify against).
+func CaptureToTrace(tw *TraceWriter) func(server.CapturedExchange) {
+	var mu sync.Mutex
+	return func(ex server.CapturedExchange) {
+		rec := Record{
+			At:      ex.At,
+			Latency: ex.Latency,
+			Status:  ex.Status,
+			Kind:    InferKind(ex.Path, ex.ReqBody),
+			Method:  ex.Method,
+			Path:    ex.Path,
+			Body:    ex.ReqBody,
+			Resp:    ex.RespBody,
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		// A record the format cannot hold (oversized body) is dropped
+		// rather than poisoning the stream; Write only fails persistently
+		// when the underlying writer does.
+		_ = tw.Write(&rec)
+	}
+}

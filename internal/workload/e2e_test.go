@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"flagsim/internal/server"
+)
+
+// liveServer boots a real flagsim service (full handler stack, gate,
+// sweep pool, memo cache) on an ephemeral listener.
+func liveServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// smallPop keeps e2e runs cheap: tiny rasters, a few seeds, every kind
+// represented.
+func smallPop() Population {
+	return Population{Seeds: 3, W: 8, H: 6}
+}
+
+// TestCaptureReplayBitForBit is the end-to-end determinism proof: live
+// traffic against a real flagsimd handler stack is captured through the
+// server hook into the wire format, decoded, replayed against a second
+// fresh server, and every deterministic response section must come back
+// byte-identical.
+func TestCaptureReplayBitForBit(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := liveServer(t, server.Config{
+		MaxInFlight: 4, MaxQueue: 4096, // generous gate: this test is about determinism, not overload
+		Capture: CaptureToTrace(tw),
+	})
+
+	sched := schedule(t, 11, Poisson{RatePerSec: 300}, 400*time.Millisecond, smallPop())
+	_, rep, err := Fire(context.Background(), sched, RunnerConfig{Target: ts.URL}) // AFAP
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByCode["200"] != rep.Offered {
+		t.Fatalf("expected every request to succeed under a generous gate, got %v", rep.ByCode)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	captured, err := DecodeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("capture file does not decode: %v", err)
+	}
+	if len(captured.Records) != rep.Offered {
+		t.Fatalf("captured %d exchanges, fired %d", len(captured.Records), rep.Offered)
+	}
+
+	// Replay against a brand-new server: fresh cache, fresh pool, fresh
+	// run IDs. Only the deterministic result sections can match — and
+	// they all must.
+	_, ts2 := liveServer(t, server.Config{MaxInFlight: 4, MaxQueue: 4096})
+	replayed, _, err := Replay(context.Background(), captured, RunnerConfig{Target: ts2.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := CompareTraces(captured, replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Identical() {
+		for _, m := range cmp.Mismatches {
+			rec := &captured.Records[m.Index]
+			t.Errorf("record %d (%s %s): %s", m.Index, rec.Method, rec.Path, m.Reason)
+		}
+		t.Fatalf("replay diverged: %d compared, %d skipped, %d mismatches",
+			cmp.Compared, cmp.Skipped, len(cmp.Mismatches))
+	}
+	if cmp.Compared == 0 {
+		t.Fatal("nothing compared")
+	}
+}
+
+// TestReplaySpeedInvariant fires the identical schedule at two different
+// replay speeds and requires byte-identical deterministic results: speed
+// affects when requests fire, never what they compute.
+func TestReplaySpeedInvariant(t *testing.T) {
+	_, ts := liveServer(t, server.Config{MaxInFlight: 4, MaxQueue: 4096})
+	sched := schedule(t, 23, Bursty{OnRate: 400, OffRate: 20, Period: 200 * time.Millisecond, Duty: 0.4},
+		400*time.Millisecond, smallPop())
+
+	afap, _, err := Fire(context.Background(), sched, RunnerConfig{Target: ts.URL, Speed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paced, _, err := Fire(context.Background(), sched, RunnerConfig{Target: ts.URL, Speed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := CompareTraces(afap, paced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Identical() {
+		t.Fatalf("same schedule at different speeds diverged: %+v", cmp.Mismatches)
+	}
+
+	// The request side of both traces must be byte-identical: same
+	// scheduled offsets, same methods, paths, and bodies. (Responses
+	// carry the serving envelope — run IDs, elapsed times — which
+	// CompareTraces above already handled by signature.)
+	reqOnly := func(tr *Trace) *Trace {
+		out := &Trace{Records: make([]Record, len(tr.Records))}
+		for i, r := range tr.Records {
+			out.Records[i] = Record{At: r.At, Kind: r.Kind, Method: r.Method, Path: r.Path, Body: r.Body}
+		}
+		return out
+	}
+	a, err := EncodeTrace(reqOnly(afap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeTrace(reqOnly(paced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("request-side traces are not byte-identical across speeds")
+	}
+}
+
+// TestCapturedTraceIsSeekable decodes a live capture with the skip path
+// only, proving captures index in O(records) without payload parsing.
+func TestCapturedTraceIsSeekable(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := liveServer(t, server.Config{MaxInFlight: 2, MaxQueue: 4096, Capture: CaptureToTrace(tw)})
+	sched := schedule(t, 5, Poisson{RatePerSec: 150}, 200*time.Millisecond, smallPop())
+	if _, _, err := Fire(context.Background(), sched, RunnerConfig{Target: ts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewTraceReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skips := 0
+	for r.Skip() == nil {
+		skips++
+	}
+	if skips != tw.Count() {
+		t.Fatalf("skipped %d records, writer wrote %d", skips, tw.Count())
+	}
+}

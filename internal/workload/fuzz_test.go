@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzTraceDecode drives the trace decoder with arbitrary bytes and
+// enforces its three contracts: it never panics, it rejects malformed
+// input with an error wrapping ErrTraceFormat, and any input it accepts
+// re-encodes to the identical byte string (the format is canonical).
+func FuzzTraceDecode(f *testing.F) {
+	// Seed with a real trace, its prefixes, and light corruptions so the
+	// fuzzer starts at the interesting boundaries instead of random noise.
+	valid, err := EncodeTrace(&Trace{Records: []Record{
+		{At: time.Millisecond, Latency: time.Microsecond, Status: 200, Kind: KindRun,
+			Method: "POST", Path: "/v1/run", Body: []byte(`{"flag":"mauritius"}`), Resp: []byte(`{"result":{}}`)},
+		{At: 2 * time.Millisecond, Status: 429, Kind: KindSweep,
+			Method: "POST", Path: "/v1/sweep", Resp: []byte("busy")},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:8])                      // bare header
+	f.Add(valid[:len(valid)/2])           // mid-record truncation
+	f.Add([]byte{})                       // empty
+	f.Add([]byte("FSWL"))                 // short header
+	f.Add([]byte("NOPE\x01\x00\x00\x00")) // wrong magic
+	flipped := append([]byte(nil), valid...)
+	flipped[20] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrTraceFormat) {
+				t.Fatalf("rejection %v does not wrap ErrTraceFormat", err)
+			}
+			return
+		}
+		// Accepted: the canonical re-encoding must reproduce the input.
+		out, err := EncodeTrace(tr)
+		if err != nil {
+			t.Fatalf("decoded trace failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode->encode not byte-identical:\nin  %x\nout %x", data, out)
+		}
+		// The skip path must agree with the parse path on record count.
+		r, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("reader rejected input the decoder accepted: %v", err)
+		}
+		skips := 0
+		for {
+			if err := r.Skip(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("skip failed on accepted input: %v", err)
+			}
+			skips++
+		}
+		if skips != len(tr.Records) {
+			t.Fatalf("skip saw %d records, decode saw %d", skips, len(tr.Records))
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"flagsim/internal/implement"
+	"flagsim/internal/server"
+	"flagsim/internal/sweep"
+)
+
+// TestOverloadShedsWithoutCorruption drives an open-loop burst far past
+// the admission gate (MaxInFlight 1, MaxQueue 2) and pins the three
+// overload guarantees: rejected requests get 429 with a Retry-After
+// hint, every accepted request still returns the exact deterministic
+// result an independent library run computes (shedding never corrupts
+// accepted work), and the sweep pool drains back to zero afterwards.
+func TestOverloadShedsWithoutCorruption(t *testing.T) {
+	// On a single P the whole burst can serialize — each client's round
+	// trip finishes before the next client dials, and the gate never
+	// sees two requests at once. Real deployments run multi-threaded;
+	// give the test the same property so the burst genuinely overlaps.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	const n = 40
+	srv, ts := liveServer(t, server.Config{
+		MaxInFlight: 1, MaxQueue: 2,
+		RetryAfter: 2 * time.Second,
+	})
+
+	// Rotating seeds on a non-trivial raster defeat the memo cache, so
+	// each accepted request really computes under contention.
+	sched := &Schedule{Shape: "overload-burst"}
+	for i := 0; i < n; i++ {
+		sched.Arrivals = append(sched.Arrivals, Arrival{Req: Request{
+			Kind: KindRun, Method: http.MethodPost, Path: "/v1/run",
+			Body: []byte(fmt.Sprintf(`{"w":40,"h":30,"seed":%d}`, i)),
+		}})
+	}
+	sched.Duration = time.Millisecond
+
+	var mu sync.Mutex
+	retryAfter := make(map[int]string)
+	tr, rep, err := Fire(context.Background(), sched, RunnerConfig{
+		Target: ts.URL, // AFAP: the whole burst lands on a 3-slot gate at once
+		Observe: func(i, status int, h http.Header) {
+			if status == http.StatusTooManyRequests {
+				mu.Lock()
+				retryAfter[i] = h.Get("Retry-After")
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByCode["429"] == 0 {
+		t.Fatalf("no shedding under a %dx burst on a 3-slot gate: by_code %v", n, rep.ByCode)
+	}
+	if rep.ByCode["200"] == 0 {
+		t.Fatalf("nothing accepted: by_code %v", rep.ByCode)
+	}
+	if rep.ByCode["200"]+rep.ByCode["429"] != n {
+		t.Fatalf("unexpected statuses under overload: %v", rep.ByCode)
+	}
+
+	// Every 429 must carry the configured backoff hint.
+	mu.Lock()
+	if len(retryAfter) != rep.ByCode["429"] {
+		t.Fatalf("observe hook saw %d rejections, report counted %d", len(retryAfter), rep.ByCode["429"])
+	}
+	for i, v := range retryAfter {
+		if v != "2" {
+			t.Fatalf("429 for request %d: Retry-After %q, want \"2\"", i, v)
+		}
+	}
+	mu.Unlock()
+
+	// Accepted responses must match an independent, unloaded computation
+	// of the same spec byte-for-byte.
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if rec.Status != http.StatusOK {
+			continue
+		}
+		got, err := ResultSignature(rec)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		spec := sweep.Spec{
+			Flag: "mauritius", W: 40, H: 30, Seed: uint64(i),
+			Kind: mustKind(t, "thick-marker"),
+		}
+		res, err := spec.RunOnce(context.Background())
+		if err != nil {
+			t.Fatalf("reference run %d: %v", i, err)
+		}
+		want, err := json.Marshal(server.NewSimResult(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("request %d accepted under overload returned a corrupted result:\ngot  %s\nwant %s", i, got, want)
+		}
+	}
+
+	// The pool must drain: no leaked work after the burst completes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		running, queued := srv.Sweeper().PoolDepth()
+		if running == 0 && queued == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never drained: running %d queued %d", running, queued)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func mustKind(t *testing.T, name string) implement.Kind {
+	t.Helper()
+	k, err := implement.ParseKind(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}

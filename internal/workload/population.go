@@ -1,0 +1,163 @@
+package workload
+
+// The mixed request population. Each arrival draws a request kind from
+// the mix weights and then the request's parameters (flag, scenario,
+// executor, seed) from the same labeled stream, producing canonical JSON
+// bodies — fmt-built, field order fixed — so a drawn request is a stable
+// byte string, which is what makes captured traces and schedule
+// determinism byte-exact rather than merely semantically equal.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mix weights the four request kinds in the population. Weights are
+// relative, not normalized; a zero weight removes the kind.
+type Mix struct {
+	Runs, Sweeps, FaultedRuns, TraceRuns float64
+}
+
+// DefaultMix is mostly plain runs with a thin tail of expensive batch,
+// faulted, and trace requests — the shape of real mixed traffic where
+// heavy requests are rare but never absent.
+var DefaultMix = Mix{Runs: 0.85, Sweeps: 0.05, FaultedRuns: 0.05, TraceRuns: 0.05}
+
+// ParseMix parses "run=0.8,sweep=0.1,faulted=0.05,trace=0.05".
+func ParseMix(s string) (Mix, error) {
+	m := Mix{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("workload: mix term %q wants kind=weight", part)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(v, "%g", &w); err != nil || w < 0 {
+			return m, fmt.Errorf("workload: mix weight %q must be a non-negative number", v)
+		}
+		switch k {
+		case "run":
+			m.Runs = w
+		case "sweep":
+			m.Sweeps = w
+		case "faulted":
+			m.FaultedRuns = w
+		case "trace":
+			m.TraceRuns = w
+		default:
+			return m, fmt.Errorf("workload: unknown mix kind %q (run, sweep, faulted, trace)", k)
+		}
+	}
+	return m, nil
+}
+
+// Population parameterizes the request space the mix draws from.
+type Population struct {
+	// Mix weights the request kinds; the zero Mix means DefaultMix.
+	Mix Mix
+	// Flags are the flag names to rotate through; empty means
+	// ["mauritius"].
+	Flags []string
+	// Execs are the executor classes drawn runs rotate through; empty
+	// means all three ("static", "steal", "dynamic").
+	Execs []string
+	// Seeds is the size of the per-kind seed space requests rotate
+	// through: 1 keeps every drawn spec identical (fully cacheable),
+	// larger values force cold computes. 0 means 1.
+	Seeds uint64
+	// W, H override the raster size on drawn run requests when positive.
+	W, H int
+	// Scenario fixes the scenario for drawn runs when 1-4; 0 draws
+	// uniformly from scenarios 1-4.
+	Scenario int
+}
+
+// withDefaults resolves the zero values.
+func (p Population) withDefaults() Population {
+	if p.Mix == (Mix{}) {
+		p.Mix = DefaultMix
+	}
+	if len(p.Flags) == 0 {
+		p.Flags = []string{"mauritius"}
+	}
+	if len(p.Execs) == 0 {
+		p.Execs = []string{"static", "steal", "dynamic"}
+	}
+	if p.Seeds == 0 {
+		p.Seeds = 1
+	}
+	return p
+}
+
+func (p Population) validate() error {
+	p = p.withDefaults()
+	if p.Mix.Runs < 0 || p.Mix.Sweeps < 0 || p.Mix.FaultedRuns < 0 || p.Mix.TraceRuns < 0 {
+		return fmt.Errorf("workload: mix weights must be non-negative")
+	}
+	if p.Mix.Runs+p.Mix.Sweeps+p.Mix.FaultedRuns+p.Mix.TraceRuns <= 0 {
+		return fmt.Errorf("workload: mix weights sum to zero")
+	}
+	if p.Scenario < 0 || p.Scenario > 4 {
+		return fmt.Errorf("workload: scenario %d out of range 0-4", p.Scenario)
+	}
+	for _, f := range p.Flags {
+		if f == "" {
+			return fmt.Errorf("workload: empty flag name in population")
+		}
+	}
+	for _, e := range p.Execs {
+		switch e {
+		case "static", "steal", "dynamic":
+		default:
+			return fmt.Errorf("workload: unknown exec %q in population (static, steal, dynamic)", e)
+		}
+	}
+	return nil
+}
+
+// drawStream is the subset of rng.Stream the population consumes; a
+// concrete *rng.Stream always satisfies it.
+type drawStream interface {
+	Pick(weights []float64) int
+	Intn(n int) int
+	Uint64() uint64
+}
+
+// draw materializes one request from the population using s. The draw
+// sequence per request is fixed (kind, flag, scenario, executor, seed)
+// regardless of which kind was picked, so every request consumes the
+// same number of variates and the i-th request of a schedule is
+// independent of what kinds preceded it.
+func (p Population) draw(s drawStream) Request {
+	p = p.withDefaults()
+	kind := Kind(s.Pick([]float64{p.Mix.Runs, p.Mix.Sweeps, p.Mix.FaultedRuns, p.Mix.TraceRuns}))
+	flag := p.Flags[s.Intn(len(p.Flags))]
+	scenario := p.Scenario
+	if scenario == 0 {
+		scenario = 1 + s.Intn(4)
+	}
+	exec := p.Execs[s.Intn(len(p.Execs))]
+	seed := s.Uint64() % p.Seeds
+
+	var body string
+	path := "/v1/run"
+	switch kind {
+	case KindSweep:
+		// A small two-seed grid: batch-shaped without being so large
+		// that one sweep dominates a trial's latency distribution.
+		path = "/v1/sweep"
+		body = fmt.Sprintf(`{"base":{"exec":%q,"flag":%q,"scenario":%d,"seed":%d,"w":%d,"h":%d},"seeds":[%d,%d]}`,
+			exec, flag, scenario, seed, p.W, p.H, seed, seed+1)
+	case KindFaultedRun:
+		body = fmt.Sprintf(`{"exec":%q,"flag":%q,"scenario":%d,"seed":%d,"w":%d,"h":%d,"faults":{"preset":"light","seed":%d}}`,
+			exec, flag, scenario, seed, p.W, p.H, seed)
+	case KindTraceRun:
+		path = "/v1/run?trace=chrome"
+		body = fmt.Sprintf(`{"exec":%q,"flag":%q,"scenario":%d,"seed":%d,"w":%d,"h":%d}`,
+			exec, flag, scenario, seed, p.W, p.H)
+	default:
+		body = fmt.Sprintf(`{"exec":%q,"flag":%q,"scenario":%d,"seed":%d,"w":%d,"h":%d}`,
+			exec, flag, scenario, seed, p.W, p.H)
+	}
+	return Request{Kind: kind, Method: "POST", Path: path, Body: []byte(body)}
+}

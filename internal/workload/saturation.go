@@ -1,0 +1,191 @@
+package workload
+
+// The saturation analyzer: binary-search the maximum offered rate the
+// service sustains under an SLO. Each trial builds a fresh deterministic
+// Poisson schedule at the candidate rate (per-trial seeds derived with
+// SplitLabeled so trial i's schedule never depends on how many trials
+// ran before it), fires it open-loop, and judges the report against the
+// SLO. The search first doubles upward from LoQPS until a trial fails
+// (or HiQPS caps it), then bisects the passing/failing bracket Iters
+// times. The result is the knee a closed-loop generator cannot see: the
+// last offered rate where p99 holds and the error budget survives.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// SLO is the pass criterion for one saturation trial.
+type SLO struct {
+	// P99 bounds the 99th-percentile latency of HTTP 200 responses.
+	P99 time.Duration
+	// MaxErrorRate bounds the non-200 fraction of offered requests
+	// (429s, transport failures, everything that is not a success).
+	MaxErrorRate float64
+}
+
+// SaturationConfig parameterizes a search.
+type SaturationConfig struct {
+	// Target is the base URL of the service under test.
+	Target string
+	// Seed anchors every trial's schedule.
+	Seed uint64
+	// Population is the request mix trials draw from.
+	Population Population
+	// Window is each trial's schedule duration.
+	Window time.Duration
+	// LoQPS is the starting (assumed sustainable) rate; HiQPS caps the
+	// upward expansion. Defaults: 10 and 50000.
+	LoQPS, HiQPS float64
+	// Iters is the number of bisection steps after bracketing; default 6.
+	Iters int
+	// SLO judges each trial. Zero P99 defaults to 250ms; zero
+	// MaxErrorRate defaults to 0.01.
+	SLO SLO
+	// Client issues the requests; nil uses DefaultClient.
+	Client *http.Client
+	// Log, when non-nil, receives one line per trial.
+	Log io.Writer
+}
+
+func (c SaturationConfig) withDefaults() SaturationConfig {
+	if c.Window <= 0 {
+		c.Window = 2 * time.Second
+	}
+	if c.LoQPS <= 0 {
+		c.LoQPS = 10
+	}
+	if c.HiQPS <= 0 {
+		c.HiQPS = 50000
+	}
+	if c.Iters <= 0 {
+		c.Iters = 6
+	}
+	if c.SLO.P99 <= 0 {
+		c.SLO.P99 = 250 * time.Millisecond
+	}
+	if c.SLO.MaxErrorRate <= 0 {
+		c.SLO.MaxErrorRate = 0.01
+	}
+	return c
+}
+
+// Trial is one probe at a candidate rate.
+type Trial struct {
+	QPS    float64
+	Report *Report
+	Pass   bool
+	Reason string
+}
+
+// SaturationResult is the search outcome.
+type SaturationResult struct {
+	// SustainableQPS is the highest offered rate that passed the SLO;
+	// 0 when even LoQPS failed.
+	SustainableQPS float64
+	// CollapseQPS is the lowest offered rate observed to fail; 0 when
+	// nothing failed up to HiQPS.
+	CollapseQPS float64
+	Trials      []Trial
+	SLO         SLO
+}
+
+// judge scores a report against the SLO.
+func judge(rep *Report, slo SLO) (bool, string) {
+	if rep.Offered == 0 {
+		return false, "no requests fired"
+	}
+	if errRate := 1 - rep.okRate(); errRate > slo.MaxErrorRate {
+		return false, fmt.Sprintf("error rate %.3f > %.3f", errRate, slo.MaxErrorRate)
+	}
+	if rep.P99 > slo.P99 {
+		return false, fmt.Sprintf("p99 %v > SLO %v", rep.P99, slo.P99)
+	}
+	return true, "ok"
+}
+
+// FindSaturation runs the search. Deterministic inputs (seed, window,
+// population, SLO, search bounds) produce the same trial ladder; the
+// measured reports, and therefore the found rate, reflect the machine.
+func FindSaturation(ctx context.Context, cfg SaturationConfig) (*SaturationResult, error) {
+	cfg = cfg.withDefaults()
+	res := &SaturationResult{SLO: cfg.SLO}
+
+	trial := func(qps float64) (*Trial, error) {
+		// Each trial's schedule is seeded by its rate, not its ordinal,
+		// so re-probing a rate reproduces the identical request stream.
+		seed := cfg.Seed ^ uint64(qps*1000)
+		sched, err := MakeSchedule(seed, Poisson{RatePerSec: qps}, cfg.Window, cfg.Population)
+		if err != nil {
+			return nil, err
+		}
+		if len(sched.Arrivals) == 0 {
+			return &Trial{QPS: qps, Report: &Report{}, Pass: false, Reason: "empty schedule"}, nil
+		}
+		_, rep, err := Fire(ctx, sched, RunnerConfig{Target: cfg.Target, Client: cfg.Client, Speed: 1})
+		if err != nil {
+			return nil, err
+		}
+		t := &Trial{QPS: qps, Report: rep}
+		t.Pass, t.Reason = judge(rep, cfg.SLO)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "saturation: %8.1f qps offered -> goodput %8.1f/s p99 %-12v %s (%s)\n",
+				qps, rep.GoodputQPS, rep.P99, passFail(t.Pass), t.Reason)
+		}
+		res.Trials = append(res.Trials, *t)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+
+	// Bracket: double upward from LoQPS until a failure or the cap.
+	lo, hi := 0.0, 0.0
+	for qps := cfg.LoQPS; qps <= cfg.HiQPS; qps *= 2 {
+		t, err := trial(qps)
+		if err != nil {
+			return nil, err
+		}
+		if !t.Pass {
+			hi = qps
+			break
+		}
+		lo = qps
+	}
+	if lo == 0 {
+		// Even the floor failed: nothing is sustainable under this SLO.
+		res.CollapseQPS = hi
+		return res, nil
+	}
+	if hi == 0 {
+		// Never failed up to the cap; the cap is the answer.
+		res.SustainableQPS = lo
+		return res, nil
+	}
+	// Bisect the bracket.
+	for i := 0; i < cfg.Iters; i++ {
+		mid := (lo + hi) / 2
+		t, err := trial(mid)
+		if err != nil {
+			return nil, err
+		}
+		if t.Pass {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.SustainableQPS = lo
+	res.CollapseQPS = hi
+	return res, nil
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

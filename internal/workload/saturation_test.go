@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestFindSaturationBracketsSyntheticCapacity probes a handler with a
+// known, synthetic capacity: K concurrent slots, D per request, i.e.
+// K/D sustainable requests per second, with overload answered 429. The
+// search must land in a bracket around that analytic knee.
+func TestFindSaturationBracketsSyntheticCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second saturation search")
+	}
+	const (
+		slots   = 8
+		service = 20 * time.Millisecond
+		// capacity = slots/service = 400 req/s
+	)
+	sem := make(chan struct{}, slots)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			time.Sleep(service)
+			<-sem
+			w.WriteHeader(http.StatusOK)
+		default:
+			w.WriteHeader(http.StatusTooManyRequests)
+		}
+	}))
+	defer ts.Close()
+
+	res, err := FindSaturation(context.Background(), SaturationConfig{
+		Target: ts.URL,
+		Seed:   7,
+		Window: 500 * time.Millisecond,
+		LoQPS:  50, HiQPS: 6400,
+		Iters: 3,
+		SLO:   SLO{P99: 100 * time.Millisecond, MaxErrorRate: 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic capacity is 400/s; accept a wide bracket (Poisson arrivals
+	// overshoot instantaneous capacity well below the mean rate).
+	if res.SustainableQPS < 100 || res.SustainableQPS > 800 {
+		t.Fatalf("sustainable %.1f qps, want within [100, 800] around the 400/s synthetic capacity (trials: %+v)",
+			res.SustainableQPS, trialSummary(res))
+	}
+	if res.CollapseQPS <= res.SustainableQPS {
+		t.Fatalf("collapse %.1f <= sustainable %.1f", res.CollapseQPS, res.SustainableQPS)
+	}
+	if len(res.Trials) == 0 {
+		t.Fatal("no trials recorded")
+	}
+}
+
+// TestFindSaturationUnreachableFloor reports zero sustainable QPS when
+// even the floor rate violates the SLO.
+func TestFindSaturationUnreachableFloor(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	res, err := FindSaturation(context.Background(), SaturationConfig{
+		Target: ts.URL,
+		Window: 200 * time.Millisecond,
+		LoQPS:  20, HiQPS: 40, Iters: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SustainableQPS != 0 {
+		t.Fatalf("sustainable %.1f from an all-503 server", res.SustainableQPS)
+	}
+	if res.CollapseQPS == 0 {
+		t.Fatal("collapse rate not recorded")
+	}
+}
+
+func trialSummary(res *SaturationResult) []float64 {
+	var qps []float64
+	for _, tr := range res.Trials {
+		qps = append(qps, tr.QPS)
+	}
+	return qps
+}

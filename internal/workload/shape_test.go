@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// schedule builds a schedule or fails the test.
+func schedule(t *testing.T, seed uint64, shape Shape, dur time.Duration, pop Population) *Schedule {
+	t.Helper()
+	s, err := MakeSchedule(seed, shape, dur, pop)
+	if err != nil {
+		t.Fatalf("MakeSchedule: %v", err)
+	}
+	return s
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	shapes := []Shape{
+		Poisson{RatePerSec: 300},
+		Bursty{OnRate: 800, OffRate: 20, Period: 500 * time.Millisecond, Duty: 0.3},
+		Diurnal{Base: 200, Harmonics: []Harmonic{{Period: time.Second, Amplitude: 150}, {Period: 250 * time.Millisecond, Amplitude: 50}}},
+	}
+	for _, sh := range shapes {
+		a := schedule(t, 42, sh, 2*time.Second, Population{Seeds: 16})
+		b := schedule(t, 42, sh, 2*time.Second, Population{Seeds: 16})
+		if len(a.Arrivals) == 0 {
+			t.Fatalf("%s: empty schedule", sh.Label())
+		}
+		if !reflect.DeepEqual(a.Arrivals, b.Arrivals) {
+			t.Fatalf("%s: identical (seed, shape, duration) produced different schedules", sh.Label())
+		}
+		c := schedule(t, 43, sh, 2*time.Second, Population{Seeds: 16})
+		if reflect.DeepEqual(a.Arrivals, c.Arrivals) {
+			t.Fatalf("%s: different seeds produced identical schedules", sh.Label())
+		}
+	}
+}
+
+func TestScheduleSortedAndBounded(t *testing.T) {
+	s := schedule(t, 7, Bursty{OnRate: 1000, OffRate: 5, Period: 300 * time.Millisecond, Duty: 0.2},
+		3*time.Second, Population{})
+	var last time.Duration
+	for i, a := range s.Arrivals {
+		if a.At < last {
+			t.Fatalf("arrival %d at %v before predecessor %v", i, a.At, last)
+		}
+		if a.At < 0 || a.At >= 3*time.Second {
+			t.Fatalf("arrival %d offset %v outside [0, duration)", i, a.At)
+		}
+		last = a.At
+	}
+}
+
+func TestPoissonRateMatchesMean(t *testing.T) {
+	const rate, dur = 500.0, 10
+	s := schedule(t, 1, Poisson{RatePerSec: rate}, dur*time.Second, Population{})
+	got := float64(len(s.Arrivals)) / dur
+	// 5000 expected arrivals; 5 sigma ≈ 354, i.e. ±7%.
+	if math.Abs(got-rate) > rate*0.07 {
+		t.Fatalf("poisson produced %.1f arrivals/s, want ~%.1f", got, rate)
+	}
+}
+
+func TestBurstyConcentratesInOnWindow(t *testing.T) {
+	sh := Bursty{OnRate: 1000, OffRate: 10, Period: time.Second, Duty: 0.25}
+	s := schedule(t, 3, sh, 8*time.Second, Population{})
+	var on, off int
+	for _, a := range s.Arrivals {
+		phase := math.Mod(a.At.Seconds(), 1.0)
+		if phase < 0.25 {
+			on++
+		} else {
+			off++
+		}
+	}
+	// 25% of the time carries ~1000/s, 75% carries ~10/s: the on-window
+	// share of arrivals should be ~97%.
+	share := float64(on) / float64(on+off)
+	if share < 0.9 {
+		t.Fatalf("on-window share %.3f; bursts are not bursting", share)
+	}
+}
+
+func TestDiurnalClampsNegativeRates(t *testing.T) {
+	// Amplitude exceeds the base, so the trough dips below zero and must
+	// clamp rather than emit a negative intensity.
+	sh := Diurnal{Base: 50, Harmonics: []Harmonic{{Period: time.Second, Amplitude: 200}}}
+	for tSec := 0.0; tSec < 2; tSec += 0.01 {
+		if r := sh.Rate(tSec); r < 0 {
+			t.Fatalf("rate %v at t=%v", r, tSec)
+		}
+	}
+	if sh.Peak() != 250 {
+		t.Fatalf("peak %v, want 250", sh.Peak())
+	}
+}
+
+func TestSubsystemStreamsIndependent(t *testing.T) {
+	// The population of the i-th arrival must not depend on how many
+	// arrival-time variates the shape consumed: two shapes with very
+	// different thinning behavior draw the identical request sequence.
+	a := schedule(t, 9, Poisson{RatePerSec: 200}, time.Second, Population{Seeds: 64})
+	b := schedule(t, 9, Bursty{OnRate: 400, OffRate: 0.0001, Period: 500 * time.Millisecond, Duty: 0.5},
+		time.Second, Population{Seeds: 64})
+	n := len(a.Arrivals)
+	if len(b.Arrivals) < n {
+		n = len(b.Arrivals)
+	}
+	if n == 0 {
+		t.Fatal("no arrivals to compare")
+	}
+	for i := 0; i < n; i++ {
+		ra, rb := a.Arrivals[i].Req, b.Arrivals[i].Req
+		if ra.Kind != rb.Kind || string(ra.Body) != string(rb.Body) || ra.Path != rb.Path {
+			t.Fatalf("request %d differs across shapes: population draws are coupled to arrival draws", i)
+		}
+	}
+}
+
+func TestPopulationMixesKinds(t *testing.T) {
+	s := schedule(t, 5, Poisson{RatePerSec: 2000}, time.Second, Population{Seeds: 8})
+	counts := map[Kind]int{}
+	for _, a := range s.Arrivals {
+		counts[a.Req.Kind]++
+		// Every drawn request must route to the path its kind implies.
+		switch a.Req.Kind {
+		case KindSweep:
+			if a.Req.Path != "/v1/sweep" {
+				t.Fatalf("sweep request path %q", a.Req.Path)
+			}
+		case KindTraceRun:
+			if a.Req.Path != "/v1/run?trace=chrome" {
+				t.Fatalf("trace request path %q", a.Req.Path)
+			}
+		default:
+			if a.Req.Path != "/v1/run" {
+				t.Fatalf("%s request path %q", a.Req.Kind, a.Req.Path)
+			}
+		}
+		if a.Req.Kind == KindFaultedRun && !strings.Contains(string(a.Req.Body), `"faults"`) {
+			t.Fatal("faulted run without a faults clause")
+		}
+	}
+	for _, k := range []Kind{KindRun, KindSweep, KindFaultedRun, KindTraceRun} {
+		if counts[k] == 0 {
+			t.Fatalf("default mix never drew %s (counts %v)", k, counts)
+		}
+	}
+	if counts[KindRun] < counts[KindSweep] {
+		t.Fatalf("runs (%d) should dominate sweeps (%d) under the default mix", counts[KindRun], counts[KindSweep])
+	}
+}
+
+func TestParseShapeRoundTrips(t *testing.T) {
+	for _, src := range []string{
+		"poisson:200",
+		"bursty:500,10,2s,0.25",
+		"diurnal:100,10s:80,3s:30",
+	} {
+		sh, err := ParseShape(src)
+		if err != nil {
+			t.Fatalf("ParseShape(%q): %v", src, err)
+		}
+		if sh.Label() != src {
+			t.Fatalf("ParseShape(%q).Label() = %q", src, sh.Label())
+		}
+	}
+}
+
+func TestParseShapeRejects(t *testing.T) {
+	for _, src := range []string{
+		"", "poisson", "poisson:", "poisson:-5", "poisson:0", "poisson:x",
+		"bursty:1,2,3s", "bursty:1,2,3s,1.5", "bursty:1,2,nope,0.5", "bursty:-1,2,3s,0.5",
+		"diurnal:", "diurnal:100,10s", "diurnal:100,0s:5",
+		"square:5",
+	} {
+		if _, err := ParseShape(src); err == nil {
+			t.Fatalf("ParseShape(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("run=0.5,sweep=0.2,faulted=0.2,trace=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{Runs: 0.5, Sweeps: 0.2, FaultedRuns: 0.2, TraceRuns: 0.1}) {
+		t.Fatalf("mix %+v", m)
+	}
+	for _, bad := range []string{"run", "run=x", "boosts=1", "run=-1"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMakeScheduleValidates(t *testing.T) {
+	if _, err := MakeSchedule(1, Poisson{RatePerSec: 10}, 0, Population{}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := MakeSchedule(1, nil, time.Second, Population{}); err == nil {
+		t.Fatal("nil shape accepted")
+	}
+	if _, err := MakeSchedule(1, Poisson{RatePerSec: 10}, time.Second, Population{Scenario: 9}); err == nil {
+		t.Fatal("bad scenario accepted")
+	}
+	if _, err := MakeSchedule(1, Poisson{RatePerSec: 10}, time.Second, Population{Mix: Mix{Runs: -1, Sweeps: 2}}); err == nil {
+		t.Fatal("negative mix weight accepted")
+	}
+}

@@ -1,0 +1,393 @@
+package workload
+
+// The trace wire format: a versioned, seekable, canonical binary record
+// of request/response exchanges. Traces are captured from live flagsimd
+// traffic (server capture hook), written by the open-loop runner, and
+// replayed bit-for-bit against a fresh server.
+//
+// Layout (all integers little-endian):
+//
+//	header   "FSWL" | u16 version=1 | u16 flags=0
+//	record   u32 frameLen | payload[frameLen]          (repeated; EOF ends)
+//	payload  u64 atNS | u64 latencyNS | u16 status | u8 kind
+//	         | u8 methodLen | method
+//	         | u16 pathLen  | path
+//	         | u32 bodyLen  | body
+//	         | u32 respLen  | resp
+//
+// The frame length makes the format seekable: a reader can skip record
+// i without parsing its payload (TraceReader.Skip), so tools can index
+// into multi-gigabyte captures in O(records), not O(bytes parsed).
+//
+// The encoding is canonical: frameLen must equal the payload's exact
+// field-derived size, the header's flags must be zero, and kind must
+// name a known population kind. Every input DecodeTrace accepts
+// therefore re-encodes to the identical byte string — the round-trip
+// property FuzzTraceDecode enforces — and a decoder error is always an
+// *error*, never a panic, so malformed uploads can be served as 4xx.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Trace format constants.
+const (
+	traceMagic   = "FSWL"
+	traceVersion = 1
+	// maxTraceFrame bounds one record's payload so a hostile length
+	// prefix cannot force a multi-gigabyte allocation before the decoder
+	// has seen a single valid byte.
+	maxTraceFrame = 64 << 20
+	// recordFixedSize is the payload size with every variable field
+	// empty: at(8) + latency(8) + status(2) + kind(1) + methodLen(1) +
+	// pathLen(2) + bodyLen(4) + respLen(4).
+	recordFixedSize = 30
+)
+
+// ErrTraceFormat wraps every decode rejection, so callers can map any
+// malformed trace to one client-error class.
+var ErrTraceFormat = errors.New("workload: malformed trace")
+
+// Record is one captured or generated request/response exchange.
+type Record struct {
+	// At is the request's schedule offset from the start of the run (or
+	// of the capture).
+	At time.Duration
+	// Latency is the observed response time; zero when the request never
+	// completed.
+	Latency time.Duration
+	// Status is the HTTP status; 0 records a transport failure.
+	Status int
+	Kind   Kind
+	Method string
+	Path   string
+	Body   []byte
+	// Resp is the full response body.
+	Resp []byte
+}
+
+// Trace is an in-memory decoded trace.
+type Trace struct {
+	Records []Record
+}
+
+// encodedSize returns the record's exact payload size, or an error when
+// a field exceeds its length prefix.
+func (r *Record) encodedSize() (int, error) {
+	if len(r.Method) > 0xff {
+		return 0, fmt.Errorf("workload: method %d bytes exceeds 255", len(r.Method))
+	}
+	if len(r.Path) > 0xffff {
+		return 0, fmt.Errorf("workload: path %d bytes exceeds 64KiB", len(r.Path))
+	}
+	if r.Status < 0 || r.Status > 0xffff {
+		return 0, fmt.Errorf("workload: status %d out of range", r.Status)
+	}
+	if r.Kind >= nKinds {
+		return 0, fmt.Errorf("workload: unknown kind %d", r.Kind)
+	}
+	if r.At < 0 || r.Latency < 0 {
+		return 0, fmt.Errorf("workload: negative offset or latency")
+	}
+	n := recordFixedSize + len(r.Method) + len(r.Path) + len(r.Body) + len(r.Resp)
+	if n > maxTraceFrame {
+		return 0, fmt.Errorf("workload: record %d bytes exceeds frame cap %d", n, maxTraceFrame)
+	}
+	return n, nil
+}
+
+// appendRecord appends the record's frame (length prefix + payload).
+func appendRecord(dst []byte, r *Record) ([]byte, error) {
+	size, err := r.encodedSize()
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(size))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.At))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Latency))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(r.Status))
+	dst = append(dst, byte(r.Kind))
+	dst = append(dst, byte(len(r.Method)))
+	dst = append(dst, r.Method...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Path)))
+	dst = append(dst, r.Path...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Body)))
+	dst = append(dst, r.Body...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Resp)))
+	dst = append(dst, r.Resp...)
+	return dst, nil
+}
+
+// parseRecord decodes one payload. The frame length has already been
+// validated to equal len(payload); the canonical-form requirement is
+// that the fields consume the payload exactly.
+func parseRecord(payload []byte) (Record, error) {
+	var r Record
+	if len(payload) < recordFixedSize {
+		return r, fmt.Errorf("%w: payload %d bytes, minimum %d", ErrTraceFormat, len(payload), recordFixedSize)
+	}
+	at := binary.LittleEndian.Uint64(payload[0:8])
+	lat := binary.LittleEndian.Uint64(payload[8:16])
+	if at > uint64(1<<62) || lat > uint64(1<<62) {
+		return r, fmt.Errorf("%w: offset or latency overflows a duration", ErrTraceFormat)
+	}
+	r.At = time.Duration(at)
+	r.Latency = time.Duration(lat)
+	r.Status = int(binary.LittleEndian.Uint16(payload[16:18]))
+	kind := payload[18]
+	if Kind(kind) >= nKinds {
+		return r, fmt.Errorf("%w: unknown kind %d", ErrTraceFormat, kind)
+	}
+	r.Kind = Kind(kind)
+	p := payload[19:]
+	take := func(n int, what string) ([]byte, error) {
+		if n > len(p) {
+			return nil, fmt.Errorf("%w: %s wants %d bytes, %d remain", ErrTraceFormat, what, n, len(p))
+		}
+		v := p[:n]
+		p = p[n:]
+		return v, nil
+	}
+	mlen := int(p[0])
+	p = p[1:]
+	m, err := take(mlen, "method")
+	if err != nil {
+		return r, err
+	}
+	r.Method = string(m)
+	if len(p) < 2 {
+		return r, fmt.Errorf("%w: truncated path length", ErrTraceFormat)
+	}
+	plen := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	pb, err := take(plen, "path")
+	if err != nil {
+		return r, err
+	}
+	r.Path = string(pb)
+	if len(p) < 4 {
+		return r, fmt.Errorf("%w: truncated body length", ErrTraceFormat)
+	}
+	blen := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	body, err := take(blen, "body")
+	if err != nil {
+		return r, err
+	}
+	r.Body = append([]byte(nil), body...)
+	if len(p) < 4 {
+		return r, fmt.Errorf("%w: truncated response length", ErrTraceFormat)
+	}
+	rlen := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	resp, err := take(rlen, "response")
+	if err != nil {
+		return r, err
+	}
+	r.Resp = append([]byte(nil), resp...)
+	if len(p) != 0 {
+		return r, fmt.Errorf("%w: %d trailing bytes in record frame", ErrTraceFormat, len(p))
+	}
+	if len(r.Body) == 0 {
+		r.Body = nil
+	}
+	if len(r.Resp) == 0 {
+		r.Resp = nil
+	}
+	return r, nil
+}
+
+// TraceWriter streams records to w incrementally — the shape live
+// capture needs (a crash loses at most the in-flight record, never the
+// file). It is not goroutine-safe; wrap it (see CaptureToTrace) when
+// feeding it from concurrent handlers.
+type TraceWriter struct {
+	w       *bufio.Writer
+	scratch []byte
+	n       int
+	err     error
+}
+
+// NewTraceWriter writes the header and returns a streaming writer.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	var hdr []byte
+	hdr = append(hdr, traceMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, traceVersion)
+	hdr = binary.LittleEndian.AppendUint16(hdr, 0)
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+// Write appends one record.
+func (t *TraceWriter) Write(r *Record) error {
+	if t.err != nil {
+		return t.err
+	}
+	buf, err := appendRecord(t.scratch[:0], r)
+	if err != nil {
+		return err
+	}
+	t.scratch = buf[:0]
+	if _, err := t.w.Write(buf); err != nil {
+		t.err = err
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Count reports how many records have been written.
+func (t *TraceWriter) Count() int { return t.n }
+
+// Flush pushes buffered bytes to the underlying writer.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// TraceReader streams records from r. Next decodes the next record;
+// Skip discards it without parsing the payload, which is the seek
+// primitive for large captures.
+type TraceReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewTraceReader validates the header and returns a streaming reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrTraceFormat, err)
+	}
+	if string(hdr[:4]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrTraceFormat, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrTraceFormat, v)
+	}
+	if f := binary.LittleEndian.Uint16(hdr[6:8]); f != 0 {
+		return nil, fmt.Errorf("%w: reserved flags %#x set", ErrTraceFormat, f)
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// frameLen reads the next record's length prefix; io.EOF at a record
+// boundary is the clean end of the trace.
+func (t *TraceReader) frameLen() (int, error) {
+	if t.err != nil {
+		return 0, t.err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(t.r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			t.err = io.EOF
+			return 0, io.EOF
+		}
+		t.err = fmt.Errorf("%w: truncated record length: %v", ErrTraceFormat, err)
+		return 0, t.err
+	}
+	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if n < recordFixedSize || n > maxTraceFrame {
+		t.err = fmt.Errorf("%w: frame length %d outside [%d, %d]", ErrTraceFormat, n, recordFixedSize, maxTraceFrame)
+		return 0, t.err
+	}
+	return n, nil
+}
+
+// Next returns the next record, or io.EOF at the clean end of the trace.
+func (t *TraceReader) Next() (Record, error) {
+	n, err := t.frameLen()
+	if err != nil {
+		return Record{}, err
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(t.r, payload); err != nil {
+		t.err = fmt.Errorf("%w: truncated record payload: %v", ErrTraceFormat, err)
+		return Record{}, t.err
+	}
+	rec, err := parseRecord(payload)
+	if err != nil {
+		t.err = err
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// Skip discards the next record without decoding it, or returns io.EOF
+// at the clean end of the trace.
+func (t *TraceReader) Skip() error {
+	n, err := t.frameLen()
+	if err != nil {
+		return err
+	}
+	if _, err := t.r.Discard(n); err != nil {
+		t.err = fmt.Errorf("%w: truncated record payload: %v", ErrTraceFormat, err)
+		return t.err
+	}
+	return nil
+}
+
+// DecodeTrace decodes a whole trace. Any malformed input returns an
+// error wrapping ErrTraceFormat; the decoder never panics.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	tr, err := NewTraceReader(r)
+	if err != nil {
+		return nil, err
+	}
+	out := &Trace{}
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Records = append(out.Records, rec)
+	}
+}
+
+// EncodeTrace renders the trace in the wire format.
+func EncodeTrace(t *Trace) ([]byte, error) {
+	var out []byte
+	out = append(out, traceMagic...)
+	out = binary.LittleEndian.AppendUint16(out, traceVersion)
+	out = binary.LittleEndian.AppendUint16(out, 0)
+	for i := range t.Records {
+		var err error
+		out, err = appendRecord(out, &t.Records[i])
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// InferKind classifies a captured exchange by its request line, the
+// inverse of Population.draw's routing.
+func InferKind(path string, body []byte) Kind {
+	pathOnly, query, _ := strings.Cut(path, "?")
+	switch {
+	case strings.HasPrefix(pathOnly, "/v1/sweep"):
+		return KindSweep
+	case strings.Contains(query, "trace=chrome"):
+		return KindTraceRun
+	case bytes.Contains(body, []byte(`"faults"`)):
+		return KindFaultedRun
+	default:
+		return KindRun
+	}
+}

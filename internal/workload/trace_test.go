@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{Records: []Record{
+		{At: 0, Latency: 12 * time.Millisecond, Status: 200, Kind: KindRun,
+			Method: "POST", Path: "/v1/run", Body: []byte(`{"flag":"mauritius"}`), Resp: []byte(`{"result":{}}`)},
+		{At: 3 * time.Millisecond, Latency: 0, Status: 0, Kind: KindSweep,
+			Method: "POST", Path: "/v1/sweep", Body: []byte(`{"seeds":2}`)},
+		{At: 9 * time.Millisecond, Latency: 40 * time.Microsecond, Status: 429, Kind: KindTraceRun,
+			Method: "POST", Path: "/v1/run?trace=chrome", Body: nil, Resp: []byte("busy")},
+		{At: time.Second, Latency: time.Millisecond, Status: 422, Kind: KindFaultedRun,
+			Method: "POST", Path: "/v1/run", Body: []byte(`{"faults":{"preset":"light"}}`), Resp: []byte(`{"error":"x"}`)},
+	}}
+}
+
+func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	wire, err := EncodeTrace(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("decoded trace differs:\nwant %+v\ngot  %+v", want.Records, got.Records)
+	}
+	rewire, err := EncodeTrace(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, rewire) {
+		t.Fatal("decode -> encode is not byte-identical")
+	}
+}
+
+func TestTraceWriterMatchesEncode(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Records {
+		if err := tw.Write(&tr.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Count() != len(tr.Records) {
+		t.Fatalf("Count = %d, want %d", tw.Count(), len(tr.Records))
+	}
+	want, err := EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("streaming writer and EncodeTrace disagree")
+	}
+}
+
+func TestTraceReaderSkip(t *testing.T) {
+	tr := sampleTrace()
+	wire, err := EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewTraceReader(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip past the first two records without parsing, land on the third.
+	if err := r.Skip(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Skip(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, tr.Records[2]) {
+		t.Fatalf("after two skips got %+v, want %+v", rec, tr.Records[2])
+	}
+	if err := r.Skip(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Skip(); err != io.EOF {
+		t.Fatalf("skip past end: %v, want io.EOF", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("next past end: %v, want io.EOF", err)
+	}
+}
+
+func TestTraceDecodeRejectsMalformed(t *testing.T) {
+	valid, err := EncodeTrace(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mut func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return mut(b)
+	}
+	cases := map[string][]byte{
+		"empty":                  {},
+		"short header":           valid[:6],
+		"bad magic":              corrupt(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"future version":         corrupt(func(b []byte) []byte { b[4] = 99; return b }),
+		"reserved flags":         corrupt(func(b []byte) []byte { b[6] = 1; return b }),
+		"truncated frame length": valid[:len(valid)-1],
+		"frame length too small": corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], recordFixedSize-1)
+			return b
+		}),
+		"frame length too large": corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], maxTraceFrame+1)
+			return b
+		}),
+		"unknown kind": corrupt(func(b []byte) []byte {
+			// kind byte sits at header(8) + frameLen(4) + at(8)+lat(8)+status(2).
+			b[8+4+18] = byte(nKinds)
+			return b
+		}),
+		"overflowing offset": corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[12:20], 1<<63)
+			return b
+		}),
+		"trailing garbage in frame": corrupt(func(b []byte) []byte {
+			// Grow the first frame by one byte without telling its fields.
+			n := binary.LittleEndian.Uint32(b[8:12])
+			binary.LittleEndian.PutUint32(b[8:12], n+1)
+			return append(b[:12+int(n)], append([]byte{0}, b[12+int(n):]...)...)
+		}),
+	}
+	for name, in := range cases {
+		_, err := DecodeTrace(bytes.NewReader(in))
+		if err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		if !errors.Is(err, ErrTraceFormat) {
+			t.Fatalf("%s: error %v does not wrap ErrTraceFormat", name, err)
+		}
+	}
+}
+
+func TestTraceWriterRejectsUnencodable(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Record{
+		{Kind: nKinds, Method: "POST", Path: "/v1/run"},
+		{Kind: KindRun, Method: string(make([]byte, 256)), Path: "/v1/run"},
+		{Kind: KindRun, Method: "POST", Path: "/v1/run", At: -time.Second},
+		{Kind: KindRun, Method: "POST", Path: "/v1/run", Status: -1},
+	}
+	for i := range bad {
+		if err := tw.Write(&bad[i]); err == nil {
+			t.Fatalf("record %d accepted", i)
+		}
+	}
+	// Rejections must not poison the writer for valid records.
+	good := Record{Kind: KindRun, Method: "POST", Path: "/v1/run", Status: 200}
+	if err := tw.Write(&good); err != nil {
+		t.Fatalf("valid record after rejections: %v", err)
+	}
+	if tw.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", tw.Count())
+	}
+}
+
+func TestInferKind(t *testing.T) {
+	cases := []struct {
+		path string
+		body string
+		want Kind
+	}{
+		{"/v1/run", `{"flag":"mauritius"}`, KindRun},
+		{"/v1/run", `{"flag":"x","faults":{"preset":"light"}}`, KindFaultedRun},
+		{"/v1/run?trace=chrome", `{}`, KindTraceRun},
+		{"/v1/sweep", `{}`, KindSweep},
+		{"/v1/sweep?x=1", `{"faults":{}}`, KindSweep},
+	}
+	for _, c := range cases {
+		if got := InferKind(c.path, []byte(c.body)); got != c.want {
+			t.Fatalf("InferKind(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package workload is flagsim's open-loop load engine: it turns a seed,
+// a temporal traffic shape, and a request-mix description into a
+// deterministic arrival schedule over a mixed request population, fires
+// that schedule at a running flagsimd regardless of how fast the service
+// answers, and records every exchange into a versioned wire format that
+// can be captured from live traffic and replayed bit-for-bit.
+//
+// The open loop is the point. A closed-loop generator (cmd/loadgen's
+// default mode) keeps a fixed number of requests in flight, so when the
+// service slows down the generator slows down with it — offered load
+// self-throttles to whatever the service can absorb, and queueing
+// collapse is structurally invisible. Real traffic does not wait:
+// arrivals keep coming at the rate the world produces them. This package
+// models that world: requests fire at their scheduled instants, in-flight
+// count is unbounded, and what the service does under an offered rate it
+// cannot sustain (429 storms, latency cliffs, queue growth) is exactly
+// what the measurements expose.
+//
+// Determinism contract: a Schedule is a pure function of (seed, shape,
+// duration, population). All randomness flows from internal/rng SplitMix64
+// streams split with SplitLabeled per subsystem — arrival-time draws and
+// population draws come from independently labeled children of the same
+// seed — so adding a new shape, or drawing more arrival variates, never
+// perturbs the request population (and vice versa). Replay speed only
+// compresses the clock; it never touches a draw.
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind classifies a scheduled request within the mixed population.
+type Kind uint8
+
+// Population request kinds.
+const (
+	// KindRun is a plain POST /v1/run.
+	KindRun Kind = iota
+	// KindSweep is a POST /v1/sweep batch.
+	KindSweep
+	// KindFaultedRun is a POST /v1/run carrying a fault-plan preset.
+	KindFaultedRun
+	// KindTraceRun is a POST /v1/run?trace=chrome streaming a Chrome trace.
+	KindTraceRun
+
+	nKinds
+)
+
+// String names the request kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRun:
+		return "run"
+	case KindSweep:
+		return "sweep"
+	case KindFaultedRun:
+		return "faulted"
+	case KindTraceRun:
+		return "trace"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Request is one HTTP exchange the generator will fire: everything
+// needed to reproduce the call, and nothing tied to a live connection.
+type Request struct {
+	Kind   Kind
+	Method string
+	// Path is the request target relative to the base URL, including any
+	// query string ("/v1/run?trace=chrome").
+	Path string
+	Body []byte
+}
+
+// Arrival is one scheduled request: fire Req at offset At from the start
+// of the run, whatever the state of every earlier request.
+type Arrival struct {
+	At  time.Duration
+	Req Request
+}
+
+// Schedule is a deterministic arrival plan: requests sorted by offset.
+// Build one with MakeSchedule; fire it with Fire.
+type Schedule struct {
+	// Seed, Shape, and Duration echo the inputs the schedule was built
+	// from, for labeling reports.
+	Seed     uint64
+	Shape    string
+	Duration time.Duration
+	Arrivals []Arrival
+}
+
+// OfferedQPS is the schedule's mean offered rate.
+func (s *Schedule) OfferedQPS() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(len(s.Arrivals)) / s.Duration.Seconds()
+}
