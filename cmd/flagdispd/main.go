@@ -1,0 +1,110 @@
+// Command flagdispd is the sweep fabric's dispatcher: it owns a durable,
+// crash-recoverable job queue and a disk-backed content-addressed result
+// store, accepts sweeps on the same wire DTOs as flagsimd
+// (POST /v1/run, POST /v1/sweep), and farms the work out to flagworkd
+// workers over expiring leases. Results the store already holds are
+// served warm without touching the fleet; everything else is journaled
+// durably before the enqueue is acknowledged, so a kill -9 at any moment
+// loses no accepted work.
+//
+// Usage:
+//
+//	flagdispd -data-dir /var/lib/flagdisp           # required
+//	flagdispd -addr :9090 -lease-ttl 10s
+//	flagdispd -replay traffic.fswl                  # pre-enqueue a captured
+//	                                                # workload trace's requests
+//	flagdispd -log-level debug -log-format json
+//
+// GET /healthz reports liveness, GET /v1/queue the queue/store/roster
+// view, GET /metrics the flagsim_dist_* Prometheus families.
+//
+// The daemon drains gracefully on SIGINT/SIGTERM. Worker leases are
+// volatile: a restart requeues whatever was in flight, which is always
+// safe because jobs are pure and content-addressed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flagsim/internal/dist"
+	"flagsim/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":9090", "listen address")
+		dataDir   = flag.String("data-dir", "", "durable state directory: queue journal, snapshot, result store (required)")
+		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "default worker lease duration")
+		maxSpecs  = flag.Int("max-sweep-specs", 4096, "largest grid one /v1/sweep request may expand to")
+		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
+		replay    = flag.String("replay", "", "admission-replay this captured workload trace (.fswl) into the queue at startup")
+		logLevel  = flag.String("log-level", "info", "minimum log severity: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
+	)
+	flag.Parse()
+
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "flagdispd: -data-dir is required")
+		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flagdispd:", err)
+		os.Exit(2)
+	}
+
+	d, err := dist.NewDispatcher(dist.DispatcherConfig{
+		DataDir:       *dataDir,
+		LeaseTTL:      *leaseTTL,
+		MaxSweepSpecs: *maxSpecs,
+		DrainTimeout:  *drain,
+		Logger:        logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flagdispd:", err)
+		os.Exit(1)
+	}
+	qs := d.Queue().Stats()
+	if qs.Recovered > 0 {
+		log.Printf("flagdispd: recovered %d outstanding jobs from %s", qs.Recovered, *dataDir)
+	}
+
+	if *replay != "" {
+		added, deduped, skipped, err := d.ReplayTrace(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flagdispd: replay:", err)
+			os.Exit(1)
+		}
+		log.Printf("flagdispd: replayed %s: %d jobs enqueued, %d already known, %d records skipped",
+			*replay, added, deduped, skipped)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Bind here rather than inside the dispatcher so ":0" logs the port
+	// the kernel actually chose — smoke tests and scripts scrape this.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flagdispd:", err)
+		os.Exit(1)
+	}
+	log.Printf("flagdispd: listening on %s (data dir %s)", ln.Addr(), *dataDir)
+	if err := d.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, "flagdispd:", err)
+		os.Exit(1)
+	}
+	if err := d.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "flagdispd:", err)
+		os.Exit(1)
+	}
+	log.Printf("flagdispd: drained cleanly")
+}

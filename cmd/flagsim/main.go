@@ -13,12 +13,18 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"flagsim/internal/core"
+	"flagsim/internal/dist"
 	"flagsim/internal/fault"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/implement"
@@ -26,6 +32,7 @@ import (
 	"flagsim/internal/sim"
 	"flagsim/internal/sweep"
 	"flagsim/internal/viz"
+	"flagsim/internal/wire"
 )
 
 func main() {
@@ -46,6 +53,7 @@ func main() {
 		sweepW    = flag.Int("sweep-workers", 0, "sweep pool size (0 = GOMAXPROCS)")
 		faults    = flag.String("faults", "", "inject a fault preset: none, light, heavy")
 		faultSeed = flag.Uint64("fault-seed", 0, "seed for the fault preset (0 reuses -seed)")
+		dispURL   = flag.String("dispatcher", "", "offload to a flagdispd fleet at this base URL instead of computing locally")
 	)
 	flag.Parse()
 
@@ -67,6 +75,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *dispURL != "" {
+		fs := *faultSeed
+		if fs == 0 {
+			fs = *seed
+		}
+		if err := runRemote(*dispURL, remoteArgs{
+			flag: f.Name, kind: *kindName, steal: *steal,
+			seed: *seed, setup: *setup,
+			scenario: *scenario, pipelined: *pipelined, perColor: *extra,
+			faults: *faults, faultSeed: fs, sweep: *doSweep,
+		}); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *doSweep {
 		if err := runSweep(f, kind, *steal, *seed, *setup, *sweepW, plan); err != nil {
@@ -215,6 +238,118 @@ func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, se
 		stats.Hits, stats.Misses, stats.Entries)
 	if failed > 0 {
 		return fmt.Errorf("%d of %d sweep runs failed (see ERROR rows above)", failed, len(batch.Runs))
+	}
+	return nil
+}
+
+// remoteArgs carries the CLI's knobs to the dispatcher submit path in
+// wire form (names, not resolved values — the fleet re-resolves them).
+type remoteArgs struct {
+	flag, kind      string
+	steal           bool
+	seed, faultSeed uint64
+	setup           time.Duration
+	scenario        int
+	pipelined       bool
+	perColor        int
+	faults          string
+	sweep           bool
+}
+
+// runRemote offloads the run (or the standard sweep grid) to a flagdispd
+// fleet and prints the same style of summary the local paths do. The
+// fleet executes the identical specs, so makespans match a local run
+// bit-for-bit — only wall-clock and cache provenance differ.
+func runRemote(url string, a remoteArgs) error {
+	base := wire.RunRequest{
+		Flag: a.flag, Kind: a.kind,
+		Seed: a.seed, Setup: a.setup.String(),
+		Scenario: a.scenario, Pipelined: a.pipelined, PerColor: a.perColor,
+	}
+	if a.steal {
+		base.Exec = "steal"
+	}
+	if a.faults != "" {
+		base.Faults = &wire.FaultRequest{Preset: a.faults, Seed: a.faultSeed}
+	}
+	client := &http.Client{Timeout: 10 * time.Minute}
+	post := func(path string, in, out any) error {
+		body, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(url+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("dispatcher %s: %s: %s", path, resp.Status, strings.TrimSpace(string(raw)))
+		}
+		return json.Unmarshal(raw, out)
+	}
+
+	if !a.sweep {
+		var out dist.RunFleetResponse
+		if err := post("/v1/run", base, &out); err != nil {
+			return err
+		}
+		var res wire.SimResult
+		if err := json.Unmarshal(out.Result, &res); err != nil {
+			return err
+		}
+		source := "computed by fleet"
+		if out.Warm {
+			source = "served warm from result tier"
+		}
+		fmt.Printf("%s (%s)\n", out.Spec, source)
+		fmt.Printf("makespan  %v  (setup %v)\n",
+			time.Duration(res.MakespanNS).Round(time.Millisecond),
+			time.Duration(res.SetupNS).Round(time.Millisecond))
+		fmt.Printf("events    %d   grid %s\n", res.Events, res.GridSHA256[:16])
+		return nil
+	}
+
+	// The same grid runSweep fans across the local pool.
+	sreq := wire.SweepRequest{
+		Base:      base,
+		Scenarios: []int{1, 2, 3, 4},
+		PerColor:  []int{1, 2},
+	}
+	var out dist.SweepFleetResponse
+	if err := post("/v1/sweep", sreq, &out); err != nil {
+		return err
+	}
+	var rows [][]string
+	failed := 0
+	for _, run := range out.Runs {
+		if run.Err != "" {
+			failed++
+			rows = append(rows, []string{run.Spec, "ERROR: " + run.Err, "-"})
+			continue
+		}
+		cached := "fleet"
+		if run.CacheHit {
+			cached = "tier"
+		}
+		rows = append(rows, []string{
+			run.Spec,
+			time.Duration(run.MakespanNS).Round(time.Millisecond).String(),
+			cached,
+		})
+	}
+	if err := viz.Table(os.Stdout, []string{"spec", "makespan", "source"}, rows); err != nil {
+		return err
+	}
+	fmt.Printf("\nfleet sweep: %d runs, %d warm / %d computed / %d deduped, wall %v\n",
+		out.Count, out.Warm, out.Computed, out.Deduped,
+		time.Duration(out.WallNS).Round(time.Millisecond))
+	if failed > 0 {
+		return fmt.Errorf("%d of %d fleet runs failed (see ERROR rows above)", failed, out.Count)
 	}
 	return nil
 }

@@ -23,7 +23,7 @@ import (
 var builtDir string
 
 func binaries() []string {
-	return []string{"flagsim", "flagrender", "classroom", "surveygen", "depcheck", "experiments", "animate", "study", "flagsimd", "loadgen"}
+	return []string{"flagsim", "flagrender", "classroom", "surveygen", "depcheck", "experiments", "animate", "study", "flagsimd", "loadgen", "flagdispd", "flagworkd"}
 }
 
 func buildAll(t *testing.T) string {
@@ -270,6 +270,90 @@ func TestCmdFlagsimdServeAndDrain(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "drained cleanly") {
 		t.Fatalf("no clean-drain log:\n%s", stderr)
+	}
+}
+
+// TestCmdFleetSmoke boots a real flagdispd + flagworkd pair, routes one
+// run through the fleet via flagsim -dispatcher, resubmits it warm, and
+// requires clean drains from both daemons.
+func TestCmdFleetSmoke(t *testing.T) {
+	dir := buildAll(t)
+	dataDir := t.TempDir()
+
+	dispd := exec.Command(filepath.Join(dir, "flagdispd"),
+		"-addr", "127.0.0.1:0", "-data-dir", dataDir)
+	dispdLog := &syncBuffer{}
+	dispd.Stderr = dispdLog
+	if err := dispd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dispd.Process.Kill()
+
+	var base string
+	for i := 0; i < 500 && base == ""; i++ {
+		if m := regexp.MustCompile(`listening on (127\.0\.0\.1:\d+)`).FindStringSubmatch(dispdLog.String()); m != nil {
+			base = "http://" + m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if base == "" {
+		t.Fatalf("flagdispd never reported its address:\n%s", dispdLog)
+	}
+
+	workd := exec.Command(filepath.Join(dir, "flagworkd"),
+		"-dispatcher", base, "-name", "smoke-worker", "-poll", "20ms")
+	workdLog := &syncBuffer{}
+	workd.Stderr = workdLog
+	if err := workd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer workd.Process.Kill()
+
+	// Cold run through the fleet, then the identical spec warm.
+	out := runCmd(t, "flagsim", "", "-dispatcher", base, "-scenario", "4", "-seed", "2")
+	for _, want := range []string{"makespan", "computed by fleet"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet run output missing %q:\n%s", want, out)
+		}
+	}
+	warm := runCmd(t, "flagsim", "", "-dispatcher", base, "-scenario", "4", "-seed", "2")
+	if !strings.Contains(warm, "served warm from result tier") {
+		t.Fatalf("resubmit not served warm:\n%s", warm)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, fam := range []string{
+		"flagsim_dist_queue_depth", "flagsim_dist_leases_active",
+		"flagsim_dist_result_tier_hits_total", "flagsim_dist_workers_registered",
+	} {
+		if !strings.Contains(string(metrics), fam) {
+			t.Fatalf("/metrics missing %s", fam)
+		}
+	}
+
+	if err := workd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := workd.Wait(); err != nil {
+		t.Fatalf("flagworkd exited uncleanly: %v\n%s", err, workdLog)
+	}
+	if !strings.Contains(workdLog.String(), "stopped cleanly") {
+		t.Fatalf("no clean-stop log:\n%s", workdLog)
+	}
+	if err := dispd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := dispd.Wait(); err != nil {
+		t.Fatalf("flagdispd exited uncleanly: %v\n%s", err, dispdLog)
+	}
+	if !strings.Contains(dispdLog.String(), "drained cleanly") {
+		t.Fatalf("no clean-drain log:\n%s", dispdLog)
 	}
 }
 

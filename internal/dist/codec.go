@@ -1,0 +1,114 @@
+package dist
+
+// The sim.Result codec: a versioned, lossless (minus traces) JSON
+// encoding that lets a *sim.Result cross a process boundary or sit in a
+// ResultStore and come back as a live value — grid included, which the
+// public sim API cannot otherwise reconstruct (grid cells are
+// unexported; grid.Restore exists for exactly this codec).
+//
+// Traces are deliberately dropped: sweep-spec runs never enable tracing
+// (Spec has no trace knob), so nothing is lost for fabric work, and
+// traces are the one Result field that dwarfs everything else.
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"flagsim/internal/grid"
+	"flagsim/internal/palette"
+	"flagsim/internal/sim"
+	"flagsim/internal/workplan"
+)
+
+// encVersion is bumped on any change to encResult's shape or field
+// semantics; DecodeResult refuses versions it does not know.
+const encVersion = 1
+
+// encResult is the persisted form of a sim.Result. Durations inside the
+// embedded sim structs marshal as int64 nanoseconds (encoding/json's
+// default for time.Duration), which round-trips exactly.
+type encResult struct {
+	Version    int                  `json:"v"`
+	Plan       *workplan.Plan       `json:"plan,omitempty"`
+	MakespanNS int64                `json:"makespan_ns"`
+	SetupNS    int64                `json:"setup_ns"`
+	Procs      []sim.ProcStats      `json:"procs,omitempty"`
+	Implements []sim.ImplementStats `json:"implements,omitempty"`
+	Breaks     int                  `json:"breaks,omitempty"`
+	Events     uint64               `json:"events,omitempty"`
+	MaxQueue   int                  `json:"max_event_queue,omitempty"`
+	Steals     int                  `json:"steals,omitempty"`
+	Migrated   int                  `json:"migrated,omitempty"`
+	Faults     sim.FaultStats       `json:"faults"`
+	// GridW/GridH/GridCells/GridPaints flatten the grid; GridCells is
+	// row-major and (being a []byte-kinded slice) marshals as base64.
+	GridW      int             `json:"grid_w,omitempty"`
+	GridH      int             `json:"grid_h,omitempty"`
+	GridCells  []palette.Color `json:"grid_cells,omitempty"`
+	GridPaints int             `json:"grid_paints,omitempty"`
+}
+
+// EncodeResult serializes res to the codec's canonical JSON bytes.
+// Struct field order fixes the key order, so equal Results encode to
+// equal bytes — the property the store's mismatch detection relies on.
+func EncodeResult(res *sim.Result) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("dist: encode nil result")
+	}
+	enc := encResult{
+		Version:    encVersion,
+		Plan:       res.Plan,
+		MakespanNS: int64(res.Makespan),
+		SetupNS:    int64(res.SetupTime),
+		Procs:      res.Procs,
+		Implements: res.Implements,
+		Breaks:     res.Breaks,
+		Events:     res.Events,
+		MaxQueue:   res.MaxEventQueue,
+		Steals:     res.Steals,
+		Migrated:   res.Migrated,
+		Faults:     res.Faults,
+	}
+	if res.Grid != nil {
+		enc.GridW = res.Grid.W()
+		enc.GridH = res.Grid.H()
+		enc.GridCells = res.Grid.Cells()
+		enc.GridPaints = res.Grid.PaintCount()
+	}
+	return json.Marshal(enc)
+}
+
+// DecodeResult rebuilds a live sim.Result from EncodeResult's bytes.
+// Failures wrap ErrWire: a persisted result is external input, decoded
+// strictly and validated (grid dimensions, color values) before use.
+func DecodeResult(raw []byte) (*sim.Result, error) {
+	var enc encResult
+	if err := strictUnmarshal(raw, &enc); err != nil {
+		return nil, err
+	}
+	if enc.Version != encVersion {
+		return nil, fmt.Errorf("%w: result codec version %d (want %d)", ErrWire, enc.Version, encVersion)
+	}
+	res := &sim.Result{
+		Plan:          enc.Plan,
+		Makespan:      time.Duration(enc.MakespanNS),
+		SetupTime:     time.Duration(enc.SetupNS),
+		Procs:         enc.Procs,
+		Implements:    enc.Implements,
+		Breaks:        enc.Breaks,
+		Events:        enc.Events,
+		MaxEventQueue: enc.MaxQueue,
+		Steals:        enc.Steals,
+		Migrated:      enc.Migrated,
+		Faults:        enc.Faults,
+	}
+	if enc.GridW != 0 || enc.GridH != 0 || len(enc.GridCells) != 0 {
+		g, err := grid.Restore(enc.GridW, enc.GridH, enc.GridCells, enc.GridPaints)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWire, err)
+		}
+		res.Grid = g
+	}
+	return res, nil
+}

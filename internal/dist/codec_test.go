@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+
+	"flagsim/internal/sweep"
+	"flagsim/internal/wire"
+)
+
+// TestCodecRoundTrip pins losslessness where it matters: a decoded
+// result marshals to the same canonical wire bytes as the original, its
+// grid compares equal cell-for-cell, and a re-encode reproduces the
+// codec bytes exactly (the store's first-write-wins comparison depends
+// on that stability).
+func TestCodecRoundTrip(t *testing.T) {
+	specs := []sweep.Spec{
+		{Flag: "mauritius", Scenario: 2, Seed: 11},
+		{Flag: "mauritius", Exec: sweep.ExecSteal, Scenario: 3, Seed: 5, PerColor: 2},
+	}
+	for _, spec := range specs {
+		res, err := spec.RunOnce(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := EncodeResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeResult(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		wantWire, err := wire.MarshalResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotWire, err := wire.MarshalResult(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantWire, gotWire) {
+			t.Fatalf("%s: decoded result's wire bytes drifted:\n want %s\n got  %s",
+				spec.Label(), wantWire, gotWire)
+		}
+		if !res.Grid.Equal(dec.Grid) {
+			t.Fatalf("%s: decoded grid differs", spec.Label())
+		}
+		if res.Grid.PaintCount() != dec.Grid.PaintCount() {
+			t.Fatalf("%s: paint count %d -> %d", spec.Label(),
+				res.Grid.PaintCount(), dec.Grid.PaintCount())
+		}
+		if res.Makespan != dec.Makespan || res.Events != dec.Events {
+			t.Fatalf("%s: scalar fields drifted", spec.Label())
+		}
+
+		reEnc, err := EncodeResult(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, reEnc) {
+			t.Fatalf("%s: re-encode is not byte-stable", spec.Label())
+		}
+	}
+}
+
+func TestCodecRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{{{`,
+		"unknown version": `{"v":99,"makespan_ns":1,"setup_ns":0,"faults":{}}`,
+		"unknown field":   `{"v":1,"makespan_ns":1,"setup_ns":0,"faults":{},"zzz":1}`,
+		"bad grid":        `{"v":1,"makespan_ns":1,"setup_ns":0,"faults":{},"grid_w":2,"grid_h":2,"grid_cells":"AA=="}`,
+	}
+	for name, raw := range cases {
+		if _, err := DecodeResult([]byte(raw)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

@@ -1,0 +1,707 @@
+package dist
+
+// The dispatcher: flagdispd's serving core. It owns the durable queue
+// and the result store, speaks the client surface (/v1/run, /v1/sweep —
+// same wire DTOs as flagsimd) on one side and the worker protocol
+// (register/lease/renew/report) on the other, and serves anything the
+// result tier already holds without touching the fleet.
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"flagsim/internal/obs"
+	"flagsim/internal/wire"
+	"flagsim/internal/workload"
+)
+
+// DispatcherConfig parameterizes a Dispatcher. DataDir is required;
+// every other zero value gets a sensible default.
+type DispatcherConfig struct {
+	// DataDir roots the durable state: queue journal, snapshot, and the
+	// content-addressed result store.
+	DataDir string
+	// LeaseTTL is the default lease duration granted to workers; their
+	// requested TTLs are clamped to [LeaseTTL/10, 10*LeaseTTL].
+	// Default 10s.
+	LeaseTTL time.Duration
+	// WorkerWindow bounds how stale a worker's last contact may be while
+	// still counting as registered in /metrics. Default 30s.
+	WorkerWindow time.Duration
+	// MaxSweepSpecs caps one /v1/sweep request's expanded grid;
+	// default 4096 (matches flagsimd).
+	MaxSweepSpecs int
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long after the serve context is canceled; default 10s.
+	DrainTimeout time.Duration
+	// Logger receives structured serving logs; nil discards.
+	Logger *slog.Logger
+	// Now injects a clock for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c DispatcherConfig) withDefaults() DispatcherConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.WorkerWindow <= 0 {
+		c.WorkerWindow = 30 * time.Second
+	}
+	if c.MaxSweepSpecs <= 0 {
+		c.MaxSweepSpecs = 4096
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// workerInfo is the dispatcher's view of one registered worker. The
+// roster is volatile (like leases): a restarted dispatcher answers 404
+// to an unknown worker's lease call, and the worker re-registers.
+type workerInfo struct {
+	name     string
+	slots    int
+	lastSeen time.Time
+}
+
+// RunFleetResponse is flagdispd's /v1/run reply. Result carries the
+// canonical result bytes verbatim from the store.
+type RunFleetResponse struct {
+	Key  string `json:"key"`
+	Spec string `json:"spec"`
+	// Warm reports that the result tier already held the result and no
+	// fleet work was scheduled.
+	Warm   bool            `json:"warm"`
+	Result json.RawMessage `json:"result"`
+}
+
+// SweepFleetResponse is flagdispd's /v1/sweep reply. Runs rows are in
+// expansion order — the same order flagsimd's /v1/sweep emits for the
+// same request, which is what makes the two directly comparable.
+type SweepFleetResponse struct {
+	Count int `json:"count"`
+	// Warm rows were served from the result tier; Computed rows were
+	// executed by the fleet for this request; Deduped rows collapsed
+	// onto a job already in the queue (submitted by someone else).
+	Warm     int                `json:"warm"`
+	Computed int                `json:"computed"`
+	Deduped  int                `json:"deduped"`
+	Failed   int                `json:"failed"`
+	WallNS   int64              `json:"wall_ns"`
+	Runs     []wire.SweepRunRow `json:"runs"`
+}
+
+// QueueView is flagdispd's /v1/queue reply: queue, store, and roster
+// state for operators and the e2e harness.
+type QueueView struct {
+	Queue   QueueStats `json:"queue"`
+	Store   StoreStats `json:"store"`
+	Workers int        `json:"workers"`
+}
+
+// Dispatcher is the flagdispd serving core. Create one with
+// NewDispatcher; it is safe for concurrent use.
+type Dispatcher struct {
+	cfg   DispatcherConfig
+	queue *Queue
+	store *ResultStore
+	reg   *obs.Registry
+	log   *slog.Logger
+	mux   *http.ServeMux
+	now   func() time.Time
+	start time.Time
+
+	mu      sync.Mutex
+	workers map[string]*workerInfo
+}
+
+// NewDispatcher opens (recovering if needed) the durable state under
+// cfg.DataDir and assembles the serving surface.
+func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, errors.New("dist: dispatcher needs a data directory")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	store, err := OpenResultStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	queue, err := OpenQueue(cfg.DataDir, store, cfg.Now)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{
+		cfg: cfg, queue: queue, store: store,
+		reg: obs.NewRegistry(), log: cfg.Logger,
+		now: cfg.Now, start: cfg.Now(),
+		workers: make(map[string]*workerInfo),
+	}
+	obs.RegisterDistDispatcher(d.reg, d.statsSnapshot)
+	obs.RegisterGoRuntime(d.reg)
+	d.mux = http.NewServeMux()
+	d.mux.HandleFunc("/v1/run", d.handleRun)
+	d.mux.HandleFunc("/v1/sweep", d.handleSweep)
+	d.mux.HandleFunc("/v1/workers/register", d.handleRegister)
+	d.mux.HandleFunc("/v1/workers/lease", d.handleLease)
+	d.mux.HandleFunc("/v1/workers/renew", d.handleRenew)
+	d.mux.HandleFunc("/v1/workers/report", d.handleReport)
+	d.mux.HandleFunc("/v1/queue", d.handleQueue)
+	d.mux.HandleFunc("/healthz", d.handleHealthz)
+	d.mux.HandleFunc("/metrics", d.handleMetrics)
+	return d, nil
+}
+
+// Handler returns the dispatcher's HTTP handler (for embedding or tests).
+func (d *Dispatcher) Handler() http.Handler { return d.mux }
+
+// Queue exposes the durable queue (tests and replay tooling).
+func (d *Dispatcher) Queue() *Queue { return d.queue }
+
+// Store exposes the result store (tests and replay tooling).
+func (d *Dispatcher) Store() *ResultStore { return d.store }
+
+// Close syncs and releases the durable state.
+func (d *Dispatcher) Close() error { return d.queue.Close() }
+
+// Serve serves on ln until ctx is canceled, then drains gracefully. A
+// background ticker expires overdue leases while serving, so jobs held
+// by vanished workers requeue even when no worker calls poke the queue.
+func (d *Dispatcher) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: d.mux}
+	tickCtx, stopTick := context.WithCancel(context.Background())
+	defer stopTick()
+	go func() {
+		tick := time.NewTicker(d.cfg.LeaseTTL / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tickCtx.Done():
+				return
+			case <-tick.C:
+				if n := d.queue.ExpireLeases(); n > 0 {
+					d.log.Warn("leases expired, jobs requeued", slog.Int("count", n))
+				}
+			}
+		}
+	}()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("dist: drain incomplete: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe binds addr and serves until ctx is canceled.
+func (d *Dispatcher) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return d.Serve(ctx, ln)
+}
+
+// ReplayTrace admission-replays a captured FSWL workload trace: every
+// simulation request in the capture is decoded, expanded (sweeps), and
+// enqueued — pre-warming the fleet with exactly the work production
+// traffic asked for. Non-simulation records and undecodable bodies are
+// skipped and counted, not fatal: a capture may span API versions.
+func (d *Dispatcher) ReplayTrace(path string) (added, deduped, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	tr, err := workload.NewTraceReader(f)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var jobs []Job
+	for {
+		rec, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return added, deduped, skipped, err
+		}
+		switch workload.InferKind(rec.Path, rec.Body) {
+		case workload.KindRun, workload.KindFaultedRun, workload.KindTraceRun:
+			var req wire.RunRequest
+			if strictUnmarshal(rec.Body, &req) != nil {
+				skipped++
+				continue
+			}
+			job, err := NewJob(req)
+			if err != nil {
+				skipped++
+				continue
+			}
+			jobs = append(jobs, job)
+		case workload.KindSweep:
+			var sreq wire.SweepRequest
+			if strictUnmarshal(rec.Body, &sreq) != nil {
+				skipped++
+				continue
+			}
+			reqs, err := sreq.Expand()
+			if err != nil {
+				skipped++
+				continue
+			}
+			for _, req := range reqs {
+				job, err := NewJob(req)
+				if err != nil {
+					skipped++
+					continue
+				}
+				jobs = append(jobs, job)
+			}
+		default:
+			skipped++
+		}
+	}
+	// Jobs whose result the tier already holds need no fleet time.
+	fresh := jobs[:0]
+	for _, job := range jobs {
+		if d.store.Has(job.Key()) {
+			deduped++
+			continue
+		}
+		fresh = append(fresh, job)
+	}
+	added, dup, err := d.queue.Enqueue(fresh)
+	return added, deduped + dup, skipped, err
+}
+
+// statsSnapshot feeds the /metrics families.
+func (d *Dispatcher) statsSnapshot() obs.DistDispatcherStats {
+	qs := d.queue.Stats()
+	ss := d.store.Stats()
+	return obs.DistDispatcherStats{
+		QueueDepth:        float64(qs.Depth),
+		LeasesActive:      float64(qs.Leased),
+		JobsEnqueued:      float64(qs.Enqueued),
+		JobsDeduped:       float64(qs.Deduped),
+		JobsDispatched:    float64(qs.Dispatched),
+		JobsCompleted:     float64(qs.Completed),
+		JobsFailed:        float64(qs.Failed),
+		LeasesExpired:     float64(qs.Expired),
+		TierHits:          float64(ss.Hits),
+		TierMisses:        float64(ss.Misses),
+		TierEntries:       float64(ss.Entries),
+		TierBytes:         float64(ss.Bytes),
+		TierCorrupt:       float64(ss.Corrupt),
+		TierMismatches:    float64(ss.Mismatches),
+		WorkersRegistered: float64(d.activeWorkers()),
+	}
+}
+
+func (d *Dispatcher) activeWorkers() int {
+	cutoff := d.now().Add(-d.cfg.WorkerWindow)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, w := range d.workers {
+		if w.lastSeen.After(cutoff) {
+			n++
+		}
+	}
+	return n
+}
+
+// touchWorker refreshes a worker's liveness; false means the worker is
+// unknown (e.g. the dispatcher restarted) and must re-register.
+func (d *Dispatcher) touchWorker(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w, ok := d.workers[id]
+	if !ok {
+		return false
+	}
+	w.lastSeen = d.now()
+	return true
+}
+
+// clampTTL resolves a worker-requested TTL against the configured one.
+func (d *Dispatcher) clampTTL(ms int64) time.Duration {
+	ttl := time.Duration(ms) * time.Millisecond
+	if ttl <= 0 {
+		return d.cfg.LeaseTTL
+	}
+	if lo := d.cfg.LeaseTTL / 10; ttl < lo {
+		return lo
+	}
+	if hi := 10 * d.cfg.LeaseTTL; ttl > hi {
+		return hi
+	}
+	return ttl
+}
+
+func (d *Dispatcher) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	var req wire.RunRequest
+	if err := readBody(r, &req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := NewJob(req)
+	if err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	key := job.Key()
+	if raw, ok := d.store.Get(key); ok {
+		d.writeRunReply(w, job, true, raw)
+		return
+	}
+	if _, _, err := d.queue.Enqueue([]Job{job}); err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err)
+		return
+	}
+	select {
+	case <-r.Context().Done():
+		writeJSONError(w, statusForCtx(r.Context()), r.Context().Err())
+		return
+	case <-d.queue.DoneCh(key):
+	}
+	if _, errMsg := d.queue.Status(key); errMsg != "" {
+		writeJSONError(w, http.StatusUnprocessableEntity, errors.New(errMsg))
+		return
+	}
+	raw, ok := d.store.Get(key)
+	if !ok {
+		writeJSONError(w, http.StatusInternalServerError,
+			errors.New("dist: completed job has no stored result"))
+		return
+	}
+	d.writeRunReply(w, job, false, raw)
+}
+
+func (d *Dispatcher) writeRunReply(w http.ResponseWriter, job Job, warm bool, raw []byte) {
+	writeJSONValue(w, http.StatusOK, RunFleetResponse{
+		Key: job.KeyHex, Spec: job.Label(), Warm: warm, Result: raw,
+	})
+}
+
+func (d *Dispatcher) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	start := d.now()
+	var sreq wire.SweepRequest
+	if err := readBody(r, &sreq); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	reqs, err := sreq.Expand()
+	if err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if len(reqs) > d.cfg.MaxSweepSpecs {
+		writeJSONError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("dist: sweep expands to %d specs, cap is %d", len(reqs), d.cfg.MaxSweepSpecs))
+		return
+	}
+	jobs := make([]Job, len(reqs))
+	for i, req := range reqs {
+		if jobs[i], err = NewJob(req); err != nil {
+			writeJSONError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
+
+	resp := SweepFleetResponse{Count: len(jobs)}
+	// Partition: rows the tier already answers vs work for the fleet.
+	// Within-request duplicates enqueue once (queue dedup) but still get
+	// their own row, like flagsimd's within-batch cache hits.
+	warm := make(map[Key]bool, len(jobs))
+	var cold []Job
+	seen := make(map[Key]bool, len(jobs))
+	for _, job := range jobs {
+		key := job.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if d.store.Has(key) {
+			warm[key] = true
+			continue
+		}
+		cold = append(cold, job)
+	}
+	added, deduped, err := d.queue.Enqueue(cold)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp.Warm = len(warm)
+	resp.Computed = added
+	resp.Deduped = deduped
+	d.log.Info("sweep accepted",
+		slog.Int("specs", len(jobs)), slog.Int("warm", resp.Warm),
+		slog.Int("enqueued", added), slog.Int("deduped", deduped))
+
+	for key := range seen {
+		if warm[key] {
+			continue
+		}
+		select {
+		case <-r.Context().Done():
+			writeJSONError(w, statusForCtx(r.Context()), r.Context().Err())
+			return
+		case <-d.queue.DoneCh(key):
+		}
+	}
+
+	for _, job := range jobs {
+		key := job.Key()
+		row := wire.SweepRunRow{Spec: job.Label(), CacheHit: warm[key]}
+		if _, errMsg := d.queue.Status(key); errMsg != "" && !warm[key] {
+			row.Err = errMsg
+			resp.Failed++
+			resp.Runs = append(resp.Runs, row)
+			continue
+		}
+		raw, ok := d.store.Get(key)
+		if !ok {
+			row.Err = "dist: completed job has no stored result"
+			resp.Failed++
+			resp.Runs = append(resp.Runs, row)
+			continue
+		}
+		var res wire.SimResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			row.Err = fmt.Sprintf("dist: stored result undecodable: %v", err)
+			resp.Failed++
+			resp.Runs = append(resp.Runs, row)
+			continue
+		}
+		row.MakespanNS = res.MakespanNS
+		row.Events = res.Events
+		row.GridSHA256 = res.GridSHA256
+		resp.Runs = append(resp.Runs, row)
+	}
+	resp.WallNS = int64(d.now().Sub(start))
+	writeJSONValue(w, http.StatusOK, resp)
+}
+
+func (d *Dispatcher) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := DecodeRegister(raw)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	id := obs.NewRunID()
+	d.mu.Lock()
+	d.workers[id] = &workerInfo{name: req.Name, slots: req.Slots, lastSeen: d.now()}
+	d.mu.Unlock()
+	d.log.Info("worker registered", slog.String("worker", req.Name), slog.String("id", id))
+	writeJSONValue(w, http.StatusOK, RegisterResponse{WorkerID: id})
+}
+
+func (d *Dispatcher) handleLease(w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := DecodeLease(raw)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !d.touchWorker(req.WorkerID) {
+		// Unknown worker — typically a dispatcher restart wiped the
+		// volatile roster. 404 tells the worker to re-register.
+		writeJSONError(w, http.StatusNotFound, errors.New("dist: unknown worker, re-register"))
+		return
+	}
+	ttl := d.clampTTL(req.TTLMS)
+	leaseID, job, ok := d.queue.Lease(req.WorkerID, ttl)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSONValue(w, http.StatusOK, LeaseResponse{
+		LeaseID: leaseID, Job: job, TTLMS: ttl.Milliseconds(),
+	})
+}
+
+func (d *Dispatcher) handleRenew(w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := DecodeRenew(raw)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !d.queue.Renew(req.LeaseID, d.clampTTL(req.TTLMS)) {
+		writeJSONError(w, http.StatusGone, errors.New("dist: lease gone"))
+		return
+	}
+	writeJSONValue(w, http.StatusOK, map[string]string{"status": "renewed"})
+}
+
+func (d *Dispatcher) handleReport(w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := DecodeReport(raw)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	d.touchWorker(req.WorkerID)
+	key, _ := ParseKey(req.Key)
+	if !d.queue.Known(key) {
+		writeJSONError(w, http.StatusNotFound, errors.New("dist: report for unknown job"))
+		return
+	}
+	if req.Err != "" {
+		if err := d.queue.Complete(req.LeaseID, key, false, req.Err); err != nil {
+			writeJSONError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSONValue(w, http.StatusOK, map[string]string{"status": "recorded"})
+		return
+	}
+	// Persist before journaling completion: a crash between the two is
+	// self-healed at recovery (the store has the key → job marked done).
+	if err := d.store.Put(key, req.Result); err != nil {
+		if errors.Is(err, ErrResultMismatch) {
+			// The fleet disagreed about a pure function. Keep the first
+			// result, complete the job (a verified result exists), and
+			// surface the violation loudly.
+			d.log.Error("determinism violation: result bytes differ",
+				slog.String("key", hex.EncodeToString(key[:])),
+				slog.String("worker", req.WorkerID))
+		} else {
+			writeJSONError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	if err := d.queue.Complete(req.LeaseID, key, true, ""); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSONValue(w, http.StatusOK, map[string]string{"status": "recorded"})
+}
+
+func (d *Dispatcher) handleQueue(w http.ResponseWriter, r *http.Request) {
+	writeJSONValue(w, http.StatusOK, QueueView{
+		Queue: d.queue.Stats(), Store: d.store.Stats(), Workers: d.activeWorkers(),
+	})
+}
+
+func (d *Dispatcher) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	qs := d.queue.Stats()
+	writeJSONValue(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": d.now().Sub(d.start).Seconds(),
+		"queue_depth":    qs.Depth,
+		"leases_active":  qs.Leased,
+		"workers":        d.activeWorkers(),
+	})
+}
+
+func (d *Dispatcher) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	d.reg.WriteText(w)
+}
+
+// postOnly enforces the method; false means the response is written.
+func postOnly(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return false
+	}
+	return true
+}
+
+// readBody strictly decodes a bounded request body into v.
+func readBody(r *http.Request, v any) error {
+	raw, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	return strictUnmarshal(raw, v)
+}
+
+func statusForCtx(ctx context.Context) int {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return 499 // client closed request
+}
+
+func writeJSONValue(w http.ResponseWriter, status int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(raw, '\n'))
+}
+
+func writeJSONError(w http.ResponseWriter, status int, err error) {
+	writeJSONValue(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,188 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flagsim/internal/wire"
+)
+
+// testJob builds a verified job for a distinct spec per seed.
+func testJob(t *testing.T, seed uint64) Job {
+	t.Helper()
+	job, err := NewJob(wire.RunRequest{Flag: "mauritius", Scenario: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	j1, j2 := testJob(t, 1), testJob(t, 2)
+	if err := j.appendEnqueue(j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.appendEnqueue(j2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.appendComplete(j1.Key(), true, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.appendComplete(j2.Key(), false, "engine exploded"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j, recs, err = openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	if recs[0].op != opEnqueue || recs[0].job.KeyHex != j1.KeyHex {
+		t.Fatal("first record is not j1's enqueue")
+	}
+	if recs[2].op != opComplete || recs[2].key != j1.Key() || !recs[2].ok {
+		t.Fatal("third record is not j1's ok-complete")
+	}
+	if recs[3].ok || recs[3].msg != "engine exploded" {
+		t.Fatalf("failed complete round-trip: ok=%v msg=%q", recs[3].ok, recs[3].msg)
+	}
+}
+
+// TestJournalTornTail pins crash semantics: a half-written final frame
+// is silently truncated and every earlier frame survives.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.appendEnqueue(testJob(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a frame header promising more bytes
+	// than were written.
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn [6]byte
+	binary.BigEndian.PutUint32(torn[:4], 500) // frame claims 500 bytes
+	torn[4] = opEnqueue
+	if _, err := f.Write(torn[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(path)
+
+	j, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatalf("torn tail must repair, not fail: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want the 1 intact frame", len(recs))
+	}
+	// The tail was physically truncated, and the journal still appends.
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if err := j.appendEnqueue(testJob(t, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.sync(); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	_, recs, err = openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("post-repair append lost: %d records, want 2", len(recs))
+	}
+}
+
+// TestJournalRejectsCorruptBody distinguishes torn (repair) from corrupt
+// (refuse): an intact frame whose payload fails verification is an error.
+func TestJournalRejectsCorruptBody(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	payload := []byte(`{"key":"` + testJob(t, 1).KeyHex + `","req":{"flag":"texas"}}`) // key/spec mismatch
+	frame := make([]byte, 0, 5+len(payload))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(1+len(payload)))
+	frame = append(frame, opEnqueue)
+	frame = append(frame, payload...)
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(frame)
+	f.Close()
+
+	if _, _, err := openJournal(dir); !errors.Is(err, ErrJournal) {
+		t.Fatalf("corrupt frame error = %v, want ErrJournal", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{testJob(t, 1), testJob(t, 2), testJob(t, 3)}
+	if err := writeSnapshot(dir, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("loaded %d jobs, want %d", len(got), len(jobs))
+	}
+	for i := range jobs {
+		if got[i].KeyHex != jobs[i].KeyHex {
+			t.Fatalf("job %d key drifted", i)
+		}
+	}
+
+	// Missing snapshot is an empty queue; a tampered one refuses to load.
+	if got, err := loadSnapshot(t.TempDir()); err != nil || got != nil {
+		t.Fatalf("missing snapshot: %v, %v", got, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(dir); !errors.Is(err, ErrJournal) {
+		t.Fatalf("corrupt snapshot error = %v, want ErrJournal", err)
+	}
+}

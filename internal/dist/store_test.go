@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func storeKey(b byte) Key {
+	return sha256.Sum256([]byte{b})
+}
+
+func TestStorePutGetAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, payload := storeKey(1), []byte(`{"makespan_ns":42}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store claims a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("get after put: %q, %v", got, ok)
+	}
+
+	// A fresh open (new process) must serve the same bytes from disk.
+	s2, err := OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store has %d entries, want 1", s2.Len())
+	}
+	got, ok = s2.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened get: %q, %v", got, ok)
+	}
+	st := s2.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Bytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Idempotent re-put of identical bytes is fine; different bytes are
+	// a determinism violation.
+	if err := s2.Put(key, payload); err != nil {
+		t.Fatalf("identical re-put: %v", err)
+	}
+	if err := s2.Put(key, []byte(`{"makespan_ns":43}`)); !errors.Is(err, ErrResultMismatch) {
+		t.Fatalf("mismatched re-put error = %v, want ErrResultMismatch", err)
+	}
+	if s2.Stats().Mismatches != 1 {
+		t.Fatal("mismatch not counted")
+	}
+	if got, _ := s2.Get(key); !bytes.Equal(got, payload) {
+		t.Fatal("mismatched put replaced the original")
+	}
+}
+
+// TestStoreCorruptionDetected pins verify-on-read: flipped payload bytes
+// are detected, the file removed, and the key reported as a miss.
+func TestStoreCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := storeKey(2)
+	if err := s.Put(key, []byte("deterministic result bytes")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the stored payload on disk, then read through a fresh
+	// store (the first one has the payload cached in memory).
+	var entryPath string
+	entries, _ := os.ReadDir(filepath.Join(dir, storeDirName))
+	for _, e := range entries {
+		entryPath = filepath.Join(dir, storeDirName, e.Name())
+	}
+	raw, err := os.ReadFile(entryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-sha256.Size-3] ^= 0xff // flip a payload byte
+	if err := os.WriteFile(entryPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if s2.Stats().Corrupt != 1 {
+		t.Fatal("corruption not counted")
+	}
+	if _, err := os.Stat(entryPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt entry not removed from disk")
+	}
+	// The key is re-puttable after the purge (recompute path).
+	if err := s2.Put(key, []byte("deterministic result bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key); !ok {
+		t.Fatal("re-put after purge not served")
+	}
+}
+
+// TestStoreWrongKeyFile pins the filename/embedded-key cross-check: an
+// entry renamed to another key's filename must not be served.
+func TestStoreWrongKeyFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(storeKey(3), []byte("payload three")); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(filepath.Join(dir, storeDirName))
+	old := filepath.Join(dir, storeDirName, entries[0].Name())
+	alias := storeKey(4)
+	if err := os.Rename(old, s.path(alias)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(alias); ok {
+		t.Fatal("aliased entry served under the wrong key")
+	}
+	if s2.Stats().Corrupt != 1 {
+		t.Fatal("aliased entry not counted corrupt")
+	}
+}

@@ -1,0 +1,62 @@
+package dist
+
+// DiskTier plugs a ResultStore in behind a sweep.Sweeper's in-memory
+// memo (sweep.Options.Tier): memo miss → verified disk read → compute
+// with write-through. It is how a worker's -cache-dir survives process
+// restarts, and how any number of processes sharing a directory share
+// one warm set.
+
+import (
+	"flagsim/internal/sim"
+	"flagsim/internal/sweep"
+)
+
+// DiskTier adapts a ResultStore to the sweep.Tier interface via the
+// result codec. Decode failures degrade to misses (the pool recomputes)
+// and encode failures skip the write-through — a broken disk tier can
+// cost time, never correctness.
+type DiskTier struct {
+	store *ResultStore
+}
+
+// OpenDiskTier opens (creating if needed) a disk tier rooted at dir.
+func OpenDiskTier(dir string) (*DiskTier, error) {
+	store, err := OpenResultStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskTier{store: store}, nil
+}
+
+// NewDiskTier wraps an already-open store.
+func NewDiskTier(store *ResultStore) *DiskTier { return &DiskTier{store: store} }
+
+// Store exposes the underlying store (for stats export).
+func (t *DiskTier) Store() *ResultStore { return t.store }
+
+// Get implements sweep.Tier.
+func (t *DiskTier) Get(key Key) (*sim.Result, bool) {
+	raw, ok := t.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	res, err := DecodeResult(raw)
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// Put implements sweep.Tier.
+func (t *DiskTier) Put(key Key, res *sim.Result) {
+	raw, err := EncodeResult(res)
+	if err != nil {
+		return
+	}
+	// A mismatch error here means a determinism violation; the store
+	// already counted it, and keeping the original is the right call.
+	_ = t.store.Put(key, raw)
+}
+
+// DiskTier must satisfy sweep.Tier.
+var _ sweep.Tier = (*DiskTier)(nil)

@@ -114,6 +114,38 @@ func (g *Grid) PaintedCells() int {
 	return n
 }
 
+// Restore rebuilds a grid from a serialized cell array — the decode half
+// of a persisted run result (see internal/dist's result codec). Unlike
+// New it validates rather than panics: a persisted blob is external
+// input. paints restores the paint-operation counter, which a cell array
+// alone cannot reconstruct (overpaints leave no trace).
+func Restore(w, h int, cells []palette.Color, paints int) (*Grid, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("grid: non-positive size %dx%d", w, h)
+	}
+	if len(cells) != w*h {
+		return nil, fmt.Errorf("grid: %d cells for a %dx%d grid", len(cells), w, h)
+	}
+	if paints < 0 {
+		return nil, fmt.Errorf("grid: negative paint count %d", paints)
+	}
+	for i, c := range cells {
+		if c != palette.None && !c.Valid() {
+			return nil, fmt.Errorf("grid: invalid color %d at cell %d", uint8(c), i)
+		}
+	}
+	g := New(w, h)
+	copy(g.cells, cells)
+	g.paints = paints
+	return g, nil
+}
+
+// Cells returns a copy of the grid's cell array in row-major order — the
+// encode half of a persisted run result.
+func (g *Grid) Cells() []palette.Color {
+	return append([]palette.Color(nil), g.cells...)
+}
+
 // Clone returns a deep copy (paint counter included).
 func (g *Grid) Clone() *Grid {
 	out := New(g.w, g.h)

@@ -1,0 +1,106 @@
+package obs
+
+// Metric families for the distributed sweep fabric (internal/dist).
+// They live here rather than in dist so the dependency arrow stays
+// one-way (dist → obs) and every binary exports through the same
+// registry machinery. Registration takes a snapshot callback instead of
+// concrete dist types for the same reason: obs stays dependency-free.
+
+// DistDispatcherStats is one scrape-time snapshot of a dispatcher's
+// queue, lease table, result tier, and worker roster.
+type DistDispatcherStats struct {
+	// QueueDepth is jobs pending (accepted, not leased, not done).
+	QueueDepth float64
+	// LeasesActive is jobs currently held under a live worker lease.
+	LeasesActive float64
+	// Lifetime counters, monotonically non-decreasing.
+	JobsEnqueued, JobsDeduped, JobsDispatched float64
+	JobsCompleted, JobsFailed, LeasesExpired  float64
+	// Result-tier figures: hits/misses are lifetime Get outcomes,
+	// Entries/Bytes the current resident set, Corrupt removed-on-read
+	// failures, Mismatches determinism violations.
+	TierHits, TierMisses        float64
+	TierEntries, TierBytes      float64
+	TierCorrupt, TierMismatches float64
+	// WorkersRegistered is workers seen recently enough to count live.
+	WorkersRegistered float64
+}
+
+// RegisterDistDispatcher installs the dispatcher's metric families on r,
+// all reading from one snapshot callback at scrape time.
+func RegisterDistDispatcher(r *Registry, fn func() DistDispatcherStats) {
+	r.GaugeFunc("flagsim_dist_queue_depth",
+		"Jobs accepted and waiting for a worker lease.",
+		func() float64 { return fn().QueueDepth })
+	r.GaugeFunc("flagsim_dist_leases_active",
+		"Jobs currently executing under a live worker lease.",
+		func() float64 { return fn().LeasesActive })
+	r.CounterFunc("flagsim_dist_jobs_enqueued_total",
+		"Jobs accepted into the durable queue.",
+		func() float64 { return fn().JobsEnqueued })
+	r.CounterFunc("flagsim_dist_jobs_deduped_total",
+		"Submitted jobs collapsed onto an already-known spec key.",
+		func() float64 { return fn().JobsDeduped })
+	r.CounterFunc("flagsim_dist_jobs_dispatched_total",
+		"Lease grants handed to workers.",
+		func() float64 { return fn().JobsDispatched })
+	r.CounterFunc("flagsim_dist_jobs_completed_total",
+		"Jobs completed successfully.",
+		func() float64 { return fn().JobsCompleted })
+	r.CounterFunc("flagsim_dist_jobs_failed_total",
+		"Jobs completed with an execution error.",
+		func() float64 { return fn().JobsFailed })
+	r.CounterFunc("flagsim_dist_leases_expired_total",
+		"Leases that expired and returned their job to the queue.",
+		func() float64 { return fn().LeasesExpired })
+	r.CounterFunc("flagsim_dist_result_tier_hits_total",
+		"Result-tier reads served from the content-addressed store.",
+		func() float64 { return fn().TierHits })
+	r.CounterFunc("flagsim_dist_result_tier_misses_total",
+		"Result-tier reads that found no stored result.",
+		func() float64 { return fn().TierMisses })
+	r.GaugeFunc("flagsim_dist_result_tier_entries",
+		"Results resident in the content-addressed store.",
+		func() float64 { return fn().TierEntries })
+	r.GaugeFunc("flagsim_dist_result_tier_bytes",
+		"Total payload bytes resident in the content-addressed store.",
+		func() float64 { return fn().TierBytes })
+	r.CounterFunc("flagsim_dist_result_tier_corrupt_total",
+		"Stored results that failed verification and were removed.",
+		func() float64 { return fn().TierCorrupt })
+	r.CounterFunc("flagsim_dist_result_tier_mismatch_total",
+		"Reports whose bytes differed from the stored result for the same spec (determinism violations).",
+		func() float64 { return fn().TierMismatches })
+	r.GaugeFunc("flagsim_dist_workers_registered",
+		"Workers registered and recently active.",
+		func() float64 { return fn().WorkersRegistered })
+}
+
+// DistWorkerStats is one scrape-time snapshot of a worker daemon.
+type DistWorkerStats struct {
+	// JobsExecuted counts leases executed to a reported result;
+	// JobsFailed those whose execution errored (still reported).
+	JobsExecuted, JobsFailed float64
+	// LeasesLost counts executions abandoned because a renew came back
+	// gone — the dispatcher had requeued the job.
+	LeasesLost float64
+	// TierHits counts executions served from the worker's local disk
+	// tier without running the engine.
+	TierHits float64
+}
+
+// RegisterDistWorker installs the worker's metric families on r.
+func RegisterDistWorker(r *Registry, fn func() DistWorkerStats) {
+	r.CounterFunc("flagsim_dist_worker_jobs_executed_total",
+		"Leased jobs executed and reported.",
+		func() float64 { return fn().JobsExecuted })
+	r.CounterFunc("flagsim_dist_worker_jobs_failed_total",
+		"Leased jobs whose execution returned an error.",
+		func() float64 { return fn().JobsFailed })
+	r.CounterFunc("flagsim_dist_worker_leases_lost_total",
+		"Executions abandoned after the dispatcher expired the lease.",
+		func() float64 { return fn().LeasesLost })
+	r.CounterFunc("flagsim_dist_worker_tier_hits_total",
+		"Executions served from the worker's local result tier.",
+		func() float64 { return fn().TierHits })
+}

@@ -75,7 +75,7 @@ func FuzzRunRequest(f *testing.F) {
 		// Decoded fine: resolution must not panic either, whatever the
 		// field values. (SweepRequest resolution reuses this same path
 		// per grid cell, so this covers /v1/sweep's resolver too.)
-		_, _ = run.spec()
+		_, _ = run.Spec()
 	})
 }
 
@@ -93,7 +93,7 @@ func TestRunRequestErrorsAre400(t *testing.T) {
 		decodeErr := decodeJSON(req, &run)
 		resolveErr := error(nil)
 		if decodeErr == nil {
-			_, resolveErr = run.spec()
+			_, resolveErr = run.Spec()
 		}
 		if decodeErr == nil && resolveErr == nil {
 			continue // a valid request; covered by the handler tests

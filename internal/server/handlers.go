@@ -1,11 +1,12 @@
 package server
 
-// Request/response DTOs and the endpoint handlers. Requests use
-// human-readable enums ("steal", "crayon", "pull-color-affinity") and
-// map onto sweep.Spec — the same declarative, content-addressed unit of
-// work the library batches, so the service inherits the determinism
-// contract for free: a response's result section is a pure function of
-// the spec, byte-identical to what a library call computes.
+// The endpoint handlers. The request/response DTOs live in
+// internal/wire (shared with the dispatcher fabric); the aliases below
+// keep them addressable as server.RunRequest etc. for existing callers.
+// Requests map onto sweep.Spec — the same declarative, content-addressed
+// unit of work the library batches, so the service inherits the
+// determinism contract for free: a response's result section is a pure
+// function of the spec, byte-identical to what a library call computes.
 
 import (
 	"context"
@@ -18,338 +19,42 @@ import (
 	"net/http"
 	"time"
 
-	"flagsim/internal/core"
-	"flagsim/internal/fault"
 	"flagsim/internal/flagspec"
-	"flagsim/internal/implement"
 	"flagsim/internal/obs"
 	"flagsim/internal/sim"
 	"flagsim/internal/sweep"
+	"flagsim/internal/wire"
 )
 
 // statusClientClosedRequest is nginx's conventional status for "client
 // went away before the response"; net/http has no constant for it.
 const statusClientClosedRequest = 499
 
-// RunRequest describes one simulation run over the wire.
-type RunRequest struct {
-	// Exec is the executor class: "static" (default), "steal", "dynamic".
-	Exec string `json:"exec,omitempty"`
-	// Flag names a built-in flag; default "mauritius".
-	Flag string `json:"flag,omitempty"`
-	// W, H override the flag's handout raster size when positive.
-	W int `json:"w,omitempty"`
-	H int `json:"h,omitempty"`
-	// Scenario is the Fig. 1 scenario number 1-4; default 1. Pipelined
-	// selects the rotated variant of scenario 4.
-	Scenario  int  `json:"scenario,omitempty"`
-	Pipelined bool `json:"pipelined,omitempty"`
-	// Workers overrides the scenario's worker count (team size for
-	// "dynamic").
-	Workers int `json:"workers,omitempty"`
-	// Kind is the implement class: "dauber", "thick-marker" (default),
-	// "thin-marker", "crayon".
-	Kind string `json:"kind,omitempty"`
-	// PerColor is the number of implements per color; default 1.
-	PerColor int `json:"per_color,omitempty"`
-	// Seed derives the team's random streams.
-	Seed uint64 `json:"seed,omitempty"`
-	// Setup is the serial organization phase as a Go duration ("20s").
-	Setup string `json:"setup,omitempty"`
-	// Hold is the retention policy: "greedy-hold" (default),
-	// "eager-release".
-	Hold string `json:"hold,omitempty"`
-	// Policy is the dynamic pull rule: "pull-ordered" (default),
-	// "pull-color-affinity".
-	Policy string `json:"policy,omitempty"`
-	// Skills optionally fixes per-worker skill multipliers.
-	Skills []float64 `json:"skills,omitempty"`
-	// Jitter is the lognormal service-noise sigma.
-	Jitter float64 `json:"jitter,omitempty"`
-	// Faults optionally injects a deterministic fault plan into the run.
-	Faults *FaultRequest `json:"faults,omitempty"`
-}
-
-// FaultStallRequest is one stall window over the wire.
-type FaultStallRequest struct {
-	// Proc is the 0-based processor index; -1 stalls every processor.
-	Proc int `json:"proc"`
-	// At and For are Go durations ("30s", "1m30s").
-	At  string `json:"at"`
-	For string `json:"for"`
-}
-
-// FaultRequest describes a fault plan over the wire: either a named
-// preset ("none", "light", "heavy") or an explicit plan, never both.
-// The unsound lost-update injector is deliberately not reachable from
-// the wire — it exists only so the test suite can prove the oracle
-// fires.
-type FaultRequest struct {
-	// Preset names a built-in plan; mutually exclusive with the explicit
-	// fields below.
-	Preset string `json:"preset,omitempty"`
-	// Seed derives every per-cell fault decision. Zero is a valid seed;
-	// the plan's identity (and the spec's cache key) includes it.
-	Seed uint64 `json:"seed,omitempty"`
-	// Stalls are processor freeze windows.
-	Stalls []FaultStallRequest `json:"stalls,omitempty"`
-	// DegradeProb marks cells whose paint takes DegradeFactor times as
-	// long (factor must be >= 1).
-	DegradeProb   float64 `json:"degrade_prob,omitempty"`
-	DegradeFactor float64 `json:"degrade_factor,omitempty"`
-	// BreakProb forces implement breakage on marked cells.
-	BreakProb float64 `json:"break_prob,omitempty"`
-	// RepaintProb makes the first paint attempt of marked cells fail,
-	// forcing a repaint.
-	RepaintProb float64 `json:"repaint_prob,omitempty"`
-	// HandoffDelayProb delays implement handoffs by HandoffDelay.
-	HandoffDelayProb float64 `json:"handoff_delay_prob,omitempty"`
-	HandoffDelay     string  `json:"handoff_delay,omitempty"`
-}
-
-// plan resolves the wire form into a validated fault plan; nil means no
-// injection.
-func (f *FaultRequest) plan() (*fault.Plan, error) {
-	if f == nil {
-		return nil, nil
-	}
-	explicit := len(f.Stalls) > 0 || f.DegradeProb != 0 || f.DegradeFactor != 0 ||
-		f.BreakProb != 0 || f.RepaintProb != 0 ||
-		f.HandoffDelayProb != 0 || f.HandoffDelay != ""
-	if f.Preset != "" {
-		if explicit {
-			return nil, fmt.Errorf("faults: preset %q excludes explicit plan fields", f.Preset)
-		}
-		return fault.Preset(f.Preset, f.Seed)
-	}
-	p := &fault.Plan{
-		Seed:             f.Seed,
-		DegradeProb:      f.DegradeProb,
-		DegradeFactor:    f.DegradeFactor,
-		BreakProb:        f.BreakProb,
-		RepaintProb:      f.RepaintProb,
-		HandoffDelayProb: f.HandoffDelayProb,
-	}
-	for i, st := range f.Stalls {
-		at, err := time.ParseDuration(st.At)
-		if err != nil {
-			return nil, fmt.Errorf("faults: stall %d: bad at: %v", i, err)
-		}
-		dur, err := time.ParseDuration(st.For)
-		if err != nil {
-			return nil, fmt.Errorf("faults: stall %d: bad for: %v", i, err)
-		}
-		p.Stalls = append(p.Stalls, fault.Stall{Proc: st.Proc, At: at, For: dur})
-	}
-	if f.HandoffDelay != "" {
-		d, err := time.ParseDuration(f.HandoffDelay)
-		if err != nil {
-			return nil, fmt.Errorf("faults: bad handoff_delay: %v", err)
-		}
-		p.HandoffDelay = d
-	}
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if p.Zero() {
-		return nil, nil
-	}
-	return p, nil
-}
-
-// spec resolves the request into the library's declarative run spec.
-func (r RunRequest) spec() (sweep.Spec, error) {
-	sp := sweep.Spec{
-		W: r.W, H: r.H, Workers: r.Workers, PerColor: r.PerColor,
-		Seed: r.Seed, Skills: r.Skills, Jitter: r.Jitter,
-	}
-	switch r.Exec {
-	case "", "static":
-		sp.Exec = sweep.ExecStatic
-	case "steal":
-		sp.Exec = sweep.ExecSteal
-	case "dynamic":
-		sp.Exec = sweep.ExecDynamic
-	default:
-		return sp, fmt.Errorf("unknown exec %q (static, steal, dynamic)", r.Exec)
-	}
-	sp.Flag = r.Flag
-	if sp.Flag == "" {
-		sp.Flag = "mauritius"
-	}
-	if _, err := flagspec.Lookup(sp.Flag); err != nil {
-		return sp, err
-	}
-	switch {
-	case r.Scenario == 0 || r.Scenario == 1:
-		sp.Scenario = core.S1
-	case r.Scenario >= 2 && r.Scenario <= 3:
-		sp.Scenario = core.ScenarioID(r.Scenario - 1)
-	case r.Scenario == 4 && r.Pipelined:
-		sp.Scenario = core.S4Pipelined
-	case r.Scenario == 4:
-		sp.Scenario = core.S4
-	default:
-		return sp, fmt.Errorf("scenario %d out of range 1-4", r.Scenario)
-	}
-	if r.Pipelined && r.Scenario != 4 && r.Scenario != 0 {
-		return sp, fmt.Errorf("pipelined applies to scenario 4, not %d", r.Scenario)
-	}
-	kindName := r.Kind
-	if kindName == "" {
-		kindName = "thick-marker"
-	}
-	kind, err := implement.ParseKind(kindName)
-	if err != nil {
-		return sp, err
-	}
-	sp.Kind = kind
-	if r.Setup != "" {
-		d, err := time.ParseDuration(r.Setup)
-		if err != nil {
-			return sp, fmt.Errorf("bad setup duration: %v", err)
-		}
-		if d < 0 {
-			return sp, fmt.Errorf("negative setup %v", d)
-		}
-		sp.Setup = d
-	}
-	switch r.Hold {
-	case "", "greedy-hold":
-		sp.Hold = sim.GreedyHold
-	case "eager-release":
-		sp.Hold = sim.EagerRelease
-	default:
-		return sp, fmt.Errorf("unknown hold %q (greedy-hold, eager-release)", r.Hold)
-	}
-	switch r.Policy {
-	case "", "pull-ordered":
-		sp.Policy = sim.PullOrdered
-	case "pull-color-affinity":
-		sp.Policy = sim.PullColorAffinity
-	default:
-		return sp, fmt.Errorf("unknown policy %q (pull-ordered, pull-color-affinity)", r.Policy)
-	}
-	plan, err := r.Faults.plan()
-	if err != nil {
-		return sp, err
-	}
-	sp.Faults = plan
-	if sp.Exec == sweep.ExecDynamic && sp.Workers == 0 {
-		// The scenario's worker count is what a run request means even
-		// under the bag executor; a solo dynamic run must be explicit.
-		scen, err := core.ScenarioByID(sp.Scenario)
-		if err != nil {
-			return sp, err
-		}
-		sp.Workers = scen.Workers
-	}
-	return sp, nil
-}
-
-// ProcResult is one processor's statistics in a response.
-type ProcResult struct {
-	Name            string `json:"name"`
-	Cells           int    `json:"cells"`
-	FinishNS        int64  `json:"finish_ns"`
-	FirstPaintNS    int64  `json:"first_paint_ns"`
-	PaintNS         int64  `json:"paint_ns"`
-	WaitImplementNS int64  `json:"wait_implement_ns"`
-	WaitLayerNS     int64  `json:"wait_layer_ns"`
-	OverheadNS      int64  `json:"overhead_ns"`
-}
-
-// ImplementResult is one implement's statistics in a response.
-type ImplementResult struct {
-	ID        int    `json:"id"`
-	Color     string `json:"color"`
-	Kind      string `json:"kind"`
-	BusyNS    int64  `json:"busy_ns"`
-	Handoffs  int    `json:"handoffs"`
-	MaxQueue  int    `json:"max_queue"`
-	Breakages int    `json:"breakages"`
-}
-
-// SimResult is the deterministic section of a run response: every field
-// is a pure function of the spec, so two requests for the same spec —
-// or a request and a direct library call — produce byte-identical JSON.
-type SimResult struct {
-	Strategy        string            `json:"strategy"`
-	MakespanNS      int64             `json:"makespan_ns"`
-	SetupNS         int64             `json:"setup_ns"`
-	Events          uint64            `json:"events"`
-	MaxEventQueue   int               `json:"max_event_queue"`
-	Breaks          int               `json:"breaks"`
-	Steals          int               `json:"steals"`
-	Migrated        int               `json:"migrated"`
-	WaitImplementNS int64             `json:"wait_implement_ns"`
-	WaitLayerNS     int64             `json:"wait_layer_ns"`
-	PipelineFillNS  int64             `json:"pipeline_fill_ns"`
-	GridSHA256      string            `json:"grid_sha256"`
-	Procs           []ProcResult      `json:"procs"`
-	Implements      []ImplementResult `json:"implements"`
-	// Faults is present only when an installed fault plan actually
-	// injected something, so fault-free responses stay byte-identical to
-	// what they were before the fault subsystem existed.
-	Faults *FaultResult `json:"faults,omitempty"`
-}
-
-// FaultResult tallies what an injected fault plan actually did.
-type FaultResult struct {
-	Stalls         int   `json:"stalls"`
-	StallNS        int64 `json:"stall_ns"`
-	DegradedCells  int   `json:"degraded_cells"`
-	ForcedBreaks   int   `json:"forced_breaks"`
-	HandoffDelays  int   `json:"handoff_delays"`
-	HandoffDelayNS int64 `json:"handoff_delay_ns"`
-	Repaints       int   `json:"repaints"`
-}
+// Wire DTO aliases: the canonical definitions are in internal/wire, so
+// the HTTP service and the dispatcher fabric speak the same language.
+type (
+	// RunRequest describes one simulation run over the wire.
+	RunRequest = wire.RunRequest
+	// FaultRequest describes a fault plan over the wire.
+	FaultRequest = wire.FaultRequest
+	// FaultStallRequest is one stall window over the wire.
+	FaultStallRequest = wire.FaultStallRequest
+	// SimResult is the deterministic section of a run response.
+	SimResult = wire.SimResult
+	// ProcResult is one processor's statistics in a response.
+	ProcResult = wire.ProcResult
+	// ImplementResult is one implement's statistics in a response.
+	ImplementResult = wire.ImplementResult
+	// FaultResult tallies what an injected fault plan actually did.
+	FaultResult = wire.FaultResult
+	// SweepRequest is a cartesian grid over a base run request.
+	SweepRequest = wire.SweepRequest
+	// SweepRunRow is one run's compact row in a sweep response.
+	SweepRunRow = wire.SweepRunRow
+)
 
 // NewSimResult flattens a library Result into the wire form.
-func NewSimResult(res *sim.Result) SimResult {
-	sum := sha256.Sum256([]byte(res.Grid.String()))
-	out := SimResult{
-		Strategy:        res.Plan.Strategy,
-		MakespanNS:      int64(res.Makespan),
-		SetupNS:         int64(res.SetupTime),
-		Events:          res.Events,
-		MaxEventQueue:   res.MaxEventQueue,
-		Breaks:          res.Breaks,
-		Steals:          res.Steals,
-		Migrated:        res.Migrated,
-		WaitImplementNS: int64(res.TotalWaitImplement()),
-		WaitLayerNS:     int64(res.TotalWaitLayer()),
-		PipelineFillNS:  int64(res.PipelineFill()),
-		GridSHA256:      hex.EncodeToString(sum[:]),
-	}
-	if f := res.Faults; f.Any() {
-		out.Faults = &FaultResult{
-			Stalls:         f.Stalls,
-			StallNS:        int64(f.StallTime),
-			DegradedCells:  f.DegradedCells,
-			ForcedBreaks:   f.ForcedBreaks,
-			HandoffDelays:  f.HandoffDelays,
-			HandoffDelayNS: int64(f.HandoffDelayTime),
-			Repaints:       f.Repaints,
-		}
-	}
-	for _, p := range res.Procs {
-		out.Procs = append(out.Procs, ProcResult{
-			Name: p.Name, Cells: p.Cells,
-			FinishNS: int64(p.Finish), FirstPaintNS: int64(p.FirstPaint),
-			PaintNS: int64(p.PaintTime), WaitImplementNS: int64(p.WaitImplement),
-			WaitLayerNS: int64(p.WaitLayer), OverheadNS: int64(p.Overhead),
-		})
-	}
-	for _, im := range res.Implements {
-		out.Implements = append(out.Implements, ImplementResult{
-			ID: im.ID, Color: im.Color.String(), Kind: im.Kind.String(),
-			BusyNS: int64(im.BusyTime), Handoffs: im.Handoffs,
-			MaxQueue: im.MaxQueue, Breakages: im.Breakages,
-		})
-	}
-	return out
-}
+func NewSimResult(res *sim.Result) SimResult { return wire.NewSimResult(res) }
 
 // RunResponse is the /v1/run reply. Result is deterministic; the
 // serving fields around it (run_id, cache_hit, elapsed_ns) are not.
@@ -359,82 +64,6 @@ type RunResponse struct {
 	CacheHit  bool      `json:"cache_hit"`
 	ElapsedNS int64     `json:"elapsed_ns"`
 	Result    SimResult `json:"result"`
-}
-
-// SweepRequest is a cartesian grid over a base run request. Empty axes
-// inherit the base value.
-type SweepRequest struct {
-	Base      RunRequest `json:"base"`
-	Execs     []string   `json:"execs,omitempty"`
-	Flags     []string   `json:"flags,omitempty"`
-	Scenarios []int      `json:"scenarios,omitempty"`
-	Workers   []int      `json:"workers,omitempty"`
-	Kinds     []string   `json:"kinds,omitempty"`
-	PerColor  []int      `json:"per_color,omitempty"`
-	Policies  []string   `json:"policies,omitempty"`
-	Seeds     []uint64   `json:"seeds,omitempty"`
-	Setups    []string   `json:"setups,omitempty"`
-}
-
-// specs expands the request into the grid's spec list by enumerating the
-// wire-level axes through RunRequest.spec, so every cell gets the same
-// validation and defaulting as a single run.
-func (r SweepRequest) specs() ([]sweep.Spec, error) {
-	orBase := func(axis []string, base string) []string {
-		if len(axis) > 0 {
-			return axis
-		}
-		return []string{base}
-	}
-	orBaseInt := func(axis []int, base int) []int {
-		if len(axis) > 0 {
-			return axis
-		}
-		return []int{base}
-	}
-	seeds := r.Seeds
-	if len(seeds) == 0 {
-		seeds = []uint64{r.Base.Seed}
-	}
-	var out []sweep.Spec
-	for _, exec := range orBase(r.Execs, r.Base.Exec) {
-		for _, fl := range orBase(r.Flags, r.Base.Flag) {
-			for _, scen := range orBaseInt(r.Scenarios, r.Base.Scenario) {
-				for _, workers := range orBaseInt(r.Workers, r.Base.Workers) {
-					for _, kind := range orBase(r.Kinds, r.Base.Kind) {
-						for _, pc := range orBaseInt(r.PerColor, r.Base.PerColor) {
-							for _, pol := range orBase(r.Policies, r.Base.Policy) {
-								for _, seed := range seeds {
-									for _, setup := range orBase(r.Setups, r.Base.Setup) {
-										req := r.Base
-										req.Exec, req.Flag, req.Scenario, req.Workers = exec, fl, scen, workers
-										req.Kind, req.PerColor, req.Policy = kind, pc, pol
-										req.Seed, req.Setup = seed, setup
-										sp, err := req.spec()
-										if err != nil {
-											return nil, err
-										}
-										out = append(out, sp)
-									}
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	return out, nil
-}
-
-// SweepRunRow is one run's compact row in a sweep response.
-type SweepRunRow struct {
-	Spec       string `json:"spec"`
-	CacheHit   bool   `json:"cache_hit"`
-	MakespanNS int64  `json:"makespan_ns,omitempty"`
-	Events     uint64 `json:"events,omitempty"`
-	GridSHA256 string `json:"grid_sha256,omitempty"`
-	Err        string `json:"err,omitempty"`
 }
 
 // SweepResponse is the /v1/sweep reply.
@@ -554,7 +183,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	spec, err := req.spec()
+	spec, err := req.Spec()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -644,7 +273,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	specs, err := req.specs()
+	specs, err := req.Specs()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -83,7 +83,7 @@ func TestRunMatchesLibraryByteForByte(t *testing.T) {
 		if err := json.Unmarshal([]byte(body), &req); err != nil {
 			t.Fatal(err)
 		}
-		spec, err := req.spec()
+		spec, err := req.Spec()
 		if err != nil {
 			t.Fatal(err)
 		}

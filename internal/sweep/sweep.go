@@ -36,6 +36,25 @@ type Options struct {
 	// the sim.Probe docs); sim.CountingProbe and the obs metrics probe
 	// qualify, sim.SpanCollector does not.
 	Probes []sim.Probe
+	// Tier, when non-nil, is a second cache level behind the in-memory
+	// memo — typically disk-backed and process-lifetime-crossing (see
+	// internal/dist's content-addressed result store). Lookup order is
+	// memo → tier → compute; a tier hit is promoted into the memo, and
+	// every successful compute is written through. The Tier must be
+	// goroutine-safe: pool workers consult it concurrently.
+	Tier Tier
+}
+
+// Tier is a second, typically persistent result-cache level consulted on
+// memo misses and written through on computes. Get reports whether a
+// result for the key is present; a Tier that cannot produce a verified
+// result (missing, corrupt, unreadable) must return ok == false rather
+// than an error — the pool's fallback is simply to compute. Results are
+// content-addressed by Spec.Key(), so a Tier may be shared by any number
+// of processes on any number of machines.
+type Tier interface {
+	Get(key [sha256.Size]byte) (*sim.Result, bool)
+	Put(key [sha256.Size]byte, res *sim.Result)
 }
 
 // CacheStats counts cache outcomes. A within-batch duplicate of a spec
@@ -52,6 +71,11 @@ type CacheStats struct {
 	// computes, which are never memoized). Like Entries it is a
 	// Sweeper-lifetime figure filled only by Sweeper.Stats.
 	Evictions int
+	// TierHits and TierMisses count second-tier lookups (Options.Tier):
+	// a TierHit served a memo miss without running the engine; a
+	// TierMiss fell through to a compute. Both stay zero without a Tier.
+	TierHits   int
+	TierMisses int
 }
 
 // HitRate returns hits / (hits + misses), or 0 for an empty tally.
@@ -115,13 +139,16 @@ type entry struct {
 type Sweeper struct {
 	workers int
 	probes  []sim.Probe
+	tier    Tier
 
 	mu    sync.Mutex
 	cache map[[sha256.Size]byte]*entry
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	tierHits   atomic.Uint64
+	tierMisses atomic.Uint64
 
 	// running and queued are the pool's live occupancy gauges: how many
 	// specs hold a worker slot and how many are waiting for one.
@@ -135,7 +162,7 @@ func New(opts Options) *Sweeper {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Sweeper{workers: w, probes: opts.Probes, cache: make(map[[sha256.Size]byte]*entry)}
+	return &Sweeper{workers: w, probes: opts.Probes, tier: opts.Tier, cache: make(map[[sha256.Size]byte]*entry)}
 }
 
 // Workers returns the pool's concurrency bound.
@@ -150,6 +177,7 @@ func (s *Sweeper) Stats() CacheStats {
 	return CacheStats{
 		Hits: int(s.hits.Load()), Misses: int(s.misses.Load()),
 		Entries: entries, Evictions: int(s.evictions.Load()),
+		TierHits: int(s.tierHits.Load()), TierMisses: int(s.tierMisses.Load()),
 	}
 }
 
@@ -185,7 +213,7 @@ func (s *Sweeper) RunProbed(ctx context.Context, specs []Spec, extra ...sim.Prob
 		probes = append(append([]sim.Probe(nil), s.probes...), extra...)
 	}
 	batch := &Result{Runs: make([]RunResult, len(specs)), Workers: s.workers}
-	var hits, misses atomic.Uint64
+	var hits, misses, tierHits, tierMisses atomic.Uint64
 	sem := make(chan struct{}, s.workers)
 	var wg sync.WaitGroup
 	for i := range specs {
@@ -220,9 +248,32 @@ func (s *Sweeper) RunProbed(ctx context.Context, specs []Spec, extra ...sim.Prob
 				s.mu.Unlock()
 
 				if !cached {
+					// Memo miss: consult the second tier before burning a
+					// compute. A tier hit never runs the engine (probes stay
+					// silent, like any cache hit) and is promoted into the
+					// memo by publishing through the entry as usual.
+					if s.tier != nil {
+						if res, ok := s.tier.Get(key); ok {
+							e.res = res
+							close(e.done)
+							tierHits.Add(1)
+							s.tierHits.Add(1)
+							batch.Runs[i] = RunResult{Spec: specs[i], Result: res, CacheHit: true}
+							return
+						}
+						tierMisses.Add(1)
+						s.tierMisses.Add(1)
+					}
 					t0 := time.Now()
 					e.res, e.err = specs[i].run(ctx, probes)
 					elapsed := time.Since(t0)
+					if e.err == nil && s.tier != nil {
+						// Write-through: the tier persists what the memo
+						// only remembers for the process lifetime. Errors
+						// are memoized in memory but never tiered — a disk
+						// tier must hold only verified results.
+						s.tier.Put(key, e.res)
+					}
 					if e.err != nil && errors.Is(e.err, sim.ErrCanceled) {
 						// Never memoize a canceled compute: evict before
 						// publishing so retrying waiters re-enter the
@@ -254,7 +305,10 @@ func (s *Sweeper) RunProbed(ctx context.Context, specs []Spec, extra ...sim.Prob
 	}
 	wg.Wait()
 	batch.Wall = time.Since(start)
-	batch.Cache = CacheStats{Hits: int(hits.Load()), Misses: int(misses.Load())}
+	batch.Cache = CacheStats{
+		Hits: int(hits.Load()), Misses: int(misses.Load()),
+		TierHits: int(tierHits.Load()), TierMisses: int(tierMisses.Load()),
+	}
 	return batch
 }
 

@@ -1,0 +1,89 @@
+package wire
+
+import "flagsim/internal/sweep"
+
+// SweepRequest is a cartesian grid over a base run request. Empty axes
+// inherit the base value.
+type SweepRequest struct {
+	Base      RunRequest `json:"base"`
+	Execs     []string   `json:"execs,omitempty"`
+	Flags     []string   `json:"flags,omitempty"`
+	Scenarios []int      `json:"scenarios,omitempty"`
+	Workers   []int      `json:"workers,omitempty"`
+	Kinds     []string   `json:"kinds,omitempty"`
+	PerColor  []int      `json:"per_color,omitempty"`
+	Policies  []string   `json:"policies,omitempty"`
+	Seeds     []uint64   `json:"seeds,omitempty"`
+	Setups    []string   `json:"setups,omitempty"`
+}
+
+// Expand enumerates the grid into one validated RunRequest per cell by
+// walking the wire-level axes, so every cell gets the same validation
+// and defaulting as a single run. The wire-level form (rather than the
+// resolved sweep.Spec) is what a dispatcher journals and hands to
+// workers: it round-trips through JSON and re-resolves identically on
+// any machine.
+func (r SweepRequest) Expand() ([]RunRequest, error) {
+	orBase := func(axis []string, base string) []string {
+		if len(axis) > 0 {
+			return axis
+		}
+		return []string{base}
+	}
+	orBaseInt := func(axis []int, base int) []int {
+		if len(axis) > 0 {
+			return axis
+		}
+		return []int{base}
+	}
+	seeds := r.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{r.Base.Seed}
+	}
+	var out []RunRequest
+	for _, exec := range orBase(r.Execs, r.Base.Exec) {
+		for _, fl := range orBase(r.Flags, r.Base.Flag) {
+			for _, scen := range orBaseInt(r.Scenarios, r.Base.Scenario) {
+				for _, workers := range orBaseInt(r.Workers, r.Base.Workers) {
+					for _, kind := range orBase(r.Kinds, r.Base.Kind) {
+						for _, pc := range orBaseInt(r.PerColor, r.Base.PerColor) {
+							for _, pol := range orBase(r.Policies, r.Base.Policy) {
+								for _, seed := range seeds {
+									for _, setup := range orBase(r.Setups, r.Base.Setup) {
+										req := r.Base
+										req.Exec, req.Flag, req.Scenario, req.Workers = exec, fl, scen, workers
+										req.Kind, req.PerColor, req.Policy = kind, pc, pol
+										req.Seed, req.Setup = seed, setup
+										if _, err := req.Spec(); err != nil {
+											return nil, err
+										}
+										out = append(out, req)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Specs expands the request into the grid's resolved spec list, in the
+// same cell order as Expand.
+func (r SweepRequest) Specs() ([]sweep.Spec, error) {
+	reqs, err := r.Expand()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sweep.Spec, len(reqs))
+	for i, req := range reqs {
+		sp, err := req.Spec()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sp
+	}
+	return out, nil
+}
