@@ -16,7 +16,12 @@
 //	flagdispd -log-level debug -log-format json
 //
 // GET /healthz reports liveness, GET /v1/queue the queue/store/roster
-// view, GET /metrics the flagsim_dist_* Prometheus families.
+// view, GET /metrics the flagsim_dist_* Prometheus families (including
+// per-worker federated gauges and job phase histograms). GET /v1/jobs
+// lists recent job lifecycle timelines, GET /v1/jobs/{key} one job's
+// timeline, and GET /v1/jobs/{key}/trace its stitched fleet-wide Chrome
+// trace (dispatcher lifecycle lane + worker engine lane); the ring
+// behind them is bounded by -job-ring.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM. Worker leases are
 // volatile: a restart requeues whatever was in flight, which is always
@@ -44,6 +49,7 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durable state directory: queue journal, snapshot, result store (required)")
 		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "default worker lease duration")
 		maxSpecs  = flag.Int("max-sweep-specs", 4096, "largest grid one /v1/sweep request may expand to")
+		jobRing   = flag.Int("job-ring", 256, "job lifecycle timelines kept for /v1/jobs and /v1/jobs/{key}/trace")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
 		replay    = flag.String("replay", "", "admission-replay this captured workload trace (.fswl) into the queue at startup")
 		logLevel  = flag.String("log-level", "info", "minimum log severity: debug, info, warn, error")
@@ -65,6 +71,7 @@ func main() {
 		DataDir:       *dataDir,
 		LeaseTTL:      *leaseTTL,
 		MaxSweepSpecs: *maxSpecs,
+		JobRingSize:   *jobRing,
 		DrainTimeout:  *drain,
 		Logger:        logger,
 	})

@@ -112,6 +112,7 @@ func runClosed(baseURL string, concurrency int, duration time.Duration,
 					raw, _ := io.ReadAll(resp.Body)
 					resp.Body.Close()
 					s.status = resp.StatusCode
+					s.runID = resp.Header.Get("X-Run-ID")
 					if s.status == http.StatusOK {
 						s.service = parseServiceNS(raw)
 					}
@@ -190,8 +191,16 @@ func runOpen(baseURL string, cfg openConfig) error {
 	fmt.Printf("loadgen: open loop, %d arrivals over %v (%s, seed %d, %.1f offered/s)\n",
 		len(sched.Arrivals), cfg.Duration, cfg.Shape, cfg.Seed, sched.OfferedQPS())
 
+	// The trace file records only deterministic exchange sections, so the
+	// per-request run IDs ride on the side, indexed by arrival.
+	runIDs := make([]string, len(sched.Arrivals))
 	tr, rep, err := workload.Fire(context.Background(), sched, workload.RunnerConfig{
 		Target: baseURL, Speed: cfg.Speed,
+		Observe: func(i int, status int, header http.Header) {
+			if i >= 0 && i < len(runIDs) {
+				runIDs[i] = header.Get("X-Run-ID")
+			}
+		},
 	})
 	if err != nil {
 		return err
@@ -209,7 +218,7 @@ func runOpen(baseURL string, cfg openConfig) error {
 			URL: baseURL, Mode: "open", Duration: cfg.Duration,
 			Flag: cfg.Flag, Scenario: cfg.Scenario, Seeds: cfg.Seeds,
 			Shape: cfg.Shape, Seed: cfg.Seed, Speed: cfg.Speed,
-		}, rep.Wall, traceSamples(tr))
+		}, rep.Wall, traceSamples(tr, runIDs))
 		if err := writeReport(cfg.Out, out); err != nil {
 			return err
 		}
@@ -254,7 +263,7 @@ func runReplay(baseURL, path string, speed float64, outPath string) error {
 	}
 	if outPath != "" {
 		out := buildReport(reportConfig{URL: baseURL, Mode: "replay", Speed: speed},
-			rep.Wall, traceSamples(replayed))
+			rep.Wall, traceSamples(replayed, nil))
 		if err := writeReport(outPath, out); err != nil {
 			return err
 		}
@@ -268,12 +277,17 @@ func runReplay(baseURL, path string, speed float64, outPath string) error {
 
 // ---- shared helpers ----
 
-// traceSamples converts trace records to report samples.
-func traceSamples(tr *workload.Trace) []sample {
+// traceSamples converts trace records to report samples; runIDs, when
+// non-nil, carries the per-record X-Run-ID headers captured alongside
+// (the trace itself stores only deterministic sections).
+func traceSamples(tr *workload.Trace, runIDs []string) []sample {
 	out := make([]sample, len(tr.Records))
 	for i := range tr.Records {
 		r := &tr.Records[i]
 		out[i] = sample{status: r.Status, latency: r.Latency}
+		if i < len(runIDs) {
+			out[i].runID = runIDs[i]
+		}
 		if r.Status == http.StatusOK {
 			out[i].service = parseServiceNS(r.Resp)
 		}

@@ -24,6 +24,9 @@ type sample struct {
 	// service is the server-reported execution time; zero when the
 	// response carries none (errors, trace streams).
 	service time.Duration
+	// runID is the server's X-Run-ID response header: the request's
+	// fleet-wide identifier. Empty when the response carried none.
+	runID string
 }
 
 // queue is the sample's queueing delay: total latency minus server-side
@@ -106,6 +109,18 @@ type report struct {
 
 	ServiceP50NS int64 `json:"service_p50_ns"`
 	ServiceP99NS int64 `json:"service_p99_ns"`
+
+	// Slowest lists the worst 200s by total latency, each carrying the
+	// server's X-Run-ID so the outlier can be pulled up by ID on the
+	// server side (/v1/runs/{id}/trace, or grepped across fleet logs).
+	Slowest []slowestEntry `json:"slowest"`
+}
+
+// slowestEntry is one tail outlier in the report.
+type slowestEntry struct {
+	RunID     string `json:"run_id,omitempty"`
+	LatencyNS int64  `json:"latency_ns"`
+	ServiceNS int64  `json:"service_ns,omitempty"`
 }
 
 // histogram renders sorted durations onto the shared bucket ladder.
@@ -155,7 +170,27 @@ func buildReport(cfg reportConfig, wall time.Duration, samples []sample) *report
 		rep.ServiceP50NS = int64(pct(service, 50))
 		rep.ServiceP99NS = int64(pct(service, 99))
 	}
+	rep.Slowest = slowest(samples, 5)
 	return rep
+}
+
+// slowest picks the n worst 200s by total latency, worst first.
+func slowest(samples []sample, n int) []slowestEntry {
+	oks := make([]sample, 0, len(samples))
+	for _, s := range samples {
+		if s.status == 200 {
+			oks = append(oks, s)
+		}
+	}
+	sort.Slice(oks, func(i, j int) bool { return oks[i].latency > oks[j].latency })
+	if len(oks) > n {
+		oks = oks[:n]
+	}
+	out := make([]slowestEntry, len(oks))
+	for i, s := range oks {
+		out[i] = slowestEntry{RunID: s.runID, LatencyNS: int64(s.latency), ServiceNS: int64(s.service)}
+	}
+	return out
 }
 
 // writeReport dumps the report as indented JSON.

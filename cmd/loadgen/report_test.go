@@ -13,9 +13,9 @@ import (
 // rename or removal must fail a test, not a dashboard.
 func TestReportSchema(t *testing.T) {
 	samples := []sample{
-		{status: 200, latency: 100 * time.Millisecond, service: 40 * time.Millisecond},
-		{status: 200, latency: 10 * time.Millisecond, service: 8 * time.Millisecond},
-		{status: 200, latency: 500 * time.Millisecond, service: 20 * time.Millisecond},
+		{status: 200, latency: 100 * time.Millisecond, service: 40 * time.Millisecond, runID: "aaaaaaaaaaaaaaaa"},
+		{status: 200, latency: 10 * time.Millisecond, service: 8 * time.Millisecond, runID: "bbbbbbbbbbbbbbbb"},
+		{status: 200, latency: 500 * time.Millisecond, service: 20 * time.Millisecond, runID: "cccccccccccccccc"},
 		{status: 429, latency: time.Millisecond},
 		{status: 0, latency: time.Millisecond},
 	}
@@ -44,10 +44,25 @@ func TestReportSchema(t *testing.T) {
 		"queue_histogram", "queue_p50_ns", "queue_p99_ns",
 		"requests", "requests_per_second",
 		"service_histogram", "service_p50_ns", "service_p99_ns",
-		"wall_ns",
+		"slowest", "wall_ns",
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("report schema changed:\ngot  %v\nwant %v", got, want)
+	}
+
+	// The slowest table is worst-latency-first and carries the server's
+	// X-Run-ID for each entry, so tail outliers are traceable by ID.
+	if len(rep.Slowest) != 3 {
+		t.Fatalf("slowest has %d entries, want the 3 OKs", len(rep.Slowest))
+	}
+	if rep.Slowest[0].RunID != "cccccccccccccccc" ||
+		rep.Slowest[0].LatencyNS != int64(500*time.Millisecond) {
+		t.Fatalf("slowest[0] = %+v, want the 500ms sample", rep.Slowest[0])
+	}
+	for i := 1; i < len(rep.Slowest); i++ {
+		if rep.Slowest[i].LatencyNS > rep.Slowest[i-1].LatencyNS {
+			t.Fatalf("slowest not sorted worst-first: %+v", rep.Slowest)
+		}
 	}
 
 	// The key set must not depend on the values: warm-cache traffic

@@ -41,6 +41,10 @@ type DispatcherConfig struct {
 	// MaxSweepSpecs caps one /v1/sweep request's expanded grid;
 	// default 4096 (matches flagsimd).
 	MaxSweepSpecs int
+	// JobRingSize bounds the in-memory job timeline ring backing
+	// /v1/jobs and the phase histograms; default 256. Timelines are
+	// volatile like leases: a restart forgets them.
+	JobRingSize int
 	// DrainTimeout bounds graceful shutdown: in-flight requests get this
 	// long after the serve context is canceled; default 10s.
 	DrainTimeout time.Duration
@@ -59,6 +63,9 @@ func (c DispatcherConfig) withDefaults() DispatcherConfig {
 	}
 	if c.MaxSweepSpecs <= 0 {
 		c.MaxSweepSpecs = 4096
+	}
+	if c.JobRingSize <= 0 {
+		c.JobRingSize = 256
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
@@ -79,6 +86,9 @@ type workerInfo struct {
 	name     string
 	slots    int
 	lastSeen time.Time
+	// stats is the worker's own snapshot, last piggybacked on a lease or
+	// renew call; federated out via per-worker labeled gauges.
+	stats obs.DistWorkerStats
 }
 
 // RunFleetResponse is flagdispd's /v1/run reply. Result carries the
@@ -86,6 +96,9 @@ type workerInfo struct {
 type RunFleetResponse struct {
 	Key  string `json:"key"`
 	Spec string `json:"spec"`
+	// RunID identifies this request across the fleet (echoed in the
+	// X-Run-ID header too); grep any process's logs for it.
+	RunID string `json:"run_id"`
 	// Warm reports that the result tier already held the result and no
 	// fleet work was scheduled.
 	Warm   bool            `json:"warm"`
@@ -128,6 +141,15 @@ type Dispatcher struct {
 	now   func() time.Time
 	start time.Time
 
+	// ring holds recent job lifecycle timelines; phase* are the cached
+	// per-phase histogram series, resolved once so the report path
+	// observes without touching the vec's lookup lock.
+	ring          *obs.JobRing
+	phaseQueue    *obs.Histogram
+	phaseCompute  *obs.Histogram
+	phaseStore    *obs.Histogram
+	phaseEndToEnd *obs.Histogram
+
 	mu      sync.Mutex
 	workers map[string]*workerInfo
 }
@@ -154,10 +176,27 @@ func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 		cfg: cfg, queue: queue, store: store,
 		reg: obs.NewRegistry(), log: cfg.Logger,
 		now: cfg.Now, start: cfg.Now(),
+		ring:    obs.NewJobRing(cfg.JobRingSize),
 		workers: make(map[string]*workerInfo),
 	}
 	obs.RegisterDistDispatcher(d.reg, d.statsSnapshot)
+	phases := obs.RegisterDistPhases(d.reg)
+	d.phaseQueue = phases.With("queue_wait")
+	d.phaseCompute = phases.With("compute")
+	d.phaseStore = phases.With("store")
+	d.phaseEndToEnd = phases.With("end_to_end")
+	obs.RegisterDistWorkerFederation(d.reg, d.workerRows)
 	obs.RegisterGoRuntime(d.reg)
+	// Journal recovery may have carried pending jobs over; give each a
+	// fresh timeline so its remaining lifecycle is still observable.
+	// Completed jobs get none — their lifecycles died with the previous
+	// process, and /v1/jobs/{key} honestly 404s for them.
+	for _, job := range queue.PendingJobs() {
+		d.ring.Begin(obs.JobTimeline{
+			Key: job.KeyHex, RunID: obs.NewRunID(), Spec: job.Label(),
+			Enqueued: d.now(),
+		})
+	}
 	d.mux = http.NewServeMux()
 	d.mux.HandleFunc("/v1/run", d.handleRun)
 	d.mux.HandleFunc("/v1/sweep", d.handleSweep)
@@ -166,6 +205,9 @@ func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 	d.mux.HandleFunc("/v1/workers/renew", d.handleRenew)
 	d.mux.HandleFunc("/v1/workers/report", d.handleReport)
 	d.mux.HandleFunc("/v1/queue", d.handleQueue)
+	d.mux.HandleFunc("/v1/jobs", d.handleJobs)
+	d.mux.HandleFunc("/v1/jobs/{key}", d.handleJob)
+	d.mux.HandleFunc("/v1/jobs/{key}/trace", d.handleJobTrace)
 	d.mux.HandleFunc("/healthz", d.handleHealthz)
 	d.mux.HandleFunc("/metrics", d.handleMetrics)
 	return d, nil
@@ -300,8 +342,23 @@ func (d *Dispatcher) ReplayTrace(path string) (added, deduped, skipped int, err 
 		}
 		fresh = append(fresh, job)
 	}
-	added, dup, err := d.queue.Enqueue(fresh)
+	added, dup, err := d.EnqueueJobs(fresh)
 	return added, deduped + dup, skipped, err
+}
+
+// EnqueueJobs accepts jobs into the durable queue with lifecycle
+// timelines, exactly as the HTTP surface would — each job gets its own
+// minted run ID (there is no client request to inherit one from). The
+// replay path and benchmarks use this instead of Queue().Enqueue so
+// timeline recording stays on.
+func (d *Dispatcher) EnqueueJobs(jobs []Job) (added, deduped int, err error) {
+	now := d.now()
+	for _, job := range jobs {
+		d.ring.Begin(obs.JobTimeline{
+			Key: job.KeyHex, RunID: obs.NewRunID(), Spec: job.Label(), Enqueued: now,
+		})
+	}
+	return d.queue.Enqueue(jobs)
 }
 
 // statsSnapshot feeds the /metrics families.
@@ -340,17 +397,56 @@ func (d *Dispatcher) activeWorkers() int {
 	return n
 }
 
-// touchWorker refreshes a worker's liveness; false means the worker is
-// unknown (e.g. the dispatcher restarted) and must re-register.
-func (d *Dispatcher) touchWorker(id string) bool {
+// touchWorker refreshes a worker's liveness and, when the call carried
+// one, its piggybacked stats snapshot; name returns the worker's label
+// for timelines and logs. ok false means the worker is unknown (e.g. the
+// dispatcher restarted) and must re-register.
+func (d *Dispatcher) touchWorker(id string, stats *WorkerStatsReport) (name string, ok bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	w, ok := d.workers[id]
 	if !ok {
-		return false
+		return "", false
 	}
 	w.lastSeen = d.now()
-	return true
+	if stats != nil {
+		w.stats = obs.DistWorkerStats{
+			JobsExecuted: stats.JobsExecuted, JobsFailed: stats.JobsFailed,
+			LeasesLost: stats.LeasesLost, TierHits: stats.TierHits,
+		}
+	}
+	return w.name, true
+}
+
+// workerRows snapshots the federated per-worker metric rows. Rows are
+// deduped by worker name keeping the most recently seen — a worker
+// restarted under the same name replaces its predecessor's series
+// instead of splitting it — and workers past the liveness window drop
+// off the export entirely.
+func (d *Dispatcher) workerRows() []obs.DistWorkerRow {
+	now := d.now()
+	cutoff := now.Add(-d.cfg.WorkerWindow)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	latest := make(map[string]*workerInfo, len(d.workers))
+	for _, w := range d.workers {
+		if !w.lastSeen.After(cutoff) {
+			continue
+		}
+		if prev, ok := latest[w.name]; ok && prev.lastSeen.After(w.lastSeen) {
+			continue
+		}
+		latest[w.name] = w
+	}
+	rows := make([]obs.DistWorkerRow, 0, len(latest))
+	for _, w := range latest {
+		rows = append(rows, obs.DistWorkerRow{
+			Worker: w.name, Slots: float64(w.slots),
+			SecondsSinceSeen: now.Sub(w.lastSeen).Seconds(),
+			Stats:            w.stats,
+		})
+	}
+	return rows
 }
 
 // clampTTL resolves a worker-requested TTL against the configured one.
@@ -368,10 +464,23 @@ func (d *Dispatcher) clampTTL(ms int64) time.Duration {
 	return ttl
 }
 
+// runIDFrom resolves the request's run identifier: a well-formed
+// client-supplied X-Run-ID propagates verbatim (so a caller's ID names
+// the work on every hop); anything else gets a fresh mint. The resolved
+// ID is always echoed back in the response header.
+func runIDFrom(r *http.Request) string {
+	if id := r.Header.Get("X-Run-ID"); ValidRunID(id) {
+		return id
+	}
+	return obs.NewRunID()
+}
+
 func (d *Dispatcher) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !postOnly(w, r) {
 		return
 	}
+	runID := runIDFrom(r)
+	w.Header().Set("X-Run-ID", runID)
 	var req wire.RunRequest
 	if err := readBody(r, &req); err != nil {
 		writeJSONError(w, http.StatusBadRequest, err)
@@ -384,9 +493,13 @@ func (d *Dispatcher) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	key := job.Key()
 	if raw, ok := d.store.Get(key); ok {
-		d.writeRunReply(w, job, true, raw)
+		d.writeRunReply(w, job, runID, true, raw)
 		return
 	}
+	// Begin the timeline before the job becomes leasable: once Enqueue
+	// returns, a worker may already hold it, and a late Begin would miss
+	// the lease stamp.
+	d.beginTimelines([]Job{job}, runID)
 	if _, _, err := d.queue.Enqueue([]Job{job}); err != nil {
 		writeJSONError(w, http.StatusInternalServerError, err)
 		return
@@ -407,13 +520,25 @@ func (d *Dispatcher) handleRun(w http.ResponseWriter, r *http.Request) {
 			errors.New("dist: completed job has no stored result"))
 		return
 	}
-	d.writeRunReply(w, job, false, raw)
+	d.writeRunReply(w, job, runID, false, raw)
 }
 
-func (d *Dispatcher) writeRunReply(w http.ResponseWriter, job Job, warm bool, raw []byte) {
+func (d *Dispatcher) writeRunReply(w http.ResponseWriter, job Job, runID string, warm bool, raw []byte) {
 	writeJSONValue(w, http.StatusOK, RunFleetResponse{
-		Key: job.KeyHex, Spec: job.Label(), Warm: warm, Result: raw,
+		Key: job.KeyHex, Spec: job.Label(), RunID: runID, Warm: warm, Result: raw,
 	})
+}
+
+// beginTimelines opens a lifecycle timeline for each job under the given
+// run ID. Keys already resident keep their original timeline (dedup'd
+// resubmissions observe, they don't reset).
+func (d *Dispatcher) beginTimelines(jobs []Job, runID string) {
+	now := d.now()
+	for _, job := range jobs {
+		d.ring.Begin(obs.JobTimeline{
+			Key: job.KeyHex, RunID: runID, Spec: job.Label(), Enqueued: now,
+		})
+	}
 }
 
 func (d *Dispatcher) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -421,6 +546,8 @@ func (d *Dispatcher) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := d.now()
+	runID := runIDFrom(r)
+	w.Header().Set("X-Run-ID", runID)
 	var sreq wire.SweepRequest
 	if err := readBody(r, &sreq); err != nil {
 		writeJSONError(w, http.StatusBadRequest, err)
@@ -463,6 +590,9 @@ func (d *Dispatcher) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		cold = append(cold, job)
 	}
+	// All of this sweep's cold jobs share the request's run ID: one grep
+	// finds the whole batch across every process.
+	d.beginTimelines(cold, runID)
 	added, deduped, err := d.queue.Enqueue(cold)
 	if err != nil {
 		writeJSONError(w, http.StatusInternalServerError, err)
@@ -472,6 +602,7 @@ func (d *Dispatcher) handleSweep(w http.ResponseWriter, r *http.Request) {
 	resp.Computed = added
 	resp.Deduped = deduped
 	d.log.Info("sweep accepted",
+		slog.String("run_id", runID),
 		slog.Int("specs", len(jobs)), slog.Int("warm", resp.Warm),
 		slog.Int("enqueued", added), slog.Int("deduped", deduped))
 
@@ -555,7 +686,8 @@ func (d *Dispatcher) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err)
 		return
 	}
-	if !d.touchWorker(req.WorkerID) {
+	workerName, ok := d.touchWorker(req.WorkerID, req.Stats)
+	if !ok {
 		// Unknown worker — typically a dispatcher restart wiped the
 		// volatile roster. 404 tells the worker to re-register.
 		writeJSONError(w, http.StatusNotFound, errors.New("dist: unknown worker, re-register"))
@@ -567,8 +699,15 @@ func (d *Dispatcher) handleLease(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	var runID string
+	d.ring.Update(job.KeyHex, func(t *obs.JobTimeline) {
+		t.Leased = d.now()
+		t.Leases++
+		t.Worker = workerName
+		runID = t.RunID
+	})
 	writeJSONValue(w, http.StatusOK, LeaseResponse{
-		LeaseID: leaseID, Job: job, TTLMS: ttl.Milliseconds(),
+		LeaseID: leaseID, Job: job, TTLMS: ttl.Milliseconds(), RunID: runID,
 	})
 }
 
@@ -586,10 +725,13 @@ func (d *Dispatcher) handleRenew(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err)
 		return
 	}
-	if !d.queue.Renew(req.LeaseID, d.clampTTL(req.TTLMS)) {
+	key, workerID, ok := d.queue.Renew(req.LeaseID, d.clampTTL(req.TTLMS))
+	if !ok {
 		writeJSONError(w, http.StatusGone, errors.New("dist: lease gone"))
 		return
 	}
+	d.touchWorker(workerID, req.Stats)
+	d.ring.Update(hex.EncodeToString(key[:]), func(t *obs.JobTimeline) { t.Renews++ })
 	writeJSONValue(w, http.StatusOK, map[string]string{"status": "renewed"})
 }
 
@@ -597,7 +739,9 @@ func (d *Dispatcher) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !postOnly(w, r) {
 		return
 	}
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	// 4 MiB rather than the 1 MiB of the other worker calls: a report may
+	// carry an attached engine span trace alongside the result bytes.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
 	if err != nil {
 		writeJSONError(w, http.StatusBadRequest, err)
 		return
@@ -607,11 +751,28 @@ func (d *Dispatcher) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err)
 		return
 	}
-	d.touchWorker(req.WorkerID)
+	d.touchWorker(req.WorkerID, nil)
 	key, _ := ParseKey(req.Key)
 	if !d.queue.Known(key) {
 		writeJSONError(w, http.StatusNotFound, errors.New("dist: report for unknown job"))
 		return
+	}
+	// Duplicate reports (a lease expired mid-flight and both the old and
+	// new holder reported) must not restamp a finished timeline or
+	// double-observe the phase histograms: the first report won.
+	alreadyDone, _ := d.queue.Status(key)
+	if !alreadyDone {
+		d.ring.Update(req.Key, func(t *obs.JobTimeline) {
+			t.Reported = d.now()
+			t.ElapsedNS = req.ElapsedNS
+			t.Err = req.Err
+			if t.RunID == "" && ValidRunID(req.RunID) {
+				t.RunID = req.RunID
+			}
+			if req.Trace != nil {
+				t.Trace = req.Trace
+			}
+		})
 	}
 	if req.Err != "" {
 		if err := d.queue.Complete(req.LeaseID, key, false, req.Err); err != nil {
@@ -630,6 +791,7 @@ func (d *Dispatcher) handleReport(w http.ResponseWriter, r *http.Request) {
 			// surface the violation loudly.
 			d.log.Error("determinism violation: result bytes differ",
 				slog.String("key", hex.EncodeToString(key[:])),
+				slog.String("run_id", req.RunID),
 				slog.String("worker", req.WorkerID))
 		} else {
 			writeJSONError(w, http.StatusInternalServerError, err)
@@ -640,7 +802,165 @@ func (d *Dispatcher) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !alreadyDone {
+		d.ring.Update(req.Key, func(t *obs.JobTimeline) { t.Stored = d.now() })
+		d.observePhases(req.Key)
+	}
 	writeJSONValue(w, http.StatusOK, map[string]string{"status": "recorded"})
+}
+
+// observePhases feeds a completed job's phase durations into the
+// flagsim_dist_phase_seconds histograms. Evicted timelines observe
+// nothing — bounded memory wins over complete histograms.
+func (d *Dispatcher) observePhases(key string) {
+	t, ok := d.ring.Get(key)
+	if !ok {
+		return
+	}
+	if dur, ok := t.QueueWait(); ok {
+		d.phaseQueue.ObserveDuration(dur)
+	}
+	if dur, ok := t.Compute(); ok {
+		d.phaseCompute.ObserveDuration(dur)
+	}
+	if dur, ok := t.Store(); ok {
+		d.phaseStore.ObserveDuration(dur)
+	}
+	if dur, ok := t.EndToEnd(); ok {
+		d.phaseEndToEnd.ObserveDuration(dur)
+	}
+}
+
+// JobPhasesView is the derived phase-duration block of a timeline view;
+// a phase is present once both of its bounding timestamps exist.
+type JobPhasesView struct {
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
+	ComputeNS   int64 `json:"compute_ns,omitempty"`
+	StoreNS     int64 `json:"store_ns,omitempty"`
+	EndToEndNS  int64 `json:"end_to_end_ns,omitempty"`
+}
+
+// JobTimelineView is one /v1/jobs row: the raw timeline plus derived
+// phase durations and trace availability.
+type JobTimelineView struct {
+	obs.JobTimeline
+	Phases   JobPhasesView `json:"phases"`
+	Done     bool          `json:"done"`
+	HasTrace bool          `json:"has_trace"`
+}
+
+// JobsResponse is flagdispd's /v1/jobs reply, newest timeline first.
+type JobsResponse struct {
+	Count int               `json:"count"`
+	Jobs  []JobTimelineView `json:"jobs"`
+}
+
+func timelineView(t obs.JobTimeline) JobTimelineView {
+	v := JobTimelineView{JobTimeline: t, Done: t.Done(), HasTrace: t.HasTrace()}
+	if dur, ok := t.QueueWait(); ok {
+		v.Phases.QueueWaitNS = int64(dur)
+	}
+	if dur, ok := t.Compute(); ok {
+		v.Phases.ComputeNS = int64(dur)
+	}
+	if dur, ok := t.Store(); ok {
+		v.Phases.StoreNS = int64(dur)
+	}
+	if dur, ok := t.EndToEnd(); ok {
+		v.Phases.EndToEndNS = int64(dur)
+	}
+	return v
+}
+
+func (d *Dispatcher) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if !getOnly(w, r) {
+		return
+	}
+	timelines := d.ring.List()
+	resp := JobsResponse{Count: len(timelines), Jobs: make([]JobTimelineView, 0, len(timelines))}
+	for _, t := range timelines {
+		resp.Jobs = append(resp.Jobs, timelineView(t))
+	}
+	writeJSONValue(w, http.StatusOK, resp)
+}
+
+func (d *Dispatcher) handleJob(w http.ResponseWriter, r *http.Request) {
+	if !getOnly(w, r) {
+		return
+	}
+	key := r.PathValue("key")
+	t, ok := d.ring.Get(key)
+	if !ok {
+		// Honest 404 even for keys the result tier can answer: timelines
+		// are volatile by design, and a warm-from-store job after a
+		// restart has no lifecycle on this process.
+		writeJSONError(w, http.StatusNotFound, fmt.Errorf(
+			"dist: no timeline for job %q (timelines are volatile and ring-bounded to the last %d jobs)",
+			key, d.cfg.JobRingSize))
+		return
+	}
+	writeJSONValue(w, http.StatusOK, timelineView(t))
+}
+
+func (d *Dispatcher) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	if !getOnly(w, r) {
+		return
+	}
+	key := r.PathValue("key")
+	t, ok := d.ring.Get(key)
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, fmt.Errorf(
+			"dist: no timeline for job %q (timelines are volatile and ring-bounded to the last %d jobs)",
+			key, d.cfg.JobRingSize))
+		return
+	}
+	if t.Leased.IsZero() || t.Reported.IsZero() {
+		writeJSONError(w, http.StatusNotFound, fmt.Errorf(
+			"dist: job %q has no completed lifecycle to trace yet", key))
+		return
+	}
+	b := obs.NewTraceBuilder()
+	// pid 1: the dispatcher's view — one lifecycle lane with the phase
+	// spans, all relative to the enqueue instant.
+	b.ProcessName(1, "flagdispd")
+	b.ThreadName(1, 1, "job lifecycle")
+	args := map[string]string{
+		"key": t.Key, "run_id": t.RunID, "worker": t.Worker,
+		"leases": fmt.Sprint(t.Leases), "renews": fmt.Sprint(t.Renews),
+	}
+	if dur, ok := t.QueueWait(); ok {
+		b.Span(1, 1, "queue_wait", "phase", 0, dur, args)
+	}
+	if dur, ok := t.Compute(); ok {
+		b.Span(1, 1, "compute", "phase", t.Leased.Sub(t.Enqueued), dur, args)
+	}
+	if dur, ok := t.Store(); ok {
+		b.Span(1, 1, "store", "phase", t.Reported.Sub(t.Enqueued), dur, args)
+	}
+	// pid 2: the worker's view — its engine span timeline, shifted onto
+	// the dispatcher clock at the lease instant (the engine's virtual
+	// clock compresses wall time, so spans nest inside the compute phase
+	// approximately, not exactly).
+	if t.HasTrace() {
+		tr := t.Trace
+		name := "flagworkd"
+		if tr.Worker != "" {
+			name = "flagworkd " + tr.Worker
+		}
+		b.ProcessName(2, name)
+		offset := t.Leased.Sub(t.Enqueued)
+		for i, proc := range tr.Procs {
+			b.ThreadName(2, i+1, proc)
+		}
+		for _, sp := range tr.Spans {
+			b.Span(2, sp.Proc+1, sp.Name, sp.Cat,
+				offset+time.Duration(sp.StartNS), time.Duration(sp.DurNS), sp.Args)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := b.Render(w); err != nil {
+		d.log.Error("trace stream failed", slog.String("key", key), slog.Any("err", err))
+	}
 }
 
 func (d *Dispatcher) handleQueue(w http.ResponseWriter, r *http.Request) {
@@ -670,6 +990,16 @@ func postOnly(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSONError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return false
+	}
+	return true
+}
+
+// getOnly enforces the method; false means the response is written.
+func getOnly(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSONError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return false
 	}
 	return true

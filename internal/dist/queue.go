@@ -221,18 +221,20 @@ func (q *Queue) Lease(worker string, ttl time.Duration) (leaseID string, job Job
 	return "", Job{}, false
 }
 
-// Renew extends a live lease. false means the lease is gone (expired or
-// completed): the worker must abandon the execution.
-func (q *Queue) Renew(leaseID string, ttl time.Duration) bool {
+// Renew extends a live lease, identifying which job and worker the lease
+// binds so the caller can stamp timelines without carrying that state
+// itself. ok false means the lease is gone (expired or completed): the
+// worker must abandon the execution.
+func (q *Queue) Renew(leaseID string, ttl time.Duration) (key Key, worker string, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expireLocked()
-	l, ok := q.leases[leaseID]
-	if !ok {
-		return false
+	l, live := q.leases[leaseID]
+	if !live {
+		return Key{}, "", false
 	}
 	l.deadline = q.now().Add(ttl)
-	return true
+	return l.key, l.worker, true
 }
 
 // Complete records a job's outcome durably (journaled and fsynced) and
@@ -302,6 +304,22 @@ func (q *Queue) Known(key Key) bool {
 	defer q.mu.Unlock()
 	_, ok := q.jobs[key]
 	return ok
+}
+
+// PendingJobs snapshots the dispatchable jobs in FIFO order. Used after
+// journal recovery to rebuild timelines for jobs a restart carried over;
+// completed jobs are deliberately absent (their lifecycles died with the
+// previous process).
+func (q *Queue) PendingJobs() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.pending))
+	for _, key := range q.pending {
+		if q.state[key] == statePending {
+			out = append(out, q.jobs[key])
+		}
+	}
+	return out
 }
 
 // ExpireLeases requeues every lease past its deadline, returning how

@@ -42,8 +42,8 @@ func TestQueueLifecycle(t *testing.T) {
 	if !ok || job.KeyHex != j1.KeyHex {
 		t.Fatalf("first lease = %v %q, want j1", ok, job.KeyHex)
 	}
-	if !q.Renew(leaseID, time.Second) {
-		t.Fatal("renew of a live lease failed")
+	if key, worker, ok := q.Renew(leaseID, time.Second); !ok || key != j1.Key() || worker != "w1" {
+		t.Fatalf("renew of a live lease = %x %q %v, want j1/w1/true", key, worker, ok)
 	}
 
 	done := q.DoneCh(j1.Key())
@@ -63,7 +63,7 @@ func TestQueueLifecycle(t *testing.T) {
 	if doneNow, errMsg := q.Status(j1.Key()); !doneNow || errMsg != "" {
 		t.Fatalf("status after ok-complete: %v %q", doneNow, errMsg)
 	}
-	if q.Renew(leaseID, time.Second) {
+	if _, _, ok := q.Renew(leaseID, time.Second); ok {
 		t.Fatal("renew of a completed lease succeeded")
 	}
 
@@ -118,7 +118,7 @@ func TestQueueLeaseExpiry(t *testing.T) {
 	if !ok || job.KeyHex != j.KeyHex {
 		t.Fatal("expired job not re-leasable")
 	}
-	if q.Renew(deadID, time.Second) {
+	if _, _, ok := q.Renew(deadID, time.Second); ok {
 		t.Fatal("dead lease renewed")
 	}
 

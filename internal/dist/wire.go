@@ -114,12 +114,34 @@ type RegisterResponse struct {
 	WorkerID string `json:"worker_id"`
 }
 
+// WorkerStatsReport is the worker-side stats snapshot piggybacked on
+// lease and renew calls — metrics federation without the dispatcher
+// scraping workers (most run no listener at all). Fields mirror
+// obs.DistWorkerStats.
+type WorkerStatsReport struct {
+	JobsExecuted float64 `json:"jobs_executed"`
+	JobsFailed   float64 `json:"jobs_failed"`
+	LeasesLost   float64 `json:"leases_lost"`
+	TierHits     float64 `json:"tier_hits"`
+}
+
+// validate rejects snapshots no worker can legitimately produce.
+func (s *WorkerStatsReport) validate(kind string) error {
+	if s.JobsExecuted < 0 || s.JobsFailed < 0 || s.LeasesLost < 0 || s.TierHits < 0 {
+		return fmt.Errorf("%w: %s: negative worker stats", ErrWire, kind)
+	}
+	return nil
+}
+
 // LeaseRequest asks for one job under a lease.
 type LeaseRequest struct {
 	WorkerID string `json:"worker_id"`
 	// TTLMS is the requested lease duration in milliseconds; the
 	// dispatcher clamps it to its configured bounds.
 	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Stats, when present, refreshes the dispatcher's federated view of
+	// this worker's own metric families.
+	Stats *WorkerStatsReport `json:"stats,omitempty"`
 }
 
 // LeaseResponse grants one job. A 204 (no body) means the queue is
@@ -130,6 +152,10 @@ type LeaseResponse struct {
 	// TTLMS is the granted lease duration; the worker must renew or
 	// report within it, or the job requeues.
 	TTLMS int64 `json:"ttl_ms"`
+	// RunID is the request identifier that carried the job into the
+	// fabric; the worker threads it through logs and stamps the report,
+	// so one ID names the job on every hop.
+	RunID string `json:"run_id,omitempty"`
 }
 
 // RenewRequest extends a lease (the worker's heartbeat). A dispatcher
@@ -138,6 +164,8 @@ type LeaseResponse struct {
 type RenewRequest struct {
 	LeaseID string `json:"lease_id"`
 	TTLMS   int64  `json:"ttl_ms,omitempty"`
+	// Stats rides the heartbeat like on lease calls.
+	Stats *WorkerStatsReport `json:"stats,omitempty"`
 }
 
 // ReportRequest delivers one executed job's outcome. Exactly one of
@@ -148,9 +176,14 @@ type ReportRequest struct {
 	LeaseID   string          `json:"lease_id"`
 	WorkerID  string          `json:"worker_id"`
 	Key       string          `json:"key"`
+	RunID     string          `json:"run_id,omitempty"`
 	ElapsedNS int64           `json:"elapsed_ns,omitempty"`
 	Result    json.RawMessage `json:"result,omitempty"`
 	Err       string          `json:"err,omitempty"`
+	// Trace is the worker's pre-rendered engine span summary for a
+	// successful execution; the dispatcher stitches it into the job's
+	// fleet-wide Chrome trace.
+	Trace *wire.WorkerTrace `json:"trace,omitempty"`
 }
 
 // DecodeRegister strictly decodes a register payload.
@@ -177,6 +210,11 @@ func DecodeLease(raw []byte) (LeaseRequest, error) {
 	if v.TTLMS < 0 {
 		return v, fmt.Errorf("%w: lease: negative ttl_ms %d", ErrWire, v.TTLMS)
 	}
+	if v.Stats != nil {
+		if err := v.Stats.validate("lease"); err != nil {
+			return v, err
+		}
+	}
 	return v, nil
 }
 
@@ -191,6 +229,11 @@ func DecodeRenew(raw []byte) (RenewRequest, error) {
 	}
 	if v.TTLMS < 0 {
 		return v, fmt.Errorf("%w: renew: negative ttl_ms %d", ErrWire, v.TTLMS)
+	}
+	if v.Stats != nil {
+		if err := v.Stats.validate("renew"); err != nil {
+			return v, err
+		}
 	}
 	return v, nil
 }
@@ -216,7 +259,33 @@ func DecodeReport(raw []byte) (ReportRequest, error) {
 			return v, fmt.Errorf("%w: report result: %v", ErrWire, err)
 		}
 	}
+	if v.Trace != nil {
+		if len(v.Result) == 0 {
+			return v, fmt.Errorf("%w: report: trace attached to a failed execution", ErrWire)
+		}
+		if err := v.Trace.Validate(); err != nil {
+			return v, fmt.Errorf("%w: report trace: %v", ErrWire, err)
+		}
+	}
 	return v, nil
+}
+
+// ValidRunID reports whether s is a well-formed run identifier as minted
+// by obs.NewRunID: exactly 16 lower-case hex digits. The dispatcher
+// accepts client-supplied X-Run-ID headers only in this shape; anything
+// else gets a freshly minted ID rather than an error, so garbage headers
+// cannot pollute logs or timelines.
+func ValidRunID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // ParseKey decodes a 64-hex-digit content address.

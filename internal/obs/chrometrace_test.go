@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"flagsim/internal/geom"
+	"flagsim/internal/palette"
+	"flagsim/internal/sim"
+)
+
+type rawEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+func renderEvents(t *testing.T, b *TraceBuilder) []rawEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := b.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []rawEvent
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, buf.String())
+	}
+	return evs
+}
+
+func TestTraceBuilderMultiProcess(t *testing.T) {
+	b := NewTraceBuilder()
+	b.ProcessName(1, "flagdispd")
+	b.ThreadName(1, 1, "job lifecycle")
+	b.Span(1, 1, "queue_wait", "phase", 0, 5*time.Millisecond, map[string]string{"key": "k"})
+	b.ProcessName(2, "flagworkd w1")
+	b.ThreadName(2, 1, "P1")
+	b.Span(2, 1, "paint red", "paint", 5*time.Millisecond, time.Millisecond, nil)
+
+	evs := renderEvents(t, b)
+	// Metadata renders before spans, whatever order calls interleaved in.
+	var sawSpan bool
+	pids := map[int]bool{}
+	for _, ev := range evs {
+		switch ev.Ph {
+		case "M":
+			if sawSpan {
+				t.Fatalf("metadata event %q after a span", ev.Name)
+			}
+		case "X":
+			sawSpan = true
+			pids[ev.PID] = true
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if !pids[1] || !pids[2] {
+		t.Fatalf("spans span pids %v, want both 1 and 2", pids)
+	}
+	// The dispatcher lane's span lands at ts 0 for 5000µs; the worker's
+	// is offset to nest after it.
+	for _, ev := range evs {
+		if ev.Ph == "X" && ev.PID == 1 {
+			if ev.TS != 0 || ev.Dur != 5000 {
+				t.Fatalf("lifecycle span ts/dur = %d/%d, want 0/5000", ev.TS, ev.Dur)
+			}
+		}
+		if ev.Ph == "X" && ev.PID == 2 {
+			if ev.TS != 5000 || ev.Dur != 1000 {
+				t.Fatalf("worker span ts/dur = %d/%d, want 5000/1000", ev.TS, ev.Dur)
+			}
+		}
+	}
+}
+
+// TestTraceBuilderMatchesSimWriter pins the refactor invariant: for one
+// engine run at offset zero, the shared builder and sim's original
+// writer emit the same thread names, span names, categories, and
+// timings — flagsimd's trace output must not drift when it switches to
+// the builder.
+func TestTraceBuilderMatchesSimWriter(t *testing.T) {
+	procs := []string{"P1", "P2"}
+	spans := []sim.Span{
+		{Proc: 0, Kind: sim.SpanPaint, Start: 0, End: 2 * time.Millisecond,
+			Color: palette.Red, Cell: geom.Pt{X: 3, Y: 1}},
+		{Proc: 1, Kind: sim.SpanWaitImplement, Start: time.Millisecond, End: 4 * time.Millisecond,
+			Color: palette.Red},
+		{Proc: 1, Kind: sim.SpanPickup, Start: 4 * time.Millisecond, End: 5 * time.Millisecond,
+			Color: palette.Red},
+	}
+
+	var want bytes.Buffer
+	if err := sim.WriteChromeTraceSpans(&want, procs, spans); err != nil {
+		t.Fatal(err)
+	}
+	var wantEvs []rawEvent
+	if err := json.Unmarshal(want.Bytes(), &wantEvs); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewTraceBuilder()
+	b.EngineSpans(1, 0, procs, spans)
+	gotEvs := renderEvents(t, b)
+
+	index := func(evs []rawEvent) map[string]rawEvent {
+		m := make(map[string]rawEvent)
+		for _, ev := range evs {
+			if ev.Ph == "M" && ev.Name == "thread_name" {
+				m["thread:"+ev.Args["name"]] = ev
+			}
+			if ev.Ph == "X" {
+				m[strings.Join([]string{ev.Name, ev.Cat}, "|")] = ev
+			}
+		}
+		return m
+	}
+	wantIdx, gotIdx := index(wantEvs), index(gotEvs)
+	for k, w := range wantIdx {
+		g, ok := gotIdx[k]
+		if !ok {
+			t.Fatalf("builder output missing event %q", k)
+		}
+		if g.TS != w.TS || g.Dur != w.Dur || g.TID != w.TID {
+			t.Fatalf("event %q differs: got ts/dur/tid %d/%d/%d, want %d/%d/%d",
+				k, g.TS, g.Dur, g.TID, w.TS, w.Dur, w.TID)
+		}
+		for ak, av := range w.Args {
+			if g.Args[ak] != av {
+				t.Fatalf("event %q arg %q = %q, want %q", k, ak, g.Args[ak], av)
+			}
+		}
+	}
+	// Naming spot checks: the viewer-facing labels stay human.
+	if _, ok := gotIdx["paint red|paint"]; !ok {
+		t.Fatalf("paint span not named 'paint red': %v", gotIdx)
+	}
+	if _, ok := gotIdx["wait red|wait-implement"]; !ok {
+		t.Fatalf("wait span not named 'wait red': %v", gotIdx)
+	}
+}
+
+func TestEngineSpansOffset(t *testing.T) {
+	b := NewTraceBuilder()
+	b.EngineSpans(2, 7*time.Millisecond, []string{"P1"}, []sim.Span{
+		{Proc: 0, Kind: sim.SpanPaint, Start: time.Millisecond, End: 2 * time.Millisecond,
+			Color: palette.Blue, Cell: geom.Pt{}},
+	})
+	for _, ev := range renderEvents(t, b) {
+		if ev.Ph == "X" {
+			if ev.TS != 8000 {
+				t.Fatalf("offset span ts = %d, want 8000 (7ms offset + 1ms start)", ev.TS)
+			}
+			if ev.PID != 2 || ev.TID != 1 {
+				t.Fatalf("span lane pid/tid = %d/%d, want 2/1", ev.PID, ev.TID)
+			}
+		}
+	}
+}

@@ -76,6 +76,17 @@ func RegisterDistDispatcher(r *Registry, fn func() DistDispatcherStats) {
 		func() float64 { return fn().WorkersRegistered })
 }
 
+// RegisterDistPhases installs the dispatcher's job lifecycle phase
+// histograms: flagsim_dist_phase_seconds{phase=...} with one series per
+// phase (queue_wait, compute, store, end_to_end), observed once per
+// successfully completed job. Callers cache the per-phase histograms
+// from With() so the report hot path observes lock-free.
+func RegisterDistPhases(r *Registry) *HistogramVec {
+	return r.HistogramVec("flagsim_dist_phase_seconds",
+		"Job lifecycle phase durations as observed by the dispatcher.",
+		DefaultLatencyBuckets, "phase")
+}
+
 // DistWorkerStats is one scrape-time snapshot of a worker daemon.
 type DistWorkerStats struct {
 	// JobsExecuted counts leases executed to a reported result;
@@ -87,6 +98,57 @@ type DistWorkerStats struct {
 	// TierHits counts executions served from the worker's local disk
 	// tier without running the engine.
 	TierHits float64
+}
+
+// DistWorkerRow is one worker's row in the dispatcher's federated
+// per-worker export: the stats snapshot the worker last piggybacked on a
+// lease or renew call, plus dispatcher-side roster facts.
+type DistWorkerRow struct {
+	// Worker is the worker's self-chosen name — the series label.
+	Worker string
+	// Slots is the worker's declared execution concurrency.
+	Slots float64
+	// SecondsSinceSeen is the age of the worker's last contact.
+	SecondsSinceSeen float64
+	// Stats is the worker's own snapshot, relayed verbatim.
+	Stats DistWorkerStats
+}
+
+// RegisterDistWorkerFederation installs per-worker labeled families on a
+// dispatcher registry, so one scrape of flagdispd covers the fleet
+// without any worker running a listener. Gauges rather than counters:
+// from the dispatcher's view these are last-reported snapshots that
+// legitimately reset when a worker restarts under the same name.
+func RegisterDistWorkerFederation(r *Registry, fn func() []DistWorkerRow) {
+	labels := []string{"worker"}
+	series := func(pick func(DistWorkerRow) float64) func() []Sample {
+		return func() []Sample {
+			rows := fn()
+			out := make([]Sample, 0, len(rows))
+			for _, row := range rows {
+				out = append(out, Sample{Values: []string{row.Worker}, Value: pick(row)})
+			}
+			return out
+		}
+	}
+	r.GaugeSeriesFunc("flagsim_dist_worker_jobs_executed",
+		"Jobs executed and reported, per worker, as last heartbeated to the dispatcher.",
+		labels, series(func(w DistWorkerRow) float64 { return w.Stats.JobsExecuted }))
+	r.GaugeSeriesFunc("flagsim_dist_worker_jobs_failed",
+		"Jobs whose execution errored, per worker, as last heartbeated.",
+		labels, series(func(w DistWorkerRow) float64 { return w.Stats.JobsFailed }))
+	r.GaugeSeriesFunc("flagsim_dist_worker_leases_lost",
+		"Executions abandoned to lease expiry, per worker, as last heartbeated.",
+		labels, series(func(w DistWorkerRow) float64 { return w.Stats.LeasesLost }))
+	r.GaugeSeriesFunc("flagsim_dist_worker_tier_hits",
+		"Executions served from the worker's local result tier, as last heartbeated.",
+		labels, series(func(w DistWorkerRow) float64 { return w.Stats.TierHits }))
+	r.GaugeSeriesFunc("flagsim_dist_worker_slots",
+		"Declared execution concurrency, per registered worker.",
+		labels, series(func(w DistWorkerRow) float64 { return w.Slots }))
+	r.GaugeSeriesFunc("flagsim_dist_worker_last_seen_seconds",
+		"Seconds since the worker's last contact with the dispatcher.",
+		labels, series(func(w DistWorkerRow) float64 { return w.SecondsSinceSeen }))
 }
 
 // RegisterDistWorker installs the worker's metric families on r.

@@ -1,0 +1,175 @@
+package obs
+
+// Job lifecycle timelines for the distributed sweep fabric. The
+// dispatcher stamps each phase transition it witnesses — enqueued,
+// leased (per attempt), reported, stored — into a bounded ring keyed by
+// the job's content address, the fabric analogue of RunRing: volatile by
+// design (a restart forgets timelines along with leases), bounded in
+// memory (a slot's worker trace is dropped when the slot is reused), and
+// queryable after the fact without having asked for tracing up front.
+
+import (
+	"sync"
+	"time"
+
+	"flagsim/internal/wire"
+)
+
+// JobTimeline is one fabric job's lifecycle as the dispatcher saw it.
+// Timestamps are dispatcher-clock; zero means the phase has not happened
+// (yet, or ever — failed jobs never store).
+type JobTimeline struct {
+	// Key is the job's spec content address (64 hex digits).
+	Key string `json:"key"`
+	// RunID is the 16-hex request identifier that carried the job in
+	// (client-supplied X-Run-ID or dispatcher-minted).
+	RunID string `json:"run_id,omitempty"`
+	// Spec is the resolved spec label, for humans.
+	Spec string `json:"spec,omitempty"`
+	// Worker names the most recent leaseholder.
+	Worker string `json:"worker,omitempty"`
+
+	Enqueued time.Time `json:"enqueued"`
+	Leased   time.Time `json:"leased,omitzero"`
+	Reported time.Time `json:"reported,omitzero"`
+	Stored   time.Time `json:"stored,omitzero"`
+
+	// Leases counts lease grants (>1 means expiry requeued the job);
+	// Renews counts heartbeat renewals across all attempts.
+	Leases int `json:"leases,omitempty"`
+	Renews int `json:"renews,omitempty"`
+
+	// ElapsedNS is the worker-reported execution wall time.
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+	// Err is the execution error for failed jobs.
+	Err string `json:"err,omitempty"`
+
+	// Trace is the worker-attached engine span summary backing the
+	// stitched Chrome trace; nil when the worker attached none. Served
+	// by its own endpoint, not inlined into timeline JSON.
+	Trace *wire.WorkerTrace `json:"-"`
+}
+
+// QueueWait is the enqueue→lease phase (the last lease when the job was
+// requeued); ok is false until both timestamps exist.
+func (t JobTimeline) QueueWait() (time.Duration, bool) {
+	if t.Enqueued.IsZero() || t.Leased.IsZero() {
+		return 0, false
+	}
+	return t.Leased.Sub(t.Enqueued), true
+}
+
+// Compute is the lease→report phase: worker execution plus both wire
+// hops, as the dispatcher can observe it.
+func (t JobTimeline) Compute() (time.Duration, bool) {
+	if t.Leased.IsZero() || t.Reported.IsZero() {
+		return 0, false
+	}
+	return t.Reported.Sub(t.Leased), true
+}
+
+// Store is the report→stored phase: result-tier persistence.
+func (t JobTimeline) Store() (time.Duration, bool) {
+	if t.Reported.IsZero() || t.Stored.IsZero() {
+		return 0, false
+	}
+	return t.Stored.Sub(t.Reported), true
+}
+
+// EndToEnd is the whole enqueue→stored lifecycle.
+func (t JobTimeline) EndToEnd() (time.Duration, bool) {
+	if t.Enqueued.IsZero() || t.Stored.IsZero() {
+		return 0, false
+	}
+	return t.Stored.Sub(t.Enqueued), true
+}
+
+// Done reports a fully-recorded successful lifecycle (failed jobs stay
+// not-done; their Err says why).
+func (t JobTimeline) Done() bool { return !t.Stored.IsZero() }
+
+// HasTrace reports whether the timeline can serve a stitched trace.
+func (t JobTimeline) HasTrace() bool { return t.Trace != nil && len(t.Trace.Spans) > 0 }
+
+// JobRing is a bounded ring of job timelines keyed by content address,
+// newest insert evicting the oldest. Safe for concurrent use; updates
+// mutate in place under the ring lock.
+type JobRing struct {
+	mu    sync.Mutex
+	buf   []JobTimeline
+	next  int
+	size  int
+	byKey map[string]int // job key -> slot
+}
+
+// NewJobRing returns a ring holding the last n timelines; n < 1 is
+// treated as 1.
+func NewJobRing(n int) *JobRing {
+	if n < 1 {
+		n = 1
+	}
+	return &JobRing{buf: make([]JobTimeline, n), byKey: make(map[string]int, n)}
+}
+
+// Begin inserts a fresh timeline for t.Key, evicting the oldest slot
+// when full. A key already resident no-ops: the first enqueue wins, so
+// dedup'd resubmissions cannot reset a live timeline.
+func (r *JobRing) Begin(t JobTimeline) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byKey[t.Key]; ok {
+		return
+	}
+	slot := r.next
+	if old := r.buf[slot]; old.Key != "" {
+		delete(r.byKey, old.Key)
+	}
+	r.buf[slot] = t
+	r.byKey[t.Key] = slot
+	r.next = (r.next + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+}
+
+// Update mutates the resident timeline for key under the ring lock;
+// false means the key is not resident (never begun, or evicted).
+func (r *JobRing) Update(key string, fn func(*JobTimeline)) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot, ok := r.byKey[key]
+	if !ok {
+		return false
+	}
+	fn(&r.buf[slot])
+	return true
+}
+
+// Get returns a copy of the timeline for key.
+func (r *JobRing) Get(key string) (JobTimeline, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot, ok := r.byKey[key]
+	if !ok {
+		return JobTimeline{}, false
+	}
+	return r.buf[slot], true
+}
+
+// List returns the resident timelines, newest insert first.
+func (r *JobRing) List() []JobTimeline {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobTimeline, 0, r.size)
+	for i := 1; i <= r.size; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of resident timelines.
+func (r *JobRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}

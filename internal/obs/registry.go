@@ -226,6 +226,114 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 		collect: func(w io.Writer) { fmt.Fprintf(w, "%s %s\n", name, formatValue(fn())) }})
 }
 
+// Sample is one labeled sample produced by a series callback: the label
+// values (one per declared label name, in order) and the sample value.
+type Sample struct {
+	Values []string
+	Value  float64
+}
+
+// GaugeSeriesFunc registers a labeled gauge family whose entire series
+// set is produced by fn at scrape time — for families whose label space
+// is dynamic, like one series per currently-registered worker. Series
+// render sorted by label tuple so scrapes are deterministic; samples
+// carrying the wrong number of label values are dropped.
+func (r *Registry) GaugeSeriesFunc(name, help string, labels []string, fn func() []Sample) {
+	if len(labels) == 0 {
+		panic("obs: gauge series needs at least one label")
+	}
+	r.register(&family{name: name, help: help, typ: "gauge",
+		collect: func(w io.Writer) {
+			samples := fn()
+			rows := make([]labeledValue, 0, len(samples))
+			for _, s := range samples {
+				if len(s.Values) != len(labels) {
+					continue
+				}
+				rows = append(rows, labeledValue{renderLabels(labels, s.Values), s.Value})
+			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i].labels < rows[j].labels })
+			for _, lv := range rows {
+				fmt.Fprintf(w, "%s{%s} %s\n", name, lv.labels, formatValue(lv.value))
+			}
+		}})
+}
+
+// HistogramVec is a histogram family keyed by a fixed set of label
+// names, every series sharing one bucket ladder. Like CounterVec, With
+// takes one mutex acquisition and the returned *Histogram may be cached
+// by the caller for lock-free observations on hot paths.
+type HistogramVec struct {
+	bounds []float64
+	labels []string
+	mu     sync.Mutex
+	m      map[string]*Histogram
+}
+
+// With returns the histogram for the given label values (one per label
+// name, in declaration order), creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: histogram vec wants %d label values, got %d", len(v.labels), len(values)))
+	}
+	key := renderLabels(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.m[key]
+	if !ok {
+		h = &Histogram{bounds: v.bounds, buckets: make([]atomic.Uint64, len(v.bounds))}
+		v.m[key] = h
+	}
+	return h
+}
+
+type labeledHistogram struct {
+	labels string
+	h      *Histogram
+}
+
+// series returns the resident histograms sorted by label tuple.
+func (v *HistogramVec) series() []labeledHistogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]labeledHistogram, 0, len(v.m))
+	for labels, h := range v.m {
+		out = append(out, labeledHistogram{labels, h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+// HistogramVec registers a histogram family keyed by the given label
+// names. bounds must be ascending upper limits in base units; they are
+// shared by every series and not copied.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	if len(labels) == 0 {
+		panic("obs: histogram vec needs at least one label")
+	}
+	v := &HistogramVec{bounds: bounds, labels: labels, m: make(map[string]*Histogram)}
+	r.register(&family{name: name, help: help, typ: "histogram",
+		collect: func(w io.Writer) {
+			for _, s := range v.series() {
+				var cum uint64
+				for i, b := range s.h.bounds {
+					cum += s.h.buckets[i].Load()
+					fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, s.labels, formatValue(b), cum)
+				}
+				count := s.h.count.Load()
+				fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, s.labels, count)
+				fmt.Fprintf(w, "%s_sum{%s} %s\n", name, s.labels, formatValue(float64(s.h.sumNanos.Load())/1e9))
+				fmt.Fprintf(w, "%s_count{%s} %d\n", name, s.labels, count)
+			}
+		}})
+	return v
+}
+
 // Histogram registers and returns a fixed-bucket histogram. bounds must
 // be ascending upper limits in base units; they are not copied.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGaugeSeriesFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	rows := []Sample{
+		{Values: []string{"w2"}, Value: 7},
+		{Values: []string{"w1"}, Value: 3},
+		{Values: []string{"bad", "arity"}, Value: 1}, // dropped, wrong arity
+	}
+	r.GaugeSeriesFunc("test_worker_jobs", "Jobs per worker.",
+		[]string{"worker"}, func() []Sample { return rows })
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	text := sb.String()
+
+	i1 := strings.Index(text, `test_worker_jobs{worker="w1"} 3`)
+	i2 := strings.Index(text, `test_worker_jobs{worker="w2"} 7`)
+	if i1 < 0 || i2 < 0 {
+		t.Fatalf("exposition missing labeled series:\n%s", text)
+	}
+	// Series render sorted by label tuple regardless of callback order.
+	if i1 > i2 {
+		t.Fatal("series not sorted by label value")
+	}
+	if strings.Contains(text, "arity") {
+		t.Fatal("wrong-arity sample leaked into the exposition")
+	}
+	if !strings.Contains(text, "# TYPE test_worker_jobs gauge") {
+		t.Fatalf("missing TYPE line:\n%s", text)
+	}
+
+	// The label space is dynamic: new workers appear on the next scrape
+	// without re-registration.
+	rows = append(rows, Sample{Values: []string{"w3"}, Value: 1})
+	sb.Reset()
+	r.WriteText(&sb)
+	if !strings.Contains(sb.String(), `test_worker_jobs{worker="w3"} 1`) {
+		t.Fatalf("new series did not appear on re-scrape:\n%s", sb.String())
+	}
+}
+
+func TestGaugeSeriesFuncRequiresLabels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-label GaugeSeriesFunc must panic (use GaugeFunc)")
+		}
+	}()
+	NewRegistry().GaugeSeriesFunc("test_bad", "h", nil, func() []Sample { return nil })
+}
+
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	vec := r.HistogramVec("test_phase_seconds", "Phase durations.",
+		[]float64{0.01, 0.1, 1}, "phase")
+
+	qw := vec.With("queue_wait")
+	// Repeated With returns the same series.
+	if vec.With("queue_wait") != qw {
+		t.Fatal("With minted a second histogram for the same labels")
+	}
+	qw.ObserveDuration(5 * time.Millisecond)
+	qw.ObserveDuration(50 * time.Millisecond)
+	vec.With("compute").ObserveDuration(500 * time.Millisecond)
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	text := sb.String()
+
+	for _, want := range []string{
+		"# TYPE test_phase_seconds histogram",
+		`test_phase_seconds_bucket{phase="queue_wait",le="0.01"} 1`,
+		`test_phase_seconds_bucket{phase="queue_wait",le="0.1"} 2`,
+		`test_phase_seconds_bucket{phase="queue_wait",le="+Inf"} 2`,
+		`test_phase_seconds_count{phase="queue_wait"} 2`,
+		`test_phase_seconds_bucket{phase="compute",le="1"} 1`,
+		`test_phase_seconds_count{phase="compute"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, `test_phase_seconds_sum{phase="queue_wait"} 0.055`) {
+		t.Fatalf("queue_wait sum wrong:\n%s", text)
+	}
+}
+
+func TestHistogramVecValidation(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("no labels", func() {
+		r.HistogramVec("test_h1", "h", []float64{1})
+	})
+	mustPanic("unsorted bounds", func() {
+		r.HistogramVec("test_h2", "h", []float64{1, 0.5}, "phase")
+	})
+	vec := r.HistogramVec("test_h3", "h", []float64{1}, "phase")
+	mustPanic("wrong arity With", func() {
+		vec.With("a", "b")
+	})
+}

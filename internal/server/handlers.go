@@ -221,7 +221,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		ri.makespan, ri.events = res.Makespan, res.Events
 		ri.procs, ri.trace = procNames(res), collector.Spans
 		w.Header().Set("Content-Type", "application/json")
-		if err := sim.WriteChromeTraceSpans(w, ri.procs, ri.trace); err != nil {
+		if err := writeEngineTrace(w, ri.procs, ri.trace); err != nil {
 			s.logger.LogAttrs(ctx, slog.LevelError, "trace stream failed",
 				slog.String("run_id", obs.RunID(ctx)), slog.String("error", err.Error()))
 		}

@@ -8,12 +8,23 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 
 	"flagsim/internal/obs"
 	"flagsim/internal/sim"
 )
+
+// writeEngineTrace renders one engine run as a Chrome trace through the
+// shared obs builder — the same machinery flagdispd uses to stitch
+// fleet-wide job traces, so both daemons emit identical event shapes.
+func writeEngineTrace(w io.Writer, procs []string, spans []sim.Span) error {
+	b := obs.NewTraceBuilder()
+	b.ProcessName(1, "flagsimd")
+	b.EngineSpans(1, 0, procs, spans)
+	return b.Render(w)
+}
 
 // RunsResponse is the /v1/runs reply: recent runs, newest first.
 type RunsResponse struct {
@@ -50,7 +61,7 @@ func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := sim.WriteChromeTraceSpans(w, sum.Procs, sum.Trace); err != nil {
+	if err := writeEngineTrace(w, sum.Procs, sum.Trace); err != nil {
 		s.logger.LogAttrs(r.Context(), slog.LevelError, "trace stream failed",
 			slog.String("run_id", id), slog.String("error", err.Error()))
 	}

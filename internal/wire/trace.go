@@ -1,0 +1,65 @@
+package wire
+
+// Cross-process trace DTOs for the sweep fabric. A worker that computed
+// a job pre-renders its engine span timeline into Chrome-event naming
+// (obs.EngineSpanEvent) and attaches it to the report; the dispatcher
+// stores the summary on the job's timeline and stitches it — without
+// ever resolving palette or geometry types — into the job's fleet-wide
+// Chrome trace.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxTraceSpans caps one report's attached span count. A mauritius-sized
+// run traces a few thousand spans; the cap keeps a pathological spec
+// from inflating report payloads past the dispatcher's read limit.
+const MaxTraceSpans = 4096
+
+// TraceSpan is one engine span in pre-rendered Chrome-event form.
+// Start/Dur are nanoseconds of engine virtual time.
+type TraceSpan struct {
+	// Proc indexes the owning WorkerTrace's Procs.
+	Proc    int               `json:"proc"`
+	Name    string            `json:"name"`
+	Cat     string            `json:"cat,omitempty"`
+	StartNS int64             `json:"start_ns"`
+	DurNS   int64             `json:"dur_ns"`
+	Args    map[string]string `json:"args,omitempty"`
+}
+
+// WorkerTrace is the per-run span summary a worker attaches to a
+// successful report: who computed it, the processor lane names, and the
+// spans themselves.
+type WorkerTrace struct {
+	Worker string      `json:"worker"`
+	Procs  []string    `json:"procs"`
+	Spans  []TraceSpan `json:"spans"`
+	// Truncated reports that the span list was capped at MaxTraceSpans
+	// (the head of the timeline survives; the tail was dropped).
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// Validate checks structural sanity: lanes exist, every span lands in a
+// lane, timings are non-negative, names are present.
+func (t *WorkerTrace) Validate() error {
+	if len(t.Procs) == 0 {
+		return errors.New("wire: worker trace has no processors")
+	}
+	if len(t.Spans) > MaxTraceSpans {
+		return fmt.Errorf("wire: worker trace has %d spans, cap is %d", len(t.Spans), MaxTraceSpans)
+	}
+	for i, sp := range t.Spans {
+		if sp.Proc < 0 || sp.Proc >= len(t.Procs) {
+			return fmt.Errorf("wire: trace span %d references processor %d of %d", i, sp.Proc, len(t.Procs))
+		}
+		if sp.StartNS < 0 || sp.DurNS < 0 {
+			return fmt.Errorf("wire: trace span %d has negative timing", i)
+		}
+		if sp.Name == "" {
+			return fmt.Errorf("wire: trace span %d has no name", i)
+		}
+	}
+	return nil
+}
