@@ -11,6 +11,7 @@ import (
 	"flagsim/internal/core"
 	"flagsim/internal/depgraph"
 	"flagsim/internal/fault"
+	"flagsim/internal/flaggen"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/grid"
 	"flagsim/internal/implement"
@@ -52,11 +53,45 @@ var (
 
 // LookupFlag returns a built-in flag by name ("mauritius", "france",
 // "canada", "greatbritain", "jordan", "germany", "japan", "sweden",
-// "poland").
+// "poland") or a procedurally generated one by canonical name
+// ("gen:v1:<seed>:<variant>", see GenerateFlag).
 func LookupFlag(name string) (*Flag, error) { return flagspec.Lookup(name) }
 
 // FlagNames lists the built-in flags.
 func FlagNames() []string { return flagspec.Names() }
+
+// ValidateFlag checks a flag against a concrete w×h raster: structural
+// invariants, at least one covered cell per layer, and — with
+// fullCoverage — no unpainted cell. Non-positive sizes use the flag's
+// defaults.
+func ValidateFlag(f *Flag, w, h int, fullCoverage bool) error {
+	return flagspec.Validate(f, w, h, fullCoverage)
+}
+
+// ---- Procedural flag generation ----
+
+// GenSpec parameterizes a family of procedurally generated flags: grid
+// ranges, layer budget, weighted shape grammar, palette pool.
+type GenSpec = flaggen.GenSpec
+
+// FlagGenerator is a compiled GenSpec; its Flag(seed, variant) method
+// deterministically generates valid flags.
+type FlagGenerator = flaggen.Generator
+
+// DefaultGenSpec is the grammar behind the canonical "gen:v1" names.
+func DefaultGenSpec() GenSpec { return flaggen.DefaultSpec() }
+
+// NewFlagGenerator compiles and validates a GenSpec.
+func NewFlagGenerator(spec GenSpec) (*FlagGenerator, error) { return flaggen.New(spec) }
+
+// GenerateFlag returns the variant-th flag of the seed's family under
+// the default grammar — the flag that "gen:v1:<seed>:<variant>" names.
+func GenerateFlag(seed, variant uint64) (*Flag, error) { return flaggen.Generate(seed, variant) }
+
+// GenFlagName returns the canonical versioned name of a generated flag,
+// resolvable anywhere a builtin name is accepted (LookupFlag, sweep
+// specs, the HTTP API, the dispatcher fleet).
+func GenFlagName(seed, variant uint64) string { return flaggen.Name(seed, variant) }
 
 // Rasterize paints a flag onto a fresh grid at the given size — the
 // reference image simulation runs are verified against.

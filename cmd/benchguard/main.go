@@ -50,9 +50,11 @@ import (
 // guarded is the default benchmark set: the three engine policies (bare,
 // nil-hook, probed, fault-injected, and oracle-verified for the static
 // one), the sweep pool, the two warm serving paths of the HTTP service,
-// and the dispatcher's report path (which carries the tracing plane's
-// per-job bookkeeping).
-const guarded = "^(BenchmarkEngineStatic|BenchmarkEngineStaticNilHooks|BenchmarkEngineStaticProbed|BenchmarkEngineStaticFaults|BenchmarkEngineStaticOracle|BenchmarkEngineDynamic|BenchmarkEngineSteal|BenchmarkSweepParallel|BenchmarkServerRun|BenchmarkServerSweepWarm|BenchmarkDispatcherReport)$"
+// the dispatcher's report path (which carries the tracing plane's
+// per-job bookkeeping), and the procedural flag generator (per-flag
+// generation, whose allocation envelope is pinned, plus the generated
+// sweep cold/warm pair guarding the content-addressed memo path).
+const guarded = "^(BenchmarkEngineStatic|BenchmarkEngineStaticNilHooks|BenchmarkEngineStaticProbed|BenchmarkEngineStaticFaults|BenchmarkEngineStaticOracle|BenchmarkEngineDynamic|BenchmarkEngineSteal|BenchmarkSweepParallel|BenchmarkServerRun|BenchmarkServerSweepWarm|BenchmarkDispatcherReport|BenchmarkGenFlag|BenchmarkSweepGeneratedCold|BenchmarkSweepGeneratedWarm)$"
 
 // flatBytesSlack is the absolute B/op growth allowed on an
 // allocation-flat benchmark before the gate fails. A genuinely

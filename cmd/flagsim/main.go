@@ -10,6 +10,8 @@
 //	flagsim -scenario 4 -faults heavy    # deterministic fault injection
 //	flagsim -sweep -kind crayon          # all scenarios x implements/color
 //	flagsim -sweep -steal -sweep-workers 4
+//	flagsim -gen -gen-seed 42            # a procedurally generated flag
+//	flagsim -gen -gen-seed 42 -sweep -gen-variants 8
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"flagsim/internal/core"
 	"flagsim/internal/dist"
 	"flagsim/internal/fault"
+	"flagsim/internal/flaggen"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/implement"
 	"flagsim/internal/report"
@@ -54,9 +57,18 @@ func main() {
 		faults    = flag.String("faults", "", "inject a fault preset: none, light, heavy")
 		faultSeed = flag.Uint64("fault-seed", 0, "seed for the fault preset (0 reuses -seed)")
 		dispURL   = flag.String("dispatcher", "", "offload to a flagdispd fleet at this base URL instead of computing locally")
+		gen       = flag.Bool("gen", false, "color a procedurally generated flag instead of -flag")
+		genSeed   = flag.Uint64("gen-seed", 42, "generated-flag family seed (with -gen)")
+		genVar    = flag.Uint64("gen-variant", 0, "generated-flag variant within the family (with -gen)")
+		genVars   = flag.Int("gen-variants", 0, "with -gen -sweep: sweep variants 0..n-1 of the family instead of one")
 	)
 	flag.Parse()
 
+	if *gen {
+		// The canonical name resolves through the same lookup path as a
+		// builtin, locally and on every fleet worker.
+		*flagName = flaggen.Name(*genSeed, *genVar)
+	}
 	f, err := flagspec.Lookup(*flagName)
 	if err != nil {
 		fatal(err)
@@ -76,6 +88,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	// With -gen -sweep -gen-variants n, the sweep fans across variants
+	// 0..n-1 of the family on the grid's flag axis, locally and remotely.
+	var genFlags []string
+	if *gen && *doSweep && *genVars > 0 {
+		for v := 0; v < *genVars; v++ {
+			genFlags = append(genFlags, flaggen.Name(*genSeed, uint64(v)))
+		}
+	}
 	if *dispURL != "" {
 		fs := *faultSeed
 		if fs == 0 {
@@ -86,13 +106,14 @@ func main() {
 			seed: *seed, setup: *setup,
 			scenario: *scenario, pipelined: *pipelined, perColor: *extra,
 			faults: *faults, faultSeed: fs, sweep: *doSweep,
+			genFlags: genFlags,
 		}); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *doSweep {
-		if err := runSweep(f, kind, *steal, *seed, *setup, *sweepW, plan); err != nil {
+		if err := runSweep(f, kind, *steal, *seed, *setup, *sweepW, plan, genFlags); err != nil {
 			fatal(err)
 		}
 		return
@@ -193,7 +214,7 @@ func main() {
 // the sweep pool and prints one makespan row per run plus cache stats.
 // Failed runs print an error row and are reported on stderr at the end
 // (non-zero exit) instead of aborting the batch or scrolling past.
-func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, setup time.Duration, workers int, plan *fault.Plan) error {
+func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, setup time.Duration, workers int, plan *fault.Plan, genFlags []string) error {
 	exec := sweep.ExecStatic
 	if steal {
 		exec = sweep.ExecSteal
@@ -203,33 +224,43 @@ func runSweep(f *flagspec.Flag, kind implement.Kind, steal bool, seed uint64, se
 			Exec: exec, Flag: f.Name, Kind: kind,
 			Seed: seed, Setup: setup, Faults: plan,
 		},
+		Flags:     genFlags,
 		Scenarios: []core.ScenarioID{core.S1, core.S2, core.S3, core.S4},
 		PerColor:  []int{1, 2},
 	}
 	sw := sweep.New(sweep.Options{Workers: workers})
 	batch := sw.Run(nil, g.Specs())
+	withFlag := len(genFlags) > 0
 	var rows [][]string
 	failed := 0
 	for _, run := range batch.Runs {
+		var row []string
+		if withFlag {
+			row = append(row, run.Spec.Flag)
+		}
 		if run.Err != nil {
 			failed++
-			rows = append(rows, []string{
+			rows = append(rows, append(row,
 				run.Spec.Scenario.String(),
 				fmt.Sprintf("%d", max(run.Spec.PerColor, 1)),
-				"ERROR: " + run.Err.Error(), "-", "-",
-			})
+				"ERROR: "+run.Err.Error(), "-", "-",
+			))
 			continue
 		}
 		r := run.Result
-		rows = append(rows, []string{
+		rows = append(rows, append(row,
 			run.Spec.Scenario.String(),
 			fmt.Sprintf("%d", max(run.Spec.PerColor, 1)),
 			r.Makespan.Round(time.Millisecond).String(),
 			r.TotalWaitImplement().Round(time.Millisecond).String(),
 			fmt.Sprintf("%d", r.Steals),
-		})
+		))
 	}
-	if err := viz.Table(os.Stdout, []string{"scenario", "impl/color", "makespan", "impl-wait", "steals"}, rows); err != nil {
+	headers := []string{"scenario", "impl/color", "makespan", "impl-wait", "steals"}
+	if withFlag {
+		headers = append([]string{"flag"}, headers...)
+	}
+	if err := viz.Table(os.Stdout, headers, rows); err != nil {
 		return err
 	}
 	stats := sw.Stats()
@@ -254,6 +285,7 @@ type remoteArgs struct {
 	perColor        int
 	faults          string
 	sweep           bool
+	genFlags        []string
 }
 
 // runRemote offloads the run (or the standard sweep grid) to a flagdispd
@@ -317,6 +349,7 @@ func runRemote(url string, a remoteArgs) error {
 	// The same grid runSweep fans across the local pool.
 	sreq := wire.SweepRequest{
 		Base:      base,
+		Flags:     a.genFlags,
 		Scenarios: []int{1, 2, 3, 4},
 		PerColor:  []int{1, 2},
 	}

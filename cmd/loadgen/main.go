@@ -59,6 +59,8 @@ func main() {
 		execsStr = flag.String("execs", "", "open-loop executor classes to rotate, comma-separated (empty = static,steal,dynamic)")
 		capture  = flag.String("capture", "", "open loop: record every exchange into this trace file")
 		replay   = flag.String("replay", "", "replay this captured trace instead of generating load")
+		genSpace = flag.Uint64("gen-space", 0, "open loop: draw flags from this many generated variants instead of -flag (0 = off)")
+		genSeed  = flag.Uint64("gen-seed", 42, "open loop: generated-flag family seed for -gen-space")
 	)
 	flag.Parse()
 
@@ -71,6 +73,7 @@ func main() {
 			Shape: *shapeStr, Seed: *seed, Speed: *speed, Duration: *duration,
 			Mix: *mixStr, Execs: *execsStr, Flag: *flagName, Scenario: *scenario, Seeds: *seeds,
 			W: *w, H: *h, Capture: *capture, Out: *outPath,
+			GenSpace: *genSpace, GenSeed: *genSeed,
 		})
 	default:
 		err = runClosed(*baseURL, *concurrency, *duration, *flagName, *scenario, *seeds, *w, *h, *outPath)
@@ -165,6 +168,8 @@ type openConfig struct {
 	W, H     int
 	Capture  string
 	Out      string
+	GenSpace uint64
+	GenSeed  uint64
 }
 
 func runOpen(baseURL string, cfg openConfig) error {
@@ -175,6 +180,7 @@ func runOpen(baseURL string, cfg openConfig) error {
 	pop := workload.Population{
 		Flags: []string{cfg.Flag}, Seeds: cfg.Seeds,
 		W: cfg.W, H: cfg.H, Scenario: cfg.Scenario,
+		GenSpace: cfg.GenSpace, GenSeed: cfg.GenSeed,
 	}
 	if cfg.Execs != "" {
 		pop.Execs = strings.Split(cfg.Execs, ",")

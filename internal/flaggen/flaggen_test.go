@@ -1,0 +1,282 @@
+package flaggen
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/grid"
+	"flagsim/internal/palette"
+	"flagsim/internal/rng"
+)
+
+// fingerprint renders a flag to a byte-exact identity: the full layer
+// structure (shapes, colors, dependencies) plus the rasterized grid, so
+// "same fingerprint" means "same flag" in every way the engine can see.
+func fingerprint(t *testing.T, f *flagspec.Flag) string {
+	t.Helper()
+	g, err := grid.Rasterize(f, f.DefaultW, f.DefaultH)
+	if err != nil {
+		t.Fatalf("rasterize %s: %v", f.Name, err)
+	}
+	return fmt.Sprintf("%s|%dx%d|%#v|%s", f.Name, f.DefaultW, f.DefaultH, f.Layers, g.String())
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		for v := uint64(0); v < 16; v++ {
+			a, err := Generate(seed, v)
+			if err != nil {
+				t.Fatalf("seed %d variant %d: %v", seed, v, err)
+			}
+			b, err := Generate(seed, v)
+			if err != nil {
+				t.Fatalf("seed %d variant %d (repeat): %v", seed, v, err)
+			}
+			if fa, fb := fingerprint(t, a), fingerprint(t, b); fa != fb {
+				t.Fatalf("seed %d variant %d: repeated generation diverged:\n%s\nvs\n%s", seed, v, fa, fb)
+			}
+		}
+	}
+}
+
+// TestGenerateDrawOrderIndependent is the SplitLabeled contract: the
+// i-th flag of a family is identical whether it is generated first,
+// last, or interleaved with other variants and other seeds.
+func TestGenerateDrawOrderIndependent(t *testing.T) {
+	const n = 16
+	ref := make([]string, n)
+	for v := 0; v < n; v++ {
+		f, err := Generate(42, uint64(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[v] = fingerprint(t, f)
+	}
+	// A shuffled draw order, interleaved with draws from other families.
+	order := rng.New(7).Perm(n)
+	for _, v := range order {
+		if _, err := Generate(uint64(v), 99); err != nil { // interfering draw
+			t.Fatal(err)
+		}
+		f, err := Generate(42, uint64(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fingerprint(t, f); got != ref[v] {
+			t.Fatalf("variant %d differs when drawn out of order:\n%s\nvs\n%s", v, got, ref[v])
+		}
+	}
+}
+
+func TestGeneratedFlagsValid(t *testing.T) {
+	spec := DefaultSpec()
+	for v := uint64(0); v < 256; v++ {
+		f, err := Generate(9, v)
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		if err := flagspec.Validate(f, f.DefaultW, f.DefaultH, true); err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		if len(f.Layers) < 2 || len(f.Layers) > spec.MaxLayers {
+			t.Fatalf("variant %d: %d layers outside [2,%d]", v, len(f.Layers), spec.MaxLayers)
+		}
+		if f.DefaultW < spec.MinW || f.DefaultW > spec.MaxW || f.DefaultH < spec.MinH || f.DefaultH > spec.MaxH {
+			t.Fatalf("variant %d: grid %dx%d outside spec ranges", v, f.DefaultW, f.DefaultH)
+		}
+		if f.Name != Name(9, v) {
+			t.Fatalf("variant %d: name %q, want %q", v, f.Name, Name(9, v))
+		}
+	}
+}
+
+func TestGenerateCoversAllFamilies(t *testing.T) {
+	// Every family should appear within a reasonable sample; a missing
+	// one means the grammar dispatch is broken.
+	seen := map[string]bool{}
+	for v := uint64(0); v < 200; v++ {
+		f, err := Generate(3, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case f.Layer("stripe-0") != nil:
+			seen["stripes"] = true
+		case f.Layer("band-left") != nil:
+			seen["bands"] = true
+		case f.Layer("saltire") != nil:
+			seen["saltire"] = true
+		case f.Layer("disc") != nil:
+			seen["disc"] = true
+		case f.Layer("cross") != nil:
+			seen["cross"] = true
+		}
+	}
+	for _, fam := range []string{"stripes", "bands", "saltire", "disc", "cross"} {
+		if !seen[fam] {
+			t.Errorf("family %s never generated in 200 variants", fam)
+		}
+	}
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	cases := []Ref{{0, 0}, {42, 7}, {1 << 63, 999999}, {^uint64(0), ^uint64(0)}}
+	for _, ref := range cases {
+		name := ref.Name()
+		got, err := ParseName(name)
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", name, err)
+		}
+		if got != ref {
+			t.Fatalf("ParseName(%q) = %+v, want %+v", name, got, ref)
+		}
+	}
+}
+
+func TestParseNameRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"", "gen", "gen:", "gen:v1", "gen:v1:", "gen:v1:42", "gen:v1:42:",
+		"gen:v2:42:7", "gen:v1:42:7:9", "gen:v1:-1:0", "gen:v1:+1:0",
+		"gen:v1:042:7", "gen:v1:42:007", "gen:v1: 42:7", "gen:v1:42:7 ",
+		"gen:v1:18446744073709551616:0", // uint64 overflow
+		"gen:v1:0x2a:0", "mauritius", "g:v1:1:1",
+	}
+	for _, name := range bad {
+		if _, err := ParseName(name); err == nil {
+			t.Errorf("ParseName(%q) accepted a malformed name", name)
+		} else if !errors.Is(err, ErrBadName) {
+			t.Errorf("ParseName(%q) error %v does not wrap ErrBadName", name, err)
+		}
+	}
+}
+
+func TestLookupResolvesGenerated(t *testing.T) {
+	name := Name(42, 7)
+	f, err := flagspec.Lookup(name)
+	if err != nil {
+		t.Fatalf("Lookup(%q): %v", name, err)
+	}
+	if f.Name != name {
+		t.Fatalf("resolved flag named %q, want %q", f.Name, name)
+	}
+	// Resolution is pointer-stable via the cache, like the builtin table.
+	again, err := flagspec.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != again {
+		t.Error("repeated Lookup returned a different *Flag pointer")
+	}
+	// Malformed names surface the typed error through Lookup.
+	if _, err := flagspec.Lookup("gen:v1:nope:0"); !errors.Is(err, ErrBadName) {
+		t.Errorf("Lookup of malformed gen name: error %v does not wrap ErrBadName", err)
+	}
+}
+
+func TestContentKey(t *testing.T) {
+	ck, ok := ContentKey(Name(42, 7))
+	if !ok {
+		t.Fatal("ContentKey rejected a canonical name")
+	}
+	h := Default().Hash()
+	want := fmt.Sprintf("gen[%x]:v1:42:7", h[:8])
+	if ck != want {
+		t.Fatalf("ContentKey = %q, want %q", ck, want)
+	}
+	if !strings.Contains(ck, fmt.Sprintf("%x", h[:8])) {
+		t.Fatalf("content key %q does not embed the grammar hash", ck)
+	}
+	for _, name := range []string{"mauritius", "gen:v1:042:7", "gen:v2:1:1", "gen:"} {
+		if _, ok := ContentKey(name); ok {
+			t.Errorf("ContentKey(%q) = ok for a non-addressable name", name)
+		}
+	}
+}
+
+func TestGrammarHashDistinguishesSpecs(t *testing.T) {
+	a := DefaultSpec()
+	b := DefaultSpec()
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal specs hash differently")
+	}
+	b.Families[0].Weight++
+	if a.Hash() == b.Hash() {
+		t.Fatal("different grammars hash equal")
+	}
+	c := DefaultSpec()
+	c.EmblemProb += 0.01
+	if a.Hash() == c.Hash() {
+		t.Fatal("different emblem policies hash equal")
+	}
+}
+
+func TestNewRejectsInvalidSpecs(t *testing.T) {
+	mutations := []func(*GenSpec){
+		func(s *GenSpec) { s.MinW = 0 },
+		func(s *GenSpec) { s.MaxW = s.MinW - 1 },
+		func(s *GenSpec) { s.MaxW = 1 << 20 },
+		func(s *GenSpec) { s.MinLayers = 1 },
+		func(s *GenSpec) { s.MaxLayers = 3 },
+		func(s *GenSpec) { s.MaxLayers = 100 },
+		func(s *GenSpec) { s.Families = nil },
+		func(s *GenSpec) { s.Families = []FamilyWeight{{Family: 99, Weight: 1}} },
+		func(s *GenSpec) { s.Families = []FamilyWeight{{Family: FamDisc, Weight: 0}} },
+		func(s *GenSpec) { s.Families[0].Weight = -1 },
+		func(s *GenSpec) { s.Colors = s.Colors[:2] },
+		func(s *GenSpec) { s.Colors = append(s.Colors, s.Colors[0]) },
+		func(s *GenSpec) { s.Colors[0] = palette.None },
+		func(s *GenSpec) { s.EmblemProb = 1.5 },
+		func(s *GenSpec) { s.EmblemProb = -0.1 },
+	}
+	for i, mutate := range mutations {
+		spec := DefaultSpec()
+		mutate(&spec)
+		if _, err := New(spec); err == nil {
+			t.Errorf("mutation %d: New accepted an invalid spec", i)
+		}
+	}
+}
+
+func TestCustomSpecGenerates(t *testing.T) {
+	spec := GenSpec{
+		MinW: 4, MaxW: 8, MinH: 4, MaxH: 8,
+		MinLayers: 2, MaxLayers: 4,
+		Families:     []FamilyWeight{{FamSaltire, 1}, {FamCross, 1}},
+		Colors:       []palette.Color{palette.Red, palette.White, palette.Blue},
+		EmblemProb:   1,
+		FullCoverage: true,
+	}
+	g, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 64; v++ {
+		f, err := g.Flag(5, v)
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		if f.Layer("saltire") == nil && f.Layer("cross") == nil {
+			t.Fatalf("variant %d: neither grammar family produced", v)
+		}
+	}
+	if g.Hash() == Default().Hash() {
+		t.Fatal("custom grammar hashes equal to the default grammar")
+	}
+}
+
+func TestResolveCacheBounded(t *testing.T) {
+	for v := uint64(0); v < resolveCacheCap+256; v++ {
+		if _, err := Resolve(Name(11, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resolveCache.Lock()
+	n := len(resolveCache.m)
+	resolveCache.Unlock()
+	if n > resolveCacheCap {
+		t.Fatalf("resolve cache grew to %d entries (cap %d)", n, resolveCacheCap)
+	}
+}

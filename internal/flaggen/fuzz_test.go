@@ -1,0 +1,108 @@
+package flaggen
+
+import (
+	"errors"
+	"testing"
+
+	"flagsim/internal/flagspec"
+	"flagsim/internal/palette"
+)
+
+// FuzzGenSpec hardens the generator against arbitrary specs: any spec
+// either fails New with an error, or compiles into a generator whose
+// every flag passes flagspec.Validate — never a panic, never an invalid
+// flag.
+func FuzzGenSpec(f *testing.F) {
+	f.Add(10, 28, 6, 16, 2, 6, 3.0, 2.0, 2.0, 2.0, 1.0, 2.0, uint8(0x3f), 0.35, true, uint64(42), uint64(0))
+	f.Add(4, 4, 4, 4, 2, 4, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, uint8(0x07), 0.0, false, uint64(0), uint64(0))
+	f.Add(4, 512, 4, 512, 2, 24, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, uint8(0x3f), 1.0, true, uint64(7), uint64(3))
+	f.Add(-1, 0, 0, -1, 0, 0, -1.0, 0.0, 0.0, 0.0, 0.0, 0.0, uint8(0), 2.0, false, uint64(1), uint64(1))
+	f.Fuzz(func(t *testing.T, minW, maxW, minH, maxH, minL, maxL int,
+		w0, w1, w2, w3, w4, w5 float64, colorMask uint8, emblemProb float64,
+		fullCoverage bool, seed, variant uint64) {
+		spec := GenSpec{
+			MinW: minW, MaxW: maxW, MinH: minH, MaxH: maxH,
+			MinLayers: minL, MaxLayers: maxL,
+			Families: []FamilyWeight{
+				{FamHStripes, w0}, {FamVStripes, w1}, {FamBands, w2},
+				{FamCross, w3}, {FamSaltire, w4}, {FamDisc, w5},
+			},
+			EmblemProb:   emblemProb,
+			FullCoverage: fullCoverage,
+		}
+		for _, c := range palette.All() {
+			if colorMask&(1<<uint(c-1)) != 0 {
+				spec.Colors = append(spec.Colors, c)
+			}
+		}
+		g, err := New(spec)
+		if err != nil {
+			return
+		}
+		// Cap the raster work per input so the fuzzer spends its budget
+		// on spec diversity, not one giant grid.
+		if g.spec.MaxW > 64 || g.spec.MaxH > 64 {
+			return
+		}
+		fl, err := g.Flag(seed, variant%64)
+		if err != nil {
+			t.Fatalf("compiled spec failed to generate: %v", err)
+		}
+		if err := flagspec.Validate(fl, fl.DefaultW, fl.DefaultH, spec.FullCoverage); err != nil {
+			t.Fatalf("generated flag invalid: %v", err)
+		}
+	})
+}
+
+// FuzzGenFlagName hardens the name scheme: arbitrary strings never
+// panic ParseName, Resolve, or flagspec.Lookup; accepted names
+// round-trip exactly and resolve to valid flags; rejected names yield
+// errors wrapping ErrBadName.
+func FuzzGenFlagName(f *testing.F) {
+	f.Add("gen:v1:42:7")
+	f.Add("gen:v1:0:0")
+	f.Add("gen:v1:18446744073709551615:18446744073709551615")
+	f.Add("gen:v2:1:1")
+	f.Add("gen:v1:042:7")
+	f.Add("gen:v1:-1:+2")
+	f.Add("gen:v1:1:1:1")
+	f.Add("gen::::")
+	f.Add("mauritius")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, name string) {
+		ref, err := ParseName(name)
+		if err != nil {
+			if !errors.Is(err, ErrBadName) {
+				t.Fatalf("ParseName(%q) error %v does not wrap ErrBadName", name, err)
+			}
+			// A name the parser rejects must never resolve.
+			if _, rerr := Resolve(name); rerr == nil {
+				t.Fatalf("Resolve accepted %q that ParseName rejected", name)
+			}
+			if IsName(name) {
+				// In-scheme but malformed: Lookup must surface the typed
+				// error, so transports can map it to a client error.
+				if _, lerr := flagspec.Lookup(name); !errors.Is(lerr, ErrBadName) {
+					t.Fatalf("Lookup(%q) error %v does not wrap ErrBadName", name, lerr)
+				}
+			}
+			return
+		}
+		if ref.Name() != name {
+			t.Fatalf("accepted name %q does not round-trip (canonical %q)", name, ref.Name())
+		}
+		fl, err := Resolve(name)
+		if err != nil {
+			t.Fatalf("canonical name %q failed to resolve: %v", name, err)
+		}
+		if fl.Name != name {
+			t.Fatalf("resolved flag named %q, want %q", fl.Name, name)
+		}
+		if err := flagspec.Validate(fl, fl.DefaultW, fl.DefaultH, true); err != nil {
+			t.Fatalf("resolved flag invalid: %v", err)
+		}
+		if _, ok := ContentKey(name); !ok {
+			t.Fatalf("canonical name %q has no content key", name)
+		}
+	})
+}

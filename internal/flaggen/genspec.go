@@ -1,0 +1,196 @@
+// Package flaggen is the procedural flag generator: a seeded, hashable
+// GenSpec — grid-size ranges, a layer budget, a weighted shape grammar
+// over the geom primitives the built-in flags use, a palette policy, and
+// a dependency policy that overlays emblems onto fields via DependsOn —
+// compiles into valid flagspec.Flag values, one per (seed, variant).
+//
+// The generator exists so sweeps can draw from millions of distinct
+// flags instead of the ~10 built-ins: every generated flag carries a
+// canonical versioned name "gen:v1:<seed>:<variant>" that resolves
+// anywhere a builtin name does (flagspec.Lookup, sweep specs, the wire
+// DTOs, the workload population, the CLI), and the sweep layer
+// content-addresses those names by the GenSpec's hash, so the memo
+// cache, the dispatcher store, and the cluster result tier serve
+// generated flags unchanged.
+//
+// Determinism contract: Flag(seed, variant) is a pure function of
+// (GenSpec, seed, variant). Every decision class draws from its own
+// rng.SplitLabeled sub-stream anchored at the variant label, so the i-th
+// flag of a family is independent of how many flags were drawn before
+// it, and adding a decision class later never perturbs the others.
+package flaggen
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"strings"
+
+	"flagsim/internal/palette"
+)
+
+// Family identifies one production of the shape grammar.
+type Family uint8
+
+// The grammar's families. Each mirrors a structural class the built-in
+// catalog already exercises, so every generated flag is "plausible" to
+// the activity: stripes (Mauritius/France), field-with-bands-and-emblem
+// (Canada), centered or nordic-offset crosses (Sweden), saltires with
+// overlaid crosses (Great Britain), and discs on fields (Japan).
+const (
+	FamHStripes Family = iota
+	FamVStripes
+	FamBands
+	FamCross
+	FamSaltire
+	FamDisc
+	famCount
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case FamHStripes:
+		return "hstripes"
+	case FamVStripes:
+		return "vstripes"
+	case FamBands:
+		return "bands"
+	case FamCross:
+		return "cross"
+	case FamSaltire:
+		return "saltire"
+	case FamDisc:
+		return "disc"
+	default:
+		return fmt.Sprintf("family(%d)", uint8(f))
+	}
+}
+
+// FamilyWeight is one weighted production of the grammar.
+type FamilyWeight struct {
+	Family Family
+	Weight float64
+}
+
+// GenSpec parameterizes a family of generated flags. The zero value is
+// not usable directly — call DefaultSpec, or fill every field; New
+// validates. A GenSpec is pure data: it hashes canonically (Hash), and
+// two equal-hash specs generate identical flags for every (seed,
+// variant).
+type GenSpec struct {
+	// MinW..MaxW and MinH..MaxH bound the drawn handout grid size.
+	MinW, MaxW int
+	MinH, MaxH int
+	// MinLayers..MaxLayers bound the per-flag layer budget. Families
+	// spend as much of the drawn budget as their grammar allows (a
+	// stripes flag turns budget into stripe count; a field family turns
+	// it into overlay depth) and never exceed it.
+	MinLayers, MaxLayers int
+	// Families is the weighted grammar; a zero-weight family is never
+	// drawn.
+	Families []FamilyWeight
+	// Colors is the palette pool. Adjacent stripes and emblem-over-field
+	// pairs always receive distinct colors.
+	Colors []palette.Color
+	// EmblemProb is the probability that a stripes flag additionally
+	// carries an emblem overlay (bands flags always do — that is the
+	// family), expressed in [0,1]. Emblems depend on the layers they
+	// overpaint via DependsOn, mirroring Canada and Great Britain.
+	EmblemProb float64
+	// FullCoverage requires the generated flag to paint every cell of
+	// its grid; every family's base production already guarantees it,
+	// and Validate re-checks it per flag.
+	FullCoverage bool
+}
+
+// DefaultSpec is the v1 grammar: handout-scale grids, every family on,
+// the full palette. The canonical names "gen:v1:..." denote this spec;
+// changing it is a version bump (the content key hashes the spec, so a
+// silent change would still miss, not corrupt, every cache).
+func DefaultSpec() GenSpec {
+	return GenSpec{
+		MinW: 10, MaxW: 28,
+		MinH: 6, MaxH: 16,
+		MinLayers: 2, MaxLayers: 6,
+		Families: []FamilyWeight{
+			{FamHStripes, 3}, {FamVStripes, 2}, {FamBands, 2},
+			{FamCross, 2}, {FamSaltire, 1}, {FamDisc, 2},
+		},
+		Colors:       palette.All(),
+		EmblemProb:   0.35,
+		FullCoverage: true,
+	}
+}
+
+// Validate rejects specs that could generate invalid flags.
+func (s GenSpec) Validate() error {
+	switch {
+	case s.MinW < 4 || s.MinH < 4:
+		return fmt.Errorf("flaggen: min grid %dx%d below 4x4", s.MinW, s.MinH)
+	case s.MaxW > 512 || s.MaxH > 512:
+		return fmt.Errorf("flaggen: max grid %dx%d above 512x512", s.MaxW, s.MaxH)
+	case s.MaxW < s.MinW || s.MaxH < s.MinH:
+		return fmt.Errorf("flaggen: inverted grid range %d..%dx%d..%d", s.MinW, s.MaxW, s.MinH, s.MaxH)
+	case s.MinLayers < 2:
+		return fmt.Errorf("flaggen: MinLayers %d below 2", s.MinLayers)
+	case s.MaxLayers < 4:
+		// Every structural family needs up to four layers (field, two
+		// bands, emblem); a tighter cap would silently break bands.
+		return fmt.Errorf("flaggen: MaxLayers %d below 4", s.MaxLayers)
+	case s.MaxLayers < s.MinLayers:
+		return fmt.Errorf("flaggen: inverted layer range %d..%d", s.MinLayers, s.MaxLayers)
+	case s.MaxLayers > 24:
+		return fmt.Errorf("flaggen: MaxLayers %d above 24", s.MaxLayers)
+	case len(s.Families) == 0:
+		return fmt.Errorf("flaggen: no families")
+	case len(s.Colors) < 3:
+		return fmt.Errorf("flaggen: need at least 3 colors, have %d", len(s.Colors))
+	case s.EmblemProb < 0 || s.EmblemProb > 1 || math.IsNaN(s.EmblemProb):
+		return fmt.Errorf("flaggen: EmblemProb %v outside [0,1]", s.EmblemProb)
+	}
+	total := 0.0
+	for _, fw := range s.Families {
+		if fw.Family >= famCount {
+			return fmt.Errorf("flaggen: unknown family %d", fw.Family)
+		}
+		if fw.Weight < 0 || math.IsNaN(fw.Weight) || math.IsInf(fw.Weight, 0) {
+			return fmt.Errorf("flaggen: family %s has invalid weight %v", fw.Family, fw.Weight)
+		}
+		total += fw.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("flaggen: family weights sum to %v", total)
+	}
+	seen := [palette.NColors]bool{}
+	for _, c := range s.Colors {
+		if !c.Valid() || c == palette.None {
+			return fmt.Errorf("flaggen: invalid palette color %d", uint8(c))
+		}
+		if seen[c] {
+			return fmt.Errorf("flaggen: duplicate palette color %s", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// Hash returns the spec's content address: a SHA-256 digest over a
+// versioned canonical encoding of every field that influences
+// generation. It is the anchor of the sweep layer's content keys for
+// generated flags — two processes agree on a cached result exactly when
+// their grammars hash equal.
+func (s GenSpec) Hash() [sha256.Size]byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flaggen-v1|w=%d..%d|h=%d..%d|layers=%d..%d|fams=",
+		s.MinW, s.MaxW, s.MinH, s.MaxH, s.MinLayers, s.MaxLayers)
+	for _, fw := range s.Families {
+		fmt.Fprintf(&b, "%d:%x,", fw.Family, math.Float64bits(fw.Weight))
+	}
+	b.WriteString("|colors=")
+	for _, c := range s.Colors {
+		fmt.Fprintf(&b, "%d,", c)
+	}
+	fmt.Fprintf(&b, "|emblem=%x|cover=%t", math.Float64bits(s.EmblemProb), s.FullCoverage)
+	return sha256.Sum256([]byte(b.String()))
+}

@@ -176,10 +176,16 @@ func register(f *Flag) *Flag {
 	return f
 }
 
-// Lookup returns the built-in flag with the given name.
+// Lookup returns the flag with the given name: a built-in, or — for
+// prefixed names like "gen:v1:42:7" — whatever a registered dynamic
+// resolver produces (see RegisterDynamic). A malformed dynamic name
+// returns the resolver's own typed error, not the unknown-flag error.
 func Lookup(name string) (*Flag, error) {
 	f, ok := registry[name]
 	if !ok {
+		if df, handled, err := resolveDynamic(name); handled {
+			return df, err
+		}
 		return nil, fmt.Errorf("flagspec: unknown flag %q (have %v)", name, Names())
 	}
 	return f, nil

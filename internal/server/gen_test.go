@@ -1,0 +1,126 @@
+package server
+
+// Generated flags over HTTP: the ?gen= catalog preview, run/sweep
+// requests naming generated flags, and the malformed-ref contract (400,
+// never 500).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"flagsim/internal/flaggen"
+)
+
+func TestFlagsGenPreview(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := getBody(t, ts.URL+"/v1/flags?gen=42&count=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var flags []FlagInfo
+	if err := json.Unmarshal(raw, &flags); err != nil {
+		t.Fatal(err)
+	}
+	if len(flags) != 3 {
+		t.Fatalf("%d previews, want 3", len(flags))
+	}
+	for v, f := range flags {
+		if want := flaggen.Name(42, uint64(v)); f.Name != want {
+			t.Errorf("preview %d named %q, want %q", v, f.Name, want)
+		}
+		if f.DefaultW <= 0 || f.DefaultH <= 0 || f.Layers < 2 || len(f.Colors) == 0 {
+			t.Errorf("incomplete preview entry: %+v", f)
+		}
+	}
+}
+
+func TestFlagsGenPreviewByName(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	name := flaggen.Name(7, 11)
+	resp, raw := getBody(t, ts.URL+"/v1/flags?gen="+url.QueryEscape(name))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var flags []FlagInfo
+	if err := json.Unmarshal(raw, &flags); err != nil {
+		t.Fatal(err)
+	}
+	if len(flags) != 1 || flags[0].Name != name {
+		t.Fatalf("preview = %+v, want one entry named %q", flags, name)
+	}
+}
+
+func TestFlagsGenPreviewRejectsMalformed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, q := range []string{
+		"gen=gen:v1:nope:0", "gen=gen:v1:042:7", "gen=gen:v2:1:1",
+		"gen=not-a-seed", "gen=5&count=0", "gen=5&count=65", "gen=5&count=x",
+	} {
+		resp, raw := getBody(t, ts.URL+"/v1/flags?"+strings.ReplaceAll(q, ":", "%3A"))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("?%s: status %d, want 400 (%s)", q, resp.StatusCode, raw)
+		}
+	}
+}
+
+func TestRunGeneratedFlag(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	name := flaggen.Name(42, 1)
+	body := fmt.Sprintf(`{"flag":%q,"scenario":4,"seed":3}`, name)
+	resp, raw := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var got RunResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.GridSHA256 == "" || got.Result.MakespanNS <= 0 {
+		t.Fatalf("empty result for generated flag: %+v", got.Result)
+	}
+	// Identical request → memo hit, byte-identical deterministic section.
+	resp, raw2 := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d: %s", resp.StatusCode, raw2)
+	}
+	var warm RunResponse
+	if err := json.Unmarshal(raw2, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("identical generated-flag request missed the cache")
+	}
+	if a, b := mustJSON(t, got.Result), mustJSON(t, warm.Result); a != b {
+		t.Errorf("warm result not byte-identical:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRunMalformedGenFlagIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, flag := range []string{"gen:v1:zzz:0", "gen:v1:042:7", "gen:v1:1:2:3", "gen:v7:0:0"} {
+		resp, raw := postJSON(t, ts.URL+"/v1/run", fmt.Sprintf(`{"flag":%q}`, flag))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("flag %q: status %d, want 400 (%s)", flag, resp.StatusCode, raw)
+		}
+	}
+	// Same contract on the sweep surface, where the bad ref hides in an
+	// axis rather than the base request.
+	body := `{"base":{"flag":"mauritius"},"flags":["mauritius","gen:v1:bad:0"]}`
+	resp, raw := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("sweep with malformed gen axis: status %d, want 400 (%s)", resp.StatusCode, raw)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
+	"flagsim/internal/flaggen"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/obs"
 	"flagsim/internal/sim"
@@ -332,18 +334,71 @@ func (s *Server) handleFlags(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
+	if q := r.URL.Query().Get("gen"); q != "" {
+		s.handleFlagsGen(w, q, r.URL.Query().Get("count"))
+		return
+	}
 	var out []FlagInfo
 	for _, f := range flagspec.All() {
-		info := FlagInfo{
-			Name: f.Name, DefaultW: f.DefaultW, DefaultH: f.DefaultH,
-			Layers: len(f.Layers),
-		}
-		for _, c := range f.Colors() {
-			info.Colors = append(info.Colors, c.String())
-		}
-		out = append(out, info)
+		out = append(out, newFlagInfo(f))
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleFlagsGen previews procedurally generated flags. ?gen= accepts
+// either a canonical name ("gen:v1:42:7") for a single preview, or a
+// decimal seed, in which case ?count= (default 8, max 64) consecutive
+// variants of that seed's family are listed. Malformed refs are client
+// errors — 400, never 500.
+func (s *Server) handleFlagsGen(w http.ResponseWriter, q, countStr string) {
+	var refs []flaggen.Ref
+	if flaggen.IsName(q) {
+		ref, err := flaggen.ParseName(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		refs = []flaggen.Ref{ref}
+	} else {
+		seed, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("gen: want a canonical name (gen:v1:<seed>:<variant>) or a decimal seed: %q", q))
+			return
+		}
+		count := 8
+		if countStr != "" {
+			count, err = strconv.Atoi(countStr)
+			if err != nil || count < 1 || count > 64 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("gen: count must be 1..64, got %q", countStr))
+				return
+			}
+		}
+		for v := 0; v < count; v++ {
+			refs = append(refs, flaggen.Ref{Seed: seed, Variant: uint64(v)})
+		}
+	}
+	out := make([]FlagInfo, 0, len(refs))
+	for _, ref := range refs {
+		f, err := flaggen.Resolve(ref.Name())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		out = append(out, newFlagInfo(f))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func newFlagInfo(f *flagspec.Flag) FlagInfo {
+	info := FlagInfo{
+		Name: f.Name, DefaultW: f.DefaultW, DefaultH: f.DefaultH,
+		Layers: len(f.Layers),
+	}
+	for _, c := range f.Colors() {
+		info.Colors = append(info.Colors, c.String())
+	}
+	return info
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,85 @@
+package sweep
+
+// Generated flags through the sweep layer: content-addressed keys,
+// transparent memoization, and typed errors for malformed refs.
+
+import (
+	"errors"
+	"testing"
+
+	"flagsim/internal/core"
+	"flagsim/internal/flaggen"
+)
+
+func genSpec(flag string) Spec {
+	return Spec{Exec: ExecStatic, Flag: flag, Scenario: core.S4, Seed: 1}
+}
+
+func TestSpecKeyGeneratedContentAddress(t *testing.T) {
+	a := genSpec(flaggen.Name(42, 7))
+	if a.Key() != a.Key() {
+		t.Fatal("key not stable across calls")
+	}
+	if a.Key() == genSpec(flaggen.Name(42, 8)).Key() {
+		t.Fatal("distinct variants share a key")
+	}
+	if a.Key() == genSpec(flaggen.Name(43, 7)).Key() {
+		t.Fatal("distinct family seeds share a key")
+	}
+	if a.Key() == genSpec("mauritius").Key() {
+		t.Fatal("generated and builtin specs share a key")
+	}
+	// The address is the content key, not the literal name: a spec
+	// whose literal flag string IS the content key must collide with
+	// the canonical-name spec, proving the substitution happens.
+	ck, ok := flaggen.ContentKey(a.Flag)
+	if !ok {
+		t.Fatal("no content key for a canonical name")
+	}
+	if a.Key() != genSpec(ck).Key() {
+		t.Fatal("spec key does not content-address generated flags by grammar hash")
+	}
+}
+
+func TestSweepGeneratedFlagMemoizes(t *testing.T) {
+	specs := []Spec{
+		genSpec(flaggen.Name(21, 0)),
+		genSpec(flaggen.Name(21, 1)),
+		genSpec(flaggen.Name(21, 2)),
+	}
+	sw := New(Options{Workers: 2})
+	cold := sw.Run(nil, specs)
+	for _, run := range cold.Runs {
+		if run.Err != nil {
+			t.Fatalf("%s: %v", run.Spec.Label(), run.Err)
+		}
+		if run.CacheHit {
+			t.Fatalf("%s: cold run claims a cache hit", run.Spec.Label())
+		}
+	}
+	warm := sw.Run(nil, specs)
+	for i, run := range warm.Runs {
+		if run.Err != nil {
+			t.Fatalf("%s: %v", run.Spec.Label(), run.Err)
+		}
+		if !run.CacheHit {
+			t.Fatalf("%s: warm rerun missed the memo cache", run.Spec.Label())
+		}
+		if run.Result != cold.Runs[i].Result {
+			t.Fatalf("%s: warm result is not pointer-identical", run.Spec.Label())
+		}
+	}
+}
+
+func TestRunOnceMalformedGenName(t *testing.T) {
+	for _, bad := range []string{"gen:v1:x:0", "gen:v1:042:7", "gen:v9:1:1", "gen:"} {
+		_, err := genSpec(bad).RunOnce(nil)
+		if err == nil {
+			t.Errorf("RunOnce accepted malformed gen name %q", bad)
+			continue
+		}
+		if !errors.Is(err, flaggen.ErrBadName) {
+			t.Errorf("RunOnce(%q) error %v does not wrap flaggen.ErrBadName", bad, err)
+		}
+	}
+}

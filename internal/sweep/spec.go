@@ -22,6 +22,7 @@ import (
 
 	"flagsim/internal/core"
 	"flagsim/internal/fault"
+	"flagsim/internal/flaggen"
 	"flagsim/internal/flagspec"
 	"flagsim/internal/implement"
 	"flagsim/internal/processor"
@@ -62,7 +63,8 @@ func (e Exec) String() string {
 type Spec struct {
 	// Exec selects the executor class.
 	Exec Exec
-	// Flag names a built-in flag (see flagspec.Lookup).
+	// Flag names a built-in flag or a generated one ("gen:v1:<seed>:<variant>",
+	// see flagspec.Lookup and package flaggen).
 	Flag string
 	// W, H override the flag's default raster size when positive.
 	W, H int
@@ -125,9 +127,17 @@ func (s Spec) Label() string {
 // even though they describe the same run (they still cache consistently,
 // each under its own address).
 func (s Spec) Key() [sha256.Size]byte {
+	// Generated flags content-address by what the name denotes — the
+	// grammar's hash plus (seed, variant) — not the literal name, so a
+	// grammar change misses (never corrupts) every cached result, while
+	// builtin names keep the address they always had.
+	flag := s.Flag
+	if ck, ok := flaggen.ContentKey(flag); ok {
+		flag = ck
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "sweep-v1|exec=%d|flag=%s|w=%d|h=%d|scen=%d|workers=%d|kind=%d|percolor=%d|seed=%d|setup=%d|hold=%d|policy=%d|jitter=%x|skills=",
-		s.Exec, s.Flag, s.W, s.H, s.Scenario, s.Workers, s.Kind, s.PerColor,
+		s.Exec, flag, s.W, s.H, s.Scenario, s.Workers, s.Kind, s.PerColor,
 		s.Seed, s.Setup, s.Hold, s.Policy, math.Float64bits(s.Jitter))
 	for _, sk := range s.Skills {
 		fmt.Fprintf(&b, "%x,", math.Float64bits(sk))

@@ -1,0 +1,74 @@
+package workload
+
+// The gen flag-space of the population: open-loop load drawn from a
+// procedurally generated family instead of the builtin rotation.
+
+import (
+	"regexp"
+	"testing"
+	"time"
+
+	"flagsim/internal/flaggen"
+	"flagsim/internal/rng"
+)
+
+var genNameInBody = regexp.MustCompile(`"flag":"(gen:v1:[0-9]+:[0-9]+)"`)
+
+func TestPopulationGenSpaceDrawsGeneratedFlags(t *testing.T) {
+	pop := Population{GenSeed: 42, GenSpace: 1 << 20, Seeds: 4}
+	s := rng.New(9).SplitLabeled("workload/population")
+	distinct := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		req := pop.draw(s)
+		m := genNameInBody.FindSubmatch(req.Body)
+		if m == nil {
+			t.Fatalf("draw %d body %s names no generated flag", i, req.Body)
+		}
+		name := string(m[1])
+		ref, err := flaggen.ParseName(name)
+		if err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+		if ref.Seed != 42 || ref.Variant >= 1<<20 {
+			t.Fatalf("draw %d: ref %+v outside the configured space", i, ref)
+		}
+		distinct[name] = true
+	}
+	// A million-variant space sampled 200 times should essentially never
+	// repeat; a tiny distinct count would mean the variant draw is stuck.
+	if len(distinct) < 150 {
+		t.Errorf("only %d distinct generated flags in 200 draws", len(distinct))
+	}
+}
+
+func TestGenSpaceScheduleDeterministic(t *testing.T) {
+	pop := Population{GenSeed: 7, GenSpace: 1000}
+	build := func() *Schedule {
+		sched, err := MakeSchedule(3, Poisson{RatePerSec: 200}, 500*time.Millisecond, pop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sched
+	}
+	a, b := build(), build()
+	if len(a.Arrivals) == 0 || len(a.Arrivals) != len(b.Arrivals) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a.Arrivals), len(b.Arrivals))
+	}
+	for i := range a.Arrivals {
+		if a.Arrivals[i].At != b.Arrivals[i].At || string(a.Arrivals[i].Req.Body) != string(b.Arrivals[i].Req.Body) {
+			t.Fatalf("arrival %d diverged: %v %s vs %v %s", i,
+				a.Arrivals[i].At, a.Arrivals[i].Req.Body, b.Arrivals[i].At, b.Arrivals[i].Req.Body)
+		}
+	}
+}
+
+func TestGenSpaceZeroKeepsBuiltinRotation(t *testing.T) {
+	pop := Population{Flags: []string{"japan"}}
+	s := rng.New(1).SplitLabeled("workload/population")
+	for i := 0; i < 20; i++ {
+		req := pop.draw(s)
+		if genNameInBody.Match(req.Body) {
+			t.Fatalf("draw %d produced a generated flag with GenSpace=0: %s", i, req.Body)
+		}
+	}
+}

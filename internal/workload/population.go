@@ -10,6 +10,8 @@ package workload
 import (
 	"fmt"
 	"strings"
+
+	"flagsim/internal/flaggen"
 )
 
 // Mix weights the four request kinds in the population. Weights are
@@ -70,6 +72,14 @@ type Population struct {
 	// Scenario fixes the scenario for drawn runs when 1-4; 0 draws
 	// uniformly from scenarios 1-4.
 	Scenario int
+	// GenSpace, when positive, switches the flag axis from the builtin
+	// rotation to the procedurally generated family of GenSeed: each
+	// draw names "gen:v1:<GenSeed>:<variant>" with variant uniform in
+	// [0, GenSpace). A space of a million distinct flags makes every
+	// compute cold; a space of 8 exercises the caches under churn.
+	GenSpace uint64
+	// GenSeed selects the generated family when GenSpace is positive.
+	GenSeed uint64
 }
 
 // withDefaults resolves the zero values.
@@ -131,7 +141,12 @@ type drawStream interface {
 func (p Population) draw(s drawStream) Request {
 	p = p.withDefaults()
 	kind := Kind(s.Pick([]float64{p.Mix.Runs, p.Mix.Sweeps, p.Mix.FaultedRuns, p.Mix.TraceRuns}))
-	flag := p.Flags[s.Intn(len(p.Flags))]
+	var flag string
+	if p.GenSpace > 0 {
+		flag = flaggen.Name(p.GenSeed, s.Uint64()%p.GenSpace)
+	} else {
+		flag = p.Flags[s.Intn(len(p.Flags))]
+	}
 	scenario := p.Scenario
 	if scenario == 0 {
 		scenario = 1 + s.Intn(4)

@@ -110,6 +110,7 @@ func Fire(ctx context.Context, sched *Schedule, cfg RunnerConfig) (*Trace, *Repo
 	var mu sync.Mutex // guards inFlight/maxInFlight and lags
 
 	start := time.Now()
+	fired := len(sched.Arrivals)
 	for i, a := range sched.Arrivals {
 		due := start
 		if cfg.Speed > 0 {
@@ -124,7 +125,10 @@ func Fire(ctx context.Context, sched *Schedule, cfg RunnerConfig) (*Trace, *Repo
 			}
 		}
 		if ctx.Err() != nil {
-			recs = recs[:i]
+			// Truncation of recs waits until after wg.Wait(): in-flight
+			// goroutines index the slice, so the header must not change
+			// under them.
+			fired = i
 			break
 		}
 		lag := time.Since(due)
@@ -161,6 +165,7 @@ func Fire(ctx context.Context, sched *Schedule, cfg RunnerConfig) (*Trace, *Repo
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	recs = recs[:fired]
 
 	tr := &Trace{Records: recs}
 	rep := summarize(tr, wall, sched.OfferedQPS())
